@@ -1,0 +1,99 @@
+// Figure 4 — effect of the parallel-push optimizations.
+//
+// Paper: the four Table 3 variants (Vanilla / DupDetect / Eager / Opt) run
+// the sliding-window workload; Opt is ~2.5x faster than Vanilla on GPUs
+// and multicores, each technique contributes, and the gains grow with
+// graph size (bigger frontiers -> more parallel loss + more duplicate
+// merging).
+//
+//   ./bench_fig4_optimizations [--datasets=youtube,pokec,livejournal|all]
+//       [--eps=1e-7] [--batch_ratio=0.001] [--seconds=1.5] [--scale_shift=0]
+
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+#include "util/table_printer.h"
+
+using namespace dppr;        // NOLINT
+using namespace dppr::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  if (auto st = args.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  PrintHeader("Figure 4", "effect of optimizations for the parallel push",
+              args);
+
+  const PushVariant variants[] = {PushVariant::kVanilla,
+                                  PushVariant::kDupDetect,
+                                  PushVariant::kEager, PushVariant::kOpt};
+
+  TablePrinter table({"dataset", "variant", "latency_ms", "slides",
+                      "push_ops/slide", "atomics/slide", "dup_rej/slide",
+                      "throughput_e/s"});
+  struct Cell {
+    double latency = 0;
+    double ops_per_slide = 0;
+    int64_t rejects = 0;
+  };
+  std::map<std::string, std::map<PushVariant, Cell>> grid;
+
+  for (const DatasetSpec& spec : SelectDatasets(args)) {
+    Workload workload = MakeWorkload(
+        spec, static_cast<int>(args.GetInt("scale_shift", 0)));
+    for (PushVariant variant : variants) {
+      RunConfig config;
+      config.engine = EngineKind::kCpuMt;
+      config.variant = variant;
+      config.eps = args.GetDouble("eps", 1e-7);
+      config.batch_ratio = args.GetDouble("batch_ratio", 0.001);
+      config.max_seconds = args.GetDouble("seconds", 1.5);
+      RunResult result = RunExperiment(workload, config);
+      // Runs are time-budgeted, so totals cover different slide counts;
+      // all work metrics are normalized per slide.
+      const double slides = std::max(1.0, static_cast<double>(result.slides));
+      grid[workload.name][variant] = {
+          result.MeanLatencyMs(),
+          static_cast<double>(result.counters.push_ops) / slides,
+          result.counters.dedup_rejects};
+      table.AddRow(
+          {workload.name, PushVariantName(variant),
+           TablePrinter::Fmt(result.MeanLatencyMs(), 3),
+           TablePrinter::FmtInt(result.slides),
+           TablePrinter::FmtInt(static_cast<int64_t>(
+               static_cast<double>(result.counters.push_ops) / slides)),
+           TablePrinter::FmtInt(static_cast<int64_t>(
+               static_cast<double>(result.counters.atomic_adds) / slides)),
+           TablePrinter::FmtInt(static_cast<int64_t>(
+               static_cast<double>(result.counters.dedup_rejects) / slides)),
+           TablePrinter::FmtInt(
+               static_cast<int64_t>(result.Throughput()))});
+    }
+  }
+  table.Print();
+  std::printf("\n");
+
+  for (const auto& [dataset, cells] : grid) {
+    const Cell& vanilla = cells.at(PushVariant::kVanilla);
+    const Cell& eager = cells.at(PushVariant::kEager);
+    const Cell& dup = cells.at(PushVariant::kDupDetect);
+    const Cell& opt = cells.at(PushVariant::kOpt);
+    // Eager propagation reduces push operations (parallel-loss mitigation).
+    ShapeCheck(dataset + ": eager propagation reduces push ops per slide",
+               eager.ops_per_slide <= vanilla.ops_per_slide * 1.05 + 16 &&
+                   opt.ops_per_slide <= dup.ops_per_slide * 1.05 + 16);
+    // Local duplicate detection removes shared-flag traffic entirely.
+    ShapeCheck(dataset + ": local dup detection removes dedup synchronization",
+               opt.rejects == 0 && dup.rejects == 0 && vanilla.rejects > 0);
+    // The fully optimized kernel is the fastest (paper: ~2.5x vs Vanilla
+    // at 40 cores; smaller but present at 2 cores).
+    ShapeCheck(dataset + ": opt at least as fast as vanilla",
+               opt.latency <= vanilla.latency * 1.10);
+  }
+  std::printf("\npaper shape: Opt ≈ 2.5x faster than Vanilla (40-core/GPU); "
+              "each technique contributes; gap grows with dataset size.\n");
+  return ShapeCheckExitCode();
+}

@@ -1,0 +1,178 @@
+// Micro-benchmarks (google-benchmark) for the primitives underneath the
+// figures: atomic residual updates, the two enqueue disciplines,
+// RestoreInvariant, graph mutation, one push iteration per variant, and
+// Monte-Carlo walk simulation. These are the ablation knobs DESIGN.md §6
+// calls out; run with --benchmark_filter=... to focus.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/dynamic_ppr.h"
+#include "core/frontier.h"
+#include "core/invariant.h"
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "mc/incremental_mc.h"
+#include "util/atomics.h"
+#include "util/random.h"
+
+namespace dppr {
+namespace {
+
+// ------------------------------------------------------------- atomics
+
+void BM_AtomicFetchAddDouble(benchmark::State& state) {
+  std::vector<double> slots(1024, 0.0);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto i = static_cast<size_t>(rng.NextBounded(1024));
+    benchmark::DoNotOptimize(AtomicFetchAddDouble(&slots[i], 0.25));
+  }
+}
+BENCHMARK(BM_AtomicFetchAddDouble);
+
+void BM_PlainAddDouble(benchmark::State& state) {
+  std::vector<double> slots(1024, 0.0);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto i = static_cast<size_t>(rng.NextBounded(1024));
+    slots[i] += 0.25;
+    benchmark::DoNotOptimize(slots[i]);
+  }
+}
+BENCHMARK(BM_PlainAddDouble);
+
+// ------------------------------------------------------------- frontier
+
+void BM_FrontierEnqueue(benchmark::State& state) {
+  Frontier frontier(1);
+  frontier.EnsureCapacity(1 << 16);
+  Rng rng(2);
+  int64_t n = 0;
+  for (auto _ : state) {
+    frontier.Enqueue(0, static_cast<VertexId>(rng.NextBounded(1 << 16)));
+    if (++n % 4096 == 0) frontier.Clear();
+  }
+}
+BENCHMARK(BM_FrontierEnqueue);
+
+void BM_FrontierUniqueEnqueue(benchmark::State& state) {
+  Frontier frontier(1);
+  frontier.EnsureCapacity(1 << 16);
+  Rng rng(2);
+  int64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frontier.UniqueEnqueue(
+        0, static_cast<VertexId>(rng.NextBounded(1 << 16))));
+    if (++n % 4096 == 0) frontier.Clear();
+  }
+}
+BENCHMARK(BM_FrontierUniqueEnqueue);
+
+// ------------------------------------------------------- restore + graph
+
+void BM_RestoreInvariant(benchmark::State& state) {
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(4096, 32768, 3), 4096);
+  PprState ppr_state(0, g.NumVertices());
+  ppr_state.ResetToUnitResidual();
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(4096));
+    const auto v = static_cast<VertexId>(rng.NextBounded(4096));
+    g.AddEdge(u, v);
+    benchmark::DoNotOptimize(RestoreInvariant(
+        g, &ppr_state, EdgeUpdate::Insert(u, v), 0.15));
+    state.PauseTiming();
+    g.RemoveEdge(u, v);
+    RestoreInvariant(g, &ppr_state, EdgeUpdate::Delete(u, v), 0.15);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_RestoreInvariant);
+
+void BM_GraphInsertDelete(benchmark::State& state) {
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateRmat({.scale = 12, .avg_degree = 8, .seed = 4}), 1 << 12);
+  Rng rng(6);
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(1 << 12));
+    const auto v = static_cast<VertexId>(rng.NextBounded(1 << 12));
+    g.AddEdge(u, v);
+    benchmark::DoNotOptimize(g.RemoveEdge(u, v));
+  }
+}
+BENCHMARK(BM_GraphInsertDelete);
+
+// ------------------------------------------------------------ full push
+
+void PushVariantBench(benchmark::State& state, PushVariant variant) {
+  DynamicGraph base = DynamicGraph::FromEdges(
+      GenerateRmat({.scale = 12, .avg_degree = 10, .seed = 9}), 1 << 12);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DynamicGraph g = base;  // fresh copy: push mutates state
+    PprOptions options;
+    options.eps = 1e-6;
+    options.variant = variant;
+    DynamicPpr ppr(&g, 0, options);
+    state.ResumeTiming();
+    ppr.Initialize();
+    benchmark::DoNotOptimize(ppr.Estimates().data());
+  }
+}
+
+void BM_ScratchPush_Seq(benchmark::State& state) {
+  PushVariantBench(state, PushVariant::kSequential);
+}
+BENCHMARK(BM_ScratchPush_Seq);
+
+void BM_ScratchPush_Vanilla(benchmark::State& state) {
+  PushVariantBench(state, PushVariant::kVanilla);
+}
+BENCHMARK(BM_ScratchPush_Vanilla);
+
+void BM_ScratchPush_Opt(benchmark::State& state) {
+  PushVariantBench(state, PushVariant::kOpt);
+}
+BENCHMARK(BM_ScratchPush_Opt);
+
+// ---------------------------------------------------------- Monte-Carlo
+
+void BM_McInitialize(benchmark::State& state) {
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateRmat({.scale = 10, .avg_degree = 8, .seed = 10}), 1 << 10);
+  McOptions options;
+  options.num_walks = 6 * (1 << 10);
+  for (auto _ : state) {
+    IncrementalMonteCarlo mc(&g, 0, options);
+    mc.Initialize();
+    benchmark::DoNotOptimize(mc.Estimate(0));
+  }
+}
+BENCHMARK(BM_McInitialize);
+
+void BM_McSingleInsert(benchmark::State& state) {
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateRmat({.scale = 10, .avg_degree = 8, .seed = 11}), 1 << 10);
+  McOptions options;
+  options.num_walks = 6 * (1 << 10);
+  IncrementalMonteCarlo mc(&g, 0, options);
+  mc.Initialize();
+  Rng rng(12);
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(1 << 10));
+    const auto v = static_cast<VertexId>(rng.NextBounded(1 << 10));
+    mc.ApplyBatch({EdgeUpdate::Insert(u, v)});
+    state.PauseTiming();
+    mc.ApplyBatch({EdgeUpdate::Delete(u, v)});
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_McSingleInsert);
+
+}  // namespace
+}  // namespace dppr
+
+BENCHMARK_MAIN();

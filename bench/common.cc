@@ -1,0 +1,192 @@
+#include "bench/common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "mc/incremental_mc.h"
+#include "util/macros.h"
+#include "util/parallel.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "vc/ligra_ppr.h"
+
+namespace dppr {
+namespace bench {
+
+namespace {
+
+int g_shape_violations = 0;
+
+}  // namespace
+
+const char* EngineName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kCpuBase:
+      return "CPU-Base";
+    case EngineKind::kCpuSeq:
+      return "CPU-Seq";
+    case EngineKind::kCpuMt:
+      return "CPU-MT";
+    case EngineKind::kLigra:
+      return "Ligra";
+    case EngineKind::kMonteCarlo:
+      return "Monte-Carlo";
+  }
+  return "?";
+}
+
+Workload MakeWorkload(const DatasetSpec& spec, int scale_shift,
+                      uint64_t stream_seed) {
+  Workload workload;
+  workload.name = spec.name;
+  workload.paper_name = spec.paper_name;
+  auto edges = GenerateDataset(spec, scale_shift);
+  workload.stream =
+      EdgeStream::RandomPermutation(std::move(edges), stream_seed);
+  workload.num_vertices = workload.stream.NumVertices();
+  return workload;
+}
+
+RunResult RunExperiment(const Workload& workload, const RunConfig& config) {
+  SlidingWindow window(&workload.stream, 0.1);
+  DynamicGraph graph = DynamicGraph::FromEdges(window.InitialEdges(),
+                                               workload.num_vertices);
+  Rng rng(41);
+  const VertexId source =
+      PickSourceByDegreeRank(graph, config.source_rank, &rng);
+  // Absolute batch sizes are clamped to the window: a slide may not
+  // delete more edges than the window holds.
+  const EdgeCount batch =
+      std::min(config.batch_size > 0 ? config.batch_size
+                                     : window.BatchForRatio(config.batch_ratio),
+               window.WindowSize());
+
+  RunResult result;
+  result.batch_used = batch;
+  PprOptions options;
+  options.alpha = config.alpha;
+  options.eps = config.eps;
+  options.record_iteration_trace = config.record_iteration_trace;
+  options.force_parallel_rounds = config.force_parallel_rounds;
+
+  auto slide_loop = [&](auto&& apply_batch) {
+    WallTimer loop_timer;
+    while (result.slides < config.max_slides &&
+           loop_timer.Seconds() < config.max_seconds &&
+           window.CanSlide(batch)) {
+      UpdateBatch updates = window.NextBatch(batch);
+      WallTimer slide_timer;
+      apply_batch(updates);
+      result.slide_latency_ms.Add(slide_timer.Millis());
+      result.updates_processed += static_cast<int64_t>(updates.size());
+      ++result.slides;
+    }
+    result.seconds = loop_timer.Seconds();
+  };
+
+  switch (config.engine) {
+    case EngineKind::kCpuBase:
+    case EngineKind::kCpuSeq:
+    case EngineKind::kCpuMt: {
+      if (config.engine == EngineKind::kCpuMt) {
+        options.variant = config.variant;
+      } else {
+        options.variant = PushVariant::kSequential;
+      }
+      DynamicPpr ppr(&graph, source, options);
+      WallTimer init_timer;
+      ppr.Initialize();
+      result.init_seconds = init_timer.Seconds();
+      const bool single = config.engine == EngineKind::kCpuBase;
+      slide_loop([&](const UpdateBatch& updates) {
+        if (single) {
+          ppr.ApplySingleUpdates(updates);
+        } else {
+          ppr.ApplyBatch(updates);
+        }
+        result.counters.Add(ppr.last_stats().counters);
+        if (config.record_iteration_trace) {
+          const auto& trace = ppr.last_stats().frontier_trace;
+          result.frontier_trace.insert(result.frontier_trace.end(),
+                                       trace.begin(), trace.end());
+        }
+      });
+      break;
+    }
+    case EngineKind::kLigra: {
+      LigraPpr ppr(&graph, source, options);
+      WallTimer init_timer;
+      ppr.Initialize();
+      result.init_seconds = init_timer.Seconds();
+      slide_loop([&](const UpdateBatch& updates) {
+        ppr.ApplyBatch(updates);
+        result.counters.push_ops += ppr.last_push_ops();
+      });
+      break;
+    }
+    case EngineKind::kMonteCarlo: {
+      McOptions mc_options;
+      mc_options.alpha = config.alpha;
+      mc_options.num_walks = config.mc_walks;
+      IncrementalMonteCarlo mc(&graph, source, mc_options);
+      WallTimer init_timer;
+      mc.Initialize();
+      result.init_seconds = init_timer.Seconds();
+      slide_loop([&](const UpdateBatch& updates) {
+        mc.ApplyBatch(updates);
+        result.mc_walks_regenerated += mc.last_stats().walks_regenerated;
+      });
+      break;
+    }
+  }
+  return result;
+}
+
+void ShapeCheck(const std::string& label, bool ok,
+                const std::string& detail) {
+  if (!ok) ++g_shape_violations;
+  std::printf("shape-check: %-55s %s%s%s\n", label.c_str(),
+              ok ? "OK" : "VIOLATED",
+              detail.empty() ? "" : "  -- ", detail.c_str());
+}
+
+int ShapeCheckExitCode() { return g_shape_violations == 0 ? 0 : 1; }
+
+void PrintHeader(const std::string& figure, const std::string& what,
+                 const ArgParser& args) {
+  (void)args;
+  std::printf("=====================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("protocol: random edge permutation; window = first 10%% of "
+              "stream;\n          slide = k deletions + k insertions; "
+              "alpha = 0.15 (Table 2)\n");
+  std::printf("hardware: %d OpenMP threads / %d cores\n", NumThreads(),
+              HardwareThreads());
+  std::printf("=====================================================\n\n");
+}
+
+std::vector<DatasetSpec> SelectDatasets(const ArgParser& args,
+                                        const std::string& default_list) {
+  const std::string choice = args.GetString("datasets", default_list);
+  std::vector<DatasetSpec> specs;
+  if (choice == "all") {
+    specs = AllDatasets();
+    return specs;
+  }
+  std::stringstream ss(choice);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    DatasetSpec spec;
+    const Status st = FindDataset(token, &spec);
+    DPPR_CHECK_MSG(st.ok(), st.ToString().c_str());
+    specs.push_back(spec);
+  }
+  DPPR_CHECK(!specs.empty());
+  return specs;
+}
+
+}  // namespace bench
+}  // namespace dppr

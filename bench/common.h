@@ -1,0 +1,110 @@
+// Shared experiment harness for the per-figure benchmark binaries.
+//
+// Mirrors the paper's protocol (§5.1): generate a dataset stand-in, assign
+// random timestamps (random edge permutation), warm a sliding window with
+// the first 10% of the stream, pick a source among the top-degree
+// vertices, then slide the window in batches for a fixed time budget (the
+// scaled-down analogue of the paper's "run for 5 minutes") and report
+// latency and streaming throughput.
+
+#ifndef DPPR_BENCH_COMMON_H_
+#define DPPR_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dynamic_ppr.h"
+#include "core/ppr_options.h"
+#include "gen/datasets.h"
+#include "graph/dynamic_graph.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+#include "util/args.h"
+#include "util/counters.h"
+#include "util/histogram.h"
+
+namespace dppr {
+namespace bench {
+
+/// Which maintenance engine to drive (the §5.1 implementation list).
+enum class EngineKind {
+  kCpuBase,     ///< sequential push, one update at a time [49]
+  kCpuSeq,      ///< sequential push, batch restoration
+  kCpuMt,       ///< the paper's parallel approach (variant selectable)
+  kLigra,       ///< vertex-centric comparator
+  kMonteCarlo,  ///< incremental Monte-Carlo [10]
+};
+
+const char* EngineName(EngineKind kind);
+
+/// A generated dataset with timestamps assigned.
+struct Workload {
+  std::string name;
+  std::string paper_name;
+  EdgeStream stream;
+  VertexId num_vertices = 0;
+};
+
+/// Generates the stand-in for `spec` and permutes it into a stream.
+Workload MakeWorkload(const DatasetSpec& spec, int scale_shift,
+                      uint64_t stream_seed = 17);
+
+/// Everything one experiment run needs.
+struct RunConfig {
+  EngineKind engine = EngineKind::kCpuMt;
+  PushVariant variant = PushVariant::kOpt;  ///< for kCpuMt
+  double alpha = 0.15;
+  double eps = 1e-7;
+  VertexId source_rank = 10;   ///< pick source among top-k out-degrees
+  EdgeCount batch_size = 0;    ///< absolute; 0 -> use batch_ratio
+  double batch_ratio = 0.001;  ///< fraction of the window (Table 2)
+  double max_seconds = 2.0;    ///< time budget for the slide loop
+  int max_slides = 1000000;
+  int64_t mc_walks = 0;        ///< 0 -> 6|V| (Table 2)
+  bool record_iteration_trace = false;
+  bool force_parallel_rounds = false;  ///< Fig. 10 methodology (see options)
+};
+
+/// Measured outcome of one run.
+struct RunResult {
+  int64_t updates_processed = 0;  ///< edge updates consumed (2k per slide)
+  EdgeCount batch_used = 0;       ///< after clamping to the window size
+  int slides = 0;
+  double seconds = 0.0;           ///< slide-loop wall time
+  double init_seconds = 0.0;      ///< from-scratch initialization time
+  Histogram slide_latency_ms;
+  PushCounters counters;          ///< aggregated over slides (push engines)
+  int64_t mc_walks_regenerated = 0;
+  std::vector<int64_t> frontier_trace;  ///< when requested
+
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(updates_processed) / seconds
+                       : 0.0;
+  }
+  double MeanLatencyMs() const { return slide_latency_ms.Mean(); }
+};
+
+/// Builds the window graph, initializes the engine, slides until the time
+/// budget or the stream runs out.
+RunResult RunExperiment(const Workload& workload, const RunConfig& config);
+
+/// Prints "shape-check: <label>: OK|VIOLATED (detail)" and tracks a global
+/// exit status so `main` can return non-zero when a paper-shape regression
+/// slipped in.
+void ShapeCheck(const std::string& label, bool ok,
+                const std::string& detail = "");
+int ShapeCheckExitCode();
+
+/// Standard header every figure binary prints (Table 2 defaults).
+void PrintHeader(const std::string& figure, const std::string& what,
+                 const ArgParser& args);
+
+/// Datasets selected by --datasets=youtube,pokec | all | default trio.
+std::vector<DatasetSpec> SelectDatasets(const ArgParser& args,
+                                        const std::string& default_list =
+                                            "youtube,pokec,livejournal");
+
+}  // namespace bench
+}  // namespace dppr
+
+#endif  // DPPR_BENCH_COMMON_H_

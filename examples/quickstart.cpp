@@ -1,0 +1,88 @@
+// Quickstart: maintain a personalized PageRank vector over a mutating
+// graph in a dozen lines.
+//
+//   ./quickstart [--eps=1e-7] [--alpha=0.15]
+//
+// Builds a small synthetic graph, computes the PPR vector for one source
+// from scratch, applies a batch of edge updates, and prints the top-10
+// vertices before and after — demonstrating that maintenance costs
+// milliseconds, not a recomputation.
+
+#include <cstdio>
+
+#include "analysis/topk.h"
+#include "core/dynamic_ppr.h"
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "util/args.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  dppr::ArgParser args;
+  if (auto st = args.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 1. Build a graph (any edge source works; here: a power-law R-MAT).
+  dppr::RmatOptions gen;
+  gen.scale = 12;
+  gen.avg_degree = 12;
+  gen.seed = 7;
+  dppr::DynamicGraph graph =
+      dppr::DynamicGraph::FromEdges(dppr::GenerateRmat(gen), 1 << 12);
+  std::printf("graph: %d vertices, %lld edges\n", graph.NumVertices(),
+              static_cast<long long>(graph.NumEdges()));
+
+  // 2. Attach a DynamicPpr instance to the graph.
+  dppr::PprOptions options;
+  options.alpha = args.GetDouble("alpha", 0.15);
+  options.eps = args.GetDouble("eps", 1e-7);
+  options.variant = dppr::PushVariant::kOpt;  // Algorithm 4
+  const dppr::VertexId source = 0;
+  dppr::DynamicPpr ppr(&graph, source, options);
+
+  // 3. Compute the vector from scratch once.
+  dppr::WallTimer init_timer;
+  ppr.Initialize();
+  std::printf("initialize: %.2f ms (%lld pushes)\n", init_timer.Millis(),
+              static_cast<long long>(ppr.last_stats().counters.push_ops));
+
+  auto print_top = [&ppr](const char* title) {
+    dppr::TablePrinter table({"rank", "vertex", "ppr"});
+    auto top = dppr::TopK(ppr.Estimates(), 10);
+    for (size_t i = 0; i < top.size(); ++i) {
+      table.AddRow({dppr::TablePrinter::FmtInt(static_cast<int64_t>(i) + 1),
+                    dppr::TablePrinter::FmtInt(top[i].id),
+                    dppr::TablePrinter::FmtSci(top[i].score, 3)});
+    }
+    std::printf("\n%s\n", title);
+    table.Print();
+  };
+  print_top("top-10 by PPR contribution to the source:");
+
+  // 4. The graph changes: apply a batch of inserts and deletes. The
+  //    estimates stay eps-accurate without recomputation.
+  dppr::UpdateBatch batch;
+  for (dppr::VertexId v = 1; v <= 200; ++v) {
+    batch.push_back(dppr::EdgeUpdate::Insert(v % 64, source));
+  }
+  auto some_edges = graph.ToEdgeList();
+  for (int i = 0; i < 100; ++i) {
+    const dppr::Edge& e = some_edges[static_cast<size_t>(i) * 37];
+    batch.push_back(dppr::EdgeUpdate::Delete(e.u, e.v));
+  }
+  dppr::WallTimer batch_timer;
+  ppr.ApplyBatch(batch);
+  std::printf("\napplied %zu updates in %.2f ms (%lld pushes, %d rounds)\n",
+              batch.size(), batch_timer.Millis(),
+              static_cast<long long>(ppr.last_stats().counters.push_ops),
+              ppr.last_stats().pos_iterations +
+                  ppr.last_stats().neg_iterations);
+  print_top("top-10 after the batch:");
+
+  std::printf("\nmax residual: %.3g (eps = %.3g)\n",
+              ppr.state().MaxAbsResidual(), options.eps);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/topk.h"
+#include "util/macros.h"
+
+namespace dppr {
+
+double MaxAbsError(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  DPPR_CHECK(a.size() == b.size());
+  double max_err = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_err = std::max(max_err, std::abs(a[i] - b[i]));
+  }
+  return max_err;
+}
+
+double L1Error(const std::vector<double>& a, const std::vector<double>& b) {
+  DPPR_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+double L1Norm(const std::vector<double>& a) {
+  double acc = 0.0;
+  for (double x : a) acc += std::abs(x);
+  return acc;
+}
+
+double TopKRecall(const std::vector<double>& approx,
+                  const std::vector<double>& truth, int k) {
+  DPPR_CHECK(k >= 1);
+  DPPR_CHECK(approx.size() == truth.size());
+  const auto approx_top = TopK(approx, k);
+  const auto truth_top = TopK(truth, k);
+  std::vector<int32_t> approx_ids;
+  approx_ids.reserve(approx_top.size());
+  for (const auto& entry : approx_top) approx_ids.push_back(entry.id);
+  std::sort(approx_ids.begin(), approx_ids.end());
+  int hits = 0;
+  for (const auto& entry : truth_top) {
+    if (std::binary_search(approx_ids.begin(), approx_ids.end(), entry.id)) {
+      ++hits;
+    }
+  }
+  return truth_top.empty()
+             ? 1.0
+             : static_cast<double>(hits) /
+                   static_cast<double>(truth_top.size());
+}
+
+}  // namespace dppr

@@ -1,0 +1,28 @@
+// Error metrics between PPR vectors, used by tests, examples, and the
+// accuracy columns in the bench harness.
+
+#ifndef DPPR_ANALYSIS_METRICS_H_
+#define DPPR_ANALYSIS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dppr {
+
+/// max_v |a[v] - b[v]| — the paper's eps guarantee is on this norm.
+double MaxAbsError(const std::vector<double>& a, const std::vector<double>& b);
+
+/// sum_v |a[v] - b[v]|.
+double L1Error(const std::vector<double>& a, const std::vector<double>& b);
+
+/// sum_v |a[v]|.
+double L1Norm(const std::vector<double>& a);
+
+/// Fraction of the top-k ids (by score) of `truth` also in the top-k of
+/// `approx`; 1.0 means perfect top-k agreement. k must be >= 1.
+double TopKRecall(const std::vector<double>& approx,
+                  const std::vector<double>& truth, int k);
+
+}  // namespace dppr
+
+#endif  // DPPR_ANALYSIS_METRICS_H_

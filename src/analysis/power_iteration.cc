@@ -1,0 +1,89 @@
+#include "analysis/power_iteration.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+#include "util/parallel.h"
+
+namespace dppr {
+
+std::vector<double> PowerIterationPpr(const DynamicGraph& g, VertexId s,
+                                      const PowerIterationOptions& options) {
+  DPPR_CHECK(g.IsValid(s));
+  const VertexId n = g.NumVertices();
+  std::vector<double> cur(static_cast<size_t>(n), 0.0);
+  std::vector<double> next(static_cast<size_t>(n), 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+#pragma omp parallel for schedule(dynamic, 256) reduction(max : max_delta)
+    for (VertexId v = 0; v < n; ++v) {
+      double acc = 0.0;
+      const auto dout = static_cast<double>(g.OutDegree(v));
+      if (dout > 0) {
+        for (VertexId x : g.OutNeighbors(v)) {
+          acc += cur[static_cast<size_t>(x)];
+        }
+        acc *= (1.0 - options.alpha) / dout;
+      }
+      if (v == s) acc += options.alpha;
+      next[static_cast<size_t>(v)] = acc;
+      max_delta =
+          std::max(max_delta, std::abs(acc - cur[static_cast<size_t>(v)]));
+    }
+    cur.swap(next);
+    if (max_delta < options.tol) break;
+  }
+  return cur;
+}
+
+std::vector<double> ForwardPowerIterationPpr(
+    const DynamicGraph& g, VertexId s, const PowerIterationOptions& options) {
+  DPPR_CHECK(g.IsValid(s));
+  const VertexId n = g.NumVertices();
+  std::vector<double> mu(static_cast<size_t>(n), 0.0);
+  std::vector<double> next(static_cast<size_t>(n), 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+#pragma omp parallel for schedule(dynamic, 256) reduction(max : max_delta)
+    for (VertexId v = 0; v < n; ++v) {
+      double acc = v == s ? 1.0 : 0.0;
+      for (VertexId u : g.InNeighbors(v)) {
+        acc += (1.0 - options.alpha) * mu[static_cast<size_t>(u)] /
+               static_cast<double>(g.OutDegree(u));
+      }
+      next[static_cast<size_t>(v)] = acc;
+      max_delta =
+          std::max(max_delta, std::abs(acc - mu[static_cast<size_t>(v)]));
+    }
+    mu.swap(next);
+    if (max_delta < options.tol) break;
+  }
+  std::vector<double> pi(static_cast<size_t>(n), 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    const double stop_mass =
+        g.OutDegree(v) == 0 ? 1.0 : options.alpha;
+    pi[static_cast<size_t>(v)] = stop_mass * mu[static_cast<size_t>(v)];
+  }
+  return pi;
+}
+
+double InvariantDefect(const DynamicGraph& g, VertexId s, VertexId v,
+                       double alpha, const std::vector<double>& p,
+                       const std::vector<double>& r) {
+  DPPR_CHECK(g.IsValid(v));
+  double rhs = v == s ? alpha : 0.0;
+  const auto dout = static_cast<double>(g.OutDegree(v));
+  if (dout > 0) {
+    double acc = 0.0;
+    for (VertexId x : g.OutNeighbors(v)) {
+      acc += p[static_cast<size_t>(x)];
+    }
+    rhs += (1.0 - alpha) * acc / dout;
+  }
+  const double lhs =
+      p[static_cast<size_t>(v)] + alpha * r[static_cast<size_t>(v)];
+  return rhs - lhs;
+}
+
+}  // namespace dppr

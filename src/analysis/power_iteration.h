@@ -1,0 +1,55 @@
+// Power-iteration oracle for the PPR fixed point the local-update scheme
+// approximates.
+//
+// The invariant (paper Eq. 2) has the residual-free fixed point
+//
+//   p[v] = alpha * [v == s] + (1 - alpha) / dout(v) * sum_{x in Nout(v)} p[x]
+//
+// (empty sum for dangling vertices). This is the *contribution* PPR: p[v]
+// is the probability an alpha-terminating random walk from v ends at s.
+// The operator is an L-infinity contraction with factor (1 - alpha), so
+// plain iteration converges geometrically; we iterate until the sup-norm
+// step falls below `tol`, giving an oracle accurate to tol/alpha — tests
+// use tol far below the eps they verify.
+
+#ifndef DPPR_ANALYSIS_POWER_ITERATION_H_
+#define DPPR_ANALYSIS_POWER_ITERATION_H_
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace dppr {
+
+struct PowerIterationOptions {
+  double alpha = 0.15;  ///< teleport probability
+  double tol = 1e-12;   ///< sup-norm convergence threshold
+  int max_iterations = 10000;
+};
+
+/// Computes the exact (to `tol`) PPR vector w.r.t. source `s`.
+std::vector<double> PowerIterationPpr(const DynamicGraph& g, VertexId s,
+                                      const PowerIterationOptions& options);
+
+/// \brief Forward PPR: the endpoint distribution of the alpha-terminating
+/// random walk STARTING at `s` — the quantity the incremental Monte-Carlo
+/// baseline [Bahmani et al. 2010] estimates.
+///
+/// The walk arriving at a vertex stops there with probability alpha, and
+/// also stops when the vertex has no out-edges (dangling absorption).
+/// Computed via the visit measure mu:
+///   mu(v)  = [v == s] + (1 - alpha) * sum_{u -> v} mu(u) / dout(u)
+///   pi(v)  = alpha * mu(v) + (1 - alpha) * mu(v) * [dout(v) == 0]
+std::vector<double> ForwardPowerIterationPpr(
+    const DynamicGraph& g, VertexId s, const PowerIterationOptions& options);
+
+/// Evaluates the invariant's right-hand side minus left-hand side for one
+/// vertex — zero (up to FP error) iff Eq. 2 holds at `v`. Shared by tests.
+double InvariantDefect(const DynamicGraph& g, VertexId s, VertexId v,
+                       double alpha, const std::vector<double>& p,
+                       const std::vector<double>& r);
+
+}  // namespace dppr
+
+#endif  // DPPR_ANALYSIS_POWER_ITERATION_H_

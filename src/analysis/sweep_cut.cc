@@ -1,0 +1,69 @@
+#include "analysis/sweep_cut.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/macros.h"
+
+namespace dppr {
+
+SweepCutResult SweepCut(const DynamicGraph& g, const std::vector<double>& p) {
+  DPPR_CHECK(p.size() == static_cast<size_t>(g.NumVertices()));
+  const VertexId n = g.NumVertices();
+
+  // Degree-normalized ordering; only positive-score vertices participate.
+  std::vector<VertexId> order;
+  order.reserve(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    if (p[static_cast<size_t>(v)] > 0.0 && g.OutDegree(v) > 0) {
+      order.push_back(v);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const double sa =
+        p[static_cast<size_t>(a)] / static_cast<double>(g.OutDegree(a));
+    const double sb =
+        p[static_cast<size_t>(b)] / static_cast<double>(g.OutDegree(b));
+    return sa != sb ? sa > sb : a < b;
+  });
+
+  SweepCutResult best;
+  if (order.empty()) return best;
+
+  // Incremental sweep: maintain the cut size and volume as vertices join S.
+  std::vector<uint8_t> in_set(static_cast<size_t>(n), 0);
+  int64_t total_volume = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    total_volume += g.OutDegree(v) + g.InDegree(v);
+  }
+
+  int64_t cut = 0;
+  int64_t volume = 0;
+  size_t best_prefix = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const VertexId v = order[i];
+    // Adding v: edges to/from S stop being cut; edges to/from outside start.
+    for (VertexId w : g.OutNeighbors(v)) {
+      cut += in_set[static_cast<size_t>(w)] ? -1 : +1;
+    }
+    for (VertexId w : g.InNeighbors(v)) {
+      cut += in_set[static_cast<size_t>(w)] ? -1 : +1;
+    }
+    in_set[static_cast<size_t>(v)] = 1;
+    volume += g.OutDegree(v) + g.InDegree(v);
+
+    const int64_t denom = std::min(volume, total_volume - volume);
+    if (denom <= 0) continue;  // S covers (more than) half of the volume
+    const double conductance =
+        static_cast<double>(cut) / static_cast<double>(denom);
+    if (conductance < best.conductance) {
+      best.conductance = conductance;
+      best_prefix = i + 1;
+    }
+  }
+  best.community.assign(order.begin(),
+                        order.begin() + static_cast<int64_t>(best_prefix));
+  return best;
+}
+
+}  // namespace dppr

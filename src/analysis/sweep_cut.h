@@ -1,0 +1,33 @@
+// Sweep cut for local community detection, one of the PPR applications the
+// paper's introduction motivates (graph partitioning / community detection
+// à la Andersen-Chung-Lang). Used by the community-detection example.
+
+#ifndef DPPR_ANALYSIS_SWEEP_CUT_H_
+#define DPPR_ANALYSIS_SWEEP_CUT_H_
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace dppr {
+
+/// \brief Result of a conductance sweep.
+struct SweepCutResult {
+  std::vector<VertexId> community;  ///< best prefix, sorted by score desc
+  double conductance = 1.0;         ///< cut(S) / min(vol(S), vol(V\S))
+};
+
+/// \brief Sweeps prefixes of vertices ordered by score/degree and returns
+/// the minimum-conductance prefix.
+///
+/// Follows the ACL recipe: order vertices by p[v] / dout(v) descending
+/// (degree-normalized PPR), then evaluate conductance of every prefix in
+/// one pass. Vertices with zero score are never included. Volumes and cuts
+/// count directed edges in both directions, which on a symmetrized graph
+/// equals the classic undirected definition.
+SweepCutResult SweepCut(const DynamicGraph& g, const std::vector<double>& p);
+
+}  // namespace dppr
+
+#endif  // DPPR_ANALYSIS_SWEEP_CUT_H_

@@ -1,0 +1,50 @@
+#include "analysis/topk.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/macros.h"
+
+namespace dppr {
+
+namespace {
+
+bool ScoreGreater(const ScoredVertex& a, const ScoredVertex& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+std::vector<ScoredVertex> TopK(const std::vector<double>& scores, int k) {
+  DPPR_CHECK(k >= 0);
+  const auto limit =
+      std::min<size_t>(static_cast<size_t>(k), scores.size());
+  std::vector<ScoredVertex> all(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    all[i] = {static_cast<int32_t>(i), scores[i]};
+  }
+  std::partial_sort(all.begin(), all.begin() + static_cast<int64_t>(limit),
+                    all.end(), ScoreGreater);
+  all.resize(limit);
+  return all;
+}
+
+std::vector<ScoredVertex> TopKExcluding(const std::vector<double>& scores,
+                                        int k,
+                                        const std::vector<int32_t>& exclude) {
+  std::unordered_set<int32_t> excluded(exclude.begin(), exclude.end());
+  std::vector<ScoredVertex> kept;
+  kept.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const auto id = static_cast<int32_t>(i);
+    if (excluded.count(id) == 0) kept.push_back({id, scores[i]});
+  }
+  const auto limit = std::min<size_t>(static_cast<size_t>(k), kept.size());
+  std::partial_sort(kept.begin(), kept.begin() + static_cast<int64_t>(limit),
+                    kept.end(), ScoreGreater);
+  kept.resize(limit);
+  return kept;
+}
+
+}  // namespace dppr

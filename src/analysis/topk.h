@@ -1,0 +1,31 @@
+// Top-k extraction from score vectors (recommendation example, metrics).
+
+#ifndef DPPR_ANALYSIS_TOPK_H_
+#define DPPR_ANALYSIS_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dppr {
+
+/// A scored vertex.
+struct ScoredVertex {
+  int32_t id = -1;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredVertex&, const ScoredVertex&) = default;
+};
+
+/// Returns the k highest-scoring entries in descending score order (ties
+/// broken by ascending id, so results are deterministic). k is clamped to
+/// the vector size.
+std::vector<ScoredVertex> TopK(const std::vector<double>& scores, int k);
+
+/// TopK but excluding the listed ids (e.g. a user's existing friends).
+std::vector<ScoredVertex> TopKExcluding(const std::vector<double>& scores,
+                                        int k,
+                                        const std::vector<int32_t>& exclude);
+
+}  // namespace dppr
+
+#endif  // DPPR_ANALYSIS_TOPK_H_

@@ -1,0 +1,53 @@
+#include "core/batch_validation.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace dppr {
+
+namespace {
+
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Status ValidateBatch(const DynamicGraph& g, const UpdateBatch& batch) {
+  // Tracks the DELTA of each touched edge's multiplicity relative to the
+  // graph; graph lookups happen lazily on first touch.
+  std::unordered_map<uint64_t, int64_t> multiplicity;
+  multiplicity.reserve(batch.size() * 2);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const EdgeUpdate& up = batch[i];
+    if (up.u < 0 || up.v < 0) {
+      return Status::InvalidArgument("update #" + std::to_string(i) +
+                                     " has a negative vertex id");
+    }
+    const uint64_t key = EdgeKey(up.u, up.v);
+    auto [it, fresh] = multiplicity.try_emplace(key, 0);
+    if (fresh) {
+      // Count existing parallel copies once.
+      int64_t count = 0;
+      if (g.IsValid(up.u) && g.IsValid(up.v)) {
+        for (VertexId w : g.OutNeighbors(up.u)) count += (w == up.v);
+      }
+      it->second = count;
+    }
+    if (up.op == UpdateOp::kInsert) {
+      ++it->second;
+    } else {
+      if (it->second <= 0) {
+        return Status::InvalidArgument(
+            "update #" + std::to_string(i) + " deletes non-existent edge " +
+            std::to_string(up.u) + "->" + std::to_string(up.v));
+      }
+      --it->second;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dppr

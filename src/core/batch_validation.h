@@ -1,0 +1,24 @@
+// Pre-flight validation of update batches.
+//
+// DynamicPpr::ApplyBatch treats a deletion of a non-existent edge as a
+// programming error and aborts (the stream layer never produces one).
+// Services ingesting batches from untrusted feeds validate first: this
+// simulates the batch against the graph's multiset of edges without
+// mutating anything and reports the first offending update.
+
+#ifndef DPPR_CORE_BATCH_VALIDATION_H_
+#define DPPR_CORE_BATCH_VALIDATION_H_
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace dppr {
+
+/// Returns OK iff applying `batch` in order never deletes a missing edge
+/// and never references a negative vertex id. O(batch) expected time.
+Status ValidateBatch(const DynamicGraph& g, const UpdateBatch& batch);
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_BATCH_VALIDATION_H_

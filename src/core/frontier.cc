@@ -1,0 +1,70 @@
+#include "core/frontier.h"
+
+namespace dppr {
+
+Frontier::Frontier(int max_threads)
+    : buffers_(static_cast<size_t>(max_threads > 0 ? max_threads : 1)) {
+  DPPR_CHECK(max_threads >= 1);
+}
+
+void Frontier::EnsureCapacity(VertexId n) {
+  if (static_cast<size_t>(n) > enqueued_.size()) {
+    enqueued_.resize(static_cast<size_t>(n), 0);
+    in_current_.resize(static_cast<size_t>(n), 0);
+  }
+}
+
+
+void Frontier::EnsureThreads(int max_threads) {
+  if (static_cast<size_t>(max_threads) > buffers_.size()) {
+    buffers_.resize(static_cast<size_t>(max_threads));
+  }
+}
+
+void Frontier::SetCurrent(std::vector<VertexId> vertices) {
+  if (track_current_) {
+    for (VertexId v : current_) in_current_[static_cast<size_t>(v)] = 0;
+  }
+  current_ = std::move(vertices);
+  if (track_current_) {
+    for (VertexId v : current_) in_current_[static_cast<size_t>(v)] = 1;
+  }
+}
+
+void Frontier::Clear() {
+  if (flags_dirty_.load(std::memory_order_relaxed)) {
+    std::fill(enqueued_.begin(), enqueued_.end(), 0);
+    flags_dirty_.store(false, std::memory_order_relaxed);
+  }
+  if (track_current_) {
+    for (VertexId v : current_) in_current_[static_cast<size_t>(v)] = 0;
+  }
+  current_.clear();
+  for (auto& buf : buffers_) buf.items.clear();
+}
+
+int64_t Frontier::FlushToCurrent() {
+  if (track_current_) {
+    for (VertexId v : current_) in_current_[static_cast<size_t>(v)] = 0;
+  }
+  size_t total = 0;
+  for (const auto& buf : buffers_) total += buf.items.size();
+  current_.clear();
+  current_.reserve(total);
+  for (auto& buf : buffers_) {
+    current_.insert(current_.end(), buf.items.begin(), buf.items.end());
+    buf.items.clear();
+  }
+  if (flags_dirty_.load(std::memory_order_relaxed)) {
+    // Only enqueued vertices can have set flags, and every enqueued vertex
+    // is in `current_`, so this walk restores the all-clear invariant.
+    for (VertexId v : current_) enqueued_[static_cast<size_t>(v)] = 0;
+    flags_dirty_.store(false, std::memory_order_relaxed);
+  }
+  if (track_current_) {
+    for (VertexId v : current_) in_current_[static_cast<size_t>(v)] = 1;
+  }
+  return static_cast<int64_t>(current_.size());
+}
+
+}  // namespace dppr

@@ -1,0 +1,96 @@
+// Frontier bookkeeping for the parallel push.
+//
+// Two enqueue disciplines, matching §4.2:
+//  * UniqueEnqueue (Algorithm 3): any thread observing an activated vertex
+//    tries to enqueue it; a shared atomic byte per vertex arbitrates so the
+//    vertex enters the next frontier once. The exchange on shared flags is
+//    the synchronization cost the paper's optimization removes.
+//  * Enqueue (Algorithm 4): no shared check — the caller must guarantee
+//    uniqueness (local duplicate detection or per-slot ownership).
+//
+// Enqueued ids land in per-thread cache-line-padded buffers and are merged
+// into the dense frontier array once per iteration, so the hot path never
+// contends on a shared tail pointer.
+
+#ifndef DPPR_CORE_FRONTIER_H_
+#define DPPR_CORE_FRONTIER_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/atomics.h"
+#include "util/macros.h"
+
+namespace dppr {
+
+/// \brief Double-buffered vertex frontier with per-thread enqueue buffers.
+class Frontier {
+ public:
+  explicit Frontier(int max_threads);
+
+  /// Grows the dedup-flag array to cover vertex ids < n.
+  void EnsureCapacity(VertexId n);
+
+  /// Grows the per-thread buffer set (called when the OpenMP thread count
+  /// is raised after construction, e.g. by the scalability sweep).
+  void EnsureThreads(int max_threads);
+
+  /// Enables current-frontier membership tracking (kEager needs it: eager
+  /// propagation must not re-enqueue vertices the self-update session
+  /// will re-examine anyway). Costs O(|frontier|) per flush when on.
+  void SetTrackCurrent(bool on) { track_current_ = on; }
+
+  /// Is v in the CURRENT frontier? Valid only with tracking enabled.
+  bool InCurrent(VertexId v) const {
+    DPPR_DCHECK(track_current_);
+    return in_current_[static_cast<size_t>(v)] != 0;
+  }
+
+  std::span<const VertexId> Current() const { return current_; }
+  int64_t CurrentSize() const { return static_cast<int64_t>(current_.size()); }
+
+  /// Replaces the current frontier (used by initialization).
+  void SetCurrent(std::vector<VertexId> vertices);
+
+  /// Clears current frontier and all thread buffers.
+  void Clear();
+
+  /// Unconditional enqueue into thread `tid`'s buffer (Algorithm 4 path).
+  void Enqueue(int tid, VertexId v) {
+    DPPR_DCHECK(tid >= 0 && tid < static_cast<int>(buffers_.size()));
+    buffers_[static_cast<size_t>(tid)].items.push_back(v);
+  }
+
+  /// Deduplicated enqueue (Algorithm 3 path): wins iff the shared flag for
+  /// `v` was clear. Returns true when this call enqueued `v`.
+  bool UniqueEnqueue(int tid, VertexId v) {
+    flags_dirty_.store(true, std::memory_order_relaxed);
+    if (AtomicExchangeByte(&enqueued_[static_cast<size_t>(v)], 1) != 0) {
+      return false;
+    }
+    Enqueue(tid, v);
+    return true;
+  }
+
+  /// Merges all thread buffers into the current frontier (replacing it),
+  /// resets the dedup flags touched this iteration, and returns the new
+  /// frontier size.
+  int64_t FlushToCurrent();
+
+ private:
+  struct alignas(kCacheLineSize) ThreadBuffer {
+    std::vector<VertexId> items;
+  };
+
+  std::vector<VertexId> current_;
+  std::vector<ThreadBuffer> buffers_;
+  std::vector<uint8_t> enqueued_;    ///< shared dedup flags, one per vertex
+  std::vector<uint8_t> in_current_;  ///< current-frontier membership
+  bool track_current_ = false;
+  std::atomic<bool> flags_dirty_{false};
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_FRONTIER_H_

@@ -1,0 +1,37 @@
+#include "core/invariant.h"
+
+#include "util/macros.h"
+
+namespace dppr {
+
+double RestoreInvariant(const DynamicGraph& g, PprState* state,
+                        const EdgeUpdate& update, double alpha) {
+  DPPR_CHECK(state != nullptr);
+  DPPR_CHECK(g.IsValid(update.u) && g.IsValid(update.v));
+  state->Resize(g.NumVertices());
+
+  const auto u = static_cast<size_t>(update.u);
+  const auto v = static_cast<size_t>(update.v);
+  const double dout_after = static_cast<double>(g.OutDegree(update.u));
+  const double old_r = state->r[u];
+
+  if (update.op == UpdateOp::kDelete && dout_after == 0.0) {
+    // The last out-edge vanished; Eq. 2 degenerates to
+    // p[u] + alpha * r[u] = alpha * [u == s].
+    const double indicator = update.u == state->source ? alpha : 0.0;
+    state->r[u] = (indicator - state->p[u]) / alpha;
+    return state->r[u] - old_r;
+  }
+
+  DPPR_CHECK_MSG(dout_after > 0.0,
+                 "insertion must leave u with positive out-degree");
+  const double indicator = update.u == state->source ? alpha : 0.0;
+  const double numerator = (1.0 - alpha) * state->p[v] - state->p[u] -
+                           alpha * old_r + indicator;
+  const double op_sign = update.op == UpdateOp::kInsert ? 1.0 : -1.0;
+  const double delta = op_sign * numerator / (alpha * dout_after);
+  state->r[u] = old_r + delta;
+  return delta;
+}
+
+}  // namespace dppr

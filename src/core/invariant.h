@@ -1,0 +1,38 @@
+// RestoreInvariant — step (1) of the local-update scheme (Algorithm 1).
+//
+// For an edge update (u, v, op) the only vertex whose invariant (Eq. 2)
+// breaks is u: its out-degree changed. The repair adjusts r[u] by
+//
+//   dr = op * U / (alpha * dout_after(u)),
+//   U  = (1 - alpha) * p[v] - p[u] - alpha * r[u] + alpha * [u == s]
+//
+// (the closed form of Lemma 3's recursion; verified against the paper's
+// Figure 1(b): dr = 0.09375, and Figure 2(b): dr = 0.15625).
+//
+// Call protocol: the graph must ALREADY reflect the update — Algorithm 1's
+// denominator is the post-update out-degree. Batch restoration therefore
+// interleaves: apply update j to the graph, then restore, then update j+1.
+
+#ifndef DPPR_CORE_INVARIANT_H_
+#define DPPR_CORE_INVARIANT_H_
+
+#include "core/ppr_state.h"
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace dppr {
+
+/// \brief Repairs Eq. 2 at `update.u` after the graph mutation.
+///
+/// Returns the residual change applied to r[u] (the Δ^i_s(u) of Lemma 3,
+/// which the complexity accounting in the benches tracks).
+///
+/// Handles the degenerate deletion of u's last out-edge (dout_after == 0),
+/// where the division-form is undefined and the invariant is restored
+/// directly from its definition with an empty neighbor sum.
+double RestoreInvariant(const DynamicGraph& g, PprState* state,
+                        const EdgeUpdate& update, double alpha);
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_INVARIANT_H_

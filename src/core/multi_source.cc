@@ -1,0 +1,39 @@
+#include "core/multi_source.h"
+
+#include "util/macros.h"
+#include "util/timer.h"
+
+namespace dppr {
+
+MultiSourcePpr::MultiSourcePpr(DynamicGraph* graph,
+                               std::vector<VertexId> sources,
+                               const PprOptions& options)
+    : graph_(graph) {
+  DPPR_CHECK(graph != nullptr);
+  DPPR_CHECK(!sources.empty());
+  pprs_.reserve(sources.size());
+  for (VertexId s : sources) {
+    pprs_.push_back(std::make_unique<DynamicPpr>(graph, s, options));
+  }
+}
+
+void MultiSourcePpr::Initialize() {
+  for (auto& ppr : pprs_) ppr->Initialize();
+}
+
+void MultiSourcePpr::ApplyBatch(const UpdateBatch& batch) {
+  WallTimer timer;
+  for (auto& ppr : pprs_) ppr->ResetStats();
+  // Interleave: every source's RestoreInvariant must observe the graph
+  // exactly as of its update (Algorithm 1 divides by the post-update
+  // out-degree), so the mutation happens once and all sources restore
+  // before the next mutation.
+  for (const EdgeUpdate& update : batch) {
+    graph_->Apply(update);
+    for (auto& ppr : pprs_) ppr->RestoreForUpdate(update);
+  }
+  for (auto& ppr : pprs_) ppr->RunPushOnTouched(/*accumulate=*/true);
+  last_batch_seconds_ = timer.Seconds();
+}
+
+}  // namespace dppr

@@ -1,0 +1,52 @@
+// MultiSourcePpr — maintains PPR vectors for several sources over one
+// shared graph, amortizing graph mutation across sources.
+//
+// §2.1 of the paper notes the general (non-unit) personalization case is
+// served by "maintaining multiple PPR vectors with different personalized
+// unit vectors"; hub-index systems (HubPPR, Guo et al.) maintain vectors
+// for a set of hub vertices. This class is that building block: each
+// update mutates the graph once and restores every source's invariant
+// against the correct intermediate graph state, then all sources push.
+
+#ifndef DPPR_CORE_MULTI_SOURCE_H_
+#define DPPR_CORE_MULTI_SOURCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/dynamic_ppr.h"
+#include "core/ppr_options.h"
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace dppr {
+
+/// \brief A bank of DynamicPpr instances sharing one graph.
+class MultiSourcePpr {
+ public:
+  MultiSourcePpr(DynamicGraph* graph, std::vector<VertexId> sources,
+                 const PprOptions& options);
+
+  /// From-scratch computation for every source.
+  void Initialize();
+
+  /// Applies each update to the graph once, restores all sources'
+  /// invariants in lockstep, then pushes every source to convergence.
+  void ApplyBatch(const UpdateBatch& batch);
+
+  size_t NumSources() const { return pprs_.size(); }
+  const DynamicPpr& Source(size_t i) const { return *pprs_[i]; }
+  DynamicPpr& Source(size_t i) { return *pprs_[i]; }
+
+  /// Sum of push+restore seconds across sources for the last ApplyBatch.
+  double LastBatchSeconds() const { return last_batch_seconds_; }
+
+ private:
+  DynamicGraph* graph_;
+  std::vector<std::unique_ptr<DynamicPpr>> pprs_;
+  double last_batch_seconds_ = 0.0;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_MULTI_SOURCE_H_

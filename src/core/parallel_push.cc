@@ -1,0 +1,154 @@
+#include "core/parallel_push.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace dppr {
+
+ParallelPushEngine::ParallelPushEngine(const PprOptions& options,
+                                       int max_threads)
+    : options_(options),
+      frontier_(max_threads),
+      thread_counters_(max_threads) {
+  DPPR_CHECK(options.Validate().ok());
+  DPPR_CHECK(options.variant != PushVariant::kSequential);
+  // kEager consults current-frontier membership during propagation (see
+  // push_eager.cc); the other variants don't pay for the tracking.
+  frontier_.SetTrackCurrent(options.variant == PushVariant::kEager);
+}
+
+int64_t ParallelPushEngine::InitFrontier(const DynamicGraph& g,
+                                         const PprState& state, Phase phase,
+                                         std::span<const VertexId> touched) {
+  frontier_.Clear();
+  const double eps = options_.eps;
+  if (options_.full_scan_frontier_init) {
+    // Algorithm 3 line 1 verbatim: FQ = {u in V | pushCond(Rs(u), phase)}.
+    const VertexId n = g.NumVertices();
+    internal::ForEachFrontierIndex(
+        n, /*parallel=*/n >= 4096, [&](int64_t v, int tid) {
+          if (PushCond(state.r[static_cast<size_t>(v)], eps, phase)) {
+            frontier_.Enqueue(tid, static_cast<VertexId>(v));
+          }
+        });
+  } else {
+    // Batch-local seeding: only residuals RestoreInvariant changed can
+    // violate the threshold (the state was converged before the batch).
+    // `touched` may contain duplicates, so deduplicate via the flags.
+    for (VertexId u : touched) {
+      if (PushCond(state.r[static_cast<size_t>(u)], eps, phase)) {
+        frontier_.UniqueEnqueue(0, u);
+      }
+    }
+  }
+  return frontier_.FlushToCurrent();
+}
+
+namespace {
+
+// Below `min_work` estimated edge traversals the OpenMP fork/join plus
+// atomic arithmetic cost more than one thread doing the round with plain
+// adds (the small-frontier problem of §3.1). Above it, memory parallelism
+// wins. The degree scan early-exits, and very large frontiers skip it.
+constexpr int64_t kParallelRoundMaxScan = 65536;
+
+bool ShouldParallelizeRound(const DynamicGraph& g,
+                            std::span<const VertexId> frontier,
+                            int64_t min_work) {
+  if (NumThreads() == 1) return false;
+  const auto n = static_cast<int64_t>(frontier.size());
+  if (n >= kParallelRoundMaxScan || n >= min_work) return true;
+  int64_t work = n;
+  for (VertexId u : frontier) {
+    work += g.InDegree(u);
+    if (work >= min_work) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ParallelPushEngine::RunPhase(const DynamicGraph& g, PprState* state,
+                                  Phase phase,
+                                  std::span<const VertexId> touched,
+                                  PushStats* stats) {
+  int64_t frontier_size = InitFrontier(g, *state, phase, touched);
+  PushContext ctx;
+  ctx.graph = &g;
+  ctx.state = state;
+  ctx.alpha = options_.alpha;
+  ctx.eps = options_.eps;
+  ctx.phase = phase;
+  ctx.frontier = &frontier_;
+  ctx.scratch = &scratch_;
+  ctx.counters = &thread_counters_;
+
+  while (frontier_size > 0) {
+    ctx.parallel_round =
+        options_.force_parallel_rounds ||
+        ShouldParallelizeRound(g, frontier_.Current(),
+                               options_.parallel_round_min_work);
+    if (options_.record_iteration_trace) {
+      stats->frontier_trace.push_back(frontier_size);
+    }
+    ++stats->counters.iterations;
+    stats->counters.frontier_total += frontier_size;
+    stats->counters.frontier_max =
+        std::max(stats->counters.frontier_max, frontier_size);
+    if (phase == Phase::kPos) {
+      ++stats->pos_iterations;
+    } else {
+      ++stats->neg_iterations;
+    }
+
+    switch (options_.variant) {
+      case PushVariant::kVanilla:
+        PushIterationVanilla(ctx);
+        break;
+      case PushVariant::kEager:
+        PushIterationEager(ctx);
+        break;
+      case PushVariant::kDupDetect:
+        PushIterationDupDetect(ctx);
+        break;
+      case PushVariant::kOpt:
+        PushIterationOpt(ctx);
+        break;
+      case PushVariant::kSortAggregate:
+        PushIterationSortAggregate(ctx);
+        break;
+      case PushVariant::kSequential:
+        DPPR_CHECK_MSG(false, "sequential variant has no parallel kernel");
+    }
+    frontier_size = frontier_.FlushToCurrent();
+  }
+}
+
+void ParallelPushEngine::Run(const DynamicGraph& g, PprState* state,
+                             std::span<const VertexId> touched,
+                             PushStats* stats) {
+  DPPR_CHECK(state != nullptr && stats != nullptr);
+  state->Resize(g.NumVertices());
+  frontier_.EnsureCapacity(g.NumVertices());
+  frontier_.EnsureThreads(NumThreads());
+  thread_counters_.EnsureThreads(NumThreads());
+  thread_counters_.Reset();
+
+  WallTimer timer;
+  RunPhase(g, state, Phase::kPos, touched, stats);
+  RunPhase(g, state, Phase::kNeg, touched, stats);
+  stats->push_seconds += timer.Seconds();
+
+  PushCounters aggregated = thread_counters_.Aggregate();
+  // 24B per edge traversal (target id + degree read + residual RMW) and
+  // 16B per push (estimate + residual of the frontier vertex): the
+  // random-access traffic proxy for the Fig. 9 locality discussion.
+  aggregated.random_bytes =
+      24 * aggregated.edge_traversals + 16 * aggregated.push_ops;
+  stats->counters.Add(aggregated);
+}
+
+}  // namespace dppr

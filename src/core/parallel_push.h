@@ -1,0 +1,69 @@
+// ParallelLocalPush engine: drives a push-kernel variant to convergence.
+//
+// Mirrors Algorithm 3's outer structure: a positive phase followed by a
+// negative phase, each iterating ParallelPush until the frontier drains.
+// Frontier initialization supports both the literal full vertex scan of
+// Algorithm 3 line 1 and the batch-local seeding from the vertices
+// RestoreInvariant touched (equivalent results; see PprOptions).
+
+#ifndef DPPR_CORE_PARALLEL_PUSH_H_
+#define DPPR_CORE_PARALLEL_PUSH_H_
+
+#include <span>
+#include <vector>
+
+#include "core/frontier.h"
+#include "core/ppr_options.h"
+#include "core/ppr_state.h"
+#include "core/push_kernels.h"
+#include "graph/dynamic_graph.h"
+#include "util/counters.h"
+
+namespace dppr {
+
+/// \brief Work and timing accounting for one maintenance step (a batch, a
+/// single update, or an initialization).
+struct PushStats {
+  PushCounters counters;
+  int pos_iterations = 0;
+  int neg_iterations = 0;
+  double restore_seconds = 0.0;
+  double push_seconds = 0.0;
+  /// Sum over updates of |Δr(u)| applied by RestoreInvariant — the
+  /// quantity Lemma 3 bounds.
+  double total_residual_change = 0.0;
+  /// Frontier size per iteration, recorded when
+  /// PprOptions::record_iteration_trace is set (bench_fig9).
+  std::vector<int64_t> frontier_trace;
+
+  void Reset() { *this = PushStats(); }
+  double TotalSeconds() const { return restore_seconds + push_seconds; }
+};
+
+/// \brief Reusable parallel push driver (owns frontier + scratch buffers).
+class ParallelPushEngine {
+ public:
+  ParallelPushEngine(const PprOptions& options, int max_threads);
+
+  /// Pushes until convergence (both phases), accumulating into *stats.
+  /// `touched` seeds the frontier (ignored under full-scan init).
+  void Run(const DynamicGraph& g, PprState* state,
+           std::span<const VertexId> touched, PushStats* stats);
+
+  const PprOptions& options() const { return options_; }
+
+ private:
+  int64_t InitFrontier(const DynamicGraph& g, const PprState& state,
+                       Phase phase, std::span<const VertexId> touched);
+  void RunPhase(const DynamicGraph& g, PprState* state, Phase phase,
+                std::span<const VertexId> touched, PushStats* stats);
+
+  PprOptions options_;
+  Frontier frontier_;
+  PushScratch scratch_;
+  ThreadCounters thread_counters_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_PARALLEL_PUSH_H_

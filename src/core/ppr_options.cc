@@ -1,0 +1,54 @@
+#include "core/ppr_options.h"
+
+namespace dppr {
+
+const char* PushVariantName(PushVariant variant) {
+  switch (variant) {
+    case PushVariant::kSequential:
+      return "seq";
+    case PushVariant::kVanilla:
+      return "vanilla";
+    case PushVariant::kEager:
+      return "eager";
+    case PushVariant::kDupDetect:
+      return "dupdetect";
+    case PushVariant::kOpt:
+      return "opt";
+    case PushVariant::kSortAggregate:
+      return "sortaggregate";
+  }
+  return "unknown";
+}
+
+Status ParsePushVariant(const std::string& name, PushVariant* variant) {
+  if (name == "seq") {
+    *variant = PushVariant::kSequential;
+  } else if (name == "vanilla") {
+    *variant = PushVariant::kVanilla;
+  } else if (name == "eager") {
+    *variant = PushVariant::kEager;
+  } else if (name == "dupdetect") {
+    *variant = PushVariant::kDupDetect;
+  } else if (name == "opt") {
+    *variant = PushVariant::kOpt;
+  } else if (name == "sortaggregate") {
+    *variant = PushVariant::kSortAggregate;
+  } else {
+    return Status::InvalidArgument(
+        "unknown push variant '" + name +
+        "'; expected seq|vanilla|eager|dupdetect|opt|sortaggregate");
+  }
+  return Status::OK();
+}
+
+Status PprOptions::Validate() const {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (!(eps > 0.0 && eps < 1.0)) {
+    return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace dppr

@@ -1,0 +1,63 @@
+// Configuration shared by every PPR maintenance engine.
+
+#ifndef DPPR_CORE_PPR_OPTIONS_H_
+#define DPPR_CORE_PPR_OPTIONS_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace dppr {
+
+/// \brief Which push implementation maintains the vector (paper Table 3
+/// plus the sequential baseline and the footnote-2 alternative).
+enum class PushVariant {
+  kSequential,    ///< Algorithm 2 (CPU-Base / CPU-Seq)
+  kVanilla,       ///< Algorithm 3: no eager, UniqueEnqueue dedup
+  kEager,         ///< eager propagation only (global dedup flags)
+  kDupDetect,     ///< local duplicate detection only (Alg. 3 order)
+  kOpt,           ///< Algorithm 4: eager + local duplicate detection
+  kSortAggregate, ///< footnote 2: sort-and-aggregate instead of atomics
+};
+
+const char* PushVariantName(PushVariant variant);
+
+/// Parses "opt" / "vanilla" / "eager" / "dupdetect" / "seq" /
+/// "sortaggregate" (case-sensitive).
+Status ParsePushVariant(const std::string& name, PushVariant* variant);
+
+/// \brief Parameters of the maintenance scheme (paper Table 2 defaults).
+struct PprOptions {
+  double alpha = 0.15;  ///< teleport probability
+  double eps = 1e-7;    ///< error threshold (|pi - p| <= eps on convergence)
+  PushVariant variant = PushVariant::kOpt;
+
+  /// If true, parallel frontier initialization scans all vertices (the
+  /// literal Algorithm 3 line 1); if false, only vertices touched by
+  /// RestoreInvariant are scanned — equivalent outcome (untouched vertices
+  /// satisfy |r| <= eps by the previous convergence) but O(batch) instead
+  /// of O(n). Benches flip this for the init-strategy ablation.
+  bool full_scan_frontier_init = false;
+
+  /// Record per-iteration frontier sizes (bench_fig9 reads these).
+  bool record_iteration_trace = false;
+
+  /// Run every round through the parallel code path (atomics included)
+  /// even when the round is small or one thread is configured. Used by
+  /// the Fig. 10 scalability bench so thread counts compare the same
+  /// per-operation costs; leave false for best wall-clock (the engine
+  /// then falls back to plain sequential arithmetic for tiny rounds).
+  bool force_parallel_rounds = false;
+
+  /// Estimated edge traversals below which a round runs sequentially
+  /// with plain arithmetic (the §3.1 small-frontier fallback). Break-even
+  /// depends on core count and atomic-add cost; the default suits 2-8
+  /// cores, and `bench_ablation --thresholds=...` sweeps it.
+  int64_t parallel_round_min_work = 8192;
+
+  Status Validate() const;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_PPR_OPTIONS_H_

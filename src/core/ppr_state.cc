@@ -1,0 +1,14 @@
+#include "core/ppr_state.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dppr {
+
+double PprState::MaxAbsResidual() const {
+  double max_abs = 0.0;
+  for (double x : r) max_abs = std::max(max_abs, std::abs(x));
+  return max_abs;
+}
+
+}  // namespace dppr

@@ -1,0 +1,57 @@
+// The (estimate, residual) pair the local-update scheme maintains.
+
+#ifndef DPPR_CORE_PPR_STATE_H_
+#define DPPR_CORE_PPR_STATE_H_
+
+#include <vector>
+
+#include "graph/types.h"
+#include "util/macros.h"
+
+namespace dppr {
+
+/// \brief Per-source PPR state: estimates p and residuals r (paper: Ps, Rs).
+///
+/// The vectors are plain contiguous doubles; parallel kernels access the
+/// residuals through the atomic helpers in util/atomics.h.
+struct PprState {
+  VertexId source = kInvalidVertex;
+  std::vector<double> p;  ///< estimates Ps
+  std::vector<double> r;  ///< residuals Rs
+
+  PprState() = default;
+  PprState(VertexId source_vertex, VertexId num_vertices)
+      : source(source_vertex),
+        p(static_cast<size_t>(num_vertices), 0.0),
+        r(static_cast<size_t>(num_vertices), 0.0) {
+    DPPR_CHECK(source_vertex >= 0 && source_vertex < num_vertices);
+  }
+
+  VertexId NumVertices() const { return static_cast<VertexId>(p.size()); }
+
+  /// Grows (never shrinks) to `n` vertices; new entries are zero, which
+  /// satisfies the invariant for fresh vertices (empty out-neighbor sum).
+  void Resize(VertexId n) {
+    if (n > NumVertices()) {
+      p.resize(static_cast<size_t>(n), 0.0);
+      r.resize(static_cast<size_t>(n), 0.0);
+    }
+  }
+
+  /// Resets to the canonical "no estimate yet" state: p = 0, r = e_source.
+  /// (Eq. 2 holds on any graph: p(s) + alpha*r(s) = alpha.) Figure 3 a(1)
+  /// starts from exactly this state.
+  void ResetToUnitResidual() {
+    std::fill(p.begin(), p.end(), 0.0);
+    std::fill(r.begin(), r.end(), 0.0);
+    DPPR_CHECK(source >= 0 && source < NumVertices());
+    r[static_cast<size_t>(source)] = 1.0;
+  }
+
+  /// Largest |r[v]| — convergence means MaxAbsResidual() <= eps.
+  double MaxAbsResidual() const;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_PPR_STATE_H_

@@ -1,0 +1,30 @@
+// Shared vocabulary of the push kernels.
+
+#ifndef DPPR_CORE_PUSH_COMMON_H_
+#define DPPR_CORE_PUSH_COMMON_H_
+
+namespace dppr {
+
+/// The two passes of every local push: positive residuals first, then
+/// negative ones (Algorithm 2 lines 1-4, Algorithm 3 lines 1-6). Within a
+/// phase all pushed mass has one sign, so residuals move monotonically —
+/// the property local duplicate detection relies on (§4.2).
+enum class Phase { kPos, kNeg };
+
+/// pushCond of Algorithm 3: does residual `r` activate a vertex?
+inline bool PushCond(double r, double eps, Phase phase) {
+  return phase == Phase::kPos ? r > eps : r < -eps;
+}
+
+/// PushCondLocal of Algorithm 4: did this atomic increment carry the
+/// residual across the activation threshold? Exactly one incrementing
+/// thread observes the crossing (monotonicity), so the caller may enqueue
+/// without any shared duplicate check.
+inline bool PushCondLocal(double r_pre, double r_cur, double eps,
+                          Phase phase) {
+  return !PushCond(r_pre, eps, phase) && PushCond(r_cur, eps, phase);
+}
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_PUSH_COMMON_H_

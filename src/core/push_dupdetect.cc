@@ -1,0 +1,58 @@
+// "DupDetect" variant (Table 3): Algorithm 3's session order (self-update
+// before propagation — no eager reads) but with §4.2's local duplicate
+// detection instead of UniqueEnqueue. Residuals of non-frontier vertices
+// move monotonically within the session, so the increment that carries a
+// vertex across eps is unique and its issuing thread enqueues without any
+// shared flag. Frontier vertices were zeroed in session 1, so re-activation
+// is detected by exactly the same crossing rule.
+
+#include "core/push_kernels.h"
+
+#include "util/atomics.h"
+
+namespace dppr {
+
+void PushIterationDupDetect(const PushContext& ctx) {
+  const auto frontier = ctx.frontier->Current();
+  const auto n = static_cast<int64_t>(frontier.size());
+  auto& w = ctx.scratch->frontier_w;
+  w.resize(static_cast<size_t>(n));
+  double* const r = ctx.state->r.data();
+  double* const p = ctx.state->p.data();
+  const DynamicGraph& g = *ctx.graph;
+
+  const bool par = ctx.parallel_round;
+  // Session 1 — self-update with stale reads, identical to Vanilla.
+  internal::ForEachFrontierIndex(n, par, [&](int64_t i, int tid) {
+    const VertexId u = frontier[static_cast<size_t>(i)];
+    const auto ui = static_cast<size_t>(u);
+    const double ru = r[ui];
+    w[static_cast<size_t>(i)] = ru;
+    p[ui] += ctx.alpha * ru;
+    r[ui] = 0.0;
+    ++ctx.counters->Local(tid).push_ops;
+  });
+
+  // Session 2 — propagation; the fetch-add's before-value drives local
+  // duplicate detection (no shared dedup structure).
+  internal::ForEachFrontierIndex(n, par, [&](int64_t i, int tid) {
+    const VertexId u = frontier[static_cast<size_t>(i)];
+    const double ru = w[static_cast<size_t>(i)];
+    PushCounters& c = ctx.counters->Local(tid);
+    for (VertexId v : g.InNeighbors(u)) {
+      const auto vi = static_cast<size_t>(v);
+      const double inc =
+          (1.0 - ctx.alpha) * ru / static_cast<double>(g.OutDegree(v));
+      const double pre = internal::FetchAdd(&r[vi], inc, par);
+      c.atomic_adds += par;
+      ++c.edge_traversals;
+      if (PushCondLocal(pre, pre + inc, ctx.eps, ctx.phase)) {
+        ++c.enqueue_attempts;
+        ++c.enqueued;
+        ctx.frontier->Enqueue(tid, v);
+      }
+    }
+  });
+}
+
+}  // namespace dppr

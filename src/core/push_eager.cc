@@ -1,0 +1,75 @@
+// "Eager" variant (Table 3): eager propagation (Algorithm 4's session
+// order and fresh residual reads) but frontier generation still goes
+// through UniqueEnqueue's shared flags, so the synchronization cost of
+// duplicate merging remains. The enqueue condition tests the after-value
+// of each increment; vertices already in the current frontier are skipped
+// during propagation (the self-update session re-examines them after the
+// consistent subtraction, Algorithm 4 lines 22-23), which requires the
+// frontier to track membership — cheap, but unlike Opt it still cannot
+// avoid the shared-flag exchange for everything else.
+
+#include "core/push_kernels.h"
+
+#include "util/atomics.h"
+
+namespace dppr {
+
+void PushIterationEager(const PushContext& ctx) {
+  const auto frontier = ctx.frontier->Current();
+  const auto n = static_cast<int64_t>(frontier.size());
+  auto& w = ctx.scratch->frontier_w;
+  w.resize(static_cast<size_t>(n));
+  double* const r = ctx.state->r.data();
+  double* const p = ctx.state->p.data();
+  const DynamicGraph& g = *ctx.graph;
+
+  const bool par = ctx.parallel_round;
+  // Session 1 — neighbor propagation with eager (fresh) residual reads.
+  internal::ForEachFrontierIndex(n, par, [&](int64_t i, int tid) {
+    const VertexId u = frontier[static_cast<size_t>(i)];
+    const auto ui = static_cast<size_t>(u);
+    // Fresh read: concurrent propagation from u's out-neighbors may have
+    // raised r[u] beyond its value at iteration start — push that too.
+    const double ru = internal::Load(&r[ui], par);
+    w[static_cast<size_t>(i)] = ru;
+    PushCounters& c = ctx.counters->Local(tid);
+    ++c.push_ops;
+    for (VertexId v : g.InNeighbors(u)) {
+      const auto vi = static_cast<size_t>(v);
+      const double inc =
+          (1.0 - ctx.alpha) * ru / static_cast<double>(g.OutDegree(v));
+      const double pre = internal::FetchAdd(&r[vi], inc, par);
+      c.atomic_adds += par;
+      ++c.edge_traversals;
+      if (PushCond(pre + inc, ctx.eps, ctx.phase) &&
+          !ctx.frontier->InCurrent(v)) {
+        ++c.enqueue_attempts;
+        if (ctx.frontier->UniqueEnqueue(tid, v)) {
+          ++c.enqueued;
+        } else {
+          ++c.dedup_rejects;
+        }
+      }
+    }
+  });
+
+  // Session 2 — self-update with the consistent value recorded above.
+  internal::ForEachFrontierIndex(n, par, [&](int64_t i, int tid) {
+    const VertexId u = frontier[static_cast<size_t>(i)];
+    const auto ui = static_cast<size_t>(u);
+    const double ru = w[static_cast<size_t>(i)];
+    p[ui] += ctx.alpha * ru;
+    r[ui] -= ru;  // post-barrier: no concurrent adds remain
+    if (PushCond(r[ui], ctx.eps, ctx.phase)) {
+      PushCounters& c = ctx.counters->Local(tid);
+      ++c.enqueue_attempts;
+      if (ctx.frontier->UniqueEnqueue(tid, u)) {
+        ++c.enqueued;
+      } else {
+        ++c.dedup_rejects;
+      }
+    }
+  });
+}
+
+}  // namespace dppr

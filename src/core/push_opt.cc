@@ -1,0 +1,71 @@
+// Algorithm 4 (OptParallelPush): eager propagation + local duplicate
+// detection — the paper's fully optimized kernel.
+//
+// Session 1 reads each frontier vertex's freshest residual (line 10),
+// records it in E (line 11, here scratch->frontier_w), propagates it, and
+// enqueues a neighbor iff this thread's own atomic increment carried the
+// neighbor across the threshold (PushCondLocal, lines 14-17). Vertices
+// already in the current frontier have before-values beyond the threshold
+// throughout the session, so session 1 never enqueues them; the second
+// frontier-generation pass in session 2 (lines 22-23) catches those that
+// remain active after the consistent subtraction.
+
+#include "core/push_kernels.h"
+
+#include "util/atomics.h"
+
+namespace dppr {
+
+void PushIterationOpt(const PushContext& ctx) {
+  const auto frontier = ctx.frontier->Current();
+  const auto n = static_cast<int64_t>(frontier.size());
+  auto& w = ctx.scratch->frontier_w;
+  w.resize(static_cast<size_t>(n));
+  double* const r = ctx.state->r.data();
+  double* const p = ctx.state->p.data();
+  const DynamicGraph& g = *ctx.graph;
+
+  const bool par = ctx.parallel_round;
+  // Session 1 — eager neighbor propagation (lines 9-17).
+  internal::ForEachFrontierIndex(n, par, [&](int64_t i, int tid) {
+    const VertexId u = frontier[static_cast<size_t>(i)];
+    const auto ui = static_cast<size_t>(u);
+    const double ru = internal::Load(&r[ui], par);  // line 10: fresh read
+    w[static_cast<size_t>(i)] = ru;                 // line 11: E ∪= (u, ru)
+    PushCounters& c = ctx.counters->Local(tid);
+    ++c.push_ops;
+    for (VertexId v : g.InNeighbors(u)) {
+      const auto vi = static_cast<size_t>(v);
+      const double inc =
+          (1.0 - ctx.alpha) * ru / static_cast<double>(g.OutDegree(v));
+      const double pre = internal::FetchAdd(&r[vi], inc, par);  // line 14
+      c.atomic_adds += par;
+      ++c.edge_traversals;
+      if (PushCondLocal(pre, pre + inc, ctx.eps, ctx.phase)) {
+        ++c.enqueue_attempts;
+        ++c.enqueued;
+        ctx.frontier->Enqueue(tid, v);  // line 17: no duplicate check needed
+      }
+    }
+  });
+
+  // Session 2 — self-update with the consistent ru plus the second
+  // frontier generation (lines 19-23). Frontier entries are distinct and
+  // no increments are in flight after the barrier, so plain arithmetic.
+  internal::ForEachFrontierIndex(n, par, [&](int64_t i, int tid) {
+    const VertexId u = frontier[static_cast<size_t>(i)];
+    const auto ui = static_cast<size_t>(u);
+    const double ru = w[static_cast<size_t>(i)];
+    p[ui] += ctx.alpha * ru;  // line 20
+    r[ui] -= ru;              // line 21: subtract, don't zero — increments
+                              // that arrived after the line-10 read survive
+    if (PushCond(r[ui], ctx.eps, ctx.phase)) {
+      PushCounters& c = ctx.counters->Local(tid);
+      ++c.enqueue_attempts;
+      ++c.enqueued;
+      ctx.frontier->Enqueue(tid, u);  // lines 22-23
+    }
+  });
+}
+
+}  // namespace dppr

@@ -1,0 +1,91 @@
+// The sorting-and-aggregate alternative the paper dismisses in §3.1
+// (footnote 2): instead of atomic adds, propagation emits (target,
+// increment) pairs, which are sorted by target and reduced, and the
+// aggregated sums are applied with one plain write per distinct target.
+// Implemented so the bench suite can demonstrate the claim that it "incurs
+// significant overheads for large frontiers" versus the atomic method.
+
+#include <algorithm>
+
+#include "core/push_kernels.h"
+
+namespace dppr {
+
+void PushIterationSortAggregate(const PushContext& ctx) {
+  const auto frontier = ctx.frontier->Current();
+  const auto n = static_cast<int64_t>(frontier.size());
+  auto& w = ctx.scratch->frontier_w;
+  w.resize(static_cast<size_t>(n));
+  double* const r = ctx.state->r.data();
+  double* const p = ctx.state->p.data();
+  const DynamicGraph& g = *ctx.graph;
+
+  if (ctx.scratch->thread_pairs.size() <
+      static_cast<size_t>(NumThreads())) {
+    ctx.scratch->thread_pairs.resize(static_cast<size_t>(NumThreads()));
+  }
+
+  const bool par = ctx.parallel_round;
+  // Session 1 — self-update, identical to Vanilla.
+  internal::ForEachFrontierIndex(n, par, [&](int64_t i, int tid) {
+    const VertexId u = frontier[static_cast<size_t>(i)];
+    const auto ui = static_cast<size_t>(u);
+    const double ru = r[ui];
+    w[static_cast<size_t>(i)] = ru;
+    p[ui] += ctx.alpha * ru;
+    r[ui] = 0.0;
+    ++ctx.counters->Local(tid).push_ops;
+  });
+
+  // Session 2a — gather propagation pairs into per-thread buffers.
+  internal::ForEachFrontierIndex(n, par, [&](int64_t i, int tid) {
+    const VertexId u = frontier[static_cast<size_t>(i)];
+    const double ru = w[static_cast<size_t>(i)];
+    PushCounters& c = ctx.counters->Local(tid);
+    auto& pairs = ctx.scratch->thread_pairs[static_cast<size_t>(tid)].items;
+    for (VertexId v : g.InNeighbors(u)) {
+      const double inc =
+          (1.0 - ctx.alpha) * ru / static_cast<double>(g.OutDegree(v));
+      pairs.emplace_back(v, inc);
+      ++c.edge_traversals;
+    }
+  });
+
+  // Session 2b — merge, sort by target, reduce runs, apply, enqueue. Each
+  // distinct target is applied by exactly one run, so no duplicate check.
+  auto& merged = ctx.scratch->merged_pairs;
+  merged.clear();
+  for (auto& tp : ctx.scratch->thread_pairs) {
+    merged.insert(merged.end(), tp.items.begin(), tp.items.end());
+    tp.items.clear();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const auto m = static_cast<int64_t>(merged.size());
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (int64_t i = 0; i < m; ++i) {
+    if (i > 0 && merged[static_cast<size_t>(i - 1)].first ==
+                     merged[static_cast<size_t>(i)].first) {
+      continue;  // not a run head
+    }
+    const VertexId v = merged[static_cast<size_t>(i)].first;
+    double sum = 0.0;
+    for (int64_t j = i;
+         j < m && merged[static_cast<size_t>(j)].first == v; ++j) {
+      sum += merged[static_cast<size_t>(j)].second;
+    }
+    const auto vi = static_cast<size_t>(v);
+    const double pre = r[vi];  // single writer per distinct target
+    r[vi] = pre + sum;
+    const int tid = omp_in_parallel() ? ThreadIndex() : 0;
+    if (PushCond(pre + sum, ctx.eps, ctx.phase)) {
+      PushCounters& c = ctx.counters->Local(tid);
+      ++c.enqueue_attempts;
+      ++c.enqueued;
+      ctx.frontier->Enqueue(tid, v);
+    }
+  }
+}
+
+}  // namespace dppr

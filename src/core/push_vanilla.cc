@@ -1,0 +1,58 @@
+// Algorithm 3 verbatim: self-update first (stale residual reads), then
+// neighbor propagation with UniqueEnqueue's shared-flag deduplication.
+
+#include "core/push_kernels.h"
+
+#include "util/atomics.h"
+
+namespace dppr {
+
+void PushIterationVanilla(const PushContext& ctx) {
+  const auto frontier = ctx.frontier->Current();
+  const auto n = static_cast<int64_t>(frontier.size());
+  auto& w = ctx.scratch->frontier_w;
+  w.resize(static_cast<size_t>(n));
+  double* const r = ctx.state->r.data();
+  double* const p = ctx.state->p.data();
+  const DynamicGraph& g = *ctx.graph;
+
+  const bool par = ctx.parallel_round;
+  // Session 1 — self-update (Alg. 3 lines 13-16). Frontier entries are
+  // distinct, so each r[u] has a single writer here.
+  internal::ForEachFrontierIndex(n, par, [&](int64_t i, int tid) {
+    const VertexId u = frontier[static_cast<size_t>(i)];
+    const auto ui = static_cast<size_t>(u);
+    const double ru = r[ui];  // the "stale" read that causes parallel loss
+    w[static_cast<size_t>(i)] = ru;
+    p[ui] += ctx.alpha * ru;
+    r[ui] = 0.0;
+    ++ctx.counters->Local(tid).push_ops;
+  });
+  // Implicit barrier (Alg. 3 line 17) between the ForEachFrontierIndex
+  // calls: the first parallel-for joins before the second starts.
+
+  // Session 2 — neighbor propagation (Alg. 3 lines 18-24).
+  internal::ForEachFrontierIndex(n, par, [&](int64_t i, int tid) {
+    const VertexId u = frontier[static_cast<size_t>(i)];
+    const double ru = w[static_cast<size_t>(i)];
+    PushCounters& c = ctx.counters->Local(tid);
+    for (VertexId v : g.InNeighbors(u)) {
+      const auto vi = static_cast<size_t>(v);
+      const double inc =
+          (1.0 - ctx.alpha) * ru / static_cast<double>(g.OutDegree(v));
+      const double pre = internal::FetchAdd(&r[vi], inc, par);
+      c.atomic_adds += par;
+      ++c.edge_traversals;
+      if (PushCond(pre + inc, ctx.eps, ctx.phase)) {
+        ++c.enqueue_attempts;
+        if (ctx.frontier->UniqueEnqueue(tid, v)) {
+          ++c.enqueued;
+        } else {
+          ++c.dedup_rejects;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace dppr

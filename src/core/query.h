@@ -1,0 +1,52 @@
+// Error-aware query helpers on top of the maintained PPR state.
+//
+// The scheme guarantees |pi(v) − p[v]| <= eps after every maintenance
+// call, so every point estimate carries a rigorous ±eps interval and
+// top-k rankings can be certified: if an entry's lower bound clears the
+// upper bound of everything below the cut, its membership in the true
+// top-k is guaranteed, not just estimated.
+
+#ifndef DPPR_CORE_QUERY_H_
+#define DPPR_CORE_QUERY_H_
+
+#include <vector>
+
+#include "analysis/topk.h"
+#include "core/ppr_state.h"
+#include "graph/types.h"
+
+namespace dppr {
+
+/// \brief A point estimate with its rigorous error interval.
+struct PointEstimate {
+  double value = 0.0;
+  double lower = 0.0;  ///< max(value - eps, 0): PPR values are >= 0
+  double upper = 0.0;  ///< value + eps
+
+  bool CertainlyAbove(const PointEstimate& other) const {
+    return lower > other.upper;
+  }
+};
+
+/// Queries one vertex: p[v] ± eps.
+PointEstimate QueryVertex(const PprState& state, double eps, VertexId v);
+
+/// \brief Top-k with a certified prefix.
+struct GuaranteedTopK {
+  /// The k highest estimates, descending (ties by id).
+  std::vector<ScoredVertex> entries;
+  /// entries[0 .. certain_members) are PROVABLY in the true top-k set:
+  /// their lower bounds clear the upper bound of the best vertex outside
+  /// the returned set. The remainder are best-effort.
+  int certain_members = 0;
+};
+
+/// Computes the top-k of `p` (which must be eps-accurate) and certifies
+/// membership using the ±eps interval: entry i is certain iff
+/// p[i] > boundary + 2*eps where boundary is the (k+1)-th estimate.
+GuaranteedTopK TopKWithGuarantee(const std::vector<double>& p, double eps,
+                                 int k);
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_QUERY_H_

@@ -1,0 +1,65 @@
+#include "core/seq_push.h"
+
+#include <deque>
+#include <vector>
+
+#include "core/push_common.h"
+#include "util/macros.h"
+
+namespace dppr {
+
+namespace {
+
+// One phase of Algorithm 2: drain all residuals violating the threshold on
+// `phase`'s side. SeqPush (lines 6-10): take the whole residual, credit
+// alpha of it to the estimate, spread (1-alpha) over in-neighbors.
+void RunPhase(const DynamicGraph& g, PprState* state, double alpha,
+              double eps, Phase phase, std::span<const VertexId> touched,
+              PushCounters* counters) {
+  std::deque<VertexId> queue;
+  std::vector<uint8_t> in_queue(static_cast<size_t>(state->NumVertices()), 0);
+  for (VertexId u : touched) {
+    const auto ui = static_cast<size_t>(u);
+    if (!in_queue[ui] && PushCond(state->r[ui], eps, phase)) {
+      in_queue[ui] = 1;
+      queue.push_back(u);
+    }
+  }
+
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    const auto ui = static_cast<size_t>(u);
+    in_queue[ui] = 0;
+    const double ru = state->r[ui];
+    if (!PushCond(ru, eps, phase)) continue;  // deactivated since enqueue
+
+    if (counters != nullptr) ++counters->push_ops;
+    state->p[ui] += alpha * ru;
+    state->r[ui] = 0.0;
+    for (VertexId v : g.InNeighbors(u)) {
+      const auto vi = static_cast<size_t>(v);
+      const double inc =
+          (1.0 - alpha) * ru / static_cast<double>(g.OutDegree(v));
+      state->r[vi] += inc;
+      if (counters != nullptr) ++counters->edge_traversals;
+      if (!in_queue[vi] && PushCond(state->r[vi], eps, phase)) {
+        in_queue[vi] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void SequentialLocalPush(const DynamicGraph& g, PprState* state, double alpha,
+                         double eps, std::span<const VertexId> touched,
+                         PushCounters* counters) {
+  DPPR_CHECK(state != nullptr);
+  state->Resize(g.NumVertices());
+  RunPhase(g, state, alpha, eps, Phase::kPos, touched, counters);
+  RunPhase(g, state, alpha, eps, Phase::kNeg, touched, counters);
+}
+
+}  // namespace dppr

@@ -1,0 +1,33 @@
+// SequentialLocalPush — Algorithm 2, the state-of-the-art sequential
+// baseline [Zhang et al. 2016] the paper parallelizes.
+//
+// The "while max/min residual exceeds eps" loops are realized with a FIFO
+// work queue and an in-queue bitmap: O(1) activation checks instead of
+// global scans. Seeding comes from the caller's `touched` list — only
+// vertices whose residual RestoreInvariant changed can violate the
+// threshold, because the state was converged before the batch.
+
+#ifndef DPPR_CORE_SEQ_PUSH_H_
+#define DPPR_CORE_SEQ_PUSH_H_
+
+#include <span>
+
+#include "core/ppr_state.h"
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "util/counters.h"
+
+namespace dppr {
+
+/// \brief Runs Algorithm 2 until every |r[v]| <= eps.
+///
+/// `touched` are the seed candidates (vertices whose residuals may exceed
+/// eps; duplicates allowed). Work performed is accumulated into *counters
+/// when non-null.
+void SequentialLocalPush(const DynamicGraph& g, PprState* state, double alpha,
+                         double eps, std::span<const VertexId> touched,
+                         PushCounters* counters);
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_SEQ_PUSH_H_

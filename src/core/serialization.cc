@@ -1,0 +1,122 @@
+#include "core/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace dppr {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x44505052;  // "DPPR"
+constexpr uint32_t kVersion = 1;
+
+// FNV-1a over a byte range.
+uint64_t Fnv1a(uint64_t hash, const void* data, size_t bytes) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+
+bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool ReadAll(std::FILE* f, void* data, size_t bytes) {
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+}  // namespace
+
+Status SavePprState(const std::string& path, const PprState& state) {
+  DPPR_CHECK(state.p.size() == state.r.size());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const uint32_t magic = kMagic;
+  const uint32_t version = kVersion;
+  const int32_t source = state.source;
+  const int64_t n = static_cast<int64_t>(state.p.size());
+
+  uint64_t checksum = kFnvSeed;
+  checksum = Fnv1a(checksum, &source, sizeof(source));
+  checksum = Fnv1a(checksum, &n, sizeof(n));
+  checksum = Fnv1a(checksum, state.p.data(), state.p.size() * sizeof(double));
+  checksum = Fnv1a(checksum, state.r.data(), state.r.size() * sizeof(double));
+
+  const bool ok =
+      WriteAll(f, &magic, sizeof(magic)) &&
+      WriteAll(f, &version, sizeof(version)) &&
+      WriteAll(f, &source, sizeof(source)) && WriteAll(f, &n, sizeof(n)) &&
+      WriteAll(f, state.p.data(), state.p.size() * sizeof(double)) &&
+      WriteAll(f, state.r.data(), state.r.size() * sizeof(double)) &&
+      WriteAll(f, &checksum, sizeof(checksum));
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status LoadPprState(const std::string& path, PprState* state) {
+  DPPR_CHECK(state != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  auto fail = [&f](const std::string& msg) {
+    std::fclose(f);
+    return Status::Corruption(msg);
+  };
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  int32_t source = kInvalidVertex;
+  int64_t n = 0;
+  if (!ReadAll(f, &magic, sizeof(magic))) return fail("truncated header");
+  if (magic != kMagic) return fail("bad magic (not a dppr checkpoint)");
+  if (!ReadAll(f, &version, sizeof(version))) return fail("truncated header");
+  if (version != kVersion) {
+    return fail("unsupported checkpoint version " + std::to_string(version));
+  }
+  if (!ReadAll(f, &source, sizeof(source)) || !ReadAll(f, &n, sizeof(n))) {
+    return fail("truncated header");
+  }
+  if (n < 0 || source < 0 || source >= n) return fail("implausible header");
+
+  std::vector<double> p(static_cast<size_t>(n));
+  std::vector<double> r(static_cast<size_t>(n));
+  if (!ReadAll(f, p.data(), p.size() * sizeof(double)) ||
+      !ReadAll(f, r.data(), r.size() * sizeof(double))) {
+    return fail("truncated payload");
+  }
+  uint64_t stored_checksum = 0;
+  if (!ReadAll(f, &stored_checksum, sizeof(stored_checksum))) {
+    return fail("missing checksum");
+  }
+  std::fclose(f);
+
+  uint64_t checksum = kFnvSeed;
+  checksum = Fnv1a(checksum, &source, sizeof(source));
+  checksum = Fnv1a(checksum, &n, sizeof(n));
+  checksum = Fnv1a(checksum, p.data(), p.size() * sizeof(double));
+  checksum = Fnv1a(checksum, r.data(), r.size() * sizeof(double));
+  if (checksum != stored_checksum) {
+    return Status::Corruption("checksum mismatch in '" + path + "'");
+  }
+
+  state->source = source;
+  state->p = std::move(p);
+  state->r = std::move(r);
+  return Status::OK();
+}
+
+}  // namespace dppr

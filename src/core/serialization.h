@@ -1,0 +1,28 @@
+// Binary checkpointing of the maintained PPR state.
+//
+// A production maintenance service restarts without recomputing from
+// scratch: it checkpoints (source, p, r), reloads, verifies the checksum
+// and resumes applying batches. The format is little-endian,
+// versioned, and integrity-checked (FNV-1a over the payload).
+
+#ifndef DPPR_CORE_SERIALIZATION_H_
+#define DPPR_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/ppr_state.h"
+#include "util/status.h"
+
+namespace dppr {
+
+/// Writes `state` to `path` (atomic-rename not attempted; callers own
+/// their durability discipline).
+Status SavePprState(const std::string& path, const PprState& state);
+
+/// Reads a checkpoint written by SavePprState. Fails with Corruption on
+/// bad magic/version/checksum/truncation; *state is untouched on error.
+Status LoadPprState(const std::string& path, PprState* state);
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_SERIALIZATION_H_

@@ -1,0 +1,45 @@
+#include "gen/datasets.h"
+
+#include <algorithm>
+
+#include "gen/generators.h"
+#include "util/macros.h"
+
+namespace dppr {
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  // Average degrees are the SNAP originals' |E|/|V| from §5.1; scales are
+  // chosen so every dataset generates in seconds and the relative size
+  // ordering (youtube < pokec < livejournal < orkut < twitter) holds.
+  static const std::vector<DatasetSpec> kDatasets = {
+      {"youtube-sim", "Youtube (1.1M V, 2.9M E)", 13, 2.6, 0xDDB1},
+      {"pokec-sim", "Pokec (1.6M V, 30.6M E)", 13, 19.1, 0xDDB2},
+      {"livejournal-sim", "LiveJournal (4.8M V, 68.9M E)", 14, 14.3, 0xDDB3},
+      {"orkut-sim", "Orkut (3.0M V, 117.1M E)", 14, 39.0, 0xDDB4},
+      {"twitter-sim", "Twitter (41.6M V, 1.4B E)", 15, 33.6, 0xDDB5},
+  };
+  return kDatasets;
+}
+
+Status FindDataset(const std::string& name, DatasetSpec* spec) {
+  DPPR_CHECK(spec != nullptr);
+  for (const DatasetSpec& d : AllDatasets()) {
+    if (d.name == name || d.name == name + "-sim") {
+      *spec = d;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("unknown dataset '" + name +
+                          "'; known: youtube-sim pokec-sim livejournal-sim "
+                          "orkut-sim twitter-sim");
+}
+
+std::vector<Edge> GenerateDataset(const DatasetSpec& spec, int scale_shift) {
+  RmatOptions options;
+  options.scale = std::clamp(spec.scale - scale_shift, 8, 24);
+  options.avg_degree = spec.avg_degree;
+  options.seed = spec.seed;
+  return GenerateRmat(options);
+}
+
+}  // namespace dppr

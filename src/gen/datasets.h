@@ -1,0 +1,42 @@
+// Dataset registry: laptop-scale stand-ins for the paper's SNAP graphs.
+//
+// Each entry mirrors one dataset from §5.1 with the same average degree and
+// R-MAT skew, scaled down in vertex count (DESIGN.md §4 explains why this
+// preserves the evaluation's shape). `scale_shift` lets benches grow or
+// shrink all datasets together (--scale_shift=-1 doubles every |V|).
+
+#ifndef DPPR_GEN_DATASETS_H_
+#define DPPR_GEN_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace dppr {
+
+/// \brief One benchmark dataset: a named synthetic graph recipe.
+struct DatasetSpec {
+  std::string name;          ///< e.g. "pokec-sim"
+  std::string paper_name;    ///< e.g. "Pokec (1.6M V, 30.6M E)"
+  int scale = 14;            ///< |V| = 2^scale at scale_shift = 0
+  double avg_degree = 16.0;  ///< matches the SNAP original
+  uint64_t seed = 0;         ///< generation seed (fixed per dataset)
+};
+
+/// All five stand-ins, smallest first (youtube, pokec, livejournal, orkut,
+/// twitter).
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Looks up one dataset by name ("-sim" suffix optional).
+Status FindDataset(const std::string& name, DatasetSpec* spec);
+
+/// Generates the edge list for `spec`, applying a global scale shift:
+/// effective scale = spec.scale - scale_shift (clamped to [8, 24]).
+std::vector<Edge> GenerateDataset(const DatasetSpec& spec,
+                                  int scale_shift = 0);
+
+}  // namespace dppr
+
+#endif  // DPPR_GEN_DATASETS_H_

@@ -1,0 +1,35 @@
+#include <unordered_set>
+
+#include "gen/generators.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace dppr {
+
+std::vector<Edge> GenerateErdosRenyi(VertexId n, EdgeCount m, uint64_t seed) {
+  DPPR_CHECK(n >= 2);
+  const auto max_edges =
+      static_cast<EdgeCount>(n) * static_cast<EdgeCount>(n - 1);
+  DPPR_CHECK_MSG(m <= max_edges, "too many edges for a simple digraph");
+
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(m));
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(m) * 2);
+  while (static_cast<EdgeCount>(edges.size()) < m) {
+    const auto u = static_cast<VertexId>(rng.NextBounded(
+        static_cast<uint64_t>(n)));
+    const auto v = static_cast<VertexId>(rng.NextBounded(
+        static_cast<uint64_t>(n)));
+    if (u == v) continue;
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+        static_cast<uint32_t>(v);
+    if (!seen.insert(key).second) continue;
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+}  // namespace dppr

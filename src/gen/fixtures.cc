@@ -1,0 +1,84 @@
+#include "gen/fixtures.h"
+
+#include "util/macros.h"
+
+namespace dppr {
+
+DynamicGraph PaperExampleGraph() {
+  DynamicGraph g(4);
+  // Paper numbering -> 0-indexed: 1→4, 2→1, 3→1, 3→2, 4→3.
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 1);
+  g.AddEdge(3, 2);
+  return g;
+}
+
+EdgeUpdate PaperExampleInsertE1() { return EdgeUpdate::Insert(0, 1); }
+
+EdgeUpdate PaperExampleInsertE2() { return EdgeUpdate::Insert(3, 0); }
+
+DynamicGraph PathGraph(VertexId n) {
+  DPPR_CHECK(n >= 1);
+  DynamicGraph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  return g;
+}
+
+DynamicGraph CycleGraph(VertexId n) {
+  DPPR_CHECK(n >= 2);
+  DynamicGraph g(n);
+  for (VertexId v = 0; v < n; ++v) g.AddEdge(v, (v + 1) % n);
+  return g;
+}
+
+DynamicGraph CompleteGraph(VertexId n) {
+  DPPR_CHECK(n >= 2);
+  DynamicGraph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+DynamicGraph StarGraph(VertexId n) {
+  DPPR_CHECK(n >= 2);
+  DynamicGraph g(n);
+  for (VertexId v = 1; v < n; ++v) {
+    g.AddEdge(v, 0);
+    g.AddEdge(0, v);
+  }
+  return g;
+}
+
+DynamicGraph TwoCliques(VertexId k) {
+  DPPR_CHECK(k >= 2);
+  DynamicGraph g(2 * k);
+  auto add_clique = [&g](VertexId base, VertexId size) {
+    for (VertexId i = 0; i < size; ++i) {
+      for (VertexId j = 0; j < size; ++j) {
+        if (i != j) g.AddEdge(base + i, base + j);
+      }
+    }
+  };
+  add_clique(0, k);
+  add_clique(k, k);
+  g.AddEdge(k - 1, k);  // bridge
+  g.AddEdge(k, k - 1);
+  return g;
+}
+
+std::vector<Edge> Symmetrize(const std::vector<Edge>& edges) {
+  std::vector<Edge> out;
+  out.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    out.push_back(e);
+    out.push_back({e.v, e.u});
+  }
+  return out;
+}
+
+}  // namespace dppr

@@ -1,0 +1,53 @@
+// Deterministic small graphs for tests, including the exact 4-vertex
+// example the paper walks through in Figures 1–3.
+
+#ifndef DPPR_GEN_FIXTURES_H_
+#define DPPR_GEN_FIXTURES_H_
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace dppr {
+
+/// \brief The running-example graph of the paper (Figures 1, 2 and 3).
+///
+/// Vertices are 0-indexed here; the paper numbers them 1..4. Edges (paper
+/// numbering): 1→4, 2→1, 3→1, 3→2, 4→3. With source s = v1, alpha = 0.5,
+/// eps = 0.1 the converged state is exactly Figure 1(a)/3a(4):
+///   p = (0.5, 0.25, 0.1875, 0.0625),  r = (0.0625, 0, 0, 0.0625).
+/// Reconstructed by replaying the paper's push traces; every intermediate
+/// number in Figures 1–3 is reproduced by the tests that use this fixture.
+DynamicGraph PaperExampleGraph();
+
+/// Edge e1 of Figures 1–2: insert v1 → v2 (0-indexed: 0 → 1).
+EdgeUpdate PaperExampleInsertE1();
+
+/// Edge e2 of Figure 2: insert v4 → v1 (0-indexed: 3 → 0).
+EdgeUpdate PaperExampleInsertE2();
+
+/// Directed path 0 → 1 → ... → n-1.
+DynamicGraph PathGraph(VertexId n);
+
+/// Directed cycle 0 → 1 → ... → n-1 → 0.
+DynamicGraph CycleGraph(VertexId n);
+
+/// Complete digraph on n vertices (all ordered pairs, no loops).
+DynamicGraph CompleteGraph(VertexId n);
+
+/// Star: spokes 1..n-1 each point at hub 0, and the hub points back —
+/// every edge (i,0) and (0,i). High-degree hub stresses skew handling.
+DynamicGraph StarGraph(VertexId n);
+
+/// Two directed cliques of size k bridged by a single edge; the classic
+/// community-detection fixture (used by the sweep-cut example tests).
+DynamicGraph TwoCliques(VertexId k);
+
+/// Symmetric (undirected-as-directed) version of an edge list: each {u,v}
+/// becomes u→v and v→u.
+std::vector<Edge> Symmetrize(const std::vector<Edge>& edges);
+
+}  // namespace dppr
+
+#endif  // DPPR_GEN_FIXTURES_H_

@@ -1,0 +1,49 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on five SNAP graphs (Pokec, LiveJournal, Youtube,
+// Orkut, Twitter) that are not available offline; DESIGN.md §4 documents
+// the substitution: R-MAT with per-dataset average degree reproduces the
+// degree skew that drives the algorithms' behavior. All generators emit
+// simple directed graphs (no self-loops, no duplicate edges) — SNAP's
+// datasets are simple too — and are deterministic given the seed.
+
+#ifndef DPPR_GEN_GENERATORS_H_
+#define DPPR_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dppr {
+
+/// \brief R-MAT recursive-quadrant generator (Chakrabarti et al. 2004).
+struct RmatOptions {
+  int scale = 14;            ///< |V| = 2^scale
+  double avg_degree = 16.0;  ///< |E| = avg_degree * |V| (pre-dedup target)
+  double a = 0.57;           ///< quadrant probabilities; d = 1 - a - b - c
+  double b = 0.19;
+  double c = 0.19;
+  double noise = 0.1;        ///< per-level probability perturbation
+  uint64_t seed = 1;
+};
+
+/// Generates a simple directed R-MAT graph. If duplicate pressure makes the
+/// exact target edge count unreachable, returns slightly fewer edges.
+std::vector<Edge> GenerateRmat(const RmatOptions& options);
+
+/// \brief G(n, m): m distinct uniformly random directed edges, no loops.
+std::vector<Edge> GenerateErdosRenyi(VertexId n, EdgeCount m, uint64_t seed);
+
+/// \brief Directed preferential attachment (Bollobás et al. style).
+///
+/// Vertices arrive in id order; each new vertex emits `out_degree` edges to
+/// targets sampled proportionally to (in-degree + 1), yielding a power-law
+/// in-degree tail like a social "follow" graph.
+std::vector<Edge> GeneratePreferentialAttachment(VertexId n,
+                                                 VertexId out_degree,
+                                                 uint64_t seed);
+
+}  // namespace dppr
+
+#endif  // DPPR_GEN_GENERATORS_H_

@@ -1,0 +1,48 @@
+#include <unordered_set>
+
+#include "gen/generators.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace dppr {
+
+std::vector<Edge> GeneratePreferentialAttachment(VertexId n,
+                                                 VertexId out_degree,
+                                                 uint64_t seed) {
+  DPPR_CHECK(n >= 2);
+  DPPR_CHECK(out_degree >= 1);
+  Rng rng(seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * static_cast<size_t>(out_degree));
+
+  // `endpoints` holds one entry per edge endpoint plus one per vertex, so
+  // sampling uniformly from it realizes P(target = v) ∝ in_degree(v) + 1.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(edges.capacity() + static_cast<size_t>(n));
+  endpoints.push_back(0);  // seed vertex
+
+  std::unordered_set<uint64_t> seen;
+  for (VertexId u = 1; u < n; ++u) {
+    const VertexId budget = std::min<VertexId>(out_degree, u);
+    VertexId added = 0;
+    // Bounded retries: dense prefixes can exhaust distinct targets.
+    for (int attempt = 0; added < budget && attempt < 16 * budget;
+         ++attempt) {
+      const VertexId v =
+          endpoints[static_cast<size_t>(rng.NextBounded(endpoints.size()))];
+      if (v == u) continue;
+      const uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+          static_cast<uint32_t>(v);
+      if (!seen.insert(key).second) continue;
+      edges.push_back({u, v});
+      endpoints.push_back(v);
+      ++added;
+    }
+    endpoints.push_back(u);
+  }
+  return edges;
+}
+
+}  // namespace dppr

@@ -1,0 +1,74 @@
+#include <unordered_set>
+
+#include "gen/generators.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace dppr {
+
+namespace {
+
+// Packs an edge into one 64-bit key for the dedup set.
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+std::vector<Edge> GenerateRmat(const RmatOptions& options) {
+  DPPR_CHECK(options.scale >= 1 && options.scale <= 30);
+  DPPR_CHECK(options.avg_degree > 0);
+  const double d = 1.0 - options.a - options.b - options.c;
+  DPPR_CHECK_MSG(d > 0.0, "RMAT quadrant probabilities must sum below 1");
+
+  const VertexId n = VertexId{1} << options.scale;
+  const auto target =
+      static_cast<EdgeCount>(options.avg_degree * static_cast<double>(n));
+  Rng rng(options.seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(target));
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(target) * 2);
+
+  // Duplicate pressure grows with density; cap total attempts so adversarial
+  // parameter choices still terminate.
+  const EdgeCount max_attempts = target * 32;
+  EdgeCount attempts = 0;
+  while (static_cast<EdgeCount>(edges.size()) < target &&
+         attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0;
+    VertexId v = 0;
+    for (int level = 0; level < options.scale; ++level) {
+      // Perturb quadrant probabilities per level so the generated graph
+      // does not have the pathological self-similarity of noiseless R-MAT.
+      const double na =
+          options.a * (1.0 + options.noise * (rng.NextDouble() - 0.5));
+      const double nb =
+          options.b * (1.0 + options.noise * (rng.NextDouble() - 0.5));
+      const double nc =
+          options.c * (1.0 + options.noise * (rng.NextDouble() - 0.5));
+      const double nd = d * (1.0 + options.noise * (rng.NextDouble() - 0.5));
+      const double total = na + nb + nc + nd;
+      double r = rng.NextDouble() * total;
+      int quadrant = 3;
+      if (r < na) {
+        quadrant = 0;
+      } else if (r < na + nb) {
+        quadrant = 1;
+      } else if (r < na + nb + nc) {
+        quadrant = 2;
+      }
+      u = static_cast<VertexId>((u << 1) | (quadrant >> 1));
+      v = static_cast<VertexId>((v << 1) | (quadrant & 1));
+    }
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+}  // namespace dppr

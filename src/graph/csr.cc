@@ -1,0 +1,61 @@
+#include "graph/csr.h"
+
+namespace dppr {
+
+CsrGraph CsrGraph::FromDynamic(const DynamicGraph& g) {
+  CsrGraph csr;
+  const VertexId n = g.NumVertices();
+  csr.out_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  csr.in_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    csr.out_offsets_[static_cast<size_t>(v) + 1] =
+        csr.out_offsets_[static_cast<size_t>(v)] + g.OutDegree(v);
+    csr.in_offsets_[static_cast<size_t>(v) + 1] =
+        csr.in_offsets_[static_cast<size_t>(v)] + g.InDegree(v);
+  }
+  csr.out_targets_.resize(static_cast<size_t>(g.NumEdges()));
+  csr.in_targets_.resize(static_cast<size_t>(g.NumEdges()));
+  for (VertexId v = 0; v < n; ++v) {
+    EdgeCount o = csr.out_offsets_[static_cast<size_t>(v)];
+    for (VertexId w : g.OutNeighbors(v)) {
+      csr.out_targets_[static_cast<size_t>(o++)] = w;
+    }
+    EdgeCount i = csr.in_offsets_[static_cast<size_t>(v)];
+    for (VertexId w : g.InNeighbors(v)) {
+      csr.in_targets_[static_cast<size_t>(i++)] = w;
+    }
+  }
+  return csr;
+}
+
+CsrGraph CsrGraph::FromEdges(const std::vector<Edge>& edges, VertexId n) {
+  CsrGraph csr;
+  csr.out_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  csr.in_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    DPPR_CHECK(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n);
+    ++csr.out_offsets_[static_cast<size_t>(e.u) + 1];
+    ++csr.in_offsets_[static_cast<size_t>(e.v) + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    csr.out_offsets_[static_cast<size_t>(v) + 1] +=
+        csr.out_offsets_[static_cast<size_t>(v)];
+    csr.in_offsets_[static_cast<size_t>(v) + 1] +=
+        csr.in_offsets_[static_cast<size_t>(v)];
+  }
+  csr.out_targets_.resize(edges.size());
+  csr.in_targets_.resize(edges.size());
+  std::vector<EdgeCount> out_cursor(csr.out_offsets_.begin(),
+                                    csr.out_offsets_.end() - 1);
+  std::vector<EdgeCount> in_cursor(csr.in_offsets_.begin(),
+                                   csr.in_offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    csr.out_targets_[static_cast<size_t>(
+        out_cursor[static_cast<size_t>(e.u)]++)] = e.v;
+    csr.in_targets_[static_cast<size_t>(
+        in_cursor[static_cast<size_t>(e.v)]++)] = e.u;
+  }
+  return csr;
+}
+
+}  // namespace dppr

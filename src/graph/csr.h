@@ -1,0 +1,67 @@
+// Immutable CSR snapshot of a graph.
+//
+// The dynamic structures favor mutation; CSR favors scan bandwidth. The
+// Monte-Carlo walk generator and the power-iteration oracle take CSR
+// snapshots; the push kernels deliberately run on DynamicGraph because the
+// paper's workload mutates the graph every batch.
+
+#ifndef DPPR_GRAPH_CSR_H_
+#define DPPR_GRAPH_CSR_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace dppr {
+
+/// \brief Compressed-sparse-row snapshot with both edge directions.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Materializes a snapshot of `g` (counting sort, O(V + E)).
+  static CsrGraph FromDynamic(const DynamicGraph& g);
+
+  /// Builds directly from an edge list with `n` vertices.
+  static CsrGraph FromEdges(const std::vector<Edge>& edges, VertexId n);
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(out_offsets_.empty()
+                                     ? 0
+                                     : out_offsets_.size() - 1);
+  }
+  EdgeCount NumEdges() const {
+    return static_cast<EdgeCount>(out_targets_.size());
+  }
+
+  VertexId OutDegree(VertexId v) const {
+    return static_cast<VertexId>(out_offsets_[static_cast<size_t>(v) + 1] -
+                                 out_offsets_[static_cast<size_t>(v)]);
+  }
+  VertexId InDegree(VertexId v) const {
+    return static_cast<VertexId>(in_offsets_[static_cast<size_t>(v) + 1] -
+                                 in_offsets_[static_cast<size_t>(v)]);
+  }
+
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[static_cast<size_t>(v)],
+            static_cast<size_t>(OutDegree(v))};
+  }
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return {in_targets_.data() + in_offsets_[static_cast<size_t>(v)],
+            static_cast<size_t>(InDegree(v))};
+  }
+
+ private:
+  // offsets have NumVertices()+1 entries; targets are grouped by source.
+  std::vector<EdgeCount> out_offsets_;
+  std::vector<VertexId> out_targets_;
+  std::vector<EdgeCount> in_offsets_;
+  std::vector<VertexId> in_targets_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_GRAPH_CSR_H_

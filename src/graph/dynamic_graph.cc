@@ -1,0 +1,82 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+namespace dppr {
+
+DynamicGraph DynamicGraph::FromEdges(const std::vector<Edge>& edges,
+                                     VertexId min_vertices) {
+  DynamicGraph g;
+  if (min_vertices > 0) g.EnsureVertex(min_vertices - 1);
+  for (const Edge& e : edges) g.AddEdge(e.u, e.v);
+  return g;
+}
+
+void DynamicGraph::EnsureVertex(VertexId v) {
+  if (v < 0) return;
+  if (static_cast<size_t>(v) >= out_.size()) {
+    out_.resize(static_cast<size_t>(v) + 1);
+    in_.resize(static_cast<size_t>(v) + 1);
+  }
+}
+
+void DynamicGraph::AddEdge(VertexId u, VertexId v) {
+  DPPR_CHECK(u >= 0 && v >= 0);
+  EnsureVertex(std::max(u, v));
+  out_[static_cast<size_t>(u)].push_back(v);
+  in_[static_cast<size_t>(v)].push_back(u);
+  ++num_edges_;
+}
+
+namespace {
+
+// Removes one occurrence of `x` from `vec` by swap-and-pop.
+bool SwapErase(std::vector<VertexId>& vec, VertexId x) {
+  auto it = std::find(vec.begin(), vec.end(), x);
+  if (it == vec.end()) return false;
+  *it = vec.back();
+  vec.pop_back();
+  return true;
+}
+
+}  // namespace
+
+bool DynamicGraph::RemoveEdge(VertexId u, VertexId v) {
+  if (!IsValid(u) || !IsValid(v)) return false;
+  if (!SwapErase(out_[static_cast<size_t>(u)], v)) return false;
+  const bool in_ok = SwapErase(in_[static_cast<size_t>(v)], u);
+  DPPR_CHECK_MSG(in_ok, "in/out adjacency desynchronized");
+  --num_edges_;
+  return true;
+}
+
+void DynamicGraph::Apply(const EdgeUpdate& update) {
+  if (update.op == UpdateOp::kInsert) {
+    AddEdge(update.u, update.v);
+  } else {
+    const bool removed = RemoveEdge(update.u, update.v);
+    DPPR_CHECK_MSG(removed, "deleting a non-existent edge");
+  }
+}
+
+bool DynamicGraph::HasEdge(VertexId u, VertexId v) const {
+  if (!IsValid(u) || !IsValid(v)) return false;
+  const auto& nbrs = out_[static_cast<size_t>(u)];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+void DynamicGraph::ReserveVertices(VertexId n) {
+  out_.reserve(static_cast<size_t>(n));
+  in_.reserve(static_cast<size_t>(n));
+}
+
+std::vector<Edge> DynamicGraph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges_));
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : OutNeighbors(u)) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+}  // namespace dppr

@@ -1,0 +1,72 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/macros.h"
+
+namespace dppr {
+
+Status LoadEdgeList(const std::string& path, std::vector<Edge>* edges) {
+  DPPR_CHECK(edges != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  edges->clear();
+  char line[256];
+  int64_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    long long u = 0;
+    long long v = 0;
+    if (std::sscanf(line, "%lld %lld", &u, &v) != 2) {
+      std::fclose(f);
+      return Status::Corruption("malformed edge at " + path + ":" +
+                                std::to_string(lineno));
+    }
+    if (u < 0 || v < 0 || u > INT32_MAX || v > INT32_MAX) {
+      std::fclose(f);
+      return Status::Corruption("vertex id out of range at " + path + ":" +
+                                std::to_string(lineno));
+    }
+    edges->push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status SaveEdgeList(const std::string& path, const std::vector<Edge>& edges) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  std::fprintf(f, "# dppr edge list: %zu edges\n", edges.size());
+  for (const Edge& e : edges) {
+    std::fprintf(f, "%d %d\n", e.u, e.v);
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError("error closing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+VertexId RemapDense(std::vector<Edge>* edges) {
+  DPPR_CHECK(edges != nullptr);
+  std::unordered_map<VertexId, VertexId> remap;
+  remap.reserve(edges->size() * 2);
+  auto intern = [&remap](VertexId v) {
+    auto [it, inserted] =
+        remap.try_emplace(v, static_cast<VertexId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+  for (Edge& e : *edges) {
+    e.u = intern(e.u);
+    e.v = intern(e.v);
+  }
+  return static_cast<VertexId>(remap.size());
+}
+
+}  // namespace dppr

@@ -1,0 +1,28 @@
+// Edge-list I/O in the SNAP text format the paper's datasets ship in:
+// one "u v" pair per line, '#' comment lines ignored.
+
+#ifndef DPPR_GRAPH_GRAPH_IO_H_
+#define DPPR_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace dppr {
+
+/// Reads a SNAP-style whitespace-separated edge list. Vertex ids may be
+/// sparse in the file; they are kept as-is (callers may RemapDense()).
+Status LoadEdgeList(const std::string& path, std::vector<Edge>* edges);
+
+/// Writes one "u v" line per edge (with a header comment).
+Status SaveEdgeList(const std::string& path, const std::vector<Edge>& edges);
+
+/// Compacts vertex ids to a dense [0, n) range, preserving first-seen
+/// order. Returns the number of distinct vertices.
+VertexId RemapDense(std::vector<Edge>* edges);
+
+}  // namespace dppr
+
+#endif  // DPPR_GRAPH_GRAPH_IO_H_

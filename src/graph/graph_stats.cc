@@ -1,0 +1,68 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dppr {
+
+std::string DegreeStats::ToString() const {
+  std::ostringstream os;
+  os << "|V|=" << num_vertices << " |E|=" << num_edges
+     << " avg_dout=" << avg_out_degree << " max_dout=" << max_out_degree
+     << " max_din=" << max_in_degree << " dangling=" << zero_out_degree_count;
+  return os.str();
+}
+
+DegreeStats ComputeDegreeStats(const DynamicGraph& g) {
+  DegreeStats stats;
+  stats.num_vertices = g.NumVertices();
+  stats.num_edges = g.NumEdges();
+  stats.avg_out_degree = g.AverageDegree();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    stats.max_out_degree = std::max(stats.max_out_degree, g.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, g.InDegree(v));
+    if (g.OutDegree(v) == 0) ++stats.zero_out_degree_count;
+  }
+  return stats;
+}
+
+std::vector<VertexId> TopOutDegreeVertices(const DynamicGraph& g, VertexId k) {
+  const VertexId n = g.NumVertices();
+  k = std::min(k, n);
+  std::vector<VertexId> ids(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) ids[static_cast<size_t>(v)] = v;
+  auto by_degree_desc = [&g](VertexId a, VertexId b) {
+    const VertexId da = g.OutDegree(a);
+    const VertexId db = g.OutDegree(b);
+    return da != db ? da > db : a < b;
+  };
+  if (k < n) {
+    std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                      by_degree_desc);
+    ids.resize(static_cast<size_t>(k));
+  } else {
+    std::sort(ids.begin(), ids.end(), by_degree_desc);
+  }
+  return ids;
+}
+
+VertexId PickSourceByDegreeRank(const DynamicGraph& g, VertexId k, Rng* rng) {
+  DPPR_CHECK(rng != nullptr);
+  DPPR_CHECK(g.NumVertices() > 0);
+  std::vector<VertexId> top = TopOutDegreeVertices(g, k);
+  return top[static_cast<size_t>(rng->NextBounded(top.size()))];
+}
+
+std::vector<int64_t> DegreeHistogram(const DynamicGraph& g) {
+  std::vector<int64_t> buckets;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    VertexId d = g.OutDegree(v);
+    size_t bucket = 0;
+    while ((VertexId{1} << (bucket + 1)) <= d + 1) ++bucket;
+    if (bucket >= buckets.size()) buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
+}  // namespace dppr

@@ -1,0 +1,48 @@
+// Degree statistics and source-vertex selection.
+//
+// The paper selects PPR sources "randomly chosen vertices with Top-10,
+// Top-1K and Top-1M out-degrees" (Table 2): pick a degree-rank bucket,
+// then pick uniformly inside it.
+
+#ifndef DPPR_GRAPH_GRAPH_STATS_H_
+#define DPPR_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "util/random.h"
+
+namespace dppr {
+
+/// \brief Aggregate degree statistics of a graph.
+struct DegreeStats {
+  VertexId num_vertices = 0;
+  EdgeCount num_edges = 0;
+  double avg_out_degree = 0.0;
+  VertexId max_out_degree = 0;
+  VertexId max_in_degree = 0;
+  VertexId zero_out_degree_count = 0;  ///< dangling vertices
+
+  std::string ToString() const;
+};
+
+DegreeStats ComputeDegreeStats(const DynamicGraph& g);
+
+/// Returns the vertices with the `k` largest out-degrees (ties broken by
+/// id), ordered by descending degree.
+std::vector<VertexId> TopOutDegreeVertices(const DynamicGraph& g, VertexId k);
+
+/// Picks a uniformly random vertex among the top-`k` out-degree vertices —
+/// the paper's source-selection protocol. `k` is clamped to |V|.
+VertexId PickSourceByDegreeRank(const DynamicGraph& g, VertexId k, Rng* rng);
+
+/// Out-degree histogram in power-of-two buckets; bucket `i` counts vertices
+/// with degree in [2^i, 2^(i+1)). Used to validate generator skew.
+std::vector<int64_t> DegreeHistogram(const DynamicGraph& g);
+
+}  // namespace dppr
+
+#endif  // DPPR_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,59 @@
+// Core graph value types shared across all modules.
+
+#ifndef DPPR_GRAPH_TYPES_H_
+#define DPPR_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dppr {
+
+/// Vertex identifier. 32 bits covers every dataset in the paper (Twitter:
+/// 41.6M vertices) with half the memory traffic of 64-bit ids — memory
+/// bandwidth is the bottleneck of the push kernels.
+using VertexId = int32_t;
+
+/// Edge counts and positions use 64 bits (Twitter: 1.4B edges).
+using EdgeCount = int64_t;
+
+inline constexpr VertexId kInvalidVertex = -1;
+
+/// A directed edge u -> v.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Insert or delete, matching the paper's (u, v, op) update triple.
+enum class UpdateOp : int8_t { kInsert = 1, kDelete = -1 };
+
+/// One element of a batch ΔE_t.
+struct EdgeUpdate {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  UpdateOp op = UpdateOp::kInsert;
+
+  static EdgeUpdate Insert(VertexId u, VertexId v) {
+    return {u, v, UpdateOp::kInsert};
+  }
+  static EdgeUpdate Delete(VertexId u, VertexId v) {
+    return {u, v, UpdateOp::kDelete};
+  }
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// A batch ΔE_t: the set of edge updates arriving at one time step.
+using UpdateBatch = std::vector<EdgeUpdate>;
+
+std::string inline ToString(const EdgeUpdate& up) {
+  return std::string(up.op == UpdateOp::kInsert ? "+" : "-") + "(" +
+         std::to_string(up.u) + "->" + std::to_string(up.v) + ")";
+}
+
+}  // namespace dppr
+
+#endif  // DPPR_GRAPH_TYPES_H_

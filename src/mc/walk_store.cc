@@ -1,0 +1,70 @@
+#include "mc/walk_store.h"
+
+#include <algorithm>
+
+namespace dppr {
+
+WalkStore::WalkStore(VertexId num_vertices) {
+  EnsureVertexCapacity(num_vertices);
+}
+
+void WalkStore::EnsureVertexCapacity(VertexId n) {
+  if (static_cast<size_t>(n) > index_.size()) {
+    index_.resize(static_cast<size_t>(n));
+    endpoint_counts_.resize(static_cast<size_t>(n), 0);
+  }
+}
+
+int64_t WalkStore::AddWalk(Walk walk) {
+  DPPR_CHECK(!walk.trace.empty());
+  const int64_t id = static_cast<int64_t>(walks_.size());
+  walks_.push_back(std::move(walk));
+  IndexWalk(id, walks_.back());
+  return id;
+}
+
+void WalkStore::ReplaceWalk(int64_t id, Walk walk) {
+  DPPR_CHECK(id >= 0 && id < NumWalks());
+  DPPR_CHECK(!walk.trace.empty());
+  UnindexWalk(id, walks_[static_cast<size_t>(id)]);
+  walks_[static_cast<size_t>(id)] = std::move(walk);
+  IndexWalk(id, walks_[static_cast<size_t>(id)]);
+}
+
+std::vector<int64_t> WalkStore::WalksThrough(VertexId v) const {
+  if (static_cast<size_t>(v) >= index_.size()) return {};
+  const auto& set = index_[static_cast<size_t>(v)];
+  return {set.begin(), set.end()};
+}
+
+void WalkStore::IndexWalk(int64_t id, const Walk& walk) {
+  VertexId max_id = 0;
+  for (VertexId v : walk.trace) max_id = std::max(max_id, v);
+  EnsureVertexCapacity(max_id + 1);
+  for (VertexId v : walk.trace) {
+    index_[static_cast<size_t>(v)].insert(id);  // set: dedups revisits
+  }
+  ++endpoint_counts_[static_cast<size_t>(walk.Endpoint())];
+}
+
+void WalkStore::UnindexWalk(int64_t id, const Walk& walk) {
+  for (VertexId v : walk.trace) {
+    index_[static_cast<size_t>(v)].erase(id);
+  }
+  --endpoint_counts_[static_cast<size_t>(walk.Endpoint())];
+}
+
+int64_t WalkStore::ApproxMemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Walk& w : walks_) {
+    bytes += static_cast<int64_t>(w.trace.capacity() * sizeof(VertexId)) +
+             static_cast<int64_t>(sizeof(Walk));
+  }
+  for (const auto& set : index_) {
+    bytes += static_cast<int64_t>(set.size() * sizeof(int64_t) * 2);
+  }
+  bytes += static_cast<int64_t>(endpoint_counts_.size() * sizeof(int64_t));
+  return bytes;
+}
+
+}  // namespace dppr

@@ -1,0 +1,87 @@
+// Storage for Monte-Carlo random-walk samples.
+//
+// The incremental approach [Bahmani et al. 2010] must find, for any edge
+// update at u, the walks whose trace passes through u. WalkStore keeps:
+//  * every walk's full trace (vertex sequence) — traces are short
+//    (geometric with mean 1/alpha ≈ 6.7 hops at alpha = 0.15);
+//  * an inverted index vertex -> set of walk ids passing through it — the
+//    auxiliary structure whose maintenance cost §5.3 blames for the
+//    Monte-Carlo baseline's poor throughput;
+//  * the per-vertex endpoint counts that constitute the PPR estimate.
+
+#ifndef DPPR_MC_WALK_STORE_H_
+#define DPPR_MC_WALK_STORE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/macros.h"
+
+namespace dppr {
+
+/// Why a stored walk terminated.
+enum class WalkEnd : uint8_t {
+  kTeleport,  ///< stopped by the alpha coin
+  kDangling,  ///< forced stop: current vertex had no out-edges
+};
+
+/// \brief One stored random walk.
+struct Walk {
+  std::vector<VertexId> trace;  ///< visited vertices, trace[0] = source
+  WalkEnd end = WalkEnd::kTeleport;
+
+  VertexId Endpoint() const {
+    DPPR_DCHECK(!trace.empty());
+    return trace.back();
+  }
+};
+
+/// \brief Walk container with inverted index and endpoint counts.
+class WalkStore {
+ public:
+  /// `num_vertices` sizes the index; grows on demand.
+  explicit WalkStore(VertexId num_vertices);
+
+  /// Adds a walk, indexing its trace. Returns the walk id.
+  int64_t AddWalk(Walk walk);
+
+  /// Replaces walk `id` wholesale, updating index and endpoint counts.
+  void ReplaceWalk(int64_t id, Walk walk);
+
+  const Walk& GetWalk(int64_t id) const {
+    return walks_[static_cast<size_t>(id)];
+  }
+
+  int64_t NumWalks() const { return static_cast<int64_t>(walks_.size()); }
+
+  /// Ids of walks whose trace visits `v` (unspecified order, no dups).
+  std::vector<int64_t> WalksThrough(VertexId v) const;
+
+  /// Number of walks ending at `v`.
+  int64_t EndpointCount(VertexId v) const {
+    return static_cast<size_t>(v) < endpoint_counts_.size()
+               ? endpoint_counts_[static_cast<size_t>(v)]
+               : 0;
+  }
+
+  void EnsureVertexCapacity(VertexId n);
+
+  /// Total bytes of auxiliary state (traces + index), the storage
+  /// overhead §5.3 discusses.
+  int64_t ApproxMemoryBytes() const;
+
+ private:
+  void IndexWalk(int64_t id, const Walk& walk);
+  void UnindexWalk(int64_t id, const Walk& walk);
+
+  std::vector<Walk> walks_;
+  /// vertex -> ids of walks visiting it.
+  std::vector<std::unordered_set<int64_t>> index_;
+  std::vector<int64_t> endpoint_counts_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_MC_WALK_STORE_H_

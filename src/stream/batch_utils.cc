@@ -1,0 +1,44 @@
+#include "stream/batch_utils.h"
+
+#include <set>
+#include <utility>
+
+namespace dppr {
+
+UpdateBatch MakeUndirectedBatch(const UpdateBatch& batch) {
+  UpdateBatch out;
+  out.reserve(batch.size() * 2);
+  for (const EdgeUpdate& up : batch) {
+    out.push_back(up);
+    if (up.u != up.v) {
+      out.push_back({up.v, up.u, up.op});
+    }
+  }
+  return out;
+}
+
+int64_t CountInsertions(const UpdateBatch& batch) {
+  int64_t count = 0;
+  for (const EdgeUpdate& up : batch) {
+    count += up.op == UpdateOp::kInsert;
+  }
+  return count;
+}
+
+bool HasSelfCancellation(const UpdateBatch& batch) {
+  std::set<std::pair<VertexId, VertexId>> inserted;
+  std::set<std::pair<VertexId, VertexId>> deleted;
+  for (const EdgeUpdate& up : batch) {
+    const std::pair<VertexId, VertexId> key{up.u, up.v};
+    if (up.op == UpdateOp::kInsert) {
+      if (deleted.count(key) != 0) return true;
+      inserted.insert(key);
+    } else {
+      if (inserted.count(key) != 0) return true;
+      deleted.insert(key);
+    }
+  }
+  return false;
+}
+
+}  // namespace dppr

@@ -1,0 +1,29 @@
+// Batch transformations for the paper's edge-arrival models.
+//
+// Theorems 1 and 3 cover two models: random edge permutation of a
+// DIRECTED graph, and arbitrary edge updates of an UNDIRECTED graph. In
+// the undirected model each update is applied as two directed updates
+// (the proof of Theorem 3 counts 2K directed updates for K undirected
+// ones); these helpers materialize that doubling.
+
+#ifndef DPPR_STREAM_BATCH_UTILS_H_
+#define DPPR_STREAM_BATCH_UTILS_H_
+
+#include "graph/types.h"
+
+namespace dppr {
+
+/// Expands each update (u, v, op) into {(u, v, op), (v, u, op)} — the
+/// undirected arrival model. Self-loops are emitted once.
+UpdateBatch MakeUndirectedBatch(const UpdateBatch& batch);
+
+/// Counts insertions in a batch (deletions = size - insertions).
+int64_t CountInsertions(const UpdateBatch& batch);
+
+/// True if the batch deletes an edge it inserted earlier (or vice versa)
+/// — useful for validating adversarial workloads in tests.
+bool HasSelfCancellation(const UpdateBatch& batch);
+
+}  // namespace dppr
+
+#endif  // DPPR_STREAM_BATCH_UTILS_H_

@@ -1,0 +1,42 @@
+#include "stream/edge_stream.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace dppr {
+
+EdgeStream EdgeStream::RandomPermutation(std::vector<Edge> edges,
+                                         uint64_t seed) {
+  EdgeStream stream;
+  stream.edges_ = std::move(edges);
+  Rng rng(seed);
+  // Fisher-Yates with our deterministic RNG (std::shuffle's algorithm is
+  // implementation-defined; this keeps streams identical across stdlibs).
+  for (size_t i = stream.edges_.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.NextBounded(i));
+    std::swap(stream.edges_[i - 1], stream.edges_[j]);
+  }
+  return stream;
+}
+
+EdgeStream EdgeStream::FromOrdered(std::vector<Edge> edges) {
+  EdgeStream stream;
+  stream.edges_ = std::move(edges);
+  return stream;
+}
+
+std::vector<Edge> EdgeStream::Slice(EdgeCount begin, EdgeCount end) const {
+  DPPR_CHECK(begin >= 0 && begin <= end && end <= Size());
+  return {edges_.begin() + begin, edges_.begin() + end};
+}
+
+VertexId EdgeStream::NumVertices() const {
+  VertexId max_id = -1;
+  for (const Edge& e : edges_) {
+    max_id = std::max({max_id, e.u, e.v});
+  }
+  return max_id + 1;
+}
+
+}  // namespace dppr

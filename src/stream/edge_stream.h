@@ -1,0 +1,49 @@
+// Graph streams under the random edge-arrival model.
+//
+// §5.1 "Graph Stream": the SNAP datasets carry no timestamps, so the paper
+// assigns random timestamps (a uniformly random permutation of the edges)
+// and replays edges in timestamp order. EdgeStream materializes exactly
+// that: a seeded shuffle of a generated edge list.
+
+#ifndef DPPR_STREAM_EDGE_STREAM_H_
+#define DPPR_STREAM_EDGE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/macros.h"
+
+namespace dppr {
+
+/// \brief An ordered, replayable sequence of edge arrivals.
+class EdgeStream {
+ public:
+  EdgeStream() = default;
+
+  /// Random edge permutation: shuffles `edges` with the given seed.
+  static EdgeStream RandomPermutation(std::vector<Edge> edges, uint64_t seed);
+
+  /// Keeps the given order (for datasets that do have real timestamps).
+  static EdgeStream FromOrdered(std::vector<Edge> edges);
+
+  EdgeCount Size() const { return static_cast<EdgeCount>(edges_.size()); }
+
+  const Edge& At(EdgeCount i) const {
+    DPPR_DCHECK(i >= 0 && i < Size());
+    return edges_[static_cast<size_t>(i)];
+  }
+
+  /// Contiguous range [begin, end) of the stream.
+  std::vector<Edge> Slice(EdgeCount begin, EdgeCount end) const;
+
+  /// Largest vertex id appearing anywhere in the stream, plus one.
+  VertexId NumVertices() const;
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_STREAM_EDGE_STREAM_H_

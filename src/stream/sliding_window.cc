@@ -1,0 +1,49 @@
+#include "stream/sliding_window.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace dppr {
+
+SlidingWindow::SlidingWindow(const EdgeStream* stream, double window_fraction)
+    : stream_(stream) {
+  DPPR_CHECK(stream != nullptr);
+  DPPR_CHECK(window_fraction > 0.0 && window_fraction <= 1.0);
+  hi_ = static_cast<EdgeCount>(window_fraction *
+                               static_cast<double>(stream->Size()));
+  hi_ = std::max<EdgeCount>(hi_, std::min<EdgeCount>(stream->Size(), 1));
+}
+
+std::vector<Edge> SlidingWindow::InitialEdges() const {
+  return stream_->Slice(0, hi_);
+}
+
+EdgeCount SlidingWindow::BatchForRatio(double ratio) const {
+  DPPR_CHECK(ratio > 0.0 && ratio <= 1.0);
+  return std::max<EdgeCount>(
+      1, static_cast<EdgeCount>(ratio * static_cast<double>(WindowSize())));
+}
+
+UpdateBatch SlidingWindow::NextBatch(EdgeCount k) {
+  DPPR_CHECK(k > 0);
+  DPPR_CHECK_MSG(k <= WindowSize(),
+                 "slide larger than the window would delete edges that "
+                 "were never inserted");
+  DPPR_CHECK_MSG(CanSlide(k), "stream exhausted; check CanSlide first");
+  UpdateBatch batch;
+  batch.reserve(static_cast<size_t>(2 * k));
+  for (EdgeCount i = 0; i < k; ++i) {
+    const Edge& e = stream_->At(lo_ + i);
+    batch.push_back(EdgeUpdate::Delete(e.u, e.v));
+  }
+  for (EdgeCount i = 0; i < k; ++i) {
+    const Edge& e = stream_->At(hi_ + i);
+    batch.push_back(EdgeUpdate::Insert(e.u, e.v));
+  }
+  lo_ += k;
+  hi_ += k;
+  return batch;
+}
+
+}  // namespace dppr

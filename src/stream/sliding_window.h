@@ -1,0 +1,61 @@
+// The sliding-window update model of §5.1.
+//
+// "For initialization, the first 10% edges in the stream are used to
+//  construct the sliding window before updates start. As the window slides
+//  for a batch size of k, k edges are inserted and the same number of edges
+//  are deleted according to their timestamps."
+//
+// A slide therefore produces a batch ΔE of 2k updates: k deletions of the
+// oldest window edges followed by k insertions of the next stream edges.
+
+#ifndef DPPR_STREAM_SLIDING_WINDOW_H_
+#define DPPR_STREAM_SLIDING_WINDOW_H_
+
+#include <vector>
+
+#include "graph/types.h"
+#include "stream/edge_stream.h"
+
+namespace dppr {
+
+/// \brief Drives a sliding window over an EdgeStream.
+///
+/// The window is the stream range [lo_, hi_). InitialEdges() returns the
+/// warm-up window; each NextBatch(k) advances both ends by k and returns
+/// the corresponding update batch. The window never wraps: CanSlide tells
+/// callers how much stream is left.
+class SlidingWindow {
+ public:
+  /// `window_fraction` of the stream forms the initial window (paper: 0.1).
+  SlidingWindow(const EdgeStream* stream, double window_fraction = 0.1);
+
+  /// Edges in the initial window (apply them before the first slide).
+  std::vector<Edge> InitialEdges() const;
+
+  EdgeCount WindowSize() const { return hi_ - lo_; }
+
+  /// Batch size `k` as a fraction of the window (paper: 1%, 0.1%, 0.01%).
+  EdgeCount BatchForRatio(double ratio) const;
+
+  bool CanSlide(EdgeCount k) const { return hi_ + k <= stream_->Size(); }
+
+  /// Largest k for which CanSlide(k) holds.
+  EdgeCount MaxSlide() const { return stream_->Size() - hi_; }
+
+  /// Slides by k: returns k deletions (oldest-first) then k insertions.
+  UpdateBatch NextBatch(EdgeCount k);
+
+  /// Number of whole slides of size k remaining.
+  EdgeCount RemainingSlides(EdgeCount k) const {
+    return k <= 0 ? 0 : MaxSlide() / k;
+  }
+
+ private:
+  const EdgeStream* stream_;
+  EdgeCount lo_ = 0;  ///< oldest edge still inside the window
+  EdgeCount hi_ = 0;  ///< next edge to arrive
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_STREAM_SLIDING_WINDOW_H_

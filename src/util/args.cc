@@ -1,0 +1,70 @@
+#include "util/args.h"
+
+#include <cstdlib>
+
+namespace dppr {
+
+Status ArgParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --key[=value], got '" + token +
+                                     "'");
+    }
+    token = token.substr(2);
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      values_[token] = "true";
+    } else {
+      if (eq == 0) {
+        return Status::InvalidArgument("empty flag name in '--" + token + "'");
+      }
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return Status::OK();
+}
+
+bool ArgParser::Has(const std::string& key) const {
+  queried_.insert(key);
+  return values_.count(key) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& default_value) const {
+  queried_.insert(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& key, int64_t default_value) const {
+  queried_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& key, double default_value) const {
+  queried_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& key, bool default_value) const {
+  queried_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::set<std::string> ArgParser::UnusedKeys() const {
+  std::set<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (queried_.count(key) == 0) unused.insert(key);
+  }
+  return unused;
+}
+
+}  // namespace dppr

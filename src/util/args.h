@@ -1,0 +1,45 @@
+// Tiny --key=value flag parser for the bench and example binaries.
+// Unknown flags are an error so typos fail loudly.
+
+#ifndef DPPR_UTIL_ARGS_H_
+#define DPPR_UTIL_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/status.h"
+
+namespace dppr {
+
+/// \brief Parses `--key=value` / `--flag` command lines.
+///
+/// Usage:
+///   ArgParser args;
+///   args.Parse(argc, argv);                    // aborts on malformed input
+///   int n = args.GetInt("slides", 100);
+///   double eps = args.GetDouble("eps", 1e-7);
+class ArgParser {
+ public:
+  /// Parses argv[1..); returns InvalidArgument on malformed tokens.
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Keys the caller never queried (typo detection for benches).
+  std::set<std::string> UnusedKeys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> queried_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_UTIL_ARGS_H_

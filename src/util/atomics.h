@@ -1,0 +1,58 @@
+// Atomic operations on plain double/int arrays.
+//
+// The residual vector is a contiguous double array shared by all push
+// threads. §4.2 of the paper requires an atomic add that returns the
+// *before-value* ("the before-value ru is the by-product of updating
+// Rs(u)") — that before-value drives local duplicate detection. x86 has no
+// native atomic FP add, so this is a compare-exchange loop on
+// std::atomic_ref, exactly the CAS construction §4.2 describes for
+// architectures without the intrinsic.
+
+#ifndef DPPR_UTIL_ATOMICS_H_
+#define DPPR_UTIL_ATOMICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dppr {
+
+/// \brief Atomically performs `*addr += delta` and returns the value the
+/// location held immediately before this add took effect.
+inline double AtomicFetchAddDouble(double* addr, double delta) {
+  std::atomic_ref<double> ref(*addr);
+  double expected = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(expected, expected + delta,
+                                    std::memory_order_relaxed)) {
+  }
+  return expected;
+}
+
+/// Atomic load of a shared double (avoids torn reads / UB on racing reads).
+inline double AtomicLoadDouble(const double* addr) {
+  std::atomic_ref<const double> ref(*addr);
+  return ref.load(std::memory_order_relaxed);
+}
+
+/// Atomic store to a shared double.
+inline void AtomicStoreDouble(double* addr, double value) {
+  std::atomic_ref<double> ref(*addr);
+  ref.store(value, std::memory_order_relaxed);
+}
+
+/// Atomically exchanges a byte flag; returns its previous value. Used by
+/// UniqueEnqueue (Alg. 3) — this is the global synchronization that local
+/// duplicate detection eliminates.
+inline uint8_t AtomicExchangeByte(uint8_t* addr, uint8_t value) {
+  std::atomic_ref<uint8_t> ref(*addr);
+  return ref.exchange(value, std::memory_order_relaxed);
+}
+
+/// Relaxed atomic fetch-add on a 64-bit counter.
+inline int64_t AtomicFetchAddI64(int64_t* addr, int64_t delta) {
+  std::atomic_ref<int64_t> ref(*addr);
+  return ref.fetch_add(delta, std::memory_order_relaxed);
+}
+
+}  // namespace dppr
+
+#endif  // DPPR_UTIL_ATOMICS_H_

@@ -1,0 +1,55 @@
+#include "util/counters.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dppr {
+
+void PushCounters::Add(const PushCounters& other) {
+  push_ops += other.push_ops;
+  edge_traversals += other.edge_traversals;
+  atomic_adds += other.atomic_adds;
+  enqueue_attempts += other.enqueue_attempts;
+  dedup_rejects += other.dedup_rejects;
+  enqueued += other.enqueued;
+  iterations += other.iterations;
+  frontier_total += other.frontier_total;
+  frontier_max = std::max(frontier_max, other.frontier_max);
+  restore_ops += other.restore_ops;
+  random_bytes += other.random_bytes;
+}
+
+std::string PushCounters::ToString() const {
+  std::ostringstream os;
+  os << "pushes=" << push_ops << " edges=" << edge_traversals
+     << " atomics=" << atomic_adds << " enq=" << enqueued << "/"
+     << enqueue_attempts << " dup_rej=" << dedup_rejects
+     << " iters=" << iterations << " max_front=" << frontier_max
+     << " restores=" << restore_ops;
+  return os.str();
+}
+
+ThreadCounters::ThreadCounters(int max_threads)
+    : num_slots_(max_threads),
+      slots_(static_cast<size_t>(std::max(max_threads, 1))) {
+  DPPR_CHECK(max_threads >= 1);
+}
+
+PushCounters ThreadCounters::Aggregate() const {
+  PushCounters total;
+  for (const auto& slot : slots_) total.Add(slot.counters);
+  return total;
+}
+
+void ThreadCounters::Reset() {
+  for (auto& slot : slots_) slot.counters.Reset();
+}
+
+void ThreadCounters::EnsureThreads(int max_threads) {
+  if (static_cast<size_t>(max_threads) > slots_.size()) {
+    slots_.resize(static_cast<size_t>(max_threads));
+    num_slots_ = max_threads;
+  }
+}
+
+}  // namespace dppr

@@ -1,0 +1,90 @@
+// Software instrumentation counters.
+//
+// The paper's Fig. 9 profiles hardware counters (nvprof warp occupancy,
+// PAPI cache-miss/stall rates) to explain throughput trends. Neither tool
+// exists in this environment, so dppr builds the causal quantities directly
+// into the kernels: pushes, edge traversals, atomic ops, enqueue traffic,
+// duplicate rejections, frontier shape, and an estimate of random-access
+// bytes. DESIGN.md §4 documents the substitution.
+
+#ifndef DPPR_UTIL_COUNTERS_H_
+#define DPPR_UTIL_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace dppr {
+
+/// \brief Counts the work one push (or restore) performed.
+///
+/// All fields are plain integers: each thread owns a padded copy and the
+/// engine aggregates after the parallel region, so increments are free of
+/// synchronization.
+struct PushCounters {
+  int64_t push_ops = 0;          ///< self-updates applied (vertices pushed)
+  int64_t edge_traversals = 0;   ///< in-neighbor increments issued
+  int64_t atomic_adds = 0;       ///< atomic fetch-adds on residuals
+  int64_t enqueue_attempts = 0;  ///< candidate insertions into next frontier
+  int64_t dedup_rejects = 0;     ///< rejected by UniqueEnqueue's shared flag
+  int64_t enqueued = 0;          ///< vertices actually enqueued
+  int64_t iterations = 0;        ///< push rounds executed
+  int64_t frontier_total = 0;    ///< sum of frontier sizes over rounds
+  int64_t frontier_max = 0;      ///< largest single-round frontier
+  int64_t restore_ops = 0;       ///< RestoreInvariant applications
+  int64_t random_bytes = 0;      ///< estimated random-access bytes touched
+
+  void Add(const PushCounters& other);
+  void Reset() { *this = PushCounters(); }
+
+  /// Ratio of duplicate enqueue attempts — the synchronization traffic
+  /// local duplicate detection removes.
+  double DedupRejectRate() const {
+    return enqueue_attempts == 0
+               ? 0.0
+               : static_cast<double>(dedup_rejects) /
+                     static_cast<double>(enqueue_attempts);
+  }
+
+  double AvgFrontier() const {
+    return iterations == 0 ? 0.0
+                           : static_cast<double>(frontier_total) /
+                                 static_cast<double>(iterations);
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief One padded PushCounters per thread.
+class ThreadCounters {
+ public:
+  explicit ThreadCounters(int max_threads);
+
+  /// The calling thread's private slot (index must be the OpenMP thread id).
+  PushCounters& Local(int thread_index) {
+    DPPR_DCHECK(thread_index >= 0 && thread_index < num_slots_);
+    return slots_[static_cast<size_t>(thread_index)].counters;
+  }
+
+  /// Sums all slots into one PushCounters.
+  PushCounters Aggregate() const;
+
+  void Reset();
+
+  /// Grows the slot set when the thread count rises after construction.
+  void EnsureThreads(int max_threads);
+
+ private:
+  struct alignas(kCacheLineSize) PaddedCounters {
+    PushCounters counters;
+  };
+
+  int num_slots_;
+  std::vector<PaddedCounters> slots_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_UTIL_COUNTERS_H_

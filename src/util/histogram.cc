@@ -1,0 +1,73 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/macros.h"
+
+namespace dppr {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_ = false;
+}
+
+double Histogram::Mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::Min() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Histogram::Max() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Histogram::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Histogram::Percentile(double q) const {
+  DPPR_CHECK(q >= 0.0 && q <= 100.0);
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "n=" << Count() << " mean=" << Mean() << unit
+     << " p50=" << Percentile(50) << unit << " p95=" << Percentile(95) << unit
+     << " p99=" << Percentile(99) << unit << " max=" << Max() << unit;
+  return os.str();
+}
+
+void Histogram::Reset() {
+  samples_.clear();
+  sum_ = 0.0;
+  sorted_ = true;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+}  // namespace dppr

@@ -1,0 +1,48 @@
+// Latency histogram with percentile queries, used by the bench harness to
+// report slide-latency distributions (the paper reports averages; we also
+// print p50/p95/p99 so tail behavior is visible).
+
+#ifndef DPPR_UTIL_HISTOGRAM_H_
+#define DPPR_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dppr {
+
+/// \brief Exact-sample histogram: stores every observation.
+///
+/// Experiment runs record at most a few thousand slide latencies, so exact
+/// storage is cheaper and more accurate than bucketing.
+class Histogram {
+ public:
+  void Add(double value);
+
+  int64_t Count() const { return static_cast<int64_t>(samples_.size()); }
+  double Sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+
+  /// Linear-interpolated percentile, q in [0, 100].
+  double Percentile(double q) const;
+
+  /// "mean=1.23ms p50=... p99=... max=..." (values given in `unit`).
+  std::string Summary(const std::string& unit) const;
+
+  void Reset();
+
+ private:
+  /// Sorts the sample buffer if new values arrived since the last query.
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_UTIL_HISTOGRAM_H_

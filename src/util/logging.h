@@ -1,0 +1,61 @@
+// Minimal leveled logging. Benches and examples log progress at kInfo;
+// the library itself only logs at kWarn and above so tests stay quiet.
+
+#ifndef DPPR_UTIL_LOGGING_H_
+#define DPPR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dppr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: accumulates a line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace dppr
+
+// Stream form: DPPR_LOG(kInfo) << "x=" << x;  The level check happens in
+// the LogMessage destructor, so disabled levels only pay for formatting
+// (library call sites are all off hot paths).
+#define DPPR_LOG(level)                                                   \
+  ::dppr::internal::LogMessage(::dppr::LogLevel::level, __FILE__, __LINE__)
+
+// Back-compat alias.
+#define DPPR_LOGS(level) DPPR_LOG(level)
+
+#endif  // DPPR_UTIL_LOGGING_H_

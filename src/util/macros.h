@@ -1,0 +1,56 @@
+// Low-level macros shared across the dppr library.
+//
+// DPPR_CHECK is used for invariant violations that indicate programming
+// errors: it aborts with a message. It is always on (release included) —
+// the checked conditions are O(1) and sit off the hot inner loops.
+// DPPR_DCHECK compiles out in release builds and may be used inside hot
+// loops.
+
+#ifndef DPPR_UTIL_MACROS_H_
+#define DPPR_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DPPR_STRINGIFY_IMPL(x) #x
+#define DPPR_STRINGIFY(x) DPPR_STRINGIFY_IMPL(x)
+
+// Abort with a message when `cond` is false. Usable in constexpr-free code
+// on both hot setup paths and cold error paths.
+#define DPPR_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (__builtin_expect(!(cond), 0)) {                                     \
+      ::std::fprintf(stderr, "DPPR_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                     __LINE__, #cond);                                      \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+#define DPPR_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (__builtin_expect(!(cond), 0)) {                                     \
+      ::std::fprintf(stderr, "DPPR_CHECK failed at %s:%d: %s (%s)\n",       \
+                     __FILE__, __LINE__, #cond, (msg));                     \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define DPPR_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define DPPR_DCHECK(cond) DPPR_CHECK(cond)
+#endif
+
+#define DPPR_LIKELY(x) __builtin_expect(!!(x), 1)
+#define DPPR_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+namespace dppr {
+
+// Size used to pad per-thread mutable state so threads never share a line.
+inline constexpr int kCacheLineSize = 64;
+
+}  // namespace dppr
+
+#endif  // DPPR_UTIL_MACROS_H_

@@ -1,0 +1,102 @@
+// Thin OpenMP wrappers.
+//
+// The paper's CPU implementation uses CilkPlus; CilkPlus was removed from
+// GCC ≥ 8, so dppr uses OpenMP with dynamic scheduling, which provides the
+// same dynamic load balancing over skewed frontiers (DESIGN.md §4). These
+// wrappers centralize thread-count control so benches can sweep cores
+// (Fig. 10) without touching algorithm code.
+
+#ifndef DPPR_UTIL_PARALLEL_H_
+#define DPPR_UTIL_PARALLEL_H_
+
+#include <omp.h>
+
+#include <cstdint>
+
+namespace dppr {
+
+/// Returns the number of threads parallel regions will use.
+inline int NumThreads() { return omp_get_max_threads(); }
+
+/// Sets the number of threads for subsequent parallel regions.
+inline void SetNumThreads(int n) { omp_set_num_threads(n); }
+
+/// Returns the calling thread's index inside a parallel region (0 outside).
+inline int ThreadIndex() { return omp_get_thread_num(); }
+
+/// Returns the hardware concurrency OpenMP sees.
+inline int HardwareThreads() { return omp_get_num_procs(); }
+
+/// RAII guard that pins the OpenMP thread count for a scope.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n) : saved_(omp_get_max_threads()) {
+    omp_set_num_threads(n);
+  }
+  ~ScopedNumThreads() { omp_set_num_threads(saved_); }
+
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Grain below which parallel loops run sequentially: spawning threads for
+/// tiny frontiers costs more than it saves (the paper's "small frontier"
+/// observation in §3.1 about single-update parallelism).
+inline constexpr int64_t kSequentialGrain = 512;
+
+/// \brief Applies `body(i)` for i in [begin, end), dynamically scheduled.
+///
+/// Falls back to a plain loop when the range is below `kSequentialGrain`
+/// or OpenMP is already inside a parallel region (no nesting).
+template <typename Body>
+void ParallelFor(int64_t begin, int64_t end, Body&& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (n < kSequentialGrain || omp_in_parallel() || NumThreads() == 1) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 64)
+  for (int64_t i = begin; i < end; ++i) {
+    body(i);
+  }
+}
+
+/// ParallelFor with a fixed chunk size (for degree-skewed work).
+template <typename Body>
+void ParallelForChunked(int64_t begin, int64_t end, int chunk, Body&& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (n < kSequentialGrain || omp_in_parallel() || NumThreads() == 1) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 1) firstprivate(chunk)
+  for (int64_t c = 0; c < (n + chunk - 1) / chunk; ++c) {
+    const int64_t lo = begin + c * chunk;
+    const int64_t hi = lo + chunk < end ? lo + chunk : end;
+    for (int64_t i = lo; i < hi; ++i) body(i);
+  }
+}
+
+/// \brief Runs `body(thread_index, num_threads)` once per thread.
+///
+/// Used by kernels that keep per-thread frontier buffers.
+template <typename Body>
+void ParallelRegion(Body&& body) {
+  if (NumThreads() == 1 || omp_in_parallel()) {
+    body(0, 1);
+    return;
+  }
+#pragma omp parallel
+  {
+    body(omp_get_thread_num(), omp_get_num_threads());
+  }
+}
+
+}  // namespace dppr
+
+#endif  // DPPR_UTIL_PARALLEL_H_

@@ -1,0 +1,109 @@
+// Deterministic, fast pseudo-random generators.
+//
+// All randomness in dppr flows from explicit 64-bit seeds so experiments
+// are reproducible. Xoshiro256** is the workhorse (fast, high quality);
+// SplitMix64 expands a single seed into the 256-bit xoshiro state and is
+// also used to derive independent per-thread streams.
+
+#ifndef DPPR_UTIL_RANDOM_H_
+#define DPPR_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace dppr {
+
+/// \brief SplitMix64: tiny generator used for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Xoshiro256** by Blackman & Vigna; period 2^256 − 1.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can be plugged
+/// into <random> distributions, though dppr mostly uses the inline helpers
+/// below to avoid libstdc++ distribution overhead on hot paths.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.Next();
+  }
+
+  /// Derives an independent stream for thread `i` from a base seed.
+  static Rng ForThread(uint64_t base_seed, int thread_index) {
+    SplitMix64 sm(base_seed);
+    uint64_t derived = sm.Next() ^ (0x100000001b3ULL * (thread_index + 1));
+    return Rng(derived);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift; bound > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    DPPR_DCHECK(bound > 0);
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    DPPR_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_UTIL_RANDOM_H_

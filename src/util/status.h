@@ -1,0 +1,78 @@
+// RocksDB-style Status for fallible operations (I/O, configuration).
+//
+// Algorithmic invariant violations use DPPR_CHECK instead; Status is for
+// conditions a caller can reasonably handle.
+
+#ifndef DPPR_UTIL_STATUS_H_
+#define DPPR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dppr {
+
+/// \brief Result of a fallible operation.
+///
+/// A Status is either OK (the default) or carries an error code plus a
+/// human-readable message. Inspired by rocksdb::Status / arrow::Status.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kCorruption,
+    kNotSupported,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "IOError: cannot open file".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace dppr
+
+/// Propagates a non-OK status to the caller.
+#define DPPR_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::dppr::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#endif  // DPPR_UTIL_STATUS_H_

@@ -1,0 +1,43 @@
+// Aligned plain-text tables for the experiment binaries. Every bench prints
+// one table per paper figure; keeping the format here keeps figures uniform
+// and EXPERIMENTS.md easy to regenerate.
+
+#ifndef DPPR_UTIL_TABLE_PRINTER_H_
+#define DPPR_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dppr {
+
+/// \brief Collects rows of string cells and renders an aligned table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule, e.g.:
+  ///   dataset   variant   latency_ms
+  ///   -------   -------   ----------
+  ///   pokec     opt       12.3
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+  // Cell formatting helpers.
+  static std::string Fmt(double value, int precision = 3);
+  static std::string FmtSci(double value, int precision = 2);
+  static std::string FmtInt(int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_UTIL_TABLE_PRINTER_H_

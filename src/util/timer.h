@@ -1,0 +1,38 @@
+// Wall-clock timing helpers for benches and throughput accounting.
+
+#ifndef DPPR_UTIL_TIMER_H_
+#define DPPR_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dppr {
+
+/// \brief Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+  int64_t Nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_UTIL_TIMER_H_

@@ -1,0 +1,186 @@
+// A compact Ligra-style vertex-centric engine [Shun & Blelloch, PPoPP'13]:
+// edgeMap with sparse/dense direction switching plus vertexMap.
+//
+// This is the "general graph processing system" comparator of §5: the PPR
+// push expressed against a generic abstraction. The abstraction is
+// deliberately application-agnostic — it cannot exploit eager propagation
+// (bulk-synchronous reads) or local duplicate detection (its dedup is a
+// generic CAS flag per destination), which is exactly the gap Figure 5
+// shows between `Ligra` and the specialized `CPU-MT`.
+//
+// The functor F must provide:
+//   bool Update(VertexId s, VertexId d);        // dense mode, single writer per d
+//   bool UpdateAtomic(VertexId s, VertexId d);  // sparse mode, concurrent
+//   bool Cond(VertexId d);                      // skip destinations failing this
+// Update* return true when d should join the output subset; the engine
+// guarantees d appears at most once.
+
+#ifndef DPPR_VC_LIGRA_ENGINE_H_
+#define DPPR_VC_LIGRA_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "util/atomics.h"
+#include "util/macros.h"
+#include "util/parallel.h"
+#include "vc/vertex_subset.h"
+
+namespace dppr {
+
+/// \brief Direction-flippable view of a DynamicGraph.
+///
+/// With transpose = true, OutNeighbors(v) yields the graph's in-neighbors
+/// — the PPR push propagates along reverse edges, so it runs edgeMap on
+/// the transposed view.
+class GraphView {
+ public:
+  GraphView(const DynamicGraph* g, bool transpose)
+      : g_(g), transpose_(transpose) {
+    DPPR_CHECK(g != nullptr);
+  }
+
+  VertexId NumVertices() const { return g_->NumVertices(); }
+  EdgeCount NumEdges() const { return g_->NumEdges(); }
+
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return transpose_ ? g_->InNeighbors(v) : g_->OutNeighbors(v);
+  }
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return transpose_ ? g_->OutNeighbors(v) : g_->InNeighbors(v);
+  }
+  VertexId OutDegree(VertexId v) const {
+    return transpose_ ? g_->InDegree(v) : g_->OutDegree(v);
+  }
+
+  const DynamicGraph& graph() const { return *g_; }
+
+ private:
+  const DynamicGraph* g_;
+  bool transpose_;
+};
+
+/// Work accounting for one edgeMap call.
+struct EdgeMapStats {
+  int64_t sparse_calls = 0;
+  int64_t dense_calls = 0;
+  int64_t edges_examined = 0;
+  int64_t dense_vertex_scans = 0;  ///< destinations inspected in dense mode
+
+  void Add(const EdgeMapStats& o) {
+    sparse_calls += o.sparse_calls;
+    dense_calls += o.dense_calls;
+    edges_examined += o.edges_examined;
+    dense_vertex_scans += o.dense_vertex_scans;
+  }
+};
+
+namespace vc_internal {
+
+/// Ligra's switching heuristic: go dense when the frontier plus its
+/// out-edges exceed |E| / 20.
+inline bool ShouldUseDense(int64_t frontier_size, int64_t frontier_degrees,
+                           EdgeCount num_edges) {
+  return frontier_size + frontier_degrees > num_edges / 20;
+}
+
+}  // namespace vc_internal
+
+/// \brief edgeMap: applies F over every edge (s, d) with s in `frontier`,
+/// returning the subset of destinations for which F requested inclusion.
+template <typename F>
+VertexSubset EdgeMap(const GraphView& view, VertexSubset* frontier, F* f,
+                     EdgeMapStats* stats = nullptr) {
+  DPPR_CHECK(frontier != nullptr && f != nullptr);
+  const VertexId n = view.NumVertices();
+  const auto& sparse = frontier->Sparse();
+  int64_t frontier_degrees = 0;
+  for (VertexId s : sparse) frontier_degrees += view.OutDegree(s);
+
+  if (vc_internal::ShouldUseDense(frontier->Size(), frontier_degrees,
+                                  view.NumEdges())) {
+    // Dense (pull) mode: scan every destination's incoming edges.
+    const auto& in_frontier = frontier->Dense();
+    std::vector<uint8_t> out_flags(static_cast<size_t>(n), 0);
+    int64_t edges = 0;
+    int64_t scans = 0;
+#pragma omp parallel for schedule(dynamic, 256) reduction(+ : edges, scans)
+    for (VertexId d = 0; d < n; ++d) {
+      ++scans;
+      if (!f->Cond(d)) continue;
+      bool include = false;
+      for (VertexId s : view.InNeighbors(d)) {
+        if (!in_frontier[static_cast<size_t>(s)]) continue;
+        ++edges;
+        include |= f->Update(s, d);
+      }
+      if (include) out_flags[static_cast<size_t>(d)] = 1;
+    }
+    if (stats != nullptr) {
+      ++stats->dense_calls;
+      stats->edges_examined += edges;
+      stats->dense_vertex_scans += scans;
+    }
+    return VertexSubset::FromDense(std::move(out_flags));
+  }
+
+  // Sparse (push) mode: walk the frontier's out-edges; per-thread output
+  // buffers; F::UpdateAtomic must arbitrate so each d is emitted once.
+  struct alignas(kCacheLineSize) Buffer {
+    std::vector<VertexId> items;
+  };
+  std::vector<Buffer> buffers(static_cast<size_t>(NumThreads()));
+  int64_t edges = 0;
+  const auto fsize = static_cast<int64_t>(sparse.size());
+#pragma omp parallel for schedule(dynamic, 32) reduction(+ : edges)
+  for (int64_t i = 0; i < fsize; ++i) {
+    const VertexId s = sparse[static_cast<size_t>(i)];
+    const int tid = omp_in_parallel() ? ThreadIndex() : 0;
+    for (VertexId d : view.OutNeighbors(s)) {
+      ++edges;
+      if (!f->Cond(d)) continue;
+      if (f->UpdateAtomic(s, d)) {
+        buffers[static_cast<size_t>(tid)].items.push_back(d);
+      }
+    }
+  }
+  std::vector<VertexId> out;
+  for (auto& buf : buffers) {
+    out.insert(out.end(), buf.items.begin(), buf.items.end());
+  }
+  if (stats != nullptr) {
+    ++stats->sparse_calls;
+    stats->edges_examined += edges;
+  }
+  return VertexSubset::FromSparse(n, std::move(out));
+}
+
+/// \brief vertexMap: applies `f(v)` to every vertex in the subset.
+template <typename Fn>
+void VertexMap(VertexSubset* subset, Fn&& f) {
+  DPPR_CHECK(subset != nullptr);
+  const auto& sparse = subset->Sparse();
+  const auto n = static_cast<int64_t>(sparse.size());
+#pragma omp parallel for schedule(dynamic, 64)
+  for (int64_t i = 0; i < n; ++i) {
+    f(sparse[static_cast<size_t>(i)]);
+  }
+}
+
+/// \brief vertexFilter: subset of vertices in `subset` passing `pred`.
+template <typename Pred>
+VertexSubset VertexFilter(VertexSubset* subset, Pred&& pred) {
+  DPPR_CHECK(subset != nullptr);
+  const auto& sparse = subset->Sparse();
+  std::vector<VertexId> kept;
+  for (VertexId v : sparse) {
+    if (pred(v)) kept.push_back(v);
+  }
+  return VertexSubset::FromSparse(subset->Universe(), std::move(kept));
+}
+
+}  // namespace dppr
+
+#endif  // DPPR_VC_LIGRA_ENGINE_H_

@@ -1,0 +1,122 @@
+#include "vc/ligra_ppr.h"
+
+#include "core/invariant.h"
+#include "core/push_common.h"
+#include "util/timer.h"
+
+namespace dppr {
+
+namespace {
+
+// The edgeMap functor of one push round. Propagates (1-alpha) * w[s] /
+// dout(d) along every reverse edge; a destination joins the next frontier
+// when its residual violates the threshold, arbitrated by a generic CAS
+// flag (sparse) or by single-writer accumulation (dense).
+struct PushFunctor {
+  const DynamicGraph* graph;
+  double* r;
+  const double* w;
+  uint8_t* claimed;
+  double alpha;
+  double eps;
+  Phase phase;
+
+  double Increment(VertexId s, VertexId d) const {
+    return (1.0 - alpha) * w[s] / static_cast<double>(graph->OutDegree(d));
+  }
+
+  bool Update(VertexId s, VertexId d) const {
+    // Dense mode: exactly one thread owns destination d.
+    r[d] += Increment(s, d);
+    return PushCond(r[d], eps, phase);
+  }
+
+  bool UpdateAtomic(VertexId s, VertexId d) const {
+    const double pre = AtomicFetchAddDouble(&r[d], Increment(s, d));
+    if (!PushCond(pre + Increment(s, d), eps, phase)) return false;
+    // Generic duplicate merge: first CAS winner emits d.
+    return AtomicExchangeByte(&claimed[d], 1) == 0;
+  }
+
+  bool Cond(VertexId) const { return true; }
+};
+
+}  // namespace
+
+LigraPpr::LigraPpr(DynamicGraph* graph, VertexId source,
+                   const PprOptions& options)
+    : graph_(graph), options_(options), state_(source, graph->NumVertices()) {
+  DPPR_CHECK(graph != nullptr);
+  DPPR_CHECK(options.Validate().ok());
+  DPPR_CHECK(graph->IsValid(source));
+}
+
+void LigraPpr::Initialize() {
+  state_.Resize(graph_->NumVertices());
+  state_.ResetToUnitResidual();
+  Push({state_.source});
+}
+
+void LigraPpr::ApplyBatch(const UpdateBatch& batch) {
+  WallTimer timer;
+  std::vector<VertexId> touched;
+  touched.reserve(batch.size());
+  for (const EdgeUpdate& update : batch) {
+    graph_->Apply(update);
+    RestoreInvariant(*graph_, &state_, update, options_.alpha);
+    touched.push_back(update.u);
+  }
+  Push(touched);
+  last_seconds_ = timer.Seconds();
+}
+
+void LigraPpr::Push(const std::vector<VertexId>& seeds) {
+  WallTimer timer;
+  state_.Resize(graph_->NumVertices());
+  const auto n = static_cast<size_t>(graph_->NumVertices());
+  w_.assign(n, 0.0);
+  claimed_.assign(n, 0);
+  em_stats_ = EdgeMapStats();
+  last_push_ops_ = 0;
+  RunPhase(Phase::kPos, seeds);
+  RunPhase(Phase::kNeg, seeds);
+  last_seconds_ = timer.Seconds();
+}
+
+void LigraPpr::RunPhase(Phase phase, const std::vector<VertexId>& seeds) {
+  const VertexId n = graph_->NumVertices();
+  // Seed frontier: deduplicate via the claimed flags.
+  std::vector<VertexId> initial;
+  for (VertexId u : seeds) {
+    if (claimed_[static_cast<size_t>(u)] != 0) continue;
+    if (PushCond(state_.r[static_cast<size_t>(u)], options_.eps, phase)) {
+      claimed_[static_cast<size_t>(u)] = 1;
+      initial.push_back(u);
+    }
+  }
+  for (VertexId u : initial) claimed_[static_cast<size_t>(u)] = 0;
+
+  VertexSubset frontier = VertexSubset::FromSparse(n, std::move(initial));
+  GraphView reverse(graph_, /*transpose=*/true);
+
+  while (!frontier.Empty()) {
+    last_push_ops_ += frontier.Size();
+    // vertexMap: take the residual, credit alpha of it to the estimate.
+    VertexMap(&frontier, [this](VertexId v) {
+      const auto vi = static_cast<size_t>(v);
+      const double rv = state_.r[vi];
+      w_[vi] = rv;
+      state_.p[vi] += options_.alpha * rv;
+      state_.r[vi] = 0.0;
+    });
+    // edgeMap over reverse edges: spread the (1-alpha) remainder.
+    PushFunctor f{graph_,       state_.r.data(), w_.data(),
+                  claimed_.data(), options_.alpha,  options_.eps, phase};
+    VertexSubset next = EdgeMap(reverse, &frontier, &f, &em_stats_);
+    // Reset the generic dedup flags the sparse path may have set.
+    for (VertexId v : next.Sparse()) claimed_[static_cast<size_t>(v)] = 0;
+    frontier = std::move(next);
+  }
+}
+
+}  // namespace dppr

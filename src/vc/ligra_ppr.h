@@ -1,0 +1,58 @@
+// Dynamic PPR implemented on the vertex-centric abstraction — the `Ligra`
+// baseline of §5. Same maintenance protocol as DynamicPpr (apply updates,
+// RestoreInvariant, push to convergence) but the push is expressed as
+// vertexMap + edgeMap rounds, with the engine's generic CAS-flag
+// deduplication and sparse/dense switching instead of the specialized
+// optimizations of Algorithm 4.
+
+#ifndef DPPR_VC_LIGRA_PPR_H_
+#define DPPR_VC_LIGRA_PPR_H_
+
+#include <vector>
+
+#include "core/ppr_options.h"
+#include "core/ppr_state.h"
+#include "core/push_common.h"
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "vc/ligra_engine.h"
+
+namespace dppr {
+
+/// \brief eps-approximate dynamic PPR on the Ligra-style engine.
+class LigraPpr {
+ public:
+  LigraPpr(DynamicGraph* graph, VertexId source, const PprOptions& options);
+
+  /// From-scratch computation (p = 0, r = e_source, push).
+  void Initialize();
+
+  /// Batch maintenance: apply + restore per update, one push per batch.
+  void ApplyBatch(const UpdateBatch& batch);
+
+  const std::vector<double>& Estimates() const { return state_.p; }
+  const std::vector<double>& Residuals() const { return state_.r; }
+  const PprState& state() const { return state_; }
+  VertexId source() const { return state_.source; }
+
+  double last_seconds() const { return last_seconds_; }
+  const EdgeMapStats& last_edge_map_stats() const { return em_stats_; }
+  int64_t last_push_ops() const { return last_push_ops_; }
+
+ private:
+  void Push(const std::vector<VertexId>& seeds);
+  void RunPhase(Phase phase, const std::vector<VertexId>& seeds);
+
+  DynamicGraph* graph_;
+  PprOptions options_;
+  PprState state_;
+  std::vector<double> w_;         ///< residual pushed per frontier vertex
+  std::vector<uint8_t> claimed_;  ///< generic dedup flags (sparse mode)
+  EdgeMapStats em_stats_;
+  double last_seconds_ = 0.0;
+  int64_t last_push_ops_ = 0;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_VC_LIGRA_PPR_H_

@@ -1,0 +1,46 @@
+#include "vc/vertex_subset.h"
+
+namespace dppr {
+
+VertexSubset VertexSubset::FromSparse(VertexId n,
+                                      std::vector<VertexId> ids) {
+  VertexSubset subset(n);
+  subset.sparse_ = std::move(ids);
+  subset.size_ = static_cast<int64_t>(subset.sparse_.size());
+  subset.sparse_valid_ = true;
+  return subset;
+}
+
+VertexSubset VertexSubset::FromDense(std::vector<uint8_t> flags) {
+  VertexSubset subset(static_cast<VertexId>(flags.size()));
+  subset.dense_ = std::move(flags);
+  subset.size_ = 0;
+  for (uint8_t f : subset.dense_) subset.size_ += f != 0;
+  subset.dense_valid_ = true;
+  return subset;
+}
+
+const std::vector<VertexId>& VertexSubset::Sparse() {
+  if (!sparse_valid_) {
+    DPPR_CHECK(dense_valid_);
+    sparse_.clear();
+    sparse_.reserve(static_cast<size_t>(size_));
+    for (VertexId v = 0; v < universe_; ++v) {
+      if (dense_[static_cast<size_t>(v)] != 0) sparse_.push_back(v);
+    }
+    sparse_valid_ = true;
+  }
+  return sparse_;
+}
+
+const std::vector<uint8_t>& VertexSubset::Dense() {
+  if (!dense_valid_) {
+    DPPR_CHECK(sparse_valid_);
+    dense_.assign(static_cast<size_t>(universe_), 0);
+    for (VertexId v : sparse_) dense_[static_cast<size_t>(v)] = 1;
+    dense_valid_ = true;
+  }
+  return dense_;
+}
+
+}  // namespace dppr

@@ -1,0 +1,57 @@
+// VertexSubset — Ligra's frontier abstraction [Shun & Blelloch 2013].
+//
+// A subset of vertices with two interchangeable representations: sparse
+// (id list) for small frontiers and dense (bitmap) for large ones. The
+// engine converts lazily; both can coexist.
+
+#ifndef DPPR_VC_VERTEX_SUBSET_H_
+#define DPPR_VC_VERTEX_SUBSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/macros.h"
+
+namespace dppr {
+
+/// \brief A set of vertex ids out of a universe [0, n).
+class VertexSubset {
+ public:
+  /// Empty subset over a universe of n vertices.
+  explicit VertexSubset(VertexId n) : universe_(n) {}
+
+  static VertexSubset FromSparse(VertexId n, std::vector<VertexId> ids);
+  static VertexSubset FromDense(std::vector<uint8_t> flags);
+
+  VertexId Universe() const { return universe_; }
+  int64_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  bool HasSparse() const { return sparse_valid_; }
+  bool HasDense() const { return dense_valid_; }
+
+  /// Materializes the id list (O(n) if only dense exists).
+  const std::vector<VertexId>& Sparse();
+
+  /// Materializes the bitmap (O(n) allocation + O(|S|) fill).
+  const std::vector<uint8_t>& Dense();
+
+  /// Membership test; requires (and materializes) the dense form.
+  bool Contains(VertexId v) {
+    const auto& flags = Dense();
+    return flags[static_cast<size_t>(v)] != 0;
+  }
+
+ private:
+  VertexId universe_ = 0;
+  int64_t size_ = 0;
+  bool sparse_valid_ = false;
+  bool dense_valid_ = false;
+  std::vector<VertexId> sparse_;
+  std::vector<uint8_t> dense_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_VC_VERTEX_SUBSET_H_

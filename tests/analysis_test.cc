@@ -1,0 +1,173 @@
+// Tests for the analysis module: power-iteration oracle (against closed
+// forms), invariant defect, metrics, top-k, sweep cut.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/metrics.h"
+#include "analysis/power_iteration.h"
+#include "analysis/sweep_cut.h"
+#include "analysis/topk.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+
+namespace dppr {
+namespace {
+
+// ------------------------------------------------------- power iteration
+
+TEST(PowerIterationTest, CycleClosedForm) {
+  // On a directed n-cycle the walk from v visits s after k = (s - v) mod n
+  // steps and again every n steps (laps), so
+  //   p(v) = alpha * (1-alpha)^k * sum_j (1-alpha)^(j*n)
+  //        = alpha * (1-alpha)^k / (1 - (1-alpha)^n).
+  const VertexId n = 8;
+  DynamicGraph g = CycleGraph(n);
+  PowerIterationOptions opt;
+  opt.alpha = 0.2;
+  const VertexId s = 3;
+  auto p = PowerIterationPpr(g, s, opt);
+  const double lap = 1.0 - std::pow(0.8, n);
+  for (VertexId v = 0; v < n; ++v) {
+    const int k = (static_cast<int>(s) - static_cast<int>(v) + n) % n;
+    EXPECT_NEAR(p[static_cast<size_t>(v)], 0.2 * std::pow(0.8, k) / lap,
+                1e-10)
+        << "vertex " << v;
+  }
+}
+
+TEST(PowerIterationTest, PathClosedFormWithDanglingTail) {
+  // Path 0->1->...->n-1; vertex n-1 dangles. From v <= s the walk reaches
+  // s in s - v steps; from v > s it never does.
+  const VertexId n = 6;
+  DynamicGraph g = PathGraph(n);
+  PowerIterationOptions opt;
+  opt.alpha = 0.3;
+  const VertexId s = 4;
+  auto p = PowerIterationPpr(g, s, opt);
+  for (VertexId v = 0; v < n; ++v) {
+    double expected = 0.0;
+    if (v <= s) expected = 0.3 * std::pow(0.7, s - v);
+    EXPECT_NEAR(p[static_cast<size_t>(v)], expected, 1e-10) << "v=" << v;
+  }
+}
+
+TEST(PowerIterationTest, ContributionsSumToOneWithoutDangling) {
+  // sum_s p_s(v) = 1 for every v when every walk terminates at some
+  // vertex (no dangling vertices): the walk from v ends somewhere.
+  DynamicGraph g = CycleGraph(5);
+  g.AddEdge(0, 2);
+  g.AddEdge(3, 1);
+  PowerIterationOptions opt;
+  opt.alpha = 0.15;
+  std::vector<double> total(5, 0.0);
+  for (VertexId s = 0; s < 5; ++s) {
+    auto p = PowerIterationPpr(g, s, opt);
+    for (size_t v = 0; v < 5; ++v) total[v] += p[v];
+  }
+  for (size_t v = 0; v < 5; ++v) EXPECT_NEAR(total[v], 1.0, 1e-9);
+}
+
+TEST(PowerIterationTest, SourceOnlyMassOnIsolatedVertex) {
+  DynamicGraph g(3);
+  g.AddEdge(1, 2);  // vertex 0 isolated
+  PowerIterationOptions opt;
+  auto p = PowerIterationPpr(g, 0, opt);
+  EXPECT_NEAR(p[0], opt.alpha, 1e-12);  // dangling source: stops immediately
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+  EXPECT_NEAR(p[2], 0.0, 1e-12);
+}
+
+TEST(PowerIterationTest, InvariantDefectZeroAtFixedPoint) {
+  DynamicGraph g = PaperExampleGraph();
+  PowerIterationOptions opt;
+  opt.alpha = 0.5;
+  auto p = PowerIterationPpr(g, 0, opt);
+  std::vector<double> r(4, 0.0);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_NEAR(InvariantDefect(g, 0, v, 0.5, p, r), 0.0, 1e-9);
+  }
+}
+
+TEST(PowerIterationTest, DefectDetectsViolation) {
+  DynamicGraph g = CycleGraph(4);
+  std::vector<double> p(4, 0.0);
+  std::vector<double> r(4, 0.0);
+  // All-zero state violates Eq. 2 exactly at the source by alpha.
+  EXPECT_NEAR(InvariantDefect(g, 2, 2, 0.15, p, r), 0.15, 1e-12);
+  EXPECT_NEAR(InvariantDefect(g, 2, 0, 0.15, p, r), 0.0, 1e-12);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(MetricsTest, Norms) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {1.5, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(MaxAbsError(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(L1Error(a, b), 2.5);
+  EXPECT_DOUBLE_EQ(L1Norm(a), 6.0);
+}
+
+TEST(MetricsTest, TopKRecall) {
+  std::vector<double> truth = {0.9, 0.5, 0.4, 0.1};
+  std::vector<double> approx = {0.9, 0.38, 0.42, 0.1};  // swaps ranks 2/3
+  EXPECT_DOUBLE_EQ(TopKRecall(approx, truth, 1), 1.0);
+  EXPECT_DOUBLE_EQ(TopKRecall(approx, truth, 3), 1.0);  // same set
+  std::vector<double> bad = {0.0, 0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(TopKRecall(bad, truth, 1), 0.0);
+}
+
+// -------------------------------------------------------------------- topk
+
+TEST(TopKTest, OrdersByScoreThenId) {
+  std::vector<double> scores = {0.3, 0.9, 0.3, 0.5};
+  auto top = TopK(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 1);
+  EXPECT_EQ(top[1].id, 3);
+  EXPECT_EQ(top[2].id, 0);  // tie with id 2 broken by smaller id
+}
+
+TEST(TopKTest, ClampsK) {
+  std::vector<double> scores = {0.1, 0.2};
+  EXPECT_EQ(TopK(scores, 10).size(), 2u);
+  EXPECT_EQ(TopK(scores, 0).size(), 0u);
+}
+
+TEST(TopKTest, ExcludeList) {
+  std::vector<double> scores = {0.9, 0.8, 0.7, 0.6};
+  auto top = TopKExcluding(scores, 2, {0, 2});
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1);
+  EXPECT_EQ(top[1].id, 3);
+}
+
+// --------------------------------------------------------------- sweep cut
+
+TEST(SweepCutTest, RecoversPlantedClique) {
+  const VertexId k = 6;
+  DynamicGraph g = TwoCliques(k);
+  // Score vector concentrated on clique 0 (as a PPR vector from vertex 0
+  // would be): high inside, epsilon outside.
+  std::vector<double> p(static_cast<size_t>(2 * k), 1e-6);
+  for (VertexId v = 0; v < k; ++v) p[static_cast<size_t>(v)] = 0.1;
+  SweepCutResult result = SweepCut(g, p);
+  ASSERT_EQ(result.community.size(), static_cast<size_t>(k));
+  for (VertexId v : result.community) EXPECT_LT(v, k);
+  // Cut = 2 bridge edges, vol(S) = 2 * (k*(k-1)) + 2.
+  const double expected =
+      2.0 / static_cast<double>(2 * k * (k - 1) + 2);
+  EXPECT_NEAR(result.conductance, expected, 1e-12);
+}
+
+TEST(SweepCutTest, EmptyScoresGiveEmptyCommunity) {
+  DynamicGraph g = TwoCliques(3);
+  std::vector<double> p(6, 0.0);
+  SweepCutResult result = SweepCut(g, p);
+  EXPECT_TRUE(result.community.empty());
+  EXPECT_DOUBLE_EQ(result.conductance, 1.0);
+}
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,153 @@
+// Unit tests for the Frontier data structure (per-thread buffers, shared
+// dedup flags, current-membership tracking) and batch utilities.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "core/frontier.h"
+#include "stream/batch_utils.h"
+
+namespace dppr {
+namespace {
+
+TEST(FrontierTest, StartsEmpty) {
+  Frontier f(2);
+  EXPECT_EQ(f.CurrentSize(), 0);
+  EXPECT_TRUE(f.Current().empty());
+}
+
+TEST(FrontierTest, EnqueueAndFlush) {
+  Frontier f(2);
+  f.EnsureCapacity(10);
+  f.Enqueue(0, 3);
+  f.Enqueue(1, 7);
+  f.Enqueue(0, 5);
+  EXPECT_EQ(f.FlushToCurrent(), 3);
+  auto cur = f.Current();
+  std::multiset<VertexId> got(cur.begin(), cur.end());
+  EXPECT_EQ(got, (std::multiset<VertexId>{3, 5, 7}));
+}
+
+TEST(FrontierTest, FlushReplacesCurrent) {
+  Frontier f(1);
+  f.EnsureCapacity(10);
+  f.Enqueue(0, 1);
+  f.FlushToCurrent();
+  f.Enqueue(0, 2);
+  EXPECT_EQ(f.FlushToCurrent(), 1);
+  EXPECT_EQ(f.Current()[0], 2);
+}
+
+TEST(FrontierTest, UniqueEnqueueDedups) {
+  Frontier f(2);
+  f.EnsureCapacity(10);
+  EXPECT_TRUE(f.UniqueEnqueue(0, 4));
+  EXPECT_FALSE(f.UniqueEnqueue(1, 4));  // duplicate, different thread
+  EXPECT_TRUE(f.UniqueEnqueue(1, 6));
+  EXPECT_EQ(f.FlushToCurrent(), 2);
+}
+
+TEST(FrontierTest, FlagsResetBetweenIterations) {
+  Frontier f(1);
+  f.EnsureCapacity(10);
+  EXPECT_TRUE(f.UniqueEnqueue(0, 4));
+  f.FlushToCurrent();
+  // Same vertex can enter the NEXT frontier.
+  EXPECT_TRUE(f.UniqueEnqueue(0, 4));
+  EXPECT_EQ(f.FlushToCurrent(), 1);
+}
+
+TEST(FrontierTest, ClearResetsEverything) {
+  Frontier f(1);
+  f.EnsureCapacity(10);
+  f.UniqueEnqueue(0, 2);
+  f.FlushToCurrent();
+  f.UniqueEnqueue(0, 3);  // pending in buffer
+  f.Clear();
+  EXPECT_EQ(f.CurrentSize(), 0);
+  EXPECT_EQ(f.FlushToCurrent(), 0);
+  EXPECT_TRUE(f.UniqueEnqueue(0, 3));  // flag was cleared
+}
+
+TEST(FrontierTest, SetCurrentDirectly) {
+  Frontier f(1);
+  f.EnsureCapacity(10);
+  f.SetCurrent({1, 2, 3});
+  EXPECT_EQ(f.CurrentSize(), 3);
+}
+
+TEST(FrontierTest, TrackCurrentMembership) {
+  Frontier f(1);
+  f.EnsureCapacity(10);
+  f.SetTrackCurrent(true);
+  f.SetCurrent({2, 5});
+  EXPECT_TRUE(f.InCurrent(2));
+  EXPECT_TRUE(f.InCurrent(5));
+  EXPECT_FALSE(f.InCurrent(3));
+  f.Enqueue(0, 3);
+  f.FlushToCurrent();
+  EXPECT_FALSE(f.InCurrent(2));  // old membership cleared
+  EXPECT_TRUE(f.InCurrent(3));
+}
+
+TEST(FrontierTest, EnsureThreadsGrows) {
+  Frontier f(1);
+  f.EnsureCapacity(10);
+  f.EnsureThreads(4);
+  f.Enqueue(3, 9);  // buffer index 3 must exist now
+  EXPECT_EQ(f.FlushToCurrent(), 1);
+}
+
+TEST(FrontierTest, ConcurrentUniqueEnqueueExactlyOnce) {
+  Frontier f(8);
+  f.EnsureCapacity(1000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&f, t]() {
+      for (VertexId v = 0; v < 1000; ++v) {
+        f.UniqueEnqueue(t, v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(f.FlushToCurrent(), 1000);
+  auto cur = f.Current();
+  std::set<VertexId> unique(cur.begin(), cur.end());
+  EXPECT_EQ(unique.size(), 1000u);
+}
+
+// ------------------------------------------------------------ batch utils
+
+TEST(BatchUtilsTest, MakeUndirectedDoubles) {
+  UpdateBatch batch = {EdgeUpdate::Insert(1, 2), EdgeUpdate::Delete(3, 4)};
+  UpdateBatch doubled = MakeUndirectedBatch(batch);
+  ASSERT_EQ(doubled.size(), 4u);
+  EXPECT_EQ(doubled[1], (EdgeUpdate{2, 1, UpdateOp::kInsert}));
+  EXPECT_EQ(doubled[3], (EdgeUpdate{4, 3, UpdateOp::kDelete}));
+}
+
+TEST(BatchUtilsTest, MakeUndirectedSelfLoopOnce) {
+  UpdateBatch batch = {EdgeUpdate::Insert(2, 2)};
+  EXPECT_EQ(MakeUndirectedBatch(batch).size(), 1u);
+}
+
+TEST(BatchUtilsTest, CountInsertions) {
+  UpdateBatch batch = {EdgeUpdate::Insert(0, 1), EdgeUpdate::Delete(1, 2),
+                       EdgeUpdate::Insert(2, 3)};
+  EXPECT_EQ(CountInsertions(batch), 2);
+}
+
+TEST(BatchUtilsTest, SelfCancellationDetected) {
+  EXPECT_TRUE(HasSelfCancellation(
+      {EdgeUpdate::Insert(0, 1), EdgeUpdate::Delete(0, 1)}));
+  EXPECT_TRUE(HasSelfCancellation(
+      {EdgeUpdate::Delete(5, 6), EdgeUpdate::Insert(5, 6)}));
+  EXPECT_FALSE(HasSelfCancellation(
+      {EdgeUpdate::Insert(0, 1), EdgeUpdate::Delete(1, 0)}));
+}
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,196 @@
+// Generator tests: simplicity (no loops/duplicates), determinism, size
+// targets, degree skew, and the paper-example fixture's exact shape.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/datasets.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+
+namespace dppr {
+namespace {
+
+void ExpectSimple(const std::vector<Edge>& edges) {
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : edges) {
+    EXPECT_NE(e.u, e.v) << "self-loop";
+    EXPECT_TRUE(seen.insert({e.u, e.v}).second)
+        << "duplicate edge " << e.u << "->" << e.v;
+  }
+}
+
+// ------------------------------------------------------------------ R-MAT
+
+TEST(RmatTest, GeneratesTargetSize) {
+  RmatOptions opt;
+  opt.scale = 10;
+  opt.avg_degree = 8;
+  auto edges = GenerateRmat(opt);
+  const auto target = static_cast<EdgeCount>(8 * 1024);
+  EXPECT_GE(static_cast<EdgeCount>(edges.size()), target * 95 / 100);
+  EXPECT_LE(static_cast<EdgeCount>(edges.size()), target);
+  for (const Edge& e : edges) {
+    EXPECT_GE(e.u, 0);
+    EXPECT_LT(e.u, 1024);
+    EXPECT_GE(e.v, 0);
+    EXPECT_LT(e.v, 1024);
+  }
+}
+
+TEST(RmatTest, SimpleGraph) {
+  RmatOptions opt;
+  opt.scale = 9;
+  opt.avg_degree = 6;
+  ExpectSimple(GenerateRmat(opt));
+}
+
+TEST(RmatTest, DeterministicPerSeed) {
+  RmatOptions opt;
+  opt.scale = 9;
+  opt.seed = 5;
+  auto a = GenerateRmat(opt);
+  auto b = GenerateRmat(opt);
+  EXPECT_EQ(a, b);
+  opt.seed = 6;
+  EXPECT_NE(GenerateRmat(opt), a);
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  RmatOptions opt;
+  opt.scale = 12;
+  opt.avg_degree = 16;
+  auto g = DynamicGraph::FromEdges(GenerateRmat(opt), 1 << 12);
+  DegreeStats stats = ComputeDegreeStats(g);
+  // R-MAT hubs should far exceed the average degree (power-law-ish tail);
+  // a uniform G(n,m) would have max degree within ~3x of the mean.
+  EXPECT_GT(stats.max_out_degree, 8 * stats.avg_out_degree);
+}
+
+// ------------------------------------------------------------ Erdős–Rényi
+
+TEST(ErdosRenyiTest, ExactEdgeCountAndRange) {
+  auto edges = GenerateErdosRenyi(100, 500, 3);
+  EXPECT_EQ(edges.size(), 500u);
+  ExpectSimple(edges);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, 100);
+    EXPECT_LT(e.v, 100);
+  }
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  EXPECT_EQ(GenerateErdosRenyi(50, 200, 9), GenerateErdosRenyi(50, 200, 9));
+  EXPECT_NE(GenerateErdosRenyi(50, 200, 9), GenerateErdosRenyi(50, 200, 10));
+}
+
+TEST(ErdosRenyiTest, NearCompleteGraphTerminates) {
+  // 90% of all possible edges: exercises the rejection path hard.
+  auto edges = GenerateErdosRenyi(20, 342, 1);
+  EXPECT_EQ(edges.size(), 342u);
+  ExpectSimple(edges);
+}
+
+// -------------------------------------------------- preferential attachment
+
+TEST(PreferentialTest, SizeAndSimplicity) {
+  auto edges = GeneratePreferentialAttachment(500, 4, 11);
+  ExpectSimple(edges);
+  // Vertex v emits min(4, v) edges: 1 + 2 + 3 + 4*(n-4)... at most 4n.
+  EXPECT_GT(edges.size(), 4u * 450u);
+  EXPECT_LE(edges.size(), 4u * 500u);
+}
+
+TEST(PreferentialTest, EarlyVerticesAccumulateInDegree) {
+  auto g =
+      DynamicGraph::FromEdges(GeneratePreferentialAttachment(2000, 3, 13));
+  // The seed vertex should be among the most popular targets.
+  int64_t better = 0;
+  for (VertexId v = 1; v < g.NumVertices(); ++v) {
+    if (g.InDegree(v) > g.InDegree(0)) ++better;
+  }
+  EXPECT_LT(better, 20);
+}
+
+// ---------------------------------------------------------------- fixtures
+
+TEST(FixturesTest, PaperExampleGraphShape) {
+  DynamicGraph g = PaperExampleGraph();
+  EXPECT_EQ(g.NumVertices(), 4);
+  EXPECT_EQ(g.NumEdges(), 5);
+  // Paper edges (1-indexed): 1→4, 2→1, 3→1, 3→2, 4→3.
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_TRUE(g.HasEdge(3, 2));
+  EXPECT_EQ(g.OutDegree(0), 1);
+  EXPECT_EQ(g.OutDegree(2), 2);
+}
+
+TEST(FixturesTest, PathCycleCompleteStar) {
+  EXPECT_EQ(PathGraph(5).NumEdges(), 4);
+  EXPECT_EQ(CycleGraph(5).NumEdges(), 5);
+  EXPECT_EQ(CompleteGraph(4).NumEdges(), 12);
+  DynamicGraph star = StarGraph(6);
+  EXPECT_EQ(star.NumEdges(), 10);
+  EXPECT_EQ(star.OutDegree(0), 5);
+  EXPECT_EQ(star.InDegree(0), 5);
+}
+
+TEST(FixturesTest, TwoCliquesBridge) {
+  DynamicGraph g = TwoCliques(4);
+  EXPECT_EQ(g.NumVertices(), 8);
+  // Each clique: 4*3 edges; plus 2 bridge edges.
+  EXPECT_EQ(g.NumEdges(), 2 * 12 + 2);
+  EXPECT_TRUE(g.HasEdge(3, 4));
+  EXPECT_TRUE(g.HasEdge(4, 3));
+  EXPECT_FALSE(g.HasEdge(0, 5));
+}
+
+TEST(FixturesTest, SymmetrizeDoubles) {
+  auto sym = Symmetrize({{0, 1}, {2, 3}});
+  EXPECT_EQ(sym.size(), 4u);
+  EXPECT_EQ(sym[1], (Edge{1, 0}));
+}
+
+// ---------------------------------------------------------------- datasets
+
+TEST(DatasetsTest, RegistryHasFiveEntries) {
+  EXPECT_EQ(AllDatasets().size(), 5u);
+}
+
+TEST(DatasetsTest, FindByNameWithAndWithoutSuffix) {
+  DatasetSpec spec;
+  ASSERT_TRUE(FindDataset("pokec-sim", &spec).ok());
+  EXPECT_EQ(spec.name, "pokec-sim");
+  ASSERT_TRUE(FindDataset("pokec", &spec).ok());
+  EXPECT_EQ(spec.name, "pokec-sim");
+  EXPECT_TRUE(FindDataset("facebook", &spec).IsNotFound());
+}
+
+TEST(DatasetsTest, GenerationMatchesAdvertisedDegree) {
+  DatasetSpec spec;
+  ASSERT_TRUE(FindDataset("youtube", &spec).ok());
+  auto edges = GenerateDataset(spec, /*scale_shift=*/2);
+  const auto n = static_cast<double>(VertexId{1} << (spec.scale - 2));
+  const double avg = static_cast<double>(edges.size()) / n;
+  EXPECT_NEAR(avg, spec.avg_degree, spec.avg_degree * 0.1);
+}
+
+TEST(DatasetsTest, SizeOrderingMatchesPaper) {
+  // youtube < pokec on edge count (per-vertex), mirroring SNAP.
+  DatasetSpec youtube;
+  DatasetSpec pokec;
+  ASSERT_TRUE(FindDataset("youtube", &youtube).ok());
+  ASSERT_TRUE(FindDataset("pokec", &pokec).ok());
+  auto e_youtube = GenerateDataset(youtube, 2);
+  auto e_pokec = GenerateDataset(pokec, 2);
+  EXPECT_LT(e_youtube.size(), e_pokec.size());
+}
+
+}  // namespace
+}  // namespace dppr

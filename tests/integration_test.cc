@@ -1,0 +1,196 @@
+// End-to-end integration tests: the full pipeline (generator -> stream ->
+// sliding window -> maintenance engine -> queries) run for many slides,
+// cross-validated between engines and against the oracle at checkpoints;
+// plus ValidateBatch behavior on adversarial feeds.
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "analysis/power_iteration.h"
+#include "core/batch_validation.h"
+#include "core/dynamic_ppr.h"
+#include "core/multi_source.h"
+#include "core/query.h"
+#include "gen/datasets.h"
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "mc/incremental_mc.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+#include "util/random.h"
+
+namespace dppr {
+namespace {
+
+// ------------------------------------------------------ batch validation
+
+TEST(ValidateBatchTest, AcceptsWellFormedBatch) {
+  DynamicGraph g(4);
+  g.AddEdge(0, 1);
+  UpdateBatch batch = {EdgeUpdate::Delete(0, 1), EdgeUpdate::Insert(1, 2),
+                       EdgeUpdate::Delete(1, 2)};
+  EXPECT_TRUE(ValidateBatch(g, batch).ok());
+}
+
+TEST(ValidateBatchTest, RejectsDeleteOfMissingEdge) {
+  DynamicGraph g(4);
+  g.AddEdge(0, 1);
+  Status st = ValidateBatch(g, {EdgeUpdate::Delete(1, 0)});
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("update #0"), std::string::npos);
+}
+
+TEST(ValidateBatchTest, RejectsDoubleDeleteOfSingleEdge) {
+  DynamicGraph g(4);
+  g.AddEdge(0, 1);
+  UpdateBatch batch = {EdgeUpdate::Delete(0, 1), EdgeUpdate::Delete(0, 1)};
+  EXPECT_TRUE(ValidateBatch(g, batch).IsInvalidArgument());
+}
+
+TEST(ValidateBatchTest, TracksParallelEdgeMultiplicity) {
+  DynamicGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);  // two parallel copies
+  UpdateBatch ok = {EdgeUpdate::Delete(0, 1), EdgeUpdate::Delete(0, 1)};
+  EXPECT_TRUE(ValidateBatch(g, ok).ok());
+  UpdateBatch bad = {EdgeUpdate::Delete(0, 1), EdgeUpdate::Delete(0, 1),
+                     EdgeUpdate::Delete(0, 1)};
+  EXPECT_TRUE(ValidateBatch(g, bad).IsInvalidArgument());
+}
+
+TEST(ValidateBatchTest, InsertEnablesLaterDelete) {
+  DynamicGraph g(4);
+  UpdateBatch batch = {EdgeUpdate::Insert(2, 3), EdgeUpdate::Delete(2, 3)};
+  EXPECT_TRUE(ValidateBatch(g, batch).ok());
+}
+
+TEST(ValidateBatchTest, RejectsNegativeIds) {
+  DynamicGraph g(4);
+  EXPECT_TRUE(ValidateBatch(g, {EdgeUpdate::Insert(-1, 2)})
+                  .IsInvalidArgument());
+}
+
+TEST(ValidateBatchTest, EdgesToUnseenVerticesAreFine) {
+  DynamicGraph g(2);
+  EXPECT_TRUE(ValidateBatch(g, {EdgeUpdate::Insert(100, 200)}).ok());
+}
+
+// ----------------------------------------------------- long-run pipeline
+
+TEST(PipelineTest, FiftySlidesStayAccurateAndConsistent) {
+  // The full §5.1 protocol on a small stand-in, 50 slides, cross-checking
+  // the parallel engine against the sequential one continuously and
+  // against the oracle every 10 slides.
+  DatasetSpec spec;
+  ASSERT_TRUE(FindDataset("youtube", &spec).ok());
+  auto edges = GenerateDataset(spec, /*scale_shift=*/3);  // scale 10
+  EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 55);
+  SlidingWindow window(&stream, 0.1);
+  auto initial = window.InitialEdges();
+
+  DynamicGraph g_seq =
+      DynamicGraph::FromEdges(initial, stream.NumVertices());
+  DynamicGraph g_par =
+      DynamicGraph::FromEdges(initial, stream.NumVertices());
+  Rng rng(7);
+  const VertexId source = PickSourceByDegreeRank(g_seq, 10, &rng);
+
+  PprOptions seq_options;
+  seq_options.eps = 1e-6;
+  seq_options.variant = PushVariant::kSequential;
+  PprOptions par_options = seq_options;
+  par_options.variant = PushVariant::kOpt;
+
+  DynamicPpr seq(&g_seq, source, seq_options);
+  DynamicPpr par(&g_par, source, par_options);
+  seq.Initialize();
+  par.Initialize();
+
+  const EdgeCount k = std::max<EdgeCount>(window.WindowSize() / 100, 1);
+  PowerIterationOptions oracle_opt;
+  int slide = 0;
+  while (slide < 50 && window.CanSlide(k)) {
+    UpdateBatch batch = window.NextBatch(k);
+    ASSERT_TRUE(ValidateBatch(g_seq, batch).ok());
+    seq.ApplyBatch(batch);
+    par.ApplyBatch(batch);
+    ++slide;
+    ASSERT_LE(MaxAbsError(seq.Estimates(), par.Estimates()),
+              2 * seq_options.eps)
+        << "slide " << slide;
+    if (slide % 10 == 0) {
+      auto truth = PowerIterationPpr(g_seq, source, oracle_opt);
+      ASSERT_LE(MaxAbsError(par.Estimates(), truth),
+                seq_options.eps * 1.0001)
+          << "slide " << slide;
+    }
+  }
+  EXPECT_GE(slide, 50);
+  // Graphs evolved identically.
+  EXPECT_EQ(g_seq.NumEdges(), g_par.NumEdges());
+}
+
+TEST(PipelineTest, MultiSourceIndexOverStream) {
+  auto edges = GenerateRmat({.scale = 8, .avg_degree = 8, .seed = 61});
+  EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 62);
+  SlidingWindow window(&stream, 0.2);
+  DynamicGraph graph =
+      DynamicGraph::FromEdges(window.InitialEdges(), stream.NumVertices());
+  auto hubs = TopOutDegreeVertices(graph, 3);
+  PprOptions options;
+  options.eps = 1e-6;
+  MultiSourcePpr index(&graph, hubs, options);
+  index.Initialize();
+
+  const EdgeCount k = window.BatchForRatio(0.01);
+  for (int slide = 0; slide < 10 && window.CanSlide(k); ++slide) {
+    index.ApplyBatch(window.NextBatch(k));
+  }
+  PowerIterationOptions oracle_opt;
+  for (size_t h = 0; h < index.NumSources(); ++h) {
+    auto truth =
+        PowerIterationPpr(graph, index.Source(h).source(), oracle_opt);
+    EXPECT_LE(MaxAbsError(index.Source(h).Estimates(), truth),
+              options.eps * 1.0001)
+        << "hub " << h;
+    // Certified top-k entries really are top-k under the truth.
+    GuaranteedTopK top =
+        TopKWithGuarantee(index.Source(h).Estimates(), options.eps, 5);
+    auto true_top = TopK(truth, 5);
+    std::set<int32_t> true_ids;
+    for (const auto& entry : true_top) true_ids.insert(entry.id);
+    for (int i = 0; i < top.certain_members; ++i) {
+      EXPECT_TRUE(true_ids.count(top.entries[static_cast<size_t>(i)].id) >
+                  0)
+          << "certified entry missing from true top-k";
+    }
+  }
+}
+
+TEST(PipelineTest, MonteCarloAndPushAgreeOnForwardVsReverseSemantics) {
+  // Not an equality test — the push engine maintains contribution
+  // (reverse) PPR while Monte-Carlo maintains forward PPR. This pins the
+  // semantics: each matches ITS oracle, and the two differ in general.
+  DynamicGraph g1 = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(32, 160, 71), 32);
+  DynamicGraph g2 = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(32, 160, 71), 32);
+  PprOptions options;
+  options.eps = 1e-7;
+  DynamicPpr push(&g1, 0, options);
+  push.Initialize();
+  McOptions mc_options;
+  mc_options.num_walks = 200000;
+  IncrementalMonteCarlo mc(&g2, 0, mc_options);
+  mc.Initialize();
+
+  PowerIterationOptions oracle_opt;
+  auto reverse_truth = PowerIterationPpr(g1, 0, oracle_opt);
+  auto forward_truth = ForwardPowerIterationPpr(g2, 0, oracle_opt);
+  EXPECT_LE(MaxAbsError(push.Estimates(), reverse_truth), 1e-7 * 1.0001);
+  EXPECT_LE(MaxAbsError(mc.Estimates(), forward_truth), 6e-3);
+  EXPECT_GT(MaxAbsError(forward_truth, reverse_truth), 1e-3);
+}
+
+}  // namespace
+}  // namespace dppr

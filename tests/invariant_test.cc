@@ -1,0 +1,171 @@
+// RestoreInvariant (Algorithm 1) tests: exact numbers from the paper's
+// Figures 1(b) and 2(b), plus properties on random graphs: the repair
+// re-establishes Eq. 2 at u and perturbs no other vertex's equation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/power_iteration.h"
+#include "core/invariant.h"
+#include "core/seq_push.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "util/random.h"
+
+namespace dppr {
+namespace {
+
+// The state of Figure 1(a)/2(a): converged for source v1 (0-indexed 0)
+// with alpha = 0.5, eps = 0.1 on PaperExampleGraph().
+PprState PaperInitialState() {
+  PprState state(0, 4);
+  state.p = {0.5, 0.25, 0.1875, 0.0625};
+  state.r = {0.0625, 0.0, 0.0, 0.0625};
+  return state;
+}
+
+constexpr double kPaperAlpha = 0.5;
+
+TEST(RestoreInvariantTest, PaperFigure1bInsert) {
+  DynamicGraph g = PaperExampleGraph();
+  PprState state = PaperInitialState();
+  const EdgeUpdate e1 = PaperExampleInsertE1();  // v1 -> v2
+  g.Apply(e1);
+  const double delta = RestoreInvariant(g, &state, e1, kPaperAlpha);
+  // Figure 1(b): R1(1) goes 0.0625 -> 0.1562 (exact: 0.15625).
+  EXPECT_NEAR(state.r[0], 0.15625, 1e-12);
+  EXPECT_NEAR(delta, 0.09375, 1e-12);
+  // Nothing else moves.
+  EXPECT_DOUBLE_EQ(state.r[1], 0.0);
+  EXPECT_DOUBLE_EQ(state.r[3], 0.0625);
+  EXPECT_DOUBLE_EQ(state.p[0], 0.5);
+}
+
+TEST(RestoreInvariantTest, PaperFigure2bBatchOfTwo) {
+  DynamicGraph g = PaperExampleGraph();
+  PprState state = PaperInitialState();
+  const EdgeUpdate e1 = PaperExampleInsertE1();  // v1 -> v2
+  const EdgeUpdate e2 = PaperExampleInsertE2();  // v4 -> v1
+  g.Apply(e1);
+  RestoreInvariant(g, &state, e1, kPaperAlpha);
+  g.Apply(e2);
+  RestoreInvariant(g, &state, e2, kPaperAlpha);
+  // Figure 2(b): R1(1) = 0.1562, R1(4) = 0.2187 (exact 0.15625/0.21875).
+  EXPECT_NEAR(state.r[0], 0.15625, 1e-12);
+  EXPECT_NEAR(state.r[3], 0.21875, 1e-12);
+}
+
+TEST(RestoreInvariantTest, RepairsEquationAtU) {
+  DynamicGraph g = PaperExampleGraph();
+  PprState state = PaperInitialState();
+  // The initial state satisfies Eq. 2 everywhere.
+  for (VertexId v = 0; v < 4; ++v) {
+    ASSERT_NEAR(InvariantDefect(g, 0, v, kPaperAlpha, state.p, state.r), 0.0,
+                1e-12);
+  }
+  const EdgeUpdate e1 = PaperExampleInsertE1();
+  g.Apply(e1);
+  RestoreInvariant(g, &state, e1, kPaperAlpha);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_NEAR(InvariantDefect(g, 0, v, kPaperAlpha, state.p, state.r), 0.0,
+                1e-12)
+        << "vertex " << v;
+  }
+}
+
+TEST(RestoreInvariantTest, InsertUndoneByDeleteRestoresResidual) {
+  DynamicGraph g = PaperExampleGraph();
+  PprState state = PaperInitialState();
+  const double r0 = state.r[0];
+  const EdgeUpdate ins = EdgeUpdate::Insert(0, 1);
+  g.Apply(ins);
+  RestoreInvariant(g, &state, ins, kPaperAlpha);
+  const EdgeUpdate del = EdgeUpdate::Delete(0, 1);
+  g.Apply(del);
+  RestoreInvariant(g, &state, del, kPaperAlpha);
+  EXPECT_NEAR(state.r[0], r0, 1e-12);
+}
+
+TEST(RestoreInvariantTest, DeleteLastOutEdgeDegenerateCase) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  // Build an exact state for source 1 via the oracle, r = 0.
+  PowerIterationOptions opt;
+  opt.alpha = 0.15;
+  auto p = PowerIterationPpr(g, 1, opt);
+  PprState state(1, 3);
+  state.p = p;
+  const EdgeUpdate del = EdgeUpdate::Delete(0, 1);  // 0 loses its only edge
+  g.Apply(del);
+  RestoreInvariant(g, &state, del, 0.15);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_NEAR(InvariantDefect(g, 1, v, 0.15, state.p, state.r), 0.0, 1e-12)
+        << "vertex " << v;
+  }
+}
+
+TEST(RestoreInvariantTest, NewVertexViaInsertion) {
+  DynamicGraph g(2);
+  g.AddEdge(0, 1);
+  PprState state(0, 2);
+  state.ResetToUnitResidual();
+  SequentialLocalPush(g, &state, 0.15, 1e-6, std::vector<VertexId>{0},
+                      nullptr);
+  // Edge to a brand-new vertex 5 (grows the vertex set to 6).
+  const EdgeUpdate up = EdgeUpdate::Insert(1, 5);
+  g.Apply(up);
+  RestoreInvariant(g, &state, up, 0.15);
+  ASSERT_EQ(state.NumVertices(), 6);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_NEAR(InvariantDefect(g, 0, v, 0.15, state.p, state.r), 0.0, 1e-9)
+        << "vertex " << v;
+  }
+}
+
+// Property: starting from a converged state on a random graph, a random
+// sequence of updates with per-update restoration keeps Eq. 2 intact at
+// every vertex (this is exactly what Lemma 1 + Algorithm 1 promise).
+class RestoreInvariantPropertyTest : public testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(RestoreInvariantPropertyTest, RandomChurnKeepsInvariantEverywhere) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  auto edges = GenerateErdosRenyi(40, 160, seed);
+  DynamicGraph g = DynamicGraph::FromEdges(edges, 40);
+  const auto s = static_cast<VertexId>(rng.NextBounded(40));
+  PprState state(s, g.NumVertices());
+  state.ResetToUnitResidual();
+  SequentialLocalPush(g, &state, 0.2, 1e-8, std::vector<VertexId>{s},
+                      nullptr);
+
+  std::vector<Edge> pool = g.ToEdgeList();
+  for (int step = 0; step < 200; ++step) {
+    EdgeUpdate up;
+    if (!pool.empty() && rng.NextBernoulli(0.4)) {
+      const auto idx =
+          static_cast<size_t>(rng.NextBounded(pool.size()));
+      up = EdgeUpdate::Delete(pool[idx].u, pool[idx].v);
+      pool[idx] = pool.back();
+      pool.pop_back();
+    } else {
+      up = EdgeUpdate::Insert(static_cast<VertexId>(rng.NextBounded(40)),
+                              static_cast<VertexId>(rng.NextBounded(40)));
+      pool.push_back({up.u, up.v});
+    }
+    g.Apply(up);
+    RestoreInvariant(g, &state, up, 0.2);
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NEAR(InvariantDefect(g, s, v, 0.2, state.p, state.r), 0.0, 1e-9)
+        << "seed " << seed << " vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RestoreInvariantPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+}  // namespace
+}  // namespace dppr

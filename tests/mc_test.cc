@@ -1,0 +1,236 @@
+// Tests for the incremental Monte-Carlo baseline: walk-store invariants,
+// estimator accuracy against the forward oracle (statistical bounds with
+// fixed seeds), incremental-maintenance correctness, and the locality
+// property (only walks through the updated vertex are touched).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/metrics.h"
+#include "analysis/power_iteration.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "mc/incremental_mc.h"
+#include "mc/walk_store.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+
+namespace dppr {
+namespace {
+
+// ------------------------------------------------------------- WalkStore
+
+Walk MakeWalk(std::vector<VertexId> trace,
+              WalkEnd end = WalkEnd::kTeleport) {
+  Walk w;
+  w.trace = std::move(trace);
+  w.end = end;
+  return w;
+}
+
+TEST(WalkStoreTest, AddIndexesEveryVisitedVertex) {
+  WalkStore store(5);
+  const int64_t id = store.AddWalk(MakeWalk({0, 2, 4, 2}));
+  EXPECT_EQ(store.NumWalks(), 1);
+  EXPECT_EQ(store.WalksThrough(2), std::vector<int64_t>{id});
+  EXPECT_EQ(store.WalksThrough(4), std::vector<int64_t>{id});
+  EXPECT_TRUE(store.WalksThrough(1).empty());
+  EXPECT_EQ(store.EndpointCount(2), 1);
+  EXPECT_EQ(store.EndpointCount(4), 0);
+}
+
+TEST(WalkStoreTest, ReplaceRewritesIndexAndCounts) {
+  WalkStore store(5);
+  const int64_t id = store.AddWalk(MakeWalk({0, 1, 2}));
+  store.ReplaceWalk(id, MakeWalk({0, 3}));
+  EXPECT_TRUE(store.WalksThrough(1).empty());
+  EXPECT_TRUE(store.WalksThrough(2).empty());
+  EXPECT_EQ(store.WalksThrough(3), std::vector<int64_t>{id});
+  EXPECT_EQ(store.EndpointCount(2), 0);
+  EXPECT_EQ(store.EndpointCount(3), 1);
+}
+
+TEST(WalkStoreTest, GrowsForUnseenVertices) {
+  WalkStore store(2);
+  store.AddWalk(MakeWalk({0, 100}));
+  EXPECT_EQ(store.EndpointCount(100), 1);
+  EXPECT_EQ(store.WalksThrough(100).size(), 1u);
+}
+
+TEST(WalkStoreTest, MemoryEstimatePositive) {
+  WalkStore store(4);
+  store.AddWalk(MakeWalk({0, 1, 2, 3}));
+  EXPECT_GT(store.ApproxMemoryBytes(), 0);
+}
+
+// ------------------------------------------------- static MC estimation
+
+TEST(IncrementalMcTest, StaticEstimateMatchesForwardOracle) {
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(16, 80, 3), 16);
+  McOptions options;
+  options.alpha = 0.2;
+  options.num_walks = 200000;
+  options.seed = 7;
+  IncrementalMonteCarlo mc(&g, 0, options);
+  mc.Initialize();
+  PowerIterationOptions opt;
+  opt.alpha = 0.2;
+  auto truth = ForwardPowerIterationPpr(g, 0, opt);
+  // Hoeffding at w = 2e5: per-vertex error ~3e-3 w.h.p.
+  EXPECT_LE(MaxAbsError(mc.Estimates(), truth), 5e-3);
+}
+
+TEST(IncrementalMcTest, EstimatesSumToOne) {
+  // Every walk ends somewhere, so the endpoint frequencies sum to 1.
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateRmat({.scale = 6, .avg_degree = 4, .seed = 9}), 1 << 6);
+  McOptions options;
+  options.num_walks = 10000;
+  IncrementalMonteCarlo mc(&g, 1, options);
+  mc.Initialize();
+  EXPECT_NEAR(L1Norm(mc.Estimates()), 1.0, 1e-12);
+}
+
+TEST(IncrementalMcTest, DanglingSourceAbsorbsEverything) {
+  DynamicGraph g(3);
+  g.AddEdge(1, 2);  // source 0 is dangling
+  McOptions options;
+  options.num_walks = 1000;
+  IncrementalMonteCarlo mc(&g, 0, options);
+  mc.Initialize();
+  EXPECT_DOUBLE_EQ(mc.Estimate(0), 1.0);
+}
+
+TEST(IncrementalMcTest, DefaultWalkCountIsSixTimesV) {
+  DynamicGraph g = CycleGraph(50);
+  McOptions options;  // num_walks = 0 -> default
+  IncrementalMonteCarlo mc(&g, 0, options);
+  mc.Initialize();
+  EXPECT_EQ(mc.NumWalks(), 300);
+}
+
+// ---------------------------------------------- incremental maintenance
+
+TEST(IncrementalMcTest, InsertMaintenanceTracksOracle) {
+  DynamicGraph g = CycleGraph(12);
+  McOptions options;
+  options.alpha = 0.25;
+  options.num_walks = 150000;
+  options.seed = 11;
+  IncrementalMonteCarlo mc(&g, 0, options);
+  mc.Initialize();
+  // A shortcut edge changes the distribution substantially.
+  UpdateBatch batch = {EdgeUpdate::Insert(0, 6), EdgeUpdate::Insert(3, 9)};
+  mc.ApplyBatch(batch);
+  PowerIterationOptions opt;
+  opt.alpha = 0.25;
+  auto truth = ForwardPowerIterationPpr(g, 0, opt);
+  EXPECT_LE(MaxAbsError(mc.Estimates(), truth), 6e-3);
+  EXPECT_NEAR(L1Norm(mc.Estimates()), 1.0, 1e-12);
+}
+
+TEST(IncrementalMcTest, DeleteMaintenanceTracksOracle) {
+  DynamicGraph g = CompleteGraph(8);
+  McOptions options;
+  options.alpha = 0.3;
+  options.num_walks = 150000;
+  options.seed = 13;
+  IncrementalMonteCarlo mc(&g, 2, options);
+  mc.Initialize();
+  UpdateBatch batch = {EdgeUpdate::Delete(2, 3), EdgeUpdate::Delete(2, 4),
+                       EdgeUpdate::Delete(5, 2)};
+  mc.ApplyBatch(batch);
+  PowerIterationOptions opt;
+  opt.alpha = 0.3;
+  auto truth = ForwardPowerIterationPpr(g, 2, opt);
+  EXPECT_LE(MaxAbsError(mc.Estimates(), truth), 6e-3);
+}
+
+TEST(IncrementalMcTest, DeleteToDanglingAbsorbs) {
+  DynamicGraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  McOptions options;
+  options.alpha = 0.5;
+  options.num_walks = 50000;
+  IncrementalMonteCarlo mc(&g, 0, options);
+  mc.Initialize();
+  // Remove 0 -> 1: source becomes dangling; all mass at 0.
+  mc.ApplyBatch({EdgeUpdate::Delete(0, 1)});
+  EXPECT_DOUBLE_EQ(mc.Estimate(0), 1.0);
+  EXPECT_DOUBLE_EQ(mc.Estimate(1), 0.0);
+}
+
+TEST(IncrementalMcTest, InsertUndanglesForcedStops) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 1);  // 1 is dangling: every continuing walk parks at 1
+  McOptions options;
+  options.alpha = 0.4;
+  options.num_walks = 100000;
+  options.seed = 3;
+  IncrementalMonteCarlo mc(&g, 0, options);
+  mc.Initialize();
+  mc.ApplyBatch({EdgeUpdate::Insert(1, 2)});
+  PowerIterationOptions opt;
+  opt.alpha = 0.4;
+  auto truth = ForwardPowerIterationPpr(g, 0, opt);
+  EXPECT_LE(MaxAbsError(mc.Estimates(), truth), 6e-3);
+  EXPECT_GT(mc.Estimate(2), 0.0);  // mass reached the new vertex
+}
+
+TEST(IncrementalMcTest, SlidingWindowChurnStaysCalibrated) {
+  auto edges = GenerateErdosRenyi(32, 256, 21);
+  EdgeStream stream = EdgeStream::RandomPermutation(edges, 5);
+  SlidingWindow window(&stream, 0.5);
+  DynamicGraph g = DynamicGraph::FromEdges(window.InitialEdges(), 32);
+  McOptions options;
+  options.alpha = 0.2;
+  options.num_walks = 120000;
+  options.seed = 19;
+  IncrementalMonteCarlo mc(&g, 0, options);
+  mc.Initialize();
+  PowerIterationOptions opt;
+  opt.alpha = 0.2;
+  for (int slide = 0; slide < 4; ++slide) {
+    mc.ApplyBatch(window.NextBatch(16));
+    auto truth = ForwardPowerIterationPpr(g, 0, opt);
+    ASSERT_LE(MaxAbsError(mc.Estimates(), truth), 8e-3)
+        << "slide " << slide;
+    ASSERT_NEAR(L1Norm(mc.Estimates()), 1.0, 1e-12);
+  }
+}
+
+TEST(IncrementalMcTest, UpdateAwayFromWalksTouchesNothing) {
+  // Two disconnected components; updates in the far component cannot
+  // affect any walk from the source.
+  DynamicGraph g(8);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(5, 6);
+  g.AddEdge(6, 7);
+  McOptions options;
+  options.num_walks = 2000;
+  IncrementalMonteCarlo mc(&g, 0, options);
+  mc.Initialize();
+  mc.ApplyBatch({EdgeUpdate::Insert(6, 5), EdgeUpdate::Delete(5, 6)});
+  EXPECT_EQ(mc.last_stats().walks_regenerated, 0);
+}
+
+TEST(IncrementalMcTest, DeterministicForSeed) {
+  auto run = [] {
+    DynamicGraph g = CycleGraph(10);
+    McOptions options;
+    options.num_walks = 5000;
+    options.seed = 77;
+    IncrementalMonteCarlo mc(&g, 0, options);
+    mc.Initialize();
+    mc.ApplyBatch({EdgeUpdate::Insert(0, 5), EdgeUpdate::Delete(3, 4)});
+    return mc.Estimates();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dppr

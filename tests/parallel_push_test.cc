@@ -1,0 +1,432 @@
+// Parallel push tests (Algorithms 3 and 4 and the Table 3 variants):
+//  * golden traces against the paper's Figures 2 and 3 — exact arithmetic;
+//  * eps-approximation vs the power-iteration oracle for every variant,
+//    thread count, and graph family (TEST_P sweeps);
+//  * the eager-propagation op-count reduction the paper's Figure 3
+//    narrates (parallel loss mitigation);
+//  * adversarial batches and edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "analysis/metrics.h"
+#include "analysis/power_iteration.h"
+#include "core/dynamic_ppr.h"
+#include "core/invariant.h"
+#include "core/multi_source.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace dppr {
+namespace {
+
+constexpr double kPaperAlpha = 0.5;
+constexpr double kPaperEps = 0.1;
+
+PprOptions PaperOptions(PushVariant variant) {
+  PprOptions options;
+  options.alpha = kPaperAlpha;
+  options.eps = kPaperEps;
+  options.variant = variant;
+  return options;
+}
+
+// Figure 3 a(1)-a(4): Algorithm 3 (Vanilla) from scratch pushes
+// {v1, v2, v3, v3, v4} — 5 operations — and converges to the Figure 1(a)
+// state. Every add commutes and the crossing-enqueues are unique, so this
+// trace is deterministic for any thread count.
+TEST(ParallelPushGoldenTest, Figure3VanillaScratchTrace) {
+  DynamicGraph g = PaperExampleGraph();
+  DynamicPpr ppr(&g, 0, PaperOptions(PushVariant::kVanilla));
+  ppr.Initialize();
+  EXPECT_EQ(ppr.last_stats().counters.push_ops, 5);  // one parallel loss
+  EXPECT_EQ(ppr.last_stats().pos_iterations, 3);     // a(1) a(2) a(3)
+  EXPECT_NEAR(ppr.Estimates()[0], 0.5, 1e-12);
+  EXPECT_NEAR(ppr.Estimates()[1], 0.25, 1e-12);
+  EXPECT_NEAR(ppr.Estimates()[2], 0.1875, 1e-12);
+  EXPECT_NEAR(ppr.Estimates()[3], 0.0625, 1e-12);
+  EXPECT_NEAR(ppr.Residuals()[0], 0.0625, 1e-12);
+  EXPECT_NEAR(ppr.Residuals()[1], 0.0, 1e-12);
+  EXPECT_NEAR(ppr.Residuals()[2], 0.0, 1e-12);
+  EXPECT_NEAR(ppr.Residuals()[3], 0.0625, 1e-12);
+}
+
+// Same computation with Algorithm 4: eager propagation lets v3 absorb
+// v2's contribution before pushing (the b(3) moment of Figure 3), saving
+// the duplicated v3 push: 4 operations, sequential-quality result. With
+// one thread the frontier is processed in order, which realizes the
+// eager read deterministically.
+TEST(ParallelPushGoldenTest, Figure3OptEagerSavesOnePush) {
+  ScopedNumThreads one(1);
+  DynamicGraph g = PaperExampleGraph();
+  DynamicPpr ppr(&g, 0, PaperOptions(PushVariant::kOpt));
+  ppr.Initialize();
+  EXPECT_EQ(ppr.last_stats().counters.push_ops, 4);  // loss mitigated
+  EXPECT_NEAR(ppr.Estimates()[0], 0.5, 1e-12);
+  EXPECT_NEAR(ppr.Estimates()[1], 0.25, 1e-12);
+  EXPECT_NEAR(ppr.Estimates()[2], 0.1875, 1e-12);
+  EXPECT_NEAR(ppr.Estimates()[3], 0.09375, 1e-12);  // Figure 3 b(5)
+  EXPECT_NEAR(ppr.Residuals()[0], 0.09375, 1e-12);
+}
+
+// Figure 2: batch {e1, e2} on the converged Figure 2(a) state, Algorithm 3.
+// One ParallelPush iteration over frontier {v1, v4} converges to the exact
+// Figure 2(d) numbers.
+TEST(ParallelPushGoldenTest, Figure2BatchUpdateVanilla) {
+  DynamicGraph g2 = PaperExampleGraph();
+  DynamicPpr ppr2(&g2, 0, PaperOptions(PushVariant::kVanilla));
+  // Vanilla-from-scratch reaches Figure 1(a)/2(a) exactly (golden test
+  // above), which is the state Figure 2 starts from.
+  ppr2.Initialize();
+  ASSERT_NEAR(ppr2.Estimates()[3], 0.0625, 1e-12);
+
+  UpdateBatch batch = {PaperExampleInsertE1(), PaperExampleInsertE2()};
+  ppr2.ApplyBatch(batch);
+  const auto& p = ppr2.Estimates();
+  const auto& r = ppr2.Residuals();
+  EXPECT_NEAR(p[0], 0.578125, 1e-12);    // Figure 2(d): 0.5781
+  EXPECT_NEAR(p[1], 0.25, 1e-12);
+  EXPECT_NEAR(p[2], 0.1875, 1e-12);
+  EXPECT_NEAR(p[3], 0.171875, 1e-12);    // Figure 2(d): 0.1718
+  EXPECT_NEAR(r[0], 0.0546875, 1e-12);   // Figure 2(d): 0.0546
+  EXPECT_NEAR(r[1], 0.078125, 1e-12);    // Figure 2(d): 0.0781
+  EXPECT_NEAR(r[2], 0.0390625, 1e-12);   // Figure 2(d): 0.039
+  EXPECT_NEAR(r[3], 0.0390625, 1e-12);   // Figure 2(d): 0.039
+  EXPECT_EQ(ppr2.last_stats().pos_iterations, 1);  // converges in one round
+  EXPECT_EQ(ppr2.last_stats().counters.push_ops, 2);  // v1 and v4
+}
+
+// ------------------------------------------------------- variant sweeps
+
+using VariantParam =
+    std::tuple<PushVariant, int /*threads*/, int /*graph kind*/>;
+
+class ParallelVariantTest : public testing::TestWithParam<VariantParam> {
+ protected:
+  static DynamicGraph MakeGraph(int kind) {
+    switch (kind) {
+      case 0:
+        return DynamicGraph::FromEdges(GenerateErdosRenyi(512, 4096, 77),
+                                       512);
+      case 1:
+        return DynamicGraph::FromEdges(
+            GenerateRmat({.scale = 9, .avg_degree = 10, .seed = 78}),
+            1 << 9);
+      default:
+        return StarGraph(512);  // extreme hub skew
+    }
+  }
+};
+
+TEST_P(ParallelVariantTest, ScratchMatchesOracle) {
+  const auto [variant, threads, kind] = GetParam();
+  ScopedNumThreads guard(threads);
+  DynamicGraph g = MakeGraph(kind);
+  PprOptions options;
+  options.alpha = 0.15;
+  options.eps = 1e-6;
+  options.variant = variant;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  EXPECT_LE(ppr.state().MaxAbsResidual(), options.eps);
+  PowerIterationOptions opt;
+  opt.alpha = 0.15;
+  auto truth = PowerIterationPpr(g, 0, opt);
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001);
+  // The invariant holds at every vertex afterwards.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_NEAR(
+        InvariantDefect(g, 0, v, options.alpha, ppr.state().p, ppr.state().r),
+        0.0, 1e-9);
+  }
+}
+
+TEST_P(ParallelVariantTest, SlidingWindowMaintenanceMatchesOracle) {
+  const auto [variant, threads, kind] = GetParam();
+  ScopedNumThreads guard(threads);
+  DynamicGraph base = MakeGraph(kind);
+  EdgeStream stream = EdgeStream::RandomPermutation(base.ToEdgeList(), 99);
+  SlidingWindow window(&stream, 0.4);
+  DynamicGraph g =
+      DynamicGraph::FromEdges(window.InitialEdges(), base.NumVertices());
+  PprOptions options;
+  options.alpha = 0.2;
+  options.eps = 1e-5;
+  options.variant = variant;
+  DynamicPpr ppr(&g, 1, options);
+  ppr.Initialize();
+  PowerIterationOptions opt;
+  opt.alpha = 0.2;
+  const EdgeCount k = std::max<EdgeCount>(window.WindowSize() / 20, 1);
+  for (int slide = 0; slide < 4 && window.CanSlide(k); ++slide) {
+    ppr.ApplyBatch(window.NextBatch(k));
+    ASSERT_LE(ppr.state().MaxAbsResidual(), options.eps) << "slide " << slide;
+    auto truth = PowerIterationPpr(g, 1, opt);
+    ASSERT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001)
+        << "slide " << slide;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsThreadsGraphs, ParallelVariantTest,
+    testing::Combine(testing::Values(PushVariant::kVanilla,
+                                     PushVariant::kEager,
+                                     PushVariant::kDupDetect,
+                                     PushVariant::kOpt,
+                                     PushVariant::kSortAggregate),
+                     testing::Values(1, 2, 4),
+                     testing::Values(0, 1, 2)),
+    [](const testing::TestParamInfo<VariantParam>& param_info) {
+      return std::string(PushVariantName(std::get<0>(param_info.param))) +
+             "_t" + std::to_string(std::get<1>(param_info.param)) + "_g" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+// --------------------------------------------------------- edge cases
+
+TEST(ParallelPushEdgeCaseTest, EmptyBatchIsNoOp) {
+  DynamicGraph g = CycleGraph(8);
+  PprOptions options;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  auto before = ppr.Estimates();
+  ppr.ApplyBatch({});
+  EXPECT_EQ(ppr.Estimates(), before);
+  EXPECT_EQ(ppr.last_stats().counters.push_ops, 0);
+}
+
+TEST(ParallelPushEdgeCaseTest, InsertThenDeleteSameEdgeInOneBatch) {
+  DynamicGraph g = CycleGraph(16);
+  PprOptions options;
+  options.eps = 1e-7;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  UpdateBatch batch = {EdgeUpdate::Insert(3, 9), EdgeUpdate::Delete(3, 9)};
+  ppr.ApplyBatch(batch);
+  EXPECT_LE(ppr.state().MaxAbsResidual(), options.eps);
+  PowerIterationOptions opt;
+  auto truth = PowerIterationPpr(g, 0, opt);
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001);
+}
+
+TEST(ParallelPushEdgeCaseTest, HubConcentratedBatch) {
+  // All updates hit one hub: the worst case for frontier duplication.
+  DynamicGraph g = StarGraph(256);
+  PprOptions options;
+  options.eps = 1e-6;
+  options.variant = PushVariant::kOpt;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  UpdateBatch batch;
+  for (VertexId v = 1; v <= 64; ++v) {
+    batch.push_back(EdgeUpdate::Delete(0, v));
+  }
+  for (VertexId v = 1; v <= 64; ++v) {
+    batch.push_back(EdgeUpdate::Insert(0, v));
+  }
+  ppr.ApplyBatch(batch);
+  EXPECT_LE(ppr.state().MaxAbsResidual(), options.eps);
+  PowerIterationOptions opt;
+  auto truth = PowerIterationPpr(g, 0, opt);
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001);
+}
+
+TEST(ParallelPushEdgeCaseTest, SelfLoopGraph) {
+  DynamicGraph g = CycleGraph(8);
+  g.AddEdge(3, 3);  // self-loop
+  PprOptions options;
+  options.eps = 1e-7;
+  options.variant = PushVariant::kOpt;
+  DynamicPpr ppr(&g, 3, options);
+  ppr.Initialize();
+  PowerIterationOptions opt;
+  auto truth = PowerIterationPpr(g, 3, opt);
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001);
+}
+
+TEST(ParallelPushEdgeCaseTest, FullScanInitEquivalent) {
+  auto edges = GenerateErdosRenyi(256, 2048, 5);
+  DynamicGraph g1 = DynamicGraph::FromEdges(edges, 256);
+  DynamicGraph g2 = DynamicGraph::FromEdges(edges, 256);
+  PprOptions touched_init;
+  touched_init.eps = 1e-6;
+  PprOptions full_scan = touched_init;
+  full_scan.full_scan_frontier_init = true;
+  DynamicPpr a(&g1, 0, touched_init);
+  DynamicPpr b(&g2, 0, full_scan);
+  a.Initialize();
+  b.Initialize();
+  UpdateBatch batch;
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    batch.push_back(
+        EdgeUpdate::Insert(static_cast<VertexId>(rng.NextBounded(256)),
+                           static_cast<VertexId>(rng.NextBounded(256))));
+  }
+  a.ApplyBatch(batch);
+  b.ApplyBatch(batch);
+  EXPECT_LE(MaxAbsError(a.Estimates(), b.Estimates()), 2e-6);
+  EXPECT_LE(b.state().MaxAbsResidual(), 1e-6);
+}
+
+TEST(ParallelPushEdgeCaseTest, GrowingVertexSetMidStream) {
+  DynamicGraph g = CycleGraph(8);
+  PprOptions options;
+  options.eps = 1e-6;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  UpdateBatch batch = {EdgeUpdate::Insert(7, 20),
+                       EdgeUpdate::Insert(20, 0),
+                       EdgeUpdate::Insert(21, 20)};
+  ppr.ApplyBatch(batch);
+  ASSERT_EQ(g.NumVertices(), 22);
+  ASSERT_EQ(static_cast<VertexId>(ppr.Estimates().size()), 22);
+  PowerIterationOptions opt;
+  auto truth = PowerIterationPpr(g, 0, opt);
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001);
+}
+
+// ------------------------------------------------------- op-count claims
+
+TEST(ParallelLossTest, OptNeverUsesMoreOpsThanVanillaHere) {
+  // Lemma 4 / Figure 3: parallel loss makes Vanilla do extra work; eager
+  // propagation recovers it. Compare op counts on a batch workload.
+  auto edges = GenerateRmat({.scale = 10, .avg_degree = 8, .seed = 41});
+  EdgeStream stream = EdgeStream::RandomPermutation(edges, 12);
+  auto run = [&stream](PushVariant variant) {
+    SlidingWindow window(&stream, 0.5);
+    DynamicGraph g = DynamicGraph::FromEdges(window.InitialEdges(), 1 << 10);
+    PprOptions options;
+    options.alpha = 0.15;
+    options.eps = 1e-7;
+    options.variant = variant;
+    DynamicPpr ppr(&g, 0, options);
+    ppr.Initialize();
+    int64_t ops = 0;
+    for (int slide = 0; slide < 3; ++slide) {
+      ppr.ApplyBatch(window.NextBatch(window.WindowSize() / 10));
+      ops += ppr.last_stats().counters.push_ops;
+    }
+    return ops;
+  };
+  const int64_t vanilla_ops = run(PushVariant::kVanilla);
+  const int64_t opt_ops = run(PushVariant::kOpt);
+  // Small slack: thread interleaving adds noise, but the trend must hold.
+  EXPECT_LE(opt_ops, vanilla_ops * 105 / 100 + 16);
+  EXPECT_GT(opt_ops, 0);
+}
+
+TEST(ParallelLossTest, DedupRejectsOnlyInUniqueEnqueueVariants) {
+  auto edges = GenerateRmat({.scale = 9, .avg_degree = 12, .seed = 55});
+  auto run = [&edges](PushVariant variant) {
+    DynamicGraph g = DynamicGraph::FromEdges(edges, 1 << 9);
+    PprOptions options;
+    options.eps = 1e-8;
+    options.variant = variant;
+    DynamicPpr ppr(&g, 0, options);
+    ppr.Initialize();
+    return ppr.last_stats().counters;
+  };
+  // Local-duplicate-detection variants never touch the shared flags.
+  EXPECT_EQ(run(PushVariant::kOpt).dedup_rejects, 0);
+  EXPECT_EQ(run(PushVariant::kDupDetect).dedup_rejects, 0);
+  // UniqueEnqueue variants reject duplicates under any real workload.
+  EXPECT_GT(run(PushVariant::kVanilla).dedup_rejects, 0);
+}
+
+// ------------------------------------------------------ options plumbing
+
+TEST(PprOptionsTest, VariantNamesRoundTrip) {
+  for (PushVariant variant :
+       {PushVariant::kSequential, PushVariant::kVanilla, PushVariant::kEager,
+        PushVariant::kDupDetect, PushVariant::kOpt,
+        PushVariant::kSortAggregate}) {
+    PushVariant parsed;
+    ASSERT_TRUE(ParsePushVariant(PushVariantName(variant), &parsed).ok());
+    EXPECT_EQ(parsed, variant);
+  }
+  PushVariant parsed;
+  EXPECT_TRUE(ParsePushVariant("warp-speed", &parsed).IsInvalidArgument());
+}
+
+TEST(PprOptionsTest, ValidateRejectsBadRanges) {
+  PprOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.alpha = 0.0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.alpha = 1.0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.alpha = 0.15;
+  options.eps = 0.0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST(PprOptionsTest, HugeRoundThresholdDisablesAtomics) {
+  // With an effectively infinite sequential threshold every round runs
+  // on one thread with plain arithmetic: the atomic counter stays zero
+  // and results are still correct.
+  ScopedNumThreads two(2);
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(256, 2048, 31), 256);
+  PprOptions options;
+  options.eps = 1e-6;
+  options.parallel_round_min_work = int64_t{1} << 40;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  EXPECT_EQ(ppr.last_stats().counters.atomic_adds, 0);
+  PowerIterationOptions opt;
+  auto truth = PowerIterationPpr(g, 0, opt);
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001);
+}
+
+TEST(PprOptionsTest, ForceParallelAlwaysUsesAtomics) {
+  ScopedNumThreads two(2);
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(256, 2048, 31), 256);
+  PprOptions options;
+  options.eps = 1e-6;
+  options.force_parallel_rounds = true;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  EXPECT_GT(ppr.last_stats().counters.atomic_adds, 0);
+  EXPECT_EQ(ppr.last_stats().counters.atomic_adds,
+            ppr.last_stats().counters.edge_traversals);
+}
+
+// ---------------------------------------------------------- multi-source
+
+TEST(MultiSourceTest, EachSourceMatchesIndependentMaintenance) {
+  auto edges = GenerateErdosRenyi(128, 1024, 3);
+  EdgeStream stream = EdgeStream::RandomPermutation(edges, 4);
+  SlidingWindow window(&stream, 0.5);
+  PprOptions options;
+  options.eps = 1e-6;
+
+  DynamicGraph shared =
+      DynamicGraph::FromEdges(window.InitialEdges(), 128);
+  MultiSourcePpr multi(&shared, {0, 1, 2}, options);
+  multi.Initialize();
+
+  auto batch = window.NextBatch(40);
+  multi.ApplyBatch(batch);
+
+  PowerIterationOptions opt;
+  for (size_t i = 0; i < multi.NumSources(); ++i) {
+    auto truth =
+        PowerIterationPpr(shared, multi.Source(i).source(), opt);
+    EXPECT_LE(MaxAbsError(multi.Source(i).Estimates(), truth),
+              options.eps * 1.0001)
+        << "source " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,238 @@
+// Cross-engine property tests: randomized fuzzing of the full maintenance
+// pipeline across every implementation, the undirected arrival model of
+// Theorems 1/3, inverse-batch recovery, and the Monte-Carlo sample-size
+// formula of §5.1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/metrics.h"
+#include "analysis/power_iteration.h"
+#include "core/dynamic_ppr.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "mc/incremental_mc.h"
+#include "stream/batch_utils.h"
+#include "util/random.h"
+#include "vc/ligra_ppr.h"
+
+namespace dppr {
+namespace {
+
+// Builds a random batch against the current graph: a mix of insertions
+// (possibly duplicating existing edges, possibly to brand-new vertices)
+// and deletions of existing edges.
+UpdateBatch RandomBatch(const DynamicGraph& g, int size, Rng* rng,
+                        bool allow_new_vertices) {
+  UpdateBatch batch;
+  std::vector<Edge> pool = g.ToEdgeList();
+  for (int i = 0; i < size; ++i) {
+    const bool remove = !pool.empty() && rng->NextBernoulli(0.45);
+    if (remove) {
+      const auto idx = static_cast<size_t>(rng->NextBounded(pool.size()));
+      batch.push_back(EdgeUpdate::Delete(pool[idx].u, pool[idx].v));
+      pool[idx] = pool.back();
+      pool.pop_back();
+    } else {
+      const auto span = static_cast<uint64_t>(g.NumVertices()) +
+                        (allow_new_vertices ? 3 : 0);
+      const auto u = static_cast<VertexId>(rng->NextBounded(span));
+      const auto v = static_cast<VertexId>(rng->NextBounded(span));
+      batch.push_back(EdgeUpdate::Insert(u, v));
+      pool.push_back({u, v});
+    }
+  }
+  return batch;
+}
+
+// ----------------------------------------------- all-engines agreement
+
+// Every engine maintains an eps-approximation, so on identical input any
+// two engines' estimates differ by at most 2*eps — and all match the
+// oracle within eps.
+TEST(CrossEngineTest, AllEnginesAgreeUnderRandomChurn) {
+  Rng rng(2024);
+  auto edges = GenerateRmat({.scale = 7, .avg_degree = 6, .seed = 12});
+  const double eps = 1e-6;
+
+  DynamicGraph g_seq = DynamicGraph::FromEdges(edges, 1 << 7);
+  DynamicGraph g_opt = DynamicGraph::FromEdges(edges, 1 << 7);
+  DynamicGraph g_van = DynamicGraph::FromEdges(edges, 1 << 7);
+  DynamicGraph g_lig = DynamicGraph::FromEdges(edges, 1 << 7);
+
+  PprOptions seq_opt;
+  seq_opt.eps = eps;
+  seq_opt.variant = PushVariant::kSequential;
+  PprOptions opt_opt = seq_opt;
+  opt_opt.variant = PushVariant::kOpt;
+  PprOptions van_opt = seq_opt;
+  van_opt.variant = PushVariant::kVanilla;
+
+  DynamicPpr seq(&g_seq, 1, seq_opt);
+  DynamicPpr opt(&g_opt, 1, opt_opt);
+  DynamicPpr van(&g_van, 1, van_opt);
+  LigraPpr lig(&g_lig, 1, seq_opt);
+  seq.Initialize();
+  opt.Initialize();
+  van.Initialize();
+  lig.Initialize();
+
+  PowerIterationOptions oracle_opt;
+  for (int round = 0; round < 5; ++round) {
+    // Same batch everywhere (graphs stay identical).
+    UpdateBatch batch = RandomBatch(*seq.graph(), 30, &rng,
+                                    /*allow_new_vertices=*/true);
+    seq.ApplyBatch(batch);
+    opt.ApplyBatch(batch);
+    van.ApplyBatch(batch);
+    lig.ApplyBatch(batch);
+
+    auto truth = PowerIterationPpr(g_seq, 1, oracle_opt);
+    ASSERT_LE(MaxAbsError(seq.Estimates(), truth), eps * 1.0001);
+    ASSERT_LE(MaxAbsError(opt.Estimates(), truth), eps * 1.0001);
+    ASSERT_LE(MaxAbsError(van.Estimates(), truth), eps * 1.0001);
+    ASSERT_LE(MaxAbsError(lig.Estimates(), truth), eps * 1.0001);
+    ASSERT_LE(MaxAbsError(opt.Estimates(), seq.Estimates()), 2 * eps);
+    ASSERT_LE(MaxAbsError(lig.Estimates(), van.Estimates()), 2 * eps);
+  }
+}
+
+// ------------------------------------------------- undirected model
+
+// Theorem 1/3's second arrival model: arbitrary edge updates of an
+// undirected graph, each applied as two directed updates.
+TEST(UndirectedModelTest, MaintenanceStaysAccurate) {
+  Rng rng(77);
+  auto base = GenerateErdosRenyi(60, 200, 5);
+  DynamicGraph g = DynamicGraph::FromEdges(Symmetrize(base), 60);
+  PprOptions options;
+  options.eps = 1e-6;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+
+  PowerIterationOptions oracle_opt;
+  for (int round = 0; round < 6; ++round) {
+    // Build an undirected batch: pick directed half-updates against the
+    // current graph, then double them.
+    UpdateBatch half;
+    auto pool = g.ToEdgeList();
+    for (int i = 0; i < 10; ++i) {
+      // Deletions must pick an edge whose reverse also exists; in a
+      // symmetrized graph every edge qualifies. Avoid picking the same
+      // undirected edge twice by re-listing after each choice.
+      if (!pool.empty() && rng.NextBernoulli(0.5)) {
+        for (int attempt = 0; attempt < 20; ++attempt) {
+          const auto idx =
+              static_cast<size_t>(rng.NextBounded(pool.size()));
+          const Edge e = pool[idx];
+          bool already = false;
+          for (const EdgeUpdate& up : half) {
+            if ((up.u == e.u && up.v == e.v) ||
+                (up.u == e.v && up.v == e.u)) {
+              already = true;
+              break;
+            }
+          }
+          if (already) continue;
+          half.push_back(EdgeUpdate::Delete(e.u, e.v));
+          break;
+        }
+      } else {
+        const auto u = static_cast<VertexId>(rng.NextBounded(60));
+        const auto v = static_cast<VertexId>(rng.NextBounded(60));
+        if (u != v) half.push_back(EdgeUpdate::Insert(u, v));
+      }
+    }
+    ppr.ApplyBatch(MakeUndirectedBatch(half));
+    ASSERT_LE(ppr.state().MaxAbsResidual(), options.eps);
+    auto truth = PowerIterationPpr(g, 0, oracle_opt);
+    ASSERT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001)
+        << "round " << round;
+  }
+}
+
+// ----------------------------------------------------- inverse batches
+
+TEST(InverseBatchTest, ApplyThenUndoReturnsWithinTwoEps) {
+  auto edges = GenerateRmat({.scale = 8, .avg_degree = 8, .seed = 3});
+  DynamicGraph g = DynamicGraph::FromEdges(edges, 1 << 8);
+  PprOptions options;
+  options.eps = 1e-7;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  auto before = ppr.Estimates();
+
+  UpdateBatch batch = {EdgeUpdate::Insert(3, 7), EdgeUpdate::Insert(9, 0),
+                       EdgeUpdate::Delete(edges[0].u, edges[0].v)};
+  UpdateBatch inverse;
+  for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+    inverse.push_back(it->op == UpdateOp::kInsert
+                          ? EdgeUpdate::Delete(it->u, it->v)
+                          : EdgeUpdate::Insert(it->u, it->v));
+  }
+  ppr.ApplyBatch(batch);
+  ppr.ApplyBatch(inverse);
+  // The graph is back to the original; both states eps-approximate the
+  // same truth.
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), before), 2 * options.eps);
+}
+
+// -------------------------------------------- alpha extremes + fuzzing
+
+class AlphaEpsFuzzTest
+    : public testing::TestWithParam<std::tuple<double, double, uint64_t>> {};
+
+TEST_P(AlphaEpsFuzzTest, MaintainedVectorMatchesOracle) {
+  const auto [alpha, eps, seed] = GetParam();
+  Rng rng(seed);
+  auto edges = GenerateErdosRenyi(80, 400, seed);
+  DynamicGraph g = DynamicGraph::FromEdges(edges, 80);
+  PprOptions options;
+  options.alpha = alpha;
+  options.eps = eps;
+  options.variant = PushVariant::kOpt;
+  DynamicPpr ppr(&g, 2, options);
+  ppr.Initialize();
+  for (int round = 0; round < 3; ++round) {
+    ppr.ApplyBatch(RandomBatch(g, 20, &rng, /*allow_new_vertices=*/false));
+  }
+  PowerIterationOptions oracle_opt;
+  oracle_opt.alpha = alpha;
+  auto truth = PowerIterationPpr(g, 2, oracle_opt);
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), truth), eps * 1.0001);
+  EXPECT_LE(ppr.state().MaxAbsResidual(), eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlphaEpsFuzzTest,
+    testing::Combine(testing::Values(0.05, 0.15, 0.5, 0.95),
+                     testing::Values(1e-4, 1e-6, 1e-8),
+                     testing::Values(11, 29, 47)));
+
+// ----------------------------------------------------- walk count (§5.1)
+
+TEST(WalkCountTest, PaperParametersGiveSixTimesV) {
+  // delta = 1/|V|, pf = 2/e, eps_r = 0.71  =>  w ≈ 5.95 |V| ("6|V|").
+  const double n = 100000;
+  const int64_t w = RecommendedWalkCount(1.0 / n, 2.0 / std::exp(1.0), 0.71);
+  EXPECT_NEAR(static_cast<double>(w) / n, 5.95, 0.02);
+}
+
+TEST(WalkCountTest, StricterGuaranteesNeedMoreWalks) {
+  const int64_t base = RecommendedWalkCount(1e-4, 0.1, 0.5);
+  EXPECT_GT(RecommendedWalkCount(1e-5, 0.1, 0.5), base);   // smaller delta
+  EXPECT_GT(RecommendedWalkCount(1e-4, 0.01, 0.5), base);  // smaller pf
+  EXPECT_GT(RecommendedWalkCount(1e-4, 0.1, 0.25), base);  // smaller eps_r
+}
+
+TEST(WalkCountTest, MatchesClosedForm) {
+  // 3 * ln(2/0.5) / (0.5^2 * 0.01) = 3 * ln(4) / 0.0025
+  const double expected = 3.0 * std::log(4.0) / 0.0025;
+  EXPECT_EQ(RecommendedWalkCount(0.01, 0.5, 0.5),
+            static_cast<int64_t>(std::ceil(expected)));
+}
+
+}  // namespace
+}  // namespace dppr

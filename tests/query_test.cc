@@ -1,0 +1,189 @@
+// Tests for the error-aware query layer and state checkpointing.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "core/dynamic_ppr.h"
+#include "core/query.h"
+#include "core/serialization.h"
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+
+namespace dppr {
+namespace {
+
+// ------------------------------------------------------------- queries
+
+TEST(QueryTest, PointEstimateIntervals) {
+  PprState state(0, 3);
+  state.p = {0.5, 0.0005, 0.2};
+  PointEstimate a = QueryVertex(state, 1e-3, 0);
+  EXPECT_DOUBLE_EQ(a.value, 0.5);
+  EXPECT_DOUBLE_EQ(a.lower, 0.499);
+  EXPECT_DOUBLE_EQ(a.upper, 0.501);
+  // Lower bound clamps at zero (PPR values are probabilities).
+  PointEstimate b = QueryVertex(state, 1e-3, 1);
+  EXPECT_DOUBLE_EQ(b.lower, 0.0);
+}
+
+TEST(QueryTest, CertainlyAboveUsesIntervals) {
+  PprState state(0, 2);
+  state.p = {0.5, 0.4};
+  EXPECT_TRUE(QueryVertex(state, 0.01, 0)
+                  .CertainlyAbove(QueryVertex(state, 0.01, 1)));
+  EXPECT_FALSE(QueryVertex(state, 0.06, 0)
+                   .CertainlyAbove(QueryVertex(state, 0.06, 1)));
+}
+
+TEST(QueryTest, GuaranteedTopKCertifiesClearGaps) {
+  // Estimates: 0.9, 0.8, 0.5, 0.49, 0.1 with eps = 0.01 and k = 3.
+  // Boundary (4th) = 0.49. Certain requires > 0.49 + 0.02 = 0.51:
+  // 0.9 and 0.8 qualify; 0.5 does not.
+  std::vector<double> p = {0.9, 0.8, 0.5, 0.49, 0.1};
+  GuaranteedTopK top = TopKWithGuarantee(p, 0.01, 3);
+  ASSERT_EQ(top.entries.size(), 3u);
+  EXPECT_EQ(top.entries[0].id, 0);
+  EXPECT_EQ(top.entries[2].id, 2);
+  EXPECT_EQ(top.certain_members, 2);
+}
+
+TEST(QueryTest, GuaranteedTopKAllCertainWhenWellSeparated) {
+  std::vector<double> p = {0.9, 0.6, 0.3, 0.0};
+  GuaranteedTopK top = TopKWithGuarantee(p, 0.01, 2);
+  EXPECT_EQ(top.certain_members, 2);
+}
+
+TEST(QueryTest, GuaranteedTopKNoneCertainWhenTied) {
+  std::vector<double> p = {0.5, 0.5, 0.5, 0.5};
+  GuaranteedTopK top = TopKWithGuarantee(p, 0.01, 2);
+  EXPECT_EQ(top.certain_members, 0);
+}
+
+TEST(QueryTest, GuaranteedTopKWholeVectorRequested) {
+  std::vector<double> p = {0.5, 0.4};
+  GuaranteedTopK top = TopKWithGuarantee(p, 0.001, 5);
+  // k exceeds |V|: everything returned and certain (boundary = 0 ...
+  // entries above 2*eps are certain).
+  ASSERT_EQ(top.entries.size(), 2u);
+  EXPECT_EQ(top.certain_members, 2);
+}
+
+TEST(QueryTest, EndToEndWithMaintainedState) {
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(128, 1024, 9), 128);
+  PprOptions options;
+  options.eps = 1e-7;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  GuaranteedTopK top = TopKWithGuarantee(ppr.Estimates(), options.eps, 10);
+  ASSERT_EQ(top.entries.size(), 10u);
+  // The source dominates its own contribution vector here; with eps=1e-7
+  // the top entry is certainly a true top-10 member.
+  EXPECT_GE(top.certain_members, 1);
+  EXPECT_EQ(top.entries[0].id, 0);
+}
+
+// -------------------------------------------------------- serialization
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SerializationTest, RoundTrip) {
+  PprState state(3, 100);
+  for (int i = 0; i < 100; ++i) {
+    state.p[static_cast<size_t>(i)] = i * 0.001;
+    state.r[static_cast<size_t>(i)] = i * -0.0001;
+  }
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  ASSERT_TRUE(SavePprState(path, state).ok());
+  PprState loaded;
+  ASSERT_TRUE(LoadPprState(path, &loaded).ok());
+  EXPECT_EQ(loaded.source, 3);
+  EXPECT_EQ(loaded.p, state.p);
+  EXPECT_EQ(loaded.r, state.r);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, DetectsBitFlip) {
+  PprState state(0, 64);
+  state.ResetToUnitResidual();
+  const std::string path = TempPath("ckpt_corrupt.bin");
+  ASSERT_TRUE(SavePprState(path, state).ok());
+  // Flip one byte in the middle of the payload.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 64, SEEK_SET);
+  const char byte = 0x5A;
+  std::fwrite(&byte, 1, 1, f);
+  std::fclose(f);
+  PprState loaded;
+  EXPECT_TRUE(LoadPprState(path, &loaded).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, DetectsTruncation) {
+  PprState state(0, 64);
+  const std::string path = TempPath("ckpt_trunc.bin");
+  ASSERT_TRUE(SavePprState(path, state).ok());
+  ASSERT_EQ(truncate(path.c_str(), 100), 0);
+  PprState loaded;
+  EXPECT_TRUE(LoadPprState(path, &loaded).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsGarbageFile) {
+  const std::string path = TempPath("ckpt_garbage.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a checkpoint", f);
+  std::fclose(f);
+  PprState loaded;
+  EXPECT_TRUE(LoadPprState(path, &loaded).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIOError) {
+  PprState loaded;
+  EXPECT_TRUE(LoadPprState("/nonexistent/x.bin", &loaded).IsIOError());
+}
+
+TEST(SerializationTest, ResumeMaintenanceAfterReload) {
+  // Checkpoint mid-stream, reload into a fresh engine attached to an
+  // identical graph, keep maintaining: results must match an engine that
+  // never restarted.
+  auto edges = GenerateErdosRenyi(64, 512, 11);
+  DynamicGraph g1 = DynamicGraph::FromEdges(edges, 64);
+  DynamicGraph g2 = DynamicGraph::FromEdges(edges, 64);
+  PprOptions options;
+  options.eps = 1e-7;
+  // Sequential variant: bit-for-bit deterministic, so the restarted
+  // engine must match the uninterrupted one exactly.
+  options.variant = PushVariant::kSequential;
+  DynamicPpr original(&g1, 5, options);
+  original.Initialize();
+  UpdateBatch first = {EdgeUpdate::Insert(1, 2), EdgeUpdate::Insert(3, 5)};
+  original.ApplyBatch(first);
+
+  const std::string path = TempPath("ckpt_resume.bin");
+  ASSERT_TRUE(SavePprState(path, original.state()).ok());
+
+  DynamicPpr resumed(&g2, 5, options);
+  for (const EdgeUpdate& up : first) g2.Apply(up);  // replay graph side
+  PprState loaded;
+  ASSERT_TRUE(LoadPprState(path, &loaded).ok());
+  resumed.RestoreFromState(std::move(loaded));
+
+  UpdateBatch second = {EdgeUpdate::Delete(1, 2), EdgeUpdate::Insert(7, 5)};
+  original.ApplyBatch(second);
+  resumed.ApplyBatch(second);
+  EXPECT_EQ(original.Estimates(), resumed.Estimates());
+  EXPECT_EQ(original.Residuals(), resumed.Residuals());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dppr

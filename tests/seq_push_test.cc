@@ -1,0 +1,244 @@
+// SequentialLocalPush (Algorithm 2) tests: the paper's exact walkthroughs
+// (Figures 1 and 3), the eps-approximation guarantee against the oracle,
+// and incremental-vs-scratch equivalence through the DynamicPpr facade.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/metrics.h"
+#include "analysis/power_iteration.h"
+#include "core/dynamic_ppr.h"
+#include "core/invariant.h"
+#include "core/seq_push.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+#include "util/random.h"
+
+namespace dppr {
+namespace {
+
+constexpr double kPaperAlpha = 0.5;
+constexpr double kPaperEps = 0.1;
+
+// Figure 3 b(1)-b(5): from-scratch sequential push on the example graph
+// converges to p = (0.5, 0.25, 0.1875, 0.09375), r = (0.09375, 0, 0, 0)
+// when the frontier is processed in FIFO order.
+TEST(SeqPushTest, PaperFigure3SequentialTrace) {
+  DynamicGraph g = PaperExampleGraph();
+  PprState state(0, 4);
+  state.ResetToUnitResidual();
+  PushCounters counters;
+  SequentialLocalPush(g, &state, kPaperAlpha, kPaperEps,
+                      std::vector<VertexId>{0}, &counters);
+  EXPECT_NEAR(state.p[0], 0.5, 1e-12);
+  EXPECT_NEAR(state.p[1], 0.25, 1e-12);
+  EXPECT_NEAR(state.p[2], 0.1875, 1e-12);
+  EXPECT_NEAR(state.p[3], 0.09375, 1e-12);
+  EXPECT_NEAR(state.r[0], 0.09375, 1e-12);
+  EXPECT_NEAR(state.r[1], 0.0, 1e-12);
+  EXPECT_NEAR(state.r[2], 0.0, 1e-12);
+  EXPECT_NEAR(state.r[3], 0.0, 1e-12);
+  // Figure 3(b) pushes exactly {v1, v2, v3, v4}: 4 push operations.
+  EXPECT_EQ(counters.push_ops, 4);
+}
+
+// Figure 1: starting from the converged Figure 1(a) state, insert e1 and
+// maintain. Figure 1(d) gives the converged state (its P1(1)=0.5812 is a
+// typo; the batch case Figure 2(d) prints the same quantity as 0.5781 =
+// exact 0.578125, which the arithmetic confirms).
+TEST(SeqPushTest, PaperFigure1SingleUpdate) {
+  DynamicGraph g = PaperExampleGraph();
+  PprState state(0, 4);
+  state.p = {0.5, 0.25, 0.1875, 0.0625};
+  state.r = {0.0625, 0.0, 0.0, 0.0625};
+  const EdgeUpdate e1 = PaperExampleInsertE1();
+  g.Apply(e1);
+  RestoreInvariant(g, &state, e1, kPaperAlpha);
+  SequentialLocalPush(g, &state, kPaperAlpha, kPaperEps,
+                      std::vector<VertexId>{e1.u}, nullptr);
+  EXPECT_NEAR(state.p[0], 0.578125, 1e-12);
+  EXPECT_NEAR(state.r[0], 0.0, 1e-12);
+  EXPECT_NEAR(state.r[1], 0.078125, 1e-12);  // Figure 1(d): 0.0781
+  EXPECT_NEAR(state.r[2], 0.0390625, 1e-12); // Figure 1(d): 0.039
+  EXPECT_NEAR(state.r[3], 0.0625, 1e-12);
+  EXPECT_NEAR(state.p[1], 0.25, 1e-12);
+  EXPECT_NEAR(state.p[2], 0.1875, 1e-12);
+  EXPECT_NEAR(state.p[3], 0.0625, 1e-12);
+}
+
+TEST(SeqPushTest, ConvergedStateRespectsEps) {
+  auto edges = GenerateRmat({.scale = 9, .avg_degree = 8, .seed = 21});
+  DynamicGraph g = DynamicGraph::FromEdges(edges, 1 << 9);
+  PprState state(5, g.NumVertices());
+  state.ResetToUnitResidual();
+  SequentialLocalPush(g, &state, 0.15, 1e-5, std::vector<VertexId>{5},
+                      nullptr);
+  EXPECT_LE(state.MaxAbsResidual(), 1e-5);
+}
+
+TEST(SeqPushTest, NegativePhaseDrainsNegativeResiduals) {
+  DynamicGraph g = CycleGraph(6);
+  PprState state(0, 6);
+  state.ResetToUnitResidual();
+  SequentialLocalPush(g, &state, 0.15, 1e-7, std::vector<VertexId>{0},
+                      nullptr);
+  // Delete an edge and insert another: deletions inject negative residual.
+  const EdgeUpdate del = EdgeUpdate::Delete(4, 5);
+  const EdgeUpdate ins = EdgeUpdate::Insert(4, 0);
+  g.Apply(del);
+  RestoreInvariant(g, &state, del, 0.15);
+  g.Apply(ins);
+  RestoreInvariant(g, &state, ins, 0.15);
+  SequentialLocalPush(g, &state, 0.15, 1e-7,
+                      std::vector<VertexId>{4, 4}, nullptr);
+  EXPECT_LE(state.MaxAbsResidual(), 1e-7);
+  // And the result still eps-matches the oracle on the new graph.
+  PowerIterationOptions opt;
+  opt.alpha = 0.15;
+  auto truth = PowerIterationPpr(g, 0, opt);
+  EXPECT_LE(MaxAbsError(state.p, truth), 1e-7 + 1e-10);
+}
+
+// ---------------------------------------------------------------- facade
+
+TEST(DynamicPprSeqTest, InitializeMatchesOracle) {
+  auto edges = GenerateErdosRenyi(256, 1500, 4);
+  DynamicGraph g = DynamicGraph::FromEdges(edges, 256);
+  PprOptions options;
+  options.alpha = 0.15;
+  options.eps = 1e-6;
+  options.variant = PushVariant::kSequential;
+  DynamicPpr ppr(&g, 7, options);
+  ppr.Initialize();
+  PowerIterationOptions oracle_opt;
+  oracle_opt.alpha = 0.15;
+  auto truth = PowerIterationPpr(g, 7, oracle_opt);
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), truth), 1e-6 + 1e-9);
+  EXPECT_LE(ppr.state().MaxAbsResidual(), 1e-6);
+}
+
+TEST(DynamicPprSeqTest, BatchMaintenanceTracksOracle) {
+  auto edges = GenerateRmat({.scale = 8, .avg_degree = 6, .seed = 31});
+  EdgeStream stream = EdgeStream::RandomPermutation(edges, 8);
+  SlidingWindow window(&stream, 0.3);
+  DynamicGraph g = DynamicGraph::FromEdges(window.InitialEdges(),
+                                           stream.NumVertices());
+  PprOptions options;
+  options.alpha = 0.2;
+  options.eps = 1e-6;
+  options.variant = PushVariant::kSequential;
+  DynamicPpr ppr(&g, 3, options);
+  ppr.Initialize();
+
+  PowerIterationOptions oracle_opt;
+  oracle_opt.alpha = 0.2;
+  for (int slide = 0; slide < 6 && window.CanSlide(40); ++slide) {
+    ppr.ApplyBatch(window.NextBatch(40));
+    auto truth = PowerIterationPpr(g, 3, oracle_opt);
+    ASSERT_LE(MaxAbsError(ppr.Estimates(), truth), 1e-6 + 1e-9)
+        << "slide " << slide;
+    ASSERT_LE(ppr.state().MaxAbsResidual(), 1e-6);
+  }
+}
+
+TEST(DynamicPprSeqTest, SingleUpdateModeMatchesBatchMode) {
+  auto edges = GenerateErdosRenyi(128, 700, 6);
+  EdgeStream stream = EdgeStream::RandomPermutation(edges, 2);
+  SlidingWindow window_a(&stream, 0.5);
+  SlidingWindow window_b(&stream, 0.5);
+
+  DynamicGraph ga = DynamicGraph::FromEdges(window_a.InitialEdges(), 128);
+  DynamicGraph gb = DynamicGraph::FromEdges(window_b.InitialEdges(), 128);
+  PprOptions options;
+  options.variant = PushVariant::kSequential;
+  options.eps = 1e-7;
+  DynamicPpr batch_ppr(&ga, 0, options);
+  DynamicPpr single_ppr(&gb, 0, options);
+  batch_ppr.Initialize();
+  single_ppr.Initialize();
+
+  auto batch = window_a.NextBatch(25);
+  (void)window_b.NextBatch(25);
+  batch_ppr.ApplyBatch(batch);
+  single_ppr.ApplySingleUpdates(batch);
+
+  // Both are eps-approximations of the same truth: within 2*eps of each
+  // other (they need not be identical).
+  EXPECT_LE(MaxAbsError(batch_ppr.Estimates(), single_ppr.Estimates()),
+            2 * options.eps);
+}
+
+TEST(DynamicPprSeqTest, StatsArePopulated) {
+  DynamicGraph g = PaperExampleGraph();
+  PprOptions options;
+  options.alpha = kPaperAlpha;
+  options.eps = kPaperEps;
+  options.variant = PushVariant::kSequential;
+  DynamicPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  EXPECT_EQ(ppr.last_stats().counters.push_ops, 4);  // Figure 3(b)
+  UpdateBatch batch = {PaperExampleInsertE1(), PaperExampleInsertE2()};
+  ppr.ApplyBatch(batch);
+  EXPECT_EQ(ppr.last_stats().counters.restore_ops, 2);
+  EXPECT_GT(ppr.last_stats().total_residual_change, 0.0);
+}
+
+// Property sweep: graph family x alpha x eps — from-scratch sequential
+// push is always an eps-approximation of the oracle and leaves the
+// invariant intact everywhere.
+using SweepParam = std::tuple<int /*graph kind*/, double /*alpha*/,
+                              double /*eps*/>;
+
+class SeqPushSweepTest : public testing::TestWithParam<SweepParam> {
+ protected:
+  static DynamicGraph MakeGraph(int kind) {
+    switch (kind) {
+      case 0:
+        return CycleGraph(64);
+      case 1:
+        return PathGraph(64);
+      case 2:
+        return StarGraph(64);
+      case 3:
+        return CompleteGraph(16);
+      case 4:
+        return DynamicGraph::FromEdges(GenerateErdosRenyi(128, 640, 17),
+                                       128);
+      default:
+        return DynamicGraph::FromEdges(
+            GenerateRmat({.scale = 7, .avg_degree = 5, .seed = 23}),
+            1 << 7);
+    }
+  }
+};
+
+TEST_P(SeqPushSweepTest, ScratchComputationIsEpsAccurate) {
+  const auto [kind, alpha, eps] = GetParam();
+  DynamicGraph g = MakeGraph(kind);
+  const VertexId s = 1;
+  PprState state(s, g.NumVertices());
+  state.ResetToUnitResidual();
+  SequentialLocalPush(g, &state, alpha, eps, std::vector<VertexId>{s},
+                      nullptr);
+  EXPECT_LE(state.MaxAbsResidual(), eps);
+  PowerIterationOptions opt;
+  opt.alpha = alpha;
+  auto truth = PowerIterationPpr(g, s, opt);
+  EXPECT_LE(MaxAbsError(state.p, truth), eps * 1.0001);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_NEAR(InvariantDefect(g, s, v, alpha, state.p, state.r), 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphAlphaEps, SeqPushSweepTest,
+    testing::Combine(testing::Values(0, 1, 2, 3, 4, 5),
+                     testing::Values(0.1, 0.15, 0.5, 0.85),
+                     testing::Values(1e-3, 1e-5, 1e-7)));
+
+}  // namespace
+}  // namespace dppr

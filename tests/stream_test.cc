@@ -1,0 +1,148 @@
+// Stream + sliding-window model tests (§5.1 protocol).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+
+namespace dppr {
+namespace {
+
+std::vector<Edge> MakeEdges(int n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    edges.push_back(
+        {static_cast<VertexId>(i), static_cast<VertexId>(i + 1)});
+  }
+  return edges;
+}
+
+TEST(EdgeStreamTest, PermutationKeepsAllEdges) {
+  auto edges = MakeEdges(100);
+  EdgeStream stream = EdgeStream::RandomPermutation(edges, 42);
+  ASSERT_EQ(stream.Size(), 100);
+  std::multiset<int> original;
+  std::multiset<int> shuffled;
+  for (const Edge& e : edges) original.insert(e.u);
+  for (EdgeCount i = 0; i < stream.Size(); ++i) {
+    shuffled.insert(stream.At(i).u);
+  }
+  EXPECT_EQ(original, shuffled);
+}
+
+TEST(EdgeStreamTest, PermutationDeterministicPerSeed) {
+  auto edges = MakeEdges(50);
+  EdgeStream a = EdgeStream::RandomPermutation(edges, 7);
+  EdgeStream b = EdgeStream::RandomPermutation(edges, 7);
+  EdgeStream c = EdgeStream::RandomPermutation(edges, 8);
+  bool all_same_ab = true;
+  bool all_same_ac = true;
+  for (EdgeCount i = 0; i < a.Size(); ++i) {
+    all_same_ab &= a.At(i) == b.At(i);
+    all_same_ac &= a.At(i) == c.At(i);
+  }
+  EXPECT_TRUE(all_same_ab);
+  EXPECT_FALSE(all_same_ac);
+}
+
+TEST(EdgeStreamTest, ActuallyShuffles) {
+  auto edges = MakeEdges(1000);
+  EdgeStream stream = EdgeStream::RandomPermutation(edges, 1);
+  int fixed_points = 0;
+  for (EdgeCount i = 0; i < stream.Size(); ++i) {
+    if (stream.At(i).u == static_cast<VertexId>(i)) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 30);  // expectation is 1
+}
+
+TEST(EdgeStreamTest, SliceAndNumVertices) {
+  EdgeStream stream = EdgeStream::FromOrdered(MakeEdges(10));
+  auto s = stream.Slice(2, 5);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].u, 2);
+  EXPECT_EQ(stream.NumVertices(), 11);  // edge 9->10
+}
+
+TEST(SlidingWindowTest, InitialWindowIsTenPercent) {
+  EdgeStream stream = EdgeStream::FromOrdered(MakeEdges(1000));
+  SlidingWindow window(&stream, 0.1);
+  EXPECT_EQ(window.WindowSize(), 100);
+  EXPECT_EQ(window.InitialEdges().size(), 100u);
+  EXPECT_EQ(window.MaxSlide(), 900);
+}
+
+TEST(SlidingWindowTest, BatchHasDeletesThenInserts) {
+  EdgeStream stream = EdgeStream::FromOrdered(MakeEdges(100));
+  SlidingWindow window(&stream, 0.1);
+  UpdateBatch batch = window.NextBatch(5);
+  ASSERT_EQ(batch.size(), 10u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[static_cast<size_t>(i)].op, UpdateOp::kDelete);
+    // Oldest first: stream edges 0..4.
+    EXPECT_EQ(batch[static_cast<size_t>(i)].u, static_cast<VertexId>(i));
+  }
+  for (int i = 5; i < 10; ++i) {
+    EXPECT_EQ(batch[static_cast<size_t>(i)].op, UpdateOp::kInsert);
+    EXPECT_EQ(batch[static_cast<size_t>(i)].u,
+              static_cast<VertexId>(10 + (i - 5)));
+  }
+}
+
+TEST(SlidingWindowTest, WindowContentInvariant) {
+  // After any number of slides, applying all batches to the initial window
+  // must equal the stream range [slides*k, init+slides*k).
+  auto base = GenerateErdosRenyi(64, 400, 5);
+  EdgeStream stream = EdgeStream::RandomPermutation(base, 3);
+  SlidingWindow window(&stream, 0.1);
+  DynamicGraph g = DynamicGraph::FromEdges(window.InitialEdges());
+  const EdgeCount k = 7;
+  int slides = 0;
+  while (window.CanSlide(k) && slides < 20) {
+    for (const EdgeUpdate& up : window.NextBatch(k)) g.Apply(up);
+    ++slides;
+  }
+  // Compare multiset of edges.
+  const EdgeCount lo = k * slides;
+  const EdgeCount hi = lo + window.WindowSize();
+  auto expected = stream.Slice(lo, hi);
+  std::multiset<std::pair<VertexId, VertexId>> want;
+  for (const Edge& e : expected) want.insert({e.u, e.v});
+  std::multiset<std::pair<VertexId, VertexId>> got;
+  for (const Edge& e : g.ToEdgeList()) got.insert({e.u, e.v});
+  EXPECT_EQ(want, got);
+}
+
+TEST(SlidingWindowTest, BatchForRatio) {
+  EdgeStream stream = EdgeStream::FromOrdered(MakeEdges(10000));
+  SlidingWindow window(&stream, 0.1);  // window = 1000
+  EXPECT_EQ(window.BatchForRatio(0.01), 10);
+  EXPECT_EQ(window.BatchForRatio(0.001), 1);
+  EXPECT_EQ(window.BatchForRatio(1.0), 1000);
+}
+
+TEST(SlidingWindowTest, RemainingSlides) {
+  EdgeStream stream = EdgeStream::FromOrdered(MakeEdges(100));
+  SlidingWindow window(&stream, 0.5);  // window=50, rest=50
+  EXPECT_EQ(window.RemainingSlides(10), 5);
+  (void)window.NextBatch(10);
+  EXPECT_EQ(window.RemainingSlides(10), 4);
+}
+
+TEST(SlidingWindowDeathTest, OverSlideAborts) {
+  EdgeStream stream = EdgeStream::FromOrdered(MakeEdges(20));
+  SlidingWindow window(&stream, 0.5);
+  // Larger than the window: would delete never-inserted edges.
+  EXPECT_DEATH((void)window.NextBatch(100), "window");
+  // Within the window but beyond the remaining stream.
+  (void)window.NextBatch(10);
+  EXPECT_DEATH((void)window.NextBatch(10), "CanSlide");
+}
+
+}  // namespace
+}  // namespace dppr

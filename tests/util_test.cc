@@ -1,0 +1,365 @@
+// Unit tests for the util substrate: Status, RNG, atomics, histogram,
+// table printer, arg parser, counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/args.h"
+#include "util/atomics.h"
+#include "util/counters.h"
+#include "util/histogram.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace dppr {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::IOError("disk on fire");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_FALSE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "disk on fire");
+  EXPECT_EQ(st.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, AllConstructorsMapToPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+}
+
+Status FailsThenPropagates() {
+  DPPR_RETURN_NOT_OK(Status::NotFound("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(FailsThenPropagates().IsNotFound());
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000003ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.NextInRange(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ThreadStreamsAreIndependent) {
+  Rng a = Rng::ForThread(99, 0);
+  Rng b = Rng::ForThread(99, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// --------------------------------------------------------------- Atomics
+
+TEST(AtomicsTest, FetchAddDoubleReturnsBeforeValue) {
+  double x = 1.5;
+  EXPECT_DOUBLE_EQ(AtomicFetchAddDouble(&x, 2.0), 1.5);
+  EXPECT_DOUBLE_EQ(x, 3.5);
+  EXPECT_DOUBLE_EQ(AtomicFetchAddDouble(&x, -3.5), 3.5);
+  EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(AtomicsTest, FetchAddDoubleIsAtomicUnderContention) {
+  double x = 0.0;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&x]() {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        AtomicFetchAddDouble(&x, 1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(x, static_cast<double>(kThreads * kAddsPerThread));
+}
+
+TEST(AtomicsTest, BeforeValuesFormAPermutationOfPartialSums) {
+  // Every concurrent fetch-add must observe a distinct before-value —
+  // this is the property local duplicate detection builds on.
+  double x = 0.0;
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 5000;
+  std::vector<std::vector<double>> observed(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&x, &observed, t]() {
+      observed[static_cast<size_t>(t)].reserve(kAdds);
+      for (int i = 0; i < kAdds; ++i) {
+        observed[static_cast<size_t>(t)].push_back(
+            AtomicFetchAddDouble(&x, 1.0));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<double> all;
+  for (const auto& vec : observed) {
+    for (double v : vec) {
+      EXPECT_TRUE(all.insert(v).second) << "duplicate before-value " << v;
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kAdds));
+}
+
+TEST(AtomicsTest, ExchangeByteArbitratesOneWinner) {
+  uint8_t flag = 0;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&flag, &winners]() {
+      if (AtomicExchangeByte(&flag, 1) == 0) winners.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.Count(), 5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 5.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  h.Add(0.0);
+  h.Add(10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(25), 2.5);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, StddevMatchesClosedForm) {
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.Add(v);
+  // Sample stddev of this classic dataset is ~2.138.
+  EXPECT_NEAR(h.Stddev(), 2.138, 0.001);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(1.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+// ---------------------------------------------------------- TablePrinter
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "2.5"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Every line has the same structure: header, rule, 2 rows.
+  int newlines = 0;
+  for (char c : out) newlines += c == '\n';
+  EXPECT_EQ(newlines, 4);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FmtInt(12345), "12345");
+  EXPECT_EQ(TablePrinter::FmtSci(0.000123, 1), "1.2e-04");
+}
+
+// -------------------------------------------------------------- ArgParser
+
+TEST(ArgParserTest, ParsesTypes) {
+  const char* argv[] = {"prog", "--n=42", "--eps=1e-7", "--name=pokec",
+                        "--verbose"};
+  ArgParser args;
+  ASSERT_TRUE(args.Parse(5, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(args.GetInt("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.GetDouble("eps", 0.0), 1e-7);
+  EXPECT_EQ(args.GetString("name", ""), "pokec");
+  EXPECT_TRUE(args.GetBool("verbose", false));
+  EXPECT_EQ(args.GetInt("missing", -7), -7);
+}
+
+TEST(ArgParserTest, RejectsMalformed) {
+  const char* argv[] = {"prog", "positional"};
+  ArgParser args;
+  EXPECT_TRUE(args.Parse(2, const_cast<char**>(argv)).IsInvalidArgument());
+}
+
+TEST(ArgParserTest, TracksUnusedKeys) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  ArgParser args;
+  ASSERT_TRUE(args.Parse(3, const_cast<char**>(argv)).ok());
+  (void)args.GetInt("used", 0);
+  const auto unused = args.UnusedKeys();
+  EXPECT_EQ(unused.size(), 1u);
+  EXPECT_TRUE(unused.count("typo") > 0);
+}
+
+// -------------------------------------------------------------- Counters
+
+TEST(CountersTest, AddAccumulates) {
+  PushCounters a;
+  a.push_ops = 3;
+  a.frontier_max = 10;
+  PushCounters b;
+  b.push_ops = 4;
+  b.frontier_max = 7;
+  a.Add(b);
+  EXPECT_EQ(a.push_ops, 7);
+  EXPECT_EQ(a.frontier_max, 10);  // max, not sum
+}
+
+TEST(CountersTest, ThreadCountersAggregate) {
+  ThreadCounters tc(4);
+  for (int t = 0; t < 4; ++t) tc.Local(t).edge_traversals = t + 1;
+  EXPECT_EQ(tc.Aggregate().edge_traversals, 1 + 2 + 3 + 4);
+  tc.Reset();
+  EXPECT_EQ(tc.Aggregate().edge_traversals, 0);
+}
+
+TEST(CountersTest, DedupRejectRate) {
+  PushCounters c;
+  EXPECT_DOUBLE_EQ(c.DedupRejectRate(), 0.0);
+  c.enqueue_attempts = 10;
+  c.dedup_rejects = 4;
+  EXPECT_DOUBLE_EQ(c.DedupRejectRate(), 0.4);
+}
+
+// --------------------------------------------------------------- Logging
+
+TEST(LoggingTest, LevelFilteringAndRestore) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold messages must not crash and must be cheap to skip.
+  DPPR_LOG(kDebug) << "dropped " << 42;
+  DPPR_LOG(kInfo) << "dropped too";
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, StreamFormExpandsArguments) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // silence output, still exercise path
+  DPPR_LOGS(kWarn) << "x=" << 1 << " y=" << 2.5 << " z=" << "str";
+  SetLogLevel(before);
+}
+
+// -------------------------------------------------------------- Parallel
+
+TEST(ParallelTest, ParallelForCoversRangeOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  ParallelFor(0, 10000, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, ScopedNumThreadsRestores) {
+  const int before = NumThreads();
+  {
+    ScopedNumThreads guard(1);
+    EXPECT_EQ(NumThreads(), 1);
+  }
+  EXPECT_EQ(NumThreads(), before);
+}
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,264 @@
+// Vertex-centric framework tests: VertexSubset representation changes,
+// edgeMap sparse/dense equivalence and switching, vertexMap/vertexFilter,
+// and LigraPpr correctness against the oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+
+#include "analysis/metrics.h"
+#include "analysis/power_iteration.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+#include "vc/ligra_engine.h"
+#include "vc/ligra_ppr.h"
+
+namespace dppr {
+namespace {
+
+// ----------------------------------------------------------- VertexSubset
+
+TEST(VertexSubsetTest, SparseToDenseRoundTrip) {
+  VertexSubset s = VertexSubset::FromSparse(10, {1, 4, 7});
+  EXPECT_EQ(s.Size(), 3);
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(5));
+  const auto& dense = s.Dense();
+  EXPECT_EQ(dense[1], 1);
+  EXPECT_EQ(dense[0], 0);
+}
+
+TEST(VertexSubsetTest, DenseToSparseRoundTrip) {
+  std::vector<uint8_t> flags = {0, 1, 0, 1, 1};
+  VertexSubset s = VertexSubset::FromDense(flags);
+  EXPECT_EQ(s.Size(), 3);
+  EXPECT_EQ(s.Sparse(), (std::vector<VertexId>{1, 3, 4}));
+}
+
+TEST(VertexSubsetTest, EmptySubset) {
+  VertexSubset s(5);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Size(), 0);
+}
+
+// ----------------------------------------------------------------- views
+
+TEST(GraphViewTest, TransposeSwapsDirections) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 1);
+  GraphView fwd(&g, false);
+  GraphView rev(&g, true);
+  EXPECT_EQ(fwd.OutDegree(0), 1);
+  EXPECT_EQ(rev.OutDegree(0), 0);
+  EXPECT_EQ(rev.OutDegree(1), 2);
+  auto rev_out1 = rev.OutNeighbors(1);
+  EXPECT_EQ(std::set<VertexId>(rev_out1.begin(), rev_out1.end()),
+            (std::set<VertexId>{0, 2}));
+}
+
+// ------------------------------------------------------------- edgeMap
+
+// BFS step functor: parent[] CAS claims destinations once.
+struct BfsF {
+  std::vector<std::atomic<int32_t>>* parent;
+
+  bool Update(VertexId s, VertexId d) const {
+    auto& slot = (*parent)[static_cast<size_t>(d)];
+    if (slot.load(std::memory_order_relaxed) == -1) {
+      slot.store(s, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+  bool UpdateAtomic(VertexId s, VertexId d) const {
+    auto& slot = (*parent)[static_cast<size_t>(d)];
+    int32_t expected = -1;
+    return slot.compare_exchange_strong(expected, s,
+                                        std::memory_order_relaxed);
+  }
+  bool Cond(VertexId d) const {
+    return (*parent)[static_cast<size_t>(d)].load(
+               std::memory_order_relaxed) == -1;
+  }
+};
+
+std::vector<int> BfsLevels(const DynamicGraph& g, VertexId root) {
+  std::vector<std::atomic<int32_t>> parent(
+      static_cast<size_t>(g.NumVertices()));
+  for (auto& p : parent) p.store(-1);
+  parent[static_cast<size_t>(root)].store(root);
+  std::vector<int> level(static_cast<size_t>(g.NumVertices()), -1);
+  level[static_cast<size_t>(root)] = 0;
+  GraphView view(&g, false);
+  VertexSubset frontier = VertexSubset::FromSparse(g.NumVertices(), {root});
+  int depth = 0;
+  while (!frontier.Empty()) {
+    ++depth;
+    BfsF f{&parent};
+    VertexSubset next = EdgeMap(view, &frontier, &f);
+    for (VertexId v : next.Sparse()) level[static_cast<size_t>(v)] = depth;
+    frontier = std::move(next);
+  }
+  return level;
+}
+
+std::vector<int> ReferenceBfs(const DynamicGraph& g, VertexId root) {
+  std::vector<int> level(static_cast<size_t>(g.NumVertices()), -1);
+  std::vector<VertexId> queue = {root};
+  level[static_cast<size_t>(root)] = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (level[static_cast<size_t>(v)] == -1) {
+        level[static_cast<size_t>(v)] = level[static_cast<size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+TEST(EdgeMapTest, BfsMatchesReferenceSparseRegime) {
+  // Long path: frontiers stay tiny, so every round runs sparse.
+  DynamicGraph g = PathGraph(200);
+  EXPECT_EQ(BfsLevels(g, 0), ReferenceBfs(g, 0));
+}
+
+TEST(EdgeMapTest, BfsMatchesReferenceDenseRegime) {
+  // Dense R-MAT ball: frontier blows up, forcing dense rounds.
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateRmat({.scale = 9, .avg_degree = 12, .seed = 3}), 1 << 9);
+  EXPECT_EQ(BfsLevels(g, 1), ReferenceBfs(g, 1));
+}
+
+TEST(EdgeMapTest, SwitchesToDenseForLargeFrontiers) {
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(256, 4096, 5), 256);
+  GraphView view(&g, false);
+  std::vector<std::atomic<int32_t>> parent(256);
+  for (auto& p : parent) p.store(-1);
+  BfsF f{&parent};
+  // All vertices in the frontier: must take the dense path.
+  std::vector<VertexId> all(256);
+  for (VertexId v = 0; v < 256; ++v) all[static_cast<size_t>(v)] = v;
+  VertexSubset frontier = VertexSubset::FromSparse(256, std::move(all));
+  EdgeMapStats stats;
+  (void)EdgeMap(view, &frontier, &f, &stats);
+  EXPECT_EQ(stats.dense_calls, 1);
+  EXPECT_EQ(stats.sparse_calls, 0);
+
+  // A single vertex: sparse.
+  VertexSubset tiny = VertexSubset::FromSparse(256, {0});
+  for (auto& p : parent) p.store(-1);
+  EdgeMapStats stats2;
+  (void)EdgeMap(view, &tiny, &f, &stats2);
+  EXPECT_EQ(stats2.sparse_calls, 1);
+  EXPECT_EQ(stats2.dense_calls, 0);
+}
+
+TEST(EdgeMapTest, OutputHasNoDuplicates) {
+  DynamicGraph g = StarGraph(64);  // all spokes hit the hub
+  GraphView view(&g, false);
+  std::vector<std::atomic<int32_t>> parent(64);
+  for (auto& p : parent) p.store(-1);
+  BfsF f{&parent};
+  std::vector<VertexId> spokes;
+  for (VertexId v = 1; v < 64; ++v) spokes.push_back(v);
+  VertexSubset frontier = VertexSubset::FromSparse(64, std::move(spokes));
+  VertexSubset next = EdgeMap(view, &frontier, &f);
+  auto out = next.Sparse();
+  std::set<VertexId> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), out.size());
+}
+
+TEST(VertexMapTest, AppliesToAllMembers) {
+  VertexSubset s = VertexSubset::FromSparse(100, {2, 3, 5, 7});
+  std::vector<std::atomic<int>> hits(100);
+  VertexMap(&s, [&hits](VertexId v) {
+    hits[static_cast<size_t>(v)].fetch_add(1);
+  });
+  EXPECT_EQ(hits[2].load(), 1);
+  EXPECT_EQ(hits[7].load(), 1);
+  EXPECT_EQ(hits[4].load(), 0);
+}
+
+TEST(VertexFilterTest, KeepsMatching) {
+  VertexSubset s = VertexSubset::FromSparse(10, {1, 2, 3, 4});
+  VertexSubset even = VertexFilter(&s, [](VertexId v) { return v % 2 == 0; });
+  EXPECT_EQ(even.Sparse(), (std::vector<VertexId>{2, 4}));
+}
+
+// ------------------------------------------------------------- LigraPpr
+
+TEST(LigraPprTest, ScratchMatchesOracle) {
+  DynamicGraph g = DynamicGraph::FromEdges(
+      GenerateRmat({.scale = 9, .avg_degree = 10, .seed = 44}), 1 << 9);
+  PprOptions options;
+  options.eps = 1e-6;
+  LigraPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  EXPECT_LE(ppr.state().MaxAbsResidual(), options.eps);
+  PowerIterationOptions opt;
+  auto truth = PowerIterationPpr(g, 0, opt);
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001);
+}
+
+TEST(LigraPprTest, PaperExampleBatchMatchesFigure2) {
+  DynamicGraph g = PaperExampleGraph();
+  PprOptions options;
+  options.alpha = 0.5;
+  options.eps = 0.1;
+  LigraPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  // Vanilla-order push from scratch lands on Figure 1(a) exactly (the
+  // vertex-centric rounds do the same zero-then-propagate steps).
+  ASSERT_NEAR(ppr.Estimates()[3], 0.0625, 1e-12);
+  ppr.ApplyBatch({PaperExampleInsertE1(), PaperExampleInsertE2()});
+  EXPECT_NEAR(ppr.Estimates()[0], 0.578125, 1e-12);
+  EXPECT_NEAR(ppr.Estimates()[3], 0.171875, 1e-12);
+  EXPECT_NEAR(ppr.Residuals()[1], 0.078125, 1e-12);
+}
+
+TEST(LigraPprTest, SlidingWindowMaintenance) {
+  auto edges = GenerateErdosRenyi(512, 4096, 10);
+  EdgeStream stream = EdgeStream::RandomPermutation(edges, 11);
+  SlidingWindow window(&stream, 0.4);
+  DynamicGraph g = DynamicGraph::FromEdges(window.InitialEdges(), 512);
+  PprOptions options;
+  options.eps = 1e-5;
+  LigraPpr ppr(&g, 2, options);
+  ppr.Initialize();
+  PowerIterationOptions opt;
+  for (int slide = 0; slide < 4; ++slide) {
+    ppr.ApplyBatch(window.NextBatch(80));
+    ASSERT_LE(ppr.state().MaxAbsResidual(), options.eps);
+    auto truth = PowerIterationPpr(g, 2, opt);
+    ASSERT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001)
+        << "slide " << slide;
+  }
+}
+
+TEST(LigraPprTest, NegativeResidualsHandled) {
+  DynamicGraph g = CompleteGraph(12);
+  PprOptions options;
+  options.eps = 1e-7;
+  LigraPpr ppr(&g, 0, options);
+  ppr.Initialize();
+  UpdateBatch deletions;
+  for (VertexId v = 1; v <= 5; ++v) {
+    deletions.push_back(EdgeUpdate::Delete(0, v));
+  }
+  ppr.ApplyBatch(deletions);
+  EXPECT_LE(ppr.state().MaxAbsResidual(), options.eps);
+  PowerIterationOptions opt;
+  auto truth = PowerIterationPpr(g, 0, opt);
+  EXPECT_LE(MaxAbsError(ppr.Estimates(), truth), options.eps * 1.0001);
+}
+
+}  // namespace
+}  // namespace dppr
