@@ -6,8 +6,8 @@
 //  (b) frontier initialization: literal Algorithm-3 full vertex scan vs
 //      batch-local touched seeding.
 //  (c) multi-source amortization: maintaining 4 vectors through one
-//      MultiSourcePpr vs 4 independent DynamicPpr instances applied to 4
-//      separate graphs.
+//      PprIndex (shared graph, pooled engines) vs 4 independent
+//      DynamicPpr instances applied to 4 separate graphs.
 //  (d) hybrid-round threshold: sweep of PprOptions::parallel_round_min_work
 //      (0 = every round parallel ... huge = fully sequential rounds),
 //      quantifying the §3.1 small-frontier fallback.
@@ -18,7 +18,7 @@
 #include <cstdio>
 
 #include "bench/common.h"
-#include "core/multi_source.h"
+#include "index/ppr_index.h"
 #include "graph/graph_stats.h"
 #include "util/random.h"
 #include "util/table_printer.h"
@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
       sources.push_back(PickSourceByDegreeRank(shared, 1000, &rng));
     }
     PprOptions options;
-    MultiSourcePpr multi(&shared, sources, options);
+    PprIndex multi(&shared, sources, options);
     multi.Initialize();
 
     std::vector<DynamicGraph> graphs;
@@ -201,7 +201,7 @@ int main(int argc, char** argv) {
     }
 
     TablePrinter table_c({"dataset", "strategy", "total_s", "per_slide_ms"});
-    table_c.AddRow({workload.name, "MultiSourcePpr (shared graph)",
+    table_c.AddRow({workload.name, "PprIndex (shared graph, pooled)",
                     TablePrinter::Fmt(multi_seconds, 3),
                     TablePrinter::Fmt(multi_seconds * 1e3 /
                                           std::max(slides, 1), 3)});

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build with warnings-as-errors, run the full
+# ctest suite. Usable locally too: ./ci/run_tests.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DDPPR_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

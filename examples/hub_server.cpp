@@ -3,23 +3,27 @@
 // paper names in §6 ("our approach is helpful for [HubPPR, Guo et al.]
 // to maintain the indexed PPR vectors on dynamic graphs").
 //
-//   ./hub_server [--hubs=8] [--slides=12] [--k=5] [--checkpoint_dir=/tmp]
+//   ./hub_server [--hubs=8] [--slides=12] [--k=5] [--seed=33]
+//                [--checkpoint_dir=/tmp]
 //
-// Demonstrates the extension APIs end to end: MultiSourcePpr (shared
-// graph, amortized restoration), ValidateBatch (untrusted feed
-// pre-flight), TopKWithGuarantee (certified rankings), and
-// Save/LoadPprState + RestoreFromState (crash recovery drill).
+// Demonstrates the extension APIs end to end: PprIndex (shared graph,
+// pooled engines, source-parallel maintenance), ValidateBatch (untrusted
+// feed pre-flight), snapshot-based TopKWithGuarantee (certified rankings
+// served from the published epoch, exactly what a concurrent query thread
+// would read), and Save/LoadPprState + RestoreFromState (crash recovery
+// drill). The stream permutation seed defaults to a fixed value so the
+// printed output is reproducible run-to-run; pass --seed to vary it.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/batch_validation.h"
-#include "core/multi_source.h"
 #include "core/query.h"
 #include "core/serialization.h"
 #include "gen/datasets.h"
 #include "graph/graph_stats.h"
+#include "index/ppr_index.h"
 #include "stream/edge_stream.h"
 #include "stream/sliding_window.h"
 #include "util/args.h"
@@ -35,15 +39,17 @@ int main(int argc, char** argv) {
   const auto num_hubs = static_cast<size_t>(args.GetInt("hubs", 8));
   const int slides = static_cast<int>(args.GetInt("slides", 12));
   const int k = static_cast<int>(args.GetInt("k", 5));
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 33));
   const std::string checkpoint_dir =
       args.GetString("checkpoint_dir", "/tmp");
 
-  // Stream a pokec-like graph.
+  // Stream a pokec-like graph. The deterministic seed fixes the timestamp
+  // permutation, so every run slides the same batches.
   dppr::DatasetSpec spec;
   (void)dppr::FindDataset("pokec", &spec);
   auto edges = dppr::GenerateDataset(spec, /*scale_shift=*/1);
   dppr::EdgeStream stream =
-      dppr::EdgeStream::RandomPermutation(std::move(edges), 33);
+      dppr::EdgeStream::RandomPermutation(std::move(edges), seed);
   dppr::SlidingWindow window(&stream, 0.1);
   dppr::DynamicGraph graph = dppr::DynamicGraph::FromEdges(
       window.InitialEdges(), stream.NumVertices());
@@ -51,16 +57,17 @@ int main(int argc, char** argv) {
   // Hubs = the highest-out-degree vertices (the HubPPR recipe).
   std::vector<dppr::VertexId> hubs =
       dppr::TopOutDegreeVertices(graph, static_cast<dppr::VertexId>(num_hubs));
-  dppr::PprOptions options;
-  options.eps = 1e-7;
-  dppr::MultiSourcePpr index(&graph, hubs, options);
+  dppr::IndexOptions options;
+  options.ppr.eps = 1e-7;
+  dppr::PprIndex index(&graph, hubs, options);
 
   dppr::WallTimer init_timer;
   index.Initialize();
   std::printf("hub index over %zu sources built in %.1f ms (|V|=%d, "
-              "|E|=%lld)\n\n",
+              "|E|=%lld, %d pooled engines)\n\n",
               index.NumSources(), init_timer.Millis(), graph.NumVertices(),
-              static_cast<long long>(graph.NumEdges()));
+              static_cast<long long>(graph.NumEdges()),
+              index.NumPooledEngines());
 
   const dppr::EdgeCount batch_size = window.BatchForRatio(0.001);
   double maintain_ms = 0;
@@ -76,18 +83,20 @@ int main(int argc, char** argv) {
     maintain_ms += index.LastBatchSeconds() * 1e3;
   }
   std::printf("maintained %zu vectors through %d slides "
-              "(%.2f ms/slide total across all hubs)\n\n",
+              "(%.2f ms/slide wall clock, all hubs per slide)\n\n",
               index.NumSources(), slides,
               maintain_ms / std::max(slides, 1));
 
-  // Serve certified top-k for each hub.
+  // Serve certified top-k for each hub from its published snapshot — the
+  // same lock-free path a concurrent query thread would use.
   dppr::TablePrinter table(
-      {"hub", "top-1", "score", "certified_of_top" + std::to_string(k)});
+      {"hub", "epoch", "top-1", "score",
+       "certified_of_top" + std::to_string(k)});
   for (size_t h = 0; h < index.NumSources(); ++h) {
-    const dppr::DynamicPpr& ppr = index.Source(h);
-    dppr::GuaranteedTopK top =
-        dppr::TopKWithGuarantee(ppr.Estimates(), options.eps, k);
-    table.AddRow({dppr::TablePrinter::FmtInt(ppr.source()),
+    dppr::GuaranteedTopK top = index.TopKWithGuarantee(h, k);
+    table.AddRow({dppr::TablePrinter::FmtInt(index.SourceVertex(h)),
+                  dppr::TablePrinter::FmtInt(
+                      static_cast<int64_t>(index.Epoch(h))),
                   dppr::TablePrinter::FmtInt(top.entries[0].id),
                   dppr::TablePrinter::FmtSci(top.entries[0].score, 3),
                   dppr::TablePrinter::FmtInt(top.certain_members)});
@@ -109,7 +118,7 @@ int main(int argc, char** argv) {
   const bool identical = reloaded.p == index.Source(0).state().p &&
                          reloaded.r == index.Source(0).state().r;
   std::printf("\ncheckpoint drill (hub %d -> %s): %s\n",
-              index.Source(0).source(), path.c_str(),
+              index.SourceVertex(0), path.c_str(),
               identical ? "reload identical" : "MISMATCH");
   std::remove(path.c_str());
   return identical ? 0 : 1;

@@ -12,13 +12,25 @@ namespace dppr {
 
 DynamicPpr::DynamicPpr(DynamicGraph* graph, VertexId source,
                        const PprOptions& options)
+    : DynamicPpr(graph, source, options, nullptr) {}
+
+DynamicPpr::DynamicPpr(DynamicGraph* graph, VertexId source,
+                       const PprOptions& options, ParallelPushEngine* engine)
     : graph_(graph), options_(options), state_(source, graph->NumVertices()) {
   DPPR_CHECK(graph != nullptr);
   DPPR_CHECK(options.Validate().ok());
   DPPR_CHECK_MSG(graph->IsValid(source), "source must exist in the graph");
-  if (options_.variant != PushVariant::kSequential) {
-    engine_ = std::make_unique<ParallelPushEngine>(options_, NumThreads());
+  SetEngine(engine);
+}
+
+void DynamicPpr::SetEngine(ParallelPushEngine* engine) {
+  if (engine != nullptr) {
+    const PprOptions& eo = engine->options();
+    DPPR_CHECK_MSG(eo.alpha == options_.alpha && eo.eps == options_.eps &&
+                       eo.variant == options_.variant,
+                   "injected engine configured for different options");
   }
+  external_engine_ = engine;
 }
 
 void DynamicPpr::Initialize() {
@@ -76,6 +88,15 @@ void DynamicPpr::RestoreForUpdate(const EdgeUpdate& update) {
   touched_.push_back(update.u);
 }
 
+void DynamicPpr::RestoreForUpdate(const EdgeUpdate& update,
+                                  VertexId dout_after) {
+  const double delta = RestoreInvariantWithDegree(&state_, update, dout_after,
+                                                  options_.alpha);
+  stats_.total_residual_change += std::abs(delta);
+  ++stats_.counters.restore_ops;
+  touched_.push_back(update.u);
+}
+
 void DynamicPpr::RunPushOnTouched(bool accumulate) {
   if (!accumulate) stats_.Reset();
   Push(touched_);
@@ -91,7 +112,15 @@ void DynamicPpr::Push(std::span<const VertexId> touched) {
     stats_.push_seconds += timer.Seconds();
     return;
   }
-  engine_->Run(*graph_, &state_, touched, &stats_);
+  ParallelPushEngine* engine = external_engine_;
+  if (engine == nullptr) {
+    if (owned_engine_ == nullptr) {
+      owned_engine_ =
+          std::make_unique<ParallelPushEngine>(options_, NumThreads());
+    }
+    engine = owned_engine_.get();
+  }
+  engine->Run(*graph_, &state_, touched, &stats_);
 }
 
 }  // namespace dppr

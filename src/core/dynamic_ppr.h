@@ -39,6 +39,13 @@ class DynamicPpr {
  public:
   DynamicPpr(DynamicGraph* graph, VertexId source, const PprOptions& options);
 
+  /// Engine-injecting constructor: pushes run on `engine` (not owned; may
+  /// be null, reverting to the self-owned engine). PprIndex maintains K
+  /// sources over a pool of min(K, threads) engines through this — state
+  /// is per-source, engines are pooled.
+  DynamicPpr(DynamicGraph* graph, VertexId source, const PprOptions& options,
+             ParallelPushEngine* engine);
+
   /// Computes the vector from scratch on the current graph: resets to the
   /// unit-residual state (p = 0, r = e_source; Figure 3 a(1)/b(1)) and
   /// pushes to convergence.
@@ -72,6 +79,12 @@ class DynamicPpr {
   /// RestoreForUpdate / RunPushOnTouched sequence).
   void ResetStats() { stats_.Reset(); }
 
+  /// Credits externally timed restore work (PprIndex times each source's
+  /// whole journal replay instead of paying two clock reads per update).
+  void AddRestoreSeconds(double seconds) {
+    stats_.restore_seconds += seconds;
+  }
+
   /// Adopts a previously checkpointed state (see core/serialization.h).
   /// The state's source must match this instance's and its vector length
   /// must not exceed the current graph (it is grown to |V| if shorter).
@@ -80,15 +93,35 @@ class DynamicPpr {
   /// like any other database restored against the wrong WAL.
   void RestoreFromState(PprState state);
 
-  // --- Building blocks for external orchestration (MultiSourcePpr) ------
+  // --- Building blocks for external orchestration (PprIndex) ------------
 
   /// Restores the invariant for `update` assuming the graph mutation was
   /// ALREADY applied by the caller. Accumulates the touched vertex.
   void RestoreForUpdate(const EdgeUpdate& update);
 
+  /// RestoreForUpdate against a journaled post-update out-degree instead
+  /// of a live graph read. Because the graph is not consulted, many
+  /// sources can replay the same journal concurrently (each owns its
+  /// state) while still observing per-update intermediate graph
+  /// correctness — the foundation of PprIndex's source-parallel restore.
+  void RestoreForUpdate(const EdgeUpdate& update, VertexId dout_after);
+
   /// Pushes the residuals accumulated by RestoreForUpdate calls and clears
   /// the touched set. Resets stats beforehand unless `accumulate`.
   void RunPushOnTouched(bool accumulate = false);
+
+  /// Replaces the push engine (non-owning). Pass nullptr to revert to the
+  /// lazily created self-owned engine. The engine's alpha/eps/variant must
+  /// match this instance's options. Callers are responsible for never
+  /// running two sources on one engine concurrently.
+  void SetEngine(ParallelPushEngine* engine);
+
+  /// The engine pushes currently run on (null until the first parallel
+  /// push when no engine was injected).
+  const ParallelPushEngine* engine() const {
+    return external_engine_ != nullptr ? external_engine_
+                                       : owned_engine_.get();
+  }
 
  private:
   void Push(std::span<const VertexId> touched);
@@ -96,7 +129,8 @@ class DynamicPpr {
   DynamicGraph* graph_;
   PprOptions options_;
   PprState state_;
-  std::unique_ptr<ParallelPushEngine> engine_;  ///< null for kSequential
+  ParallelPushEngine* external_engine_ = nullptr;  ///< injected, not owned
+  std::unique_ptr<ParallelPushEngine> owned_engine_;  ///< lazy fallback
   std::vector<VertexId> touched_;
   PushStats stats_;
 };

@@ -67,4 +67,13 @@ int64_t Frontier::FlushToCurrent() {
   return static_cast<int64_t>(current_.size());
 }
 
+size_t Frontier::ApproxBytes() const {
+  size_t bytes = current_.capacity() * sizeof(VertexId) +
+                 enqueued_.capacity() + in_current_.capacity();
+  for (const auto& buf : buffers_) {
+    bytes += sizeof(ThreadBuffer) + buf.items.capacity() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
 }  // namespace dppr

@@ -78,6 +78,9 @@ class Frontier {
   /// frontier size.
   int64_t FlushToCurrent();
 
+  /// Approximate heap footprint (dense frontier, thread buffers, flags).
+  size_t ApproxBytes() const;
+
  private:
   struct alignas(kCacheLineSize) ThreadBuffer {
     std::vector<VertexId> items;

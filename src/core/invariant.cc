@@ -1,5 +1,7 @@
 #include "core/invariant.h"
 
+#include <algorithm>
+
 #include "util/macros.h"
 
 namespace dppr {
@@ -9,13 +11,21 @@ double RestoreInvariant(const DynamicGraph& g, PprState* state,
   DPPR_CHECK(state != nullptr);
   DPPR_CHECK(g.IsValid(update.u) && g.IsValid(update.v));
   state->Resize(g.NumVertices());
+  return RestoreInvariantWithDegree(state, update, g.OutDegree(update.u),
+                                    alpha);
+}
+
+double RestoreInvariantWithDegree(PprState* state, const EdgeUpdate& update,
+                                  VertexId dout_after, double alpha) {
+  DPPR_CHECK(state != nullptr);
+  DPPR_CHECK(update.u >= 0 && update.v >= 0 && dout_after >= 0);
+  state->Resize(std::max(update.u, update.v) + 1);
 
   const auto u = static_cast<size_t>(update.u);
   const auto v = static_cast<size_t>(update.v);
-  const double dout_after = static_cast<double>(g.OutDegree(update.u));
   const double old_r = state->r[u];
 
-  if (update.op == UpdateOp::kDelete && dout_after == 0.0) {
+  if (update.op == UpdateOp::kDelete && dout_after == 0) {
     // The last out-edge vanished; Eq. 2 degenerates to
     // p[u] + alpha * r[u] = alpha * [u == s].
     const double indicator = update.u == state->source ? alpha : 0.0;
@@ -23,13 +33,14 @@ double RestoreInvariant(const DynamicGraph& g, PprState* state,
     return state->r[u] - old_r;
   }
 
-  DPPR_CHECK_MSG(dout_after > 0.0,
+  DPPR_CHECK_MSG(dout_after > 0,
                  "insertion must leave u with positive out-degree");
   const double indicator = update.u == state->source ? alpha : 0.0;
   const double numerator = (1.0 - alpha) * state->p[v] - state->p[u] -
                            alpha * old_r + indicator;
   const double op_sign = update.op == UpdateOp::kInsert ? 1.0 : -1.0;
-  const double delta = op_sign * numerator / (alpha * dout_after);
+  const double delta =
+      op_sign * numerator / (alpha * static_cast<double>(dout_after));
   state->r[u] = old_r + delta;
   return delta;
 }

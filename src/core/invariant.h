@@ -33,6 +33,18 @@ namespace dppr {
 double RestoreInvariant(const DynamicGraph& g, PprState* state,
                         const EdgeUpdate& update, double alpha);
 
+/// \brief RestoreInvariant against a RECORDED post-update out-degree
+/// instead of a live graph lookup.
+///
+/// The repair formula only consumes dout_after(u) from the graph, so a
+/// maintenance pass can apply a whole batch to the graph once, journal
+/// (update, dout_after) per update, and then replay the journal for any
+/// number of sources — in parallel across sources — while each source
+/// still observes the exact per-update intermediate graph state Algorithm
+/// 1 requires. PprIndex's source-parallel restore is built on this.
+double RestoreInvariantWithDegree(PprState* state, const EdgeUpdate& update,
+                                  VertexId dout_after, double alpha);
+
 }  // namespace dppr
 
 #endif  // DPPR_CORE_INVARIANT_H_

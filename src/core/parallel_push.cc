@@ -8,6 +8,17 @@
 
 namespace dppr {
 
+void PushStats::Add(const PushStats& other) {
+  counters.Add(other.counters);
+  pos_iterations += other.pos_iterations;
+  neg_iterations += other.neg_iterations;
+  restore_seconds += other.restore_seconds;
+  push_seconds += other.push_seconds;
+  total_residual_change += other.total_residual_change;
+  frontier_trace.insert(frontier_trace.end(), other.frontier_trace.begin(),
+                        other.frontier_trace.end());
+}
+
 ParallelPushEngine::ParallelPushEngine(const PprOptions& options,
                                        int max_threads)
     : options_(options),
@@ -58,7 +69,10 @@ constexpr int64_t kParallelRoundMaxScan = 65536;
 bool ShouldParallelizeRound(const DynamicGraph& g,
                             std::span<const VertexId> frontier,
                             int64_t min_work) {
-  if (NumThreads() == 1) return false;
+  // Under an enclosing parallel region (PprIndex's across-source push) a
+  // nested omp-for runs on a team of one: atomics and fork overhead would
+  // be pure loss, so the round runs through the plain sequential path.
+  if (NumThreads() == 1 || InParallelRegion()) return false;
   const auto n = static_cast<int64_t>(frontier.size());
   if (n >= kParallelRoundMaxScan || n >= min_work) return true;
   int64_t work = n;
@@ -149,6 +163,19 @@ void ParallelPushEngine::Run(const DynamicGraph& g, PprState* state,
   aggregated.random_bytes =
       24 * aggregated.edge_traversals + 16 * aggregated.push_ops;
   stats->counters.Add(aggregated);
+}
+
+size_t ParallelPushEngine::ApproxScratchBytes() const {
+  size_t bytes = frontier_.ApproxBytes();
+  bytes += scratch_.frontier_w.capacity() * sizeof(double);
+  bytes += scratch_.merged_pairs.capacity() *
+           sizeof(std::pair<VertexId, double>);
+  for (const auto& pairs : scratch_.thread_pairs) {
+    bytes += sizeof(PushScratch::ThreadPairs) +
+             pairs.items.capacity() * sizeof(std::pair<VertexId, double>);
+  }
+  bytes += sizeof(ParallelPushEngine);
+  return bytes;
 }
 
 }  // namespace dppr

@@ -38,6 +38,12 @@ struct PushStats {
 
   void Reset() { *this = PushStats(); }
   double TotalSeconds() const { return restore_seconds + push_seconds; }
+
+  /// Accumulates another step's stats into this one (PprIndex sums the
+  /// per-source stats of a batch this way). Summed *_seconds count total
+  /// CPU-side work and OVERSTATE wall clock when sources ran concurrently
+  /// — wall clock is reported separately (PprIndex::LastBatchSeconds).
+  void Add(const PushStats& other);
 };
 
 /// \brief Reusable parallel push driver (owns frontier + scratch buffers).
@@ -51,6 +57,12 @@ class ParallelPushEngine {
            std::span<const VertexId> touched, PushStats* stats);
 
   const PprOptions& options() const { return options_; }
+
+  /// Approximate heap footprint of the reusable buffers (frontier, dedup
+  /// flags, kernel scratch, per-thread counters). The engine-pool sizing
+  /// argument rests on this number growing with pool size, not with the
+  /// number of maintained sources.
+  size_t ApproxScratchBytes() const;
 
  private:
   int64_t InitFrontier(const DynamicGraph& g, const PprState& state,

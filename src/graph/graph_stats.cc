@@ -26,14 +26,18 @@ DegreeStats ComputeDegreeStats(const DynamicGraph& g) {
   return stats;
 }
 
-std::vector<VertexId> TopOutDegreeVertices(const DynamicGraph& g, VertexId k) {
+namespace {
+
+template <typename DegreeFn>
+std::vector<VertexId> TopDegreeVertices(const DynamicGraph& g, VertexId k,
+                                        DegreeFn&& degree) {
   const VertexId n = g.NumVertices();
   k = std::min(k, n);
   std::vector<VertexId> ids(static_cast<size_t>(n));
   for (VertexId v = 0; v < n; ++v) ids[static_cast<size_t>(v)] = v;
-  auto by_degree_desc = [&g](VertexId a, VertexId b) {
-    const VertexId da = g.OutDegree(a);
-    const VertexId db = g.OutDegree(b);
+  auto by_degree_desc = [&degree](VertexId a, VertexId b) {
+    const VertexId da = degree(a);
+    const VertexId db = degree(b);
     return da != db ? da > db : a < b;
   };
   if (k < n) {
@@ -44,6 +48,16 @@ std::vector<VertexId> TopOutDegreeVertices(const DynamicGraph& g, VertexId k) {
     std::sort(ids.begin(), ids.end(), by_degree_desc);
   }
   return ids;
+}
+
+}  // namespace
+
+std::vector<VertexId> TopOutDegreeVertices(const DynamicGraph& g, VertexId k) {
+  return TopDegreeVertices(g, k, [&g](VertexId v) { return g.OutDegree(v); });
+}
+
+std::vector<VertexId> TopInDegreeVertices(const DynamicGraph& g, VertexId k) {
+  return TopDegreeVertices(g, k, [&g](VertexId v) { return g.InDegree(v); });
 }
 
 VertexId PickSourceByDegreeRank(const DynamicGraph& g, VertexId k, Rng* rng) {

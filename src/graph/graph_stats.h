@@ -35,6 +35,10 @@ DegreeStats ComputeDegreeStats(const DynamicGraph& g);
 /// id), ordered by descending degree.
 std::vector<VertexId> TopOutDegreeVertices(const DynamicGraph& g, VertexId k);
 
+/// Same, by in-degree — the "accounts with the most follower traffic"
+/// selection of the recommendation examples.
+std::vector<VertexId> TopInDegreeVertices(const DynamicGraph& g, VertexId k);
+
 /// Picks a uniformly random vertex among the top-`k` out-degree vertices —
 /// the paper's source-selection protocol. `k` is clamped to |V|.
 VertexId PickSourceByDegreeRank(const DynamicGraph& g, VertexId k, Rng* rng);

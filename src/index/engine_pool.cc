@@ -1,0 +1,24 @@
+#include "index/engine_pool.h"
+
+#include "util/macros.h"
+#include "util/parallel.h"
+
+namespace dppr {
+
+EnginePool::EnginePool(const PprOptions& options, int size) {
+  DPPR_CHECK(size >= 0);
+  if (options.variant == PushVariant::kSequential) return;
+  engines_.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    engines_.push_back(
+        std::make_unique<ParallelPushEngine>(options, NumThreads()));
+  }
+}
+
+size_t EnginePool::ApproxScratchBytes() const {
+  size_t bytes = 0;
+  for (const auto& engine : engines_) bytes += engine->ApproxScratchBytes();
+  return bytes;
+}
+
+}  // namespace dppr

@@ -1,0 +1,53 @@
+// EnginePool — a small arena of ParallelPushEngines shared by many sources.
+//
+// The old MultiSourcePpr gave every source its own engine, so frontier
+// buffers, dedup flags, and kernel scratch grew O(K * V) for K sources.
+// Only one engine can usefully run per hardware thread, so the pool holds
+// min(K, threads) engines (overridable) and PprIndex leases them to
+// sources per push: scratch memory grows with min(K, pool size), never
+// with K.
+//
+// Concurrency discipline: an engine serves ONE source at a time. PprIndex
+// enforces this structurally — in across-source mode each worker thread
+// leases the engine matching its thread index; in intra-source mode the
+// sources run one after another on engine 0 with full thread-parallel
+// pushes.
+
+#ifndef DPPR_INDEX_ENGINE_POOL_H_
+#define DPPR_INDEX_ENGINE_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/parallel_push.h"
+#include "core/ppr_options.h"
+
+namespace dppr {
+
+/// \brief Fixed-size arena of push engines, indexed by lease slot.
+class EnginePool {
+ public:
+  /// Creates `size` engines configured with `options`. For the sequential
+  /// variant the pool is empty (sequential pushes need no engine state) and
+  /// Engine() must not be called.
+  EnginePool(const PprOptions& options, int size);
+
+  int size() const { return static_cast<int>(engines_.size()); }
+
+  /// The engine in slot `i`. The caller owns the concurrency discipline:
+  /// one source per engine at a time.
+  ParallelPushEngine* Engine(int i) {
+    DPPR_DCHECK(i >= 0 && i < size());
+    return engines_[static_cast<size_t>(i)].get();
+  }
+
+  /// Sum of every pooled engine's reusable-buffer footprint.
+  size_t ApproxScratchBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<ParallelPushEngine>> engines_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_INDEX_ENGINE_POOL_H_

@@ -1,0 +1,258 @@
+#include "index/ppr_index.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace dppr {
+namespace internal {
+
+void SnapshotSlot::Publish(const std::vector<double>& estimates) {
+  std::shared_ptr<IndexSnapshot> buf;
+  if (retired_ != nullptr && retired_.use_count() == 1) {
+    // Double-buffer steady state: the previously displaced snapshot has no
+    // readers left, so its vector is reused — no allocation per publish.
+    // The fence pairs with the release-decrement of the last reader's
+    // shared_ptr destruction, making its final reads happen-before the
+    // writes below (the use_count load alone does not synchronize).
+    std::atomic_thread_fence(std::memory_order_acquire);
+    buf = std::move(retired_);
+    buf->estimates.assign(estimates.begin(), estimates.end());
+  } else {
+    buf = std::make_shared<IndexSnapshot>();
+    buf->estimates = estimates;
+  }
+  const uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  buf->epoch = epoch;
+  std::shared_ptr<const IndexSnapshot> old = current_.exchange(
+      std::shared_ptr<const IndexSnapshot>(std::move(buf)),
+      std::memory_order_acq_rel);
+  retired_ = std::const_pointer_cast<IndexSnapshot>(old);
+  epoch_.store(epoch, std::memory_order_release);
+}
+
+std::shared_ptr<const IndexSnapshot> SnapshotSlot::Read() const {
+  std::shared_ptr<const IndexSnapshot> snap =
+      current_.load(std::memory_order_acquire);
+  if (snap == nullptr) {
+    static const std::shared_ptr<const IndexSnapshot> kEmpty =
+        std::make_shared<IndexSnapshot>();
+    return kEmpty;
+  }
+  return snap;
+}
+
+}  // namespace internal
+
+namespace {
+
+int ComputePoolSize(const IndexOptions& options, size_t num_sources) {
+  int size = options.engine_pool_size > 0 ? options.engine_pool_size
+                                          : NumThreads();
+  size = std::min(size, static_cast<int>(num_sources));
+  return std::max(size, 1);
+}
+
+/// Work-stealing loop over source indices: `fn(i)` runs exactly once per i,
+/// claimed dynamically by up to `max_workers` threads. Sources are coarse,
+/// uneven tasks (frontier sizes differ wildly between hubs), which is
+/// exactly what stealing over a shared counter load-balances.
+template <typename Fn>
+void ForEachSourceStealing(size_t n, int max_workers, Fn&& fn) {
+  if (n == 0) return;
+  if (max_workers <= 1 || n < 2 || NumThreads() == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  ParallelRegion([&](int tid, int /*num_threads*/) {
+    if (tid >= max_workers) return;
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i, tid);
+    }
+  });
+}
+
+}  // namespace
+
+PprIndex::PprIndex(DynamicGraph* graph, std::vector<VertexId> sources,
+                   const IndexOptions& options)
+    : graph_(graph),
+      options_(options),
+      pool_(options.ppr, ComputePoolSize(options, sources.size())) {
+  DPPR_CHECK(graph != nullptr);
+  DPPR_CHECK(!sources.empty());
+  DPPR_CHECK(options.ppr.Validate().ok());
+  slots_.reserve(sources.size());
+  for (VertexId s : sources) {
+    auto slot = std::make_unique<SourceSlot>();
+    slot->ppr = std::make_unique<DynamicPpr>(graph, s, options.ppr);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+PprIndex::PprIndex(DynamicGraph* graph, std::vector<VertexId> sources,
+                   const PprOptions& ppr_options)
+    : PprIndex(graph, std::move(sources),
+               IndexOptions{.ppr = ppr_options}) {}
+
+void PprIndex::Initialize() {
+  WallTimer wall;
+  last_batch_stats_.Reset();
+  // From-scratch per-source work is one full push from the unit residual —
+  // on the order of the whole graph, so feed the heuristic a large
+  // estimate: few sources initialize one at a time with thread-parallel
+  // pushes, many sources initialize concurrently across the pool.
+  const int64_t est_work =
+      static_cast<int64_t>(graph_->NumVertices()) + graph_->NumEdges();
+  PushAll(est_work, /*initialize=*/true);
+  for (auto& slot : slots_) {
+    last_batch_stats_.sources_total.Add(slot->ppr->last_stats());
+  }
+  last_batch_stats_.sources_pushed = static_cast<int>(slots_.size());
+  last_batch_stats_.wall_seconds = wall.Seconds();
+}
+
+void PprIndex::ApplyBatch(const UpdateBatch& batch) {
+  WallTimer wall;
+  last_batch_stats_.Reset();
+  for (auto& slot : slots_) slot->ppr->ResetStats();
+
+  // Phase 1 — one graph mutation pass, journaling each update's
+  // post-update out-degree (the only graph fact restoration consumes).
+  journal_.clear();
+  journal_.reserve(batch.size());
+  for (const EdgeUpdate& update : batch) {
+    graph_->Apply(update);
+    journal_.push_back({update, graph_->OutDegree(update.u)});
+  }
+
+  // Phase 2 — source-parallel restoration. Each source replays the whole
+  // journal in update order against its own state, so every update is
+  // restored against the exact intermediate graph it mutated (Algorithm
+  // 1's requirement), without the sources serializing on the graph.
+  WallTimer restore_timer;
+  ForEachSourceStealing(slots_.size(), NumThreads(), [&](size_t i, int) {
+    WallTimer source_timer;
+    DynamicPpr& ppr = *slots_[i]->ppr;
+    for (const JournaledUpdate& entry : journal_) {
+      ppr.RestoreForUpdate(entry.update, entry.dout_after);
+    }
+    ppr.AddRestoreSeconds(source_timer.Seconds());
+  });
+  last_batch_stats_.restore_wall_seconds = restore_timer.Seconds();
+
+  // Phase 3 — push every dirty source across the engine pool, publishing
+  // each source's snapshot as soon as its push converges.
+  const double avg_degree = graph_->AverageDegree();
+  const int64_t est_work = static_cast<int64_t>(
+      static_cast<double>(batch.size()) * (1.0 + avg_degree));
+  PushAll(est_work, /*initialize=*/false);
+
+  for (auto& slot : slots_) {
+    last_batch_stats_.sources_total.Add(slot->ppr->last_stats());
+  }
+  last_batch_stats_.sources_pushed = static_cast<int>(slots_.size());
+  last_batch_stats_.wall_seconds = wall.Seconds();
+}
+
+bool PprIndex::ChooseAcrossSources(int64_t est_work_per_source) const {
+  switch (options_.push_mode) {
+    case IndexPushMode::kAcrossSources:
+      return true;
+    case IndexPushMode::kIntraSource:
+      return false;
+    case IndexPushMode::kAuto:
+      break;
+  }
+  const int threads = NumThreads();
+  if (slots_.size() < 2 || threads == 1) return false;
+  // Sequential pushes cannot use a thread team, so spreading sources over
+  // threads is the only parallelism available to that variant.
+  if (options_.ppr.variant == PushVariant::kSequential) return true;
+  // Enough sources to keep every thread on its own source: across-source
+  // wins — no fork/join or atomics inside any push.
+  if (slots_.size() >= static_cast<size_t>(threads)) return true;
+  // Few sources: split by expected push size. Small pushes cannot feed a
+  // whole team anyway (the §3.1 small-frontier observation), so run them
+  // concurrently one-per-thread; large pushes get the full team each.
+  return est_work_per_source < options_.ppr.parallel_round_min_work;
+}
+
+void PprIndex::PushAll(int64_t est_work_per_source, bool initialize) {
+  const bool across = ChooseAcrossSources(est_work_per_source);
+  last_batch_stats_.across_sources = across;
+  WallTimer push_timer;
+  if (across) {
+    // Work-stealing over sources; each worker leases the pool engine
+    // matching its slot. Inside the parallel region every push runs its
+    // sequential code path (see ShouldParallelizeRound), so an engine
+    // serves exactly one source at a time. The sequential variant needs no
+    // engines, so every thread may work a source.
+    const int workers = pool_.size() > 0 ? pool_.size() : NumThreads();
+    ForEachSourceStealing(slots_.size(), workers, [&](size_t i, int tid) {
+      ParallelPushEngine* engine =
+          pool_.size() > 0 ? pool_.Engine(tid) : nullptr;
+      PushSource(slots_[i].get(), engine, initialize);
+    });
+  } else {
+    // One source at a time, each push parallelized across all threads
+    // (for the engine-less sequential variant the pushes just run in turn).
+    ParallelPushEngine* engine = pool_.size() > 0 ? pool_.Engine(0) : nullptr;
+    for (auto& slot : slots_) {
+      PushSource(slot.get(), engine, initialize);
+    }
+  }
+  last_batch_stats_.push_wall_seconds = push_timer.Seconds();
+}
+
+void PprIndex::PushSource(SourceSlot* slot, ParallelPushEngine* engine,
+                          bool initialize) {
+  slot->ppr->SetEngine(engine);
+  if (initialize) {
+    slot->ppr->Initialize();
+  } else {
+    slot->ppr->RunPushOnTouched(/*accumulate=*/true);
+  }
+  slot->ppr->SetEngine(nullptr);
+  slot->snapshot.Publish(slot->ppr->Estimates());
+}
+
+uint64_t PprIndex::Epoch(size_t i) const {
+  DPPR_DCHECK(i < slots_.size());
+  return slots_[i]->snapshot.Epoch();
+}
+
+std::shared_ptr<const IndexSnapshot> PprIndex::Snapshot(size_t i) const {
+  DPPR_DCHECK(i < slots_.size());
+  return slots_[i]->snapshot.Read();
+}
+
+PointEstimate PprIndex::QueryVertex(size_t i, VertexId v) const {
+  DPPR_CHECK(v >= 0);
+  std::shared_ptr<const IndexSnapshot> snap = Snapshot(i);
+  const double value = static_cast<size_t>(v) < snap->estimates.size()
+                           ? snap->estimates[static_cast<size_t>(v)]
+                           : 0.0;
+  PointEstimate est;
+  est.value = value;
+  est.lower = std::max(value - options_.ppr.eps, 0.0);
+  est.upper = value + options_.ppr.eps;
+  return est;
+}
+
+GuaranteedTopK PprIndex::TopKWithGuarantee(size_t i, int k) const {
+  std::shared_ptr<const IndexSnapshot> snap = Snapshot(i);
+  return dppr::TopKWithGuarantee(snap->estimates, options_.ppr.eps, k);
+}
+
+size_t PprIndex::ApproxScratchBytes() const {
+  return pool_.ApproxScratchBytes() +
+         journal_.capacity() * sizeof(JournaledUpdate);
+}
+
+}  // namespace dppr

@@ -1,0 +1,220 @@
+// PprIndex — a maintained index of PPR vectors for K source vertices over
+// one shared DynamicGraph.
+//
+// §2.1 of the paper notes the general (non-unit) personalization case is
+// served by "maintaining multiple PPR vectors with different personalized
+// unit vectors"; hub-index systems (HubPPR, Guo et al.) maintain vectors
+// for a set of hub vertices. PprIndex is that building block grown into a
+// serving-shaped subsystem (replacing the old serial MultiSourcePpr):
+//
+//  1. Pooled engines — push engines (frontier + dedup flags + scratch) are
+//     leased from a pool of min(K, threads) instead of owned per source,
+//     so scratch memory stops scaling with K (see engine_pool.h).
+//  2. Source-parallel maintenance — per batch the graph mutates ONCE while
+//     a journal records each update's post-update out-degree; every source
+//     then replays the journal concurrently (invariant restoration needs
+//     only the recorded degree, preserving per-update intermediate-graph
+//     correctness), and dirty sources are pushed across the engine pool
+//     with work-stealing. A cost heuristic picks between across-source
+//     sequential pushes (many small sources) and one-source-at-a-time
+//     thread-parallel pushes (few large sources).
+//  3. Snapshot reads — after each push a source publishes an immutable
+//     copy of its estimates behind an epoch counter (double-buffered with
+//     RCU-style reclamation; see README.md). QueryVertex and
+//     TopKWithGuarantee run against the latest published snapshot and are
+//     safe to call from any thread concurrently with ApplyBatch.
+
+#ifndef DPPR_INDEX_PPR_INDEX_H_
+#define DPPR_INDEX_PPR_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dynamic_ppr.h"
+#include "core/ppr_options.h"
+#include "core/query.h"
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "index/engine_pool.h"
+
+namespace dppr {
+
+/// How ApplyBatch distributes push work over sources and threads.
+enum class IndexPushMode {
+  kAuto,           ///< cost heuristic (see PprIndex class comment)
+  kAcrossSources,  ///< work-stealing over sources, sequential pushes
+  kIntraSource,    ///< sources in turn, each push thread-parallel
+};
+
+/// \brief Configuration of a PprIndex.
+struct IndexOptions {
+  PprOptions ppr;  ///< per-source maintenance parameters (shared by all)
+
+  /// Engines in the pool; 0 means min(K, hardware threads). Clamped to K.
+  int engine_pool_size = 0;
+
+  IndexPushMode push_mode = IndexPushMode::kAuto;
+};
+
+/// \brief One published, immutable snapshot of a source's estimates.
+struct IndexSnapshot {
+  uint64_t epoch = 0;  ///< publish count of this source (Initialize = 1)
+  std::vector<double> estimates;
+};
+
+/// \brief Work and timing of the most recent Initialize/ApplyBatch.
+struct IndexBatchStats {
+  /// Wall clock of the whole call — the honest cost of the batch. Under
+  /// source-parallelism this is LESS than the sum of per-source seconds.
+  double wall_seconds = 0.0;
+  double restore_wall_seconds = 0.0;  ///< journal-replay phase wall clock
+  double push_wall_seconds = 0.0;     ///< push + publish phase wall clock
+  /// Per-source PushStats summed with PushStats::Add — counters are exact
+  /// totals; the *_seconds inside are summed CPU time, not wall clock.
+  PushStats sources_total;
+  int sources_pushed = 0;
+  bool across_sources = false;  ///< mode the heuristic chose
+
+  void Reset() { *this = IndexBatchStats(); }
+};
+
+namespace internal {
+
+/// Writer-publishes / reader-consumes cell for one source's estimates.
+/// Double-buffered in steady state: the writer recycles the previously
+/// published buffer once no reader holds it, so a publish is one vector
+/// copy and no allocation. Readers get a shared_ptr to an immutable
+/// snapshot — no torn reads, no use-after-free, regardless of how long a
+/// reader holds on while ApplyBatch keeps publishing.
+class SnapshotSlot {
+ public:
+  /// Writer-only (one publisher per slot at a time; PprIndex serializes
+  /// this structurally — one source is pushed by exactly one worker).
+  void Publish(const std::vector<double>& estimates);
+
+  /// Any thread, any time. Never null; before the first publish it returns
+  /// an empty snapshot with epoch 0.
+  std::shared_ptr<const IndexSnapshot> Read() const;
+
+  /// Epoch of the latest published snapshot (0 before Initialize).
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<std::shared_ptr<const IndexSnapshot>> current_;
+  std::shared_ptr<IndexSnapshot> retired_;  ///< writer's recycle buffer
+};
+
+}  // namespace internal
+
+/// \brief K incrementally maintained PPR vectors over one shared graph,
+/// with pooled push engines and concurrently readable snapshots.
+///
+/// Thread-safety: ApplyBatch/Initialize must be externally serialized
+/// (one maintainer). The snapshot read API — Epoch, Snapshot, QueryVertex,
+/// TopKWithGuarantee — may be called from any number of threads
+/// concurrently with maintenance. Source() exposes the live writer-side
+/// state and must not be touched while a maintenance call runs.
+class PprIndex {
+ public:
+  PprIndex(DynamicGraph* graph, std::vector<VertexId> sources,
+           const IndexOptions& options);
+
+  /// Convenience: default IndexOptions around `ppr_options`.
+  PprIndex(DynamicGraph* graph, std::vector<VertexId> sources,
+           const PprOptions& ppr_options);
+
+  /// From-scratch computation for every source (pushed through the pool),
+  /// followed by the first snapshot publish (epoch 1).
+  void Initialize();
+
+  /// Batch maintenance: mutates the graph once (journaling post-update
+  /// degrees), restores every source's invariant by source-parallel
+  /// journal replay, pushes all sources across the engine pool, and
+  /// publishes a fresh snapshot per source.
+  void ApplyBatch(const UpdateBatch& batch);
+
+  size_t NumSources() const { return slots_.size(); }
+  VertexId SourceVertex(size_t i) const { return Source(i).source(); }
+
+  /// Writer-side state of source `i`. NOT safe concurrently with
+  /// ApplyBatch — concurrent readers use the snapshot API below.
+  const DynamicPpr& Source(size_t i) const {
+    DPPR_DCHECK(i < slots_.size());
+    return *slots_[i]->ppr;
+  }
+  DynamicPpr& Source(size_t i) {
+    DPPR_DCHECK(i < slots_.size());
+    return *slots_[i]->ppr;
+  }
+
+  // --- Snapshot reads: safe concurrently with ApplyBatch ----------------
+
+  /// Latest published epoch of source `i` (0 before Initialize; +1 per
+  /// Initialize/ApplyBatch).
+  uint64_t Epoch(size_t i) const;
+
+  /// The latest published snapshot of source `i` (shared, immutable).
+  std::shared_ptr<const IndexSnapshot> Snapshot(size_t i) const;
+
+  /// p[v] ± eps from the latest snapshot. Vertices newer than the snapshot
+  /// read as 0 (their estimate at snapshot time).
+  PointEstimate QueryVertex(size_t i, VertexId v) const;
+
+  /// Certified top-k over the latest snapshot.
+  GuaranteedTopK TopKWithGuarantee(size_t i, int k) const;
+
+  // --- Accounting -------------------------------------------------------
+
+  /// Wall clock of the last Initialize/ApplyBatch. This is the elapsed
+  /// time of the call, NOT the sum of per-source seconds (which overstates
+  /// cost under source-parallelism; the summed view lives in
+  /// last_batch_stats().sources_total).
+  double LastBatchSeconds() const { return last_batch_stats_.wall_seconds; }
+
+  const IndexBatchStats& last_batch_stats() const {
+    return last_batch_stats_;
+  }
+
+  /// Engines actually pooled: min(K, pool size); 0 for the sequential
+  /// variant, which needs no engine state.
+  int NumPooledEngines() const { return pool_.size(); }
+
+  /// Reusable scratch held by the index (engine pool + journal). Grows
+  /// with min(K, pool size), not with K — per-source memory is only the
+  /// O(V) estimate/residual state itself.
+  size_t ApproxScratchBytes() const;
+
+  const IndexOptions& options() const { return options_; }
+
+ private:
+  struct SourceSlot {
+    std::unique_ptr<DynamicPpr> ppr;
+    internal::SnapshotSlot snapshot;
+  };
+
+  /// One journaled graph mutation: the update plus u's post-update
+  /// out-degree — everything RestoreInvariant needs from the graph.
+  struct JournaledUpdate {
+    EdgeUpdate update;
+    VertexId dout_after = 0;
+  };
+
+  bool ChooseAcrossSources(int64_t est_work_per_source) const;
+  void PushAll(int64_t est_work_per_source, bool initialize);
+  void PushSource(SourceSlot* slot, ParallelPushEngine* engine,
+                  bool initialize);
+
+  DynamicGraph* graph_;
+  IndexOptions options_;
+  std::vector<std::unique_ptr<SourceSlot>> slots_;
+  EnginePool pool_;
+  std::vector<JournaledUpdate> journal_;
+  IndexBatchStats last_batch_stats_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_INDEX_PPR_INDEX_H_

@@ -27,6 +27,12 @@ inline int ThreadIndex() { return omp_get_thread_num(); }
 /// Returns the hardware concurrency OpenMP sees.
 inline int HardwareThreads() { return omp_get_num_procs(); }
 
+/// True when the caller already executes inside an OpenMP parallel region.
+/// Nested regions run with a team of one (nesting stays disabled), so
+/// engines consulted under an outer region — e.g. PprIndex's across-source
+/// push — should pick their sequential code paths and skip atomics.
+inline bool InParallelRegion() { return omp_in_parallel() != 0; }
+
 /// RAII guard that pins the OpenMP thread count for a scope.
 class ScopedNumThreads {
  public:

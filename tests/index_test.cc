@@ -1,0 +1,402 @@
+// PprIndex tests: every source oracle-accurate through interleaved
+// insert/delete batches, exact agreement with independent per-source
+// maintenance, push-mode equivalence, engine-pool sizing, snapshot
+// publish semantics, and queries running concurrently with ApplyBatch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "analysis/power_iteration.h"
+#include "core/dynamic_ppr.h"
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph_stats.h"
+#include "index/ppr_index.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+#include "util/parallel.h"
+
+namespace dppr {
+namespace {
+
+// Drives `slides` sliding-window batches (interleaved inserts + deletes)
+// through the index; returns the batches so callers can replay them.
+std::vector<UpdateBatch> RecordWindowBatches(EdgeStream* stream,
+                                             double window_ratio,
+                                             double batch_ratio, int slides,
+                                             std::vector<Edge>* initial) {
+  SlidingWindow window(stream, window_ratio);
+  *initial = window.InitialEdges();
+  const EdgeCount k = window.BatchForRatio(batch_ratio);
+  std::vector<UpdateBatch> batches;
+  for (int s = 0; s < slides && window.CanSlide(k); ++s) {
+    batches.push_back(window.NextBatch(k));
+  }
+  return batches;
+}
+
+// --------------------------------------------------------------- accuracy
+
+TEST(PprIndexTest, EverySourceMatchesOracleAfterInterleavedBatches) {
+  auto edges = GenerateRmat({.scale = 8, .avg_degree = 8, .seed = 17});
+  EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 18);
+  std::vector<Edge> initial;
+  auto batches = RecordWindowBatches(&stream, 0.2, 0.01, 12, &initial);
+  ASSERT_FALSE(batches.empty());
+
+  DynamicGraph graph =
+      DynamicGraph::FromEdges(initial, stream.NumVertices());
+  auto hubs = TopOutDegreeVertices(graph, 8);
+  PprOptions options;
+  options.eps = 1e-6;
+  PprIndex index(&graph, hubs, options);
+  index.Initialize();
+  for (const UpdateBatch& batch : batches) index.ApplyBatch(batch);
+
+  PowerIterationOptions oracle_opt;
+  for (size_t h = 0; h < index.NumSources(); ++h) {
+    auto truth = PowerIterationPpr(graph, index.SourceVertex(h), oracle_opt);
+    EXPECT_LE(MaxAbsError(index.Source(h).Estimates(), truth),
+              options.eps * 1.0001)
+        << "source " << h;
+  }
+}
+
+TEST(PprIndexTest, SequentialVariantMatchesIndependentMaintenanceExactly) {
+  // With the deterministic sequential push, journal replay must reproduce
+  // bit-for-bit what per-source DynamicPpr::ApplyBatch computes: the
+  // journal hands every source the same post-update degrees it would have
+  // read from the graph interleaving.
+  auto edges = GenerateErdosRenyi(128, 1024, 3);
+  EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 4);
+  std::vector<Edge> initial;
+  auto batches = RecordWindowBatches(&stream, 0.5, 0.02, 8, &initial);
+  ASSERT_FALSE(batches.empty());
+
+  PprOptions options;
+  options.eps = 1e-6;
+  options.variant = PushVariant::kSequential;
+  const std::vector<VertexId> sources = {0, 1, 2};
+
+  DynamicGraph index_graph = DynamicGraph::FromEdges(initial, 128);
+  PprIndex index(&index_graph, sources, options);
+  index.Initialize();
+
+  std::vector<DynamicGraph> solo_graphs;
+  std::vector<std::unique_ptr<DynamicPpr>> solo;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    solo_graphs.push_back(DynamicGraph::FromEdges(initial, 128));
+  }
+  for (size_t i = 0; i < sources.size(); ++i) {
+    solo.push_back(std::make_unique<DynamicPpr>(&solo_graphs[i], sources[i],
+                                                options));
+    solo.back()->Initialize();
+  }
+
+  for (const UpdateBatch& batch : batches) {
+    index.ApplyBatch(batch);
+    for (auto& ppr : solo) ppr->ApplyBatch(batch);
+  }
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(index.Source(i).Estimates(), solo[i]->Estimates())
+        << "source " << i;
+    EXPECT_EQ(index.Source(i).Residuals(), solo[i]->Residuals())
+        << "source " << i;
+  }
+  // The sequential variant needs no engine state at all.
+  EXPECT_EQ(index.NumPooledEngines(), 0);
+}
+
+TEST(PprIndexTest, PushModesAgreeWithEachOther) {
+  auto edges = GenerateRmat({.scale = 7, .avg_degree = 6, .seed = 29});
+  EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 30);
+  std::vector<Edge> initial;
+  auto batches = RecordWindowBatches(&stream, 0.3, 0.02, 6, &initial);
+  ASSERT_FALSE(batches.empty());
+
+  auto run = [&](IndexPushMode mode) {
+    DynamicGraph graph =
+        DynamicGraph::FromEdges(initial, stream.NumVertices());
+    auto hubs = TopOutDegreeVertices(graph, 4);
+    IndexOptions options;
+    options.ppr.eps = 1e-6;
+    options.push_mode = mode;
+    PprIndex index(&graph, hubs, options);
+    index.Initialize();
+    for (const UpdateBatch& batch : batches) index.ApplyBatch(batch);
+    std::vector<std::vector<double>> estimates;
+    for (size_t h = 0; h < index.NumSources(); ++h) {
+      estimates.push_back(index.Source(h).Estimates());
+    }
+    return estimates;
+  };
+
+  auto across = run(IndexPushMode::kAcrossSources);
+  auto intra = run(IndexPushMode::kIntraSource);
+  ASSERT_EQ(across.size(), intra.size());
+  for (size_t h = 0; h < across.size(); ++h) {
+    EXPECT_LE(MaxAbsError(across[h], intra[h]), 2e-6) << "source " << h;
+  }
+}
+
+TEST(PprIndexTest, AcrossSourcePushCorrectUnderOversubscribedThreads) {
+  // Forces the across-source schedule with a team larger than the
+  // physical core count, so the work-stealing region, per-worker engine
+  // leases, and concurrent per-slot publishes all run with genuinely
+  // concurrent threads — then validates every source against the oracle.
+  ScopedNumThreads guard(4);
+  auto edges = GenerateRmat({.scale = 7, .avg_degree = 6, .seed = 41});
+  EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 42);
+  std::vector<Edge> initial;
+  auto batches = RecordWindowBatches(&stream, 0.3, 0.02, 8, &initial);
+  ASSERT_FALSE(batches.empty());
+
+  DynamicGraph graph =
+      DynamicGraph::FromEdges(initial, stream.NumVertices());
+  auto hubs = TopOutDegreeVertices(graph, 8);
+  IndexOptions options;
+  options.ppr.eps = 1e-6;
+  options.push_mode = IndexPushMode::kAcrossSources;
+  PprIndex index(&graph, hubs, options);
+  EXPECT_GE(index.NumPooledEngines(), 2);
+  index.Initialize();
+  for (const UpdateBatch& batch : batches) index.ApplyBatch(batch);
+  EXPECT_TRUE(index.last_batch_stats().across_sources);
+
+  PowerIterationOptions oracle_opt;
+  for (size_t h = 0; h < index.NumSources(); ++h) {
+    auto truth = PowerIterationPpr(graph, index.SourceVertex(h), oracle_opt);
+    EXPECT_LE(MaxAbsError(index.Source(h).Estimates(), truth),
+              options.ppr.eps * 1.0001)
+        << "source " << h;
+    EXPECT_EQ(index.Snapshot(h)->estimates, index.Source(h).Estimates());
+  }
+}
+
+TEST(PprIndexTest, HandlesVerticesBornMidStream) {
+  DynamicGraph graph(8);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 0);
+  PprOptions options;
+  options.eps = 1e-7;
+  PprIndex index(&graph, {0, 2}, options);
+  index.Initialize();
+
+  // Vertex 100 does not exist yet: snapshot reads must answer 0.
+  EXPECT_DOUBLE_EQ(index.QueryVertex(0, 100).value, 0.0);
+
+  UpdateBatch batch = {EdgeUpdate::Insert(100, 0), EdgeUpdate::Insert(0, 100),
+                       EdgeUpdate::Delete(1, 2)};
+  index.ApplyBatch(batch);
+  ASSERT_EQ(graph.NumVertices(), 101);
+
+  PowerIterationOptions oracle_opt;
+  for (size_t h = 0; h < index.NumSources(); ++h) {
+    auto truth = PowerIterationPpr(graph, index.SourceVertex(h), oracle_opt);
+    EXPECT_LE(MaxAbsError(index.Source(h).Estimates(), truth),
+              options.eps * 1.0001);
+    // Snapshots grew with the graph.
+    EXPECT_EQ(index.Snapshot(h)->estimates.size(),
+              static_cast<size_t>(graph.NumVertices()));
+  }
+}
+
+// ------------------------------------------------------------ engine pool
+
+TEST(PprIndexTest, PoolSizeIsMinOfSourcesAndConfiguredSize) {
+  DynamicGraph graph = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(64, 512, 7), 64);
+  IndexOptions options;
+  options.ppr.eps = 1e-5;
+
+  // K below any pool bound: one engine per source at most.
+  PprIndex small(&graph, {0, 1}, options);
+  EXPECT_LE(small.NumPooledEngines(), 2);
+  EXPECT_GE(small.NumPooledEngines(), 1);
+
+  // Explicit pool bound: K = 16 sources share 3 engines.
+  options.engine_pool_size = 3;
+  std::vector<VertexId> many;
+  for (VertexId v = 0; v < 16; ++v) many.push_back(v);
+  PprIndex pooled(&graph, many, options);
+  EXPECT_EQ(pooled.NumPooledEngines(), 3);
+
+  pooled.Initialize();
+  UpdateBatch batch = {EdgeUpdate::Insert(0, 5), EdgeUpdate::Insert(7, 3)};
+  pooled.ApplyBatch(batch);
+  EXPECT_GT(pooled.ApproxScratchBytes(), 0u);
+}
+
+TEST(PprIndexTest, ScratchGrowsWithPoolNotWithSources) {
+  // Same graph, same pool bound, 8x the sources: scratch stays in the
+  // same ballpark instead of scaling 8x (per-source engines would).
+  auto edges = GenerateErdosRenyi(256, 2048, 11);
+  auto run = [&](VertexId num_sources) {
+    DynamicGraph graph = DynamicGraph::FromEdges(edges, 256);
+    IndexOptions options;
+    options.ppr.eps = 1e-5;
+    options.engine_pool_size = 2;
+    std::vector<VertexId> sources;
+    for (VertexId v = 0; v < num_sources; ++v) sources.push_back(v);
+    PprIndex index(&graph, sources, options);
+    index.Initialize();
+    UpdateBatch batch = {EdgeUpdate::Insert(0, 9), EdgeUpdate::Insert(3, 1)};
+    index.ApplyBatch(batch);
+    return index.ApproxScratchBytes();
+  };
+  const size_t bytes_8 = run(8);
+  const size_t bytes_64 = run(64);
+  EXPECT_LT(bytes_64, bytes_8 * 3)
+      << "scratch scaled with K: " << bytes_8 << " -> " << bytes_64;
+}
+
+// -------------------------------------------------- stats & wall clock
+
+TEST(PprIndexTest, BatchStatsSumCountersButReportWallClock) {
+  DynamicGraph graph = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(128, 1024, 13), 128);
+  PprOptions options;
+  options.eps = 1e-6;
+  const size_t num_sources = 4;
+  PprIndex index(&graph, {0, 1, 2, 3}, options);
+  index.Initialize();
+
+  UpdateBatch batch = {EdgeUpdate::Insert(0, 7), EdgeUpdate::Insert(9, 2),
+                       EdgeUpdate::Delete(0, 7)};
+  index.ApplyBatch(batch);
+
+  const IndexBatchStats& stats = index.last_batch_stats();
+  // Counters are summed across sources: every source restored every
+  // update of the batch exactly once.
+  EXPECT_EQ(stats.sources_total.counters.restore_ops,
+            static_cast<int64_t>(num_sources * batch.size()));
+  EXPECT_EQ(stats.sources_pushed, static_cast<int>(num_sources));
+  // Restore work is credited per source (summed CPU time, as documented).
+  EXPECT_GT(stats.sources_total.restore_seconds, 0.0);
+  // Wall clock is one elapsed measurement of the call, not a per-source
+  // sum; it covers the restore and push phases it brackets.
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.wall_seconds,
+            stats.restore_wall_seconds + stats.push_wall_seconds - 1e-9);
+  EXPECT_EQ(index.LastBatchSeconds(), stats.wall_seconds);
+}
+
+// ------------------------------------------------------------- snapshots
+
+TEST(PprIndexTest, SnapshotEpochAdvancesPerMaintenanceCall) {
+  DynamicGraph graph = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(64, 512, 19), 64);
+  PprOptions options;
+  options.eps = 1e-6;
+  PprIndex index(&graph, {0, 1}, options);
+  EXPECT_EQ(index.Epoch(0), 0u);
+  EXPECT_TRUE(index.Snapshot(0)->estimates.empty());
+
+  index.Initialize();
+  EXPECT_EQ(index.Epoch(0), 1u);
+  EXPECT_EQ(index.Snapshot(0)->estimates, index.Source(0).Estimates());
+
+  UpdateBatch batch = {EdgeUpdate::Insert(5, 6)};
+  index.ApplyBatch(batch);
+  EXPECT_EQ(index.Epoch(0), 2u);
+  EXPECT_EQ(index.Epoch(1), 2u);
+  EXPECT_EQ(index.Snapshot(1)->epoch, 2u);
+  EXPECT_EQ(index.Snapshot(1)->estimates, index.Source(1).Estimates());
+}
+
+TEST(PprIndexTest, HeldSnapshotSurvivesLaterPublishes) {
+  DynamicGraph graph = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(64, 512, 23), 64);
+  PprOptions options;
+  options.eps = 1e-6;
+  PprIndex index(&graph, {0}, options);
+  index.Initialize();
+
+  auto held = index.Snapshot(0);
+  const std::vector<double> copy = held->estimates;
+  for (int i = 0; i < 5; ++i) {
+    UpdateBatch batch = {EdgeUpdate::Insert(i, i + 1)};
+    index.ApplyBatch(batch);
+  }
+  // The old snapshot is immutable no matter how many publishes happened.
+  EXPECT_EQ(held->epoch, 1u);
+  EXPECT_EQ(held->estimates, copy);
+  EXPECT_EQ(index.Epoch(0), 6u);
+}
+
+TEST(PprIndexTest, ConcurrentQueriesSeeEpochConsistentSnapshots) {
+  // A reader hammers the snapshot API while the writer applies batches.
+  // Every snapshot the reader observes must be complete and epoch
+  // consistent: its content equals exactly what the writer published for
+  // that epoch — never a torn mix of two batches.
+  auto edges = GenerateErdosRenyi(128, 1024, 31);
+  EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 32);
+  std::vector<Edge> initial;
+  auto batches = RecordWindowBatches(&stream, 0.5, 0.01, 40, &initial);
+  ASSERT_GE(batches.size(), 10u);
+
+  DynamicGraph graph = DynamicGraph::FromEdges(initial, 128);
+  PprOptions options;
+  options.eps = 1e-5;
+  PprIndex index(&graph, {0}, options);
+  index.Initialize();
+
+  // expected[e] = the vector published at epoch e (filled by the writer).
+  std::vector<std::vector<double>> expected(batches.size() + 2);
+  expected[1] = index.Snapshot(0)->estimates;
+
+  std::atomic<bool> done{false};
+  std::vector<std::shared_ptr<const IndexSnapshot>> seen;
+  bool reader_monotonic = true;
+  bool reader_values_sane = true;
+  int64_t reads = 0;
+  std::thread reader([&] {
+    uint64_t last_epoch = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      auto snap = index.Snapshot(0);
+      ++reads;
+      if (snap->epoch < last_epoch) reader_monotonic = false;
+      if (snap->epoch != last_epoch) {
+        last_epoch = snap->epoch;
+        seen.push_back(std::move(snap));  // keep one snapshot per epoch
+      }
+      // Point queries ride the same snapshot path and must always return
+      // a sane probability-ish value, mid-batch included.
+      PointEstimate est = index.QueryVertex(0, 0);
+      if (est.value < 0.0 || est.value > 1.0 + 1e-6) {
+        reader_values_sane = false;
+        break;
+      }
+    }
+  });
+
+  for (size_t t = 0; t < batches.size(); ++t) {
+    index.ApplyBatch(batches[t]);
+    expected[t + 2] = index.Snapshot(0)->estimates;
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  ASSERT_FALSE(seen.empty());
+  EXPECT_TRUE(reader_monotonic) << "snapshot epochs moved backwards";
+  EXPECT_TRUE(reader_values_sane) << "point query returned a torn value";
+  EXPECT_GT(reads, 0);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    const auto& snap = seen[i];
+    ASSERT_GE(snap->epoch, 1u);
+    ASSERT_LT(snap->epoch, expected.size());
+    // The snapshot content is exactly the published vector of its epoch.
+    EXPECT_EQ(snap->estimates, expected[snap->epoch])
+        << "torn or stale snapshot at reader step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dppr

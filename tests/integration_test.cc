@@ -9,8 +9,8 @@
 #include "analysis/power_iteration.h"
 #include "core/batch_validation.h"
 #include "core/dynamic_ppr.h"
-#include "core/multi_source.h"
 #include "core/query.h"
+#include "index/ppr_index.h"
 #include "gen/datasets.h"
 #include "gen/generators.h"
 #include "graph/graph_stats.h"
@@ -139,7 +139,7 @@ TEST(PipelineTest, MultiSourceIndexOverStream) {
   auto hubs = TopOutDegreeVertices(graph, 3);
   PprOptions options;
   options.eps = 1e-6;
-  MultiSourcePpr index(&graph, hubs, options);
+  PprIndex index(&graph, hubs, options);
   index.Initialize();
 
   const EdgeCount k = window.BatchForRatio(0.01);
@@ -148,14 +148,16 @@ TEST(PipelineTest, MultiSourceIndexOverStream) {
   }
   PowerIterationOptions oracle_opt;
   for (size_t h = 0; h < index.NumSources(); ++h) {
-    auto truth =
-        PowerIterationPpr(graph, index.Source(h).source(), oracle_opt);
+    auto truth = PowerIterationPpr(graph, index.SourceVertex(h), oracle_opt);
     EXPECT_LE(MaxAbsError(index.Source(h).Estimates(), truth),
               options.eps * 1.0001)
         << "hub " << h;
-    // Certified top-k entries really are top-k under the truth.
-    GuaranteedTopK top =
-        TopKWithGuarantee(index.Source(h).Estimates(), options.eps, 5);
+    // The published snapshot serves the same vector the writer maintains.
+    EXPECT_EQ(index.Snapshot(h)->estimates, index.Source(h).Estimates());
+    EXPECT_EQ(index.Epoch(h), 11u);  // Initialize + 10 batches
+    // Certified top-k entries (served from the snapshot) really are top-k
+    // under the truth.
+    GuaranteedTopK top = index.TopKWithGuarantee(h, 5);
     auto true_top = TopK(truth, 5);
     std::set<int32_t> true_ids;
     for (const auto& entry : true_top) true_ids.insert(entry.id);

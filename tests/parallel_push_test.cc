@@ -16,10 +16,10 @@
 #include "analysis/power_iteration.h"
 #include "core/dynamic_ppr.h"
 #include "core/invariant.h"
-#include "core/multi_source.h"
 #include "gen/fixtures.h"
 #include "gen/generators.h"
 #include "graph/graph_stats.h"
+#include "index/ppr_index.h"
 #include "stream/edge_stream.h"
 #include "stream/sliding_window.h"
 #include "util/parallel.h"
@@ -401,7 +401,7 @@ TEST(PprOptionsTest, ForceParallelAlwaysUsesAtomics) {
             ppr.last_stats().counters.edge_traversals);
 }
 
-// ---------------------------------------------------------- multi-source
+// ------------------------------------------- multi-source (see index_test)
 
 TEST(MultiSourceTest, EachSourceMatchesIndependentMaintenance) {
   auto edges = GenerateErdosRenyi(128, 1024, 3);
@@ -412,7 +412,7 @@ TEST(MultiSourceTest, EachSourceMatchesIndependentMaintenance) {
 
   DynamicGraph shared =
       DynamicGraph::FromEdges(window.InitialEdges(), 128);
-  MultiSourcePpr multi(&shared, {0, 1, 2}, options);
+  PprIndex multi(&shared, {0, 1, 2}, options);
   multi.Initialize();
 
   auto batch = window.NextBatch(40);
@@ -420,8 +420,7 @@ TEST(MultiSourceTest, EachSourceMatchesIndependentMaintenance) {
 
   PowerIterationOptions opt;
   for (size_t i = 0; i < multi.NumSources(); ++i) {
-    auto truth =
-        PowerIterationPpr(shared, multi.Source(i).source(), opt);
+    auto truth = PowerIterationPpr(shared, multi.SourceVertex(i), opt);
     EXPECT_LE(MaxAbsError(multi.Source(i).Estimates(), truth),
               options.eps * 1.0001)
         << "source " << i;

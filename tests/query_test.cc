@@ -62,6 +62,39 @@ TEST(QueryTest, GuaranteedTopKNoneCertainWhenTied) {
   EXPECT_EQ(top.certain_members, 0);
 }
 
+TEST(QueryTest, GuaranteedTopKKExceedsNonzeroCount) {
+  // k larger than the number of nonzero estimates: zero-score fillers pad
+  // the result, the boundary is 0, and only entries clearing 2*eps above
+  // zero are certified.
+  std::vector<double> p = {0.4, 0.0, 0.2, 0.0, 0.0};
+  GuaranteedTopK top = TopKWithGuarantee(p, 0.01, 4);
+  ASSERT_EQ(top.entries.size(), 4u);
+  EXPECT_EQ(top.entries[0].id, 0);
+  EXPECT_EQ(top.entries[1].id, 2);
+  EXPECT_DOUBLE_EQ(top.entries[2].score, 0.0);
+  EXPECT_EQ(top.certain_members, 2);
+}
+
+TEST(QueryTest, GuaranteedTopKAllTiedFullVector) {
+  // Every estimate tied AND k covers the whole vector: nothing is outside
+  // the returned set, the boundary falls to 0, and all entries certify
+  // (membership in the top-3 of 3 values is vacuous but true).
+  std::vector<double> p = {0.3, 0.3, 0.3};
+  GuaranteedTopK top = TopKWithGuarantee(p, 0.01, 3);
+  ASSERT_EQ(top.entries.size(), 3u);
+  EXPECT_EQ(top.certain_members, 3);
+}
+
+TEST(QueryTest, GuaranteedTopKLargeEpsCertifiesNothing) {
+  // eps so large that even the clear leader cannot clear the boundary's
+  // upper bound: the ranking is served, but zero entries are certified.
+  std::vector<double> p = {0.9, 0.5, 0.3, 0.1};
+  GuaranteedTopK top = TopKWithGuarantee(p, 0.5, 2);
+  ASSERT_EQ(top.entries.size(), 2u);
+  EXPECT_EQ(top.entries[0].id, 0);
+  EXPECT_EQ(top.certain_members, 0);
+}
+
 TEST(QueryTest, GuaranteedTopKWholeVectorRequested) {
   std::vector<double> p = {0.5, 0.4};
   GuaranteedTopK top = TopKWithGuarantee(p, 0.001, 5);
