@@ -5,22 +5,28 @@
 //
 //   ./bench_index_scaling [--dataset=pokec] [--scale_shift=2]
 //       [--sources=1,8,64,256] [--batch_ratios=0.0005,0.002]
-//       [--slides=6] [--threads=0] [--eps=1e-6]
+//       [--slides=6] [--threads=0] [--query_threads=2] [--eps=1e-6]
 //
 // Reported per cell: wall-clock maintenance throughput in source-updates/s
 // (K maintained vectors × edge updates consumed, per second of wall time),
-// the index-over-legacy speedup, and the reusable scratch held by each
-// strategy. The legacy loop's scratch grows with K (one engine per
-// source); the index's grows with min(K, pool size). On a single
-// hardware thread the two strategies do the same serial work and the
-// speedup hovers around 1; the across-source win appears as threads grow
-// (the shape-checks only engage at >= 8 threads).
+// the index-over-legacy speedup, the reusable scratch held by each
+// strategy, and — with --query_threads > 0 — the snapshot-query rate
+// sustained WHILE the index applied its batches (qry/s@maint), the
+// baseline column for the serving benchmark (bench_server_load). The
+// legacy loop's scratch grows with K (one engine per source); the index's
+// grows with min(K, pool size). On a single hardware thread the two
+// strategies do the same serial work and the speedup hovers around 1; the
+// across-source win appears as threads grow (the speedup shape-check only
+// engages at >= 8 threads and with --query_threads=0, since concurrent
+// readers steal cycles only from the index side of the comparison).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/metrics.h"
@@ -110,6 +116,8 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(args.GetInt("threads", 0));
   if (threads > 0) SetNumThreads(threads);
+  const int query_threads =
+      static_cast<int>(args.GetInt("query_threads", 2));
   const int slides = static_cast<int>(args.GetInt("slides", 6));
   const double eps = args.GetDouble("eps", 1e-6);
   const auto source_counts =
@@ -125,10 +133,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("threads=%d\n\n", NumThreads());
+  std::printf("threads=%d query_threads=%d\n\n", NumThreads(),
+              query_threads);
   TablePrinter table({"K", "batch", "legacy_upd/s", "index_upd/s",
-                      "speedup", "mode", "legacy_scratch", "index_scratch",
-                      "engines"});
+                      "speedup", "mode", "qry/s@maint", "legacy_scratch",
+                      "index_scratch", "engines"});
 
   // The recorded batches depend on the ratio only, so the workload is
   // generated once per ratio and every K replays the same batches.
@@ -162,9 +171,31 @@ int main(int argc, char** argv) {
       for (const UpdateBatch& batch : batches) legacy.ApplyBatch(batch);
       const double legacy_seconds = legacy_timer.Seconds();
 
+      // Concurrent snapshot readers hammer the index during its timed
+      // maintenance loop: queries served per second while ApplyBatch runs
+      // is the serving-layer baseline (readers are lock-free snapshot
+      // loads, but they do compete for cores with the maintenance work).
+      std::atomic<bool> serving{query_threads > 0};
+      std::atomic<int64_t> queries_served{0};
+      std::vector<std::thread> readers;
+      for (int t = 0; t < query_threads; ++t) {
+        readers.emplace_back([&, t] {
+          VertexId v = static_cast<VertexId>(t);
+          int64_t local = 0;
+          while (serving.load(std::memory_order_acquire)) {
+            const size_t i = static_cast<size_t>(local) % sources.size();
+            (void)index.QueryVertex(i, v);
+            v = (v + 7) % index_graph.NumVertices();
+            ++local;
+          }
+          queries_served.fetch_add(local, std::memory_order_relaxed);
+        });
+      }
       WallTimer index_timer;
       for (const UpdateBatch& batch : batches) index.ApplyBatch(batch);
       const double index_seconds = index_timer.Seconds();
+      serving.store(false, std::memory_order_release);
+      for (auto& reader : readers) reader.join();
 
       // Cross-validate: both strategies maintain the same eps guarantee
       // over identically evolved graphs.
@@ -193,6 +224,12 @@ int main(int argc, char** argv) {
            TablePrinter::FmtSci(index_tp, 2),
            TablePrinter::Fmt(speedup, 2),
            index.last_batch_stats().across_sources ? "across" : "intra",
+           query_threads > 0
+               ? TablePrinter::FmtSci(
+                     static_cast<double>(queries_served.load()) /
+                         index_seconds,
+                     2)
+               : "-",
            FmtBytes(legacy.ScratchBytes()),
            FmtBytes(index.ApproxScratchBytes()),
            TablePrinter::FmtInt(index.NumPooledEngines())});
@@ -206,9 +243,20 @@ int main(int argc, char** argv) {
                    FmtBytes(index.ApproxScratchBytes()) + " vs " +
                        FmtBytes(legacy.ScratchBytes()));
       }
+      // Readers must observe a non-trivial maintenance window to be
+      // scheduled at all — on small cells (tiny K, one core) the whole
+      // loop can finish in microseconds, so only assert when the window
+      // was long enough to make "zero queries served" meaningful.
+      if (query_threads > 0 && index_seconds > 0.05) {
+        ShapeCheck("K=" + std::to_string(num_sources) +
+                       " queries served during maintenance",
+                   queries_served.load() > 0,
+                   std::to_string(queries_served.load()));
+      }
       // The acceptance bar from the issue: >= 2x for 64-source maintenance
-      // on >= 8 threads. Only meaningful with real hardware parallelism.
-      if (NumThreads() >= 8 && num_sources >= 64) {
+      // on >= 8 threads. Only meaningful with real hardware parallelism
+      // and without concurrent readers skewing the index side.
+      if (NumThreads() >= 8 && num_sources >= 64 && query_threads == 0) {
         ShapeCheck("K=" + std::to_string(num_sources) +
                        " index >= 2x legacy on >= 8 threads",
                    speedup >= 2.0,

@@ -1,0 +1,216 @@
+// Serving-layer load — closed-loop clients against PprService while edge
+// updates stream through the maintenance thread, swept over query:update
+// mixes. This is the bench behind the serving story: sustained query
+// throughput and tail latency WHILE ApplyBatch runs, plus the admission
+// control counters (shed, failed) that bound overload behavior.
+//
+//   ./bench_server_load [--dataset=pokec] [--scale_shift=2] [--hubs=16]
+//       [--workers=4] [--clients=4] [--seconds=1.5] [--lru_cap=0]
+//       [--batch_ratio=0.001] [--mixes=100:0,95:5,80:20] [--k=5]
+//       [--eps=1e-6]
+//
+// Each mix "q:u" gives the per-client probability split between issuing a
+// point/top-k query (q) and submitting an update batch (u); clients are
+// closed-loop (at most one outstanding request each), so the measured
+// throughput is the service's, not an open-loop arrival fantasy. Reported
+// per mix: completed queries/s, latency p50/p99, queries served during
+// maintenance, update throughput, and shed counts.
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "graph/graph_stats.h"
+#include "index/ppr_index.h"
+#include "server/ppr_service.h"
+#include "util/parallel.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+using namespace dppr;        // NOLINT
+using namespace dppr::bench; // NOLINT
+
+namespace {
+
+struct Mix {
+  int query_pct = 100;
+  int update_pct = 0;
+  std::string label;
+};
+
+std::vector<Mix> ParseMixes(const std::string& csv) {
+  std::vector<Mix> mixes;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    const size_t colon = token.find(':');
+    Mix mix;
+    mix.query_pct = std::stoi(token.substr(0, colon));
+    mix.update_pct = colon == std::string::npos
+                         ? 0
+                         : std::stoi(token.substr(colon + 1));
+    mix.label = token;
+    mixes.push_back(mix);
+  }
+  return mixes;
+}
+
+/// Deterministic per-client PRNG (splitmix-ish); no shared state.
+struct ClientRng {
+  uint64_t state;
+  explicit ClientRng(uint64_t seed) : state(seed * 0x9E3779B97F4A7C15ULL + 1) {}
+  uint64_t Next() {
+    state += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  if (auto st = args.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  PrintHeader("Server load",
+              "closed-loop PprService clients, query:update mix sweep",
+              args);
+
+  const auto num_hubs = static_cast<VertexId>(args.GetInt("hubs", 16));
+  const int workers = static_cast<int>(args.GetInt("workers", 4));
+  const int clients = static_cast<int>(args.GetInt("clients", 4));
+  const double seconds = args.GetDouble("seconds", 1.5);
+  const auto lru_cap = static_cast<size_t>(args.GetInt("lru_cap", 0));
+  const double batch_ratio = args.GetDouble("batch_ratio", 0.001);
+  const double eps = args.GetDouble("eps", 1e-6);
+  const int k = static_cast<int>(args.GetInt("k", 5));
+  const int scale_shift = static_cast<int>(args.GetInt("scale_shift", 2));
+  const auto mixes = ParseMixes(args.GetString("mixes", "100:0,95:5,80:20"));
+
+  DatasetSpec spec;
+  if (auto st = FindDataset(args.GetString("dataset", "pokec"), &spec);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("workers=%d clients=%d hubs=%d lru_cap=%zu threads=%d\n\n",
+              workers, clients, num_hubs, lru_cap, NumThreads());
+  TablePrinter table({"mix q:u", "qps", "p50_ms", "p99_ms", "qry@maint",
+                      "upd/s", "batches", "shed", "failed"});
+
+  for (const Mix& mix : mixes) {
+    // Fresh workload per mix so every row starts from the same state.
+    Workload workload = MakeWorkload(spec, scale_shift);
+    SlidingWindow window(&workload.stream, 0.1);
+    DynamicGraph graph = DynamicGraph::FromEdges(window.InitialEdges(),
+                                                 workload.num_vertices);
+    const EdgeCount batch_size = window.BatchForRatio(batch_ratio);
+    // Pre-generate the update stream: SlidingWindow is not thread-safe,
+    // and pre-flight keeps the measured loop free of generation cost.
+    std::vector<UpdateBatch> batch_pool;
+    while (window.CanSlide(batch_size)) {
+      batch_pool.push_back(window.NextBatch(batch_size));
+    }
+
+    std::vector<VertexId> hubs = TopOutDegreeVertices(graph, num_hubs);
+    IndexOptions options;
+    options.ppr.eps = eps;
+    options.max_materialized_sources = lru_cap;
+    PprIndex index(&graph, hubs, options);
+    index.Initialize();
+
+    ServiceOptions service_options;
+    service_options.num_workers = workers;
+    service_options.materialize_wait = std::chrono::milliseconds(500);
+    PprService service(&index, service_options);
+    service.Start();
+
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> next_batch{0};
+    std::atomic<int64_t> client_queries{0};
+    std::atomic<int64_t> client_updates{0};
+    auto client = [&](int id) {
+      ClientRng rng(static_cast<uint64_t>(id) + 77);
+      while (!stop.load(std::memory_order_acquire)) {
+        const bool do_update =
+            mix.update_pct > 0 &&
+            static_cast<int>(rng.Next() % 100) <
+                mix.update_pct;  // query:update split
+        if (do_update) {
+          const size_t b =
+              next_batch.fetch_add(1, std::memory_order_relaxed);
+          if (b < batch_pool.size()) {
+            (void)service.ApplyUpdatesAsync(batch_pool[b]).get();
+            client_updates.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          // Stream exhausted: fall through to a query.
+        }
+        const VertexId s = hubs[rng.Next() % hubs.size()];
+        if (rng.Next() % 4 == 0) {
+          (void)service.TopK(s, k);
+        } else {
+          (void)service.Query(s, static_cast<VertexId>(
+                                     rng.Next() %
+                                     static_cast<uint64_t>(
+                                         graph.NumVertices())));
+        }
+        client_queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+
+    std::vector<std::thread> threads;
+    WallTimer timer;
+    for (int c = 0; c < clients; ++c) threads.emplace_back(client, c);
+    while (timer.Seconds() < seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+    service.Stop();
+
+    const MetricsReport report = service.Metrics();
+    table.AddRow(
+        {mix.label,
+         TablePrinter::FmtInt(static_cast<int64_t>(report.QueryThroughput())),
+         TablePrinter::Fmt(report.query_p50_ms, 3),
+         TablePrinter::Fmt(report.query_p99_ms, 3),
+         TablePrinter::FmtInt(report.served_during_maintenance),
+         TablePrinter::FmtInt(static_cast<int64_t>(report.UpdateThroughput())),
+         TablePrinter::FmtInt(report.batches_applied),
+         TablePrinter::FmtInt(report.queries_shed_queue_full +
+                              report.queries_shed_deadline),
+         TablePrinter::FmtInt(report.queries_failed)});
+
+    ShapeCheck("mix " + mix.label + " served queries",
+               report.queries_completed > 0,
+               std::to_string(report.queries_completed));
+    ShapeCheck("mix " + mix.label + " p99 >= p50",
+               report.query_p99_ms >= report.query_p50_ms - 1e-9);
+    if (mix.update_pct > 0) {
+      ShapeCheck("mix " + mix.label + " applied update batches",
+                 report.batches_applied > 0,
+                 std::to_string(report.batches_applied));
+    }
+    if (lru_cap == 0) {
+      // Every hub stays materialized, so no query may fail.
+      ShapeCheck("mix " + mix.label + " no failed queries",
+                 report.queries_failed == 0,
+                 std::to_string(report.queries_failed));
+    }
+  }
+  table.Print();
+  std::printf("\nqry@maint = queries completed while ApplyBatch was "
+              "in flight (the reads-don't-block-writes number).\n");
+  return ShapeCheckExitCode();
+}

@@ -1,29 +1,32 @@
-// Hub index server: maintain PPR vectors for many hub vertices and serve
-// certified top-k queries while the graph streams — the use-case the
-// paper names in §6 ("our approach is helpful for [HubPPR, Guo et al.]
-// to maintain the indexed PPR vectors on dynamic graphs").
+// Hub index server — the end-to-end PprService demo: maintain PPR
+// vectors for many hub vertices and serve certified top-k queries while
+// the graph streams, the use-case the paper names in §6 ("our approach is
+// helpful for [HubPPR, Guo et al.] to maintain the indexed PPR vectors on
+// dynamic graphs").
 //
-//   ./hub_server [--hubs=8] [--slides=12] [--k=5] [--seed=33]
-//                [--checkpoint_dir=/tmp]
+//   ./hub_server [--hubs=8] [--workers=3] [--clients=2] [--slides=12]
+//                [--k=5] [--seed=33] [--lru_cap=0]
 //
-// Demonstrates the extension APIs end to end: PprIndex (shared graph,
-// pooled engines, source-parallel maintenance), ValidateBatch (untrusted
-// feed pre-flight), snapshot-based TopKWithGuarantee (certified rankings
-// served from the published epoch, exactly what a concurrent query thread
-// would read), and Save/LoadPprState + RestoreFromState (crash recovery
-// drill). The stream permutation seed defaults to a fixed value so the
-// printed output is reproducible run-to-run; pass --seed to vary it.
+// Unlike the PR-1 version (which called PprIndex directly from main),
+// this is a real client of the serving layer: a PprService with a worker
+// pool answers concurrent client threads from published snapshots while
+// its maintenance thread applies the validated update stream, a hub is
+// added and another retired mid-run, and the service metrics (p50/p99,
+// shed counts, queries served during maintenance) are printed at the end.
+// The stream permutation seed defaults to a fixed value so the printed
+// tables are reproducible run-to-run; pass --seed to vary it.
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch_validation.h"
-#include "core/query.h"
-#include "core/serialization.h"
 #include "gen/datasets.h"
 #include "graph/graph_stats.h"
 #include "index/ppr_index.h"
+#include "server/ppr_service.h"
 #include "stream/edge_stream.h"
 #include "stream/sliding_window.h"
 #include "util/args.h"
@@ -36,12 +39,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  const auto num_hubs = static_cast<size_t>(args.GetInt("hubs", 8));
+  const auto num_hubs = static_cast<dppr::VertexId>(args.GetInt("hubs", 8));
+  const int workers = static_cast<int>(args.GetInt("workers", 3));
+  const int num_clients = static_cast<int>(args.GetInt("clients", 2));
   const int slides = static_cast<int>(args.GetInt("slides", 12));
   const int k = static_cast<int>(args.GetInt("k", 5));
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 33));
-  const std::string checkpoint_dir =
-      args.GetString("checkpoint_dir", "/tmp");
+  const auto lru_cap = static_cast<size_t>(args.GetInt("lru_cap", 0));
 
   // Stream a pokec-like graph. The deterministic seed fixes the timestamp
   // permutation, so every run slides the same batches.
@@ -54,72 +58,126 @@ int main(int argc, char** argv) {
   dppr::DynamicGraph graph = dppr::DynamicGraph::FromEdges(
       window.InitialEdges(), stream.NumVertices());
 
-  // Hubs = the highest-out-degree vertices (the HubPPR recipe).
-  std::vector<dppr::VertexId> hubs =
-      dppr::TopOutDegreeVertices(graph, static_cast<dppr::VertexId>(num_hubs));
+  // Hubs = the highest-out-degree vertices (the HubPPR recipe). The next
+  // vertex in that ranking is the "rising hub" promoted mid-run.
+  std::vector<dppr::VertexId> ranked =
+      dppr::TopOutDegreeVertices(graph, num_hubs + 1);
+  const dppr::VertexId rising_hub = ranked.back();
+  std::vector<dppr::VertexId> hubs(ranked.begin(), ranked.end() - 1);
+
+  // Pre-flight the whole stream before serving starts: a production feed
+  // is untrusted, and validating against the live graph would race the
+  // maintenance thread. Validation interleaves with a scratch graph.
+  const dppr::EdgeCount batch_size = window.BatchForRatio(0.001);
+  std::vector<dppr::UpdateBatch> batches;
+  {
+    dppr::DynamicGraph preflight = dppr::DynamicGraph::FromEdges(
+        graph.ToEdgeList(), graph.NumVertices());
+    for (int s = 0; s < slides && window.CanSlide(batch_size); ++s) {
+      dppr::UpdateBatch batch = window.NextBatch(batch_size);
+      if (auto st = dppr::ValidateBatch(preflight, batch); !st.ok()) {
+        std::fprintf(stderr, "rejecting batch %d: %s\n", s,
+                     st.ToString().c_str());
+        continue;
+      }
+      for (const dppr::EdgeUpdate& update : batch) preflight.Apply(update);
+      batches.push_back(std::move(batch));
+    }
+  }
+
   dppr::IndexOptions options;
   options.ppr.eps = 1e-7;
+  options.max_materialized_sources = lru_cap;
   dppr::PprIndex index(&graph, hubs, options);
-
   dppr::WallTimer init_timer;
   index.Initialize();
   std::printf("hub index over %zu sources built in %.1f ms (|V|=%d, "
-              "|E|=%lld, %d pooled engines)\n\n",
+              "|E|=%lld, %zu materialized, %d pooled engines)\n\n",
               index.NumSources(), init_timer.Millis(), graph.NumVertices(),
               static_cast<long long>(graph.NumEdges()),
-              index.NumPooledEngines());
+              index.NumMaterializedSources(), index.NumPooledEngines());
 
-  const dppr::EdgeCount batch_size = window.BatchForRatio(0.001);
-  double maintain_ms = 0;
-  for (int slide = 0; slide < slides && window.CanSlide(batch_size);
-       ++slide) {
-    dppr::UpdateBatch batch = window.NextBatch(batch_size);
-    // Pre-flight: a production feed is untrusted.
-    if (auto st = dppr::ValidateBatch(graph, batch); !st.ok()) {
-      std::fprintf(stderr, "rejecting batch: %s\n", st.ToString().c_str());
-      continue;
-    }
-    index.ApplyBatch(batch);
-    maintain_ms += index.LastBatchSeconds() * 1e3;
+  dppr::ServiceOptions service_options;
+  service_options.num_workers = workers;
+  service_options.materialize_wait = std::chrono::milliseconds(500);
+  dppr::PprService service(&index, service_options);
+  service.Start();
+
+  // Clients: closed-loop point + top-k queries over the hub set while the
+  // stream applies. Sanity-checked on the fly: a hub's own estimate can
+  // never drop below alpha - eps.
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> bad_responses{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      int64_t i = c;
+      while (!stop.load(std::memory_order_acquire)) {
+        const dppr::VertexId hub =
+            hubs[static_cast<size_t>(i) % hubs.size()];
+        dppr::QueryResponse response =
+            i % 3 == 0 ? service.TopK(hub, k) : service.Query(hub, hub);
+        if (response.status == dppr::RequestStatus::kOk && i % 3 != 0 &&
+            response.estimate.value <
+                options.ppr.alpha - 2 * options.ppr.eps) {
+          bad_responses.fetch_add(1);
+        }
+        ++i;
+      }
+    });
   }
-  std::printf("maintained %zu vectors through %d slides "
-              "(%.2f ms/slide wall clock, all hubs per slide)\n\n",
-              index.NumSources(), slides,
-              maintain_ms / std::max(slides, 1));
 
-  // Serve certified top-k for each hub from its published snapshot — the
-  // same lock-free path a concurrent query thread would use.
+  // Feeder: the maintenance stream, plus a hub-set change mid-run —
+  // promote the rising hub, retire the coldest original one.
+  for (size_t b = 0; b < batches.size(); ++b) {
+    dppr::MaintResponse applied =
+        service.ApplyUpdatesAsync(batches[b]).get();
+    if (applied.status != dppr::RequestStatus::kOk) {
+      std::fprintf(stderr, "batch %zu not applied: %s\n", b,
+                   dppr::RequestStatusName(applied.status));
+    }
+    if (b == batches.size() / 2) {
+      (void)service.AddSourceAsync(rising_hub).get();
+      (void)service.RemoveSourceAsync(hubs.back()).get();
+      std::printf("mid-run hub churn: +%d (rising), -%d (retired)\n\n",
+                  rising_hub, hubs.back());
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+
+  // Serve one certified top-k per current hub through the service — the
+  // same snapshot path the client threads used.
   dppr::TablePrinter table(
       {"hub", "epoch", "top-1", "score",
        "certified_of_top" + std::to_string(k)});
-  for (size_t h = 0; h < index.NumSources(); ++h) {
-    dppr::GuaranteedTopK top = index.TopKWithGuarantee(h, k);
-    table.AddRow({dppr::TablePrinter::FmtInt(index.SourceVertex(h)),
+  for (dppr::VertexId hub : index.Sources()) {
+    dppr::QueryResponse top = service.TopK(hub, k);
+    if (top.status != dppr::RequestStatus::kOk) {
+      std::fprintf(stderr, "top-k for hub %d: %s\n", hub,
+                   dppr::RequestStatusName(top.status));
+      continue;
+    }
+    table.AddRow({dppr::TablePrinter::FmtInt(hub),
                   dppr::TablePrinter::FmtInt(
-                      static_cast<int64_t>(index.Epoch(h))),
-                  dppr::TablePrinter::FmtInt(top.entries[0].id),
-                  dppr::TablePrinter::FmtSci(top.entries[0].score, 3),
-                  dppr::TablePrinter::FmtInt(top.certain_members)});
+                      static_cast<int64_t>(top.epoch)),
+                  dppr::TablePrinter::FmtInt(top.topk.entries[0].id),
+                  dppr::TablePrinter::FmtSci(top.topk.entries[0].score, 3),
+                  dppr::TablePrinter::FmtInt(top.topk.certain_members)});
   }
   table.Print();
 
-  // Crash-recovery drill: checkpoint hub 0, reload, verify equality.
-  const std::string path = checkpoint_dir + "/dppr_hub0.ckpt";
-  if (auto st = dppr::SavePprState(path, index.Source(0).state());
-      !st.ok()) {
-    std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  dppr::PprState reloaded;
-  if (auto st = dppr::LoadPprState(path, &reloaded); !st.ok()) {
-    std::fprintf(stderr, "reload failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  const bool identical = reloaded.p == index.Source(0).state().p &&
-                         reloaded.r == index.Source(0).state().r;
-  std::printf("\ncheckpoint drill (hub %d -> %s): %s\n",
-              index.SourceVertex(0), path.c_str(),
-              identical ? "reload identical" : "MISMATCH");
-  std::remove(path.c_str());
-  return identical ? 0 : 1;
+  service.Stop();
+  const dppr::MetricsReport report = service.Metrics();
+  std::printf("\n%s\n", report.ToString().c_str());
+
+  const bool hub_set_ok =
+      index.HasSource(rising_hub) && !index.HasSource(hubs.back());
+  std::printf("\nhub churn applied: %s; bad responses: %lld\n",
+              hub_set_ok ? "yes" : "NO",
+              static_cast<long long>(bad_responses.load()));
+  return (hub_set_ok && bad_responses.load() == 0 &&
+          report.queries_completed > 0)
+             ? 0
+             : 1;
 }

@@ -85,6 +85,7 @@ void DynamicPpr::RestoreForUpdate(const EdgeUpdate& update) {
                                         options_.alpha);
   stats_.total_residual_change += std::abs(delta);
   ++stats_.counters.restore_ops;
+  ++stats_.counters.restore_input_updates;
   touched_.push_back(update.u);
 }
 
@@ -94,7 +95,17 @@ void DynamicPpr::RestoreForUpdate(const EdgeUpdate& update,
                                                   options_.alpha);
   stats_.total_residual_change += std::abs(delta);
   ++stats_.counters.restore_ops;
+  ++stats_.counters.restore_input_updates;
   touched_.push_back(update.u);
+}
+
+void DynamicPpr::RestoreVertexDirect(VertexId u) {
+  const double delta = SolveInvariantAtVertex(*graph_, &state_, u,
+                                              options_.alpha);
+  stats_.total_residual_change += std::abs(delta);
+  ++stats_.counters.restore_ops;
+  ++stats_.counters.restore_direct_solves;
+  touched_.push_back(u);
 }
 
 void DynamicPpr::RunPushOnTouched(bool accumulate) {

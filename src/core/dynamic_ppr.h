@@ -106,6 +106,20 @@ class DynamicPpr {
   /// correctness — the foundation of PprIndex's source-parallel restore.
   void RestoreForUpdate(const EdgeUpdate& update, VertexId dout_after);
 
+  /// Coalesced restore: re-solves the invariant at `u` directly against
+  /// the current graph, replacing the replay of EVERY journaled update
+  /// whose first endpoint is u (see SolveInvariantAtVertex for why the
+  /// result is path-independent). Accumulates u as touched. The caller
+  /// reports the replays this absorbed via NoteCoalescedRestores.
+  void RestoreVertexDirect(VertexId u);
+
+  /// Accounts `skipped` journal entries that were absorbed by
+  /// RestoreVertexDirect calls instead of being replayed (keeps the
+  /// before/after pair restore_input_updates vs restore_ops meaningful).
+  void NoteCoalescedRestores(int64_t skipped) {
+    stats_.counters.restore_input_updates += skipped;
+  }
+
   /// Pushes the residuals accumulated by RestoreForUpdate calls and clears
   /// the touched set. Resets stats beforehand unless `accumulate`.
   void RunPushOnTouched(bool accumulate = false);

@@ -45,4 +45,29 @@ double RestoreInvariantWithDegree(PprState* state, const EdgeUpdate& update,
   return delta;
 }
 
+double SolveInvariantAtVertex(const DynamicGraph& g, PprState* state,
+                              VertexId u, double alpha) {
+  DPPR_CHECK(state != nullptr);
+  DPPR_CHECK(g.IsValid(u));
+  state->Resize(g.NumVertices());
+
+  const auto ui = static_cast<size_t>(u);
+  const double old_r = state->r[ui];
+  const double indicator = u == state->source ? alpha : 0.0;
+  const VertexId dout = g.OutDegree(u);
+  // Eq. 2: p[u] + alpha*r[u] = alpha*[u==s]
+  //                            + (1-alpha)/dout(u) * sum_{v in Out(u)} p[v]
+  // (empty neighbor sum when dout == 0 — the dangling form above).
+  double neighbor_term = 0.0;
+  if (dout > 0) {
+    double sum = 0.0;
+    for (VertexId v : g.OutNeighbors(u)) {
+      sum += state->p[static_cast<size_t>(v)];
+    }
+    neighbor_term = (1.0 - alpha) * sum / static_cast<double>(dout);
+  }
+  state->r[ui] = (indicator + neighbor_term - state->p[ui]) / alpha;
+  return state->r[ui] - old_r;
+}
+
 }  // namespace dppr

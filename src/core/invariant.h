@@ -45,6 +45,24 @@ double RestoreInvariant(const DynamicGraph& g, PprState* state,
 double RestoreInvariantWithDegree(PprState* state, const EdgeUpdate& update,
                                   VertexId dout_after, double alpha);
 
+/// \brief Re-solves Eq. 2 at `u` directly against the CURRENT graph,
+/// replacing the per-update replay of every update whose first endpoint
+/// is u.
+///
+/// Correctness: during a restore phase only residuals change (p is fixed),
+/// and the repair of Lemma 3 re-establishes the invariant at u exactly
+/// after each of u's updates. Eq. 2 is one linear equation in the single
+/// unknown r[u], so the post-batch r[u] is path-independent — it is fully
+/// determined by p, alpha, the source indicator, and u's FINAL
+/// out-neighborhood. Solving that equation once therefore yields the same
+/// r[u] (up to floating-point rounding) as replaying u's updates in order,
+/// at cost O(dout(u)) instead of O(#updates touching u). PprIndex's
+/// restore coalescing calls this for heavy-hitter endpoints.
+///
+/// Returns the net residual change applied to r[u].
+double SolveInvariantAtVertex(const DynamicGraph& g, PprState* state,
+                              VertexId u, double alpha);
+
 }  // namespace dppr
 
 #endif  // DPPR_CORE_INVARIANT_H_

@@ -5,13 +5,18 @@
 
 namespace dppr {
 
-EnginePool::EnginePool(const PprOptions& options, int size) {
+EnginePool::EnginePool(const PprOptions& options, int size)
+    : options_(options) {
   DPPR_CHECK(size >= 0);
-  if (options.variant == PushVariant::kSequential) return;
+  EnsureSize(size);
+}
+
+void EnginePool::EnsureSize(int size) {
+  if (options_.variant == PushVariant::kSequential) return;
   engines_.reserve(static_cast<size_t>(size));
-  for (int i = 0; i < size; ++i) {
+  while (static_cast<int>(engines_.size()) < size) {
     engines_.push_back(
-        std::make_unique<ParallelPushEngine>(options, NumThreads()));
+        std::make_unique<ParallelPushEngine>(options_, NumThreads()));
   }
 }
 

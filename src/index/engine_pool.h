@@ -34,6 +34,11 @@ class EnginePool {
 
   int size() const { return static_cast<int>(engines_.size()); }
 
+  /// Grows the pool to `size` engines (never shrinks; no-op for the
+  /// engine-less sequential variant). PprIndex calls this when AddSource
+  /// raises min(K, threads) above the constructed size.
+  void EnsureSize(int size);
+
   /// The engine in slot `i`. The caller owns the concurrency discipline:
   /// one source per engine at a time.
   ParallelPushEngine* Engine(int i) {
@@ -45,6 +50,7 @@ class EnginePool {
   size_t ApproxScratchBytes() const;
 
  private:
+  PprOptions options_;
   std::vector<std::unique_ptr<ParallelPushEngine>> engines_;
 };
 

@@ -1,5 +1,5 @@
-// PprIndex — a maintained index of PPR vectors for K source vertices over
-// one shared DynamicGraph.
+// PprIndex — a maintained index of PPR vectors for a dynamic set of source
+// vertices over one shared DynamicGraph.
 //
 // §2.1 of the paper notes the general (non-unit) personalization case is
 // served by "maintaining multiple PPR vectors with different personalized
@@ -17,19 +17,33 @@
 //     correctness), and dirty sources are pushed across the engine pool
 //     with work-stealing. A cost heuristic picks between across-source
 //     sequential pushes (many small sources) and one-source-at-a-time
-//     thread-parallel pushes (few large sources).
+//     thread-parallel pushes (few large sources). Heavy-hitter endpoints
+//     (vertices updated more often than their out-degree) are coalesced:
+//     their replays collapse into one direct Eq. 2 solve per source.
 //  3. Snapshot reads — after each push a source publishes an immutable
 //     copy of its estimates behind an epoch counter (double-buffered with
 //     RCU-style reclamation; see README.md). QueryVertex and
 //     TopKWithGuarantee run against the latest published snapshot and are
 //     safe to call from any thread concurrently with ApplyBatch.
+//  4. Dynamic sources — AddSource / RemoveSource grow and shrink the hub
+//     set online. The source table itself is copy-on-write behind an
+//     atomic shared_ptr, so by-source reads stay safe while the
+//     maintainer mutates the set.
+//  5. Lazy materialization + LRU — a source is "materialized" when it
+//     holds live PprState and a published snapshot. With
+//     IndexOptions::max_materialized_sources set, the coldest sources
+//     (LRU by read access) are evicted down to their id + epoch, and
+//     MaterializeSource rebuilds them on demand with a from-scratch push,
+//     so K can exceed scratch memory.
 
 #ifndef DPPR_INDEX_PPR_INDEX_H_
 #define DPPR_INDEX_PPR_INDEX_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/dynamic_ppr.h"
@@ -56,11 +70,29 @@ struct IndexOptions {
   int engine_pool_size = 0;
 
   IndexPushMode push_mode = IndexPushMode::kAuto;
+
+  /// Maximum number of materialized sources; 0 means unlimited. When the
+  /// cap is exceeded (Initialize over a larger K, AddSource,
+  /// MaterializeSource), the least-recently-read materialized sources are
+  /// evicted down to the cap.
+  size_t max_materialized_sources = 0;
+
+  /// Restore-phase coalescing: when a batch touches one endpoint u more
+  /// often than u's final out-degree, replaying each update costs more
+  /// than re-solving Eq. 2 at u once against the final graph (the result
+  /// is path-independent; see SolveInvariantAtVertex). The saved replays
+  /// show up as restore_input_updates > restore_ops in the batch stats.
+  /// Off reproduces the exact per-update replay arithmetic.
+  bool coalesce_restore = true;
 };
 
 /// \brief One published, immutable snapshot of a source's estimates.
 struct IndexSnapshot {
   uint64_t epoch = 0;  ///< publish count of this source (Initialize = 1)
+  /// False before the first publish and after an eviction: the estimates
+  /// are absent (empty) and the source must be (re-)materialized before
+  /// it can serve reads again.
+  bool materialized = false;
   std::vector<double> estimates;
 };
 
@@ -75,9 +107,23 @@ struct IndexBatchStats {
   /// totals; the *_seconds inside are summed CPU time, not wall clock.
   PushStats sources_total;
   int sources_pushed = 0;
+  int sources_skipped = 0;      ///< evicted sources the batch bypassed
   bool across_sources = false;  ///< mode the heuristic chose
 
   void Reset() { *this = IndexBatchStats(); }
+};
+
+/// \brief Outcome of a by-source snapshot read (the serving-layer API).
+struct SourceReadResult {
+  enum class Status {
+    kOk,
+    kUnknownSource,    ///< no such source in the table
+    kNotMaterialized,  ///< evicted (or never materialized); re-materialize
+  };
+  Status status = Status::kUnknownSource;
+  uint64_t epoch = 0;
+  PointEstimate estimate;  ///< filled by QueryVertexForSource
+  GuaranteedTopK topk;     ///< filled by TopKForSource
 };
 
 namespace internal {
@@ -94,6 +140,12 @@ class SnapshotSlot {
   /// this structurally — one source is pushed by exactly one worker).
   void Publish(const std::vector<double>& estimates);
 
+  /// Writer-only: drops the published estimates (and the recycle buffer)
+  /// but keeps the epoch, so a later re-materialization publishes the
+  /// next epoch in sequence. Readers holding the old snapshot keep it;
+  /// new readers observe materialized == false.
+  void Evict();
+
   /// Any thread, any time. Never null; before the first publish it returns
   /// an empty snapshot with epoch 0.
   std::shared_ptr<const IndexSnapshot> Read() const;
@@ -109,16 +161,22 @@ class SnapshotSlot {
 
 }  // namespace internal
 
-/// \brief K incrementally maintained PPR vectors over one shared graph,
-/// with pooled push engines and concurrently readable snapshots.
+/// \brief A dynamic set of incrementally maintained PPR vectors over one
+/// shared graph, with pooled push engines, concurrently readable
+/// snapshots, and LRU-evictable per-source state.
 ///
-/// Thread-safety: ApplyBatch/Initialize must be externally serialized
-/// (one maintainer). The snapshot read API — Epoch, Snapshot, QueryVertex,
-/// TopKWithGuarantee — may be called from any number of threads
-/// concurrently with maintenance. Source() exposes the live writer-side
-/// state and must not be touched while a maintenance call runs.
+/// Thread-safety: the maintainer API — Initialize, ApplyBatch, AddSource,
+/// RemoveSource, MaterializeSource, EvictColdSources — must be externally
+/// serialized (one maintainer thread; PprService owns exactly that role).
+/// The snapshot read API — Epoch, Snapshot, QueryVertex,
+/// TopKWithGuarantee, and the *ForSource variants — may be called from any
+/// number of threads concurrently with any maintainer call. Source()
+/// exposes the live writer-side state and must not be touched while a
+/// maintenance call runs.
 class PprIndex {
  public:
+  /// `sources` may be empty (hubs can be added online); listed sources
+  /// must exist in the graph and be distinct.
   PprIndex(DynamicGraph* graph, std::vector<VertexId> sources,
            const IndexOptions& options);
 
@@ -127,33 +185,62 @@ class PprIndex {
            const PprOptions& ppr_options);
 
   /// From-scratch computation for every source (pushed through the pool),
-  /// followed by the first snapshot publish (epoch 1).
+  /// followed by the first snapshot publish (epoch 1). Under a
+  /// max_materialized_sources cap only the first `cap` sources
+  /// materialize; the rest stay evicted until demanded.
   void Initialize();
 
   /// Batch maintenance: mutates the graph once (journaling post-update
-  /// degrees), restores every source's invariant by source-parallel
-  /// journal replay, pushes all sources across the engine pool, and
-  /// publishes a fresh snapshot per source.
+  /// degrees), restores every materialized source's invariant by
+  /// source-parallel journal replay (heavy-hitter endpoints coalesced
+  /// into direct solves), pushes those sources across the engine pool,
+  /// and publishes a fresh snapshot per source. Evicted sources are
+  /// skipped — re-materialization recomputes from scratch anyway.
   void ApplyBatch(const UpdateBatch& batch);
 
-  size_t NumSources() const { return slots_.size(); }
-  VertexId SourceVertex(size_t i) const { return Source(i).source(); }
+  // --- Dynamic source set (maintainer-serialized) -----------------------
 
-  /// Writer-side state of source `i`. NOT safe concurrently with
-  /// ApplyBatch — concurrent readers use the snapshot API below.
-  const DynamicPpr& Source(size_t i) const {
-    DPPR_DCHECK(i < slots_.size());
-    return *slots_[i]->ppr;
-  }
-  DynamicPpr& Source(size_t i) {
-    DPPR_DCHECK(i < slots_.size());
-    return *slots_[i]->ppr;
-  }
+  /// Adds `s` as a new source: from-scratch push on the current graph
+  /// through a pooled engine, snapshot published at epoch 1, then the
+  /// source table is swapped copy-on-write. Returns false (and changes
+  /// nothing) if `s` is already a source or not a vertex of the graph.
+  bool AddSource(VertexId s);
 
-  // --- Snapshot reads: safe concurrently with ApplyBatch ----------------
+  /// Removes source `s` from the table (copy-on-write; readers holding
+  /// the old table or old snapshots keep them). False if unknown.
+  bool RemoveSource(VertexId s);
+
+  /// Rebuilds an evicted source's state with a from-scratch push and
+  /// publishes its next epoch. True if `s` is materialized on return
+  /// (including "was already"); false if `s` is not a source.
+  bool MaterializeSource(VertexId s);
+
+  /// Evicts least-recently-read materialized sources until at most
+  /// `keep_materialized` remain. Returns the number evicted.
+  size_t EvictColdSources(size_t keep_materialized);
+
+  // --- Table inspection (safe from any thread) --------------------------
+
+  size_t NumSources() const { return CurrentTable()->slots.size(); }
+  VertexId SourceVertex(size_t i) const;
+  std::vector<VertexId> Sources() const;
+  bool HasSource(VertexId s) const;
+  /// True iff `s` is a source with a live published snapshot. Safe from
+  /// any thread (it consults the atomic snapshot, not writer-side state).
+  bool IsMaterializedSource(VertexId s) const;
+  /// Materialized-source count. Maintainer-side (walks writer state).
+  size_t NumMaterializedSources() const;
+
+  /// Writer-side state of source `i`. NOT safe concurrently with the
+  /// maintainer API, and the source must be materialized — concurrent
+  /// readers use the snapshot API below.
+  const DynamicPpr& Source(size_t i) const;
+  DynamicPpr& Source(size_t i);
+
+  // --- Snapshot reads: safe concurrently with maintenance ---------------
 
   /// Latest published epoch of source `i` (0 before Initialize; +1 per
-  /// Initialize/ApplyBatch).
+  /// publish; preserved across evictions).
   uint64_t Epoch(size_t i) const;
 
   /// The latest published snapshot of source `i` (shared, immutable).
@@ -165,6 +252,14 @@ class PprIndex {
 
   /// Certified top-k over the latest snapshot.
   GuaranteedTopK TopKWithGuarantee(size_t i, int k) const;
+
+  /// By-source reads for the serving layer: resolve the source in the
+  /// current table and read its snapshot in one consistent step (an index
+  /// obtained separately could be remapped by a concurrent
+  /// AddSource/RemoveSource). Null iff `s` is not a source.
+  std::shared_ptr<const IndexSnapshot> SnapshotForSource(VertexId s) const;
+  SourceReadResult QueryVertexForSource(VertexId s, VertexId v) const;
+  SourceReadResult TopKForSource(VertexId s, int k) const;
 
   // --- Accounting -------------------------------------------------------
 
@@ -191,8 +286,21 @@ class PprIndex {
 
  private:
   struct SourceSlot {
-    std::unique_ptr<DynamicPpr> ppr;
+    explicit SourceSlot(VertexId s) : source(s) {}
+    const VertexId source;
+    std::unique_ptr<DynamicPpr> ppr;  ///< null while evicted
     internal::SnapshotSlot snapshot;
+    /// LRU tick of the last read; mutable because reads bump it through
+    /// const accessors.
+    mutable std::atomic<uint64_t> last_used{0};
+  };
+  using SlotList = std::vector<std::shared_ptr<SourceSlot>>;
+  /// The source table: immutable once published; mutations swap in a
+  /// copy (PublishTable). Carries a by-source hash index so the serving
+  /// path resolves source → slot in O(1) instead of scanning K slots.
+  struct SourceTable {
+    SlotList slots;
+    std::unordered_map<VertexId, std::shared_ptr<SourceSlot>> by_source;
   };
 
   /// One journaled graph mutation: the update plus u's post-update
@@ -202,16 +310,36 @@ class PprIndex {
     VertexId dout_after = 0;
   };
 
+  std::shared_ptr<const SourceTable> CurrentTable() const {
+    return table_.load(std::memory_order_acquire);
+  }
+  /// Builds the by-source index and atomically publishes the new table.
+  void PublishTable(SlotList slots);
+  std::shared_ptr<SourceSlot> FindSlot(VertexId s) const;
+  void Touch(const SourceSlot& slot) const;
+  void EnsurePpr(SourceSlot* slot);
+  void BuildCoalescePlan();
+  void ReplayJournal(DynamicPpr* ppr) const;
+  void EnforceLruCap();
   bool ChooseAcrossSources(int64_t est_work_per_source) const;
-  void PushAll(int64_t est_work_per_source, bool initialize);
+  void PushAll(const std::vector<SourceSlot*>& slots,
+               int64_t est_work_per_source, bool initialize);
   void PushSource(SourceSlot* slot, ParallelPushEngine* engine,
                   bool initialize);
 
   DynamicGraph* graph_;
   IndexOptions options_;
-  std::vector<std::unique_ptr<SourceSlot>> slots_;
+  std::atomic<std::shared_ptr<const SourceTable>> table_;
   EnginePool pool_;
   std::vector<JournaledUpdate> journal_;
+  /// Restore-coalescing plan for the current journal (source-independent:
+  /// update counts and final degrees are graph facts shared by every
+  /// source). journal_skip_[j] marks entries absorbed by a direct solve
+  /// of their endpoint, listed once in coalesced_endpoints_.
+  std::vector<uint8_t> journal_skip_;
+  std::vector<VertexId> coalesced_endpoints_;
+  int64_t coalesced_entries_ = 0;
+  mutable std::atomic<uint64_t> lru_clock_{1};
   IndexBatchStats last_batch_stats_;
 };
 

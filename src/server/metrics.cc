@@ -1,0 +1,86 @@
+#include "server/metrics.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace dppr {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void ServiceMetrics::RecordQuery(double latency_ms, bool during_maintenance) {
+  if (during_maintenance) served_during_maintenance_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(mu_);
+  query_latency_ms_.Add(latency_ms);
+}
+
+void ServiceMetrics::RecordBatch(int64_t num_updates, double latency_ms) {
+  updates_applied_.fetch_add(num_updates);
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_latency_ms_.Add(latency_ms);
+  ++batches_applied_;
+}
+
+void ServiceMetrics::MarkStart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  start_seconds_ = NowSeconds();
+}
+
+MetricsReport ServiceMetrics::Snapshot() const {
+  MetricsReport report;
+  report.queries_shed_queue_full = queries_shed_queue_full_.load();
+  report.queries_shed_deadline = queries_shed_deadline_.load();
+  report.queries_failed = queries_failed_.load();
+  report.served_during_maintenance = served_during_maintenance_.load();
+  report.updates_shed_queue_full = updates_shed_queue_full_.load();
+  report.updates_applied = updates_applied_.load();
+  report.sources_added = sources_added_.load();
+  report.sources_removed = sources_removed_.load();
+  report.sources_materialized = sources_materialized_.load();
+  report.sources_evicted = sources_evicted_.load();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  report.queries_completed = query_latency_ms_.Count();
+  if (report.queries_completed > 0) {
+    report.query_mean_ms = query_latency_ms_.Mean();
+    report.query_p50_ms = query_latency_ms_.Percentile(50);
+    report.query_p99_ms = query_latency_ms_.Percentile(99);
+    report.query_max_ms = query_latency_ms_.Max();
+  }
+  report.batches_applied = batches_applied_;
+  if (batches_applied_ > 0) {
+    report.batch_mean_ms = batch_latency_ms_.Mean();
+    report.batch_p99_ms = batch_latency_ms_.Percentile(99);
+  }
+  report.elapsed_seconds =
+      start_seconds_ > 0 ? NowSeconds() - start_seconds_ : 0.0;
+  return report;
+}
+
+std::string MetricsReport::ToString() const {
+  std::ostringstream os;
+  os << "queries: " << queries_completed << " completed ("
+     << static_cast<int64_t>(QueryThroughput()) << "/s), "
+     << served_during_maintenance << " during maintenance, shed "
+     << queries_shed_queue_full << " (queue) + " << queries_shed_deadline
+     << " (deadline), " << queries_failed << " failed\n"
+     << "  latency ms: mean=" << query_mean_ms << " p50=" << query_p50_ms
+     << " p99=" << query_p99_ms << " max=" << query_max_ms << "\n"
+     << "updates: " << updates_applied << " edges in " << batches_applied
+     << " batches (" << static_cast<int64_t>(UpdateThroughput())
+     << " upd/s), shed " << updates_shed_queue_full
+     << "; batch ms: mean=" << batch_mean_ms << " p99=" << batch_p99_ms
+     << "\n"
+     << "sources: +" << sources_added << " -" << sources_removed
+     << ", rematerialized " << sources_materialized << ", evicted "
+     << sources_evicted;
+  return os.str();
+}
+
+}  // namespace dppr

@@ -1,0 +1,109 @@
+// ServiceMetrics — per-request latency and aggregate throughput accounting
+// for PprService.
+//
+// Recording happens on the hot serving path, so counters are lock-free
+// atomics; only the latency histograms (exact-sample, needed for honest
+// p50/p99 tails) take a mutex, and only for a push_back. Snapshot() is the
+// single read point: it materializes a consistent-enough MetricsReport for
+// printing — metrics are monitoring data, not the consistency-critical
+// snapshot machinery of the index itself.
+
+#ifndef DPPR_SERVER_METRICS_H_
+#define DPPR_SERVER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace dppr {
+
+/// \brief One materialized view of the service counters (see
+/// ServiceMetrics::Snapshot).
+struct MetricsReport {
+  // Query-side.
+  int64_t queries_completed = 0;
+  int64_t queries_shed_queue_full = 0;  ///< refused at admission
+  int64_t queries_shed_deadline = 0;    ///< expired before a worker ran it
+  int64_t queries_failed = 0;           ///< unknown source / not materialized
+  int64_t served_during_maintenance = 0;  ///< completed while ApplyBatch ran
+  double query_mean_ms = 0.0;
+  double query_p50_ms = 0.0;
+  double query_p99_ms = 0.0;
+  double query_max_ms = 0.0;
+
+  // Update-side.
+  int64_t batches_applied = 0;
+  int64_t updates_applied = 0;  ///< edge updates across all batches
+  int64_t updates_shed_queue_full = 0;
+  double batch_mean_ms = 0.0;
+  double batch_p99_ms = 0.0;
+
+  // Source administration.
+  int64_t sources_added = 0;
+  int64_t sources_removed = 0;
+  int64_t sources_materialized = 0;  ///< on-demand re-materializations
+  int64_t sources_evicted = 0;
+
+  double elapsed_seconds = 0.0;  ///< since service start (or last Reset)
+
+  double QueryThroughput() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(queries_completed) / elapsed_seconds
+               : 0.0;
+  }
+  double UpdateThroughput() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(updates_applied) / elapsed_seconds
+               : 0.0;
+  }
+
+  /// Multi-line human-readable summary (hub_server prints this).
+  std::string ToString() const;
+};
+
+/// \brief Thread-safe recorder; every PprService thread writes here.
+class ServiceMetrics {
+ public:
+  void RecordQuery(double latency_ms, bool during_maintenance);
+  void RecordQueryShedQueueFull() { queries_shed_queue_full_.fetch_add(1); }
+  void RecordQueryShedDeadline() { queries_shed_deadline_.fetch_add(1); }
+  void RecordQueryFailed() { queries_failed_.fetch_add(1); }
+
+  void RecordBatch(int64_t num_updates, double latency_ms);
+  void RecordUpdateShedQueueFull() { updates_shed_queue_full_.fetch_add(1); }
+
+  void RecordSourceAdded() { sources_added_.fetch_add(1); }
+  void RecordSourceRemoved() { sources_removed_.fetch_add(1); }
+  void RecordSourceMaterialized() { sources_materialized_.fetch_add(1); }
+  void RecordSourcesEvicted(int64_t n) { sources_evicted_.fetch_add(n); }
+
+  /// Restarts the elapsed-time clock (called by PprService::Start).
+  void MarkStart();
+
+  MetricsReport Snapshot() const;
+
+ private:
+  std::atomic<int64_t> queries_shed_queue_full_{0};
+  std::atomic<int64_t> queries_shed_deadline_{0};
+  std::atomic<int64_t> queries_failed_{0};
+  std::atomic<int64_t> served_during_maintenance_{0};
+  std::atomic<int64_t> updates_shed_queue_full_{0};
+  std::atomic<int64_t> updates_applied_{0};
+  std::atomic<int64_t> sources_added_{0};
+  std::atomic<int64_t> sources_removed_{0};
+  std::atomic<int64_t> sources_materialized_{0};
+  std::atomic<int64_t> sources_evicted_{0};
+
+  mutable std::mutex mu_;  ///< guards the histograms and start time
+  Histogram query_latency_ms_;
+  Histogram batch_latency_ms_;
+  int64_t batches_applied_ = 0;
+  double start_seconds_ = 0.0;  ///< steady-clock origin, set by MarkStart
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_SERVER_METRICS_H_

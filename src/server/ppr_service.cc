@@ -1,0 +1,391 @@
+#include "server/ppr_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/timer.h"
+
+namespace dppr {
+namespace {
+
+/// Maintenance requests drained per cycle on top of the blocking pop:
+/// bounds the latency of an admin op stuck behind a burst of updates.
+constexpr size_t kMaintDrainPerCycle = 63;
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kShedQueueFull: return "shed-queue-full";
+    case RequestStatus::kShedDeadline: return "shed-deadline";
+    case RequestStatus::kUnknownSource: return "unknown-source";
+    case RequestStatus::kNotMaterialized: return "not-materialized";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kClosed: return "closed";
+  }
+  return "?";
+}
+
+PprService::PprService(PprIndex* index, const ServiceOptions& options)
+    : index_(index),
+      options_(options),
+      query_queue_(options.query_queue_capacity),
+      maint_queue_(options.update_queue_capacity) {
+  DPPR_CHECK(index != nullptr);
+  DPPR_CHECK(options.num_workers >= 0);
+  DPPR_CHECK(options.max_coalesced_updates > 0);
+}
+
+PprService::~PprService() { Stop(); }
+
+void PprService::Start() {
+  // One-shot lifecycle: the bounded queues close permanently on Stop, so
+  // a restarted service would accept nothing — fail loudly instead.
+  DPPR_CHECK_MSG(!started_ && !stopped_,
+                 "PprService is single-use: Start may run once");
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  metrics_.MarkStart();
+  maintenance_ = std::thread([this] { MaintenanceLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void PprService::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  running_.store(false, std::memory_order_release);
+  // Admission closes first; workers drain what was already accepted.
+  query_queue_.Close();
+  // The empty critical section orders the notify after any worker that
+  // saw running_ == true in its wait predicate has actually parked —
+  // without it the wakeup is lost and Stop stalls for materialize_wait.
+  { std::lock_guard<std::mutex> lock(materialize_mu_); }
+  materialize_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // With zero workers (admission-control tests) accepted queries are
+  // still owed an answer.
+  std::vector<QueryRequest> leftover;
+  while (query_queue_.TryDrain(&leftover, 64) > 0) {
+    for (QueryRequest& request : leftover) {
+      QueryResponse response;
+      response.status = RequestStatus::kClosed;
+      request.promise.set_value(std::move(response));
+    }
+    leftover.clear();
+  }
+  // The maintenance thread drains its queue before exiting, so queued
+  // updates are applied, not dropped.
+  maint_queue_.Close();
+  maintenance_.join();
+}
+
+// ------------------------------------------------------------ submission
+
+std::future<QueryResponse> PprService::SubmitQuery(QueryRequest request) {
+  std::future<QueryResponse> future = request.promise.get_future();
+  request.enqueue_time = Clock::now();
+  if (!request.has_deadline && options_.default_deadline.count() > 0) {
+    request.deadline = request.enqueue_time + options_.default_deadline;
+    request.has_deadline = true;
+  }
+  if (!query_queue_.TryPush(std::move(request))) {
+    // Admission control: a refused request is answered immediately (the
+    // TryPush contract leaves `request` — and its promise — intact).
+    QueryResponse response;
+    response.status = query_queue_.closed() ? RequestStatus::kClosed
+                                            : RequestStatus::kShedQueueFull;
+    if (response.status == RequestStatus::kShedQueueFull) {
+      metrics_.RecordQueryShedQueueFull();
+    }
+    request.promise.set_value(std::move(response));
+  }
+  return future;
+}
+
+std::future<QueryResponse> PprService::QueryVertexAsync(VertexId s,
+                                                        VertexId v,
+                                                        int64_t deadline_ms) {
+  QueryRequest request;
+  request.kind = QueryRequest::Kind::kVertex;
+  request.source = s;
+  request.vertex = v;
+  if (deadline_ms > 0) {
+    request.deadline =
+        Clock::now() + std::chrono::milliseconds(deadline_ms);
+    request.has_deadline = true;
+  }
+  return SubmitQuery(std::move(request));
+}
+
+std::future<QueryResponse> PprService::TopKAsync(VertexId s, int k,
+                                                 int64_t deadline_ms) {
+  QueryRequest request;
+  request.kind = QueryRequest::Kind::kTopK;
+  request.source = s;
+  request.k = k;
+  if (deadline_ms > 0) {
+    request.deadline =
+        Clock::now() + std::chrono::milliseconds(deadline_ms);
+    request.has_deadline = true;
+  }
+  return SubmitQuery(std::move(request));
+}
+
+std::future<MaintResponse> PprService::SubmitMaint(MaintRequest request) {
+  request.wants_response = true;
+  std::future<MaintResponse> future = request.promise.get_future();
+  const bool is_updates = request.kind == MaintRequest::Kind::kUpdates;
+  if (!maint_queue_.TryPush(std::move(request))) {
+    MaintResponse response;
+    response.status = maint_queue_.closed() ? RequestStatus::kClosed
+                                            : RequestStatus::kShedQueueFull;
+    if (is_updates && response.status == RequestStatus::kShedQueueFull) {
+      metrics_.RecordUpdateShedQueueFull();
+    }
+    request.promise.set_value(std::move(response));
+  }
+  return future;
+}
+
+std::future<MaintResponse> PprService::ApplyUpdatesAsync(UpdateBatch batch) {
+  MaintRequest request;
+  request.kind = MaintRequest::Kind::kUpdates;
+  request.batch = std::move(batch);
+  return SubmitMaint(std::move(request));
+}
+
+std::future<MaintResponse> PprService::AddSourceAsync(VertexId s) {
+  MaintRequest request;
+  request.kind = MaintRequest::Kind::kAddSource;
+  request.source = s;
+  return SubmitMaint(std::move(request));
+}
+
+std::future<MaintResponse> PprService::RemoveSourceAsync(VertexId s) {
+  MaintRequest request;
+  request.kind = MaintRequest::Kind::kRemoveSource;
+  request.source = s;
+  return SubmitMaint(std::move(request));
+}
+
+QueryResponse PprService::Query(VertexId s, VertexId v, int64_t deadline_ms) {
+  return QueryVertexAsync(s, v, deadline_ms).get();
+}
+
+QueryResponse PprService::TopK(VertexId s, int k, int64_t deadline_ms) {
+  return TopKAsync(s, k, deadline_ms).get();
+}
+
+// --------------------------------------------------------- query workers
+
+void PprService::WorkerLoop() {
+  for (;;) {
+    std::optional<QueryRequest> request = query_queue_.Pop();
+    if (!request.has_value()) break;  // closed and drained
+    if (request->has_deadline && Clock::now() > request->deadline) {
+      metrics_.RecordQueryShedDeadline();
+      QueryResponse response;
+      response.status = RequestStatus::kShedDeadline;
+      request->promise.set_value(std::move(response));
+      continue;
+    }
+    QueryResponse response = ExecuteQuery(*request);
+    if (response.status == RequestStatus::kOk) {
+      metrics_.RecordQuery(MillisSince(request->enqueue_time),
+                           response.during_maintenance);
+    } else {
+      metrics_.RecordQueryFailed();
+    }
+    request->promise.set_value(std::move(response));
+  }
+}
+
+SourceReadResult PprService::ReadIndex(const QueryRequest& request) const {
+  return request.kind == QueryRequest::Kind::kVertex
+             ? index_->QueryVertexForSource(request.source, request.vertex)
+             : index_->TopKForSource(request.source, request.k);
+}
+
+QueryResponse PprService::ExecuteQuery(const QueryRequest& request) {
+  SourceReadResult read = ReadIndex(request);
+  if (read.status == SourceReadResult::Status::kNotMaterialized &&
+      options_.materialize_wait.count() > 0) {
+    Clock::time_point wait_until =
+        Clock::now() + options_.materialize_wait;
+    if (request.has_deadline) {
+      wait_until = std::min(wait_until, request.deadline);
+    }
+    AwaitMaterialization(request.source, wait_until);
+    read = ReadIndex(request);
+  }
+
+  QueryResponse response;
+  response.epoch = read.epoch;
+  // Sampled when the answer is ready: "how many queries completed while a
+  // batch was in flight" is the serving-during-maintenance metric.
+  response.during_maintenance =
+      in_maintenance_.load(std::memory_order_acquire);
+  switch (read.status) {
+    case SourceReadResult::Status::kOk:
+      response.status = RequestStatus::kOk;
+      response.estimate = read.estimate;
+      response.topk = std::move(read.topk);
+      break;
+    case SourceReadResult::Status::kUnknownSource:
+      response.status = RequestStatus::kUnknownSource;
+      break;
+    case SourceReadResult::Status::kNotMaterialized:
+      response.status = RequestStatus::kNotMaterialized;
+      break;
+  }
+  return response;
+}
+
+void PprService::AwaitMaterialization(VertexId s,
+                                      Clock::time_point wait_until) {
+  MaintRequest request;
+  request.kind = MaintRequest::Kind::kMaterialize;
+  request.source = s;
+  request.wants_response = false;
+  // A full maintenance queue means the rebuild would sit behind a long
+  // backlog anyway — fail fast and let the client retry.
+  if (!maint_queue_.TryPush(std::move(request))) return;
+  std::unique_lock<std::mutex> lock(materialize_mu_);
+  materialize_cv_.wait_until(lock, wait_until, [&] {
+    return !running_.load(std::memory_order_acquire) ||
+           index_->IsMaterializedSource(s);
+  });
+}
+
+// ----------------------------------------------------- maintenance thread
+
+void PprService::MaintenanceLoop() {
+  std::vector<MaintRequest> run;
+  for (;;) {
+    std::optional<MaintRequest> first = maint_queue_.Pop();
+    if (!first.has_value()) break;  // closed and drained
+    run.clear();
+    run.push_back(std::move(*first));
+    // Coalesce whatever arrived behind it, preserving FIFO order.
+    maint_queue_.TryDrain(&run, kMaintDrainPerCycle);
+    ProcessMaintRun(&run);
+  }
+}
+
+void PprService::ProcessMaintRun(std::vector<MaintRequest>* run) {
+  size_t i = 0;
+  UpdateBatch merged;
+  while (i < run->size()) {
+    MaintRequest& head = (*run)[i];
+    if (head.kind != MaintRequest::Kind::kUpdates) {
+      HandleAdmin(&head);
+      ++i;
+      continue;
+    }
+    // Merge the maximal run of consecutive update requests that fits the
+    // coalescing cap (a single oversized request still goes through).
+    size_t end = i;
+    size_t total = 0;
+    while (end < run->size() &&
+           (*run)[end].kind == MaintRequest::Kind::kUpdates &&
+           (end == i || total + (*run)[end].batch.size() <=
+                            options_.max_coalesced_updates)) {
+      total += (*run)[end].batch.size();
+      ++end;
+    }
+    WallTimer timer;
+    in_maintenance_.store(true, std::memory_order_release);
+    if (end == i + 1) {
+      index_->ApplyBatch(head.batch);
+    } else {
+      merged.clear();
+      merged.reserve(total);
+      for (size_t j = i; j < end; ++j) {
+        const UpdateBatch& batch = (*run)[j].batch;
+        merged.insert(merged.end(), batch.begin(), batch.end());
+      }
+      index_->ApplyBatch(merged);
+    }
+    in_maintenance_.store(false, std::memory_order_release);
+    metrics_.RecordBatch(static_cast<int64_t>(total), timer.Millis());
+    for (size_t j = i; j < end; ++j) {
+      MaintRequest& request = (*run)[j];
+      if (!request.wants_response) continue;
+      MaintResponse response;
+      response.status = RequestStatus::kOk;
+      response.updates_applied = static_cast<int64_t>(request.batch.size());
+      request.promise.set_value(std::move(response));
+    }
+    i = end;
+  }
+}
+
+void PprService::HandleAdmin(MaintRequest* request) {
+  MaintResponse response;
+  const int64_t live_before =
+      static_cast<int64_t>(index_->NumMaterializedSources());
+  int64_t live_delta = 0;  ///< expected live-set change absent evictions
+  switch (request->kind) {
+    case MaintRequest::Kind::kAddSource: {
+      const bool ok = index_->AddSource(request->source);
+      response.status = ok ? RequestStatus::kOk : RequestStatus::kRejected;
+      if (ok) {
+        metrics_.RecordSourceAdded();
+        live_delta = 1;
+      }
+      break;
+    }
+    case MaintRequest::Kind::kRemoveSource: {
+      const bool was_live = index_->IsMaterializedSource(request->source);
+      const bool ok = index_->RemoveSource(request->source);
+      response.status =
+          ok ? RequestStatus::kOk : RequestStatus::kUnknownSource;
+      if (ok) {
+        metrics_.RecordSourceRemoved();
+        if (was_live) live_delta = -1;  // a removal, not an eviction
+      }
+      break;
+    }
+    case MaintRequest::Kind::kMaterialize: {
+      const bool was_live = index_->IsMaterializedSource(request->source);
+      const bool ok = index_->MaterializeSource(request->source);
+      response.status =
+          ok ? RequestStatus::kOk : RequestStatus::kUnknownSource;
+      if (ok && !was_live) {
+        metrics_.RecordSourceMaterialized();
+        live_delta = 1;
+      }
+      break;
+    }
+    case MaintRequest::Kind::kUpdates:
+      DPPR_CHECK_MSG(false, "updates are handled by ProcessMaintRun");
+  }
+  // LRU evictions happen inside the index when the cap is exceeded; infer
+  // the count from the live-set delta.
+  const int64_t evicted =
+      live_before + live_delta -
+      static_cast<int64_t>(index_->NumMaterializedSources());
+  if (evicted > 0) metrics_.RecordSourcesEvicted(evicted);
+  // Wake workers parked in AwaitMaterialization. The empty critical
+  // section orders this notify after any waiter that checked its
+  // predicate pre-materialization has actually parked (no lost wakeup).
+  { std::lock_guard<std::mutex> lock(materialize_mu_); }
+  materialize_cv_.notify_all();
+  if (request->wants_response) {
+    request->promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace dppr

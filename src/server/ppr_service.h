@@ -1,0 +1,206 @@
+// PprService — the concurrent serving layer over PprIndex.
+//
+// The paper's target workload (§6: hub/celebrity PPR on a streaming
+// social graph) is an online front-end: queries race with edge updates,
+// and hubs come and go. PprIndex provides the safe substrate (epoch-
+// versioned snapshot reads concurrent with single-maintainer mutation);
+// PprService supplies the missing machinery around it:
+//
+//   * a pool of query worker threads pulling from a bounded MPMC queue
+//     (QueryVertex / TopK requests), answering from published snapshots —
+//     reads never block on maintenance;
+//   * ONE maintenance thread owning every index mutation (ApplyBatch,
+//     AddSource, RemoveSource, MaterializeSource, LRU eviction), which
+//     makes the index's "externally serialized maintainer" contract a
+//     structural property instead of a convention. Incoming update
+//     requests are coalesced: consecutive queued batches merge into one
+//     ApplyBatch (restore cost is shared across sources either way, and
+//     one push amortizes better than many small ones);
+//   * admission control — bounded queues shed on overflow, and each
+//     request may carry a deadline: a worker popping an expired request
+//     drops it unexecuted (the client has given up; finishing the work
+//     would only add queueing delay for everyone behind it);
+//   * on-demand materialization — a query hitting an LRU-evicted source
+//     files a materialization request with the maintenance thread and
+//     briefly waits (bounded by ServiceOptions::materialize_wait and the
+//     request deadline) for the rebuild;
+//   * latency/throughput metrics (p50/p99, shed counts, queries served
+//     while ApplyBatch was running).
+//
+// See README.md in this directory for the full threading model.
+
+#ifndef DPPR_SERVER_PPR_SERVICE_H_
+#define DPPR_SERVER_PPR_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/query.h"
+#include "graph/types.h"
+#include "index/ppr_index.h"
+#include "server/metrics.h"
+#include "server/request_queue.h"
+
+namespace dppr {
+
+/// \brief Terminal status of one service request.
+enum class RequestStatus {
+  kOk,
+  kShedQueueFull,    ///< refused at admission: the bounded queue was full
+  kShedDeadline,     ///< expired in the queue; dropped unexecuted
+  kUnknownSource,    ///< no such source in the index
+  kNotMaterialized,  ///< source evicted and the rebuild wait ran out
+  kRejected,         ///< admin op refused (e.g. AddSource of a known hub)
+  kClosed,           ///< service stopped before the request ran
+};
+
+const char* RequestStatusName(RequestStatus status);
+
+/// \brief Answer to a QueryVertex/TopK request.
+struct QueryResponse {
+  RequestStatus status = RequestStatus::kClosed;
+  uint64_t epoch = 0;  ///< snapshot epoch the answer was read from
+  bool during_maintenance = false;  ///< ApplyBatch was running concurrently
+  PointEstimate estimate;           ///< QueryVertex answers
+  GuaranteedTopK topk;              ///< TopK answers
+};
+
+/// \brief Answer to an update/admin request.
+struct MaintResponse {
+  RequestStatus status = RequestStatus::kClosed;
+  int64_t updates_applied = 0;  ///< edge updates this request contributed
+};
+
+/// \brief Tuning knobs of a PprService.
+struct ServiceOptions {
+  /// Query worker threads. 0 is legal (requests queue but nothing serves
+  /// them — useful for admission-control tests) .
+  int num_workers = 4;
+  size_t query_queue_capacity = 1024;
+  size_t update_queue_capacity = 256;
+  /// Upper bound on edge updates merged into one ApplyBatch when the
+  /// maintenance thread coalesces a burst of queued update requests.
+  size_t max_coalesced_updates = 8192;
+  /// Deadline applied to queries that do not carry their own; zero means
+  /// no deadline.
+  std::chrono::milliseconds default_deadline{0};
+  /// How long a worker may wait for the maintenance thread to rebuild an
+  /// evicted source before answering kNotMaterialized. Zero = fail fast.
+  std::chrono::milliseconds materialize_wait{100};
+};
+
+/// \brief Concurrent PPR serving front-end. See file comment.
+///
+/// Lifecycle: construct over an Initialize()d PprIndex, Start(), submit,
+/// Stop() (destructor stops too). The index must not be mutated by anyone
+/// else while the service runs — the maintenance thread is the single
+/// maintainer.
+class PprService {
+ public:
+  PprService(PprIndex* index, const ServiceOptions& options);
+  ~PprService();
+
+  PprService(const PprService&) = delete;
+  PprService& operator=(const PprService&) = delete;
+
+  /// Spawns the threads. A PprService is single-use: Start may run once,
+  /// and after Stop the instance cannot be restarted (the bounded queues
+  /// close permanently) — construct a new service instead.
+  void Start();
+  /// Graceful: closes admission, drains queued requests (workers finish
+  /// them; anything left is answered kClosed), joins all threads.
+  /// Idempotent.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- Submission (any thread). A shed request returns a ready future. --
+
+  /// p[v] ± eps for source `s`. `deadline_ms` 0 = options default.
+  std::future<QueryResponse> QueryVertexAsync(VertexId s, VertexId v,
+                                              int64_t deadline_ms = 0);
+  std::future<QueryResponse> TopKAsync(VertexId s, int k,
+                                       int64_t deadline_ms = 0);
+  /// Edge updates; the maintenance thread may merge several queued
+  /// requests into one ApplyBatch.
+  std::future<MaintResponse> ApplyUpdatesAsync(UpdateBatch batch);
+  std::future<MaintResponse> AddSourceAsync(VertexId s);
+  std::future<MaintResponse> RemoveSourceAsync(VertexId s);
+
+  // Blocking conveniences.
+  QueryResponse Query(VertexId s, VertexId v, int64_t deadline_ms = 0);
+  QueryResponse TopK(VertexId s, int k, int64_t deadline_ms = 0);
+
+  // --- Introspection (any thread) ---------------------------------------
+
+  MetricsReport Metrics() const { return metrics_.Snapshot(); }
+  /// True while the maintenance thread is inside ApplyBatch.
+  bool InMaintenance() const {
+    return in_maintenance_.load(std::memory_order_acquire);
+  }
+  const ServiceOptions& options() const { return options_; }
+  PprIndex* index() { return index_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct QueryRequest {
+    enum class Kind { kVertex, kTopK };
+    Kind kind = Kind::kVertex;
+    VertexId source = kInvalidVertex;
+    VertexId vertex = kInvalidVertex;
+    int k = 0;
+    Clock::time_point enqueue_time;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+    std::promise<QueryResponse> promise;
+  };
+
+  struct MaintRequest {
+    enum class Kind { kUpdates, kAddSource, kRemoveSource, kMaterialize };
+    Kind kind = Kind::kUpdates;
+    UpdateBatch batch;
+    VertexId source = kInvalidVertex;
+    /// Worker-filed materialization requests are fire-and-forget.
+    bool wants_response = false;
+    std::promise<MaintResponse> promise;
+  };
+
+  std::future<QueryResponse> SubmitQuery(QueryRequest request);
+  std::future<MaintResponse> SubmitMaint(MaintRequest request);
+  void WorkerLoop();
+  void MaintenanceLoop();
+  /// Processes one drained run of maintenance requests in FIFO order,
+  /// merging consecutive update requests into single ApplyBatch calls.
+  void ProcessMaintRun(std::vector<MaintRequest>* run);
+  void HandleAdmin(MaintRequest* request);
+  QueryResponse ExecuteQuery(const QueryRequest& request);
+  SourceReadResult ReadIndex(const QueryRequest& request) const;
+  /// Files a fire-and-forget materialization request and waits (bounded)
+  /// for the maintenance thread to rebuild `s`.
+  void AwaitMaterialization(VertexId s, Clock::time_point wait_until);
+
+  PprIndex* index_;
+  ServiceOptions options_;
+  ServiceMetrics metrics_;
+  BoundedQueue<QueryRequest> query_queue_;
+  BoundedQueue<MaintRequest> maint_queue_;
+  std::vector<std::thread> workers_;
+  std::thread maintenance_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<bool> in_maintenance_{false};
+  /// Wakes workers parked in AwaitMaterialization after every admin op.
+  std::mutex materialize_mu_;
+  std::condition_variable materialize_cv_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_SERVER_PPR_SERVICE_H_

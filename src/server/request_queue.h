@@ -1,0 +1,109 @@
+// BoundedQueue — the MPMC request queue behind PprService.
+//
+// Design goals, in order: correctness under arbitrary producer/consumer
+// interleavings (this is the structure every service thread touches),
+// bounded memory (admission control needs a hard capacity so overload
+// sheds instead of ballooning), and simplicity (mutex + two condition
+// variables; the queue hands off coarse requests, not per-edge work, so
+// lock-free cleverness would buy nothing measurable and cost
+// auditability — the TSan CI job keeps this file honest).
+
+#ifndef DPPR_SERVER_REQUEST_QUEUE_H_
+#define DPPR_SERVER_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace dppr {
+
+/// \brief Bounded multi-producer multi-consumer FIFO.
+///
+/// TryPush never blocks: a full (or closed) queue refuses the item, which
+/// is the service's load-shedding point. Consumers block in Pop until an
+/// item arrives or the queue is closed AND drained — close is a graceful
+/// shutdown barrier, not a drop.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    DPPR_CHECK(capacity > 0);
+  }
+
+  /// Enqueues unless full or closed. Never blocks; false means "shed".
+  /// On failure `item` is NOT consumed — the caller keeps it and can
+  /// answer its embedded promise.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returns it) or the queue is
+  /// closed and empty (returns nullopt — the consumer should exit).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking: moves up to `max_items` immediately available items
+  /// into `out` (appended). Returns the number taken. The maintenance
+  /// thread uses this to coalesce a burst of update requests into one
+  /// ApplyBatch.
+  size_t TryDrain(std::vector<T>* out, size_t max_items) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t taken = 0;
+    while (taken < max_items && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    return taken;
+  }
+
+  /// Closes the queue: subsequent TryPush fails, blocked Pops drain the
+  /// remaining items and then return nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_SERVER_REQUEST_QUEUE_H_

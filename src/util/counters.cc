@@ -16,6 +16,8 @@ void PushCounters::Add(const PushCounters& other) {
   frontier_total += other.frontier_total;
   frontier_max = std::max(frontier_max, other.frontier_max);
   restore_ops += other.restore_ops;
+  restore_input_updates += other.restore_input_updates;
+  restore_direct_solves += other.restore_direct_solves;
   random_bytes += other.random_bytes;
 }
 
@@ -26,6 +28,10 @@ std::string PushCounters::ToString() const {
      << enqueue_attempts << " dup_rej=" << dedup_rejects
      << " iters=" << iterations << " max_front=" << frontier_max
      << " restores=" << restore_ops;
+  if (restore_input_updates != restore_ops) {
+    os << " (coalesced from " << restore_input_updates << ", "
+       << restore_direct_solves << " direct solves)";
+  }
   return os.str();
 }
 

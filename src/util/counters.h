@@ -33,7 +33,15 @@ struct PushCounters {
   int64_t iterations = 0;        ///< push rounds executed
   int64_t frontier_total = 0;    ///< sum of frontier sizes over rounds
   int64_t frontier_max = 0;      ///< largest single-round frontier
-  int64_t restore_ops = 0;       ///< RestoreInvariant applications
+  int64_t restore_ops = 0;       ///< restore ops performed (replays + solves)
+  /// Journal entries handed to the restore phase BEFORE coalescing — the
+  /// per-update replay count a non-coalescing pass would execute. With
+  /// coalescing off this equals restore_ops; the gap is the saved replay
+  /// work (restore_ops counts the direct solves that replaced it).
+  int64_t restore_input_updates = 0;
+  /// Heavy-hitter endpoints whose replays were collapsed into one direct
+  /// Eq. 2 solve (SolveInvariantAtVertex). Included in restore_ops.
+  int64_t restore_direct_solves = 0;
   int64_t random_bytes = 0;      ///< estimated random-access bytes touched
 
   void Add(const PushCounters& other);

@@ -15,6 +15,20 @@
 #define DPPR_STRINGIFY_IMPL(x) #x
 #define DPPR_STRINGIFY(x) DPPR_STRINGIFY_IMPL(x)
 
+// 1 when compiling under ThreadSanitizer (ci/run_tsan.sh). TSan does not
+// model std::atomic_thread_fence (GCC hard-errors on it with -Werror=tsan),
+// so fence-based fast paths compile themselves out behind this.
+#if defined(__SANITIZE_THREAD__)
+#define DPPR_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DPPR_TSAN_BUILD 1
+#endif
+#endif
+#ifndef DPPR_TSAN_BUILD
+#define DPPR_TSAN_BUILD 0
+#endif
+
 // Abort with a message when `cond` is false. Usable in constexpr-free code
 // on both hot setup paths and cold error paths.
 #define DPPR_CHECK(cond)                                                    \

@@ -72,7 +72,9 @@ TEST(PprIndexTest, SequentialVariantMatchesIndependentMaintenanceExactly) {
   // With the deterministic sequential push, journal replay must reproduce
   // bit-for-bit what per-source DynamicPpr::ApplyBatch computes: the
   // journal hands every source the same post-update degrees it would have
-  // read from the graph interleaving.
+  // read from the graph interleaving. Restore coalescing is off: a direct
+  // Eq. 2 solve is mathematically identical to replay but rounds
+  // differently, and this test's claim is exact replay equivalence.
   auto edges = GenerateErdosRenyi(128, 1024, 3);
   EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 4);
   std::vector<Edge> initial;
@@ -85,7 +87,10 @@ TEST(PprIndexTest, SequentialVariantMatchesIndependentMaintenanceExactly) {
   const std::vector<VertexId> sources = {0, 1, 2};
 
   DynamicGraph index_graph = DynamicGraph::FromEdges(initial, 128);
-  PprIndex index(&index_graph, sources, options);
+  IndexOptions exact_options;
+  exact_options.ppr = options;
+  exact_options.coalesce_restore = false;
+  PprIndex index(&index_graph, sources, exact_options);
   index.Initialize();
 
   std::vector<DynamicGraph> solo_graphs;
@@ -395,6 +400,264 @@ TEST(PprIndexTest, ConcurrentQueriesSeeEpochConsistentSnapshots) {
     // The snapshot content is exactly the published vector of its epoch.
     EXPECT_EQ(snap->estimates, expected[snap->epoch])
         << "torn or stale snapshot at reader step " << i;
+  }
+}
+
+// ------------------------------------------------------- dynamic sources
+
+TEST(PprIndexDynamicTest, AddSourceBitMatchesFreshIndex) {
+  // An incrementally added source is a from-scratch push on the current
+  // graph — with the deterministic sequential variant it must bit-match a
+  // fresh single-source PprIndex built over an identically evolved graph,
+  // both right after AddSource and after further shared batches.
+  auto edges = GenerateErdosRenyi(128, 1024, 41);
+  EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 42);
+  std::vector<Edge> initial;
+  auto batches = RecordWindowBatches(&stream, 0.5, 0.02, 8, &initial);
+  ASSERT_GE(batches.size(), 4u);
+
+  PprOptions options;
+  options.eps = 1e-6;
+  options.variant = PushVariant::kSequential;
+
+  DynamicGraph graph = DynamicGraph::FromEdges(initial, 128);
+  PprIndex index(&graph, {0, 1}, options);
+  index.Initialize();
+  const size_t half = batches.size() / 2;
+  for (size_t i = 0; i < half; ++i) index.ApplyBatch(batches[i]);
+
+  ASSERT_FALSE(index.HasSource(5));
+  ASSERT_TRUE(index.AddSource(5));
+  EXPECT_FALSE(index.AddSource(5)) << "duplicate AddSource must be refused";
+  EXPECT_FALSE(index.AddSource(100000)) << "non-vertex must be refused";
+  ASSERT_EQ(index.NumSources(), 3u);
+  EXPECT_EQ(index.SnapshotForSource(5)->epoch, 1u);
+
+  // Evolve a second graph identically and build the reference index on it.
+  DynamicGraph ref_graph = DynamicGraph::FromEdges(initial, 128);
+  for (size_t i = 0; i < half; ++i) {
+    for (const EdgeUpdate& update : batches[i]) ref_graph.Apply(update);
+  }
+  PprIndex fresh(&ref_graph, {5}, options);
+  fresh.Initialize();
+  EXPECT_EQ(index.Source(2).Estimates(), fresh.Source(0).Estimates());
+  EXPECT_EQ(index.Source(2).Residuals(), fresh.Source(0).Residuals());
+
+  // The newcomer is maintained like any other source from now on.
+  for (size_t i = half; i < batches.size(); ++i) {
+    index.ApplyBatch(batches[i]);
+    fresh.ApplyBatch(batches[i]);
+  }
+  EXPECT_EQ(index.Source(2).Estimates(), fresh.Source(0).Estimates());
+  EXPECT_EQ(index.Source(2).Residuals(), fresh.Source(0).Residuals());
+
+  PowerIterationOptions oracle_opt;
+  auto truth = PowerIterationPpr(graph, 5, oracle_opt);
+  EXPECT_LE(MaxAbsError(index.Source(2).Estimates(), truth),
+            options.eps * 1.0001);
+}
+
+TEST(PprIndexDynamicTest, RemoveThenReAddRoundTrips) {
+  DynamicGraph graph = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(64, 512, 7), 64);
+  PprOptions options;
+  options.eps = 1e-6;
+  options.variant = PushVariant::kSequential;
+  PprIndex index(&graph, {0, 1, 2}, options);
+  index.Initialize();
+
+  const std::vector<double> before = index.Source(2).Estimates();
+  const std::vector<double> other = index.Source(1).Estimates();
+
+  ASSERT_TRUE(index.RemoveSource(2));
+  EXPECT_FALSE(index.RemoveSource(2)) << "double remove must be refused";
+  EXPECT_FALSE(index.HasSource(2));
+  ASSERT_EQ(index.NumSources(), 2u);
+  EXPECT_EQ(index.QueryVertexForSource(2, 0).status,
+            SourceReadResult::Status::kUnknownSource);
+  // Remaining sources keep serving through the compacted table.
+  EXPECT_EQ(index.Source(1).Estimates(), other);
+  EXPECT_EQ(index.SnapshotForSource(1)->estimates, other);
+
+  // Re-adding on the unchanged graph reproduces the exact state.
+  ASSERT_TRUE(index.AddSource(2));
+  EXPECT_TRUE(index.HasSource(2));
+  EXPECT_EQ(index.Source(2).Estimates(), before);
+  EXPECT_EQ(index.SnapshotForSource(2)->epoch, 1u)
+      << "a re-added source is a fresh slot: epochs restart at 1";
+}
+
+TEST(PprIndexDynamicTest, LruEvictionAndOnDemandMaterialization) {
+  DynamicGraph graph = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(96, 768, 11), 96);
+  IndexOptions options;
+  options.ppr.eps = 1e-6;
+  options.max_materialized_sources = 2;
+  PprIndex index(&graph, {0, 1, 2, 3}, options);
+  index.Initialize();
+
+  // Under the cap only the first two sources materialize.
+  EXPECT_EQ(index.NumMaterializedSources(), 2u);
+  EXPECT_TRUE(index.IsMaterializedSource(0));
+  EXPECT_TRUE(index.IsMaterializedSource(1));
+  EXPECT_FALSE(index.IsMaterializedSource(2));
+  auto miss = index.QueryVertexForSource(2, 0);
+  EXPECT_EQ(miss.status, SourceReadResult::Status::kNotMaterialized);
+  EXPECT_EQ(miss.epoch, 0u);
+
+  // Warm source 1, then materialize 2: the cold source 0 is the victim.
+  (void)index.QueryVertexForSource(1, 5);
+  ASSERT_TRUE(index.MaterializeSource(2));
+  EXPECT_EQ(index.NumMaterializedSources(), 2u);
+  EXPECT_FALSE(index.IsMaterializedSource(0));
+  EXPECT_TRUE(index.IsMaterializedSource(1));
+  EXPECT_TRUE(index.IsMaterializedSource(2));
+
+  // The rematerialized source answers correctly at its next epoch.
+  PowerIterationOptions oracle_opt;
+  auto truth = PowerIterationPpr(graph, 2, oracle_opt);
+  auto hit = index.QueryVertexForSource(2, 5);
+  ASSERT_EQ(hit.status, SourceReadResult::Status::kOk);
+  EXPECT_NEAR(hit.estimate.value, truth[5], options.ppr.eps * 1.0001);
+
+  // Maintenance skips evicted sources and says so.
+  UpdateBatch batch = {EdgeUpdate::Insert(4, 9), EdgeUpdate::Insert(7, 3)};
+  index.ApplyBatch(batch);
+  EXPECT_EQ(index.last_batch_stats().sources_pushed, 2);
+  EXPECT_EQ(index.last_batch_stats().sources_skipped, 2);
+
+  // An eviction preserves the epoch; re-materialization resumes the
+  // sequence (epoch 2 here: Initialize + the post-batch publish was
+  // skipped for the evicted source, so its next publish is #2).
+  ASSERT_TRUE(index.MaterializeSource(0));
+  EXPECT_EQ(index.SnapshotForSource(0)->epoch, 2u);
+  auto truth0 = PowerIterationPpr(graph, 0, oracle_opt);
+  EXPECT_LE(MaxAbsError(index.SnapshotForSource(0)->estimates, truth0),
+            options.ppr.eps * 1.0001)
+      << "re-materialization must compute against the CURRENT graph";
+}
+
+TEST(PprIndexDynamicTest, ConcurrentReadsDuringEvictionStaySane) {
+  // Readers hammer the by-source snapshot API while the maintainer
+  // evicts, re-materializes, adds, removes, and applies batches. Every
+  // response a reader sees must be a complete single-epoch snapshot:
+  // status coherent, value within the mathematically possible range, and
+  // epochs never moving backwards per source (evictions keep the epoch).
+  DynamicGraph graph = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(128, 1024, 13), 128);
+  IndexOptions options;
+  options.ppr.eps = 1e-5;
+  options.max_materialized_sources = 2;
+  const std::vector<VertexId> stable = {0, 1, 2};
+  PprIndex index(&graph, stable, options);
+  index.Initialize();
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> sane{true};
+  std::atomic<int64_t> ok_reads{0};
+  auto reader = [&] {
+    std::vector<uint64_t> last_epoch(stable.size(), 0);
+    while (!done.load(std::memory_order_acquire)) {
+      for (size_t i = 0; i < stable.size(); ++i) {
+        const VertexId s = stable[i];
+        auto res = index.QueryVertexForSource(s, s);
+        if (res.status == SourceReadResult::Status::kOk) {
+          ok_reads.fetch_add(1, std::memory_order_relaxed);
+          // pi(s) >= alpha always; the estimate is eps-accurate.
+          if (res.estimate.value < options.ppr.alpha - 2 * options.ppr.eps ||
+              res.estimate.value > 1.0 + 2 * options.ppr.eps) {
+            sane.store(false);
+          }
+        }
+        if (res.epoch < last_epoch[i]) sane.store(false);
+        last_epoch[i] = res.epoch;
+      }
+    }
+  };
+  std::thread r1(reader), r2(reader);
+
+  for (int round = 0; round < 30; ++round) {
+    index.MaterializeSource(stable[static_cast<size_t>(round) % 3]);
+    if (round % 3 == 0) {
+      UpdateBatch batch = {EdgeUpdate::Insert(round % 64, (round + 17) % 64)};
+      index.ApplyBatch(batch);
+    }
+    if (round % 5 == 0) {
+      index.AddSource(64 + round % 4);
+      index.RemoveSource(64 + round % 4);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  EXPECT_TRUE(sane.load()) << "reader observed a torn or impossible state";
+  EXPECT_GT(ok_reads.load(), 0);
+}
+
+// ---------------------------------------------------- restore coalescing
+
+TEST(PprIndexCoalesceTest, HeavyHitterReplaysCollapseIntoDirectSolves) {
+  // A ring (out-degree 1 everywhere) hammered with insert/delete churn on
+  // one endpoint: 40 journal entries for u=5 against a final out-degree
+  // of 1 — exactly the shape where one direct Eq. 2 solve beats 40
+  // replays. The estimates must stay oracle-accurate, and the stats must
+  // expose the before/after pair.
+  const VertexId n = 64;
+  DynamicGraph graph(n);
+  for (VertexId v = 0; v < n; ++v) graph.AddEdge(v, (v + 1) % n);
+
+  IndexOptions options;
+  options.ppr.eps = 1e-6;
+  ASSERT_TRUE(options.coalesce_restore) << "coalescing should default on";
+  PprIndex index(&graph, {0, 7}, options);
+  index.Initialize();
+
+  UpdateBatch batch;
+  for (int i = 0; i < 20; ++i) {
+    const VertexId v = 10 + (i % 7);
+    batch.push_back(EdgeUpdate::Insert(5, v));
+    batch.push_back(EdgeUpdate::Delete(5, v));
+  }
+  batch.push_back(EdgeUpdate::Insert(9, 30));
+  batch.push_back(EdgeUpdate::Insert(9, 31));
+  index.ApplyBatch(batch);
+
+  const PushCounters& counters =
+      index.last_batch_stats().sources_total.counters;
+  const int64_t k = 2;  // sources
+  EXPECT_EQ(counters.restore_input_updates,
+            k * static_cast<int64_t>(batch.size()))
+      << "'before' counter = full journal per source";
+  // Per source: 2 replays (vertex 9) + 1 direct solve (vertex 5).
+  EXPECT_EQ(counters.restore_ops, k * 3);
+  EXPECT_EQ(counters.restore_direct_solves, k * 1);
+  EXPECT_LT(counters.restore_ops, counters.restore_input_updates);
+
+  PowerIterationOptions oracle_opt;
+  for (size_t h = 0; h < index.NumSources(); ++h) {
+    auto truth = PowerIterationPpr(graph, index.SourceVertex(h), oracle_opt);
+    EXPECT_LE(MaxAbsError(index.Source(h).Estimates(), truth),
+              options.ppr.eps * 1.0001)
+        << "source " << h;
+  }
+
+  // Cross-check against the exact replay path.
+  DynamicGraph ref_graph(n);
+  for (VertexId v = 0; v < n; ++v) ref_graph.AddEdge(v, (v + 1) % n);
+  IndexOptions exact = options;
+  exact.coalesce_restore = false;
+  PprIndex ref(&ref_graph, {0, 7}, exact);
+  ref.Initialize();
+  ref.ApplyBatch(batch);
+  EXPECT_EQ(ref.last_batch_stats().sources_total.counters.restore_ops,
+            ref.last_batch_stats()
+                .sources_total.counters.restore_input_updates)
+      << "with coalescing off the before/after counters must agree";
+  for (size_t h = 0; h < index.NumSources(); ++h) {
+    EXPECT_LE(MaxAbsError(index.Source(h).Estimates(),
+                          ref.Source(h).Estimates()),
+              2 * options.ppr.eps)
+        << "source " << h;
   }
 }
 

@@ -1,0 +1,415 @@
+// PprService tests: queue semantics, admission control (queue-full and
+// deadline shedding), query/update/admin request handling, on-demand
+// materialization of LRU-evicted sources, metrics accounting, and the
+// acceptance stress test — >= 4 query workers serving while the
+// maintenance thread applies batches and sources are added, removed, and
+// evicted concurrently, with every response epoch-consistent.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "analysis/power_iteration.h"
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph_stats.h"
+#include "index/ppr_index.h"
+#include "server/metrics.h"
+#include "server/ppr_service.h"
+#include "server/request_queue.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+
+namespace dppr {
+namespace {
+
+// ---------------------------------------------------------- BoundedQueue
+
+TEST(BoundedQueueTest, FifoPushPop) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.Pop().value(), 3);
+}
+
+TEST(BoundedQueueTest, RefusesWhenFullAndKeepsItem) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  int refused = 3;
+  EXPECT_FALSE(queue.TryPush(std::move(refused)));
+  EXPECT_EQ(refused, 3) << "a refused item must not be consumed";
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsShutdown) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(7));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(8)) << "closed queue refuses new items";
+  EXPECT_EQ(queue.Pop().value(), 7) << "already accepted items drain";
+  EXPECT_FALSE(queue.Pop().has_value()) << "then consumers see shutdown";
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(2);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(queue.Pop().has_value());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(BoundedQueueTest, TryDrainTakesAvailableWithoutBlocking) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.TryPush(int(i)));
+  std::vector<int> out;
+  EXPECT_EQ(queue.TryDrain(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.TryDrain(&out, 10), 2u);
+  EXPECT_EQ(queue.TryDrain(&out, 10), 0u) << "empty drain must not block";
+}
+
+// -------------------------------------------------------------- fixtures
+
+struct ServiceFixture {
+  DynamicGraph graph;
+  std::vector<VertexId> hubs;
+  PprIndex index;
+
+  explicit ServiceFixture(IndexOptions options, VertexId num_hubs = 4,
+                          uint32_t seed = 3)
+      : graph(DynamicGraph::FromEdges(GenerateErdosRenyi(128, 1024, seed),
+                                      128)),
+        hubs(TopOutDegreeVertices(graph, num_hubs)),
+        index(&graph, hubs, options) {
+    index.Initialize();
+  }
+};
+
+IndexOptions TestIndexOptions(double eps = 1e-6) {
+  IndexOptions options;
+  options.ppr.eps = eps;
+  return options;
+}
+
+// --------------------------------------------------------------- service
+
+TEST(PprServiceTest, ServesQueriesFromSnapshots) {
+  ServiceFixture fx(TestIndexOptions());
+  PprService service(&fx.index, {.num_workers = 2});
+  service.Start();
+
+  const VertexId hub = fx.hubs[0];
+  QueryResponse point = service.Query(hub, hub);
+  ASSERT_EQ(point.status, RequestStatus::kOk);
+  EXPECT_EQ(point.epoch, 1u);
+  EXPECT_DOUBLE_EQ(point.estimate.value,
+                   fx.index.QueryVertexForSource(hub, hub).estimate.value);
+
+  QueryResponse top = service.TopK(hub, 5);
+  ASSERT_EQ(top.status, RequestStatus::kOk);
+  ASSERT_EQ(top.topk.entries.size(), 5u);
+  GuaranteedTopK direct = fx.index.TopKForSource(hub, 5).topk;
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(top.topk.entries[i].id, direct.entries[i].id);
+  }
+
+  QueryResponse unknown = service.Query(999, 0);
+  EXPECT_EQ(unknown.status, RequestStatus::kUnknownSource);
+
+  service.Stop();
+  MetricsReport report = service.Metrics();
+  EXPECT_EQ(report.queries_completed, 2);
+  EXPECT_EQ(report.queries_failed, 1);
+  EXPECT_GE(report.query_p99_ms, report.query_p50_ms);
+}
+
+TEST(PprServiceTest, AppliesAndCoalescesUpdates) {
+  ServiceFixture fx(TestIndexOptions());
+  PprService service(&fx.index, {.num_workers = 1});
+  service.Start();
+
+  std::vector<std::future<MaintResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    UpdateBatch batch = {EdgeUpdate::Insert(i, 100 + i),
+                         EdgeUpdate::Insert(100 + i, i)};
+    futures.push_back(service.ApplyUpdatesAsync(std::move(batch)));
+  }
+  int64_t total_updates = 0;
+  for (auto& future : futures) {
+    MaintResponse response = future.get();
+    ASSERT_EQ(response.status, RequestStatus::kOk);
+    total_updates += response.updates_applied;
+  }
+  EXPECT_EQ(total_updates, 12);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(fx.graph.HasEdge(i, 100 + i));
+  }
+  service.Stop();
+
+  MetricsReport report = service.Metrics();
+  EXPECT_EQ(report.updates_applied, 12);
+  EXPECT_GE(report.batches_applied, 1);
+  EXPECT_LE(report.batches_applied, 6)
+      << "queued batches may merge but never split";
+  // Every source advanced past the initial epoch.
+  for (size_t h = 0; h < fx.index.NumSources(); ++h) {
+    EXPECT_GE(fx.index.Epoch(h), 2u);
+  }
+}
+
+TEST(PprServiceTest, ShedsWhenQueryQueueFull) {
+  ServiceFixture fx(TestIndexOptions());
+  // Zero workers: accepted requests sit in the queue, so capacity is hit
+  // deterministically.
+  PprService service(&fx.index,
+                     {.num_workers = 0, .query_queue_capacity = 2});
+  service.Start();
+
+  auto f1 = service.QueryVertexAsync(fx.hubs[0], 0);
+  auto f2 = service.QueryVertexAsync(fx.hubs[0], 1);
+  auto f3 = service.QueryVertexAsync(fx.hubs[0], 2);
+  EXPECT_EQ(f3.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+      << "a shed request answers immediately";
+  EXPECT_EQ(f3.get().status, RequestStatus::kShedQueueFull);
+
+  service.Stop();
+  // Accepted-but-unserved requests are answered kClosed, never dropped.
+  EXPECT_EQ(f1.get().status, RequestStatus::kClosed);
+  EXPECT_EQ(f2.get().status, RequestStatus::kClosed);
+  EXPECT_EQ(service.Metrics().queries_shed_queue_full, 1);
+}
+
+TEST(PprServiceTest, ShedsExpiredRequestsUnexecuted) {
+  ServiceFixture fx(TestIndexOptions());
+  PprService service(&fx.index, {.num_workers = 1});
+  // Submit BEFORE Start: the queue accepts, nothing consumes yet, so the
+  // deadline expires in the queue deterministically.
+  auto expired = service.QueryVertexAsync(fx.hubs[0], 0, /*deadline_ms=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  service.Start();
+  EXPECT_EQ(expired.get().status, RequestStatus::kShedDeadline);
+  service.Stop();
+  EXPECT_EQ(service.Metrics().queries_shed_deadline, 1);
+}
+
+TEST(PprServiceTest, AddAndRemoveSourcesOnline) {
+  ServiceFixture fx(TestIndexOptions());
+  PprService service(&fx.index, {.num_workers = 2});
+  service.Start();
+
+  const VertexId newcomer = 60;
+  ASSERT_FALSE(fx.index.HasSource(newcomer));
+  EXPECT_EQ(service.AddSourceAsync(newcomer).get().status,
+            RequestStatus::kOk);
+  EXPECT_EQ(service.AddSourceAsync(newcomer).get().status,
+            RequestStatus::kRejected);
+
+  QueryResponse response = service.Query(newcomer, newcomer);
+  ASSERT_EQ(response.status, RequestStatus::kOk);
+  EXPECT_GT(response.estimate.value, 0.1);  // pi(s) >= alpha = 0.15
+
+  EXPECT_EQ(service.RemoveSourceAsync(newcomer).get().status,
+            RequestStatus::kOk);
+  EXPECT_EQ(service.RemoveSourceAsync(newcomer).get().status,
+            RequestStatus::kUnknownSource);
+  EXPECT_EQ(service.Query(newcomer, 0).status,
+            RequestStatus::kUnknownSource);
+
+  service.Stop();
+  MetricsReport report = service.Metrics();
+  EXPECT_EQ(report.sources_added, 1);
+  EXPECT_EQ(report.sources_removed, 1);
+}
+
+TEST(PprServiceTest, MaterializesEvictedSourceOnDemand) {
+  IndexOptions options = TestIndexOptions();
+  options.max_materialized_sources = 2;
+  ServiceFixture fx(options);  // 4 hubs, only 2 materialized
+  ASSERT_EQ(fx.index.NumMaterializedSources(), 2u);
+  const VertexId cold = fx.hubs[3];
+  ASSERT_FALSE(fx.index.IsMaterializedSource(cold));
+
+  // Fail-fast configuration answers kNotMaterialized immediately.
+  {
+    PprService service(
+        &fx.index,
+        {.num_workers = 1,
+         .materialize_wait = std::chrono::milliseconds(0)});
+    service.Start();
+    EXPECT_EQ(service.Query(cold, 0).status,
+              RequestStatus::kNotMaterialized);
+    service.Stop();
+  }
+
+  // With a wait budget the worker files a materialization request and the
+  // maintenance thread rebuilds the source before the query answers.
+  {
+    PprService service(
+        &fx.index,
+        {.num_workers = 1,
+         .materialize_wait = std::chrono::milliseconds(2000)});
+    service.Start();
+    QueryResponse response = service.Query(cold, cold);
+    ASSERT_EQ(response.status, RequestStatus::kOk);
+    EXPECT_GT(response.estimate.value, 0.1);
+    service.Stop();
+    EXPECT_EQ(service.Metrics().sources_materialized, 1);
+    EXPECT_GE(service.Metrics().sources_evicted, 1)
+        << "the rebuild must have evicted another source to hold the cap";
+  }
+}
+
+// ------------------------------------------------- acceptance stress test
+
+TEST(PprServiceStressTest, ConcurrentQueriesUpdatesAndSourceChurn) {
+  // >= 4 query client threads drive a 4-worker service while the
+  // maintenance thread applies real sliding-window batches and a churn
+  // thread adds/removes a dynamic source; an LRU cap forces evictions and
+  // on-demand re-materializations throughout. Checks: every response is
+  // epoch-consistent (epochs never regress per stable source per client;
+  // values inside the mathematically possible band), and the final index
+  // state is oracle-accurate.
+  auto edges = GenerateErdosRenyi(192, 1920, 23);
+  EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 24);
+  SlidingWindow window(&stream, 0.5);
+  const auto initial = window.InitialEdges();
+  const EdgeCount batch_size = window.BatchForRatio(0.01);
+  std::vector<UpdateBatch> batches;
+  for (int s = 0; s < 24 && window.CanSlide(batch_size); ++s) {
+    batches.push_back(window.NextBatch(batch_size));
+  }
+  ASSERT_GE(batches.size(), 8u);
+
+  DynamicGraph graph = DynamicGraph::FromEdges(initial, 192);
+  IndexOptions options;
+  options.ppr.eps = 1e-5;
+  options.max_materialized_sources = 4;
+  std::vector<VertexId> stable = TopOutDegreeVertices(graph, 6);
+  PprIndex index(&graph, stable, options);
+  index.Initialize();
+
+  PprService service(
+      &index, {.num_workers = 4,
+               .query_queue_capacity = 512,
+               .materialize_wait = std::chrono::milliseconds(500)});
+  service.Start();
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 250;
+  std::atomic<bool> epoch_consistent{true};
+  std::atomic<bool> values_sane{true};
+  std::atomic<int64_t> ok_count{0};
+
+  // Feeder: updates + source churn race with the queries below. The
+  // churned source must not collide with the stable query set (its
+  // epochs legitimately restart on re-add).
+  VertexId dynamic_source = 0;
+  while (std::find(stable.begin(), stable.end(), dynamic_source) !=
+         stable.end()) {
+    ++dynamic_source;
+  }
+  std::thread feeder([&] {
+    std::vector<std::future<MaintResponse>> pending;
+    for (size_t b = 0; b < batches.size(); ++b) {
+      pending.push_back(service.ApplyUpdatesAsync(batches[b]));
+      if (b % 3 == 0) {
+        (void)service.AddSourceAsync(dynamic_source);
+      } else if (b % 3 == 1) {
+        (void)service.RemoveSourceAsync(dynamic_source);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    for (auto& f : pending) {
+      const RequestStatus status = f.get().status;
+      EXPECT_TRUE(status == RequestStatus::kOk ||
+                  status == RequestStatus::kShedQueueFull)
+          << RequestStatusName(status);
+    }
+  });
+
+  auto client = [&](int id) {
+    std::vector<uint64_t> last_epoch(stable.size(), 0);
+    for (int q = 0; q < kQueriesPerClient; ++q) {
+      const size_t i = static_cast<size_t>(q + id) % stable.size();
+      const VertexId s = stable[i];
+      QueryResponse response = q % 4 == 3
+                                   ? service.TopK(s, 5)
+                                   : service.Query(s, s);
+      if (response.status == RequestStatus::kOk) {
+        ok_count.fetch_add(1, std::memory_order_relaxed);
+        if (q % 4 == 3) {
+          // A certified top-k from one snapshot is sorted descending.
+          for (size_t e = 1; e < response.topk.entries.size(); ++e) {
+            if (response.topk.entries[e].score >
+                response.topk.entries[e - 1].score + 1e-12) {
+              values_sane.store(false);
+            }
+          }
+        } else if (response.estimate.value <
+                       options.ppr.alpha - 2 * options.ppr.eps ||
+                   response.estimate.value > 1.0 + 2 * options.ppr.eps) {
+          values_sane.store(false);  // p(s) must sit in [alpha-eps, 1+eps]
+        }
+      } else if (response.status != RequestStatus::kNotMaterialized &&
+                 response.status != RequestStatus::kShedQueueFull) {
+        values_sane.store(false);  // stable sources can't be unknown
+      }
+      // Epochs of a stable source never regress for a sequential client:
+      // eviction preserves the epoch and every publish increments it.
+      // (Shed responses carry no epoch and are skipped.)
+      if (response.status == RequestStatus::kOk ||
+          response.status == RequestStatus::kNotMaterialized) {
+        if (response.epoch < last_epoch[i]) epoch_consistent.store(false);
+        last_epoch[i] = response.epoch;
+      }
+      // Every 16th query pokes the dynamic source (no epoch tracking —
+      // remove + re-add legitimately restarts its epochs).
+      if (q % 16 == 0) (void)service.Query(dynamic_source, s);
+    }
+  };
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+  for (auto& t : clients) t.join();
+  feeder.join();
+  service.Stop();
+
+  EXPECT_TRUE(epoch_consistent.load()) << "a response's epoch regressed";
+  EXPECT_TRUE(values_sane.load()) << "a response left the possible band";
+  EXPECT_GT(ok_count.load(), kClients * kQueriesPerClient / 2);
+
+  MetricsReport report = service.Metrics();
+  EXPECT_GE(report.batches_applied, 1);
+  EXPECT_GT(report.updates_applied, 0);
+  // Clients also poke the dynamic source without counting it locally, so
+  // the service-side completion count is at least the tracked one.
+  EXPECT_GE(report.queries_completed, ok_count.load());
+
+  // End-to-end correctness: after the dust settles every stable source
+  // (re-materialized where evicted) matches the oracle on the final graph.
+  PowerIterationOptions oracle_opt;
+  for (VertexId s : stable) {
+    ASSERT_TRUE(index.MaterializeSource(s));
+    auto truth = PowerIterationPpr(graph, s, oracle_opt);
+    EXPECT_LE(MaxAbsError(index.SnapshotForSource(s)->estimates, truth),
+              options.ppr.eps * 1.0001)
+        << "source " << s;
+  }
+}
+
+}  // namespace
+}  // namespace dppr
