@@ -1,24 +1,30 @@
-// Serving-layer load — closed-loop clients against PprService while edge
-// updates stream through the maintenance thread, swept over query:update
-// mixes. This is the bench behind the serving story: sustained query
-// throughput and tail latency WHILE ApplyBatch runs, plus the admission
-// control counters (shed, failed) that bound overload behavior.
+// Serving-layer load — closed-loop clients against the (sharded) PPR
+// serving stack while edge updates stream through the maintenance
+// threads, swept over query:update mixes AND shard counts. This is the
+// bench behind the serving story: sustained query throughput and tail
+// latency WHILE ApplyBatch runs, the admission-control counters (shed,
+// failed) that bound overload behavior, and how all of it scales when
+// the source set is split across shards behind the consistent-hash
+// router (updates are replicated to every shard, so upd/s is a cost
+// knob, qps the payoff).
 //
 //   ./bench_server_load [--dataset=pokec] [--scale_shift=2] [--hubs=16]
 //       [--workers=4] [--clients=4] [--seconds=1.5] [--lru_cap=0]
 //       [--batch_ratio=0.001] [--mixes=100:0,95:5,80:20] [--k=5]
-//       [--eps=1e-6]
+//       [--eps=1e-6] [--shards=1,2] [--seed=42]
 //
 // Each mix "q:u" gives the per-client probability split between issuing a
 // point/top-k query (q) and submitting an update batch (u); clients are
 // closed-loop (at most one outstanding request each), so the measured
-// throughput is the service's, not an open-loop arrival fantasy. Reported
-// per mix: completed queries/s, latency p50/p99, queries served during
-// maintenance, update throughput, and shed counts.
+// throughput is the service's, not an open-loop arrival fantasy. Every
+// (shards, mix) cell re-seeds its per-client RNGs from --seed, so the
+// request sequences are identical across the shard sweep and rows are
+// comparable (and runs reproducible). Reported per cell: completed
+// queries/s, latency p50/p99 (exact, merged across shards), queries
+// served during maintenance, update throughput, and shed counts.
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -27,6 +33,7 @@
 #include "bench/common.h"
 #include "graph/graph_stats.h"
 #include "index/ppr_index.h"
+#include "router/sharded_service.h"
 #include "server/ppr_service.h"
 #include "util/parallel.h"
 #include "util/table_printer.h"
@@ -60,6 +67,14 @@ std::vector<Mix> ParseMixes(const std::string& csv) {
   return mixes;
 }
 
+std::vector<int> ParseShardCounts(const std::string& csv) {
+  std::vector<int> counts;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) counts.push_back(std::stoi(token));
+  return counts;
+}
+
 /// Deterministic per-client PRNG (splitmix-ish); no shared state.
 struct ClientRng {
   uint64_t state;
@@ -82,7 +97,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   PrintHeader("Server load",
-              "closed-loop PprService clients, query:update mix sweep",
+              "closed-loop sharded-service clients, shards x query:update "
+              "mix sweep",
               args);
 
   const auto num_hubs = static_cast<VertexId>(args.GetInt("hubs", 16));
@@ -94,7 +110,10 @@ int main(int argc, char** argv) {
   const double eps = args.GetDouble("eps", 1e-6);
   const int k = static_cast<int>(args.GetInt("k", 5));
   const int scale_shift = static_cast<int>(args.GetInt("scale_shift", 2));
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   const auto mixes = ParseMixes(args.GetString("mixes", "100:0,95:5,80:20"));
+  const auto shard_counts =
+      ParseShardCounts(args.GetString("shards", "1,2"));
 
   DatasetSpec spec;
   if (auto st = FindDataset(args.GetString("dataset", "pokec"), &spec);
@@ -103,114 +122,126 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("workers=%d clients=%d hubs=%d lru_cap=%zu threads=%d\n\n",
-              workers, clients, num_hubs, lru_cap, NumThreads());
-  TablePrinter table({"mix q:u", "qps", "p50_ms", "p99_ms", "qry@maint",
-                      "upd/s", "batches", "shed", "failed"});
+  std::printf(
+      "workers=%d/shard clients=%d hubs=%d lru_cap=%zu seed=%llu "
+      "threads=%d\n\n",
+      workers, clients, num_hubs, lru_cap,
+      static_cast<unsigned long long>(seed), NumThreads());
+  TablePrinter table({"shards", "mix q:u", "qps", "p50_ms", "p99_ms",
+                      "qry@maint", "upd/s", "batches", "shed", "failed"});
 
-  for (const Mix& mix : mixes) {
-    // Fresh workload per mix so every row starts from the same state.
-    Workload workload = MakeWorkload(spec, scale_shift);
-    SlidingWindow window(&workload.stream, 0.1);
-    DynamicGraph graph = DynamicGraph::FromEdges(window.InitialEdges(),
-                                                 workload.num_vertices);
-    const EdgeCount batch_size = window.BatchForRatio(batch_ratio);
-    // Pre-generate the update stream: SlidingWindow is not thread-safe,
-    // and pre-flight keeps the measured loop free of generation cost.
-    std::vector<UpdateBatch> batch_pool;
-    while (window.CanSlide(batch_size)) {
-      batch_pool.push_back(window.NextBatch(batch_size));
-    }
-
-    std::vector<VertexId> hubs = TopOutDegreeVertices(graph, num_hubs);
-    IndexOptions options;
-    options.ppr.eps = eps;
-    options.max_materialized_sources = lru_cap;
-    PprIndex index(&graph, hubs, options);
-    index.Initialize();
-
-    ServiceOptions service_options;
-    service_options.num_workers = workers;
-    service_options.materialize_wait = std::chrono::milliseconds(500);
-    PprService service(&index, service_options);
-    service.Start();
-
-    std::atomic<bool> stop{false};
-    std::atomic<size_t> next_batch{0};
-    std::atomic<int64_t> client_queries{0};
-    std::atomic<int64_t> client_updates{0};
-    auto client = [&](int id) {
-      ClientRng rng(static_cast<uint64_t>(id) + 77);
-      while (!stop.load(std::memory_order_acquire)) {
-        const bool do_update =
-            mix.update_pct > 0 &&
-            static_cast<int>(rng.Next() % 100) <
-                mix.update_pct;  // query:update split
-        if (do_update) {
-          const size_t b =
-              next_batch.fetch_add(1, std::memory_order_relaxed);
-          if (b < batch_pool.size()) {
-            (void)service.ApplyUpdatesAsync(batch_pool[b]).get();
-            client_updates.fetch_add(1, std::memory_order_relaxed);
-            continue;
-          }
-          // Stream exhausted: fall through to a query.
-        }
-        const VertexId s = hubs[rng.Next() % hubs.size()];
-        if (rng.Next() % 4 == 0) {
-          (void)service.TopK(s, k);
-        } else {
-          (void)service.Query(s, static_cast<VertexId>(
-                                     rng.Next() %
-                                     static_cast<uint64_t>(
-                                         graph.NumVertices())));
-        }
-        client_queries.fetch_add(1, std::memory_order_relaxed);
+  for (const int num_shards : shard_counts) {
+    for (const Mix& mix : mixes) {
+      // Fresh workload per cell so every row starts from the same state;
+      // the generator seeds are fixed, so every cell streams the same
+      // batches.
+      Workload workload = MakeWorkload(spec, scale_shift);
+      SlidingWindow window(&workload.stream, 0.1);
+      const std::vector<Edge> initial = window.InitialEdges();
+      DynamicGraph graph =
+          DynamicGraph::FromEdges(initial, workload.num_vertices);
+      const EdgeCount batch_size = window.BatchForRatio(batch_ratio);
+      // Pre-generate the update stream: SlidingWindow is not thread-safe,
+      // and pre-flight keeps the measured loop free of generation cost.
+      std::vector<UpdateBatch> batch_pool;
+      while (window.CanSlide(batch_size)) {
+        batch_pool.push_back(window.NextBatch(batch_size));
       }
-    };
 
-    std::vector<std::thread> threads;
-    WallTimer timer;
-    for (int c = 0; c < clients; ++c) threads.emplace_back(client, c);
-    while (timer.Seconds() < seconds) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-    stop.store(true, std::memory_order_release);
-    for (auto& t : threads) t.join();
-    service.Stop();
+      std::vector<VertexId> hubs = TopOutDegreeVertices(graph, num_hubs);
+      ShardedServiceOptions options;
+      options.num_shards = num_shards;
+      options.index.ppr.eps = eps;
+      options.index.max_materialized_sources = lru_cap;
+      options.service.num_workers = workers;
+      options.service.materialize_wait = std::chrono::milliseconds(500);
+      ShardedPprService service(initial, workload.num_vertices, hubs,
+                                options);
+      service.Start();
 
-    const MetricsReport report = service.Metrics();
-    table.AddRow(
-        {mix.label,
-         TablePrinter::FmtInt(static_cast<int64_t>(report.QueryThroughput())),
-         TablePrinter::Fmt(report.query_p50_ms, 3),
-         TablePrinter::Fmt(report.query_p99_ms, 3),
-         TablePrinter::FmtInt(report.served_during_maintenance),
-         TablePrinter::FmtInt(static_cast<int64_t>(report.UpdateThroughput())),
-         TablePrinter::FmtInt(report.batches_applied),
-         TablePrinter::FmtInt(report.queries_shed_queue_full +
-                              report.queries_shed_deadline),
-         TablePrinter::FmtInt(report.queries_failed)});
+      std::atomic<bool> stop{false};
+      std::atomic<size_t> next_batch{0};
+      auto client = [&](int id) {
+        // Re-seeded per cell from --seed: the same client issues the same
+        // request sequence in every cell of the sweep.
+        ClientRng rng(seed ^ (static_cast<uint64_t>(id) + 77));
+        while (!stop.load(std::memory_order_acquire)) {
+          const bool do_update =
+              mix.update_pct > 0 &&
+              static_cast<int>(rng.Next() % 100) <
+                  mix.update_pct;  // query:update split
+          if (do_update) {
+            const size_t b =
+                next_batch.fetch_add(1, std::memory_order_relaxed);
+            if (b < batch_pool.size()) {
+              (void)service.ApplyUpdates(batch_pool[b]);
+              continue;
+            }
+            // Stream exhausted: fall through to a query.
+          }
+          const VertexId s = hubs[rng.Next() % hubs.size()];
+          if (rng.Next() % 4 == 0) {
+            (void)service.TopK(s, k);
+          } else {
+            (void)service.Query(
+                s, static_cast<VertexId>(
+                       rng.Next() %
+                       static_cast<uint64_t>(graph.NumVertices())));
+          }
+        }
+      };
 
-    ShapeCheck("mix " + mix.label + " served queries",
-               report.queries_completed > 0,
-               std::to_string(report.queries_completed));
-    ShapeCheck("mix " + mix.label + " p99 >= p50",
-               report.query_p99_ms >= report.query_p50_ms - 1e-9);
-    if (mix.update_pct > 0) {
-      ShapeCheck("mix " + mix.label + " applied update batches",
-                 report.batches_applied > 0,
-                 std::to_string(report.batches_applied));
-    }
-    if (lru_cap == 0) {
-      // Every hub stays materialized, so no query may fail.
-      ShapeCheck("mix " + mix.label + " no failed queries",
-                 report.queries_failed == 0,
-                 std::to_string(report.queries_failed));
+      std::vector<std::thread> threads;
+      WallTimer timer;
+      for (int c = 0; c < clients; ++c) threads.emplace_back(client, c);
+      while (timer.Seconds() < seconds) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      stop.store(true, std::memory_order_release);
+      for (auto& t : threads) t.join();
+      service.Stop();
+
+      // Combined across shards; p50/p99 are exact merged percentiles.
+      // updates_applied counts per-shard applications (replication cost),
+      // so normalize upd/s by the shard count to report feed throughput.
+      const MetricsReport report = service.Metrics();
+      const std::string shard_label = std::to_string(num_shards);
+      table.AddRow(
+          {shard_label, mix.label,
+           TablePrinter::FmtInt(
+               static_cast<int64_t>(report.QueryThroughput())),
+           TablePrinter::Fmt(report.query_p50_ms, 3),
+           TablePrinter::Fmt(report.query_p99_ms, 3),
+           TablePrinter::FmtInt(report.served_during_maintenance),
+           TablePrinter::FmtInt(static_cast<int64_t>(
+               report.UpdateThroughput() / num_shards)),
+           TablePrinter::FmtInt(report.batches_applied / num_shards),
+           TablePrinter::FmtInt(report.queries_shed_queue_full +
+                                report.queries_shed_deadline),
+           TablePrinter::FmtInt(report.queries_failed)});
+
+      const std::string cell =
+          "shards " + shard_label + " mix " + mix.label;
+      ShapeCheck(cell + " served queries", report.queries_completed > 0,
+                 std::to_string(report.queries_completed));
+      ShapeCheck(cell + " p99 >= p50",
+                 report.query_p99_ms >= report.query_p50_ms - 1e-9);
+      if (mix.update_pct > 0) {
+        ShapeCheck(cell + " applied update batches",
+                   report.batches_applied > 0,
+                   std::to_string(report.batches_applied));
+      }
+      if (lru_cap == 0) {
+        // Every hub stays materialized, so no query may fail.
+        ShapeCheck(cell + " no failed queries", report.queries_failed == 0,
+                   std::to_string(report.queries_failed));
+      }
     }
   }
   table.Print();
   std::printf("\nqry@maint = queries completed while ApplyBatch was "
-              "in flight (the reads-don't-block-writes number).\n");
+              "in flight (the reads-don't-block-writes number).\n"
+              "upd/s and batches are per shard (the feed is replicated "
+              "to all shards).\n");
   return ShapeCheckExitCode();
 }

@@ -31,6 +31,10 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 # index_test: snapshot publishes, COW source table, concurrent eviction.
 # server_test: queues, workers, maintenance thread, stress test.
+# router_test: sharded router — the equivalence suite plus the 4-client
+#   shard-chaos test (concurrent queries + update fan-out racing
+#   AddShard/RemoveShard migrations), under the DPPR_TEST_TIMEOUT set at
+#   configure time above.
 # Excluded: the oversubscription test pins an OpenMP team of 4, whose
 # libgomp barriers TSan cannot see (same reason OMP is pinned to 1 above);
 # its correctness claims are covered by the regular CI job.
@@ -38,5 +42,5 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 OMP_NUM_THREADS=1 \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/ci/tsan.supp" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -R '^(PprIndex|PprService|BoundedQueue)' \
+  -R '^(PprIndex|PprService|BoundedQueue|PprRouter|HashRing|RouterMigration)' \
   -E 'OversubscribedThreads'

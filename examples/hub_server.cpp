@@ -1,23 +1,28 @@
-// Hub index server — the end-to-end PprService demo: maintain PPR
-// vectors for many hub vertices and serve certified top-k queries while
-// the graph streams, the use-case the paper names in §6 ("our approach is
+// Hub index server — the end-to-end serving demo: maintain PPR vectors
+// for many hub vertices and serve certified top-k queries while the
+// graph streams, the use-case the paper names in §6 ("our approach is
 // helpful for [HubPPR, Guo et al.] to maintain the indexed PPR vectors on
 // dynamic graphs").
 //
 //   ./hub_server [--hubs=8] [--workers=3] [--clients=2] [--slides=12]
-//                [--k=5] [--seed=33] [--lru_cap=0]
+//                [--k=5] [--seed=33] [--lru_cap=0] [--shards=1]
 //
-// Unlike the PR-1 version (which called PprIndex directly from main),
-// this is a real client of the serving layer: a PprService with a worker
-// pool answers concurrent client threads from published snapshots while
-// its maintenance thread applies the validated update stream, a hub is
-// added and another retired mid-run, and the service metrics (p50/p99,
-// shed counts, queries served during maintenance) are printed at the end.
+// With --shards=1 (default) this drives a single PprService, exactly as
+// in PR 2. With --shards=N it stands up a ShardedPprService instead: N
+// full serving stacks behind the consistent-hash router, the same update
+// stream fanned out to every shard, queries routed by source — and, to
+// show elasticity, a shard is ADDED mid-run (migrating ~1/(N+1) of the
+// hubs onto it) right after the usual hub churn. Every reported number
+// then aggregates across shards, with latency percentiles computed from
+// the merged per-shard samples.
+//
 // The stream permutation seed defaults to a fixed value so the printed
 // tables are reproducible run-to-run; pass --seed to vary it.
 
 #include <atomic>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,12 +31,30 @@
 #include "gen/datasets.h"
 #include "graph/graph_stats.h"
 #include "index/ppr_index.h"
+#include "router/sharded_service.h"
 #include "server/ppr_service.h"
 #include "stream/edge_stream.h"
 #include "stream/sliding_window.h"
 #include "util/args.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
+
+namespace {
+
+/// The demo logic is identical for the unsharded and the sharded stack;
+/// this facade is the few calls it needs from either.
+struct ServiceFacade {
+  std::function<dppr::QueryResponse(dppr::VertexId, dppr::VertexId)> query;
+  std::function<dppr::QueryResponse(dppr::VertexId, int)> topk;
+  std::function<dppr::MaintResponse(dppr::UpdateBatch)> apply;
+  std::function<dppr::MaintResponse(dppr::VertexId)> add_source;
+  std::function<dppr::MaintResponse(dppr::VertexId)> remove_source;
+  std::function<std::vector<dppr::VertexId>()> sources;
+  std::function<bool(dppr::VertexId)> has_source;
+  std::function<dppr::MetricsReport()> metrics;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   dppr::ArgParser args;
@@ -46,6 +69,7 @@ int main(int argc, char** argv) {
   const int k = static_cast<int>(args.GetInt("k", 5));
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 33));
   const auto lru_cap = static_cast<size_t>(args.GetInt("lru_cap", 0));
+  const int num_shards = static_cast<int>(args.GetInt("shards", 1));
 
   // Stream a pokec-like graph. The deterministic seed fixes the timestamp
   // permutation, so every run slides the same batches.
@@ -55,8 +79,10 @@ int main(int argc, char** argv) {
   dppr::EdgeStream stream =
       dppr::EdgeStream::RandomPermutation(std::move(edges), seed);
   dppr::SlidingWindow window(&stream, 0.1);
-  dppr::DynamicGraph graph = dppr::DynamicGraph::FromEdges(
-      window.InitialEdges(), stream.NumVertices());
+  const std::vector<dppr::Edge> initial = window.InitialEdges();
+  const dppr::VertexId num_vertices = stream.NumVertices();
+  dppr::DynamicGraph graph =
+      dppr::DynamicGraph::FromEdges(initial, num_vertices);
 
   // Hubs = the highest-out-degree vertices (the HubPPR recipe). The next
   // vertex in that ranking is the "rising hub" promoted mid-run.
@@ -88,20 +114,76 @@ int main(int argc, char** argv) {
   dppr::IndexOptions options;
   options.ppr.eps = 1e-7;
   options.max_materialized_sources = lru_cap;
-  dppr::PprIndex index(&graph, hubs, options);
-  dppr::WallTimer init_timer;
-  index.Initialize();
-  std::printf("hub index over %zu sources built in %.1f ms (|V|=%d, "
-              "|E|=%lld, %zu materialized, %d pooled engines)\n\n",
-              index.NumSources(), init_timer.Millis(), graph.NumVertices(),
-              static_cast<long long>(graph.NumEdges()),
-              index.NumMaterializedSources(), index.NumPooledEngines());
-
   dppr::ServiceOptions service_options;
   service_options.num_workers = workers;
   service_options.materialize_wait = std::chrono::milliseconds(500);
-  dppr::PprService service(&index, service_options);
-  service.Start();
+
+  // Stand up either serving stack behind the facade.
+  std::unique_ptr<dppr::PprIndex> index;
+  std::unique_ptr<dppr::PprService> service;
+  std::unique_ptr<dppr::ShardedPprService> sharded;
+  ServiceFacade facade;
+  dppr::WallTimer init_timer;
+  if (num_shards <= 1) {
+    index = std::make_unique<dppr::PprIndex>(&graph, hubs, options);
+    index->Initialize();
+    service = std::make_unique<dppr::PprService>(index.get(),
+                                                 service_options);
+    service->Start();
+    std::printf("hub index over %zu sources built in %.1f ms (|V|=%d, "
+                "|E|=%lld, %zu materialized, %d pooled engines)\n\n",
+                index->NumSources(), init_timer.Millis(),
+                graph.NumVertices(),
+                static_cast<long long>(graph.NumEdges()),
+                index->NumMaterializedSources(), index->NumPooledEngines());
+    facade = {
+        [&](dppr::VertexId s, dppr::VertexId v) {
+          return service->Query(s, v);
+        },
+        [&](dppr::VertexId s, int kk) { return service->TopK(s, kk); },
+        [&](dppr::UpdateBatch b) {
+          return service->ApplyUpdatesAsync(std::move(b)).get();
+        },
+        [&](dppr::VertexId s) { return service->AddSourceAsync(s).get(); },
+        [&](dppr::VertexId s) {
+          return service->RemoveSourceAsync(s).get();
+        },
+        [&] { return index->Sources(); },
+        [&](dppr::VertexId s) { return index->HasSource(s); },
+        [&] { return service->Metrics(); },
+    };
+  } else {
+    dppr::ShardedServiceOptions sharded_options;
+    sharded_options.num_shards = num_shards;
+    sharded_options.index = options;
+    sharded_options.service = service_options;
+    sharded = std::make_unique<dppr::ShardedPprService>(
+        initial, num_vertices, hubs, sharded_options);
+    sharded->Start();
+    std::printf("sharded hub index over %zu sources across %zu shards "
+                "built in %.1f ms (|V|=%d)\n",
+                sharded->NumSources(), sharded->NumShards(),
+                init_timer.Millis(), num_vertices);
+    for (int shard_id : sharded->ShardIds()) {
+      std::printf("  shard %d owns %zu hubs\n", shard_id,
+                  sharded->SourcesOnShard(shard_id).size());
+    }
+    std::printf("\n");
+    facade = {
+        [&](dppr::VertexId s, dppr::VertexId v) {
+          return sharded->Query(s, v);
+        },
+        [&](dppr::VertexId s, int kk) { return sharded->TopK(s, kk); },
+        [&](dppr::UpdateBatch b) {
+          return sharded->ApplyUpdates(std::move(b));
+        },
+        [&](dppr::VertexId s) { return sharded->AddSource(s); },
+        [&](dppr::VertexId s) { return sharded->RemoveSource(s); },
+        [&] { return sharded->Sources(); },
+        [&](dppr::VertexId s) { return sharded->HasSource(s); },
+        [&] { return sharded->Metrics(); },
+    };
+  }
 
   // Clients: closed-loop point + top-k queries over the hub set while the
   // stream applies. Sanity-checked on the fly: a hub's own estimate can
@@ -116,7 +198,7 @@ int main(int argc, char** argv) {
         const dppr::VertexId hub =
             hubs[static_cast<size_t>(i) % hubs.size()];
         dppr::QueryResponse response =
-            i % 3 == 0 ? service.TopK(hub, k) : service.Query(hub, hub);
+            i % 3 == 0 ? facade.topk(hub, k) : facade.query(hub, hub);
         if (response.status == dppr::RequestStatus::kOk && i % 3 != 0 &&
             response.estimate.value <
                 options.ppr.alpha - 2 * options.ppr.eps) {
@@ -128,19 +210,29 @@ int main(int argc, char** argv) {
   }
 
   // Feeder: the maintenance stream, plus a hub-set change mid-run —
-  // promote the rising hub, retire the coldest original one.
+  // promote the rising hub, retire the coldest original one — and, in
+  // sharded mode, a topology change: grow the fleet by one shard.
   for (size_t b = 0; b < batches.size(); ++b) {
-    dppr::MaintResponse applied =
-        service.ApplyUpdatesAsync(batches[b]).get();
+    dppr::MaintResponse applied = facade.apply(batches[b]);
     if (applied.status != dppr::RequestStatus::kOk) {
       std::fprintf(stderr, "batch %zu not applied: %s\n", b,
                    dppr::RequestStatusName(applied.status));
     }
     if (b == batches.size() / 2) {
-      (void)service.AddSourceAsync(rising_hub).get();
-      (void)service.RemoveSourceAsync(hubs.back()).get();
-      std::printf("mid-run hub churn: +%d (rising), -%d (retired)\n\n",
+      (void)facade.add_source(rising_hub);
+      (void)facade.remove_source(hubs.back());
+      std::printf("mid-run hub churn: +%d (rising), -%d (retired)\n",
                   rising_hub, hubs.back());
+      if (sharded != nullptr) {
+        const int grown = sharded->AddShard();
+        const dppr::RouterReport report = sharded->Report();
+        std::printf("mid-run shard growth: +shard %d (%lld sources "
+                    "migrated, %lld blob bytes)\n",
+                    grown,
+                    static_cast<long long>(report.sources_migrated),
+                    static_cast<long long>(report.migration_bytes));
+      }
+      std::printf("\n");
     }
   }
   stop.store(true, std::memory_order_release);
@@ -151,8 +243,8 @@ int main(int argc, char** argv) {
   dppr::TablePrinter table(
       {"hub", "epoch", "top-1", "score",
        "certified_of_top" + std::to_string(k)});
-  for (dppr::VertexId hub : index.Sources()) {
-    dppr::QueryResponse top = service.TopK(hub, k);
+  for (dppr::VertexId hub : facade.sources()) {
+    dppr::QueryResponse top = facade.topk(hub, k);
     if (top.status != dppr::RequestStatus::kOk) {
       std::fprintf(stderr, "top-k for hub %d: %s\n", hub,
                    dppr::RequestStatusName(top.status));
@@ -167,12 +259,24 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
-  service.Stop();
-  const dppr::MetricsReport report = service.Metrics();
+  if (sharded != nullptr) {
+    // The scatter-gather view: the globally best (hub, vertex) scores.
+    const dppr::GlobalTopKResult global = sharded->GlobalTopK(k);
+    std::printf("\nglobal top-%d across all shards:", k);
+    for (const dppr::GlobalTopKEntry& entry : global.entries) {
+      std::printf(" %d->%d(%.2e)", entry.source, entry.entry.id,
+                  entry.entry.score);
+    }
+    std::printf("\n");
+    sharded->Stop();
+  } else {
+    service->Stop();
+  }
+  const dppr::MetricsReport report = facade.metrics();
   std::printf("\n%s\n", report.ToString().c_str());
 
   const bool hub_set_ok =
-      index.HasSource(rising_hub) && !index.HasSource(hubs.back());
+      facade.has_source(rising_hub) && !facade.has_source(hubs.back());
   std::printf("\nhub churn applied: %s; bad responses: %lld\n",
               hub_set_ok ? "yes" : "NO",
               static_cast<long long>(bad_responses.load()));

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "util/macros.h"
@@ -25,40 +26,102 @@ uint64_t Fnv1a(uint64_t hash, const void* data, size_t bytes) {
 
 constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
 
-bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
-  return std::fwrite(data, 1, bytes, f) == bytes;
-}
+using blob::Append;
 
-bool ReadAll(std::FILE* f, void* data, size_t bytes) {
-  return std::fread(data, 1, bytes, f) == bytes;
+uint64_t PayloadChecksum(int32_t source, int64_t n,
+                         const std::vector<double>& p,
+                         const std::vector<double>& r) {
+  uint64_t checksum = kFnvSeed;
+  checksum = Fnv1a(checksum, &source, sizeof(source));
+  checksum = Fnv1a(checksum, &n, sizeof(n));
+  checksum = Fnv1a(checksum, p.data(), p.size() * sizeof(double));
+  checksum = Fnv1a(checksum, r.data(), r.size() * sizeof(double));
+  return checksum;
 }
 
 }  // namespace
 
-Status SavePprState(const std::string& path, const PprState& state) {
+Status SerializePprState(const PprState& state, std::string* out) {
+  DPPR_CHECK(out != nullptr);
   DPPR_CHECK(state.p.size() == state.r.size());
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
   const uint32_t magic = kMagic;
   const uint32_t version = kVersion;
   const int32_t source = state.source;
   const int64_t n = static_cast<int64_t>(state.p.size());
+  const uint64_t checksum = PayloadChecksum(source, n, state.p, state.r);
 
-  uint64_t checksum = kFnvSeed;
-  checksum = Fnv1a(checksum, &source, sizeof(source));
-  checksum = Fnv1a(checksum, &n, sizeof(n));
-  checksum = Fnv1a(checksum, state.p.data(), state.p.size() * sizeof(double));
-  checksum = Fnv1a(checksum, state.r.data(), state.r.size() * sizeof(double));
+  out->clear();
+  out->reserve(sizeof(magic) + sizeof(version) + sizeof(source) + sizeof(n) +
+               2 * state.p.size() * sizeof(double) + sizeof(checksum));
+  Append(out, &magic, sizeof(magic));
+  Append(out, &version, sizeof(version));
+  Append(out, &source, sizeof(source));
+  Append(out, &n, sizeof(n));
+  Append(out, state.p.data(), state.p.size() * sizeof(double));
+  Append(out, state.r.data(), state.r.size() * sizeof(double));
+  Append(out, &checksum, sizeof(checksum));
+  return Status::OK();
+}
 
-  const bool ok =
-      WriteAll(f, &magic, sizeof(magic)) &&
-      WriteAll(f, &version, sizeof(version)) &&
-      WriteAll(f, &source, sizeof(source)) && WriteAll(f, &n, sizeof(n)) &&
-      WriteAll(f, state.p.data(), state.p.size() * sizeof(double)) &&
-      WriteAll(f, state.r.data(), state.r.size() * sizeof(double)) &&
-      WriteAll(f, &checksum, sizeof(checksum));
+Status DeserializePprState(const std::string& blob, PprState* state) {
+  DPPR_CHECK(state != nullptr);
+  blob::Reader reader{blob};
+  auto fail = [](const std::string& msg) { return Status::Corruption(msg); };
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  int32_t source = kInvalidVertex;
+  int64_t n = 0;
+  if (!reader.Take(&magic, sizeof(magic))) return fail("truncated header");
+  if (magic != kMagic) return fail("bad magic (not a dppr checkpoint)");
+  if (!reader.Take(&version, sizeof(version))) {
+    return fail("truncated header");
+  }
+  if (version != kVersion) {
+    return fail("unsupported checkpoint version " + std::to_string(version));
+  }
+  if (!reader.Take(&source, sizeof(source)) || !reader.Take(&n, sizeof(n))) {
+    return fail("truncated header");
+  }
+  if (n < 0 || source < 0 || source >= n) return fail("implausible header");
+  // Validate the advertised count against the bytes actually present
+  // BEFORE allocating: a bit-flipped n must yield Corruption, not a
+  // multi-terabyte vector allocation. (The first comparison also keeps
+  // the second one's arithmetic from wrapping.)
+  if (static_cast<uint64_t>(n) > blob.size() / (2 * sizeof(double)) ||
+      reader.Remaining() !=
+          2 * static_cast<uint64_t>(n) * sizeof(double) + sizeof(uint64_t)) {
+    return fail("payload size disagrees with header");
+  }
+
+  std::vector<double> p(static_cast<size_t>(n));
+  std::vector<double> r(static_cast<size_t>(n));
+  if (!reader.Take(p.data(), p.size() * sizeof(double)) ||
+      !reader.Take(r.data(), r.size() * sizeof(double))) {
+    return fail("truncated payload");
+  }
+  uint64_t stored_checksum = 0;
+  if (!reader.Take(&stored_checksum, sizeof(stored_checksum))) {
+    return fail("missing checksum");
+  }
+  if (PayloadChecksum(source, n, p, r) != stored_checksum) {
+    return fail("checksum mismatch");
+  }
+
+  state->source = source;
+  state->p = std::move(p);
+  state->r = std::move(r);
+  return Status::OK();
+}
+
+Status SavePprState(const std::string& path, const PprState& state) {
+  std::string blob;
+  if (Status st = SerializePprState(state, &blob); !st.ok()) return st;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const bool ok = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
   const bool closed = std::fclose(f) == 0;
   if (!ok || !closed) {
     return Status::IOError("short write to '" + path + "'");
@@ -72,50 +135,19 @@ Status LoadPprState(const std::string& path, PprState* state) {
   if (f == nullptr) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
-  auto fail = [&f](const std::string& msg) {
-    std::fclose(f);
-    return Status::Corruption(msg);
-  };
-
-  uint32_t magic = 0;
-  uint32_t version = 0;
-  int32_t source = kInvalidVertex;
-  int64_t n = 0;
-  if (!ReadAll(f, &magic, sizeof(magic))) return fail("truncated header");
-  if (magic != kMagic) return fail("bad magic (not a dppr checkpoint)");
-  if (!ReadAll(f, &version, sizeof(version))) return fail("truncated header");
-  if (version != kVersion) {
-    return fail("unsupported checkpoint version " + std::to_string(version));
+  std::string blob;
+  char buf[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    blob.append(buf, got);
   }
-  if (!ReadAll(f, &source, sizeof(source)) || !ReadAll(f, &n, sizeof(n))) {
-    return fail("truncated header");
-  }
-  if (n < 0 || source < 0 || source >= n) return fail("implausible header");
-
-  std::vector<double> p(static_cast<size_t>(n));
-  std::vector<double> r(static_cast<size_t>(n));
-  if (!ReadAll(f, p.data(), p.size() * sizeof(double)) ||
-      !ReadAll(f, r.data(), r.size() * sizeof(double))) {
-    return fail("truncated payload");
-  }
-  uint64_t stored_checksum = 0;
-  if (!ReadAll(f, &stored_checksum, sizeof(stored_checksum))) {
-    return fail("missing checksum");
-  }
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
-
-  uint64_t checksum = kFnvSeed;
-  checksum = Fnv1a(checksum, &source, sizeof(source));
-  checksum = Fnv1a(checksum, &n, sizeof(n));
-  checksum = Fnv1a(checksum, p.data(), p.size() * sizeof(double));
-  checksum = Fnv1a(checksum, r.data(), r.size() * sizeof(double));
-  if (checksum != stored_checksum) {
-    return Status::Corruption("checksum mismatch in '" + path + "'");
+  if (read_error) return Status::IOError("error reading '" + path + "'");
+  if (Status st = DeserializePprState(blob, state); !st.ok()) {
+    // Re-anchor the corruption message to the file it came from.
+    return Status::Corruption(st.message() + " in '" + path + "'");
   }
-
-  state->source = source;
-  state->p = std::move(p);
-  state->r = std::move(r);
   return Status::OK();
 }
 

@@ -8,12 +8,38 @@
 #ifndef DPPR_CORE_SERIALIZATION_H_
 #define DPPR_CORE_SERIALIZATION_H_
 
+#include <cstring>
 #include <string>
 
 #include "core/ppr_state.h"
 #include "util/status.h"
 
 namespace dppr {
+namespace blob {
+
+/// Little shared codec helpers for the byte-blob formats (checkpoints,
+/// migration blobs). One definition so a bounds-check fix reaches every
+/// format.
+inline void Append(std::string* out, const void* data, size_t bytes) {
+  out->append(static_cast<const char*>(data), bytes);
+}
+
+/// Sequential reader over a blob; Take() fails (returns false) on
+/// truncation instead of reading past the end.
+struct Reader {
+  const std::string& blob;
+  size_t pos = 0;
+
+  bool Take(void* data, size_t bytes) {
+    if (bytes > blob.size() - pos) return false;  // pos <= size() always
+    std::memcpy(data, blob.data() + pos, bytes);
+    pos += bytes;
+    return true;
+  }
+  size_t Remaining() const { return blob.size() - pos; }
+};
+
+}  // namespace blob
 
 /// Writes `state` to `path` (atomic-rename not attempted; callers own
 /// their durability discipline).
@@ -22,6 +48,16 @@ Status SavePprState(const std::string& path, const PprState& state);
 /// Reads a checkpoint written by SavePprState. Fails with Corruption on
 /// bad magic/version/checksum/truncation; *state is untouched on error.
 Status LoadPprState(const std::string& path, PprState* state);
+
+/// In-memory encoding, byte-identical to the on-disk checkpoint. The
+/// sharded router ships PprState between shards as these blobs — the same
+/// bytes a network transport would carry — so a migrated source arrives
+/// integrity-checked instead of trusted.
+Status SerializePprState(const PprState& state, std::string* out);
+
+/// Decodes a blob produced by SerializePprState (or read verbatim from a
+/// SavePprState file). *state is untouched on error.
+Status DeserializePprState(const std::string& blob, PprState* state);
 
 }  // namespace dppr
 

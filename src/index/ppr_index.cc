@@ -52,6 +52,16 @@ void SnapshotSlot::Evict() {
   retired_.reset();  // the recycle buffer is the memory being reclaimed
 }
 
+void SnapshotSlot::SeedEpoch(uint64_t epoch) {
+  auto empty = std::make_shared<IndexSnapshot>();
+  empty->epoch = epoch;
+  empty->materialized = false;
+  current_.store(std::shared_ptr<const IndexSnapshot>(std::move(empty)),
+                 std::memory_order_release);
+  retired_.reset();
+  epoch_.store(epoch, std::memory_order_release);
+}
+
 std::shared_ptr<const IndexSnapshot> SnapshotSlot::Read() const {
   std::shared_ptr<const IndexSnapshot> snap =
       current_.load(std::memory_order_acquire);
@@ -333,6 +343,48 @@ size_t PprIndex::EvictColdSources(size_t keep_materialized) {
     live[i].second->snapshot.Evict();
   }
   return evict;
+}
+
+// ---------------------------------------------------- source migration
+
+bool PprIndex::ExportSource(VertexId s, ExportedSource* out) {
+  DPPR_CHECK(out != nullptr);
+  auto slot = FindSlot(s);
+  if (slot == nullptr) return false;
+  out->source = s;
+  out->epoch = slot->snapshot.Epoch();
+  out->materialized = slot->ppr != nullptr;
+  out->state = out->materialized ? slot->ppr->state() : PprState();
+  RemoveSource(s);
+  return true;
+}
+
+bool PprIndex::ImportSource(ExportedSource in) {
+  if (!graph_->IsValid(in.source) || FindSlot(in.source) != nullptr) {
+    return false;
+  }
+  auto table = CurrentTable();
+  auto slot = std::make_shared<SourceSlot>(in.source);
+  if (in.materialized) {
+    DPPR_CHECK_MSG(in.epoch >= 1,
+                   "a materialized export carries a published epoch");
+    EnsurePpr(slot.get());
+    slot->ppr->RestoreFromState(std::move(in.state));
+    pool_.EnsureSize(ComputePoolSize(options_, table->slots.size() + 1));
+    // Re-publish the carried estimates at exactly the exported epoch: the
+    // bytes are unchanged, so the source's epoch sequence continues as if
+    // it had never moved.
+    slot->snapshot.SeedEpoch(in.epoch - 1);
+    slot->snapshot.Publish(slot->ppr->Estimates());
+    Touch(*slot);
+  } else {
+    slot->snapshot.SeedEpoch(in.epoch);
+  }
+  SlotList next = table->slots;
+  next.push_back(std::move(slot));
+  PublishTable(std::move(next));
+  EnforceLruCap();
+  return true;
 }
 
 void PprIndex::EnforceLruCap() {

@@ -113,6 +113,21 @@ struct IndexBatchStats {
   void Reset() { *this = IndexBatchStats(); }
 };
 
+/// \brief A source lifted out of one index for installation into another,
+/// at a definite epoch — the unit the sharded router migrates when the
+/// hash ring changes. For a materialized source `state` carries the live
+/// (p, r) pair; an evicted source travels as id + epoch only (the
+/// receiving shard re-materializes on demand, exactly as the LRU path
+/// does). Both graphs must be identical when the state is installed — the
+/// router guarantees this by quiescing the shared update feed around a
+/// migration.
+struct ExportedSource {
+  VertexId source = kInvalidVertex;
+  uint64_t epoch = 0;
+  bool materialized = false;
+  PprState state;  ///< empty unless materialized
+};
+
 /// \brief Outcome of a by-source snapshot read (the serving-layer API).
 struct SourceReadResult {
   enum class Status {
@@ -145,6 +160,12 @@ class SnapshotSlot {
   /// next epoch in sequence. Readers holding the old snapshot keep it;
   /// new readers observe materialized == false.
   void Evict();
+
+  /// Writer-only, pre-publish: adopts `epoch` as the last-published epoch
+  /// of this slot (readers observe an unmaterialized snapshot at that
+  /// epoch, exactly like a post-Evict slot). Lets an imported source
+  /// continue its epoch sequence instead of restarting at 1.
+  void SeedEpoch(uint64_t epoch);
 
   /// Any thread, any time. Never null; before the first publish it returns
   /// an empty snapshot with epoch 0.
@@ -218,6 +239,24 @@ class PprIndex {
   /// Evicts least-recently-read materialized sources until at most
   /// `keep_materialized` remain. Returns the number evicted.
   size_t EvictColdSources(size_t keep_materialized);
+
+  // --- Source migration (maintainer-serialized) -------------------------
+
+  /// Lifts source `s` out of the index: fills *out with its state (a copy
+  /// of the live (p, r) for a materialized source; id + epoch only for an
+  /// evicted one) and removes it from the table. Readers holding old
+  /// snapshots keep them; new reads answer kUnknownSource. False (and *out
+  /// untouched) if `s` is not a source.
+  bool ExportSource(VertexId s, ExportedSource* out);
+
+  /// Installs a source exported from another index over an identical
+  /// graph: adds the slot, adopts the carried state without any push, and
+  /// re-publishes at exactly the exported epoch (the estimates are the
+  /// same bytes, so the epoch sequence continues unbroken; an epoch that
+  /// merely changed shards never appears to regress or skip). An
+  /// unmaterialized export stays evicted at its epoch. False (and no
+  /// change) if the source already exists or is not a graph vertex.
+  bool ImportSource(ExportedSource in);
 
   // --- Table inspection (safe from any thread) --------------------------
 

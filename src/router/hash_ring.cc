@@ -1,0 +1,79 @@
+#include "router/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace dppr {
+namespace {
+
+/// SplitMix64 finalizer — cheap, well-mixed, and dependency-free; the
+/// same mixer the bench client RNG uses.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t VnodePoint(int shard_id, int vnode) {
+  return Mix64((static_cast<uint64_t>(static_cast<uint32_t>(shard_id))
+                << 20) ^
+               static_cast<uint64_t>(static_cast<uint32_t>(vnode)));
+}
+
+uint64_t KeyPoint(VertexId key) {
+  // Different stream than the vnode points so a shard id never collides
+  // with the vertex of the same numeric value.
+  return Mix64(0xA24BAED4963EE407ULL ^
+               static_cast<uint64_t>(static_cast<uint32_t>(key)));
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(int vnodes_per_shard)
+    : vnodes_per_shard_(vnodes_per_shard) {
+  DPPR_CHECK(vnodes_per_shard > 0);
+}
+
+void ConsistentHashRing::AddShard(int shard_id) {
+  DPPR_CHECK(shard_id >= 0);
+  if (HasShard(shard_id)) return;
+  ring_.reserve(ring_.size() + static_cast<size_t>(vnodes_per_shard_));
+  for (int vnode = 0; vnode < vnodes_per_shard_; ++vnode) {
+    ring_.push_back({VnodePoint(shard_id, vnode), shard_id});
+  }
+  // Ties on `point` (astronomically rare) break by shard id so equal
+  // rings stay bit-identical in layout.
+  std::sort(ring_.begin(), ring_.end(), [](const auto& a, const auto& b) {
+    return a.point != b.point ? a.point < b.point : a.shard_id < b.shard_id;
+  });
+  shard_ids_.insert(
+      std::lower_bound(shard_ids_.begin(), shard_ids_.end(), shard_id),
+      shard_id);
+}
+
+void ConsistentHashRing::RemoveShard(int shard_id) {
+  if (!HasShard(shard_id)) return;
+  std::erase_if(ring_, [shard_id](const VirtualNode& node) {
+    return node.shard_id == shard_id;
+  });
+  shard_ids_.erase(
+      std::lower_bound(shard_ids_.begin(), shard_ids_.end(), shard_id));
+}
+
+bool ConsistentHashRing::HasShard(int shard_id) const {
+  return std::binary_search(shard_ids_.begin(), shard_ids_.end(), shard_id);
+}
+
+int ConsistentHashRing::OwnerOf(VertexId key) const {
+  if (ring_.empty()) return -1;
+  const uint64_t point = KeyPoint(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const VirtualNode& node, uint64_t p) { return node.point < p; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->shard_id;
+}
+
+}  // namespace dppr

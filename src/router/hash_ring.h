@@ -1,0 +1,63 @@
+// ConsistentHashRing — source placement for the sharded PPR service.
+//
+// Each shard contributes `vnodes_per_shard` pseudo-random points on a
+// 64-bit ring; a source vertex is owned by the shard whose point follows
+// the source's hash clockwise. The property the router buys with this
+// (over `source % N`): adding or removing one shard reassigns only the
+// sources whose arc changed hands — about 1/N of them on add, and exactly
+// the removed shard's sources on remove — so elasticity costs one shard's
+// worth of migration, not a full reshuffle. Virtual nodes smooth the
+// per-shard load imbalance from O(sqrt(N)) arcs to a few percent.
+//
+// The ring is a plain value type with no locking: the router mutates a
+// copy under its exclusive lock and swaps it in (routing reads take the
+// shared lock). Placement is a pure function of (shard set, vnode count),
+// so every replica of the ring agrees — the precondition for a future
+// network transport where clients route their own requests.
+
+#ifndef DPPR_ROUTER_HASH_RING_H_
+#define DPPR_ROUTER_HASH_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dppr {
+
+/// \brief Consistent-hash ring over integer shard ids with virtual nodes.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int vnodes_per_shard = 64);
+
+  /// Inserts `shard_id`'s virtual nodes. No-op if already present.
+  void AddShard(int shard_id);
+
+  /// Removes `shard_id`'s virtual nodes. No-op if absent.
+  void RemoveShard(int shard_id);
+
+  bool HasShard(int shard_id) const;
+
+  /// The shard owning `key`, or -1 when the ring is empty. Deterministic:
+  /// equal rings (same shard set, same vnode count) agree on every key.
+  int OwnerOf(VertexId key) const;
+
+  size_t NumShards() const { return shard_ids_.size(); }
+  /// Ascending shard ids.
+  const std::vector<int>& ShardIds() const { return shard_ids_; }
+  int vnodes_per_shard() const { return vnodes_per_shard_; }
+
+ private:
+  struct VirtualNode {
+    uint64_t point = 0;
+    int shard_id = -1;
+  };
+
+  int vnodes_per_shard_;
+  std::vector<VirtualNode> ring_;  ///< sorted by (point, shard_id)
+  std::vector<int> shard_ids_;     ///< sorted ascending
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_ROUTER_HASH_RING_H_

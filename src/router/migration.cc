@@ -1,0 +1,133 @@
+#include "router/migration.h"
+
+#include <cstdint>
+
+#include "core/serialization.h"
+#include "util/macros.h"
+
+namespace dppr {
+namespace {
+
+constexpr uint32_t kMigrationMagic = 0x44504D47;  // "DPMG"
+constexpr uint32_t kMigrationVersion = 1;
+
+using blob::Append;
+
+// FNV-1a over the header fields, so a bit flip in source/epoch/flags is
+// caught even for an evicted source that carries no state payload (the
+// payload has its own checksum via the serialization codec).
+uint64_t HeaderChecksum(int32_t source, uint64_t epoch, uint8_t materialized,
+                        uint64_t state_bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](const void* data, size_t bytes) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+      hash ^= p[i];
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  mix(&source, sizeof(source));
+  mix(&epoch, sizeof(epoch));
+  mix(&materialized, sizeof(materialized));
+  mix(&state_bytes, sizeof(state_bytes));
+  return hash;
+}
+
+}  // namespace
+
+Status EncodeMigrationBlob(const ExportedSource& src, std::string* out) {
+  DPPR_CHECK(out != nullptr);
+  std::string state_blob;
+  if (src.materialized) {
+    if (Status st = SerializePprState(src.state, &state_blob); !st.ok()) {
+      return st;
+    }
+  }
+  const uint32_t magic = kMigrationMagic;
+  const uint32_t version = kMigrationVersion;
+  const int32_t source = src.source;
+  const uint64_t epoch = src.epoch;
+  const uint8_t materialized = src.materialized ? 1 : 0;
+  const uint64_t state_bytes = state_blob.size();
+  const uint64_t checksum =
+      HeaderChecksum(source, epoch, materialized, state_bytes);
+
+  out->clear();
+  out->reserve(sizeof(magic) + sizeof(version) + sizeof(source) +
+               sizeof(epoch) + sizeof(materialized) + sizeof(state_bytes) +
+               sizeof(checksum) + state_blob.size());
+  Append(out, &magic, sizeof(magic));
+  Append(out, &version, sizeof(version));
+  Append(out, &source, sizeof(source));
+  Append(out, &epoch, sizeof(epoch));
+  Append(out, &materialized, sizeof(materialized));
+  Append(out, &state_bytes, sizeof(state_bytes));
+  Append(out, &checksum, sizeof(checksum));
+  out->append(state_blob);
+  return Status::OK();
+}
+
+Status DecodeMigrationBlob(const std::string& encoded, ExportedSource* out) {
+  DPPR_CHECK(out != nullptr);
+  auto fail = [](const std::string& msg) { return Status::Corruption(msg); };
+  blob::Reader reader{encoded};
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  int32_t source = kInvalidVertex;
+  uint64_t epoch = 0;
+  uint8_t materialized = 0;
+  uint64_t state_bytes = 0;
+  uint64_t stored_checksum = 0;
+  if (!reader.Take(&magic, sizeof(magic))) {
+    return fail("truncated migration header");
+  }
+  if (magic != kMigrationMagic) {
+    return fail("bad magic (not a migration blob)");
+  }
+  if (!reader.Take(&version, sizeof(version))) {
+    return fail("truncated migration header");
+  }
+  if (version != kMigrationVersion) {
+    return fail("unsupported migration version " + std::to_string(version));
+  }
+  if (!reader.Take(&source, sizeof(source)) ||
+      !reader.Take(&epoch, sizeof(epoch)) ||
+      !reader.Take(&materialized, sizeof(materialized)) ||
+      !reader.Take(&state_bytes, sizeof(state_bytes)) ||
+      !reader.Take(&stored_checksum, sizeof(stored_checksum))) {
+    return fail("truncated migration header");
+  }
+  if (HeaderChecksum(source, epoch, materialized, state_bytes) !=
+      stored_checksum) {
+    return fail("migration header checksum mismatch");
+  }
+  if (source < 0 || materialized > 1) return fail("implausible header");
+  if (materialized != (state_bytes > 0 ? 1 : 0)) {
+    return fail("materialized flag disagrees with payload size");
+  }
+  if (reader.Remaining() != state_bytes) {
+    return fail("migration payload size mismatch");
+  }
+
+  PprState state;
+  if (materialized) {
+    if (Status st = DeserializePprState(
+            encoded.substr(reader.pos, state_bytes), &state);
+        !st.ok()) {
+      return st;
+    }
+    if (state.source != source) {
+      return fail("state payload names a different source than the header");
+    }
+    if (epoch == 0) {
+      return fail("a materialized source must carry a published epoch");
+    }
+  }
+  out->source = source;
+  out->epoch = epoch;
+  out->materialized = materialized != 0;
+  out->state = std::move(state);
+  return Status::OK();
+}
+
+}  // namespace dppr

@@ -1,0 +1,32 @@
+// Migration wire format — how a source travels between shards.
+//
+// The router never hands raw pointers between shards: an ExportedSource
+// is encoded into a self-describing, checksummed blob (the PprState
+// payload rides the existing core/serialization checkpoint format, so
+// it reuses that codec's FNV-1a integrity check) and decoded on the
+// receiving side. In-process this is a round-trip through bytes that a
+// network transport could ship verbatim — the migration protocol is
+// already wire-shaped, which is the point.
+
+#ifndef DPPR_ROUTER_MIGRATION_H_
+#define DPPR_ROUTER_MIGRATION_H_
+
+#include <string>
+
+#include "index/ppr_index.h"
+#include "util/status.h"
+
+namespace dppr {
+
+/// Encodes `src` into a migration blob. The state payload (present iff
+/// `src.materialized`) is the core/serialization checkpoint encoding.
+Status EncodeMigrationBlob(const ExportedSource& src, std::string* out);
+
+/// Decodes a blob produced by EncodeMigrationBlob. Fails with Corruption
+/// on truncation, bad magic, header/payload disagreement, or a payload
+/// checksum mismatch; *out is untouched on error.
+Status DecodeMigrationBlob(const std::string& blob, ExportedSource* out);
+
+}  // namespace dppr
+
+#endif  // DPPR_ROUTER_MIGRATION_H_

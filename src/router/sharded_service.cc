@@ -1,0 +1,533 @@
+#include "router/sharded_service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "router/migration.h"
+#include "util/macros.h"
+
+namespace dppr {
+namespace {
+
+std::future<QueryResponse> ReadyQueryResponse(RequestStatus status) {
+  std::promise<QueryResponse> promise;
+  QueryResponse response;
+  response.status = status;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+MaintResponse MaintStatus(RequestStatus status) {
+  MaintResponse response;
+  response.status = status;
+  return response;
+}
+
+/// Sums the monotone counters of `from` into `into` (latency percentiles
+/// are NOT summable — the caller recomputes them from merged histograms).
+void AddCounters(const MetricsReport& from, MetricsReport* into) {
+  into->queries_completed += from.queries_completed;
+  into->queries_shed_queue_full += from.queries_shed_queue_full;
+  into->queries_shed_deadline += from.queries_shed_deadline;
+  into->queries_failed += from.queries_failed;
+  into->served_during_maintenance += from.served_during_maintenance;
+  into->batches_applied += from.batches_applied;
+  into->updates_applied += from.updates_applied;
+  into->updates_shed_queue_full += from.updates_shed_queue_full;
+  into->sources_added += from.sources_added;
+  into->sources_removed += from.sources_removed;
+  into->sources_materialized += from.sources_materialized;
+  into->sources_evicted += from.sources_evicted;
+  into->elapsed_seconds =
+      std::max(into->elapsed_seconds, from.elapsed_seconds);
+}
+
+}  // namespace
+
+ShardedPprService::ShardedPprService(const std::vector<Edge>& initial_edges,
+                                     VertexId num_vertices,
+                                     std::vector<VertexId> sources,
+                                     const ShardedServiceOptions& options)
+    : options_(options), ring_(options.vnodes_per_shard) {
+  DPPR_CHECK(options.num_shards >= 1);
+  DPPR_CHECK(options.reroute_retry_limit >= 0);
+  for (int i = 0; i < options.num_shards; ++i) {
+    ring_.AddShard(next_shard_id_++);
+  }
+  // Partition the initial sources by ring placement; every shard gets the
+  // full graph replica.
+  std::vector<std::vector<VertexId>> per_shard(
+      static_cast<size_t>(options.num_shards));
+  for (VertexId s : sources) {
+    per_shard[static_cast<size_t>(ring_.OwnerOf(s))].push_back(s);
+  }
+  shards_.reserve(static_cast<size_t>(options.num_shards));
+  for (int i = 0; i < options.num_shards; ++i) {
+    shards_.push_back(BuildShard(i, initial_edges, num_vertices,
+                                 std::move(per_shard[static_cast<size_t>(i)])));
+  }
+}
+
+ShardedPprService::~ShardedPprService() { Stop(); }
+
+std::unique_ptr<ShardedPprService::Shard> ShardedPprService::BuildShard(
+    int id, const std::vector<Edge>& edges, VertexId num_vertices,
+    std::vector<VertexId> sources) const {
+  auto shard = std::make_unique<Shard>();
+  shard->id = id;
+  shard->graph = std::make_unique<DynamicGraph>(
+      DynamicGraph::FromEdges(edges, num_vertices));
+  shard->index = std::make_unique<PprIndex>(
+      shard->graph.get(), std::move(sources), options_.index);
+  shard->service =
+      std::make_unique<PprService>(shard->index.get(), options_.service);
+  return shard;
+}
+
+void ShardedPprService::Start() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  DPPR_CHECK_MSG(!started_ && !stopped_,
+                 "ShardedPprService is single-use: Start may run once");
+  started_ = true;
+  for (auto& shard : shards_) {
+    shard->index->Initialize();
+    shard->service->Start();
+  }
+}
+
+void ShardedPprService::Stop() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) shard->service->Stop();
+}
+
+// ------------------------------------------------------------- routing
+
+ShardedPprService::Shard* ShardedPprService::FindShard(int shard_id) const {
+  for (const auto& shard : shards_) {
+    if (shard->id == shard_id) return shard.get();
+  }
+  return nullptr;
+}
+
+ShardedPprService::Shard* ShardedPprService::OwnerShard(VertexId s) const {
+  const int owner = ring_.OwnerOf(s);
+  return owner < 0 ? nullptr : FindShard(owner);
+}
+
+std::future<QueryResponse> ShardedPprService::QueryVertexAsync(
+    VertexId s, VertexId v, int64_t deadline_ms) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return ReadyQueryResponse(RequestStatus::kClosed);
+  Shard* shard = OwnerShard(s);
+  if (shard == nullptr) return ReadyQueryResponse(RequestStatus::kClosed);
+  return shard->service->QueryVertexAsync(s, v, deadline_ms);
+}
+
+std::future<QueryResponse> ShardedPprService::TopKAsync(VertexId s, int k,
+                                                        int64_t deadline_ms) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return ReadyQueryResponse(RequestStatus::kClosed);
+  Shard* shard = OwnerShard(s);
+  if (shard == nullptr) return ReadyQueryResponse(RequestStatus::kClosed);
+  return shard->service->TopKAsync(s, k, deadline_ms);
+}
+
+QueryResponse ShardedPprService::Query(VertexId s, VertexId v,
+                                       int64_t deadline_ms) {
+  QueryResponse response;
+  for (int attempt = 0;; ++attempt) {
+    response = QueryVertexAsync(s, v, deadline_ms).get();
+    if (response.status != RequestStatus::kUnknownSource ||
+        attempt >= options_.reroute_retry_limit) {
+      return response;
+    }
+    // A source mid-migration is briefly absent from its old owner. The
+    // re-submission blocks on the routing lock until the topology change
+    // finishes, then lands on the new owner. A truly unknown source just
+    // pays a few extra O(log ring) lookups before the answer is believed.
+    reroutes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+QueryResponse ShardedPprService::TopK(VertexId s, int k,
+                                      int64_t deadline_ms) {
+  QueryResponse response;
+  for (int attempt = 0;; ++attempt) {
+    response = TopKAsync(s, k, deadline_ms).get();
+    if (response.status != RequestStatus::kUnknownSource ||
+        attempt >= options_.reroute_retry_limit) {
+      return response;
+    }
+    reroutes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+MaintResponse ShardedPprService::AddSource(VertexId s) {
+  std::future<MaintResponse> future;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (!started_ || stopped_) return MaintStatus(RequestStatus::kClosed);
+    Shard* shard = OwnerShard(s);
+    if (shard == nullptr) return MaintStatus(RequestStatus::kClosed);
+    future = shard->service->AddSourceAsync(s);
+  }
+  return future.get();
+}
+
+MaintResponse ShardedPprService::RemoveSource(VertexId s) {
+  std::future<MaintResponse> future;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (!started_ || stopped_) return MaintStatus(RequestStatus::kClosed);
+    Shard* shard = OwnerShard(s);
+    if (shard == nullptr) return MaintStatus(RequestStatus::kClosed);
+    future = shard->service->RemoveSourceAsync(s);
+  }
+  return future.get();
+}
+
+// -------------------------------------------------- replicated updates
+
+MaintResponse ShardedPprService::ApplyUpdates(UpdateBatch batch) {
+  // The shared lock is held across the WHOLE fan-out (not just the
+  // submissions): a topology change must never interleave with a batch
+  // that some shards have applied and others have not — the new shard's
+  // graph is cloned from a quiesced peer, and a half-propagated batch
+  // would fork the replicas.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return MaintStatus(RequestStatus::kClosed);
+  std::vector<Shard*> pending;
+  pending.reserve(shards_.size());
+  for (const auto& shard : shards_) pending.push_back(shard.get());
+
+  while (!pending.empty()) {
+    std::vector<std::future<MaintResponse>> futures;
+    futures.reserve(pending.size());
+    for (Shard* shard : pending) {
+      futures.push_back(shard->service->ApplyUpdatesAsync(batch));
+    }
+    std::vector<Shard*> shed;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const MaintResponse response = futures[i].get();
+      if (response.status == RequestStatus::kShedQueueFull) {
+        shed.push_back(pending[i]);
+      } else if (response.status != RequestStatus::kOk) {
+        // kClosed: shutdown. Divergence is moot — every later read from
+        // any shard answers kClosed too.
+        return response;
+      }
+    }
+    if (shed.empty()) break;
+    // Backpressure, not loss: the feed is replicated graph state, so a
+    // shed shard is retried UNTIL it accepts. Giving up here after other
+    // shards already applied the batch would fork the replicas — the one
+    // outcome the router must never allow. The wait terminates because
+    // the shard's maintenance thread always drains its queue.
+    update_retries_.fetch_add(static_cast<int64_t>(shed.size()),
+                              std::memory_order_relaxed);
+    pending = std::move(shed);
+    if (options_.update_retry_backoff.count() > 0) {
+      std::this_thread::sleep_for(options_.update_retry_backoff);
+    }
+  }
+  MaintResponse ok = MaintStatus(RequestStatus::kOk);
+  ok.updates_applied = static_cast<int64_t>(batch.size());
+  return ok;
+}
+
+// ------------------------------------------------------ scatter-gather
+
+std::vector<QueryResponse> ShardedPprService::MultiSourceQuery(
+    const std::vector<VertexId>& sources, VertexId v, int64_t deadline_ms) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(sources.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (VertexId s : sources) {
+      if (!started_ || stopped_) {
+        futures.push_back(ReadyQueryResponse(RequestStatus::kClosed));
+        continue;
+      }
+      Shard* shard = OwnerShard(s);
+      futures.push_back(shard == nullptr
+                            ? ReadyQueryResponse(RequestStatus::kClosed)
+                            : shard->service->QueryVertexAsync(s, v,
+                                                               deadline_ms));
+    }
+  }
+  // Gather outside the lock: the responses come from shard workers, which
+  // never need the routing lock.
+  std::vector<QueryResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) responses.push_back(future.get());
+  return responses;
+}
+
+GlobalTopKResult ShardedPprService::GlobalTopK(int k, int64_t deadline_ms) {
+  std::vector<VertexId> queried;
+  std::vector<std::future<QueryResponse>> futures;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (started_ && !stopped_) {
+      for (const auto& shard : shards_) {
+        for (VertexId s : shard->index->Sources()) {
+          queried.push_back(s);
+          futures.push_back(shard->service->TopKAsync(s, k, deadline_ms));
+        }
+      }
+    }
+  }
+  GlobalTopKResult result;
+  std::vector<GlobalTopKEntry> all;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    QueryResponse response = futures[i].get();
+    if (response.status != RequestStatus::kOk) {
+      ++result.sources_failed;
+      continue;
+    }
+    ++result.sources_answered;
+    for (const ScoredVertex& entry : response.topk.entries) {
+      all.push_back({queried[i], entry});
+    }
+  }
+  // Merge: globally best k triples, deterministic order (ties by source
+  // then vertex id, matching the per-shard top-k tie rule).
+  std::sort(all.begin(), all.end(),
+            [](const GlobalTopKEntry& a, const GlobalTopKEntry& b) {
+              if (a.entry.score != b.entry.score) {
+                return a.entry.score > b.entry.score;
+              }
+              if (a.source != b.source) return a.source < b.source;
+              return a.entry.id < b.entry.id;
+            });
+  if (k >= 0 && all.size() > static_cast<size_t>(k)) {
+    all.resize(static_cast<size_t>(k));
+  }
+  result.entries = std::move(all);
+  return result;
+}
+
+// ---------------------------------------------------------- elasticity
+
+void ShardedPprService::QuiesceAllLocked() {
+  // Barriers go out to every shard at once; the waits overlap.
+  std::vector<std::pair<Shard*, std::future<MaintResponse>>> barriers;
+  barriers.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    barriers.emplace_back(shard.get(), shard->service->QuiesceAsync());
+  }
+  for (auto& [shard, future] : barriers) {
+    for (;;) {
+      const RequestStatus status = future.get().status;
+      if (status == RequestStatus::kOk) break;
+      // A shed barrier means the maintenance queue was full at submit
+      // time. The exclusive lock blocks new update fan-outs, so the queue
+      // only drains — re-arm until the barrier fits.
+      DPPR_CHECK_MSG(status == RequestStatus::kShedQueueFull,
+                     "quiesce barrier refused");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      future = shard->service->QuiesceAsync();
+    }
+  }
+}
+
+namespace {
+
+/// Retries a maintenance-hook submission while the shard's queue sheds
+/// it: workers keep filing fire-and-forget materialization requests
+/// during a migration (they never take the router lock), so the queue
+/// can legitimately be full. With the feed blocked by the exclusive
+/// lock the queue drains, so the retry terminates.
+template <typename Submit>
+MaintResponse SubmitWithRetry(const Submit& submit) {
+  for (;;) {
+    MaintResponse response = submit().get();
+    if (response.status != RequestStatus::kShedQueueFull) return response;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+size_t ShardedPprService::MigrateSourcesLocked(
+    Shard* from, const ConsistentHashRing& ring) {
+  size_t moved = 0;
+  for (VertexId s : from->index->Sources()) {
+    const int target_id = ring.OwnerOf(s);
+    if (target_id == from->id) continue;
+    Shard* to = FindShard(target_id);
+    DPPR_CHECK_MSG(to != nullptr, "ring names a shard the router lacks");
+
+    ExportedSource exported;
+    const MaintResponse extracted = SubmitWithRetry(
+        [&] { return from->service->ExtractSourceAsync(s, &exported); });
+    DPPR_CHECK_MSG(extracted.status == RequestStatus::kOk,
+                   "extract of a listed source failed");
+
+    // Wire round-trip: the blob is what a network transport would ship;
+    // decoding re-verifies the checksum on the receiving side.
+    std::string blob;
+    Status st = EncodeMigrationBlob(exported, &blob);
+    DPPR_CHECK_MSG(st.ok(), st.message().c_str());
+    migration_bytes_.fetch_add(static_cast<int64_t>(blob.size()),
+                               std::memory_order_relaxed);
+    ExportedSource received;
+    st = DecodeMigrationBlob(blob, &received);
+    DPPR_CHECK_MSG(st.ok(), st.message().c_str());
+
+    // `received` must survive re-submission attempts, so move it in only
+    // once the queue accepts — a shed TryPush leaves the request (and
+    // its payload) intact, but going through a copy keeps this simple.
+    const MaintResponse injected = SubmitWithRetry([&] {
+      return to->service->InjectSourceAsync(received);
+    });
+    DPPR_CHECK_MSG(injected.status == RequestStatus::kOk,
+                   "inject into the new owner failed");
+    ++moved;
+  }
+  sources_migrated_.fetch_add(static_cast<int64_t>(moved),
+                              std::memory_order_relaxed);
+  return moved;
+}
+
+int ShardedPprService::AddShard() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return -1;
+  QuiesceAllLocked();
+
+  // All replicas are identical once quiesced; clone any of them.
+  const Shard* donor = shards_.front().get();
+  const int id = next_shard_id_++;
+  auto fresh = BuildShard(id, donor->graph->ToEdgeList(),
+                          donor->graph->NumVertices(), {});
+  fresh->index->Initialize();  // no sources yet: publishes nothing
+  fresh->service->Start();
+
+  ConsistentHashRing next_ring = ring_;
+  next_ring.AddShard(id);
+  shards_.push_back(std::move(fresh));
+  for (const auto& shard : shards_) {
+    if (shard->id != id) MigrateSourcesLocked(shard.get(), next_ring);
+  }
+  ring_ = next_ring;
+  return id;
+}
+
+bool ShardedPprService::RemoveShard(int shard_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return false;
+  Shard* victim = FindShard(shard_id);
+  if (victim == nullptr || ring_.NumShards() <= 1) return false;
+  QuiesceAllLocked();
+
+  ConsistentHashRing next_ring = ring_;
+  next_ring.RemoveShard(shard_id);
+  MigrateSourcesLocked(victim, next_ring);
+  DPPR_CHECK_MSG(victim->index->NumSources() == 0,
+                 "a drained shard must own nothing");
+  ring_ = next_ring;
+
+  victim->service->Stop();
+  RetireMetricsLocked(*victim);
+  std::erase_if(shards_, [shard_id](const std::unique_ptr<Shard>& shard) {
+    return shard->id == shard_id;
+  });
+  return true;
+}
+
+void ShardedPprService::RetireMetricsLocked(const Shard& shard) {
+  AddCounters(shard.service->Metrics(), &retired_counters_);
+  shard.service->MergeLatenciesInto(&retired_query_ms_, &retired_batch_ms_);
+}
+
+// ------------------------------------------------------- introspection
+
+size_t ShardedPprService::NumShards() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ring_.NumShards();
+}
+
+std::vector<int> ShardedPprService::ShardIds() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ring_.ShardIds();
+}
+
+int ShardedPprService::OwnerOf(VertexId s) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ring_.OwnerOf(s);
+}
+
+std::vector<VertexId> ShardedPprService::Sources() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<VertexId> all;
+  for (const auto& shard : shards_) {
+    std::vector<VertexId> own = shard->index->Sources();
+    all.insert(all.end(), own.begin(), own.end());
+  }
+  return all;
+}
+
+std::vector<VertexId> ShardedPprService::SourcesOnShard(int shard_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Shard* shard = FindShard(shard_id);
+  return shard == nullptr ? std::vector<VertexId>{}
+                          : shard->index->Sources();
+}
+
+size_t ShardedPprService::NumSources() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->index->NumSources();
+  return n;
+}
+
+bool ShardedPprService::HasSource(VertexId s) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Placement invariant: a source lives only on its ring owner, so the
+  // owner's table answers for the whole fleet.
+  const Shard* shard = OwnerShard(s);
+  return shard != nullptr && shard->index->HasSource(s);
+}
+
+MetricsReport ShardedPprService::Metrics() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MetricsReport combined = retired_counters_;
+  Histogram query_ms = retired_query_ms_;
+  Histogram batch_ms = retired_batch_ms_;
+  for (const auto& shard : shards_) {
+    AddCounters(shard->service->Metrics(), &combined);
+    shard->service->MergeLatenciesInto(&query_ms, &batch_ms);
+  }
+  // Exact cross-shard percentiles from the pooled samples — NOT a
+  // max-over-shards approximation.
+  if (query_ms.Count() > 0) {
+    combined.query_mean_ms = query_ms.Mean();
+    combined.query_p50_ms = query_ms.Percentile(50);
+    combined.query_p99_ms = query_ms.Percentile(99);
+    combined.query_max_ms = query_ms.Max();
+  }
+  if (batch_ms.Count() > 0) {
+    combined.batch_mean_ms = batch_ms.Mean();
+    combined.batch_p99_ms = batch_ms.Percentile(99);
+  }
+  return combined;
+}
+
+RouterReport ShardedPprService::Report() const {
+  RouterReport report;
+  report.combined = Metrics();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    report.per_shard.emplace_back(shard->id, shard->service->Metrics());
+  }
+  report.sources_migrated = sources_migrated_.load(std::memory_order_relaxed);
+  report.migration_bytes = migration_bytes_.load(std::memory_order_relaxed);
+  report.update_retries = update_retries_.load(std::memory_order_relaxed);
+  report.reroutes = reroutes_.load(std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace dppr

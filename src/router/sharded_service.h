@@ -1,0 +1,231 @@
+// ShardedPprService — a consistent-hash router over N PprService shards.
+//
+// The paper's batch-update/push design keeps each source's (p, r) state
+// independent of every other source's, which makes horizontal sharding
+// by source safe: a shard owns a subset of the sources, and correctness
+// needs nothing from the other shards. Each shard here is a full serving
+// stack — its own DynamicGraph replica, PprIndex, maintenance thread,
+// and query worker pool — and the router in front is deliberately thin:
+//
+//   * placement — sources map to shards through a consistent-hash ring
+//     with virtual nodes (router/hash_ring.h), so AddShard/RemoveShard
+//     migrates ~1/N of the sources instead of reshuffling all of them;
+//   * update fan-out — every shard consumes the same update feed (the
+//     graph is replicated, the per-source state is partitioned). A shard
+//     that sheds a fan-out is retried with backpressure: replicas may lag,
+//     never diverge;
+//   * by-source routing — point/top-k queries and source admin go to the
+//     owning shard only;
+//   * scatter-gather — multi-source reads and global top-k fan out to the
+//     owning shards and merge; metrics aggregate across shards with
+//     exact merged-percentile latency (util/Histogram::Merge);
+//   * migration — AddShard/RemoveShard quiesce the update feed, lift the
+//     affected sources out through PprService::ExtractSourceAsync, ship
+//     them as checksummed blobs (router/migration.h), and inject them
+//     into their new owner at the SAME epoch — a reader can tell a source
+//     moved only by its latency, never by its answers.
+//
+// Locking: routing and update fan-out hold a shared lock; topology
+// changes (AddShard/RemoveShard/Stop) hold it exclusively. Shard-internal
+// concurrency (workers, maintenance, snapshots) is PprService's problem,
+// already solved. See README.md in this directory.
+
+#ifndef DPPR_ROUTER_SHARDED_SERVICE_H_
+#define DPPR_ROUTER_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "index/ppr_index.h"
+#include "router/hash_ring.h"
+#include "server/ppr_service.h"
+#include "util/histogram.h"
+
+namespace dppr {
+
+/// \brief Tuning knobs of a ShardedPprService.
+struct ShardedServiceOptions {
+  int num_shards = 2;
+  int vnodes_per_shard = 64;
+  IndexOptions index;      ///< applied to every shard's PprIndex
+  ServiceOptions service;  ///< applied to every shard's PprService
+  /// Update fan-out backpressure: a shard that sheds a replicated update
+  /// is retried (with this backoff between attempts) until it accepts.
+  /// Deliberately unbounded — a bounded retry that gave up after some
+  /// shards applied the batch would leave the graph replicas silently
+  /// diverged, which is strictly worse than blocking the feed. The shard
+  /// maintenance thread always drains its queue, so the wait terminates;
+  /// replicas may lag, never diverge.
+  std::chrono::milliseconds update_retry_backoff{1};
+  /// A blocking by-source read that answers kUnknownSource is re-routed
+  /// this many times before the answer is believed: a source mid-flight
+  /// between shards is briefly absent from its old owner, and the re-route
+  /// lands on the new one. Truly unknown sources pay a few extra lookups.
+  int reroute_retry_limit = 3;
+};
+
+/// \brief One entry of a scatter-gathered global top-k.
+struct GlobalTopKEntry {
+  VertexId source = kInvalidVertex;  ///< which source's vector it came from
+  ScoredVertex entry;
+};
+
+/// \brief Merged result of a global top-k scatter-gather.
+struct GlobalTopKResult {
+  /// The k highest (source, vertex, score) triples across every source on
+  /// every shard, descending (ties by source id then vertex id).
+  std::vector<GlobalTopKEntry> entries;
+  int64_t sources_answered = 0;
+  int64_t sources_failed = 0;  ///< shed / not-materialized at gather time
+};
+
+/// \brief Router-level accounting on top of the per-shard metrics.
+struct RouterReport {
+  MetricsReport combined;  ///< counters summed, percentiles exact (merged)
+  std::vector<std::pair<int, MetricsReport>> per_shard;  ///< live shards
+  int64_t sources_migrated = 0;  ///< moved by AddShard/RemoveShard
+  int64_t migration_bytes = 0;   ///< encoded blob bytes shipped
+  int64_t update_retries = 0;    ///< fan-out resubmits after a shard shed
+  int64_t reroutes = 0;          ///< reads re-routed around a migration
+};
+
+/// \brief N-shard PPR serving front-end. See file comment.
+///
+/// Lifecycle mirrors PprService: construct, Start(), submit, Stop()
+/// (destructor stops too). All public methods are safe from any thread
+/// once Start() returned.
+class ShardedPprService {
+ public:
+  ShardedPprService(const std::vector<Edge>& initial_edges,
+                    VertexId num_vertices, std::vector<VertexId> sources,
+                    const ShardedServiceOptions& options);
+  ~ShardedPprService();
+
+  ShardedPprService(const ShardedPprService&) = delete;
+  ShardedPprService& operator=(const ShardedPprService&) = delete;
+
+  /// Initializes every shard's index (from-scratch pushes for the sources
+  /// it owns) and starts every shard's service threads. Single-use, like
+  /// PprService.
+  void Start();
+  void Stop();
+
+  // --- By-source requests (routed to the owning shard) ------------------
+
+  std::future<QueryResponse> QueryVertexAsync(VertexId s, VertexId v,
+                                              int64_t deadline_ms = 0);
+  std::future<QueryResponse> TopKAsync(VertexId s, int k,
+                                       int64_t deadline_ms = 0);
+  /// Blocking reads; these re-route around an in-flight migration (see
+  /// ShardedServiceOptions::reroute_retry_limit).
+  QueryResponse Query(VertexId s, VertexId v, int64_t deadline_ms = 0);
+  QueryResponse TopK(VertexId s, int k, int64_t deadline_ms = 0);
+
+  MaintResponse AddSource(VertexId s);
+  MaintResponse RemoveSource(VertexId s);
+
+  // --- Replicated update feed -------------------------------------------
+
+  /// Fans `batch` out to every shard's maintenance queue and waits for
+  /// all of them (retrying shards that shed). kOk only when every shard
+  /// applied the batch.
+  MaintResponse ApplyUpdates(UpdateBatch batch);
+
+  // --- Scatter-gather reads ---------------------------------------------
+
+  /// p[v] for several sources at once: grouped by owning shard, issued
+  /// concurrently, gathered in input order.
+  std::vector<QueryResponse> MultiSourceQuery(
+      const std::vector<VertexId>& sources, VertexId v,
+      int64_t deadline_ms = 0);
+
+  /// The globally highest (source, vertex) scores across every shard.
+  GlobalTopKResult GlobalTopK(int k, int64_t deadline_ms = 0);
+
+  // --- Elasticity -------------------------------------------------------
+
+  /// Brings up a new empty shard (graph replicated from a quiesced peer),
+  /// rebalancing ~1/(N+1) of the sources onto it. Returns the new shard
+  /// id, or -1 if the service is not running.
+  int AddShard();
+
+  /// Drains `shard_id`: quiesces the feed, migrates its sources to their
+  /// new owners under the shrunken ring, stops and destroys the shard.
+  /// False if the id is unknown or it is the last shard.
+  bool RemoveShard(int shard_id);
+
+  // --- Introspection ----------------------------------------------------
+
+  size_t NumShards() const;
+  std::vector<int> ShardIds() const;
+  /// The shard currently owning `s` (-1 before Start/after Stop).
+  int OwnerOf(VertexId s) const;
+  /// Union of every shard's source set.
+  std::vector<VertexId> Sources() const;
+  std::vector<VertexId> SourcesOnShard(int shard_id) const;
+  size_t NumSources() const;
+  bool HasSource(VertexId s) const;
+
+  /// Counters summed across shards (including shards removed since),
+  /// latency percentiles computed from the merged exact samples.
+  MetricsReport Metrics() const;
+  RouterReport Report() const;
+
+  const ShardedServiceOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    int id = -1;
+    std::unique_ptr<DynamicGraph> graph;
+    std::unique_ptr<PprIndex> index;
+    std::unique_ptr<PprService> service;
+  };
+
+  /// Builds (but does not start) a shard over its own graph replica.
+  std::unique_ptr<Shard> BuildShard(int id, const std::vector<Edge>& edges,
+                                    VertexId num_vertices,
+                                    std::vector<VertexId> sources) const;
+  /// mu_ held (any mode). Null if absent.
+  Shard* FindShard(int shard_id) const;
+  /// mu_ held (any mode). Null when the ring is empty.
+  Shard* OwnerShard(VertexId s) const;
+  /// mu_ held exclusively: waits until every shard's maintenance queue is
+  /// drained (update admission is blocked by the exclusive lock itself).
+  void QuiesceAllLocked();
+  /// mu_ held exclusively: moves every source of `from` that `ring`
+  /// assigns elsewhere, through the encode/decode wire path. Returns the
+  /// number migrated.
+  size_t MigrateSourcesLocked(Shard* from, const ConsistentHashRing& ring);
+  /// mu_ held exclusively: folds a departing shard's metrics into the
+  /// retired accumulators so Metrics() survives topology changes.
+  void RetireMetricsLocked(const Shard& shard);
+
+  ShardedServiceOptions options_;
+  mutable std::shared_mutex mu_;
+  ConsistentHashRing ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  int next_shard_id_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  // Router accounting (atomics: bumped under the shared lock).
+  std::atomic<int64_t> sources_migrated_{0};
+  std::atomic<int64_t> migration_bytes_{0};
+  std::atomic<int64_t> update_retries_{0};
+  std::atomic<int64_t> reroutes_{0};
+
+  /// Metrics of shards that no longer exist (guarded by mu_ exclusive on
+  /// write, shared on read via Metrics()).
+  MetricsReport retired_counters_;
+  Histogram retired_query_ms_;
+  Histogram retired_batch_ms_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_ROUTER_SHARDED_SERVICE_H_

@@ -32,6 +32,17 @@ void ServiceMetrics::MarkStart() {
   start_seconds_ = NowSeconds();
 }
 
+void ServiceMetrics::MergeLatenciesInto(Histogram* query_latency_ms,
+                                        Histogram* batch_latency_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (query_latency_ms != nullptr) {
+    query_latency_ms->Merge(query_latency_ms_);
+  }
+  if (batch_latency_ms != nullptr) {
+    batch_latency_ms->Merge(batch_latency_ms_);
+  }
+}
+
 MetricsReport ServiceMetrics::Snapshot() const {
   MetricsReport report;
   report.queries_shed_queue_full = queries_shed_queue_full_.load();

@@ -85,6 +85,13 @@ class ServiceMetrics {
 
   MetricsReport Snapshot() const;
 
+  /// Pools this recorder's exact latency samples into the caller's
+  /// histograms (Histogram::Merge). The sharded router aggregates shard
+  /// metrics through this, so a cross-shard p99 is the percentile of the
+  /// union of samples — exact, not a max-over-shards approximation.
+  void MergeLatenciesInto(Histogram* query_latency_ms,
+                          Histogram* batch_latency_ms) const;
+
  private:
   std::atomic<int64_t> queries_shed_queue_full_{0};
   std::atomic<int64_t> queries_shed_deadline_{0};

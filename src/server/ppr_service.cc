@@ -180,6 +180,30 @@ std::future<MaintResponse> PprService::RemoveSourceAsync(VertexId s) {
   return SubmitMaint(std::move(request));
 }
 
+std::future<MaintResponse> PprService::QuiesceAsync() {
+  MaintRequest request;
+  request.kind = MaintRequest::Kind::kBarrier;
+  return SubmitMaint(std::move(request));
+}
+
+std::future<MaintResponse> PprService::ExtractSourceAsync(
+    VertexId s, ExportedSource* out) {
+  DPPR_CHECK(out != nullptr);
+  MaintRequest request;
+  request.kind = MaintRequest::Kind::kExtractSource;
+  request.source = s;
+  request.export_out = out;
+  return SubmitMaint(std::move(request));
+}
+
+std::future<MaintResponse> PprService::InjectSourceAsync(ExportedSource in) {
+  MaintRequest request;
+  request.kind = MaintRequest::Kind::kInjectSource;
+  request.source = in.source;
+  request.import = std::move(in);
+  return SubmitMaint(std::move(request));
+}
+
 QueryResponse PprService::Query(VertexId s, VertexId v, int64_t deadline_ms) {
   return QueryVertexAsync(s, v, deadline_ms).get();
 }
@@ -367,6 +391,27 @@ void PprService::HandleAdmin(MaintRequest* request) {
         metrics_.RecordSourceMaterialized();
         live_delta = 1;
       }
+      break;
+    }
+    case MaintRequest::Kind::kBarrier:
+      // FIFO queue + single maintenance thread: reaching this request
+      // means everything submitted before it has been processed.
+      response.status = RequestStatus::kOk;
+      break;
+    case MaintRequest::Kind::kExtractSource: {
+      const bool was_live = index_->IsMaterializedSource(request->source);
+      const bool ok = index_->ExportSource(request->source,
+                                           request->export_out);
+      response.status =
+          ok ? RequestStatus::kOk : RequestStatus::kUnknownSource;
+      if (ok && was_live) live_delta = -1;  // a handoff, not an eviction
+      break;
+    }
+    case MaintRequest::Kind::kInjectSource: {
+      const bool materialized = request->import.materialized;
+      const bool ok = index_->ImportSource(std::move(request->import));
+      response.status = ok ? RequestStatus::kOk : RequestStatus::kRejected;
+      if (ok && materialized) live_delta = 1;
       break;
     }
     case MaintRequest::Kind::kUpdates:

@@ -132,6 +132,27 @@ class PprService {
   std::future<MaintResponse> AddSourceAsync(VertexId s);
   std::future<MaintResponse> RemoveSourceAsync(VertexId s);
 
+  // --- Shard-facing hooks (the sharded router drives these) -------------
+
+  /// FIFO barrier through the maintenance queue: the future resolves once
+  /// every maintenance request submitted before it has been processed.
+  /// With update admission paused by the caller, a resolved barrier means
+  /// the shard's index is drained and at rest.
+  std::future<MaintResponse> QuiesceAsync();
+
+  /// Lifts source `s` out of this shard's index (see
+  /// PprIndex::ExportSource). `out` must stay alive until the future
+  /// resolves. kUnknownSource if `s` is not a source here.
+  std::future<MaintResponse> ExtractSourceAsync(VertexId s,
+                                                ExportedSource* out);
+
+  /// Installs a source exported from another shard (see
+  /// PprIndex::ImportSource). kRejected if the source already exists.
+  std::future<MaintResponse> InjectSourceAsync(ExportedSource in);
+
+  /// Blocking conveniences for the hooks above.
+  MaintResponse Quiesce() { return QuiesceAsync().get(); }
+
   // Blocking conveniences.
   QueryResponse Query(VertexId s, VertexId v, int64_t deadline_ms = 0);
   QueryResponse TopK(VertexId s, int k, int64_t deadline_ms = 0);
@@ -139,6 +160,12 @@ class PprService {
   // --- Introspection (any thread) ---------------------------------------
 
   MetricsReport Metrics() const { return metrics_.Snapshot(); }
+  /// Pools this service's exact latency samples into the caller's
+  /// histograms (see ServiceMetrics::MergeLatenciesInto).
+  void MergeLatenciesInto(Histogram* query_latency_ms,
+                          Histogram* batch_latency_ms) const {
+    metrics_.MergeLatenciesInto(query_latency_ms, batch_latency_ms);
+  }
   /// True while the maintenance thread is inside ApplyBatch.
   bool InMaintenance() const {
     return in_maintenance_.load(std::memory_order_acquire);
@@ -162,10 +189,20 @@ class PprService {
   };
 
   struct MaintRequest {
-    enum class Kind { kUpdates, kAddSource, kRemoveSource, kMaterialize };
+    enum class Kind {
+      kUpdates,
+      kAddSource,
+      kRemoveSource,
+      kMaterialize,
+      kBarrier,
+      kExtractSource,
+      kInjectSource,
+    };
     Kind kind = Kind::kUpdates;
     UpdateBatch batch;
     VertexId source = kInvalidVertex;
+    ExportedSource* export_out = nullptr;  ///< kExtractSource destination
+    ExportedSource import;                 ///< kInjectSource payload
     /// Worker-filed materialization requests are fire-and-forget.
     bool wants_response = false;
     std::promise<MaintResponse> promise;

@@ -14,6 +14,21 @@ void Histogram::Add(double value) {
   sorted_ = false;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.samples_.empty()) return;
+  const double other_sum = other.sum_;
+  // Self-merge must not append from a vector being reallocated under it.
+  std::vector<double> self_copy;
+  const std::vector<double>* src = &other.samples_;
+  if (&other == this) {
+    self_copy = samples_;
+    src = &self_copy;
+  }
+  samples_.insert(samples_.end(), src->begin(), src->end());
+  sum_ += other_sum;
+  sorted_ = false;
+}
+
 double Histogram::Mean() const {
   return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
 }

@@ -19,6 +19,13 @@ class Histogram {
  public:
   void Add(double value);
 
+  /// Pools every sample of `other` into this histogram. Because samples
+  /// are exact, a quantile after a merge equals the quantile of the
+  /// concatenated sample set — the property the sharded router relies on
+  /// for exact cross-shard p50/p99 (a max-over-shards p99 can overstate
+  /// the tail arbitrarily when shards serve unequal traffic).
+  void Merge(const Histogram& other);
+
   int64_t Count() const { return static_cast<int64_t>(samples_.size()); }
   double Sum() const { return sum_; }
   double Mean() const;

@@ -487,6 +487,103 @@ TEST(PprIndexDynamicTest, RemoveThenReAddRoundTrips) {
       << "a re-added source is a fresh slot: epochs restart at 1";
 }
 
+TEST(PprIndexDynamicTest, ExportImportMovesSourceWithEpochIntact) {
+  // The migration primitive of the sharded router: a source lifted out of
+  // one index and installed into another (over an identical graph) keeps
+  // its estimates bit-for-bit and continues its epoch sequence.
+  auto edges = GenerateErdosRenyi(64, 512, 21);
+  DynamicGraph g1 = DynamicGraph::FromEdges(edges, 64);
+  DynamicGraph g2 = DynamicGraph::FromEdges(edges, 64);
+  PprOptions options;
+  options.eps = 1e-6;
+  PprIndex from(&g1, {0, 1, 2}, options);
+  PprIndex to(&g2, {5}, options);
+  from.Initialize();
+  to.Initialize();
+
+  // Advance source 1 past epoch 1 so continuity is observable.
+  const UpdateBatch batch = {EdgeUpdate::Insert(9, 1),
+                             EdgeUpdate::Insert(1, 9)};
+  from.ApplyBatch(batch);
+  to.ApplyBatch(batch);  // replicas consume the same feed
+  const std::vector<double> before = from.SnapshotForSource(1)->estimates;
+  const uint64_t epoch_before = from.SnapshotForSource(1)->epoch;
+  ASSERT_EQ(epoch_before, 2u);
+
+  ExportedSource exported;
+  ASSERT_TRUE(from.ExportSource(1, &exported));
+  EXPECT_EQ(exported.source, 1);
+  EXPECT_EQ(exported.epoch, epoch_before);
+  EXPECT_TRUE(exported.materialized);
+  EXPECT_FALSE(from.HasSource(1));
+  EXPECT_FALSE(from.ExportSource(1, &exported)) << "already exported";
+
+  ASSERT_TRUE(to.ImportSource(std::move(exported)));
+  EXPECT_TRUE(to.HasSource(1));
+  auto snap = to.SnapshotForSource(1);
+  EXPECT_EQ(snap->epoch, epoch_before)
+      << "an imported source re-publishes at exactly the exported epoch";
+  EXPECT_EQ(snap->estimates, before);
+
+  // Maintenance continues seamlessly on the new index.
+  const UpdateBatch more = {EdgeUpdate::Delete(9, 1)};
+  to.ApplyBatch(more);
+  EXPECT_EQ(to.SnapshotForSource(1)->epoch, epoch_before + 1);
+  auto truth = PowerIterationPpr(g2, 1, PowerIterationOptions{});
+  EXPECT_LE(MaxAbsError(to.SnapshotForSource(1)->estimates, truth),
+            options.eps * 1.0001);
+}
+
+TEST(PprIndexDynamicTest, ExportImportOfEvictedSourceStaysEvicted) {
+  auto edges = GenerateErdosRenyi(64, 512, 22);
+  DynamicGraph g1 = DynamicGraph::FromEdges(edges, 64);
+  DynamicGraph g2 = DynamicGraph::FromEdges(edges, 64);
+  IndexOptions options;
+  options.ppr.eps = 1e-6;
+  PprIndex from(&g1, {0, 1, 2}, options);
+  PprIndex to(&g2, {}, options);
+  from.Initialize();
+  to.Initialize();
+  ASSERT_EQ(from.EvictColdSources(2), 1u);
+  // Table order ties break toward earlier slots, so source 0 is evicted.
+  ASSERT_FALSE(from.IsMaterializedSource(0));
+
+  ExportedSource exported;
+  ASSERT_TRUE(from.ExportSource(0, &exported));
+  EXPECT_FALSE(exported.materialized);
+  EXPECT_EQ(exported.epoch, 1u);
+
+  ASSERT_TRUE(to.ImportSource(std::move(exported)));
+  EXPECT_TRUE(to.HasSource(0));
+  EXPECT_FALSE(to.IsMaterializedSource(0));
+  EXPECT_EQ(to.QueryVertexForSource(0, 0).status,
+            SourceReadResult::Status::kNotMaterialized);
+  // On-demand materialization publishes the NEXT epoch in sequence.
+  ASSERT_TRUE(to.MaterializeSource(0));
+  EXPECT_EQ(to.SnapshotForSource(0)->epoch, 2u);
+  auto truth = PowerIterationPpr(g2, 0, PowerIterationOptions{});
+  EXPECT_LE(MaxAbsError(to.SnapshotForSource(0)->estimates, truth),
+            options.ppr.eps * 1.0001);
+}
+
+TEST(PprIndexDynamicTest, ImportRejectsDuplicatesAndInvalidVertices) {
+  DynamicGraph graph = DynamicGraph::FromEdges(
+      GenerateErdosRenyi(32, 128, 23), 32);
+  PprIndex index(&graph, {3}, PprOptions{});
+  index.Initialize();
+  ExportedSource dup;
+  dup.source = 3;
+  dup.epoch = 1;
+  dup.materialized = false;
+  EXPECT_FALSE(index.ImportSource(std::move(dup)));
+  ExportedSource invalid;
+  invalid.source = 1000;  // not a vertex
+  invalid.epoch = 1;
+  invalid.materialized = false;
+  EXPECT_FALSE(index.ImportSource(std::move(invalid)));
+  EXPECT_EQ(index.NumSources(), 1u);
+}
+
 TEST(PprIndexDynamicTest, LruEvictionAndOnDemandMaterialization) {
   DynamicGraph graph = DynamicGraph::FromEdges(
       GenerateErdosRenyi(96, 768, 11), 96);

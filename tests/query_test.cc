@@ -141,6 +141,53 @@ TEST(SerializationTest, RoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(SerializationTest, StringBlobRoundTrip) {
+  PprState state(7, 50);
+  state.ResetToUnitResidual();
+  state.p[9] = 0.25;
+  std::string blob;
+  ASSERT_TRUE(SerializePprState(state, &blob).ok());
+  PprState decoded;
+  ASSERT_TRUE(DeserializePprState(blob, &decoded).ok());
+  EXPECT_EQ(decoded.source, 7);
+  EXPECT_EQ(decoded.p, state.p);
+  EXPECT_EQ(decoded.r, state.r);
+}
+
+TEST(SerializationTest, StringBlobMatchesFileBytes) {
+  // The in-memory encoding and the on-disk checkpoint are the same bytes,
+  // so a migration blob could be written straight to disk (or vice versa).
+  PprState state(2, 40);
+  state.ResetToUnitResidual();
+  std::string blob;
+  ASSERT_TRUE(SerializePprState(state, &blob).ok());
+  const std::string path = TempPath("ckpt_blob_eq.bin");
+  ASSERT_TRUE(SavePprState(path, state).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string file_bytes(blob.size() + 16, '\0');
+  const size_t got = std::fread(file_bytes.data(), 1, file_bytes.size(), f);
+  std::fclose(f);
+  file_bytes.resize(got);
+  EXPECT_EQ(file_bytes, blob);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, StringBlobDetectsCorruption) {
+  PprState state(0, 32);
+  state.ResetToUnitResidual();
+  std::string blob;
+  ASSERT_TRUE(SerializePprState(state, &blob).ok());
+  std::string flipped = blob;
+  flipped[40] = static_cast<char>(flipped[40] ^ 0x10);
+  PprState decoded;
+  EXPECT_TRUE(DeserializePprState(flipped, &decoded).IsCorruption());
+  EXPECT_TRUE(
+      DeserializePprState(blob.substr(0, blob.size() / 2), &decoded)
+          .IsCorruption());
+  EXPECT_TRUE(DeserializePprState("garbage", &decoded).IsCorruption());
+}
+
 TEST(SerializationTest, DetectsBitFlip) {
   PprState state(0, 64);
   state.ResetToUnitResidual();

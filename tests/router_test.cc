@@ -1,0 +1,584 @@
+// ShardedPprService tests.
+//
+// Three layers, matching the subsystem:
+//  * HashRing / RouterMigration — placement determinism, balance, the
+//    consistent-hashing "only ~1/N moves" property, and the migration
+//    blob codec (round-trip + corruption detection).
+//  * PprRouterTest — the equivalence suite: under a seeded interleaving
+//    of updates, point/top-k queries, and source churn, a K-shard router
+//    (K = 1, 2, 4) must answer exactly like an unsharded PprService
+//    (same statuses, same epochs, values equal up to the paper's ±eps
+//    guarantee), and both must match power-iteration ground truth.
+//  * PprRouterChaosTest — shards are added and drained MID-RUN while 4
+//    concurrent clients query and a feeder streams updates: no source
+//    may be lost, no epoch may regress, and only shed/backpressure (never
+//    a wrong answer) may absorb the disruption. This test is in the TSan
+//    CI net (ci/run_tsan.sh).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "analysis/power_iteration.h"
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph_stats.h"
+#include "index/ppr_index.h"
+#include "router/hash_ring.h"
+#include "router/migration.h"
+#include "router/sharded_service.h"
+#include "server/ppr_service.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+
+namespace dppr {
+namespace {
+
+// ------------------------------------------------------------- hash ring
+
+TEST(HashRingTest, EmptyRingOwnsNothing) {
+  ConsistentHashRing ring(16);
+  EXPECT_EQ(ring.OwnerOf(0), -1);
+  EXPECT_EQ(ring.NumShards(), 0u);
+}
+
+TEST(HashRingTest, DeterministicAcrossIdenticallyBuiltRings) {
+  ConsistentHashRing a(32);
+  ConsistentHashRing b(32);
+  // Different insertion orders must not matter: placement is a pure
+  // function of the shard SET.
+  for (int id : {0, 1, 2, 3}) a.AddShard(id);
+  for (int id : {3, 1, 0, 2}) b.AddShard(id);
+  for (VertexId key = 0; key < 5000; ++key) {
+    ASSERT_EQ(a.OwnerOf(key), b.OwnerOf(key)) << key;
+  }
+}
+
+TEST(HashRingTest, OwnersComeFromTheShardSet) {
+  ConsistentHashRing ring(32);
+  ring.AddShard(7);
+  ring.AddShard(9);
+  for (VertexId key = 0; key < 1000; ++key) {
+    const int owner = ring.OwnerOf(key);
+    EXPECT_TRUE(owner == 7 || owner == 9) << key;
+  }
+  EXPECT_EQ(ring.ShardIds(), (std::vector<int>{7, 9}));
+}
+
+TEST(HashRingTest, VirtualNodesBalanceLoad) {
+  ConsistentHashRing ring(64);
+  constexpr int kShards = 4;
+  constexpr VertexId kKeys = 20000;
+  for (int id = 0; id < kShards; ++id) ring.AddShard(id);
+  std::vector<int64_t> owned(kShards, 0);
+  for (VertexId key = 0; key < kKeys; ++key) {
+    ++owned[static_cast<size_t>(ring.OwnerOf(key))];
+  }
+  const double ideal = static_cast<double>(kKeys) / kShards;
+  for (int id = 0; id < kShards; ++id) {
+    EXPECT_GT(owned[static_cast<size_t>(id)], ideal * 0.5) << id;
+    EXPECT_LT(owned[static_cast<size_t>(id)], ideal * 1.5) << id;
+  }
+}
+
+TEST(HashRingTest, AddShardOnlyMovesKeysToTheNewcomer) {
+  ConsistentHashRing before(64);
+  for (int id = 0; id < 3; ++id) before.AddShard(id);
+  ConsistentHashRing after = before;
+  after.AddShard(3);
+  constexpr VertexId kKeys = 20000;
+  int64_t moved = 0;
+  for (VertexId key = 0; key < kKeys; ++key) {
+    const int old_owner = before.OwnerOf(key);
+    const int new_owner = after.OwnerOf(key);
+    if (old_owner != new_owner) {
+      // THE consistent-hashing property: a key never moves between two
+      // surviving shards, only onto the newcomer.
+      ASSERT_EQ(new_owner, 3) << key;
+      ++moved;
+    }
+  }
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_GT(fraction, 0.10) << "the newcomer must take real load";
+  EXPECT_LT(fraction, 0.45) << "only ~1/N of the keys may move";
+}
+
+TEST(HashRingTest, RemoveShardOnlyMovesItsOwnKeys) {
+  ConsistentHashRing before(64);
+  for (int id = 0; id < 4; ++id) before.AddShard(id);
+  ConsistentHashRing after = before;
+  after.RemoveShard(2);
+  for (VertexId key = 0; key < 20000; ++key) {
+    const int old_owner = before.OwnerOf(key);
+    const int new_owner = after.OwnerOf(key);
+    if (old_owner != 2) {
+      ASSERT_EQ(new_owner, old_owner)
+          << "keys of surviving shards must not move";
+    } else {
+      ASSERT_NE(new_owner, 2);
+    }
+  }
+}
+
+// -------------------------------------------------------- migration blob
+
+TEST(RouterMigrationTest, MaterializedRoundTrip) {
+  ExportedSource src;
+  src.source = 11;
+  src.epoch = 42;
+  src.materialized = true;
+  src.state = PprState(11, 64);
+  src.state.ResetToUnitResidual();
+  src.state.p[5] = 0.125;
+
+  std::string blob;
+  ASSERT_TRUE(EncodeMigrationBlob(src, &blob).ok());
+  ExportedSource decoded;
+  ASSERT_TRUE(DecodeMigrationBlob(blob, &decoded).ok());
+  EXPECT_EQ(decoded.source, 11);
+  EXPECT_EQ(decoded.epoch, 42u);
+  EXPECT_TRUE(decoded.materialized);
+  EXPECT_EQ(decoded.state.p, src.state.p);
+  EXPECT_EQ(decoded.state.r, src.state.r);
+}
+
+TEST(RouterMigrationTest, EvictedSourceTravelsAsIdPlusEpoch) {
+  ExportedSource src;
+  src.source = 3;
+  src.epoch = 7;
+  src.materialized = false;
+
+  std::string blob;
+  ASSERT_TRUE(EncodeMigrationBlob(src, &blob).ok());
+  EXPECT_LT(blob.size(), 64u) << "no state payload for an evicted source";
+  ExportedSource decoded;
+  ASSERT_TRUE(DecodeMigrationBlob(blob, &decoded).ok());
+  EXPECT_EQ(decoded.source, 3);
+  EXPECT_EQ(decoded.epoch, 7u);
+  EXPECT_FALSE(decoded.materialized);
+}
+
+TEST(RouterMigrationTest, DetectsCorruptionAndTruncation) {
+  ExportedSource src;
+  src.source = 0;
+  src.epoch = 1;
+  src.materialized = true;
+  src.state = PprState(0, 32);
+  src.state.ResetToUnitResidual();
+  std::string blob;
+  ASSERT_TRUE(EncodeMigrationBlob(src, &blob).ok());
+
+  ExportedSource decoded;
+  EXPECT_TRUE(DecodeMigrationBlob("nonsense", &decoded).IsCorruption());
+  EXPECT_TRUE(DecodeMigrationBlob(blob.substr(0, blob.size() - 9), &decoded)
+                  .IsCorruption());
+  std::string flipped = blob;
+  flipped[blob.size() / 2] =
+      static_cast<char>(flipped[blob.size() / 2] ^ 0x40);
+  EXPECT_TRUE(DecodeMigrationBlob(flipped, &decoded).IsCorruption());
+}
+
+// ------------------------------------------------------ equivalence suite
+
+/// Shared workload: a sliding-window stream over an Erdos-Renyi graph,
+/// exactly like the PprService stress test.
+struct RouterWorkload {
+  std::vector<Edge> initial;
+  VertexId num_vertices = 0;
+  std::vector<UpdateBatch> batches;
+  std::vector<VertexId> hubs;
+
+  RouterWorkload(VertexId n, EdgeCount m, uint64_t seed, VertexId num_hubs,
+                 int max_batches) {
+    auto edges = GenerateErdosRenyi(n, m, seed);
+    EdgeStream stream =
+        EdgeStream::RandomPermutation(std::move(edges), seed + 1);
+    SlidingWindow window(&stream, 0.5);
+    initial = window.InitialEdges();
+    num_vertices = stream.NumVertices();
+    const EdgeCount batch_size = window.BatchForRatio(0.01);
+    while (static_cast<int>(batches.size()) < max_batches &&
+           window.CanSlide(batch_size)) {
+      batches.push_back(window.NextBatch(batch_size));
+    }
+    DynamicGraph ranking = DynamicGraph::FromEdges(initial, num_vertices);
+    hubs = TopOutDegreeVertices(ranking, num_hubs);
+  }
+};
+
+void ExpectEquivalentPoint(const QueryResponse& ref,
+                           const QueryResponse& got, double eps,
+                           int shards) {
+  ASSERT_EQ(got.status, ref.status) << shards << " shards";
+  if (ref.status != RequestStatus::kOk) return;
+  EXPECT_EQ(got.epoch, ref.epoch) << shards << " shards";
+  // Parallel pushes are not bit-deterministic across instances, but both
+  // answers are within ±eps of the same truth, hence within 2*eps of
+  // each other — the paper's approximation guarantee.
+  EXPECT_NEAR(got.estimate.value, ref.estimate.value, 2 * eps + 1e-12)
+      << shards << " shards";
+}
+
+TEST(PprRouterTest, ShardCountsAgreeWithUnshardedServiceAndOracle) {
+  constexpr double kEps = 1e-6;
+  RouterWorkload workload(128, 1024, 29, /*num_hubs=*/6, /*max_batches=*/16);
+  ASSERT_GE(workload.batches.size(), 8u);
+
+  IndexOptions index_options;
+  index_options.ppr.eps = kEps;
+  ServiceOptions service_options;
+  service_options.num_workers = 2;
+
+  // The reference: the unsharded serving stack.
+  DynamicGraph ref_graph =
+      DynamicGraph::FromEdges(workload.initial, workload.num_vertices);
+  PprIndex ref_index(&ref_graph, workload.hubs, index_options);
+  ref_index.Initialize();
+  PprService reference(&ref_index, service_options);
+  reference.Start();
+
+  // K-shard routers over the identical workload.
+  std::vector<std::unique_ptr<ShardedPprService>> routers;
+  std::vector<int> shard_counts = {1, 2, 4};
+  for (int k : shard_counts) {
+    ShardedServiceOptions options;
+    options.num_shards = k;
+    options.vnodes_per_shard = 32;
+    options.index = index_options;
+    options.service = service_options;
+    routers.push_back(std::make_unique<ShardedPprService>(
+        workload.initial, workload.num_vertices, workload.hubs, options));
+    routers.back()->Start();
+  }
+
+  // A churned source outside the stable hub set.
+  VertexId churn = 0;
+  while (std::find(workload.hubs.begin(), workload.hubs.end(), churn) !=
+         workload.hubs.end()) {
+    ++churn;
+  }
+  bool churn_present = false;
+
+  // Seeded interleaving of updates, queries, and source churn, applied in
+  // lockstep to the reference and every router.
+  std::mt19937 rng(4242);
+  size_t next_batch = 0;
+  for (int step = 0; step < 300; ++step) {
+    const uint32_t dice = rng() % 100;
+    const VertexId s =
+        (churn_present && dice % 7 == 0)
+            ? churn
+            : workload.hubs[rng() % workload.hubs.size()];
+    if (dice < 10 && next_batch < workload.batches.size()) {
+      const UpdateBatch& batch = workload.batches[next_batch++];
+      ASSERT_EQ(reference.ApplyUpdatesAsync(batch).get().status,
+                RequestStatus::kOk);
+      for (auto& router : routers) {
+        ASSERT_EQ(router->ApplyUpdates(batch).status, RequestStatus::kOk);
+      }
+    } else if (dice < 15) {
+      if (!churn_present) {
+        const RequestStatus expected =
+            reference.AddSourceAsync(churn).get().status;
+        ASSERT_EQ(expected, RequestStatus::kOk);
+        for (auto& router : routers) {
+          EXPECT_EQ(router->AddSource(churn).status, expected);
+        }
+        churn_present = true;
+      } else {
+        const RequestStatus expected =
+            reference.RemoveSourceAsync(churn).get().status;
+        ASSERT_EQ(expected, RequestStatus::kOk);
+        for (auto& router : routers) {
+          EXPECT_EQ(router->RemoveSource(churn).status, expected);
+        }
+        churn_present = false;
+      }
+    } else if (dice < 30) {
+      const QueryResponse ref_top = reference.TopK(s, 5);
+      for (size_t r = 0; r < routers.size(); ++r) {
+        const QueryResponse got = routers[r]->TopK(s, 5);
+        ASSERT_EQ(got.status, ref_top.status) << shard_counts[r];
+        if (ref_top.status != RequestStatus::kOk) continue;
+        EXPECT_EQ(got.epoch, ref_top.epoch) << shard_counts[r];
+        ASSERT_EQ(got.topk.entries.size(), ref_top.topk.entries.size());
+        for (size_t e = 0; e < ref_top.topk.entries.size(); ++e) {
+          // Same ranking up to the ±eps guarantee: the e-th score may
+          // differ by at most the combined approximation slack.
+          EXPECT_NEAR(got.topk.entries[e].score,
+                      ref_top.topk.entries[e].score, 2 * kEps + 1e-12)
+              << shard_counts[r] << " shards, rank " << e;
+        }
+      }
+    } else {
+      // Point query; sometimes for a source nobody indexes.
+      const VertexId source = dice == 99 ? churn + 1000 : s;
+      const VertexId v =
+          static_cast<VertexId>(rng() % workload.num_vertices);
+      const QueryResponse ref_q = reference.Query(source, v);
+      for (size_t r = 0; r < routers.size(); ++r) {
+        ExpectEquivalentPoint(ref_q, routers[r]->Query(source, v), kEps,
+                              shard_counts[r]);
+      }
+    }
+  }
+
+  // Flush the rest of the stream so every instance saw the whole feed.
+  while (next_batch < workload.batches.size()) {
+    const UpdateBatch& batch = workload.batches[next_batch++];
+    ASSERT_EQ(reference.ApplyUpdatesAsync(batch).get().status,
+              RequestStatus::kOk);
+    for (auto& router : routers) {
+      ASSERT_EQ(router->ApplyUpdates(batch).status, RequestStatus::kOk);
+    }
+  }
+
+  // Scatter-gather equivalence: multi-source reads match per-source
+  // reference answers; the merged global top-k matches a merge of the
+  // reference's per-source top-k lists.
+  const VertexId probe = workload.hubs[0];
+  for (auto& router : routers) {
+    const std::vector<QueryResponse> multi =
+        router->MultiSourceQuery(workload.hubs, probe);
+    ASSERT_EQ(multi.size(), workload.hubs.size());
+    for (size_t i = 0; i < workload.hubs.size(); ++i) {
+      const QueryResponse ref_q = reference.Query(workload.hubs[i], probe);
+      ASSERT_EQ(multi[i].status, ref_q.status);
+      EXPECT_EQ(multi[i].epoch, ref_q.epoch);
+      EXPECT_NEAR(multi[i].estimate.value, ref_q.estimate.value,
+                  2 * kEps + 1e-12);
+    }
+
+    const GlobalTopKResult global = router->GlobalTopK(10);
+    std::vector<GlobalTopKEntry> expected;
+    for (VertexId hub : ref_index.Sources()) {
+      const QueryResponse top = reference.TopK(hub, 10);
+      ASSERT_EQ(top.status, RequestStatus::kOk);
+      for (const ScoredVertex& entry : top.topk.entries) {
+        expected.push_back({hub, entry});
+      }
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const GlobalTopKEntry& a, const GlobalTopKEntry& b) {
+                if (a.entry.score != b.entry.score) {
+                  return a.entry.score > b.entry.score;
+                }
+                if (a.source != b.source) return a.source < b.source;
+                return a.entry.id < b.entry.id;
+              });
+    expected.resize(10);
+    ASSERT_EQ(global.entries.size(), expected.size());
+    EXPECT_EQ(global.sources_answered,
+              static_cast<int64_t>(ref_index.NumSources()));
+    EXPECT_EQ(global.sources_failed, 0);
+    for (size_t e = 0; e < expected.size(); ++e) {
+      EXPECT_NEAR(global.entries[e].entry.score, expected[e].entry.score,
+                  2 * kEps + 1e-12)
+          << "rank " << e;
+    }
+  }
+
+  // Both the reference and every router match power-iteration ground
+  // truth on the final graph, for every vertex of every source.
+  std::vector<VertexId> check = workload.hubs;
+  if (churn_present) check.push_back(churn);
+  const PowerIterationOptions oracle_options;
+  for (VertexId s_check : check) {
+    const auto truth = PowerIterationPpr(ref_graph, s_check, oracle_options);
+    for (VertexId v = 0; v < workload.num_vertices; v += 3) {
+      const double expected = truth[static_cast<size_t>(v)];
+      const QueryResponse ref_q = reference.Query(s_check, v);
+      ASSERT_EQ(ref_q.status, RequestStatus::kOk);
+      EXPECT_NEAR(ref_q.estimate.value, expected, kEps * 1.0001);
+      for (auto& router : routers) {
+        const QueryResponse got = router->Query(s_check, v);
+        ASSERT_EQ(got.status, RequestStatus::kOk);
+        EXPECT_NEAR(got.estimate.value, expected, kEps * 1.0001);
+      }
+    }
+  }
+
+  reference.Stop();
+  for (auto& router : routers) router->Stop();
+
+  // Metric aggregation sanity: counters survive, percentiles are ordered.
+  for (auto& router : routers) {
+    const MetricsReport report = router->Metrics();
+    EXPECT_GT(report.queries_completed, 0);
+    EXPECT_GE(report.query_p99_ms, report.query_p50_ms);
+    EXPECT_GE(report.query_max_ms, report.query_p99_ms);
+  }
+}
+
+// ------------------------------------------------------------ shard chaos
+
+TEST(PprRouterChaosTest, ShardChurnUnderConcurrentLoadKeepsAnswersRight) {
+  // 4 concurrent clients query stable hubs while a feeder streams updates
+  // and a chaos thread grows and drains shards mid-run. Disruption may
+  // surface ONLY as shedding/backpressure — never as a lost source, a
+  // regressed epoch, an unknown stable source, or a value outside the
+  // mathematically possible band. Runs under TSan in CI.
+  constexpr double kEps = 1e-5;
+  RouterWorkload workload(160, 1600, 31, /*num_hubs=*/8, /*max_batches=*/24);
+  ASSERT_GE(workload.batches.size(), 12u);
+
+  ShardedServiceOptions options;
+  options.num_shards = 3;
+  options.vnodes_per_shard = 32;
+  options.index.ppr.eps = kEps;
+  options.service.num_workers = 2;
+  options.service.materialize_wait = std::chrono::milliseconds(500);
+  ShardedPprService router(workload.initial, workload.num_vertices,
+                           workload.hubs, options);
+  router.Start();
+
+  const double alpha = options.index.ppr.alpha;
+  std::atomic<bool> epoch_ok{true};
+  std::atomic<bool> status_ok{true};
+  std::atomic<bool> values_ok{true};
+  std::atomic<int64_t> ok_count{0};
+  std::atomic<int64_t> shed_count{0};
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 200;
+  // Clients keep querying until the chaos thread has finished every
+  // topology change, so the load genuinely overlaps the migrations.
+  std::atomic<bool> chaos_done{false};
+  auto client = [&](int id) {
+    std::vector<uint64_t> last_epoch(workload.hubs.size(), 0);
+    for (int q = 0; q < kQueriesPerClient || !chaos_done.load(); ++q) {
+      const size_t i =
+          static_cast<size_t>(q + id) % workload.hubs.size();
+      const VertexId s = workload.hubs[i];
+      const QueryResponse response =
+          q % 4 == 3 ? router.TopK(s, 5) : router.Query(s, s);
+      switch (response.status) {
+        case RequestStatus::kOk:
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+          if (q % 4 == 3) {
+            for (size_t e = 1; e < response.topk.entries.size(); ++e) {
+              if (response.topk.entries[e].score >
+                  response.topk.entries[e - 1].score + 1e-12) {
+                values_ok.store(false);
+              }
+            }
+          } else if (response.estimate.value < alpha - 2 * kEps ||
+                     response.estimate.value > 1.0 + 2 * kEps) {
+            values_ok.store(false);
+          }
+          break;
+        case RequestStatus::kShedQueueFull:
+        case RequestStatus::kShedDeadline:
+          shed_count.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case RequestStatus::kNotMaterialized:
+          break;  // legal transient (carries an epoch, checked below)
+        default:
+          // kUnknownSource / kClosed / kRejected for a stable hub IS a
+          // wrong answer — exactly what migration must never produce.
+          status_ok.store(false);
+      }
+      if (response.status == RequestStatus::kOk ||
+          response.status == RequestStatus::kNotMaterialized) {
+        if (response.epoch < last_epoch[i]) epoch_ok.store(false);
+        last_epoch[i] = response.epoch;
+      }
+    }
+  };
+
+  std::thread feeder([&] {
+    for (const UpdateBatch& batch : workload.batches) {
+      const MaintResponse applied = router.ApplyUpdates(batch);
+      EXPECT_EQ(applied.status, RequestStatus::kOk)
+          << RequestStatusName(applied.status);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread chaos([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const int grown = router.AddShard();
+    EXPECT_GE(grown, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Drain one of the ORIGINAL shards (id 0 always exists at start).
+    EXPECT_TRUE(router.RemoveShard(0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const int grown2 = router.AddShard();
+    EXPECT_GE(grown2, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(router.RemoveShard(grown));
+    chaos_done.store(true);
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+  for (auto& t : clients) t.join();
+  feeder.join();
+  chaos.join();
+
+  EXPECT_TRUE(status_ok.load())
+      << "a stable hub answered unknown/closed during shard churn";
+  EXPECT_TRUE(epoch_ok.load()) << "an epoch regressed across a migration";
+  EXPECT_TRUE(values_ok.load()) << "a value left the possible band";
+  EXPECT_GT(ok_count.load(), kClients * kQueriesPerClient / 2);
+
+  // Net topology: 3 - 1 + 1 = 3 shards, and shard 0 is gone.
+  EXPECT_EQ(router.NumShards(), 3u);
+  const std::vector<int> ids = router.ShardIds();
+  EXPECT_TRUE(std::find(ids.begin(), ids.end(), 0) == ids.end());
+
+  // No source lost, and every source sits exactly on its ring owner.
+  std::vector<VertexId> remaining = router.Sources();
+  std::sort(remaining.begin(), remaining.end());
+  std::vector<VertexId> expected = workload.hubs;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(remaining, expected);
+  for (VertexId hub : workload.hubs) {
+    const int owner = router.OwnerOf(hub);
+    const std::vector<VertexId> on_owner = router.SourcesOnShard(owner);
+    EXPECT_TRUE(std::find(on_owner.begin(), on_owner.end(), hub) !=
+                on_owner.end())
+        << "hub " << hub << " missing from its owner shard " << owner;
+  }
+
+  const RouterReport report = router.Report();
+  EXPECT_GT(report.sources_migrated, 0) << "chaos must have moved sources";
+  EXPECT_GT(report.migration_bytes, 0);
+
+  // End-to-end accuracy after the dust settles: every hub matches the
+  // oracle on the final graph (replayed independently).
+  DynamicGraph final_graph =
+      DynamicGraph::FromEdges(workload.initial, workload.num_vertices);
+  for (const UpdateBatch& batch : workload.batches) {
+    for (const EdgeUpdate& update : batch) final_graph.Apply(update);
+  }
+  const PowerIterationOptions oracle_options;
+  for (VertexId hub : workload.hubs) {
+    const auto truth = PowerIterationPpr(final_graph, hub, oracle_options);
+    for (VertexId v = 0; v < workload.num_vertices; v += 5) {
+      const QueryResponse got = router.Query(hub, v);
+      ASSERT_EQ(got.status, RequestStatus::kOk);
+      EXPECT_NEAR(got.estimate.value, truth[static_cast<size_t>(v)],
+                  kEps * 1.0001)
+          << "hub " << hub << " vertex " << v;
+    }
+  }
+  router.Stop();
+
+  // The combined metrics survive shard removal (retired accumulators).
+  const MetricsReport metrics = router.Metrics();
+  EXPECT_GE(metrics.queries_completed, ok_count.load());
+  EXPECT_GE(metrics.query_p99_ms, metrics.query_p50_ms);
+  EXPECT_GT(metrics.batches_applied, 0);
+}
+
+}  // namespace
+}  // namespace dppr

@@ -274,6 +274,64 @@ TEST(PprServiceTest, MaterializesEvictedSourceOnDemand) {
   }
 }
 
+// ------------------------------------------------------ shard-facing hooks
+
+TEST(PprServiceTest, QuiesceBarrierResolvesAfterQueuedMaintenance) {
+  ServiceFixture fx(TestIndexOptions());
+  PprService service(&fx.index, {.num_workers = 1});
+  service.Start();
+  // Queue a run of updates, then the barrier: FIFO means a resolved
+  // barrier proves the updates were applied.
+  std::vector<std::future<MaintResponse>> updates;
+  for (int i = 0; i < 4; ++i) {
+    updates.push_back(service.ApplyUpdatesAsync(
+        {EdgeUpdate::Insert(i, 50 + i)}));
+  }
+  EXPECT_EQ(service.Quiesce().status, RequestStatus::kOk);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(updates[static_cast<size_t>(i)]
+                  .wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "update " << i << " must be done before the barrier resolves";
+    EXPECT_TRUE(fx.graph.HasEdge(i, 50 + i));
+  }
+  service.Stop();
+}
+
+TEST(PprServiceTest, ExtractInjectRoundTripsThroughTheService) {
+  ServiceFixture fx(TestIndexOptions());
+  PprService service(&fx.index, {.num_workers = 1});
+  service.Start();
+  const VertexId hub = fx.hubs[1];
+  (void)service.ApplyUpdatesAsync({EdgeUpdate::Insert(hub, 3)}).get();
+  const QueryResponse before = service.Query(hub, hub);
+  ASSERT_EQ(before.status, RequestStatus::kOk);
+  ASSERT_EQ(before.epoch, 2u);
+
+  ExportedSource exported;
+  EXPECT_EQ(service.ExtractSourceAsync(999, &exported).get().status,
+            RequestStatus::kUnknownSource);
+  ASSERT_EQ(service.ExtractSourceAsync(hub, &exported).get().status,
+            RequestStatus::kOk);
+  EXPECT_EQ(service.Query(hub, hub).status, RequestStatus::kUnknownSource);
+
+  // Injecting a duplicate of a live source is refused.
+  ExportedSource dup;
+  dup.source = fx.hubs[0];
+  dup.epoch = 1;
+  EXPECT_EQ(service.InjectSourceAsync(std::move(dup)).get().status,
+            RequestStatus::kRejected);
+
+  ASSERT_EQ(service.InjectSourceAsync(std::move(exported)).get().status,
+            RequestStatus::kOk);
+  const QueryResponse after = service.Query(hub, hub);
+  ASSERT_EQ(after.status, RequestStatus::kOk);
+  EXPECT_EQ(after.epoch, before.epoch)
+      << "a round-tripped source keeps its epoch";
+  EXPECT_DOUBLE_EQ(after.estimate.value, before.estimate.value);
+  service.Stop();
+}
+
 // ------------------------------------------------- acceptance stress test
 
 TEST(PprServiceStressTest, ConcurrentQueriesUpdatesAndSourceChurn) {

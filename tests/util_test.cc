@@ -239,6 +239,64 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
 }
 
+TEST(HistogramTest, MergePoolsSamples) {
+  Histogram a;
+  Histogram b;
+  for (double v : {1.0, 3.0, 5.0}) a.Add(v);
+  for (double v : {2.0, 4.0}) b.Add(v);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 5);
+  EXPECT_DOUBLE_EQ(a.Sum(), 15.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 5.0);
+  // The merged histogram is untouched.
+  EXPECT_EQ(b.Count(), 2);
+}
+
+TEST(HistogramTest, QuantileAfterMergeEqualsPooledQuantile) {
+  // The property the sharded router's metrics rely on: a percentile
+  // computed after merging shard histograms equals the percentile of the
+  // concatenated sample set — not an approximation of it.
+  Histogram shard_a;
+  Histogram shard_b;
+  Histogram pooled;
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const double fast = rng.NextDouble();           // shard A: fast reads
+    const double slow = 10.0 + rng.NextDouble();    // shard B: slow tail
+    shard_a.Add(fast);
+    shard_b.Add(slow);
+    pooled.Add(fast);
+    pooled.Add(slow);
+  }
+  Histogram merged;
+  merged.Merge(shard_a);
+  merged.Merge(shard_b);
+  for (double q : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(q), pooled.Percentile(q)) << q;
+  }
+  // A max-over-shards "p50" would report ~10.5 here; the true pooled
+  // median sits in the gap between the two clusters.
+  EXPECT_LT(merged.Percentile(50), 10.0);
+  EXPECT_GT(merged.Percentile(50), 1.0);
+}
+
+TEST(HistogramTest, MergeEmptyAndSelf) {
+  Histogram h;
+  Histogram empty;
+  h.Add(1.0);
+  h.Add(2.0);
+  h.Merge(empty);  // no-op
+  EXPECT_EQ(h.Count(), 2);
+  empty.Merge(h);
+  EXPECT_EQ(empty.Count(), 2);
+  h.Merge(h);  // self-merge doubles every sample
+  EXPECT_EQ(h.Count(), 4);
+  EXPECT_DOUBLE_EQ(h.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 2.0);
+}
+
 // ---------------------------------------------------------- TablePrinter
 
 TEST(TablePrinterTest, AlignsColumns) {
