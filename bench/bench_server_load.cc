@@ -11,7 +11,14 @@
 //   ./bench_server_load [--dataset=pokec] [--scale_shift=2] [--hubs=16]
 //       [--workers=4] [--clients=4] [--seconds=1.5] [--lru_cap=0]
 //       [--batch_ratio=0.001] [--mixes=100:0,95:5,80:20] [--k=5]
-//       [--eps=1e-6] [--shards=1,2] [--seed=42]
+//       [--eps=1e-6] [--shards=1,2] [--seed=42] [--json=PATH]
+//
+// --json=PATH additionally writes the sweep as machine-readable rows
+// (one object per (shards, mix) cell: qps, p50/p99 ms, shed/failed
+// counts, ...) plus the config that produced them. CI runs a small fixed
+// --seed sweep on every push and uploads the file as the
+// BENCH_server_load.json artifact — the start of the bench trajectory,
+// diffable across commits.
 //
 // Each mix "q:u" gives the per-client probability split between issuing a
 // point/top-k query (q) and submitting an update batch (u); clients are
@@ -75,6 +82,61 @@ std::vector<int> ParseShardCounts(const std::string& csv) {
   return counts;
 }
 
+/// One (shards, mix) cell of the sweep, as it lands in the JSON artifact.
+struct BenchRow {
+  int shards = 0;
+  std::string mix;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  int64_t queries_completed = 0;
+  int64_t served_during_maintenance = 0;
+  double updates_per_s = 0.0;  ///< per shard (the feed is replicated)
+  int64_t batches = 0;
+  int64_t shed = 0;
+  int64_t failed = 0;
+  int64_t sources_materialized = 0;
+};
+
+/// Writes the sweep as a self-describing JSON document. Hand-rolled: the
+/// values are numbers and fixed labels, nothing needs escaping.
+bool WriteJson(const std::string& path, const ArgParser& args,
+               uint64_t seed, const std::vector<BenchRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"server_load\",\n");
+  std::fprintf(f, "  \"config\": {\"dataset\": \"%s\", \"seed\": %llu, "
+                  "\"hubs\": %lld, \"workers\": %lld, \"clients\": %lld, "
+                  "\"seconds\": %g},\n",
+              args.GetString("dataset", "pokec").c_str(),
+              static_cast<unsigned long long>(seed),
+              static_cast<long long>(args.GetInt("hubs", 16)),
+              static_cast<long long>(args.GetInt("workers", 4)),
+              static_cast<long long>(args.GetInt("clients", 4)),
+              args.GetDouble("seconds", 1.5));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    std::fprintf(
+        f,
+        "    {\"shards\": %d, \"mix\": \"%s\", \"qps\": %.1f, "
+        "\"p50_ms\": %.6f, \"p99_ms\": %.6f, \"queries\": %lld, "
+        "\"queries_during_maintenance\": %lld, \"upd_per_s\": %.1f, "
+        "\"batches\": %lld, \"shed\": %lld, \"failed\": %lld, "
+        "\"sources_materialized\": %lld}%s\n",
+        row.shards, row.mix.c_str(), row.qps, row.p50_ms, row.p99_ms,
+        static_cast<long long>(row.queries_completed),
+        static_cast<long long>(row.served_during_maintenance),
+        row.updates_per_s, static_cast<long long>(row.batches),
+        static_cast<long long>(row.shed),
+        static_cast<long long>(row.failed),
+        static_cast<long long>(row.sources_materialized),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
 /// Deterministic per-client PRNG (splitmix-ish); no shared state.
 struct ClientRng {
   uint64_t state;
@@ -114,6 +176,8 @@ int main(int argc, char** argv) {
   const auto mixes = ParseMixes(args.GetString("mixes", "100:0,95:5,80:20"));
   const auto shard_counts =
       ParseShardCounts(args.GetString("shards", "1,2"));
+  const std::string json_path = args.GetString("json", "");
+  std::vector<BenchRow> json_rows;
 
   DatasetSpec spec;
   if (auto st = FindDataset(args.GetString("dataset", "pokec"), &spec);
@@ -220,6 +284,22 @@ int main(int argc, char** argv) {
                                 report.queries_shed_deadline),
            TablePrinter::FmtInt(report.queries_failed)});
 
+      BenchRow row;
+      row.shards = num_shards;
+      row.mix = mix.label;
+      row.qps = report.QueryThroughput();
+      row.p50_ms = report.query_p50_ms;
+      row.p99_ms = report.query_p99_ms;
+      row.queries_completed = report.queries_completed;
+      row.served_during_maintenance = report.served_during_maintenance;
+      row.updates_per_s = report.UpdateThroughput() / num_shards;
+      row.batches = report.batches_applied / num_shards;
+      row.shed = report.queries_shed_queue_full +
+                 report.queries_shed_deadline;
+      row.failed = report.queries_failed;
+      row.sources_materialized = report.sources_materialized;
+      json_rows.push_back(std::move(row));
+
       const std::string cell =
           "shards " + shard_label + " mix " + mix.label;
       ShapeCheck(cell + " served queries", report.queries_completed > 0,
@@ -243,5 +323,13 @@ int main(int argc, char** argv) {
               "in flight (the reads-don't-block-writes number).\n"
               "upd/s and batches are per shard (the feed is replicated "
               "to all shards).\n");
+  if (!json_path.empty()) {
+    if (!WriteJson(json_path, args, seed, json_rows)) {
+      std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rows to %s\n", json_rows.size(),
+                json_path.c_str());
+  }
   return ShapeCheckExitCode();
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Address+UB Sanitizer CI job: build EVERYTHING (library, tests, examples,
+# benches) with -fsanitize=address,undefined and run the full ctest
+# suite. The raw-socket framing code in src/net/ parses length prefixes
+# from untrusted peers — exactly the code that must be memory-safety-
+# checked from day one — and the fleet test forks real hub_server
+# processes, so the example binaries are sanitized too.
+#
+# Usable locally: ./ci/run_asan.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDPPR_ASAN=ON \
+  -DDPPR_WERROR=ON \
+  -DDPPR_TEST_TIMEOUT=300 \
+  "${LAUNCHER_ARGS[@]}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+# halt_on_error is ASan's default; detect_leaks catches forgotten
+# connection/state cleanup in the server teardown paths. detect_stack_
+# use_after_return costs little and catches frame escapes in the epoll
+# callback plumbing.
+ASAN_OPTIONS="detect_leaks=1 detect_stack_use_after_return=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

@@ -6,8 +6,16 @@ set -euo pipefail
 BUILD_DIR="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+# Compiler cache when available (CI installs ccache and restores its
+# cache across runs; locally this is a free speedup too).
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
-  -DDPPR_WERROR=ON
+  -DDPPR_WERROR=ON \
+  "${LAUNCHER_ARGS[@]}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

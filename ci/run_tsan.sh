@@ -20,13 +20,19 @@ set -euo pipefail
 BUILD_DIR="${1:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDPPR_TSAN=ON \
   -DDPPR_WERROR=ON \
   -DDPPR_BUILD_BENCHES=OFF \
   -DDPPR_BUILD_EXAMPLES=OFF \
-  -DDPPR_TEST_TIMEOUT=300
+  -DDPPR_TEST_TIMEOUT=300 \
+  "${LAUNCHER_ARGS[@]}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 # index_test: snapshot publishes, COW source table, concurrent eviction.
@@ -35,6 +41,10 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 #   shard-chaos test (concurrent queries + update fan-out racing
 #   AddShard/RemoveShard migrations), under the DPPR_TEST_TIMEOUT set at
 #   configure time above.
+# net_test: the network transport — epoll I/O thread vs handler pool vs
+#   service threads on the server, sender threads vs the multiplexing
+#   receiver on the client, and the router driving remote shards
+#   (NetFleetTest skips here: examples are not built under TSan).
 # Excluded: the oversubscription test pins an OpenMP team of 4, whose
 # libgomp barriers TSan cannot see (same reason OMP is pinned to 1 above);
 # its correctness claims are covered by the regular CI job.
@@ -42,5 +52,5 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 OMP_NUM_THREADS=1 \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/ci/tsan.supp" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -R '^(PprIndex|PprService|BoundedQueue|PprRouter|HashRing|RouterMigration)' \
+  -R '^(PprIndex|PprService|BoundedQueue|PprRouter|HashRing|RouterMigration|NetWire|PprServer|RemoteShard|NetFleet)' \
   -E 'OversubscribedThreads'

@@ -6,6 +6,7 @@
 //
 //   ./hub_server [--hubs=8] [--workers=3] [--clients=2] [--slides=12]
 //                [--k=5] [--seed=33] [--lru_cap=0] [--shards=1]
+//                [--listen=PORT] [--join=host:port,...]
 //
 // With --shards=1 (default) this drives a single PprService, exactly as
 // in PR 2. With --shards=N it stands up a ShardedPprService instead: N
@@ -16,8 +17,27 @@
 // then aggregates across shards, with latency percentiles computed from
 // the merged per-shard samples.
 //
+// Fleet mode turns those N simulated shards into N processes:
+//
+//   hub_server --listen=0 [--seed=33]       # one SHARD process: builds
+//       the same initial graph (same seed => identical replica), starts
+//       an EMPTY PprService behind a PprServer, prints
+//       "LISTENING <port>" and serves until SIGINT/SIGTERM;
+//   hub_server --join=host:p1,host:p2 [--shards=1]   # the ROUTER
+//       process: builds its local shards as usual, then joins each
+//       remote shard to the ring — migrating ~1/N of the hubs onto it
+//       OVER THE WIRE at unchanged epochs — and runs the exact demo the
+//       in-process sharded mode runs. --shards=0 makes it a pure routing
+//       front-end (hubs are then added through the ring after joining).
+//
+// The ring lives client-side (in the router process): shard processes
+// know nothing about each other, exactly as in the paper-adjacent
+// distributed PPR serving systems the README cites.
+//
 // The stream permutation seed defaults to a fixed value so the printed
 // tables are reproducible run-to-run; pass --seed to vary it.
+
+#include <csignal>
 
 #include <atomic>
 #include <cstdio>
@@ -31,6 +51,7 @@
 #include "gen/datasets.h"
 #include "graph/graph_stats.h"
 #include "index/ppr_index.h"
+#include "net/ppr_server.h"
 #include "router/sharded_service.h"
 #include "server/ppr_service.h"
 #include "stream/edge_stream.h"
@@ -40,6 +61,34 @@
 #include "util/timer.h"
 
 namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true, std::memory_order_release); }
+
+/// Splits "host:p1,host:p2" into endpoints; false on a malformed token.
+bool ParseEndpoints(const std::string& csv,
+                    std::vector<std::pair<std::string, int>>* out) {
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    size_t end = csv.find(',', begin);
+    if (end == std::string::npos) end = csv.size();
+    const std::string token = csv.substr(begin, end - begin);
+    const size_t colon = token.rfind(':');
+    if (colon == 0 || colon == std::string::npos ||
+        colon + 1 >= token.size()) {
+      return false;
+    }
+    try {
+      out->emplace_back(token.substr(0, colon),
+                        std::stoi(token.substr(colon + 1)));
+    } catch (const std::exception&) {
+      return false;
+    }
+    begin = end + 1;
+  }
+  return !out->empty();
+}
 
 /// The demo logic is identical for the unsharded and the sharded stack;
 /// this facade is the few calls it needs from either.
@@ -69,7 +118,19 @@ int main(int argc, char** argv) {
   const int k = static_cast<int>(args.GetInt("k", 5));
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 33));
   const auto lru_cap = static_cast<size_t>(args.GetInt("lru_cap", 0));
+  const bool listen_mode = args.Has("listen");
+  const int listen_port = static_cast<int>(args.GetInt("listen", 0));
+  const std::string join_csv = args.GetString("join", "");
   const int num_shards = static_cast<int>(args.GetInt("shards", 1));
+  std::vector<std::pair<std::string, int>> join_endpoints;
+  if (!join_csv.empty() && !ParseEndpoints(join_csv, &join_endpoints)) {
+    std::fprintf(stderr, "malformed --join (want host:port,host:port)\n");
+    return 1;
+  }
+  if (listen_mode && !join_endpoints.empty()) {
+    std::fprintf(stderr, "--listen and --join are different processes\n");
+    return 1;
+  }
 
   // Stream a pokec-like graph. The deterministic seed fixes the timestamp
   // permutation, so every run slides the same batches.
@@ -83,6 +144,49 @@ int main(int argc, char** argv) {
   const dppr::VertexId num_vertices = stream.NumVertices();
   dppr::DynamicGraph graph =
       dppr::DynamicGraph::FromEdges(initial, num_vertices);
+
+  // ONE options block for every mode — a fleet where shard processes and
+  // the router disagree on eps would serve answers with different
+  // accuracy bounds than the equivalence checks assume.
+  dppr::IndexOptions options;
+  options.ppr.eps = 1e-7;
+  options.max_materialized_sources = lru_cap;
+  dppr::ServiceOptions service_options;
+  service_options.num_workers = workers;
+  service_options.materialize_wait = std::chrono::milliseconds(500);
+
+  if (listen_mode) {
+    // SHARD PROCESS: the same graph replica (same seed => same bytes),
+    // an empty source set (the router migrates or adds hubs through the
+    // ring), one PprService, and the network skin in front of it.
+    dppr::PprIndex index(&graph, {}, options);
+    index.Initialize();
+    dppr::PprService service(&index, service_options);
+    service.Start();
+    dppr::net::PprServerOptions server_options;
+    server_options.port = listen_port;
+    dppr::net::PprServer server(&service, server_options);
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    // Machine-readable readiness line (the fleet tests parse it).
+    std::printf("LISTENING %d\n", server.port());
+    std::fflush(stdout);
+    while (!g_shutdown.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.Stop();  // before the service, so in-flight handlers resolve
+    service.Stop();
+    const dppr::MetricsReport report = service.Metrics();
+    std::printf("%s\n", report.ToString().c_str());
+    std::printf("shard served %lld queries, %lld protocol errors\n",
+                static_cast<long long>(report.queries_completed),
+                static_cast<long long>(server.protocol_errors()));
+    return 0;
+  }
 
   // Hubs = the highest-out-degree vertices (the HubPPR recipe). The next
   // vertex in that ranking is the "rising hub" promoted mid-run.
@@ -111,20 +215,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  dppr::IndexOptions options;
-  options.ppr.eps = 1e-7;
-  options.max_materialized_sources = lru_cap;
-  dppr::ServiceOptions service_options;
-  service_options.num_workers = workers;
-  service_options.materialize_wait = std::chrono::milliseconds(500);
-
-  // Stand up either serving stack behind the facade.
+  // Stand up either serving stack behind the facade (options were built
+  // once, above the --listen branch, so every process of a fleet agrees).
   std::unique_ptr<dppr::PprIndex> index;
   std::unique_ptr<dppr::PprService> service;
   std::unique_ptr<dppr::ShardedPprService> sharded;
   ServiceFacade facade;
   dppr::WallTimer init_timer;
-  if (num_shards <= 1) {
+  if (num_shards <= 1 && join_endpoints.empty()) {
     index = std::make_unique<dppr::PprIndex>(&graph, hubs, options);
     index->Initialize();
     service = std::make_unique<dppr::PprService>(index.get(),
@@ -157,9 +255,34 @@ int main(int argc, char** argv) {
     sharded_options.num_shards = num_shards;
     sharded_options.index = options;
     sharded_options.service = service_options;
+    // A pure routing front-end (--shards=0) owns no shard to place the
+    // initial hubs on; they are added through the ring after the joins.
+    const bool hubs_at_construction = num_shards > 0;
     sharded = std::make_unique<dppr::ShardedPprService>(
-        initial, num_vertices, hubs, sharded_options);
+        initial, num_vertices,
+        hubs_at_construction ? hubs : std::vector<dppr::VertexId>{},
+        sharded_options);
     sharded->Start();
+    for (const auto& [host, port] : join_endpoints) {
+      const int joined = sharded->AddRemoteShard(host, port);
+      if (joined < 0) {
+        std::fprintf(stderr,
+                     "could not join remote shard %s:%d (unreachable, "
+                     "non-empty, or serving a different graph)\n",
+                     host.c_str(), port);
+        return 1;
+      }
+      std::printf("joined remote shard %s:%d as shard %d\n", host.c_str(),
+                  port, joined);
+    }
+    if (!hubs_at_construction) {
+      for (dppr::VertexId hub : hubs) {
+        if (sharded->AddSource(hub).status != dppr::RequestStatus::kOk) {
+          std::fprintf(stderr, "could not add hub %d\n", hub);
+          return 1;
+        }
+      }
+    }
     std::printf("sharded hub index over %zu sources across %zu shards "
                 "built in %.1f ms (|V|=%d)\n",
                 sharded->NumSources(), sharded->NumShards(),
@@ -219,18 +342,24 @@ int main(int argc, char** argv) {
                    dppr::RequestStatusName(applied.status));
     }
     if (b == batches.size() / 2) {
-      (void)facade.add_source(rising_hub);
-      (void)facade.remove_source(hubs.back());
-      std::printf("mid-run hub churn: +%d (rising), -%d (retired)\n",
-                  rising_hub, hubs.back());
+      const dppr::MaintResponse risen = facade.add_source(rising_hub);
+      const dppr::MaintResponse retired = facade.remove_source(hubs.back());
+      std::printf("mid-run hub churn: +%d (rising, %s), -%d (retired, %s)\n",
+                  rising_hub, dppr::RequestStatusName(risen.status),
+                  hubs.back(), dppr::RequestStatusName(retired.status));
       if (sharded != nullptr) {
+        // Local growth needs a local graph replica to clone; a pure
+        // routing front-end (--shards=0 --join=...) has none and skips
+        // the demo growth.
         const int grown = sharded->AddShard();
-        const dppr::RouterReport report = sharded->Report();
-        std::printf("mid-run shard growth: +shard %d (%lld sources "
-                    "migrated, %lld blob bytes)\n",
-                    grown,
-                    static_cast<long long>(report.sources_migrated),
-                    static_cast<long long>(report.migration_bytes));
+        if (grown >= 0) {
+          const dppr::RouterReport report = sharded->Report();
+          std::printf("mid-run shard growth: +shard %d (%lld sources "
+                      "migrated, %lld blob bytes)\n",
+                      grown,
+                      static_cast<long long>(report.sources_migrated),
+                      static_cast<long long>(report.migration_bytes));
+        }
       }
       std::printf("\n");
     }
@@ -268,15 +397,18 @@ int main(int argc, char** argv) {
                   entry.entry.score);
     }
     std::printf("\n");
+  }
+  // Gather BEFORE Stop: a stopped fleet has disconnected its remote
+  // shards, and their metrics/source sets are unreachable afterwards.
+  const dppr::MetricsReport report = facade.metrics();
+  const bool hub_set_ok =
+      facade.has_source(rising_hub) && !facade.has_source(hubs.back());
+  if (sharded != nullptr) {
     sharded->Stop();
   } else {
     service->Stop();
   }
-  const dppr::MetricsReport report = facade.metrics();
   std::printf("\n%s\n", report.ToString().c_str());
-
-  const bool hub_set_ok =
-      facade.has_source(rising_hub) && !facade.has_source(hubs.back());
   std::printf("\nhub churn applied: %s; bad responses: %lld\n",
               hub_set_ok ? "yes" : "NO",
               static_cast<long long>(bad_responses.load()));

@@ -26,17 +26,14 @@ uint64_t Fnv1a(uint64_t hash, const void* data, size_t bytes) {
 
 constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
 
-using blob::Append;
-
-uint64_t PayloadChecksum(int32_t source, int64_t n,
-                         const std::vector<double>& p,
-                         const std::vector<double>& r) {
-  uint64_t checksum = kFnvSeed;
-  checksum = Fnv1a(checksum, &source, sizeof(source));
-  checksum = Fnv1a(checksum, &n, sizeof(n));
-  checksum = Fnv1a(checksum, p.data(), p.size() * sizeof(double));
-  checksum = Fnv1a(checksum, r.data(), r.size() * sizeof(double));
-  return checksum;
+/// Checksum over the ENCODED payload bytes (everything between the
+/// version field and the checksum itself), so the integrity check is a
+/// property of the wire bytes, not of host memory layout. On
+/// little-endian hosts this equals the historical checksum over raw
+/// struct memory — existing checkpoints stay loadable.
+uint64_t PayloadChecksum(const std::string& encoded, size_t payload_begin,
+                         size_t payload_bytes) {
+  return Fnv1a(kFnvSeed, encoded.data() + payload_begin, payload_bytes);
 }
 
 }  // namespace
@@ -44,22 +41,28 @@ uint64_t PayloadChecksum(int32_t source, int64_t n,
 Status SerializePprState(const PprState& state, std::string* out) {
   DPPR_CHECK(out != nullptr);
   DPPR_CHECK(state.p.size() == state.r.size());
-  const uint32_t magic = kMagic;
-  const uint32_t version = kVersion;
-  const int32_t source = state.source;
   const int64_t n = static_cast<int64_t>(state.p.size());
-  const uint64_t checksum = PayloadChecksum(source, n, state.p, state.r);
 
   out->clear();
-  out->reserve(sizeof(magic) + sizeof(version) + sizeof(source) + sizeof(n) +
-               2 * state.p.size() * sizeof(double) + sizeof(checksum));
-  Append(out, &magic, sizeof(magic));
-  Append(out, &version, sizeof(version));
-  Append(out, &source, sizeof(source));
-  Append(out, &n, sizeof(n));
-  Append(out, state.p.data(), state.p.size() * sizeof(double));
-  Append(out, state.r.data(), state.r.size() * sizeof(double));
-  Append(out, &checksum, sizeof(checksum));
+  out->reserve(2 * sizeof(uint32_t) + sizeof(int32_t) + sizeof(int64_t) +
+               2 * state.p.size() * sizeof(double) + sizeof(uint64_t));
+  blob::PutU32(out, kMagic);
+  blob::PutU32(out, kVersion);
+  const size_t payload_begin = out->size();
+  blob::PutI32(out, state.source);
+  blob::PutI64(out, n);
+  // The double arrays dominate a multi-megabyte blob; on little-endian
+  // hosts their in-memory bytes ARE the wire bytes, so bulk-copy them
+  // and keep the per-element encoding for big-endian hosts only.
+  if constexpr (std::endian::native == std::endian::little) {
+    blob::Append(out, state.p.data(), state.p.size() * sizeof(double));
+    blob::Append(out, state.r.data(), state.r.size() * sizeof(double));
+  } else {
+    for (const double v : state.p) blob::PutF64(out, v);
+    for (const double v : state.r) blob::PutF64(out, v);
+  }
+  blob::PutU64(out, PayloadChecksum(*out, payload_begin,
+                                    out->size() - payload_begin));
   return Status::OK();
 }
 
@@ -72,39 +75,53 @@ Status DeserializePprState(const std::string& blob, PprState* state) {
   uint32_t version = 0;
   int32_t source = kInvalidVertex;
   int64_t n = 0;
-  if (!reader.Take(&magic, sizeof(magic))) return fail("truncated header");
+  if (!reader.U32(&magic)) return fail("truncated header");
   if (magic != kMagic) return fail("bad magic (not a dppr checkpoint)");
-  if (!reader.Take(&version, sizeof(version))) {
+  if (!reader.U32(&version)) {
     return fail("truncated header");
   }
   if (version != kVersion) {
     return fail("unsupported checkpoint version " + std::to_string(version));
   }
-  if (!reader.Take(&source, sizeof(source)) || !reader.Take(&n, sizeof(n))) {
+  const size_t payload_begin = reader.pos;
+  if (!reader.I32(&source) || !reader.I64(&n)) {
     return fail("truncated header");
   }
   if (n < 0 || source < 0 || source >= n) return fail("implausible header");
   // Validate the advertised count against the bytes actually present
-  // BEFORE allocating: a bit-flipped n must yield Corruption, not a
-  // multi-terabyte vector allocation. (The first comparison also keeps
-  // the second one's arithmetic from wrapping.)
+  // BEFORE allocating: a bit-flipped (or hostile) n must yield Corruption,
+  // not a multi-terabyte vector allocation. (The first comparison also
+  // keeps the second one's arithmetic from wrapping.)
   if (static_cast<uint64_t>(n) > blob.size() / (2 * sizeof(double)) ||
       reader.Remaining() !=
           2 * static_cast<uint64_t>(n) * sizeof(double) + sizeof(uint64_t)) {
     return fail("payload size disagrees with header");
   }
+  const size_t payload_bytes =
+      reader.pos - payload_begin +
+      2 * static_cast<size_t>(n) * sizeof(double);
 
   std::vector<double> p(static_cast<size_t>(n));
   std::vector<double> r(static_cast<size_t>(n));
-  if (!reader.Take(p.data(), p.size() * sizeof(double)) ||
-      !reader.Take(r.data(), r.size() * sizeof(double))) {
-    return fail("truncated payload");
+  if constexpr (std::endian::native == std::endian::little) {
+    if (!reader.Take(p.data(), p.size() * sizeof(double)) ||
+        !reader.Take(r.data(), r.size() * sizeof(double))) {
+      return fail("truncated payload");
+    }
+  } else {
+    for (double& v : p) {
+      if (!reader.F64(&v)) return fail("truncated payload");
+    }
+    for (double& v : r) {
+      if (!reader.F64(&v)) return fail("truncated payload");
+    }
   }
   uint64_t stored_checksum = 0;
-  if (!reader.Take(&stored_checksum, sizeof(stored_checksum))) {
+  if (!reader.U64(&stored_checksum)) {
     return fail("missing checksum");
   }
-  if (PayloadChecksum(source, n, p, r) != stored_checksum) {
+  if (PayloadChecksum(blob, payload_begin, payload_bytes) !=
+      stored_checksum) {
     return fail("checksum mismatch");
   }
 

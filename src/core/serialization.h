@@ -8,6 +8,8 @@
 #ifndef DPPR_CORE_SERIALIZATION_H_
 #define DPPR_CORE_SERIALIZATION_H_
 
+#include <bit>
+#include <cstdint>
 #include <cstring>
 #include <string>
 
@@ -18,14 +20,48 @@ namespace dppr {
 namespace blob {
 
 /// Little shared codec helpers for the byte-blob formats (checkpoints,
-/// migration blobs). One definition so a bounds-check fix reaches every
-/// format.
+/// migration blobs, network frames). One definition so a bounds-check or
+/// endianness fix reaches every format.
+///
+/// All multi-byte values are LITTLE-ENDIAN BY CONSTRUCTION: the Put/Get
+/// helpers assemble bytes with shifts instead of memcpy-ing host memory,
+/// so the encoded bytes are identical on every architecture (and identical
+/// to what the historical memcpy encoding produced on x86/arm64).
 inline void Append(std::string* out, const void* data, size_t bytes) {
   out->append(static_cast<const char*>(data), bytes);
 }
 
-/// Sequential reader over a blob; Take() fails (returns false) on
-/// truncation instead of reading past the end.
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+inline void PutU16(std::string* out, uint16_t v) {
+  const char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  out->append(b, sizeof(b));
+}
+inline void PutU32(std::string* out, uint32_t v) {
+  const char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                     static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(b, sizeof(b));
+}
+inline void PutU64(std::string* out, uint64_t v) {
+  const char b[8] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                     static_cast<char>(v >> 16), static_cast<char>(v >> 24),
+                     static_cast<char>(v >> 32), static_cast<char>(v >> 40),
+                     static_cast<char>(v >> 48), static_cast<char>(v >> 56)};
+  out->append(b, sizeof(b));
+}
+inline void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+inline void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// Sequential reader over a blob; every Take/typed getter fails (returns
+/// false) on truncation instead of reading past the end.
 struct Reader {
   const std::string& blob;
   size_t pos = 0;
@@ -37,6 +73,47 @@ struct Reader {
     return true;
   }
   size_t Remaining() const { return blob.size() - pos; }
+
+  bool U8(uint8_t* v) { return Take(v, 1); }
+  bool U16(uint16_t* v) {
+    uint8_t b[2];
+    if (!Take(b, sizeof(b))) return false;
+    *v = static_cast<uint16_t>(b[0] | (b[1] << 8));
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    uint8_t b[4];
+    if (!Take(b, sizeof(b))) return false;
+    *v = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (!U32(&lo) || !U32(&hi)) return false;
+    *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+  bool I32(int32_t* v) {
+    uint32_t raw = 0;
+    if (!U32(&raw)) return false;
+    *v = static_cast<int32_t>(raw);
+    return true;
+  }
+  bool I64(int64_t* v) {
+    uint64_t raw = 0;
+    if (!U64(&raw)) return false;
+    *v = static_cast<int64_t>(raw);
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t raw = 0;
+    if (!U64(&raw)) return false;
+    *v = std::bit_cast<double>(raw);
+    return true;
+  }
 };
 
 }  // namespace blob

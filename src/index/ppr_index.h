@@ -260,6 +260,11 @@ class PprIndex {
 
   // --- Table inspection (safe from any thread) --------------------------
 
+  /// The graph this index maintains state over (not owned). The pointer is
+  /// fixed for the index's lifetime; mutating the graph is the
+  /// maintainer's privilege like every other maintenance call.
+  const DynamicGraph* graph() const { return graph_; }
+
   size_t NumSources() const { return CurrentTable()->slots.size(); }
   VertexId SourceVertex(size_t i) const;
   std::vector<VertexId> Sources() const;

@@ -11,25 +11,20 @@ namespace {
 constexpr uint32_t kMigrationMagic = 0x44504D47;  // "DPMG"
 constexpr uint32_t kMigrationVersion = 1;
 
-using blob::Append;
-
-// FNV-1a over the header fields, so a bit flip in source/epoch/flags is
-// caught even for an evicted source that carries no state payload (the
-// payload has its own checksum via the serialization codec).
-uint64_t HeaderChecksum(int32_t source, uint64_t epoch, uint8_t materialized,
-                        uint64_t state_bytes) {
+// FNV-1a over the ENCODED header field bytes (source..state_bytes), so a
+// bit flip in source/epoch/flags is caught even for an evicted source
+// that carries no state payload (the payload has its own checksum via
+// the serialization codec). Hashing the encoded little-endian bytes keeps
+// the checksum a property of the wire format, not of host endianness.
+uint64_t HeaderChecksum(const std::string& encoded, size_t begin,
+                        size_t bytes) {
   uint64_t hash = 0xcbf29ce484222325ULL;
-  auto mix = [&hash](const void* data, size_t bytes) {
-    const auto* p = static_cast<const uint8_t*>(data);
-    for (size_t i = 0; i < bytes; ++i) {
-      hash ^= p[i];
-      hash *= 0x100000001b3ULL;
-    }
-  };
-  mix(&source, sizeof(source));
-  mix(&epoch, sizeof(epoch));
-  mix(&materialized, sizeof(materialized));
-  mix(&state_bytes, sizeof(state_bytes));
+  const auto* p =
+      reinterpret_cast<const uint8_t*>(encoded.data()) + begin;
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
   return hash;
 }
 
@@ -43,26 +38,18 @@ Status EncodeMigrationBlob(const ExportedSource& src, std::string* out) {
       return st;
     }
   }
-  const uint32_t magic = kMigrationMagic;
-  const uint32_t version = kMigrationVersion;
-  const int32_t source = src.source;
-  const uint64_t epoch = src.epoch;
-  const uint8_t materialized = src.materialized ? 1 : 0;
-  const uint64_t state_bytes = state_blob.size();
-  const uint64_t checksum =
-      HeaderChecksum(source, epoch, materialized, state_bytes);
-
   out->clear();
-  out->reserve(sizeof(magic) + sizeof(version) + sizeof(source) +
-               sizeof(epoch) + sizeof(materialized) + sizeof(state_bytes) +
-               sizeof(checksum) + state_blob.size());
-  Append(out, &magic, sizeof(magic));
-  Append(out, &version, sizeof(version));
-  Append(out, &source, sizeof(source));
-  Append(out, &epoch, sizeof(epoch));
-  Append(out, &materialized, sizeof(materialized));
-  Append(out, &state_bytes, sizeof(state_bytes));
-  Append(out, &checksum, sizeof(checksum));
+  out->reserve(2 * sizeof(uint32_t) + sizeof(int32_t) + 3 * sizeof(uint64_t) +
+               1 + state_blob.size());
+  blob::PutU32(out, kMigrationMagic);
+  blob::PutU32(out, kMigrationVersion);
+  const size_t header_begin = out->size();
+  blob::PutI32(out, src.source);
+  blob::PutU64(out, src.epoch);
+  blob::PutU8(out, src.materialized ? 1 : 0);
+  blob::PutU64(out, static_cast<uint64_t>(state_blob.size()));
+  blob::PutU64(out,
+               HeaderChecksum(*out, header_begin, out->size() - header_begin));
   out->append(state_blob);
   return Status::OK();
 }
@@ -78,26 +65,28 @@ Status DecodeMigrationBlob(const std::string& encoded, ExportedSource* out) {
   uint8_t materialized = 0;
   uint64_t state_bytes = 0;
   uint64_t stored_checksum = 0;
-  if (!reader.Take(&magic, sizeof(magic))) {
+  if (!reader.U32(&magic)) {
     return fail("truncated migration header");
   }
   if (magic != kMigrationMagic) {
     return fail("bad magic (not a migration blob)");
   }
-  if (!reader.Take(&version, sizeof(version))) {
+  if (!reader.U32(&version)) {
     return fail("truncated migration header");
   }
   if (version != kMigrationVersion) {
     return fail("unsupported migration version " + std::to_string(version));
   }
-  if (!reader.Take(&source, sizeof(source)) ||
-      !reader.Take(&epoch, sizeof(epoch)) ||
-      !reader.Take(&materialized, sizeof(materialized)) ||
-      !reader.Take(&state_bytes, sizeof(state_bytes)) ||
-      !reader.Take(&stored_checksum, sizeof(stored_checksum))) {
+  const size_t header_begin = reader.pos;
+  if (!reader.I32(&source) || !reader.U64(&epoch) ||
+      !reader.U8(&materialized) || !reader.U64(&state_bytes)) {
     return fail("truncated migration header");
   }
-  if (HeaderChecksum(source, epoch, materialized, state_bytes) !=
+  const size_t header_bytes = reader.pos - header_begin;
+  if (!reader.U64(&stored_checksum)) {
+    return fail("truncated migration header");
+  }
+  if (HeaderChecksum(encoded, header_begin, header_bytes) !=
       stored_checksum) {
     return fail("migration header checksum mismatch");
   }

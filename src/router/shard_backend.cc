@@ -1,0 +1,228 @@
+#include "router/shard_backend.h"
+
+#include <utility>
+
+#include "router/migration.h"
+#include "util/macros.h"
+
+namespace dppr {
+
+// ------------------------------------------------------ LocalShardBackend
+
+LocalShardBackend::LocalShardBackend(const std::vector<Edge>& edges,
+                                     VertexId num_vertices,
+                                     std::vector<VertexId> sources,
+                                     const IndexOptions& index_options,
+                                     const ServiceOptions& service_options)
+    : graph_(std::make_unique<DynamicGraph>(
+          DynamicGraph::FromEdges(edges, num_vertices))),
+      index_(std::make_unique<PprIndex>(graph_.get(), std::move(sources),
+                                        index_options)),
+      service_(
+          std::make_unique<PprService>(index_.get(), service_options)) {}
+
+void LocalShardBackend::Start() {
+  index_->Initialize();
+  service_->Start();
+}
+
+void LocalShardBackend::Stop() { service_->Stop(); }
+
+std::future<QueryResponse> LocalShardBackend::QueryVertexAsync(
+    VertexId s, VertexId v, int64_t deadline_ms) {
+  return service_->QueryVertexAsync(s, v, deadline_ms);
+}
+
+std::future<QueryResponse> LocalShardBackend::TopKAsync(
+    VertexId s, int k, int64_t deadline_ms) {
+  return service_->TopKAsync(s, k, deadline_ms);
+}
+
+std::future<std::vector<QueryResponse>> LocalShardBackend::MultiSourceAsync(
+    std::vector<VertexId> sources, VertexId v, int64_t deadline_ms) {
+  // Submit everything now (so the requests queue concurrently); defer
+  // only the gather to the caller's .get().
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(sources.size());
+  for (VertexId s : sources) {
+    futures.push_back(service_->QueryVertexAsync(s, v, deadline_ms));
+  }
+  return std::async(
+      std::launch::deferred,
+      [futures = std::move(futures)]() mutable {
+        std::vector<QueryResponse> responses;
+        responses.reserve(futures.size());
+        for (auto& future : futures) responses.push_back(future.get());
+        return responses;
+      });
+}
+
+std::future<MaintResponse> LocalShardBackend::ApplyUpdatesAsync(
+    const UpdateBatch& batch) {
+  return service_->ApplyUpdatesAsync(batch);
+}
+
+std::future<MaintResponse> LocalShardBackend::AddSourceAsync(VertexId s) {
+  return service_->AddSourceAsync(s);
+}
+
+std::future<MaintResponse> LocalShardBackend::RemoveSourceAsync(
+    VertexId s) {
+  return service_->RemoveSourceAsync(s);
+}
+
+std::future<MaintResponse> LocalShardBackend::QuiesceAsync() {
+  return service_->QuiesceAsync();
+}
+
+MaintResponse LocalShardBackend::ExtractBlob(VertexId s,
+                                             std::string* blob) {
+  ExportedSource exported;
+  const MaintResponse response =
+      service_->ExtractSourceAsync(s, &exported).get();
+  if (response.status != RequestStatus::kOk) return response;
+  const Status st = EncodeMigrationBlob(exported, blob);
+  DPPR_CHECK_MSG(st.ok(), st.message().c_str());
+  return response;
+}
+
+MaintResponse LocalShardBackend::InjectBlob(const std::string& blob) {
+  ExportedSource incoming;
+  if (!DecodeMigrationBlob(blob, &incoming).ok()) {
+    MaintResponse response;
+    response.status = RequestStatus::kRejected;
+    return response;
+  }
+  return service_->InjectSourceAsync(std::move(incoming)).get();
+}
+
+std::vector<VertexId> LocalShardBackend::Sources() const {
+  return index_->Sources();
+}
+
+size_t LocalShardBackend::NumSources() const {
+  return index_->NumSources();
+}
+
+bool LocalShardBackend::HasSource(VertexId s) const {
+  return index_->HasSource(s);
+}
+
+MetricsReport LocalShardBackend::Metrics() const {
+  return service_->Metrics();
+}
+
+void LocalShardBackend::MergeLatenciesInto(Histogram* query_ms,
+                                           Histogram* batch_ms) const {
+  service_->MergeLatenciesInto(query_ms, batch_ms);
+}
+
+// ----------------------------------------------------- RemoteShardBackend
+
+RemoteShardBackend::RemoteShardBackend(
+    const net::RemoteClientOptions& options)
+    : client_(std::make_unique<net::RemoteShardClient>(options)) {}
+
+Status RemoteShardBackend::Connect(const std::string& host, int port) {
+  return client_->Connect(host, port);
+}
+
+Status RemoteShardBackend::FetchStats(net::ShardStats* out) const {
+  return client_->Stats(/*include_samples=*/false, out);
+}
+
+void RemoteShardBackend::Stop() { client_->Disconnect(); }
+
+std::future<QueryResponse> RemoteShardBackend::QueryVertexAsync(
+    VertexId s, VertexId v, int64_t deadline_ms) {
+  return client_->QueryVertexAsync(s, v, deadline_ms);
+}
+
+std::future<QueryResponse> RemoteShardBackend::TopKAsync(
+    VertexId s, int k, int64_t deadline_ms) {
+  return client_->TopKAsync(s, k, deadline_ms);
+}
+
+std::future<std::vector<QueryResponse>>
+RemoteShardBackend::MultiSourceAsync(std::vector<VertexId> sources,
+                                     VertexId v, int64_t deadline_ms) {
+  return client_->MultiSourceAsync(std::move(sources), v, deadline_ms);
+}
+
+std::future<MaintResponse> RemoteShardBackend::ApplyUpdatesAsync(
+    const UpdateBatch& batch) {
+  return client_->ApplyUpdatesAsync(batch);
+}
+
+std::future<MaintResponse> RemoteShardBackend::AddSourceAsync(VertexId s) {
+  return client_->AddSourceAsync(s);
+}
+
+std::future<MaintResponse> RemoteShardBackend::RemoveSourceAsync(
+    VertexId s) {
+  return client_->RemoveSourceAsync(s);
+}
+
+std::future<MaintResponse> RemoteShardBackend::QuiesceAsync() {
+  return client_->QuiesceAsync();
+}
+
+MaintResponse RemoteShardBackend::ExtractBlob(VertexId s,
+                                              std::string* blob) {
+  return client_->ExtractBlob(s, blob);
+}
+
+MaintResponse RemoteShardBackend::InjectBlob(const std::string& blob) {
+  return client_->InjectBlob(blob);
+}
+
+std::vector<VertexId> RemoteShardBackend::Sources() const {
+  std::vector<VertexId> sources;
+  // A dead connection answers "no sources" — the router's per-request
+  // statuses (kUnavailable) carry the failure story, not introspection.
+  (void)client_->ListSources(&sources);
+  return sources;
+}
+
+size_t RemoteShardBackend::NumSources() const {
+  // Fixed-size kStats reply instead of shipping the whole source list.
+  net::ShardStats stats;
+  if (!client_->Stats(/*include_samples=*/false, &stats).ok()) return 0;
+  return static_cast<size_t>(stats.num_sources);
+}
+
+bool RemoteShardBackend::HasSource(VertexId s) const {
+  const std::vector<VertexId> sources = Sources();
+  for (VertexId candidate : sources) {
+    if (candidate == s) return true;
+  }
+  return false;
+}
+
+MetricsReport RemoteShardBackend::Metrics() const {
+  net::ShardStats stats;
+  if (!client_->Stats(/*include_samples=*/false, &stats).ok()) {
+    return MetricsReport{};
+  }
+  return stats.report;
+}
+
+void RemoteShardBackend::MergeLatenciesInto(Histogram* query_ms,
+                                            Histogram* batch_ms) const {
+  net::ShardStats stats;
+  if (!client_->Stats(/*include_samples=*/true, &stats).ok()) return;
+  for (double v : stats.query_latency_samples) query_ms->Add(v);
+  for (double v : stats.batch_latency_samples) batch_ms->Add(v);
+}
+
+void RemoteShardBackend::SnapshotMetrics(MetricsReport* report,
+                                         Histogram* query_ms,
+                                         Histogram* batch_ms) const {
+  net::ShardStats stats;
+  if (!client_->Stats(/*include_samples=*/true, &stats).ok()) return;
+  *report = stats.report;
+  for (double v : stats.query_latency_samples) query_ms->Add(v);
+  for (double v : stats.batch_latency_samples) batch_ms->Add(v);
+}
+
+}  // namespace dppr

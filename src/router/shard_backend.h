@@ -1,0 +1,186 @@
+// ShardBackend — the one interface the router routes through, with a
+// local and a remote implementation.
+//
+// PR 3's router owned its shards outright (graph + index + service in
+// one struct). Pulling that surface into an interface is what turns
+// `--shards` into a fleet: LocalShardBackend is the old in-process stack,
+// RemoteShardBackend is a RemoteShardClient speaking the src/net wire
+// protocol to a PprServer in another process — and the router cannot
+// tell them apart. Migration crosses this interface as ENCODED blobs
+// (ExtractBlob/InjectBlob), not ExportedSource objects, so a source
+// moving local->remote, remote->local, or remote->remote ships exactly
+// the bytes the in-process router always round-tripped; the checksum is
+// verified on whichever side decodes.
+
+#ifndef DPPR_ROUTER_SHARD_BACKEND_H_
+#define DPPR_ROUTER_SHARD_BACKEND_H_
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "index/ppr_index.h"
+#include "net/remote_client.h"
+#include "server/ppr_service.h"
+#include "util/histogram.h"
+
+namespace dppr {
+
+/// \brief One shard as the router sees it. See file comment.
+///
+/// Thread-safety matches PprService: everything is safe from any thread
+/// once Start() ran, except Start/Stop themselves (the router serializes
+/// those under its exclusive lock).
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  virtual void Start() = 0;
+  virtual void Stop() = 0;
+
+  virtual std::future<QueryResponse> QueryVertexAsync(
+      VertexId s, VertexId v, int64_t deadline_ms) = 0;
+  virtual std::future<QueryResponse> TopKAsync(VertexId s, int k,
+                                               int64_t deadline_ms) = 0;
+  /// p[v] for several sources this shard owns; the returned vector is in
+  /// request order and sized like `sources`. Remote: one round trip.
+  virtual std::future<std::vector<QueryResponse>> MultiSourceAsync(
+      std::vector<VertexId> sources, VertexId v, int64_t deadline_ms) = 0;
+  virtual std::future<MaintResponse> ApplyUpdatesAsync(
+      const UpdateBatch& batch) = 0;
+  virtual std::future<MaintResponse> AddSourceAsync(VertexId s) = 0;
+  virtual std::future<MaintResponse> RemoveSourceAsync(VertexId s) = 0;
+  virtual std::future<MaintResponse> QuiesceAsync() = 0;
+
+  /// Lifts source `s` out of this shard as a checksummed migration blob.
+  /// Blocking; kShedQueueFull is retryable (the router's migration loop
+  /// does), anything else is final.
+  virtual MaintResponse ExtractBlob(VertexId s, std::string* blob) = 0;
+  /// Installs a migration blob produced by any backend's ExtractBlob.
+  virtual MaintResponse InjectBlob(const std::string& blob) = 0;
+
+  virtual std::vector<VertexId> Sources() const = 0;
+  virtual size_t NumSources() const = 0;
+  virtual bool HasSource(VertexId s) const = 0;
+
+  virtual MetricsReport Metrics() const = 0;
+  /// Pools this shard's exact latency samples into the caller's
+  /// histograms (remote: shipped over the wire, still exact).
+  virtual void MergeLatenciesInto(Histogram* query_ms,
+                                  Histogram* batch_ms) const = 0;
+  /// Counters AND samples in one observation. For a remote shard this is
+  /// a single kStats round trip, so the two views come from the same
+  /// instant (and half the RPCs of calling the two methods above).
+  virtual void SnapshotMetrics(MetricsReport* report, Histogram* query_ms,
+                               Histogram* batch_ms) const {
+    *report = Metrics();
+    MergeLatenciesInto(query_ms, batch_ms);
+  }
+
+  /// The in-process graph replica, or nullptr for a remote shard. The
+  /// router clones a local donor's graph when it grows a local shard.
+  virtual const DynamicGraph* LocalGraph() const { return nullptr; }
+
+  /// "local" or "host:port" — log/debug labeling only.
+  virtual std::string Describe() const = 0;
+};
+
+/// \brief The in-process serving stack of PR 3: an owned graph replica,
+/// PprIndex, and PprService.
+class LocalShardBackend : public ShardBackend {
+ public:
+  LocalShardBackend(const std::vector<Edge>& edges, VertexId num_vertices,
+                    std::vector<VertexId> sources,
+                    const IndexOptions& index_options,
+                    const ServiceOptions& service_options);
+
+  void Start() override;
+  void Stop() override;
+
+  std::future<QueryResponse> QueryVertexAsync(VertexId s, VertexId v,
+                                              int64_t deadline_ms) override;
+  std::future<QueryResponse> TopKAsync(VertexId s, int k,
+                                       int64_t deadline_ms) override;
+  std::future<std::vector<QueryResponse>> MultiSourceAsync(
+      std::vector<VertexId> sources, VertexId v,
+      int64_t deadline_ms) override;
+  std::future<MaintResponse> ApplyUpdatesAsync(
+      const UpdateBatch& batch) override;
+  std::future<MaintResponse> AddSourceAsync(VertexId s) override;
+  std::future<MaintResponse> RemoveSourceAsync(VertexId s) override;
+  std::future<MaintResponse> QuiesceAsync() override;
+
+  MaintResponse ExtractBlob(VertexId s, std::string* blob) override;
+  MaintResponse InjectBlob(const std::string& blob) override;
+
+  std::vector<VertexId> Sources() const override;
+  size_t NumSources() const override;
+  bool HasSource(VertexId s) const override;
+  MetricsReport Metrics() const override;
+  void MergeLatenciesInto(Histogram* query_ms,
+                          Histogram* batch_ms) const override;
+  const DynamicGraph* LocalGraph() const override { return graph_.get(); }
+  std::string Describe() const override { return "local"; }
+
+  PprService* service() { return service_.get(); }
+
+ private:
+  std::unique_ptr<DynamicGraph> graph_;
+  std::unique_ptr<PprIndex> index_;
+  std::unique_ptr<PprService> service_;
+};
+
+/// \brief A shard living in another process, reached through the
+/// src/net transport. Start() is a no-op (the remote operator started
+/// it); Stop() merely disconnects — leaving a fleet does not stop its
+/// shards.
+class RemoteShardBackend : public ShardBackend {
+ public:
+  explicit RemoteShardBackend(const net::RemoteClientOptions& options = {});
+
+  /// Dials the shard. Must succeed before the backend joins the ring.
+  Status Connect(const std::string& host, int port);
+  /// Health probe used at join time (graph size, emptiness, liveness).
+  Status FetchStats(net::ShardStats* out) const;
+  bool connected() const { return client_->connected(); }
+
+  void Start() override {}
+  void Stop() override;
+
+  std::future<QueryResponse> QueryVertexAsync(VertexId s, VertexId v,
+                                              int64_t deadline_ms) override;
+  std::future<QueryResponse> TopKAsync(VertexId s, int k,
+                                       int64_t deadline_ms) override;
+  std::future<std::vector<QueryResponse>> MultiSourceAsync(
+      std::vector<VertexId> sources, VertexId v,
+      int64_t deadline_ms) override;
+  std::future<MaintResponse> ApplyUpdatesAsync(
+      const UpdateBatch& batch) override;
+  std::future<MaintResponse> AddSourceAsync(VertexId s) override;
+  std::future<MaintResponse> RemoveSourceAsync(VertexId s) override;
+  std::future<MaintResponse> QuiesceAsync() override;
+
+  MaintResponse ExtractBlob(VertexId s, std::string* blob) override;
+  MaintResponse InjectBlob(const std::string& blob) override;
+
+  std::vector<VertexId> Sources() const override;
+  size_t NumSources() const override;
+  bool HasSource(VertexId s) const override;
+  MetricsReport Metrics() const override;
+  void MergeLatenciesInto(Histogram* query_ms,
+                          Histogram* batch_ms) const override;
+  void SnapshotMetrics(MetricsReport* report, Histogram* query_ms,
+                       Histogram* batch_ms) const override;
+  std::string Describe() const override { return client_->endpoint(); }
+
+ private:
+  // unique_ptr so const introspection methods can issue (non-const) RPCs.
+  std::unique_ptr<net::RemoteShardClient> client_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_ROUTER_SHARD_BACKEND_H_

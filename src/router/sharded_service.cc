@@ -4,7 +4,6 @@
 #include <thread>
 #include <utility>
 
-#include "router/migration.h"
 #include "util/macros.h"
 
 namespace dppr {
@@ -49,9 +48,14 @@ ShardedPprService::ShardedPprService(const std::vector<Edge>& initial_edges,
                                      VertexId num_vertices,
                                      std::vector<VertexId> sources,
                                      const ShardedServiceOptions& options)
-    : options_(options), ring_(options.vnodes_per_shard) {
-  DPPR_CHECK(options.num_shards >= 1);
+    : options_(options),
+      num_vertices_(num_vertices),
+      ring_(options.vnodes_per_shard) {
+  DPPR_CHECK(options.num_shards >= 0);
   DPPR_CHECK(options.reroute_retry_limit >= 0);
+  DPPR_CHECK_MSG(options.num_shards > 0 || sources.empty(),
+                 "a shardless router cannot place initial sources; join "
+                 "shards first, then AddSource");
   for (int i = 0; i < options.num_shards; ++i) {
     ring_.AddShard(next_shard_id_++);
   }
@@ -76,12 +80,9 @@ std::unique_ptr<ShardedPprService::Shard> ShardedPprService::BuildShard(
     std::vector<VertexId> sources) const {
   auto shard = std::make_unique<Shard>();
   shard->id = id;
-  shard->graph = std::make_unique<DynamicGraph>(
-      DynamicGraph::FromEdges(edges, num_vertices));
-  shard->index = std::make_unique<PprIndex>(
-      shard->graph.get(), std::move(sources), options_.index);
-  shard->service =
-      std::make_unique<PprService>(shard->index.get(), options_.service);
+  shard->backend = std::make_unique<LocalShardBackend>(
+      edges, num_vertices, std::move(sources), options_.index,
+      options_.service);
   return shard;
 }
 
@@ -90,17 +91,14 @@ void ShardedPprService::Start() {
   DPPR_CHECK_MSG(!started_ && !stopped_,
                  "ShardedPprService is single-use: Start may run once");
   started_ = true;
-  for (auto& shard : shards_) {
-    shard->index->Initialize();
-    shard->service->Start();
-  }
+  for (auto& shard : shards_) shard->backend->Start();
 }
 
 void ShardedPprService::Stop() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (!started_ || stopped_) return;
   stopped_ = true;
-  for (auto& shard : shards_) shard->service->Stop();
+  for (auto& shard : shards_) shard->backend->Stop();
 }
 
 // ------------------------------------------------------------- routing
@@ -123,7 +121,7 @@ std::future<QueryResponse> ShardedPprService::QueryVertexAsync(
   if (!started_ || stopped_) return ReadyQueryResponse(RequestStatus::kClosed);
   Shard* shard = OwnerShard(s);
   if (shard == nullptr) return ReadyQueryResponse(RequestStatus::kClosed);
-  return shard->service->QueryVertexAsync(s, v, deadline_ms);
+  return shard->backend->QueryVertexAsync(s, v, deadline_ms);
 }
 
 std::future<QueryResponse> ShardedPprService::TopKAsync(VertexId s, int k,
@@ -132,7 +130,7 @@ std::future<QueryResponse> ShardedPprService::TopKAsync(VertexId s, int k,
   if (!started_ || stopped_) return ReadyQueryResponse(RequestStatus::kClosed);
   Shard* shard = OwnerShard(s);
   if (shard == nullptr) return ReadyQueryResponse(RequestStatus::kClosed);
-  return shard->service->TopKAsync(s, k, deadline_ms);
+  return shard->backend->TopKAsync(s, k, deadline_ms);
 }
 
 QueryResponse ShardedPprService::Query(VertexId s, VertexId v,
@@ -172,7 +170,7 @@ MaintResponse ShardedPprService::AddSource(VertexId s) {
     if (!started_ || stopped_) return MaintStatus(RequestStatus::kClosed);
     Shard* shard = OwnerShard(s);
     if (shard == nullptr) return MaintStatus(RequestStatus::kClosed);
-    future = shard->service->AddSourceAsync(s);
+    future = shard->backend->AddSourceAsync(s);
   }
   return future.get();
 }
@@ -184,7 +182,7 @@ MaintResponse ShardedPprService::RemoveSource(VertexId s) {
     if (!started_ || stopped_) return MaintStatus(RequestStatus::kClosed);
     Shard* shard = OwnerShard(s);
     if (shard == nullptr) return MaintStatus(RequestStatus::kClosed);
-    future = shard->service->RemoveSourceAsync(s);
+    future = shard->backend->RemoveSourceAsync(s);
   }
   return future.get();
 }
@@ -207,7 +205,7 @@ MaintResponse ShardedPprService::ApplyUpdates(UpdateBatch batch) {
     std::vector<std::future<MaintResponse>> futures;
     futures.reserve(pending.size());
     for (Shard* shard : pending) {
-      futures.push_back(shard->service->ApplyUpdatesAsync(batch));
+      futures.push_back(shard->backend->ApplyUpdatesAsync(batch));
     }
     std::vector<Shard*> shed;
     for (size_t i = 0; i < futures.size(); ++i) {
@@ -215,8 +213,11 @@ MaintResponse ShardedPprService::ApplyUpdates(UpdateBatch batch) {
       if (response.status == RequestStatus::kShedQueueFull) {
         shed.push_back(pending[i]);
       } else if (response.status != RequestStatus::kOk) {
-        // kClosed: shutdown. Divergence is moot — every later read from
-        // any shard answers kClosed too.
+        // kClosed: shutdown (every later read answers kClosed too).
+        // kUnavailable: a remote shard died mid-feed — its replica is
+        // behind the moment the survivors apply this batch, so the error
+        // MUST surface; the operator removes the shard or re-joins a
+        // fresh twin. Either way, retrying here cannot help.
         return response;
       }
     }
@@ -242,27 +243,55 @@ MaintResponse ShardedPprService::ApplyUpdates(UpdateBatch batch) {
 
 std::vector<QueryResponse> ShardedPprService::MultiSourceQuery(
     const std::vector<VertexId>& sources, VertexId v, int64_t deadline_ms) {
-  std::vector<std::future<QueryResponse>> futures;
-  futures.reserve(sources.size());
+  // Group the sources by owning shard so a shard is asked ONCE per
+  // multi-read — for a remote shard that is one round trip instead of
+  // one per source.
+  struct ShardGroup {
+    Shard* shard = nullptr;
+    std::vector<VertexId> sources;
+    std::vector<size_t> positions;  ///< indices into the caller's order
+    std::future<std::vector<QueryResponse>> future;
+  };
+  std::vector<ShardGroup> groups;
+  std::vector<QueryResponse> responses(sources.size());
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    for (VertexId s : sources) {
-      if (!started_ || stopped_) {
-        futures.push_back(ReadyQueryResponse(RequestStatus::kClosed));
+    for (size_t i = 0; i < sources.size(); ++i) {
+      Shard* shard = nullptr;
+      if (started_ && !stopped_) shard = OwnerShard(sources[i]);
+      if (shard == nullptr) {
+        responses[i].status = RequestStatus::kClosed;
         continue;
       }
-      Shard* shard = OwnerShard(s);
-      futures.push_back(shard == nullptr
-                            ? ReadyQueryResponse(RequestStatus::kClosed)
-                            : shard->service->QueryVertexAsync(s, v,
-                                                               deadline_ms));
+      ShardGroup* group = nullptr;
+      for (ShardGroup& candidate : groups) {
+        if (candidate.shard == shard) {
+          group = &candidate;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        groups.push_back(ShardGroup{});
+        groups.back().shard = shard;
+        group = &groups.back();
+      }
+      group->sources.push_back(sources[i]);
+      group->positions.push_back(i);
+    }
+    for (ShardGroup& group : groups) {
+      group.future = group.shard->backend->MultiSourceAsync(
+          group.sources, v, deadline_ms);
     }
   }
-  // Gather outside the lock: the responses come from shard workers, which
-  // never need the routing lock.
-  std::vector<QueryResponse> responses;
-  responses.reserve(futures.size());
-  for (auto& future : futures) responses.push_back(future.get());
+  // Gather outside the lock: the responses come from shard workers (or
+  // the remote receiver thread), which never need the routing lock.
+  for (ShardGroup& group : groups) {
+    std::vector<QueryResponse> shard_responses = group.future.get();
+    DPPR_CHECK(shard_responses.size() == group.positions.size());
+    for (size_t i = 0; i < group.positions.size(); ++i) {
+      responses[group.positions[i]] = std::move(shard_responses[i]);
+    }
+  }
   return responses;
 }
 
@@ -273,9 +302,9 @@ GlobalTopKResult ShardedPprService::GlobalTopK(int k, int64_t deadline_ms) {
     std::shared_lock<std::shared_mutex> lock(mu_);
     if (started_ && !stopped_) {
       for (const auto& shard : shards_) {
-        for (VertexId s : shard->index->Sources()) {
+        for (VertexId s : shard->backend->Sources()) {
           queried.push_back(s);
-          futures.push_back(shard->service->TopKAsync(s, k, deadline_ms));
+          futures.push_back(shard->backend->TopKAsync(s, k, deadline_ms));
         }
       }
     }
@@ -317,34 +346,39 @@ void ShardedPprService::QuiesceAllLocked() {
   std::vector<std::pair<Shard*, std::future<MaintResponse>>> barriers;
   barriers.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    barriers.emplace_back(shard.get(), shard->service->QuiesceAsync());
+    barriers.emplace_back(shard.get(), shard->backend->QuiesceAsync());
   }
   for (auto& [shard, future] : barriers) {
     for (;;) {
       const RequestStatus status = future.get().status;
       if (status == RequestStatus::kOk) break;
+      // A dead remote shard has nothing left to drain — and RemoveShard
+      // of exactly that shard is the operator's remedy for its death, so
+      // the barrier must not abort on it. (Its sources are unreachable;
+      // Sources() answers empty, so migration skips it too.)
+      if (status == RequestStatus::kUnavailable) break;
       // A shed barrier means the maintenance queue was full at submit
       // time. The exclusive lock blocks new update fan-outs, so the queue
       // only drains — re-arm until the barrier fits.
       DPPR_CHECK_MSG(status == RequestStatus::kShedQueueFull,
                      "quiesce barrier refused");
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      future = shard->service->QuiesceAsync();
+      future = shard->backend->QuiesceAsync();
     }
   }
 }
 
 namespace {
 
-/// Retries a maintenance-hook submission while the shard's queue sheds
-/// it: workers keep filing fire-and-forget materialization requests
-/// during a migration (they never take the router lock), so the queue
-/// can legitimately be full. With the feed blocked by the exclusive
-/// lock the queue drains, so the retry terminates.
+/// Retries a blocking migration hook while the shard's queue sheds it:
+/// workers keep filing fire-and-forget materialization requests during a
+/// migration (they never take the router lock), so the queue can
+/// legitimately be full. With the feed blocked by the exclusive lock the
+/// queue drains, so the retry terminates.
 template <typename Submit>
 MaintResponse SubmitWithRetry(const Submit& submit) {
   for (;;) {
-    MaintResponse response = submit().get();
+    MaintResponse response = submit();
     if (response.status != RequestStatus::kShedQueueFull) return response;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
@@ -355,35 +389,28 @@ MaintResponse SubmitWithRetry(const Submit& submit) {
 size_t ShardedPprService::MigrateSourcesLocked(
     Shard* from, const ConsistentHashRing& ring) {
   size_t moved = 0;
-  for (VertexId s : from->index->Sources()) {
+  for (VertexId s : from->backend->Sources()) {
     const int target_id = ring.OwnerOf(s);
     if (target_id == from->id) continue;
     Shard* to = FindShard(target_id);
     DPPR_CHECK_MSG(to != nullptr, "ring names a shard the router lacks");
 
-    ExportedSource exported;
+    // The blob is the unit of migration: in-process it is a memcpy-round-
+    // trip through the checksummed codec, across processes the SAME bytes
+    // ride a kExtractSource/kInjectSource frame pair. A failure here is
+    // unrecoverable by retry (the replicas have no way to re-agree), so
+    // it is a crash, not a status — replication is the ROADMAP item that
+    // buys a second copy to fall back on.
+    std::string blob;
     const MaintResponse extracted = SubmitWithRetry(
-        [&] { return from->service->ExtractSourceAsync(s, &exported); });
+        [&] { return from->backend->ExtractBlob(s, &blob); });
     DPPR_CHECK_MSG(extracted.status == RequestStatus::kOk,
                    "extract of a listed source failed");
-
-    // Wire round-trip: the blob is what a network transport would ship;
-    // decoding re-verifies the checksum on the receiving side.
-    std::string blob;
-    Status st = EncodeMigrationBlob(exported, &blob);
-    DPPR_CHECK_MSG(st.ok(), st.message().c_str());
     migration_bytes_.fetch_add(static_cast<int64_t>(blob.size()),
                                std::memory_order_relaxed);
-    ExportedSource received;
-    st = DecodeMigrationBlob(blob, &received);
-    DPPR_CHECK_MSG(st.ok(), st.message().c_str());
 
-    // `received` must survive re-submission attempts, so move it in only
-    // once the queue accepts — a shed TryPush leaves the request (and
-    // its payload) intact, but going through a copy keeps this simple.
-    const MaintResponse injected = SubmitWithRetry([&] {
-      return to->service->InjectSourceAsync(received);
-    });
+    const MaintResponse injected = SubmitWithRetry(
+        [&] { return to->backend->InjectBlob(blob); });
     DPPR_CHECK_MSG(injected.status == RequestStatus::kOk,
                    "inject into the new owner failed");
     ++moved;
@@ -393,19 +420,8 @@ size_t ShardedPprService::MigrateSourcesLocked(
   return moved;
 }
 
-int ShardedPprService::AddShard() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (!started_ || stopped_) return -1;
-  QuiesceAllLocked();
-
-  // All replicas are identical once quiesced; clone any of them.
-  const Shard* donor = shards_.front().get();
-  const int id = next_shard_id_++;
-  auto fresh = BuildShard(id, donor->graph->ToEdgeList(),
-                          donor->graph->NumVertices(), {});
-  fresh->index->Initialize();  // no sources yet: publishes nothing
-  fresh->service->Start();
-
+void ShardedPprService::AdmitShardLocked(std::unique_ptr<Shard> fresh) {
+  const int id = fresh->id;
   ConsistentHashRing next_ring = ring_;
   next_ring.AddShard(id);
   shards_.push_back(std::move(fresh));
@@ -413,6 +429,60 @@ int ShardedPprService::AddShard() {
     if (shard->id != id) MigrateSourcesLocked(shard.get(), next_ring);
   }
   ring_ = next_ring;
+}
+
+int ShardedPprService::AddShard() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return -1;
+  // Growing locally needs a local graph to clone; a pure routing
+  // front-end over remote shards has none.
+  const DynamicGraph* donor_graph = nullptr;
+  for (const auto& shard : shards_) {
+    donor_graph = shard->backend->LocalGraph();
+    if (donor_graph != nullptr) break;
+  }
+  if (donor_graph == nullptr) return -1;
+  QuiesceAllLocked();
+
+  // All replicas are identical once quiesced; clone any local one.
+  const int id = next_shard_id_++;
+  auto fresh = BuildShard(id, donor_graph->ToEdgeList(),
+                          donor_graph->NumVertices(), {});
+  fresh->backend->Start();  // no sources yet: publishes nothing
+  AdmitShardLocked(std::move(fresh));
+  return id;
+}
+
+int ShardedPprService::AddRemoteShard(const std::string& host, int port) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return -1;
+
+  auto backend = std::make_unique<RemoteShardBackend>();
+  if (!backend->Connect(host, port).ok()) return -1;
+  net::ShardStats stats;
+  if (!backend->FetchStats(&stats).ok()) return -1;
+  // The ring only stays a pure function of the shard set if every shard
+  // serves the same graph; and a joiner that already owns sources would
+  // shadow-own keys the ring assigns elsewhere.
+  if (stats.running == 0 || stats.num_sources != 0 ||
+      static_cast<VertexId>(stats.num_vertices) != num_vertices_) {
+    return -1;
+  }
+  // A materialized source's migration blob is ~16 bytes/vertex (p and r
+  // arrays). If that cannot fit one frame, every future migration
+  // to/from this shard would fail mid-flight — refuse the join now,
+  // while refusing is still free.
+  if (16 * static_cast<uint64_t>(num_vertices_) + 1024 >
+      net::kDefaultMaxFramePayload) {
+    return -1;
+  }
+  QuiesceAllLocked();
+
+  auto fresh = std::make_unique<Shard>();
+  fresh->id = next_shard_id_++;
+  fresh->backend = std::move(backend);
+  const int id = fresh->id;
+  AdmitShardLocked(std::move(fresh));
   return id;
 }
 
@@ -426,12 +496,12 @@ bool ShardedPprService::RemoveShard(int shard_id) {
   ConsistentHashRing next_ring = ring_;
   next_ring.RemoveShard(shard_id);
   MigrateSourcesLocked(victim, next_ring);
-  DPPR_CHECK_MSG(victim->index->NumSources() == 0,
+  DPPR_CHECK_MSG(victim->backend->NumSources() == 0,
                  "a drained shard must own nothing");
   ring_ = next_ring;
 
-  victim->service->Stop();
   RetireMetricsLocked(*victim);
+  victim->backend->Stop();
   std::erase_if(shards_, [shard_id](const std::unique_ptr<Shard>& shard) {
     return shard->id == shard_id;
   });
@@ -439,8 +509,10 @@ bool ShardedPprService::RemoveShard(int shard_id) {
 }
 
 void ShardedPprService::RetireMetricsLocked(const Shard& shard) {
-  AddCounters(shard.service->Metrics(), &retired_counters_);
-  shard.service->MergeLatenciesInto(&retired_query_ms_, &retired_batch_ms_);
+  MetricsReport report;
+  shard.backend->SnapshotMetrics(&report, &retired_query_ms_,
+                                 &retired_batch_ms_);
+  AddCounters(report, &retired_counters_);
 }
 
 // ------------------------------------------------------- introspection
@@ -464,7 +536,7 @@ std::vector<VertexId> ShardedPprService::Sources() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<VertexId> all;
   for (const auto& shard : shards_) {
-    std::vector<VertexId> own = shard->index->Sources();
+    std::vector<VertexId> own = shard->backend->Sources();
     all.insert(all.end(), own.begin(), own.end());
   }
   return all;
@@ -474,13 +546,13 @@ std::vector<VertexId> ShardedPprService::SourcesOnShard(int shard_id) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   const Shard* shard = FindShard(shard_id);
   return shard == nullptr ? std::vector<VertexId>{}
-                          : shard->index->Sources();
+                          : shard->backend->Sources();
 }
 
 size_t ShardedPprService::NumSources() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   size_t n = 0;
-  for (const auto& shard : shards_) n += shard->index->NumSources();
+  for (const auto& shard : shards_) n += shard->backend->NumSources();
   return n;
 }
 
@@ -489,20 +561,28 @@ bool ShardedPprService::HasSource(VertexId s) const {
   // Placement invariant: a source lives only on its ring owner, so the
   // owner's table answers for the whole fleet.
   const Shard* shard = OwnerShard(s);
-  return shard != nullptr && shard->index->HasSource(s);
+  return shard != nullptr && shard->backend->HasSource(s);
 }
 
-MetricsReport ShardedPprService::Metrics() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+MetricsReport ShardedPprService::CollectMetricsLocked(
+    std::vector<std::pair<int, MetricsReport>>* per_shard) const {
   MetricsReport combined = retired_counters_;
   Histogram query_ms = retired_query_ms_;
   Histogram batch_ms = retired_batch_ms_;
   for (const auto& shard : shards_) {
-    AddCounters(shard->service->Metrics(), &combined);
-    shard->service->MergeLatenciesInto(&query_ms, &batch_ms);
+    // One observation per shard (a single kStats RPC for a remote one),
+    // so each shard's counters and samples are self-consistent — and
+    // Report() reuses it for its per-shard view instead of asking again.
+    MetricsReport report;
+    shard->backend->SnapshotMetrics(&report, &query_ms, &batch_ms);
+    AddCounters(report, &combined);
+    if (per_shard != nullptr) {
+      per_shard->emplace_back(shard->id, std::move(report));
+    }
   }
   // Exact cross-shard percentiles from the pooled samples — NOT a
-  // max-over-shards approximation.
+  // max-over-shards approximation. Remote shards ship their exact
+  // samples over the wire for the same reason.
   if (query_ms.Count() > 0) {
     combined.query_mean_ms = query_ms.Mean();
     combined.query_p50_ms = query_ms.Percentile(50);
@@ -516,13 +596,15 @@ MetricsReport ShardedPprService::Metrics() const {
   return combined;
 }
 
+MetricsReport ShardedPprService::Metrics() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return CollectMetricsLocked(nullptr);
+}
+
 RouterReport ShardedPprService::Report() const {
   RouterReport report;
-  report.combined = Metrics();
   std::shared_lock<std::shared_mutex> lock(mu_);
-  for (const auto& shard : shards_) {
-    report.per_shard.emplace_back(shard->id, shard->service->Metrics());
-  }
+  report.combined = CollectMetricsLocked(&report.per_shard);
   report.sources_migrated = sources_migrated_.load(std::memory_order_relaxed);
   report.migration_bytes = migration_bytes_.load(std::memory_order_relaxed);
   report.update_retries = update_retries_.load(std::memory_order_relaxed);

@@ -23,12 +23,20 @@
 //     affected sources out through PprService::ExtractSourceAsync, ship
 //     them as checksummed blobs (router/migration.h), and inject them
 //     into their new owner at the SAME epoch — a reader can tell a source
-//     moved only by its latency, never by its answers.
+//     moved only by its latency, never by its answers;
+//   * transparency — every shard sits behind the ShardBackend interface
+//     (router/shard_backend.h): LocalShardBackend is the in-process
+//     stack, RemoteShardBackend speaks the src/net wire protocol to a
+//     PprServer in another process. AddRemoteShard() joins a running
+//     remote shard to the ring, migrating its share of the sources to it
+//     over the wire with the exact quiesce + blob protocol local
+//     migration uses.
 //
 // Locking: routing and update fan-out hold a shared lock; topology
-// changes (AddShard/RemoveShard/Stop) hold it exclusively. Shard-internal
-// concurrency (workers, maintenance, snapshots) is PprService's problem,
-// already solved. See README.md in this directory.
+// changes (AddShard/AddRemoteShard/RemoveShard/Stop) hold it
+// exclusively. Shard-internal concurrency (workers, maintenance,
+// snapshots) is PprService's problem, already solved. See README.md in
+// this directory.
 
 #ifndef DPPR_ROUTER_SHARDED_SERVICE_H_
 #define DPPR_ROUTER_SHARDED_SERVICE_H_
@@ -37,12 +45,14 @@
 #include <future>
 #include <memory>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "graph/dynamic_graph.h"
 #include "graph/types.h"
 #include "index/ppr_index.h"
 #include "router/hash_ring.h"
+#include "router/shard_backend.h"
 #include "server/ppr_service.h"
 #include "util/histogram.h"
 
@@ -50,6 +60,10 @@ namespace dppr {
 
 /// \brief Tuning knobs of a ShardedPprService.
 struct ShardedServiceOptions {
+  /// In-process shards built at construction. May be 0 for a pure
+  /// routing front-end that only serves remote shards (AddRemoteShard);
+  /// the initial `sources` must then be empty — add them through
+  /// AddSource once shards have joined.
   int num_shards = 2;
   int vnodes_per_shard = 64;
   IndexOptions index;      ///< applied to every shard's PprIndex
@@ -149,14 +163,26 @@ class ShardedPprService {
 
   // --- Elasticity -------------------------------------------------------
 
-  /// Brings up a new empty shard (graph replicated from a quiesced peer),
-  /// rebalancing ~1/(N+1) of the sources onto it. Returns the new shard
-  /// id, or -1 if the service is not running.
+  /// Brings up a new empty LOCAL shard (graph replicated from a quiesced
+  /// local peer), rebalancing ~1/(N+1) of the sources onto it. Returns
+  /// the new shard id, or -1 if the service is not running or no local
+  /// shard exists to clone the graph from.
   int AddShard();
 
+  /// Joins a RUNNING remote shard process (a PprServer, e.g.
+  /// `hub_server --listen`) to the ring. The remote must be reachable,
+  /// serving the same graph (vertex count is checked), and empty of
+  /// sources; ~1/(N+1) of the sources then migrate onto it over the wire
+  /// at unchanged epochs. Returns the new shard id, or -1 on refusal.
+  /// NOTE the feed contract: the remote's graph replica must match this
+  /// router's — join before streaming updates, or from a checkpointed
+  /// twin. A stale replica is the operator's error and undetectable here.
+  int AddRemoteShard(const std::string& host, int port);
+
   /// Drains `shard_id`: quiesces the feed, migrates its sources to their
-  /// new owners under the shrunken ring, stops and destroys the shard.
-  /// False if the id is unknown or it is the last shard.
+  /// new owners under the shrunken ring, stops (local) or disconnects
+  /// (remote) the shard. False if the id is unknown or it is the last
+  /// shard.
   bool RemoveShard(int shard_id);
 
   // --- Introspection ----------------------------------------------------
@@ -181,12 +207,11 @@ class ShardedPprService {
  private:
   struct Shard {
     int id = -1;
-    std::unique_ptr<DynamicGraph> graph;
-    std::unique_ptr<PprIndex> index;
-    std::unique_ptr<PprService> service;
+    std::unique_ptr<ShardBackend> backend;
   };
 
-  /// Builds (but does not start) a shard over its own graph replica.
+  /// Builds (but does not start) a local shard over its own graph
+  /// replica.
   std::unique_ptr<Shard> BuildShard(int id, const std::vector<Edge>& edges,
                                     VertexId num_vertices,
                                     std::vector<VertexId> sources) const;
@@ -198,14 +223,26 @@ class ShardedPprService {
   /// drained (update admission is blocked by the exclusive lock itself).
   void QuiesceAllLocked();
   /// mu_ held exclusively: moves every source of `from` that `ring`
-  /// assigns elsewhere, through the encode/decode wire path. Returns the
-  /// number migrated.
+  /// assigns elsewhere, as checksummed blobs through the backends'
+  /// ExtractBlob/InjectBlob (in-process or over the wire — same bytes).
+  /// Returns the number migrated.
   size_t MigrateSourcesLocked(Shard* from, const ConsistentHashRing& ring);
   /// mu_ held exclusively: folds a departing shard's metrics into the
   /// retired accumulators so Metrics() survives topology changes.
   void RetireMetricsLocked(const Shard& shard);
+  /// mu_ held exclusively: ring insertion + rebalance shared by
+  /// AddShard/AddRemoteShard. `fresh` must be started and empty.
+  void AdmitShardLocked(std::unique_ptr<Shard> fresh);
+  /// mu_ held (any mode): one metrics observation per shard (a single
+  /// RPC for a remote one), combined counters + exact merged
+  /// percentiles; optionally also records the per-shard reports.
+  MetricsReport CollectMetricsLocked(
+      std::vector<std::pair<int, MetricsReport>>* per_shard) const;
 
   ShardedServiceOptions options_;
+  /// Remembered from construction; a joining remote shard must serve a
+  /// graph of the same size.
+  VertexId num_vertices_ = 0;
   mutable std::shared_mutex mu_;
   ConsistentHashRing ring_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -30,6 +30,7 @@ const char* RequestStatusName(RequestStatus status) {
     case RequestStatus::kNotMaterialized: return "not-materialized";
     case RequestStatus::kRejected: return "rejected";
     case RequestStatus::kClosed: return "closed";
+    case RequestStatus::kUnavailable: return "unavailable";
   }
   return "?";
 }

@@ -58,6 +58,7 @@ enum class RequestStatus {
   kNotMaterialized,  ///< source evicted and the rebuild wait ran out
   kRejected,         ///< admin op refused (e.g. AddSource of a known hub)
   kClosed,           ///< service stopped before the request ran
+  kUnavailable,      ///< remote shard unreachable / connection lost
 };
 
 const char* RequestStatusName(RequestStatus status);

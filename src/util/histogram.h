@@ -36,6 +36,11 @@ class Histogram {
   /// Linear-interpolated percentile, q in [0, 100].
   double Percentile(double q) const;
 
+  /// A copy of every recorded sample (unspecified order). The network
+  /// transport ships these so a router can merge EXACT remote-shard
+  /// latency samples instead of settling for pre-digested percentiles.
+  std::vector<double> Samples() const { return samples_; }
+
   /// "mean=1.23ms p50=... p99=... max=..." (values given in `unit`).
   std::string Summary(const std::string& unit) const;
 
