@@ -6,6 +6,12 @@
 //   ./bench_index_scaling [--dataset=pokec] [--scale_shift=2]
 //       [--sources=1,8,64,256] [--batch_ratios=0.0005,0.002]
 //       [--slides=6] [--threads=0] [--query_threads=2] [--eps=1e-6]
+//       [--json=PATH]
+//
+// --json=PATH writes the sweep in the same machine-readable document
+// shape as bench_server_load (a "config" object plus one "rows" entry
+// per cell), so the CI perf artifacts share one schema and the bench
+// trajectory is diffable across commits with the same tooling.
 //
 // Reported per cell: wall-clock maintenance throughput in source-updates/s
 // (K maintained vectors × edge updates consumed, per second of wall time),
@@ -102,6 +108,60 @@ std::string FmtBytes(size_t bytes) {
   return buf;
 }
 
+/// One (K, batch) cell of the sweep, as it lands in the JSON artifact.
+struct BenchRow {
+  int64_t sources = 0;
+  int64_t batch = 0;
+  double legacy_upd_per_s = 0.0;
+  double index_upd_per_s = 0.0;
+  double speedup = 0.0;
+  std::string mode;  ///< "across" or "intra"
+  double qry_per_s_at_maint = 0.0;  ///< 0 with --query_threads=0
+  int64_t legacy_scratch_bytes = 0;
+  int64_t index_scratch_bytes = 0;
+  int64_t engines = 0;
+};
+
+/// Same self-describing document shape as bench_server_load's artifact:
+/// {"bench": ..., "config": {...}, "rows": [{...}]}. Hand-rolled — the
+/// values are numbers and fixed labels, nothing needs escaping.
+bool WriteJson(const std::string& path, const ArgParser& args,
+               const std::vector<BenchRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"index_scaling\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"dataset\": \"%s\", \"threads\": %d, "
+               "\"query_threads\": %lld, \"slides\": %lld, \"eps\": %g, "
+               "\"scale_shift\": %lld},\n",
+               args.GetString("dataset", "pokec").c_str(), NumThreads(),
+               static_cast<long long>(args.GetInt("query_threads", 2)),
+               static_cast<long long>(args.GetInt("slides", 6)),
+               args.GetDouble("eps", 1e-6),
+               static_cast<long long>(args.GetInt("scale_shift", 2)));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    std::fprintf(
+        f,
+        "    {\"sources\": %lld, \"batch\": %lld, "
+        "\"legacy_upd_per_s\": %.1f, \"index_upd_per_s\": %.1f, "
+        "\"speedup\": %.3f, \"mode\": \"%s\", "
+        "\"qry_per_s_at_maint\": %.1f, \"legacy_scratch_bytes\": %lld, "
+        "\"index_scratch_bytes\": %lld, \"engines\": %lld}%s\n",
+        static_cast<long long>(row.sources),
+        static_cast<long long>(row.batch), row.legacy_upd_per_s,
+        row.index_upd_per_s, row.speedup, row.mode.c_str(),
+        row.qry_per_s_at_maint,
+        static_cast<long long>(row.legacy_scratch_bytes),
+        static_cast<long long>(row.index_scratch_bytes),
+        static_cast<long long>(row.engines),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,6 +185,8 @@ int main(int argc, char** argv) {
   const auto batch_ratios =
       ParseDoubleList(args.GetString("batch_ratios", "0.0005,0.002"));
   const int scale_shift = static_cast<int>(args.GetInt("scale_shift", 2));
+  const std::string json_path = args.GetString("json", "");
+  std::vector<BenchRow> json_rows;
 
   DatasetSpec spec;
   if (auto st = FindDataset(args.GetString("dataset", "pokec"), &spec);
@@ -234,6 +296,25 @@ int main(int argc, char** argv) {
            FmtBytes(index.ApproxScratchBytes()),
            TablePrinter::FmtInt(index.NumPooledEngines())});
 
+      BenchRow row;
+      row.sources = num_sources;
+      row.batch = 2 * batch_size;
+      row.legacy_upd_per_s = legacy_tp;
+      row.index_upd_per_s = index_tp;
+      row.speedup = speedup;
+      row.mode =
+          index.last_batch_stats().across_sources ? "across" : "intra";
+      row.qry_per_s_at_maint =
+          query_threads > 0 && index_seconds > 0
+              ? static_cast<double>(queries_served.load()) / index_seconds
+              : 0.0;
+      row.legacy_scratch_bytes =
+          static_cast<int64_t>(legacy.ScratchBytes());
+      row.index_scratch_bytes =
+          static_cast<int64_t>(index.ApproxScratchBytes());
+      row.engines = index.NumPooledEngines();
+      json_rows.push_back(std::move(row));
+
       // Scratch must scale with min(K, pool), not K: once K exceeds the
       // pool, the legacy loop's per-source engines dominate the index's.
       if (num_sources > 2 * index.NumPooledEngines()) {
@@ -265,5 +346,13 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
+  if (!json_path.empty()) {
+    if (!WriteJson(json_path, args, json_rows)) {
+      std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu rows to %s\n", json_rows.size(),
+                json_path.c_str());
+  }
   return ShapeCheckExitCode();
 }

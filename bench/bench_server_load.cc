@@ -11,14 +11,22 @@
 //   ./bench_server_load [--dataset=pokec] [--scale_shift=2] [--hubs=16]
 //       [--workers=4] [--clients=4] [--seconds=1.5] [--lru_cap=0]
 //       [--batch_ratio=0.001] [--mixes=100:0,95:5,80:20] [--k=5]
-//       [--eps=1e-6] [--shards=1,2] [--seed=42] [--json=PATH]
+//       [--eps=1e-6] [--shards=1,2] [--replicas=1] [--seed=42]
+//       [--json=PATH]
+//
+// --replicas sweeps the per-slot replica count: every ring slot gets R
+// full serving stacks (1 primary + R-1 standbys), the feed fans to all
+// of them, reads come off the primary. R > 1 prices the HA insurance —
+// update cost scales with R, query throughput should not.
 //
 // --json=PATH additionally writes the sweep as machine-readable rows
-// (one object per (shards, mix) cell: qps, p50/p99 ms, shed/failed
-// counts, ...) plus the config that produced them. CI runs a small fixed
-// --seed sweep on every push and uploads the file as the
-// BENCH_server_load.json artifact — the start of the bench trajectory,
-// diffable across commits.
+// (one object per (shards, replicas, mix) cell: qps, p50/p99 ms,
+// shed/failed counts, failover/sync counters, ...) plus the config that
+// produced them. CI runs a small fixed --seed sweep on every push and
+// uploads the file as the BENCH_server_load.json artifact — the start of
+// the bench trajectory, diffable across commits. The pre-replication
+// row shape is preserved: the replica columns are NEW keys, everything
+// that existed keeps its name and meaning.
 //
 // Each mix "q:u" gives the per-client probability split between issuing a
 // point/top-k query (q) and submitting an update batch (u); clients are
@@ -82,20 +90,24 @@ std::vector<int> ParseShardCounts(const std::string& csv) {
   return counts;
 }
 
-/// One (shards, mix) cell of the sweep, as it lands in the JSON artifact.
+/// One (shards, replicas, mix) cell of the sweep, as it lands in the
+/// JSON artifact.
 struct BenchRow {
   int shards = 0;
+  int replicas = 1;
   std::string mix;
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   int64_t queries_completed = 0;
   int64_t served_during_maintenance = 0;
-  double updates_per_s = 0.0;  ///< per shard (the feed is replicated)
+  double updates_per_s = 0.0;  ///< per replica (the feed is replicated)
   int64_t batches = 0;
   int64_t shed = 0;
   int64_t failed = 0;
   int64_t sources_materialized = 0;
+  int64_t failovers = 0;   ///< standby promotions (0 unless something died)
+  int64_t sync_bytes = 0;  ///< standby-sync blob bytes shipped
 };
 
 /// Writes the sweep as a self-describing JSON document. Hand-rolled: the
@@ -117,13 +129,17 @@ bool WriteJson(const std::string& path, const ArgParser& args,
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& row = rows[i];
+    // Backward-compatible shape: every pre-replication key keeps its
+    // name and meaning; "replicas"/"failovers"/"sync_bytes" are NEW keys
+    // appended to the row.
     std::fprintf(
         f,
         "    {\"shards\": %d, \"mix\": \"%s\", \"qps\": %.1f, "
         "\"p50_ms\": %.6f, \"p99_ms\": %.6f, \"queries\": %lld, "
         "\"queries_during_maintenance\": %lld, \"upd_per_s\": %.1f, "
         "\"batches\": %lld, \"shed\": %lld, \"failed\": %lld, "
-        "\"sources_materialized\": %lld}%s\n",
+        "\"sources_materialized\": %lld, \"replicas\": %d, "
+        "\"failovers\": %lld, \"sync_bytes\": %lld}%s\n",
         row.shards, row.mix.c_str(), row.qps, row.p50_ms, row.p99_ms,
         static_cast<long long>(row.queries_completed),
         static_cast<long long>(row.served_during_maintenance),
@@ -131,6 +147,8 @@ bool WriteJson(const std::string& path, const ArgParser& args,
         static_cast<long long>(row.shed),
         static_cast<long long>(row.failed),
         static_cast<long long>(row.sources_materialized),
+        row.replicas, static_cast<long long>(row.failovers),
+        static_cast<long long>(row.sync_bytes),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -176,6 +194,8 @@ int main(int argc, char** argv) {
   const auto mixes = ParseMixes(args.GetString("mixes", "100:0,95:5,80:20"));
   const auto shard_counts =
       ParseShardCounts(args.GetString("shards", "1,2"));
+  const auto replica_counts =
+      ParseShardCounts(args.GetString("replicas", "1"));
   const std::string json_path = args.GetString("json", "");
   std::vector<BenchRow> json_rows;
 
@@ -191,10 +211,12 @@ int main(int argc, char** argv) {
       "threads=%d\n\n",
       workers, clients, num_hubs, lru_cap,
       static_cast<unsigned long long>(seed), NumThreads());
-  TablePrinter table({"shards", "mix q:u", "qps", "p50_ms", "p99_ms",
-                      "qry@maint", "upd/s", "batches", "shed", "failed"});
+  TablePrinter table({"shards", "repl", "mix q:u", "qps", "p50_ms",
+                      "p99_ms", "qry@maint", "upd/s", "batches", "shed",
+                      "failed"});
 
   for (const int num_shards : shard_counts) {
+  for (const int num_replicas : replica_counts) {
     for (const Mix& mix : mixes) {
       // Fresh workload per cell so every row starts from the same state;
       // the generator seeds are fixed, so every cell streams the same
@@ -215,6 +237,7 @@ int main(int argc, char** argv) {
       std::vector<VertexId> hubs = TopOutDegreeVertices(graph, num_hubs);
       ShardedServiceOptions options;
       options.num_shards = num_shards;
+      options.replicas = num_replicas;
       options.index.ppr.eps = eps;
       options.index.max_materialized_sources = lru_cap;
       options.service.num_workers = workers;
@@ -266,42 +289,49 @@ int main(int argc, char** argv) {
       service.Stop();
 
       // Combined across shards; p50/p99 are exact merged percentiles.
-      // updates_applied counts per-shard applications (replication cost),
-      // so normalize upd/s by the shard count to report feed throughput.
+      // updates_applied counts per-REPLICA applications (the replication
+      // cost of the feed), so normalize upd/s by shards x replicas to
+      // report feed throughput.
       const MetricsReport report = service.Metrics();
+      const RouterReport router_report = service.Report();
+      const int feed_copies = num_shards * num_replicas;
       const std::string shard_label = std::to_string(num_shards);
       table.AddRow(
-          {shard_label, mix.label,
+          {shard_label, std::to_string(num_replicas), mix.label,
            TablePrinter::FmtInt(
                static_cast<int64_t>(report.QueryThroughput())),
            TablePrinter::Fmt(report.query_p50_ms, 3),
            TablePrinter::Fmt(report.query_p99_ms, 3),
            TablePrinter::FmtInt(report.served_during_maintenance),
            TablePrinter::FmtInt(static_cast<int64_t>(
-               report.UpdateThroughput() / num_shards)),
-           TablePrinter::FmtInt(report.batches_applied / num_shards),
+               report.UpdateThroughput() / feed_copies)),
+           TablePrinter::FmtInt(report.batches_applied / feed_copies),
            TablePrinter::FmtInt(report.queries_shed_queue_full +
                                 report.queries_shed_deadline),
            TablePrinter::FmtInt(report.queries_failed)});
 
       BenchRow row;
       row.shards = num_shards;
+      row.replicas = num_replicas;
       row.mix = mix.label;
       row.qps = report.QueryThroughput();
       row.p50_ms = report.query_p50_ms;
       row.p99_ms = report.query_p99_ms;
       row.queries_completed = report.queries_completed;
       row.served_during_maintenance = report.served_during_maintenance;
-      row.updates_per_s = report.UpdateThroughput() / num_shards;
-      row.batches = report.batches_applied / num_shards;
+      row.updates_per_s = report.UpdateThroughput() / feed_copies;
+      row.batches = report.batches_applied / feed_copies;
       row.shed = report.queries_shed_queue_full +
                  report.queries_shed_deadline;
       row.failed = report.queries_failed;
       row.sources_materialized = report.sources_materialized;
+      row.failovers = router_report.failovers;
+      row.sync_bytes = router_report.sync_bytes;
       json_rows.push_back(std::move(row));
 
-      const std::string cell =
-          "shards " + shard_label + " mix " + mix.label;
+      const std::string cell = "shards " + shard_label + " repl " +
+                               std::to_string(num_replicas) + " mix " +
+                               mix.label;
       ShapeCheck(cell + " served queries", report.queries_completed > 0,
                  std::to_string(report.queries_completed));
       ShapeCheck(cell + " p99 >= p50",
@@ -316,13 +346,19 @@ int main(int argc, char** argv) {
         ShapeCheck(cell + " no failed queries", report.queries_failed == 0,
                    std::to_string(report.queries_failed));
       }
+      // Nothing dies in this bench, so a failover would mean a replica
+      // was wrongly declared dead under load.
+      ShapeCheck(cell + " no spurious failovers",
+                 router_report.failovers == 0,
+                 std::to_string(router_report.failovers));
     }
+  }
   }
   table.Print();
   std::printf("\nqry@maint = queries completed while ApplyBatch was "
               "in flight (the reads-don't-block-writes number).\n"
-              "upd/s and batches are per shard (the feed is replicated "
-              "to all shards).\n");
+              "upd/s and batches are per replica (the feed is replicated "
+              "to every replica of every shard).\n");
   if (!json_path.empty()) {
     if (!WriteJson(json_path, args, seed, json_rows)) {
       std::fprintf(stderr, "could not write %s\n", json_path.c_str());

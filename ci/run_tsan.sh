@@ -45,6 +45,10 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 #   service threads on the server, sender threads vs the multiplexing
 #   receiver on the client, and the router driving remote shards
 #   (NetFleetTest skips here: examples are not built under TSan).
+# replication_test: ReplicaSet failover — concurrent readers racing the
+#   primary promotion, the ordered feed fan-out threads, the anti-entropy
+#   thread racing the routing lock, and the 4-client primary-kill chaos
+#   test.
 # Excluded: the oversubscription test pins an OpenMP team of 4, whose
 # libgomp barriers TSan cannot see (same reason OMP is pinned to 1 above);
 # its correctness claims are covered by the regular CI job.
@@ -52,5 +56,5 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 OMP_NUM_THREADS=1 \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/ci/tsan.supp" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -R '^(PprIndex|PprService|BoundedQueue|PprRouter|HashRing|RouterMigration|NetWire|PprServer|RemoteShard|NetFleet)' \
+  -R '^(PprIndex|PprService|BoundedQueue|PprRouter|HashRing|RouterMigration|NetWire|PprServer|RemoteShard|NetFleet|ReplicaSet|ReplicationRouter)' \
   -E 'OversubscribedThreads'

@@ -6,7 +6,8 @@
 //
 //   ./hub_server [--hubs=8] [--workers=3] [--clients=2] [--slides=12]
 //                [--k=5] [--seed=33] [--lru_cap=0] [--shards=1]
-//                [--listen=PORT] [--join=host:port,...]
+//                [--replicas=1] [--listen=PORT]
+//                [--join=host:p1+host:p2,host:p3]
 //
 // With --shards=1 (default) this drives a single PprService, exactly as
 // in PR 2. With --shards=N it stands up a ShardedPprService instead: N
@@ -17,18 +18,29 @@
 // then aggregates across shards, with latency percentiles computed from
 // the merged per-shard samples.
 //
+// --replicas=R puts R replicas (1 primary + R-1 standbys, each a full
+// serving stack) behind every in-process ring slot. The demo then also
+// KILLS a primary mid-run — severing it under live load — and the slot
+// keeps answering through the promoted standby; the failover counter in
+// the final report proves it happened.
+//
 // Fleet mode turns those N simulated shards into N processes:
 //
 //   hub_server --listen=0 [--seed=33]       # one SHARD process: builds
 //       the same initial graph (same seed => identical replica), starts
 //       an EMPTY PprService behind a PprServer, prints
 //       "LISTENING <port>" and serves until SIGINT/SIGTERM;
-//   hub_server --join=host:p1,host:p2 [--shards=1]   # the ROUTER
-//       process: builds its local shards as usual, then joins each
-//       remote shard to the ring — migrating ~1/N of the hubs onto it
-//       OVER THE WIRE at unchanged epochs — and runs the exact demo the
-//       in-process sharded mode runs. --shards=0 makes it a pure routing
-//       front-end (hubs are then added through the ring after joining).
+//   hub_server --join=host:p1+host:p2,host:p3 [--shards=1]   # the
+//       ROUTER process: builds its local shards as usual, then joins
+//       each comma-separated GROUP as one ring slot — the first
+//       host:port of a group is the slot's primary (hubs migrate onto it
+//       OVER THE WIRE at unchanged epochs), every '+'-joined address
+//       after it a standby synced from the primary — and runs the exact
+//       demo the in-process sharded mode runs. A group with a standby
+//       gets the same kill-the-primary treatment (the router severs its
+//       connection; the process itself keeps running). --shards=0 makes
+//       it a pure routing front-end (hubs are then added through the
+//       ring after joining).
 //
 // The ring lives client-side (in the router process): shard processes
 // know nothing about each other, exactly as in the paper-adjacent
@@ -66,25 +78,42 @@ std::atomic<bool> g_shutdown{false};
 
 void HandleSignal(int) { g_shutdown.store(true, std::memory_order_release); }
 
-/// Splits "host:p1,host:p2" into endpoints; false on a malformed token.
-bool ParseEndpoints(const std::string& csv,
-                    std::vector<std::pair<std::string, int>>* out) {
+using Endpoint = std::pair<std::string, int>;
+/// One ring slot's worth of remote addresses: [primary, standbys...].
+using EndpointGroup = std::vector<Endpoint>;
+
+/// Splits "host:p1+host:p2,host:p3" into replica groups (',' separates
+/// slots, '+' separates a slot's primary from its standbys); false on a
+/// malformed token.
+bool ParseEndpointGroups(const std::string& csv,
+                         std::vector<EndpointGroup>* out) {
   size_t begin = 0;
   while (begin <= csv.size()) {
     size_t end = csv.find(',', begin);
     if (end == std::string::npos) end = csv.size();
-    const std::string token = csv.substr(begin, end - begin);
-    const size_t colon = token.rfind(':');
-    if (colon == 0 || colon == std::string::npos ||
-        colon + 1 >= token.size()) {
-      return false;
+    const std::string group_token = csv.substr(begin, end - begin);
+    EndpointGroup group;
+    size_t member_begin = 0;
+    while (member_begin <= group_token.size()) {
+      size_t member_end = group_token.find('+', member_begin);
+      if (member_end == std::string::npos) member_end = group_token.size();
+      const std::string token =
+          group_token.substr(member_begin, member_end - member_begin);
+      const size_t colon = token.rfind(':');
+      if (colon == 0 || colon == std::string::npos ||
+          colon + 1 >= token.size()) {
+        return false;
+      }
+      try {
+        group.emplace_back(token.substr(0, colon),
+                           std::stoi(token.substr(colon + 1)));
+      } catch (const std::exception&) {
+        return false;
+      }
+      member_begin = member_end + 1;
     }
-    try {
-      out->emplace_back(token.substr(0, colon),
-                        std::stoi(token.substr(colon + 1)));
-    } catch (const std::exception&) {
-      return false;
-    }
+    if (group.empty()) return false;
+    out->push_back(std::move(group));
     begin = end + 1;
   }
   return !out->empty();
@@ -122,12 +151,19 @@ int main(int argc, char** argv) {
   const int listen_port = static_cast<int>(args.GetInt("listen", 0));
   const std::string join_csv = args.GetString("join", "");
   const int num_shards = static_cast<int>(args.GetInt("shards", 1));
-  std::vector<std::pair<std::string, int>> join_endpoints;
-  if (!join_csv.empty() && !ParseEndpoints(join_csv, &join_endpoints)) {
-    std::fprintf(stderr, "malformed --join (want host:port,host:port)\n");
+  const int replicas = static_cast<int>(args.GetInt("replicas", 1));
+  if (replicas < 1) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
     return 1;
   }
-  if (listen_mode && !join_endpoints.empty()) {
+  std::vector<EndpointGroup> join_groups;
+  if (!join_csv.empty() && !ParseEndpointGroups(join_csv, &join_groups)) {
+    std::fprintf(stderr,
+                 "malformed --join (want host:port groups, ',' between "
+                 "slots, '+' before standbys)\n");
+    return 1;
+  }
+  if (listen_mode && !join_groups.empty()) {
     std::fprintf(stderr, "--listen and --join are different processes\n");
     return 1;
   }
@@ -222,7 +258,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<dppr::ShardedPprService> sharded;
   ServiceFacade facade;
   dppr::WallTimer init_timer;
-  if (num_shards <= 1 && join_endpoints.empty()) {
+  if (num_shards <= 1 && replicas <= 1 && join_groups.empty()) {
     index = std::make_unique<dppr::PprIndex>(&graph, hubs, options);
     index->Initialize();
     service = std::make_unique<dppr::PprService>(index.get(),
@@ -253,8 +289,12 @@ int main(int argc, char** argv) {
   } else {
     dppr::ShardedServiceOptions sharded_options;
     sharded_options.num_shards = num_shards;
+    sharded_options.replicas = replicas;
     sharded_options.index = options;
     sharded_options.service = service_options;
+    // Periodic drift repair for standbys: cheap (a probe per slot) and
+    // inert with single-replica slots.
+    sharded_options.anti_entropy_interval = std::chrono::milliseconds(250);
     // A pure routing front-end (--shards=0) owns no shard to place the
     // initial hubs on; they are added through the ring after the joins.
     const bool hubs_at_construction = num_shards > 0;
@@ -263,7 +303,8 @@ int main(int argc, char** argv) {
         hubs_at_construction ? hubs : std::vector<dppr::VertexId>{},
         sharded_options);
     sharded->Start();
-    for (const auto& [host, port] : join_endpoints) {
+    for (const EndpointGroup& group : join_groups) {
+      const auto& [host, port] = group.front();
       const int joined = sharded->AddRemoteShard(host, port);
       if (joined < 0) {
         std::fprintf(stderr,
@@ -274,6 +315,19 @@ int main(int argc, char** argv) {
       }
       std::printf("joined remote shard %s:%d as shard %d\n", host.c_str(),
                   port, joined);
+      for (size_t standby = 1; standby < group.size(); ++standby) {
+        const auto& [sb_host, sb_port] = group[standby];
+        const int replica =
+            sharded->AddRemoteReplica(joined, sb_host, sb_port);
+        if (replica < 0) {
+          std::fprintf(stderr,
+                       "could not attach standby %s:%d to shard %d\n",
+                       sb_host.c_str(), sb_port, joined);
+          return 1;
+        }
+        std::printf("attached standby %s:%d to shard %d (replica %d)\n",
+                    sb_host.c_str(), sb_port, joined, replica);
+      }
     }
     if (!hubs_at_construction) {
       for (dppr::VertexId hub : hubs) {
@@ -288,8 +342,9 @@ int main(int argc, char** argv) {
                 sharded->NumSources(), sharded->NumShards(),
                 init_timer.Millis(), num_vertices);
     for (int shard_id : sharded->ShardIds()) {
-      std::printf("  shard %d owns %zu hubs\n", shard_id,
-                  sharded->SourcesOnShard(shard_id).size());
+      std::printf("  shard %d owns %zu hubs (%zu replicas)\n", shard_id,
+                  sharded->SourcesOnShard(shard_id).size(),
+                  sharded->NumReplicas(shard_id));
     }
     std::printf("\n");
     facade = {
@@ -360,6 +415,20 @@ int main(int argc, char** argv) {
                       static_cast<long long>(report.sources_migrated),
                       static_cast<long long>(report.migration_bytes));
         }
+        // Kill-the-primary demo: sever the first replicated slot's
+        // primary UNDER LIVE LOAD (clients keep querying). The standby
+        // is promoted on the first kUnavailable answer; nobody above the
+        // replica set notices except the failover counter.
+        for (int slot : sharded->ShardIds()) {
+          if (sharded->NumReplicas(slot) < 2) continue;
+          const int primary = sharded->PrimaryOf(slot);
+          if (sharded->SeverReplica(slot, primary)) {
+            std::printf("mid-run primary kill: severed shard %d's "
+                        "replica %d; standby takes over\n",
+                        slot, primary);
+          }
+          break;
+        }
       }
       std::printf("\n");
     }
@@ -404,6 +473,13 @@ int main(int argc, char** argv) {
   const bool hub_set_ok =
       facade.has_source(rising_hub) && !facade.has_source(hubs.back());
   if (sharded != nullptr) {
+    const dppr::RouterReport router_report = sharded->Report();
+    std::printf("\nreplication: %lld failovers, %lld standby syncs "
+                "(%lld bytes), %lld update retries\n",
+                static_cast<long long>(router_report.failovers),
+                static_cast<long long>(router_report.standby_syncs),
+                static_cast<long long>(router_report.sync_bytes),
+                static_cast<long long>(router_report.update_retries));
     sharded->Stop();
   } else {
     service->Stop();

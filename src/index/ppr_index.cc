@@ -12,7 +12,8 @@
 namespace dppr {
 namespace internal {
 
-void SnapshotSlot::Publish(const std::vector<double>& estimates) {
+void SnapshotSlot::Publish(const std::vector<double>& estimates,
+                           uint64_t epoch_increment) {
   std::shared_ptr<IndexSnapshot> buf;
 #if !DPPR_TSAN_BUILD
   // Double-buffer steady state: the previously displaced snapshot has no
@@ -33,7 +34,8 @@ void SnapshotSlot::Publish(const std::vector<double>& estimates) {
     buf = std::make_shared<IndexSnapshot>();
     buf->estimates = estimates;
   }
-  const uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  const uint64_t epoch =
+      epoch_.load(std::memory_order_relaxed) + epoch_increment;
   buf->epoch = epoch;
   buf->materialized = true;
   std::shared_ptr<const IndexSnapshot> old = current_.exchange(
@@ -159,7 +161,7 @@ void PprIndex::Initialize() {
   // pushes, many sources initialize concurrently across the pool.
   const int64_t est_work =
       static_cast<int64_t>(graph_->NumVertices()) + graph_->NumEdges();
-  PushAll(live, est_work, /*initialize=*/true);
+  PushAll(live, est_work, /*initialize=*/true, /*epoch_increment=*/1);
   for (SourceSlot* slot : live) {
     last_batch_stats_.sources_total.Add(slot->ppr->last_stats());
   }
@@ -216,7 +218,9 @@ void PprIndex::ReplayJournal(DynamicPpr* ppr) const {
   ppr->NoteCoalescedRestores(coalesced_entries_);
 }
 
-void PprIndex::ApplyBatch(const UpdateBatch& batch) {
+void PprIndex::ApplyBatch(const UpdateBatch& batch,
+                          uint64_t epoch_increment) {
+  DPPR_CHECK(epoch_increment >= 1);
   WallTimer wall;
   last_batch_stats_.Reset();
   auto table = CurrentTable();
@@ -259,7 +263,7 @@ void PprIndex::ApplyBatch(const UpdateBatch& batch) {
   const double avg_degree = graph_->AverageDegree();
   const int64_t est_work = static_cast<int64_t>(
       static_cast<double>(batch.size()) * (1.0 + avg_degree));
-  PushAll(live, est_work, /*initialize=*/false);
+  PushAll(live, est_work, /*initialize=*/false, epoch_increment);
 
   for (SourceSlot* slot : live) {
     last_batch_stats_.sources_total.Add(slot->ppr->last_stats());
@@ -348,6 +352,12 @@ size_t PprIndex::EvictColdSources(size_t keep_materialized) {
 // ---------------------------------------------------- source migration
 
 bool PprIndex::ExportSource(VertexId s, ExportedSource* out) {
+  if (!PeekSource(s, out)) return false;
+  RemoveSource(s);
+  return true;
+}
+
+bool PprIndex::PeekSource(VertexId s, ExportedSource* out) const {
   DPPR_CHECK(out != nullptr);
   auto slot = FindSlot(s);
   if (slot == nullptr) return false;
@@ -355,7 +365,6 @@ bool PprIndex::ExportSource(VertexId s, ExportedSource* out) {
   out->epoch = slot->snapshot.Epoch();
   out->materialized = slot->ppr != nullptr;
   out->state = out->materialized ? slot->ppr->state() : PprState();
-  RemoveSource(s);
   return true;
 }
 
@@ -495,7 +504,8 @@ bool PprIndex::ChooseAcrossSources(int64_t est_work_per_source) const {
 }
 
 void PprIndex::PushAll(const std::vector<SourceSlot*>& slots,
-                       int64_t est_work_per_source, bool initialize) {
+                       int64_t est_work_per_source, bool initialize,
+                       uint64_t epoch_increment) {
   const bool across = ChooseAcrossSources(est_work_per_source);
   last_batch_stats_.across_sources = across;
   WallTimer push_timer;
@@ -509,21 +519,21 @@ void PprIndex::PushAll(const std::vector<SourceSlot*>& slots,
     ForEachSourceStealing(slots.size(), workers, [&](size_t i, int tid) {
       ParallelPushEngine* engine =
           pool_.size() > 0 ? pool_.Engine(tid) : nullptr;
-      PushSource(slots[i], engine, initialize);
+      PushSource(slots[i], engine, initialize, epoch_increment);
     });
   } else {
     // One source at a time, each push parallelized across all threads
     // (for the engine-less sequential variant the pushes just run in turn).
     ParallelPushEngine* engine = pool_.size() > 0 ? pool_.Engine(0) : nullptr;
     for (SourceSlot* slot : slots) {
-      PushSource(slot, engine, initialize);
+      PushSource(slot, engine, initialize, epoch_increment);
     }
   }
   last_batch_stats_.push_wall_seconds = push_timer.Seconds();
 }
 
 void PprIndex::PushSource(SourceSlot* slot, ParallelPushEngine* engine,
-                          bool initialize) {
+                          bool initialize, uint64_t epoch_increment) {
   slot->ppr->SetEngine(engine);
   if (initialize) {
     slot->ppr->Initialize();
@@ -531,7 +541,7 @@ void PprIndex::PushSource(SourceSlot* slot, ParallelPushEngine* engine,
     slot->ppr->RunPushOnTouched(/*accumulate=*/true);
   }
   slot->ppr->SetEngine(nullptr);
-  slot->snapshot.Publish(slot->ppr->Estimates());
+  slot->snapshot.Publish(slot->ppr->Estimates(), epoch_increment);
 }
 
 // -------------------------------------------------------- snapshot reads

@@ -153,7 +153,13 @@ class SnapshotSlot {
  public:
   /// Writer-only (one publisher per slot at a time; PprIndex serializes
   /// this structurally — one source is pushed by exactly one worker).
-  void Publish(const std::vector<double>& estimates);
+  /// `epoch_increment` is the number of epochs this publish advances —
+  /// normally 1, or the number of coalesced update requests folded into
+  /// the batch being published, so a replica that merges a burst into one
+  /// ApplyBatch lands on the SAME epoch as one that applied the requests
+  /// separately (the invariant replica failover relies on).
+  void Publish(const std::vector<double>& estimates,
+               uint64_t epoch_increment = 1);
 
   /// Writer-only: drops the published estimates (and the recycle buffer)
   /// but keeps the epoch, so a later re-materialization publishes the
@@ -217,7 +223,16 @@ class PprIndex {
   /// into direct solves), pushes those sources across the engine pool,
   /// and publishes a fresh snapshot per source. Evicted sources are
   /// skipped — re-materialization recomputes from scratch anyway.
-  void ApplyBatch(const UpdateBatch& batch);
+  ///
+  /// `epoch_increment` makes per-source epochs a deterministic function
+  /// of the update-request sequence rather than of coalescing timing: a
+  /// caller that merged N queued update requests into this one batch
+  /// passes N, so every replica of this index — however its maintenance
+  /// thread happened to batch the same feed — publishes the same epoch
+  /// for the same prefix of requests. Replica failover depends on this:
+  /// a promoted standby must never answer with an epoch behind one the
+  /// failed primary already served.
+  void ApplyBatch(const UpdateBatch& batch, uint64_t epoch_increment = 1);
 
   // --- Dynamic source set (maintainer-serialized) -----------------------
 
@@ -248,6 +263,12 @@ class PprIndex {
   /// snapshots keep them; new reads answer kUnknownSource. False (and *out
   /// untouched) if `s` is not a source.
   bool ExportSource(VertexId s, ExportedSource* out);
+
+  /// ExportSource without the removal: fills *out with a copy of `s`'s
+  /// state at its current epoch and leaves the index untouched. This is
+  /// the standby-sync read — a replica set copies a source onto a standby
+  /// while the primary keeps serving it. False if `s` is not a source.
+  bool PeekSource(VertexId s, ExportedSource* out) const;
 
   /// Installs a source exported from another index over an identical
   /// graph: adds the slot, adopts the carried state without any push, and
@@ -367,9 +388,10 @@ class PprIndex {
   void EnforceLruCap();
   bool ChooseAcrossSources(int64_t est_work_per_source) const;
   void PushAll(const std::vector<SourceSlot*>& slots,
-               int64_t est_work_per_source, bool initialize);
+               int64_t est_work_per_source, bool initialize,
+               uint64_t epoch_increment);
   void PushSource(SourceSlot* slot, ParallelPushEngine* engine,
-                  bool initialize);
+                  bool initialize, uint64_t epoch_increment = 1);
 
   DynamicGraph* graph_;
   IndexOptions options_;

@@ -1,11 +1,38 @@
 #include "router/shard_backend.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "router/migration.h"
 #include "util/macros.h"
 
 namespace dppr {
+
+using responses::Maint;
+using responses::ReadyMaint;
+using responses::ReadyQuery;
+
+// ---------------------------------------------------------- ShardBackend
+
+MaintResponse ShardBackend::CopyBlob(VertexId s, std::string* blob) {
+  // Default: reuse the migration verbs — lift the source out and put the
+  // same bytes straight back. The caller must hold readers and the feed
+  // off this shard (the router's exclusive lock does), because the source
+  // is briefly absent between the two calls.
+  const MaintResponse extracted = ExtractBlob(s, blob);
+  if (extracted.status != RequestStatus::kOk) return extracted;
+  // The inject-back MUST land: returning a retryable status here would
+  // hand the caller a shard that already lost the source (its retry
+  // would re-extract nothing). A shed is retried until the queue admits
+  // it — with the feed blocked by the caller, the queue only drains.
+  const MaintResponse restored =
+      responses::RetryShedBlocking([this, blob] { return InjectBlob(*blob); });
+  // Any other failure means the backend died mid-way; surface that, the
+  // source travels with the blob (and the caller can rescue it).
+  if (restored.status != RequestStatus::kOk) return restored;
+  return extracted;
+}
 
 // ------------------------------------------------------ LocalShardBackend
 
@@ -30,16 +57,27 @@ void LocalShardBackend::Stop() { service_->Stop(); }
 
 std::future<QueryResponse> LocalShardBackend::QueryVertexAsync(
     VertexId s, VertexId v, int64_t deadline_ms) {
+  if (severed()) return ReadyQuery(RequestStatus::kUnavailable);
   return service_->QueryVertexAsync(s, v, deadline_ms);
 }
 
 std::future<QueryResponse> LocalShardBackend::TopKAsync(
     VertexId s, int k, int64_t deadline_ms) {
+  if (severed()) return ReadyQuery(RequestStatus::kUnavailable);
   return service_->TopKAsync(s, k, deadline_ms);
 }
 
 std::future<std::vector<QueryResponse>> LocalShardBackend::MultiSourceAsync(
     std::vector<VertexId> sources, VertexId v, int64_t deadline_ms) {
+  if (severed()) {
+    std::promise<std::vector<QueryResponse>> promise;
+    std::vector<QueryResponse> responses(sources.size());
+    for (QueryResponse& response : responses) {
+      response.status = RequestStatus::kUnavailable;
+    }
+    promise.set_value(std::move(responses));
+    return promise.get_future();
+  }
   // Submit everything now (so the requests queue concurrently); defer
   // only the gather to the caller's .get().
   std::vector<std::future<QueryResponse>> futures;
@@ -59,24 +97,29 @@ std::future<std::vector<QueryResponse>> LocalShardBackend::MultiSourceAsync(
 
 std::future<MaintResponse> LocalShardBackend::ApplyUpdatesAsync(
     const UpdateBatch& batch) {
+  if (severed()) return ReadyMaint(RequestStatus::kUnavailable);
   return service_->ApplyUpdatesAsync(batch);
 }
 
 std::future<MaintResponse> LocalShardBackend::AddSourceAsync(VertexId s) {
+  if (severed()) return ReadyMaint(RequestStatus::kUnavailable);
   return service_->AddSourceAsync(s);
 }
 
 std::future<MaintResponse> LocalShardBackend::RemoveSourceAsync(
     VertexId s) {
+  if (severed()) return ReadyMaint(RequestStatus::kUnavailable);
   return service_->RemoveSourceAsync(s);
 }
 
 std::future<MaintResponse> LocalShardBackend::QuiesceAsync() {
+  if (severed()) return ReadyMaint(RequestStatus::kUnavailable);
   return service_->QuiesceAsync();
 }
 
 MaintResponse LocalShardBackend::ExtractBlob(VertexId s,
                                              std::string* blob) {
+  if (severed()) return Maint(RequestStatus::kUnavailable);
   ExportedSource exported;
   const MaintResponse response =
       service_->ExtractSourceAsync(s, &exported).get();
@@ -87,6 +130,7 @@ MaintResponse LocalShardBackend::ExtractBlob(VertexId s,
 }
 
 MaintResponse LocalShardBackend::InjectBlob(const std::string& blob) {
+  if (severed()) return Maint(RequestStatus::kUnavailable);
   ExportedSource incoming;
   if (!DecodeMigrationBlob(blob, &incoming).ok()) {
     MaintResponse response;
@@ -96,25 +140,57 @@ MaintResponse LocalShardBackend::InjectBlob(const std::string& blob) {
   return service_->InjectSourceAsync(std::move(incoming)).get();
 }
 
+MaintResponse LocalShardBackend::CopyBlob(VertexId s, std::string* blob) {
+  // Non-destructive in-process copy: the maintenance thread fills the
+  // export while the source keeps serving — no absence window at all.
+  if (severed()) return Maint(RequestStatus::kUnavailable);
+  ExportedSource copied;
+  const MaintResponse response =
+      service_->CopySourceAsync(s, &copied).get();
+  if (response.status != RequestStatus::kOk) return response;
+  const Status st = EncodeMigrationBlob(copied, blob);
+  DPPR_CHECK_MSG(st.ok(), st.message().c_str());
+  return response;
+}
+
+bool LocalShardBackend::Sever() {
+  severed_.store(true, std::memory_order_release);
+  return true;
+}
+
 std::vector<VertexId> LocalShardBackend::Sources() const {
+  // A severed backend reports like a dead remote: no sources. The failure
+  // story is the per-request kUnavailable, not introspection.
+  if (severed()) return {};
   return index_->Sources();
 }
 
 size_t LocalShardBackend::NumSources() const {
+  if (severed()) return 0;
   return index_->NumSources();
 }
 
 bool LocalShardBackend::HasSource(VertexId s) const {
+  if (severed()) return false;
   return index_->HasSource(s);
 }
 
 MetricsReport LocalShardBackend::Metrics() const {
+  if (severed()) return MetricsReport{};
   return service_->Metrics();
 }
 
 void LocalShardBackend::MergeLatenciesInto(Histogram* query_ms,
                                            Histogram* batch_ms) const {
+  if (severed()) return;
   service_->MergeLatenciesInto(query_ms, batch_ms);
+}
+
+void LocalShardBackend::SnapshotMetrics(MetricsReport* report,
+                                        Histogram* query_ms,
+                                        Histogram* batch_ms) const {
+  if (severed()) return;
+  service_->SnapshotMetrics(report, query_ms, batch_ms);
 }
 
 // ----------------------------------------------------- RemoteShardBackend
@@ -223,6 +299,11 @@ void RemoteShardBackend::SnapshotMetrics(MetricsReport* report,
   *report = stats.report;
   for (double v : stats.query_latency_samples) query_ms->Add(v);
   for (double v : stats.batch_latency_samples) batch_ms->Add(v);
+}
+
+bool RemoteShardBackend::Sever() {
+  client_->Disconnect();
+  return true;
 }
 
 }  // namespace dppr

@@ -15,9 +15,12 @@
 #ifndef DPPR_ROUTER_SHARD_BACKEND_H_
 #define DPPR_ROUTER_SHARD_BACKEND_H_
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/dynamic_graph.h"
@@ -28,6 +31,47 @@
 #include "util/histogram.h"
 
 namespace dppr {
+
+/// Ready-made responses for refusals decided without touching a backend
+/// (dead replica, closed router, severed shard). Shared by the router
+/// layer so response construction lives in one place.
+namespace responses {
+
+inline MaintResponse Maint(RequestStatus status) {
+  MaintResponse response;
+  response.status = status;
+  return response;
+}
+
+inline std::future<QueryResponse> ReadyQuery(RequestStatus status) {
+  std::promise<QueryResponse> promise;
+  QueryResponse response;
+  response.status = status;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+inline std::future<MaintResponse> ReadyMaint(RequestStatus status) {
+  std::promise<MaintResponse> promise;
+  promise.set_value(Maint(status));
+  return promise.get_future();
+}
+
+/// Re-runs a blocking admin submission while the shard sheds it
+/// (kShedQueueFull). Only legal when the caller has the feed blocked —
+/// the maintenance queue then only drains, so the retry terminates. The
+/// one shed-retry loop for router-layer admin/migration paths (the feed
+/// fan-out has its own, counted variant in ReplicaSet).
+template <typename Submit>
+MaintResponse RetryShedBlocking(const Submit& submit) {
+  for (;;) {
+    MaintResponse response = submit();
+    if (response.status != RequestStatus::kShedQueueFull) return response;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace responses
 
 /// \brief One shard as the router sees it. See file comment.
 ///
@@ -61,6 +105,14 @@ class ShardBackend {
   virtual MaintResponse ExtractBlob(VertexId s, std::string* blob) = 0;
   /// Installs a migration blob produced by any backend's ExtractBlob.
   virtual MaintResponse InjectBlob(const std::string& blob) = 0;
+  /// ExtractBlob WITHOUT the removal: the standby-sync read. The default
+  /// reuses the two verbs above — extract, then inject the same bytes
+  /// straight back — so a remote shard needs no new wire verb; the source
+  /// is briefly absent, which is why replica sync runs with the feed
+  /// blocked and readers held off (the router's exclusive lock).
+  /// LocalShardBackend overrides this with a genuinely non-destructive
+  /// copy.
+  virtual MaintResponse CopyBlob(VertexId s, std::string* blob);
 
   virtual std::vector<VertexId> Sources() const = 0;
   virtual size_t NumSources() const = 0;
@@ -83,6 +135,14 @@ class ShardBackend {
   /// The in-process graph replica, or nullptr for a remote shard. The
   /// router clones a local donor's graph when it grows a local shard.
   virtual const DynamicGraph* LocalGraph() const { return nullptr; }
+
+  /// Fault injection: makes this backend behave like a dead shard from
+  /// now on — every request answers kUnavailable, introspection answers
+  /// empty — without tearing down the process underneath. For a remote
+  /// backend this severs the real connection. False if unsupported.
+  /// Drives the replica-failover chaos tests and the hub_server
+  /// kill-the-primary demo.
+  virtual bool Sever() { return false; }
 
   /// "local" or "host:port" — log/debug labeling only.
   virtual std::string Describe() const = 0;
@@ -115,6 +175,7 @@ class LocalShardBackend : public ShardBackend {
 
   MaintResponse ExtractBlob(VertexId s, std::string* blob) override;
   MaintResponse InjectBlob(const std::string& blob) override;
+  MaintResponse CopyBlob(VertexId s, std::string* blob) override;
 
   std::vector<VertexId> Sources() const override;
   size_t NumSources() const override;
@@ -122,15 +183,31 @@ class LocalShardBackend : public ShardBackend {
   MetricsReport Metrics() const override;
   void MergeLatenciesInto(Histogram* query_ms,
                           Histogram* batch_ms) const override;
-  const DynamicGraph* LocalGraph() const override { return graph_.get(); }
-  std::string Describe() const override { return "local"; }
+  /// One observation: counters and samples under a single acquisition of
+  /// the metrics mutex (PprService::SnapshotMetrics). The inherited
+  /// default takes two, so a router report could pair counters with
+  /// samples from different instants.
+  void SnapshotMetrics(MetricsReport* report, Histogram* query_ms,
+                       Histogram* batch_ms) const override;
+  const DynamicGraph* LocalGraph() const override {
+    return severed() ? nullptr : graph_.get();
+  }
+  bool Sever() override;
+  std::string Describe() const override {
+    return severed() ? "local(severed)" : "local";
+  }
 
   PprService* service() { return service_.get(); }
 
  private:
+  bool severed() const { return severed_.load(std::memory_order_acquire); }
+
   std::unique_ptr<DynamicGraph> graph_;
   std::unique_ptr<PprIndex> index_;
   std::unique_ptr<PprService> service_;
+  /// Once set, the backend answers like a dead process (kUnavailable /
+  /// empty) while the stack underneath stays intact for Stop().
+  std::atomic<bool> severed_{false};
 };
 
 /// \brief A shard living in another process, reached through the
@@ -174,6 +251,9 @@ class RemoteShardBackend : public ShardBackend {
                           Histogram* batch_ms) const override;
   void SnapshotMetrics(MetricsReport* report, Histogram* query_ms,
                        Histogram* batch_ms) const override;
+  /// Severs the TCP connection: every later call answers kUnavailable,
+  /// exactly as if the peer died. The remote process keeps running.
+  bool Sever() override;
   std::string Describe() const override { return client_->endpoint(); }
 
  private:

@@ -4,45 +4,13 @@
 #include <thread>
 #include <utility>
 
+#include "net/wire.h"
 #include "util/macros.h"
 
 namespace dppr {
-namespace {
 
-std::future<QueryResponse> ReadyQueryResponse(RequestStatus status) {
-  std::promise<QueryResponse> promise;
-  QueryResponse response;
-  response.status = status;
-  promise.set_value(std::move(response));
-  return promise.get_future();
-}
-
-MaintResponse MaintStatus(RequestStatus status) {
-  MaintResponse response;
-  response.status = status;
-  return response;
-}
-
-/// Sums the monotone counters of `from` into `into` (latency percentiles
-/// are NOT summable — the caller recomputes them from merged histograms).
-void AddCounters(const MetricsReport& from, MetricsReport* into) {
-  into->queries_completed += from.queries_completed;
-  into->queries_shed_queue_full += from.queries_shed_queue_full;
-  into->queries_shed_deadline += from.queries_shed_deadline;
-  into->queries_failed += from.queries_failed;
-  into->served_during_maintenance += from.served_during_maintenance;
-  into->batches_applied += from.batches_applied;
-  into->updates_applied += from.updates_applied;
-  into->updates_shed_queue_full += from.updates_shed_queue_full;
-  into->sources_added += from.sources_added;
-  into->sources_removed += from.sources_removed;
-  into->sources_materialized += from.sources_materialized;
-  into->sources_evicted += from.sources_evicted;
-  into->elapsed_seconds =
-      std::max(into->elapsed_seconds, from.elapsed_seconds);
-}
-
-}  // namespace
+using responses::Maint;
+using responses::ReadyQuery;
 
 ShardedPprService::ShardedPprService(const std::vector<Edge>& initial_edges,
                                      VertexId num_vertices,
@@ -52,6 +20,7 @@ ShardedPprService::ShardedPprService(const std::vector<Edge>& initial_edges,
       num_vertices_(num_vertices),
       ring_(options.vnodes_per_shard) {
   DPPR_CHECK(options.num_shards >= 0);
+  DPPR_CHECK(options.replicas >= 1);
   DPPR_CHECK(options.reroute_retry_limit >= 0);
   DPPR_CHECK_MSG(options.num_shards > 0 || sources.empty(),
                  "a shardless router cannot place initial sources; join "
@@ -59,8 +28,8 @@ ShardedPprService::ShardedPprService(const std::vector<Edge>& initial_edges,
   for (int i = 0; i < options.num_shards; ++i) {
     ring_.AddShard(next_shard_id_++);
   }
-  // Partition the initial sources by ring placement; every shard gets the
-  // full graph replica.
+  // Partition the initial sources by ring placement; every replica of
+  // every slot gets the full graph replica.
   std::vector<std::vector<VertexId>> per_shard(
       static_cast<size_t>(options.num_shards));
   for (VertexId s : sources) {
@@ -75,30 +44,66 @@ ShardedPprService::ShardedPprService(const std::vector<Edge>& initial_edges,
 
 ShardedPprService::~ShardedPprService() { Stop(); }
 
+std::unique_ptr<ShardBackend> ShardedPprService::BuildLocalBackend(
+    const std::vector<Edge>& edges, VertexId num_vertices,
+    std::vector<VertexId> sources) const {
+  return std::make_unique<LocalShardBackend>(edges, num_vertices,
+                                             std::move(sources),
+                                             options_.index,
+                                             options_.service);
+}
+
+std::unique_ptr<ShardedPprService::Shard> ShardedPprService::NewSlot(
+    int id) const {
+  auto shard = std::make_unique<Shard>();
+  shard->id = id;
+  ReplicaSetOptions set_options;
+  set_options.update_retry_backoff = options_.update_retry_backoff;
+  shard->set = std::make_shared<ReplicaSet>(set_options);
+  return shard;
+}
+
 std::unique_ptr<ShardedPprService::Shard> ShardedPprService::BuildShard(
     int id, const std::vector<Edge>& edges, VertexId num_vertices,
     std::vector<VertexId> sources) const {
-  auto shard = std::make_unique<Shard>();
-  shard->id = id;
-  shard->backend = std::make_unique<LocalShardBackend>(
-      edges, num_vertices, std::move(sources), options_.index,
-      options_.service);
+  auto shard = NewSlot(id);
+  // Every replica starts with the SAME source set over the SAME graph:
+  // their from-scratch pushes agree within eps and publish the same
+  // epoch, so the standbys are promotable from the first request on.
+  for (int r = 0; r < options_.replicas; ++r) {
+    shard->set->AddReplica(BuildLocalBackend(edges, num_vertices, sources));
+  }
   return shard;
 }
 
 void ShardedPprService::Start() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  DPPR_CHECK_MSG(!started_ && !stopped_,
-                 "ShardedPprService is single-use: Start may run once");
-  started_ = true;
-  for (auto& shard : shards_) shard->backend->Start();
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    DPPR_CHECK_MSG(!started_ && !stopped_,
+                   "ShardedPprService is single-use: Start may run once");
+    started_ = true;
+    for (auto& shard : shards_) shard->set->Start();
+  }
+  if (options_.anti_entropy_interval.count() > 0) {
+    anti_entropy_ = std::thread([this] { AntiEntropyLoop(); });
+  }
 }
 
 void ShardedPprService::Stop() {
+  // The anti-entropy thread takes the exclusive lock itself; signal and
+  // join it BEFORE taking the lock here.
+  if (anti_entropy_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(anti_entropy_mu_);
+      anti_entropy_stop_ = true;
+    }
+    anti_entropy_cv_.notify_all();
+    anti_entropy_.join();
+  }
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (!started_ || stopped_) return;
   stopped_ = true;
-  for (auto& shard : shards_) shard->backend->Stop();
+  for (auto& shard : shards_) shard->set->Stop();
 }
 
 // ------------------------------------------------------------- routing
@@ -118,19 +123,19 @@ ShardedPprService::Shard* ShardedPprService::OwnerShard(VertexId s) const {
 std::future<QueryResponse> ShardedPprService::QueryVertexAsync(
     VertexId s, VertexId v, int64_t deadline_ms) {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  if (!started_ || stopped_) return ReadyQueryResponse(RequestStatus::kClosed);
+  if (!started_ || stopped_) return ReadyQuery(RequestStatus::kClosed);
   Shard* shard = OwnerShard(s);
-  if (shard == nullptr) return ReadyQueryResponse(RequestStatus::kClosed);
-  return shard->backend->QueryVertexAsync(s, v, deadline_ms);
+  if (shard == nullptr) return ReadyQuery(RequestStatus::kClosed);
+  return shard->set->QueryVertexAsync(s, v, deadline_ms);
 }
 
 std::future<QueryResponse> ShardedPprService::TopKAsync(VertexId s, int k,
                                                         int64_t deadline_ms) {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  if (!started_ || stopped_) return ReadyQueryResponse(RequestStatus::kClosed);
+  if (!started_ || stopped_) return ReadyQuery(RequestStatus::kClosed);
   Shard* shard = OwnerShard(s);
-  if (shard == nullptr) return ReadyQueryResponse(RequestStatus::kClosed);
-  return shard->backend->TopKAsync(s, k, deadline_ms);
+  if (shard == nullptr) return ReadyQuery(RequestStatus::kClosed);
+  return shard->set->TopKAsync(s, k, deadline_ms);
 }
 
 QueryResponse ShardedPprService::Query(VertexId s, VertexId v,
@@ -164,27 +169,25 @@ QueryResponse ShardedPprService::TopK(VertexId s, int k,
 }
 
 MaintResponse ShardedPprService::AddSource(VertexId s) {
-  std::future<MaintResponse> future;
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    if (!started_ || stopped_) return MaintStatus(RequestStatus::kClosed);
-    Shard* shard = OwnerShard(s);
-    if (shard == nullptr) return MaintStatus(RequestStatus::kClosed);
-    future = shard->backend->AddSourceAsync(s);
-  }
-  return future.get();
+  // The shared lock is held across the WHOLE call, like ApplyUpdates: a
+  // replicated slot's fan-out is a deferred future that runs at .get(),
+  // and an exclusive-lock topology op (anti-entropy, AddShard) must not
+  // be able to quiesce BETWEEN the routing decision and that fan-out —
+  // its barrier can only drain work that has actually been submitted.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return Maint(RequestStatus::kClosed);
+  Shard* shard = OwnerShard(s);
+  if (shard == nullptr) return Maint(RequestStatus::kClosed);
+  return shard->set->AddSourceAsync(s).get();
 }
 
 MaintResponse ShardedPprService::RemoveSource(VertexId s) {
-  std::future<MaintResponse> future;
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    if (!started_ || stopped_) return MaintStatus(RequestStatus::kClosed);
-    Shard* shard = OwnerShard(s);
-    if (shard == nullptr) return MaintStatus(RequestStatus::kClosed);
-    future = shard->backend->RemoveSourceAsync(s);
-  }
-  return future.get();
+  // Shared lock across the fan-out, same as AddSource.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return Maint(RequestStatus::kClosed);
+  Shard* shard = OwnerShard(s);
+  if (shard == nullptr) return Maint(RequestStatus::kClosed);
+  return shard->set->RemoveSourceAsync(s).get();
 }
 
 // -------------------------------------------------- replicated updates
@@ -196,7 +199,7 @@ MaintResponse ShardedPprService::ApplyUpdates(UpdateBatch batch) {
   // graph is cloned from a quiesced peer, and a half-propagated batch
   // would fork the replicas.
   std::shared_lock<std::shared_mutex> lock(mu_);
-  if (!started_ || stopped_) return MaintStatus(RequestStatus::kClosed);
+  if (!started_ || stopped_) return Maint(RequestStatus::kClosed);
   std::vector<Shard*> pending;
   pending.reserve(shards_.size());
   for (const auto& shard : shards_) pending.push_back(shard.get());
@@ -205,19 +208,23 @@ MaintResponse ShardedPprService::ApplyUpdates(UpdateBatch batch) {
     std::vector<std::future<MaintResponse>> futures;
     futures.reserve(pending.size());
     for (Shard* shard : pending) {
-      futures.push_back(shard->backend->ApplyUpdatesAsync(batch));
+      futures.push_back(shard->set->ApplyUpdatesAsync(batch));
     }
     std::vector<Shard*> shed;
     for (size_t i = 0; i < futures.size(); ++i) {
       const MaintResponse response = futures[i].get();
       if (response.status == RequestStatus::kShedQueueFull) {
+        // Single-replica slots surface their sheds here (a replicated
+        // slot retries its members internally and never sheds upward).
         shed.push_back(pending[i]);
       } else if (response.status != RequestStatus::kOk) {
         // kClosed: shutdown (every later read answers kClosed too).
-        // kUnavailable: a remote shard died mid-feed — its replica is
-        // behind the moment the survivors apply this batch, so the error
-        // MUST surface; the operator removes the shard or re-joins a
-        // fresh twin. Either way, retrying here cannot help.
+        // kUnavailable: every replica of a slot died mid-feed — the
+        // slot's sources are gone until an operator re-joins a twin, and
+        // its replicas are behind the moment the survivors apply this
+        // batch, so the error MUST surface. (A slot with a live standby
+        // never reaches this: the set promotes internally and answers
+        // kOk.)
         return response;
       }
     }
@@ -234,7 +241,7 @@ MaintResponse ShardedPprService::ApplyUpdates(UpdateBatch batch) {
       std::this_thread::sleep_for(options_.update_retry_backoff);
     }
   }
-  MaintResponse ok = MaintStatus(RequestStatus::kOk);
+  MaintResponse ok = Maint(RequestStatus::kOk);
   ok.updates_applied = static_cast<int64_t>(batch.size());
   return ok;
 }
@@ -279,12 +286,14 @@ std::vector<QueryResponse> ShardedPprService::MultiSourceQuery(
       group->positions.push_back(i);
     }
     for (ShardGroup& group : groups) {
-      group.future = group.shard->backend->MultiSourceAsync(
+      group.future = group.shard->set->MultiSourceAsync(
           group.sources, v, deadline_ms);
     }
   }
   // Gather outside the lock: the responses come from shard workers (or
-  // the remote receiver thread), which never need the routing lock.
+  // the remote receiver thread), which never need the routing lock. A
+  // failover retry inside the gather is safe too — the replica set is
+  // kept alive by its own shared_ptr captures.
   for (ShardGroup& group : groups) {
     std::vector<QueryResponse> shard_responses = group.future.get();
     DPPR_CHECK(shard_responses.size() == group.positions.size());
@@ -302,9 +311,9 @@ GlobalTopKResult ShardedPprService::GlobalTopK(int k, int64_t deadline_ms) {
     std::shared_lock<std::shared_mutex> lock(mu_);
     if (started_ && !stopped_) {
       for (const auto& shard : shards_) {
-        for (VertexId s : shard->backend->Sources()) {
+        for (VertexId s : shard->set->Sources()) {
           queried.push_back(s);
-          futures.push_back(shard->backend->TopKAsync(s, k, deadline_ms));
+          futures.push_back(shard->set->TopKAsync(s, k, deadline_ms));
         }
       }
     }
@@ -342,54 +351,36 @@ GlobalTopKResult ShardedPprService::GlobalTopK(int k, int64_t deadline_ms) {
 // ---------------------------------------------------------- elasticity
 
 void ShardedPprService::QuiesceAllLocked() {
-  // Barriers go out to every shard at once; the waits overlap.
+  // Barriers go out to every slot at once; the waits overlap.
   std::vector<std::pair<Shard*, std::future<MaintResponse>>> barriers;
   barriers.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    barriers.emplace_back(shard.get(), shard->backend->QuiesceAsync());
+    barriers.emplace_back(shard.get(), shard->set->QuiesceAsync());
   }
   for (auto& [shard, future] : barriers) {
     for (;;) {
       const RequestStatus status = future.get().status;
       if (status == RequestStatus::kOk) break;
-      // A dead remote shard has nothing left to drain — and RemoveShard
-      // of exactly that shard is the operator's remedy for its death, so
-      // the barrier must not abort on it. (Its sources are unreachable;
+      // A fully dead slot has nothing left to drain — and RemoveShard of
+      // exactly that slot is the operator's remedy for its death, so the
+      // barrier must not abort on it. (Its sources are unreachable;
       // Sources() answers empty, so migration skips it too.)
       if (status == RequestStatus::kUnavailable) break;
-      // A shed barrier means the maintenance queue was full at submit
+      // A shed barrier means a maintenance queue was full at submit
       // time. The exclusive lock blocks new update fan-outs, so the queue
       // only drains — re-arm until the barrier fits.
       DPPR_CHECK_MSG(status == RequestStatus::kShedQueueFull,
                      "quiesce barrier refused");
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      future = shard->backend->QuiesceAsync();
+      future = shard->set->QuiesceAsync();
     }
   }
 }
 
-namespace {
-
-/// Retries a blocking migration hook while the shard's queue sheds it:
-/// workers keep filing fire-and-forget materialization requests during a
-/// migration (they never take the router lock), so the queue can
-/// legitimately be full. With the feed blocked by the exclusive lock the
-/// queue drains, so the retry terminates.
-template <typename Submit>
-MaintResponse SubmitWithRetry(const Submit& submit) {
-  for (;;) {
-    MaintResponse response = submit();
-    if (response.status != RequestStatus::kShedQueueFull) return response;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-}
-
-}  // namespace
-
 size_t ShardedPprService::MigrateSourcesLocked(
     Shard* from, const ConsistentHashRing& ring) {
   size_t moved = 0;
-  for (VertexId s : from->backend->Sources()) {
+  for (VertexId s : from->set->Sources()) {
     const int target_id = ring.OwnerOf(s);
     if (target_id == from->id) continue;
     Shard* to = FindShard(target_id);
@@ -399,18 +390,18 @@ size_t ShardedPprService::MigrateSourcesLocked(
     // trip through the checksummed codec, across processes the SAME bytes
     // ride a kExtractSource/kInjectSource frame pair. A failure here is
     // unrecoverable by retry (the replicas have no way to re-agree), so
-    // it is a crash, not a status — replication is the ROADMAP item that
-    // buys a second copy to fall back on.
+    // it is a crash, not a status — with standbys in the slot the set
+    // already failed over internally before giving up.
     std::string blob;
-    const MaintResponse extracted = SubmitWithRetry(
-        [&] { return from->backend->ExtractBlob(s, &blob); });
+    const MaintResponse extracted = responses::RetryShedBlocking(
+        [&] { return from->set->ExtractBlob(s, &blob); });
     DPPR_CHECK_MSG(extracted.status == RequestStatus::kOk,
                    "extract of a listed source failed");
     migration_bytes_.fetch_add(static_cast<int64_t>(blob.size()),
                                std::memory_order_relaxed);
 
-    const MaintResponse injected = SubmitWithRetry(
-        [&] { return to->backend->InjectBlob(blob); });
+    const MaintResponse injected = responses::RetryShedBlocking(
+        [&] { return to->set->InjectBlob(blob); });
     DPPR_CHECK_MSG(injected.status == RequestStatus::kOk,
                    "inject into the new owner failed");
     ++moved;
@@ -438,52 +429,197 @@ int ShardedPprService::AddShard() {
   // front-end over remote shards has none.
   const DynamicGraph* donor_graph = nullptr;
   for (const auto& shard : shards_) {
-    donor_graph = shard->backend->LocalGraph();
+    donor_graph = shard->set->LocalGraph();
     if (donor_graph != nullptr) break;
   }
   if (donor_graph == nullptr) return -1;
   QuiesceAllLocked();
 
-  // All replicas are identical once quiesced; clone any local one.
+  // All replicas are identical once quiesced; clone any local one. The
+  // wrapper semantics: one replica, exactly the pre-replication shard.
   const int id = next_shard_id_++;
-  auto fresh = BuildShard(id, donor_graph->ToEdgeList(),
-                          donor_graph->NumVertices(), {});
-  fresh->backend->Start();  // no sources yet: publishes nothing
+  auto fresh = NewSlot(id);
+  fresh->set->AddReplica(BuildLocalBackend(
+      donor_graph->ToEdgeList(), donor_graph->NumVertices(), {}));
+  fresh->set->Start();  // no sources yet: publishes nothing
   AdmitShardLocked(std::move(fresh));
   return id;
 }
 
-int ShardedPprService::AddRemoteShard(const std::string& host, int port) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (!started_ || stopped_) return -1;
-
+std::unique_ptr<RemoteShardBackend> ShardedPprService::DialRemoteBackend(
+    const std::string& host, int port) const {
   auto backend = std::make_unique<RemoteShardBackend>();
-  if (!backend->Connect(host, port).ok()) return -1;
+  if (!backend->Connect(host, port).ok()) return nullptr;
   net::ShardStats stats;
-  if (!backend->FetchStats(&stats).ok()) return -1;
+  if (!backend->FetchStats(&stats).ok()) return nullptr;
   // The ring only stays a pure function of the shard set if every shard
   // serves the same graph; and a joiner that already owns sources would
   // shadow-own keys the ring assigns elsewhere.
   if (stats.running == 0 || stats.num_sources != 0 ||
       static_cast<VertexId>(stats.num_vertices) != num_vertices_) {
-    return -1;
+    return nullptr;
   }
   // A materialized source's migration blob is ~16 bytes/vertex (p and r
-  // arrays). If that cannot fit one frame, every future migration
-  // to/from this shard would fail mid-flight — refuse the join now,
-  // while refusing is still free.
+  // arrays). If that cannot fit one frame, every future migration or
+  // standby sync to/from this shard would fail mid-flight — refuse the
+  // join now, while refusing is still free.
   if (16 * static_cast<uint64_t>(num_vertices_) + 1024 >
       net::kDefaultMaxFramePayload) {
-    return -1;
+    return nullptr;
   }
+  return backend;
+}
+
+int ShardedPprService::AddRemoteShard(const std::string& host, int port) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return -1;
+  auto backend = DialRemoteBackend(host, port);
+  if (backend == nullptr) return -1;
   QuiesceAllLocked();
 
-  auto fresh = std::make_unique<Shard>();
-  fresh->id = next_shard_id_++;
-  fresh->backend = std::move(backend);
+  auto fresh = NewSlot(next_shard_id_++);
+  fresh->set->AddReplica(std::move(backend));
   const int id = fresh->id;
   AdmitShardLocked(std::move(fresh));
   return id;
+}
+
+int ShardedPprService::AddReplica(int slot_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return -1;
+  Shard* slot = FindShard(slot_id);
+  if (slot == nullptr) return -1;
+  const DynamicGraph* donor_graph = nullptr;
+  for (const auto& shard : shards_) {
+    donor_graph = shard->set->LocalGraph();
+    if (donor_graph != nullptr) break;
+  }
+  if (donor_graph == nullptr) return -1;
+  // Quiesce so the cloned graph and the copied per-source state describe
+  // the same feed prefix — the standby joins bit-identical.
+  QuiesceAllLocked();
+  auto backend = BuildLocalBackend(donor_graph->ToEdgeList(),
+                                   donor_graph->NumVertices(), {});
+  backend->Start();
+  const int index = slot->set->AddReplica(std::move(backend));
+  // Sync fails when the slot has no live primary to copy from (e.g. the
+  // operator is trying to restore an already-dead slot — RemoveShard is
+  // the remedy there): undo the attach and refuse, like the remote path.
+  if (!slot->set->SyncReplica(index)) {
+    // EXCEPT when the sync itself failed the primary over mid-copy and
+    // rescued state onto the newcomer — it is then the slot's serving
+    // copy and must stay.
+    ShardBackend* attached = slot->set->ReplicaBackend(index);
+    if (slot->set->PrimaryIndex() == index ||
+        (attached != nullptr && attached->NumSources() > 0)) {
+      return index;
+    }
+    (void)slot->set->RemoveReplica(index);
+    return -1;
+  }
+  return index;
+}
+
+int ShardedPprService::AddRemoteReplica(int slot_id,
+                                        const std::string& host, int port) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return -1;
+  Shard* slot = FindShard(slot_id);
+  if (slot == nullptr) return -1;
+  auto backend = DialRemoteBackend(host, port);
+  if (backend == nullptr) return -1;
+  QuiesceAllLocked();
+  const int index = slot->set->AddReplica(std::move(backend));
+  // Over-the-wire sync CAN fail (the joiner may die mid-copy): undo the
+  // attach instead of leaving a half-synced standby in promotion order —
+  // unless the PRIMARY died mid-sync and the newcomer holds rescued
+  // state (possibly already promoted): it is then the serving copy.
+  if (!slot->set->SyncReplica(index)) {
+    ShardBackend* attached = slot->set->ReplicaBackend(index);
+    if (slot->set->PrimaryIndex() == index ||
+        (attached != nullptr && attached->NumSources() > 0)) {
+      return index;
+    }
+    (void)slot->set->RemoveReplica(index);
+    return -1;
+  }
+  return index;
+}
+
+bool ShardedPprService::RemoveReplica(int slot_id, int replica_index) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return false;
+  Shard* slot = FindShard(slot_id);
+  if (slot == nullptr) return false;
+  // Quiesce so a primary handoff (removal of the current primary) swaps
+  // between replicas at the same feed prefix.
+  QuiesceAllLocked();
+  return slot->set->RemoveReplica(replica_index);
+}
+
+bool ShardedPprService::Promote(int slot_id, int replica_index) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return false;
+  Shard* slot = FindShard(slot_id);
+  if (slot == nullptr) return false;
+  QuiesceAllLocked();
+  return slot->set->Promote(replica_index);
+}
+
+bool ShardedPprService::SeverReplica(int slot_id, int replica_index) {
+  // Fault injection runs under the SHARED lock: a real death happens
+  // under live load, not inside a topology quiesce.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return false;
+  Shard* slot = FindShard(slot_id);
+  if (slot == nullptr) return false;
+  ShardBackend* backend = slot->set->ReplicaBackend(replica_index);
+  return backend != nullptr && backend->Sever();
+}
+
+int64_t ShardedPprService::SyncStandbys() {
+  // Probe under the SHARED lock: the steady state is "no drift", and a
+  // probe (one ListSources RPC per remote standby) must not stall reads
+  // and the feed behind the exclusive lock every interval.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (!started_ || stopped_) return 0;
+    bool drifted = false;
+    for (const auto& shard : shards_) {
+      if (shard->set->NumReplicas() > 1 &&
+          !shard->set->SourceSetsAgree()) {
+        drifted = true;
+        break;
+      }
+    }
+    if (!drifted) return 0;
+  }
+  // Escalate: sync against a quiesced fleet so the copied blobs and the
+  // standbys' graphs describe the same feed prefix. (The drift may have
+  // been repaired between the locks — SyncAllStandbys just finds
+  // nothing to copy then.)
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return 0;
+  QuiesceAllLocked();
+  int64_t synced = 0;
+  for (const auto& shard : shards_) {
+    if (shard->set->NumReplicas() > 1) {
+      synced += shard->set->SyncAllStandbys();
+    }
+  }
+  return synced;
+}
+
+void ShardedPprService::AntiEntropyLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(anti_entropy_mu_);
+      anti_entropy_cv_.wait_for(lock, options_.anti_entropy_interval,
+                                [this] { return anti_entropy_stop_; });
+      if (anti_entropy_stop_) return;
+    }
+    (void)SyncStandbys();
+  }
 }
 
 bool ShardedPprService::RemoveShard(int shard_id) {
@@ -496,12 +632,12 @@ bool ShardedPprService::RemoveShard(int shard_id) {
   ConsistentHashRing next_ring = ring_;
   next_ring.RemoveShard(shard_id);
   MigrateSourcesLocked(victim, next_ring);
-  DPPR_CHECK_MSG(victim->backend->NumSources() == 0,
+  DPPR_CHECK_MSG(victim->set->NumSources() == 0,
                  "a drained shard must own nothing");
   ring_ = next_ring;
 
   RetireMetricsLocked(*victim);
-  victim->backend->Stop();
+  victim->set->Stop();
   std::erase_if(shards_, [shard_id](const std::unique_ptr<Shard>& shard) {
     return shard->id == shard_id;
   });
@@ -510,9 +646,13 @@ bool ShardedPprService::RemoveShard(int shard_id) {
 
 void ShardedPprService::RetireMetricsLocked(const Shard& shard) {
   MetricsReport report;
-  shard.backend->SnapshotMetrics(&report, &retired_query_ms_,
-                                 &retired_batch_ms_);
-  AddCounters(report, &retired_counters_);
+  shard.set->SnapshotMetrics(&report, &retired_query_ms_,
+                             &retired_batch_ms_);
+  retired_counters_.Accumulate(report);
+  retired_failovers_ += shard.set->failovers();
+  retired_update_retries_ += shard.set->update_retries();
+  retired_standby_syncs_ += shard.set->standby_syncs();
+  retired_sync_bytes_ += shard.set->sync_bytes();
 }
 
 // ------------------------------------------------------- introspection
@@ -527,6 +667,26 @@ std::vector<int> ShardedPprService::ShardIds() const {
   return ring_.ShardIds();
 }
 
+size_t ShardedPprService::NumReplicas(int shard_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Shard* shard = FindShard(shard_id);
+  return shard == nullptr ? 0 : shard->set->NumReplicas();
+}
+
+int ShardedPprService::PrimaryOf(int shard_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Shard* shard = FindShard(shard_id);
+  return shard == nullptr ? -1 : shard->set->PrimaryIndex();
+}
+
+ShardBackend* ShardedPprService::ReplicaBackendForTesting(
+    int slot_id, int replica_index) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Shard* shard = FindShard(slot_id);
+  return shard == nullptr ? nullptr
+                          : shard->set->ReplicaBackend(replica_index);
+}
+
 int ShardedPprService::OwnerOf(VertexId s) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return ring_.OwnerOf(s);
@@ -536,7 +696,7 @@ std::vector<VertexId> ShardedPprService::Sources() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<VertexId> all;
   for (const auto& shard : shards_) {
-    std::vector<VertexId> own = shard->backend->Sources();
+    std::vector<VertexId> own = shard->set->Sources();
     all.insert(all.end(), own.begin(), own.end());
   }
   return all;
@@ -546,13 +706,13 @@ std::vector<VertexId> ShardedPprService::SourcesOnShard(int shard_id) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   const Shard* shard = FindShard(shard_id);
   return shard == nullptr ? std::vector<VertexId>{}
-                          : shard->backend->Sources();
+                          : shard->set->Sources();
 }
 
 size_t ShardedPprService::NumSources() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   size_t n = 0;
-  for (const auto& shard : shards_) n += shard->backend->NumSources();
+  for (const auto& shard : shards_) n += shard->set->NumSources();
   return n;
 }
 
@@ -561,7 +721,7 @@ bool ShardedPprService::HasSource(VertexId s) const {
   // Placement invariant: a source lives only on its ring owner, so the
   // owner's table answers for the whole fleet.
   const Shard* shard = OwnerShard(s);
-  return shard != nullptr && shard->backend->HasSource(s);
+  return shard != nullptr && shard->set->HasSource(s);
 }
 
 MetricsReport ShardedPprService::CollectMetricsLocked(
@@ -570,12 +730,13 @@ MetricsReport ShardedPprService::CollectMetricsLocked(
   Histogram query_ms = retired_query_ms_;
   Histogram batch_ms = retired_batch_ms_;
   for (const auto& shard : shards_) {
-    // One observation per shard (a single kStats RPC for a remote one),
-    // so each shard's counters and samples are self-consistent — and
-    // Report() reuses it for its per-shard view instead of asking again.
+    // One observation per replica (a single kStats RPC for a remote
+    // one), so each replica's counters and samples are self-consistent —
+    // and Report() reuses it for its per-shard view instead of asking
+    // again.
     MetricsReport report;
-    shard->backend->SnapshotMetrics(&report, &query_ms, &batch_ms);
-    AddCounters(report, &combined);
+    shard->set->SnapshotMetrics(&report, &query_ms, &batch_ms);
+    combined.Accumulate(report);
     if (per_shard != nullptr) {
       per_shard->emplace_back(shard->id, std::move(report));
     }
@@ -607,8 +768,18 @@ RouterReport ShardedPprService::Report() const {
   report.combined = CollectMetricsLocked(&report.per_shard);
   report.sources_migrated = sources_migrated_.load(std::memory_order_relaxed);
   report.migration_bytes = migration_bytes_.load(std::memory_order_relaxed);
-  report.update_retries = update_retries_.load(std::memory_order_relaxed);
+  report.update_retries = update_retries_.load(std::memory_order_relaxed) +
+                          retired_update_retries_;
   report.reroutes = reroutes_.load(std::memory_order_relaxed);
+  report.failovers = retired_failovers_;
+  report.standby_syncs = retired_standby_syncs_;
+  report.sync_bytes = retired_sync_bytes_;
+  for (const auto& shard : shards_) {
+    report.update_retries += shard->set->update_retries();
+    report.failovers += shard->set->failovers();
+    report.standby_syncs += shard->set->standby_syncs();
+    report.sync_bytes += shard->set->sync_bytes();
+  }
   return report;
 }
 

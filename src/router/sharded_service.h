@@ -24,34 +24,52 @@
 //     them as checksummed blobs (router/migration.h), and inject them
 //     into their new owner at the SAME epoch — a reader can tell a source
 //     moved only by its latency, never by its answers;
-//   * transparency — every shard sits behind the ShardBackend interface
-//     (router/shard_backend.h): LocalShardBackend is the in-process
-//     stack, RemoteShardBackend speaks the src/net wire protocol to a
-//     PprServer in another process. AddRemoteShard() joins a running
-//     remote shard to the ring, migrating its share of the sources to it
-//     over the wire with the exact quiesce + blob protocol local
-//     migration uses.
+//   * replication — each ring slot is a ReplicaSet (router/replica_set.h),
+//     a primary + N standbys in promotion order. Reads go to the
+//     primary and FAIL OVER on kUnavailable (promote the next live
+//     standby, re-issue the in-flight request, bump
+//     RouterReport::failovers); the update feed reaches every replica
+//     (standbys first, so promotion never regresses an epoch a client
+//     saw); per-source state reaches a standby as the same checksummed
+//     blobs migration uses, at unchanged epochs (SyncReplica /
+//     anti-entropy). The old one-backend-per-slot world is the
+//     replicas=1 special case, bit-identical in behavior.
+//   * transparency — every replica sits behind the ShardBackend
+//     interface (router/shard_backend.h): LocalShardBackend is the
+//     in-process stack, RemoteShardBackend speaks the src/net wire
+//     protocol to a PprServer in another process. AddRemoteShard() joins
+//     a running remote shard to the ring, migrating its share of the
+//     sources to it over the wire with the exact quiesce + blob protocol
+//     local migration uses; AddRemoteReplica() attaches one as a synced
+//     standby of an existing slot instead.
 //
 // Locking: routing and update fan-out hold a shared lock; topology
-// changes (AddShard/AddRemoteShard/RemoveShard/Stop) hold it
-// exclusively. Shard-internal concurrency (workers, maintenance,
-// snapshots) is PprService's problem, already solved. See README.md in
-// this directory.
+// changes (AddShard/AddRemoteShard/AddReplica/AddRemoteReplica/
+// RemoveReplica/Promote/RemoveShard/SyncStandbys/Stop) hold it
+// exclusively. Failover is NOT a topology change — it happens inside a
+// ReplicaSet under the shared lock, which is the point: a dying primary
+// needs no operator and no exclusive section. Shard-internal concurrency
+// (workers, maintenance, snapshots) is PprService's problem, already
+// solved. See README.md in this directory.
 
 #ifndef DPPR_ROUTER_SHARDED_SERVICE_H_
 #define DPPR_ROUTER_SHARDED_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/dynamic_graph.h"
 #include "graph/types.h"
 #include "index/ppr_index.h"
 #include "router/hash_ring.h"
+#include "router/replica_set.h"
 #include "router/shard_backend.h"
 #include "server/ppr_service.h"
 #include "util/histogram.h"
@@ -81,6 +99,16 @@ struct ShardedServiceOptions {
   /// between shards is briefly absent from its old owner, and the re-route
   /// lands on the new one. Truly unknown sources pay a few extra lookups.
   int reroute_retry_limit = 3;
+  /// Replicas per in-process slot built at construction: 1 primary plus
+  /// replicas-1 standbys, each a full serving stack over its own graph
+  /// replica. 1 reproduces the pre-replication router exactly.
+  int replicas = 1;
+  /// Period of the anti-entropy pass that re-syncs any standby whose
+  /// source set drifted from its primary's (e.g. one that joined between
+  /// AddSource calls). Zero disables the thread; SyncStandbys() runs the
+  /// same pass on demand. The pass is a cheap drift probe unless
+  /// something actually drifted.
+  std::chrono::milliseconds anti_entropy_interval{0};
 };
 
 /// \brief One entry of a scatter-gathered global top-k.
@@ -106,6 +134,9 @@ struct RouterReport {
   int64_t migration_bytes = 0;   ///< encoded blob bytes shipped
   int64_t update_retries = 0;    ///< fan-out resubmits after a shard shed
   int64_t reroutes = 0;          ///< reads re-routed around a migration
+  int64_t failovers = 0;      ///< standby promotions after a primary died
+  int64_t standby_syncs = 0;  ///< source copies shipped onto standbys
+  int64_t sync_bytes = 0;     ///< encoded bytes of those standby copies
 };
 
 /// \brief N-shard PPR serving front-end. See file comment.
@@ -161,34 +192,77 @@ class ShardedPprService {
   /// The globally highest (source, vertex) scores across every shard.
   GlobalTopKResult GlobalTopK(int k, int64_t deadline_ms = 0);
 
-  // --- Elasticity -------------------------------------------------------
+  // --- Topology: slots and replicas -------------------------------------
+  //
+  // A ring slot is a ReplicaSet. The replica-set-aware calls below are
+  // the primary topology API; AddShard/AddRemoteShard/RemoveShard remain
+  // as their single-replica forms, so pre-replication callers compile
+  // and behave unchanged.
 
-  /// Brings up a new empty LOCAL shard (graph replicated from a quiesced
-  /// local peer), rebalancing ~1/(N+1) of the sources onto it. Returns
-  /// the new shard id, or -1 if the service is not running or no local
-  /// shard exists to clone the graph from.
+  /// Attaches a new LOCAL standby to existing slot `slot_id`: the graph
+  /// is cloned from a quiesced local peer, the slot's sources are copied
+  /// onto the standby as checksummed blobs at unchanged epochs. Returns
+  /// the replica index within the slot, or -1 (unknown slot, not
+  /// running, or no local graph to clone).
+  int AddReplica(int slot_id);
+
+  /// Attaches a RUNNING remote shard process as a synced standby of
+  /// `slot_id`. Same admission checks as AddRemoteShard (reachable, same
+  /// |V|, empty, blobs fit a frame); the slot's sources are then copied
+  /// onto it over the wire. Returns the replica index, or -1.
+  int AddRemoteReplica(int slot_id, const std::string& host, int port);
+
+  /// Detaches one replica of `slot_id` (stopping/disconnecting it).
+  /// Removing the primary hands off to the next live standby first.
+  /// Refused for the slot's last replica — drain the slot with
+  /// RemoveShard instead.
+  bool RemoveReplica(int slot_id, int replica_index);
+
+  /// Manually promotes `slot_id`'s replica to primary (quiesced first,
+  /// so no epoch can regress). False for a dead or unknown replica.
+  bool Promote(int slot_id, int replica_index);
+
+  /// Fault injection for chaos tests and demos: makes one replica behave
+  /// like a dead process (reads/feed answer kUnavailable) without
+  /// touching the process underneath. Severing a primary exercises the
+  /// failover path under live load.
+  bool SeverReplica(int slot_id, int replica_index);
+
+  /// Runs the anti-entropy pass now: every standby whose source set
+  /// drifted from its primary's is re-synced. Returns sources copied.
+  int64_t SyncStandbys();
+
+  /// Brings up a new slot with one empty LOCAL replica (graph replicated
+  /// from a quiesced local peer), rebalancing ~1/(N+1) of the sources
+  /// onto it. Returns the new slot id, or -1 if the service is not
+  /// running or no local shard exists to clone the graph from.
   int AddShard();
 
   /// Joins a RUNNING remote shard process (a PprServer, e.g.
-  /// `hub_server --listen`) to the ring. The remote must be reachable,
-  /// serving the same graph (vertex count is checked), and empty of
-  /// sources; ~1/(N+1) of the sources then migrate onto it over the wire
-  /// at unchanged epochs. Returns the new shard id, or -1 on refusal.
+  /// `hub_server --listen`) to the ring as a new single-replica slot. The
+  /// remote must be reachable, serving the same graph (vertex count is
+  /// checked), and empty of sources; ~1/(N+1) of the sources then migrate
+  /// onto it over the wire at unchanged epochs. Returns the new slot id,
+  /// or -1 on refusal.
   /// NOTE the feed contract: the remote's graph replica must match this
   /// router's — join before streaming updates, or from a checkpointed
   /// twin. A stale replica is the operator's error and undetectable here.
   int AddRemoteShard(const std::string& host, int port);
 
-  /// Drains `shard_id`: quiesces the feed, migrates its sources to their
-  /// new owners under the shrunken ring, stops (local) or disconnects
-  /// (remote) the shard. False if the id is unknown or it is the last
-  /// shard.
+  /// Drains slot `shard_id`: quiesces the feed, migrates its sources to
+  /// their new owners under the shrunken ring, stops (local) or
+  /// disconnects (remote) every replica of the slot. False if the id is
+  /// unknown or it is the last slot.
   bool RemoveShard(int shard_id);
 
   // --- Introspection ----------------------------------------------------
 
   size_t NumShards() const;
   std::vector<int> ShardIds() const;
+  /// Replicas of slot `shard_id` (0 if unknown).
+  size_t NumReplicas(int shard_id) const;
+  /// Index of slot `shard_id`'s current primary (-1 if unknown).
+  int PrimaryOf(int shard_id) const;
   /// The shard currently owning `s` (-1 before Start/after Stop).
   int OwnerOf(VertexId s) const;
   /// Union of every shard's source set.
@@ -202,19 +276,40 @@ class ShardedPprService {
   MetricsReport Metrics() const;
   RouterReport Report() const;
 
+  /// Direct access to one replica's backend — the replication tests use
+  /// this to inject faults (drift, severed connections) behind the
+  /// router's back. Null for an unknown slot/replica.
+  ShardBackend* ReplicaBackendForTesting(int slot_id, int replica_index);
+
   const ShardedServiceOptions& options() const { return options_; }
 
  private:
   struct Shard {
     int id = -1;
-    std::unique_ptr<ShardBackend> backend;
+    /// shared_ptr: in-flight reads gathered outside the routing lock
+    /// keep the replica set alive through their failover retries even if
+    /// the slot is dropped mid-request.
+    std::shared_ptr<ReplicaSet> set;
   };
 
-  /// Builds (but does not start) a local shard over its own graph
-  /// replica.
+  /// An empty slot: id + a ReplicaSet configured from options_. The one
+  /// place ReplicaSetOptions are derived, so every slot — constructed,
+  /// grown, or joined — gets the same knobs.
+  std::unique_ptr<Shard> NewSlot(int id) const;
+  /// Builds (but does not start) a local slot: options_.replicas full
+  /// serving stacks over their own graph replicas, the first one the
+  /// primary.
   std::unique_ptr<Shard> BuildShard(int id, const std::vector<Edge>& edges,
                                     VertexId num_vertices,
                                     std::vector<VertexId> sources) const;
+  /// Builds one LOCAL backend over its own graph replica.
+  std::unique_ptr<ShardBackend> BuildLocalBackend(
+      const std::vector<Edge>& edges, VertexId num_vertices,
+      std::vector<VertexId> sources) const;
+  /// Connects and admission-checks a remote backend (reachable, running,
+  /// empty, same |V|, blobs fit a frame). Null on refusal.
+  std::unique_ptr<RemoteShardBackend> DialRemoteBackend(
+      const std::string& host, int port) const;
   /// mu_ held (any mode). Null if absent.
   Shard* FindShard(int shard_id) const;
   /// mu_ held (any mode). Null when the ring is empty.
@@ -223,21 +318,25 @@ class ShardedPprService {
   /// drained (update admission is blocked by the exclusive lock itself).
   void QuiesceAllLocked();
   /// mu_ held exclusively: moves every source of `from` that `ring`
-  /// assigns elsewhere, as checksummed blobs through the backends'
+  /// assigns elsewhere, as checksummed blobs through the replica sets'
   /// ExtractBlob/InjectBlob (in-process or over the wire — same bytes).
   /// Returns the number migrated.
   size_t MigrateSourcesLocked(Shard* from, const ConsistentHashRing& ring);
-  /// mu_ held exclusively: folds a departing shard's metrics into the
-  /// retired accumulators so Metrics() survives topology changes.
+  /// mu_ held exclusively: folds a departing slot's metrics and replica
+  /// counters into the retired accumulators so Metrics()/Report()
+  /// survive topology changes.
   void RetireMetricsLocked(const Shard& shard);
   /// mu_ held exclusively: ring insertion + rebalance shared by
   /// AddShard/AddRemoteShard. `fresh` must be started and empty.
   void AdmitShardLocked(std::unique_ptr<Shard> fresh);
   /// mu_ held (any mode): one metrics observation per shard (a single
-  /// RPC for a remote one), combined counters + exact merged
+  /// RPC per remote replica), combined counters + exact merged
   /// percentiles; optionally also records the per-shard reports.
   MetricsReport CollectMetricsLocked(
       std::vector<std::pair<int, MetricsReport>>* per_shard) const;
+  /// The periodic anti-entropy loop (only spawned when
+  /// options_.anti_entropy_interval > 0).
+  void AntiEntropyLoop();
 
   ShardedServiceOptions options_;
   /// Remembered from construction; a joining remote shard must serve a
@@ -250,6 +349,13 @@ class ShardedPprService {
   bool started_ = false;
   bool stopped_ = false;
 
+  // Anti-entropy thread plumbing (outside mu_: Stop signals the thread
+  // before taking the exclusive lock).
+  std::thread anti_entropy_;
+  std::mutex anti_entropy_mu_;
+  std::condition_variable anti_entropy_cv_;
+  bool anti_entropy_stop_ = false;
+
   // Router accounting (atomics: bumped under the shared lock).
   std::atomic<int64_t> sources_migrated_{0};
   std::atomic<int64_t> migration_bytes_{0};
@@ -261,6 +367,11 @@ class ShardedPprService {
   MetricsReport retired_counters_;
   Histogram retired_query_ms_;
   Histogram retired_batch_ms_;
+  /// Replica counters of retired slots (same guard).
+  int64_t retired_failovers_ = 0;
+  int64_t retired_update_retries_ = 0;
+  int64_t retired_standby_syncs_ = 0;
+  int64_t retired_sync_bytes_ = 0;
 };
 
 }  // namespace dppr

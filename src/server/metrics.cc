@@ -1,5 +1,6 @@
 #include "server/metrics.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
@@ -45,33 +46,64 @@ void ServiceMetrics::MergeLatenciesInto(Histogram* query_latency_ms,
 
 MetricsReport ServiceMetrics::Snapshot() const {
   MetricsReport report;
-  report.queries_shed_queue_full = queries_shed_queue_full_.load();
-  report.queries_shed_deadline = queries_shed_deadline_.load();
-  report.queries_failed = queries_failed_.load();
-  report.served_during_maintenance = served_during_maintenance_.load();
-  report.updates_shed_queue_full = updates_shed_queue_full_.load();
-  report.updates_applied = updates_applied_.load();
-  report.sources_added = sources_added_.load();
-  report.sources_removed = sources_removed_.load();
-  report.sources_materialized = sources_materialized_.load();
-  report.sources_evicted = sources_evicted_.load();
-
-  std::lock_guard<std::mutex> lock(mu_);
-  report.queries_completed = query_latency_ms_.Count();
-  if (report.queries_completed > 0) {
-    report.query_mean_ms = query_latency_ms_.Mean();
-    report.query_p50_ms = query_latency_ms_.Percentile(50);
-    report.query_p99_ms = query_latency_ms_.Percentile(99);
-    report.query_max_ms = query_latency_ms_.Max();
-  }
-  report.batches_applied = batches_applied_;
-  if (batches_applied_ > 0) {
-    report.batch_mean_ms = batch_latency_ms_.Mean();
-    report.batch_p99_ms = batch_latency_ms_.Percentile(99);
-  }
-  report.elapsed_seconds =
-      start_seconds_ > 0 ? NowSeconds() - start_seconds_ : 0.0;
+  SnapshotWithLatencies(&report, nullptr, nullptr);
   return report;
+}
+
+void ServiceMetrics::SnapshotWithLatencies(MetricsReport* report,
+                                           Histogram* query_latency_ms,
+                                           Histogram* batch_latency_ms) const {
+  report->queries_shed_queue_full = queries_shed_queue_full_.load();
+  report->queries_shed_deadline = queries_shed_deadline_.load();
+  report->queries_failed = queries_failed_.load();
+  report->served_during_maintenance = served_during_maintenance_.load();
+  report->updates_shed_queue_full = updates_shed_queue_full_.load();
+  report->updates_applied = updates_applied_.load();
+  report->sources_added = sources_added_.load();
+  report->sources_removed = sources_removed_.load();
+  report->sources_materialized = sources_materialized_.load();
+  report->sources_evicted = sources_evicted_.load();
+
+  // ONE critical section for the counters derived from the histograms AND
+  // the sample merge: the caller's report and its pooled samples describe
+  // the same instant.
+  std::lock_guard<std::mutex> lock(mu_);
+  report->queries_completed = query_latency_ms_.Count();
+  if (report->queries_completed > 0) {
+    report->query_mean_ms = query_latency_ms_.Mean();
+    report->query_p50_ms = query_latency_ms_.Percentile(50);
+    report->query_p99_ms = query_latency_ms_.Percentile(99);
+    report->query_max_ms = query_latency_ms_.Max();
+  }
+  report->batches_applied = batches_applied_;
+  if (batches_applied_ > 0) {
+    report->batch_mean_ms = batch_latency_ms_.Mean();
+    report->batch_p99_ms = batch_latency_ms_.Percentile(99);
+  }
+  report->elapsed_seconds =
+      start_seconds_ > 0 ? NowSeconds() - start_seconds_ : 0.0;
+  if (query_latency_ms != nullptr) {
+    query_latency_ms->Merge(query_latency_ms_);
+  }
+  if (batch_latency_ms != nullptr) {
+    batch_latency_ms->Merge(batch_latency_ms_);
+  }
+}
+
+void MetricsReport::Accumulate(const MetricsReport& other) {
+  queries_completed += other.queries_completed;
+  queries_shed_queue_full += other.queries_shed_queue_full;
+  queries_shed_deadline += other.queries_shed_deadline;
+  queries_failed += other.queries_failed;
+  served_during_maintenance += other.served_during_maintenance;
+  batches_applied += other.batches_applied;
+  updates_applied += other.updates_applied;
+  updates_shed_queue_full += other.updates_shed_queue_full;
+  sources_added += other.sources_added;
+  sources_removed += other.sources_removed;
+  sources_materialized += other.sources_materialized;
+  sources_evicted += other.sources_evicted;
+  elapsed_seconds = std::max(elapsed_seconds, other.elapsed_seconds);
 }
 
 std::string MetricsReport::ToString() const {

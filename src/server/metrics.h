@@ -62,6 +62,14 @@ struct MetricsReport {
 
   /// Multi-line human-readable summary (hub_server prints this).
   std::string ToString() const;
+
+  /// Sums `other`'s monotone counters into this report (latency
+  /// percentiles are NOT summable — aggregators recompute them from
+  /// merged histograms; elapsed_seconds takes the max, the fleet ran for
+  /// as long as its longest-lived member). Used by every multi-service
+  /// aggregator: the sharded router across shards, a ReplicaSet across
+  /// its replicas.
+  void Accumulate(const MetricsReport& other);
 };
 
 /// \brief Thread-safe recorder; every PprService thread writes here.
@@ -91,6 +99,15 @@ class ServiceMetrics {
   /// union of samples — exact, not a max-over-shards approximation.
   void MergeLatenciesInto(Histogram* query_latency_ms,
                           Histogram* batch_latency_ms) const;
+
+  /// Snapshot() + MergeLatenciesInto() under ONE acquisition of the
+  /// histogram mutex: the returned counters and the merged samples come
+  /// from the same instant, so an aggregate report never pairs counters
+  /// with samples recorded at a different moment. Either histogram may be
+  /// null to skip it.
+  void SnapshotWithLatencies(MetricsReport* report,
+                             Histogram* query_latency_ms,
+                             Histogram* batch_latency_ms) const;
 
  private:
   std::atomic<int64_t> queries_shed_queue_full_{0};

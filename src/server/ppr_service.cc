@@ -197,6 +197,16 @@ std::future<MaintResponse> PprService::ExtractSourceAsync(
   return SubmitMaint(std::move(request));
 }
 
+std::future<MaintResponse> PprService::CopySourceAsync(VertexId s,
+                                                       ExportedSource* out) {
+  DPPR_CHECK(out != nullptr);
+  MaintRequest request;
+  request.kind = MaintRequest::Kind::kCopySource;
+  request.source = s;
+  request.export_out = out;
+  return SubmitMaint(std::move(request));
+}
+
 std::future<MaintResponse> PprService::InjectSourceAsync(ExportedSource in) {
   MaintRequest request;
   request.kind = MaintRequest::Kind::kInjectSource;
@@ -332,8 +342,12 @@ void PprService::ProcessMaintRun(std::vector<MaintRequest>* run) {
     }
     WallTimer timer;
     in_maintenance_.store(true, std::memory_order_release);
+    // The epoch advances by the number of REQUESTS folded in, not by one
+    // per ApplyBatch: coalescing is a timing artifact of this replica's
+    // queue, and a replica that merged the same requests differently must
+    // still land on the same per-source epoch (failover correctness).
     if (end == i + 1) {
-      index_->ApplyBatch(head.batch);
+      index_->ApplyBatch(head.batch, /*epoch_increment=*/1);
     } else {
       merged.clear();
       merged.reserve(total);
@@ -341,7 +355,7 @@ void PprService::ProcessMaintRun(std::vector<MaintRequest>* run) {
         const UpdateBatch& batch = (*run)[j].batch;
         merged.insert(merged.end(), batch.begin(), batch.end());
       }
-      index_->ApplyBatch(merged);
+      index_->ApplyBatch(merged, /*epoch_increment=*/end - i);
     }
     in_maintenance_.store(false, std::memory_order_release);
     metrics_.RecordBatch(static_cast<int64_t>(total), timer.Millis());
@@ -406,6 +420,13 @@ void PprService::HandleAdmin(MaintRequest* request) {
       response.status =
           ok ? RequestStatus::kOk : RequestStatus::kUnknownSource;
       if (ok && was_live) live_delta = -1;  // a handoff, not an eviction
+      break;
+    }
+    case MaintRequest::Kind::kCopySource: {
+      const bool ok =
+          index_->PeekSource(request->source, request->export_out);
+      response.status =
+          ok ? RequestStatus::kOk : RequestStatus::kUnknownSource;
       break;
     }
     case MaintRequest::Kind::kInjectSource: {

@@ -147,6 +147,14 @@ class PprService {
   std::future<MaintResponse> ExtractSourceAsync(VertexId s,
                                                 ExportedSource* out);
 
+  /// ExtractSourceAsync without the removal (see PprIndex::PeekSource):
+  /// copies `s`'s state at its current epoch while the service keeps
+  /// serving it. This is the standby-sync read — a replica set ships the
+  /// copy to a standby at an unchanged epoch. `out` must stay alive until
+  /// the future resolves. kUnknownSource if `s` is not a source here.
+  std::future<MaintResponse> CopySourceAsync(VertexId s,
+                                             ExportedSource* out);
+
   /// Installs a source exported from another shard (see
   /// PprIndex::ImportSource). kRejected if the source already exists.
   std::future<MaintResponse> InjectSourceAsync(ExportedSource in);
@@ -166,6 +174,15 @@ class PprService {
   void MergeLatenciesInto(Histogram* query_latency_ms,
                           Histogram* batch_latency_ms) const {
     metrics_.MergeLatenciesInto(query_latency_ms, batch_latency_ms);
+  }
+  /// Counters and latency samples from ONE observation (see
+  /// ServiceMetrics::SnapshotWithLatencies) — what shard aggregators use
+  /// so a combined report never pairs counters with samples from a
+  /// different instant.
+  void SnapshotMetrics(MetricsReport* report, Histogram* query_latency_ms,
+                       Histogram* batch_latency_ms) const {
+    metrics_.SnapshotWithLatencies(report, query_latency_ms,
+                                   batch_latency_ms);
   }
   /// True while the maintenance thread is inside ApplyBatch.
   bool InMaintenance() const {
@@ -197,6 +214,7 @@ class PprService {
       kMaterialize,
       kBarrier,
       kExtractSource,
+      kCopySource,
       kInjectSource,
     };
     Kind kind = Kind::kUpdates;

@@ -12,8 +12,11 @@
 //      including an over-the-wire join migration at unchanged epochs;
 //      killing the remote shard surfaces kUnavailable, never a hang.
 //   4. Fleet — real processes: hub_server --listen shards driven by a
-//      hub_server --join router (skipped where the example binary is not
-//      built, e.g. the TSan job).
+//      hub_server --join router, and a replica group whose PRIMARY
+//      PROCESS is SIGKILLed mid-query-storm — every source must stay
+//      readable through the promoted standby, with no epoch regression
+//      (skipped where the example binary is not built, e.g. the TSan
+//      job).
 //
 // Every server binds port 0 (kernel-assigned), so parallel ctest workers
 // never collide.
@@ -23,15 +26,20 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/batch_validation.h"
 #include "core/serialization.h"
+#include "gen/datasets.h"
 #include "gen/generators.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph_stats.h"
@@ -901,6 +909,131 @@ TEST(NetFleetTest, MultiProcessFleetServesAndMigrates) {
   ::close(out1);
   ::close(out2);
   ::close(router_out);
+}
+
+TEST(NetFleetTest, SigkilledPrimaryFailsOverDuringQueryStorm) {
+  const char* binary = "./hub_server";
+  if (::access(binary, X_OK) != 0) {
+    GTEST_SKIP() << "hub_server binary not built";
+  }
+
+  // The same graph replica hub_server --listen --seed=33 builds, and a
+  // pre-validated slice of the same stream (its preflight recipe).
+  DatasetSpec spec;
+  ASSERT_TRUE(FindDataset("pokec", &spec).ok());
+  auto edges = GenerateDataset(spec, /*scale_shift=*/1);
+  EdgeStream stream = EdgeStream::RandomPermutation(std::move(edges), 33);
+  SlidingWindow window(&stream, 0.1);
+  const std::vector<Edge> initial = window.InitialEdges();
+  const VertexId num_vertices = stream.NumVertices();
+  const EdgeCount batch_size = window.BatchForRatio(0.001);
+  std::vector<UpdateBatch> batches;
+  {
+    DynamicGraph preflight = DynamicGraph::FromEdges(initial, num_vertices);
+    for (int s = 0; s < 8 && window.CanSlide(batch_size); ++s) {
+      UpdateBatch batch = window.NextBatch(batch_size);
+      if (!ValidateBatch(preflight, batch).ok()) continue;
+      for (const EdgeUpdate& update : batch) preflight.Apply(update);
+      batches.push_back(std::move(batch));
+    }
+  }
+  ASSERT_GE(batches.size(), 4u);
+
+  // Two real shard processes: the replica group's primary and standby.
+  int out_primary = -1;
+  int out_standby = -1;
+  const pid_t primary_pid =
+      Spawn(binary, {"--listen=0", "--seed=33"}, &out_primary);
+  const pid_t standby_pid =
+      Spawn(binary, {"--listen=0", "--seed=33"}, &out_standby);
+  ASSERT_GT(primary_pid, 0);
+  ASSERT_GT(standby_pid, 0);
+  const int primary_port = AwaitListeningPort(out_primary);
+  const int standby_port = AwaitListeningPort(out_standby);
+  ASSERT_GT(primary_port, 0);
+  ASSERT_GT(standby_port, 0);
+
+  // The router: one local slot plus the remote replica group. Options
+  // match hub_server's fleet contract (one block for every process).
+  DynamicGraph ranking = DynamicGraph::FromEdges(initial, num_vertices);
+  std::vector<VertexId> hubs = TopOutDegreeVertices(ranking, 8);
+  ShardedServiceOptions ropt;
+  ropt.num_shards = 1;
+  ropt.index.ppr.eps = 1e-7;
+  ropt.service.num_workers = 3;
+  ropt.service.materialize_wait = std::chrono::milliseconds(500);
+  ShardedPprService router(initial, num_vertices, hubs, ropt);
+  router.Start();
+  const int slot = router.AddRemoteShard("127.0.0.1", primary_port);
+  ASSERT_GE(slot, 0);
+  const std::vector<VertexId> remote_hubs = router.SourcesOnShard(slot);
+  ASSERT_GT(remote_hubs.size(), 0u)
+      << "the join should rebalance some hubs onto the remote slot";
+  ASSERT_GE(router.AddRemoteReplica(slot, "127.0.0.1", standby_port), 0);
+  ASSERT_EQ(router.NumReplicas(slot), 2u);
+  EXPECT_GT(router.Report().standby_syncs, 0)
+      << "the standby must be synced over the wire at join";
+
+  // The storm: 3 closed-loop clients over every hub, tracking that no
+  // answer is EVER kUnavailable (failover is absorbed inside the
+  // request) and per-hub epochs never regress.
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> unavailable{0};
+  std::atomic<int64_t> served{0};
+  std::atomic<bool> epochs_monotonic{true};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 rng(200 + static_cast<uint32_t>(c));
+      std::vector<uint64_t> last_epoch(hubs.size(), 0);
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t i = rng() % hubs.size();
+        const QueryResponse response = rng() % 4 == 0
+                                           ? router.TopK(hubs[i], 3)
+                                           : router.Query(hubs[i], hubs[i]);
+        if (response.status == RequestStatus::kUnavailable) {
+          unavailable.fetch_add(1);
+        }
+        if (response.status != RequestStatus::kOk) continue;
+        served.fetch_add(1);
+        if (response.epoch < last_epoch[i]) epochs_monotonic.store(false);
+        last_epoch[i] = response.epoch;
+      }
+    });
+  }
+
+  // Feed the fleet; SIGKILL the primary PROCESS mid-storm. The standby
+  // received every batch before the primary (the ordered fan-out), so
+  // the promoted state can only be at or past anything a client saw.
+  for (size_t b = 0; b < batches.size(); ++b) {
+    ASSERT_EQ(router.ApplyUpdates(batches[b]).status, RequestStatus::kOk)
+        << "batch " << b;
+    if (b == batches.size() / 2) {
+      ASSERT_EQ(::kill(primary_pid, SIGKILL), 0);
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop.store(true, std::memory_order_release);
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(unavailable.load(), 0)
+      << "a SIGKILLed primary must never surface as kUnavailable";
+  EXPECT_TRUE(epochs_monotonic.load()) << "an epoch regressed";
+  EXPECT_GT(served.load(), 0);
+  // Every source stays readable — including the dead primary's — and
+  // the failover is on the books.
+  for (VertexId hub : hubs) {
+    EXPECT_EQ(router.Query(hub, hub).status, RequestStatus::kOk) << hub;
+  }
+  EXPECT_GE(router.Report().failovers, 1);
+  router.Stop();
+
+  int ignored = 0;
+  (void)::waitpid(primary_pid, &ignored, 0);
+  ::kill(standby_pid, SIGTERM);
+  (void)::waitpid(standby_pid, &ignored, 0);
+  ::close(out_primary);
+  ::close(out_standby);
 }
 
 }  // namespace

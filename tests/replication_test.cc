@@ -1,0 +1,551 @@
+// Replication tests (ctest label: replication; in the TSan and ASan CI
+// nets).
+//
+// Two layers:
+//  * ReplicaSetTest — the primary+standby group in isolation: promotion
+//    order, failover on a severed primary, double failure =>
+//    kUnavailable, the standbys-first feed invariant (a promoted standby
+//    is never behind an epoch the primary served), standby re-sync after
+//    injected drift, and migration blobs spanning the whole group.
+//  * ReplicationRouterTest — the ReplicaSet behind the ring: a
+//    replicas=2 router answers EXACTLY like the unsharded PR 3 oracle in
+//    lockstep (statuses, epochs, values up to ±eps) before AND after
+//    every primary is severed; AddReplica syncs a late-joining standby
+//    at unchanged epochs; the periodic anti-entropy pass repairs
+//    injected drift; primaries die under 4-client concurrent load with
+//    zero kUnavailable answers and no epoch regression; and the old
+//    AddShard/RemoveShard calls keep working against the new topology.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph_stats.h"
+#include "index/ppr_index.h"
+#include "router/replica_set.h"
+#include "router/shard_backend.h"
+#include "router/sharded_service.h"
+#include "server/ppr_service.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+
+namespace dppr {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+IndexOptions TestIndexOptions() {
+  IndexOptions options;
+  options.ppr.eps = kEps;
+  return options;
+}
+
+ServiceOptions TestServiceOptions() {
+  ServiceOptions options;
+  options.num_workers = 2;
+  return options;
+}
+
+std::unique_ptr<LocalShardBackend> MakeBackend(
+    const std::vector<Edge>& edges, VertexId num_vertices,
+    std::vector<VertexId> sources) {
+  return std::make_unique<LocalShardBackend>(edges, num_vertices,
+                                             std::move(sources),
+                                             TestIndexOptions(),
+                                             TestServiceOptions());
+}
+
+/// A started ReplicaSet over `replicas` identical local stacks.
+std::shared_ptr<ReplicaSet> MakeSet(const std::vector<Edge>& edges,
+                                    VertexId num_vertices,
+                                    const std::vector<VertexId>& sources,
+                                    int replicas) {
+  auto set = std::make_shared<ReplicaSet>();
+  for (int r = 0; r < replicas; ++r) {
+    set->AddReplica(MakeBackend(edges, num_vertices, sources));
+  }
+  set->Start();
+  return set;
+}
+
+// ------------------------------------------------------------ ReplicaSet
+
+TEST(ReplicaSetTest, FailoverPromotesNextLiveStandbyInOrder) {
+  auto edges = GenerateErdosRenyi(64, 400, 7);
+  auto set = MakeSet(edges, 64, {1, 2, 3}, 3);
+  ASSERT_EQ(set->NumReplicas(), 3u);
+  EXPECT_EQ(set->PrimaryIndex(), 0);
+
+  const QueryResponse before = set->QueryVertexAsync(1, 1, 0).get();
+  ASSERT_EQ(before.status, RequestStatus::kOk);
+
+  // Kill the primary: the NEXT reply fails over — same request, answered
+  // by the promoted standby, and the caller never sees kUnavailable.
+  ASSERT_TRUE(set->ReplicaBackend(0)->Sever());
+  const QueryResponse after = set->QueryVertexAsync(1, 1, 0).get();
+  EXPECT_EQ(after.status, RequestStatus::kOk);
+  EXPECT_EQ(after.epoch, before.epoch);
+  EXPECT_NEAR(after.estimate.value, before.estimate.value,
+              2 * kEps + 1e-12);
+  EXPECT_EQ(set->PrimaryIndex(), 1) << "promotion order is join order";
+  EXPECT_EQ(set->failovers(), 1);
+  EXPECT_FALSE(set->IsLive(0));
+
+  // Second failure: promote the last standby.
+  ASSERT_TRUE(set->ReplicaBackend(1)->Sever());
+  EXPECT_EQ(set->TopKAsync(2, 3, 0).get().status, RequestStatus::kOk);
+  EXPECT_EQ(set->PrimaryIndex(), 2);
+  EXPECT_EQ(set->failovers(), 2);
+  set->Stop();
+}
+
+TEST(ReplicaSetTest, DoubleFailureAnswersUnavailable) {
+  auto edges = GenerateErdosRenyi(48, 256, 3);
+  auto set = MakeSet(edges, 48, {1, 2}, 2);
+
+  ASSERT_TRUE(set->ReplicaBackend(0)->Sever());
+  ASSERT_TRUE(set->ReplicaBackend(1)->Sever());
+  // Every replica is gone: the slot answers like PR 4's dead remote
+  // shard — a status, never a hang.
+  EXPECT_EQ(set->QueryVertexAsync(1, 1, 0).get().status,
+            RequestStatus::kUnavailable);
+  EXPECT_EQ(set->TopKAsync(1, 3, 0).get().status,
+            RequestStatus::kUnavailable);
+  EXPECT_EQ(set->ApplyUpdatesAsync({EdgeUpdate::Insert(5, 6)}).get().status,
+            RequestStatus::kUnavailable);
+  EXPECT_TRUE(set->Sources().empty());
+  set->Stop();
+}
+
+TEST(ReplicaSetTest, StandbyIsNeverBehindAnEpochThePrimaryServed) {
+  auto edges = GenerateErdosRenyi(64, 400, 11);
+  auto set = MakeSet(edges, 64, {1, 2}, 2);
+
+  // Drive the feed and remember the highest epoch the PRIMARY served.
+  uint64_t highest = 0;
+  std::mt19937 rng(21);
+  for (int step = 0; step < 8; ++step) {
+    UpdateBatch batch;
+    batch.push_back(EdgeUpdate::Insert(
+        static_cast<VertexId>(rng() % 64),
+        static_cast<VertexId>(rng() % 64)));
+    ASSERT_EQ(set->ApplyUpdatesAsync(batch).get().status,
+              RequestStatus::kOk);
+    const QueryResponse served = set->QueryVertexAsync(1, 1, 0).get();
+    ASSERT_EQ(served.status, RequestStatus::kOk);
+    highest = std::max(highest, served.epoch);
+  }
+
+  // Kill the primary: the standby received every feed op BEFORE the
+  // primary did, so its epoch can only be >= anything a client saw.
+  ASSERT_TRUE(set->ReplicaBackend(0)->Sever());
+  const QueryResponse promoted = set->QueryVertexAsync(1, 1, 0).get();
+  ASSERT_EQ(promoted.status, RequestStatus::kOk);
+  EXPECT_GE(promoted.epoch, highest)
+      << "a promoted standby must never regress an epoch";
+  set->Stop();
+}
+
+TEST(ReplicaSetTest, StandbyResyncAfterDrift) {
+  auto edges = GenerateErdosRenyi(64, 400, 5);
+  auto set = MakeSet(edges, 64, {1, 2, 3}, 2);
+  ASSERT_TRUE(set->SourceSetsAgree());
+
+  // Inject drift behind the set's back: the standby loses source 2 and
+  // gains source 9 (as if it had joined against a different hub set).
+  ShardBackend* standby = set->ReplicaBackend(1);
+  ASSERT_EQ(standby->RemoveSourceAsync(2).get().status, RequestStatus::kOk);
+  ASSERT_EQ(standby->AddSourceAsync(9).get().status, RequestStatus::kOk);
+  EXPECT_FALSE(set->SourceSetsAgree());
+
+  // Anti-entropy: the missing source comes back as a blob at the
+  // PRIMARY's epoch, the extra one is dropped.
+  const uint64_t primary_epoch = set->QueryVertexAsync(2, 2, 0).get().epoch;
+  EXPECT_GE(set->SyncAllStandbys(), 1);
+  EXPECT_TRUE(set->SourceSetsAgree());
+  EXPECT_GT(set->sync_bytes(), 0);
+
+  ASSERT_TRUE(set->ReplicaBackend(0)->Sever());
+  const QueryResponse resynced = set->QueryVertexAsync(2, 2, 0).get();
+  EXPECT_EQ(resynced.status, RequestStatus::kOk);
+  EXPECT_EQ(resynced.epoch, primary_epoch)
+      << "a synced source continues the primary's epoch sequence";
+  EXPECT_EQ(set->QueryVertexAsync(9, 9, 0).get().status,
+            RequestStatus::kUnknownSource)
+      << "the drifted extra source must be gone";
+  set->Stop();
+}
+
+TEST(ReplicaSetTest, DeadStandbyIsMarkedDeadBySyncNotLivelocked) {
+  auto edges = GenerateErdosRenyi(64, 400, 15);
+  auto set = MakeSet(edges, 64, {1, 2}, 2);
+
+  // A dead standby answers an empty source set, which reads as drift.
+  // The sync pass must mark it dead (one attempt), after which the
+  // drift probe skips it — otherwise anti-entropy would re-quiesce the
+  // fleet every tick forever.
+  ASSERT_TRUE(set->ReplicaBackend(1)->Sever());
+  EXPECT_FALSE(set->SourceSetsAgree());
+  EXPECT_EQ(set->SyncAllStandbys(), 0);
+  EXPECT_FALSE(set->IsLive(1));
+  EXPECT_TRUE(set->SourceSetsAgree())
+      << "a dead standby must not read as drift";
+  EXPECT_EQ(set->PrimaryIndex(), 0) << "the primary is unaffected";
+  EXPECT_EQ(set->QueryVertexAsync(1, 1, 0).get().status,
+            RequestStatus::kOk);
+  set->Stop();
+}
+
+TEST(ReplicaSetTest, MigrationBlobsSpanTheWholeGroup) {
+  auto edges = GenerateErdosRenyi(64, 400, 9);
+  auto donor = MakeSet(edges, 64, {4, 5}, 2);
+  auto taker = MakeSet(edges, 64, {}, 2);
+
+  // Extract drains the source from the PRIMARY and the standby alike.
+  std::string blob;
+  ASSERT_EQ(donor->ExtractBlob(4, &blob).status, RequestStatus::kOk);
+  EXPECT_FALSE(donor->HasSource(4));
+  EXPECT_FALSE(donor->ReplicaBackend(1)->HasSource(4))
+      << "the standby's copy must be dropped too";
+
+  // Inject installs the same bytes on every replica of the taker.
+  ASSERT_EQ(taker->InjectBlob(blob).status, RequestStatus::kOk);
+  EXPECT_TRUE(taker->HasSource(4));
+  EXPECT_TRUE(taker->ReplicaBackend(1)->HasSource(4));
+  const uint64_t epoch = taker->QueryVertexAsync(4, 4, 0).get().epoch;
+  ASSERT_TRUE(taker->ReplicaBackend(0)->Sever());
+  EXPECT_EQ(taker->QueryVertexAsync(4, 4, 0).get().epoch, epoch)
+      << "standby holds the injected source at the same epoch";
+  donor->Stop();
+  taker->Stop();
+}
+
+TEST(ReplicaSetTest, ManualPromoteAndRemoveReplica) {
+  auto edges = GenerateErdosRenyi(48, 256, 13);
+  auto set = MakeSet(edges, 48, {1}, 3);
+
+  // Manual promotion (quiesced: nothing in flight).
+  ASSERT_EQ(set->QuiesceAsync().get().status, RequestStatus::kOk);
+  EXPECT_TRUE(set->Promote(2));
+  EXPECT_EQ(set->PrimaryIndex(), 2);
+  EXPECT_EQ(set->failovers(), 0) << "a voluntary promote is not a failover";
+  EXPECT_EQ(set->QueryVertexAsync(1, 1, 0).get().status,
+            RequestStatus::kOk);
+
+  // Removing the primary hands off to the next live replica first.
+  EXPECT_TRUE(set->RemoveReplica(2));
+  EXPECT_EQ(set->NumReplicas(), 2u);
+  EXPECT_EQ(set->QueryVertexAsync(1, 1, 0).get().status,
+            RequestStatus::kOk);
+
+  EXPECT_TRUE(set->RemoveReplica(1));
+  EXPECT_FALSE(set->RemoveReplica(0)) << "the last replica is refused";
+  EXPECT_EQ(set->QueryVertexAsync(1, 1, 0).get().status,
+            RequestStatus::kOk);
+  set->Stop();
+}
+
+// ----------------------------------------------------------- with router
+
+/// Seeded batches over a sliding window, pre-generated (SlidingWindow is
+/// not thread-safe) — the shared harness of the equivalence suites.
+struct ReplicationWorkload {
+  std::vector<Edge> initial;
+  VertexId num_vertices = 0;
+  std::vector<UpdateBatch> batches;
+  std::vector<VertexId> hubs;
+};
+
+ReplicationWorkload MakeWorkload(int num_hubs, uint64_t seed) {
+  ReplicationWorkload workload;
+  auto edges = GenerateErdosRenyi(128, 1024, 29);
+  EdgeStream stream =
+      EdgeStream::RandomPermutation(std::move(edges), seed);
+  SlidingWindow window(&stream, 0.5);
+  workload.initial = window.InitialEdges();
+  workload.num_vertices = stream.NumVertices();
+  const EdgeCount batch_size = window.BatchForRatio(0.01);
+  while (static_cast<int>(workload.batches.size()) < 12 &&
+         window.CanSlide(batch_size)) {
+    workload.batches.push_back(window.NextBatch(batch_size));
+  }
+  DynamicGraph ranking =
+      DynamicGraph::FromEdges(workload.initial, workload.num_vertices);
+  workload.hubs = TopOutDegreeVertices(ranking, num_hubs);
+  return workload;
+}
+
+TEST(ReplicationRouterTest, ReplicatedRouterMatchesUnshardedOracle) {
+  ReplicationWorkload workload = MakeWorkload(6, 31);
+
+  // The PR 3 oracle: one unsharded serving stack.
+  DynamicGraph ref_graph =
+      DynamicGraph::FromEdges(workload.initial, workload.num_vertices);
+  PprIndex ref_index(&ref_graph, workload.hubs, TestIndexOptions());
+  ref_index.Initialize();
+  PprService reference(&ref_index, TestServiceOptions());
+  reference.Start();
+
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.replicas = 2;
+  options.vnodes_per_shard = 32;
+  options.index = TestIndexOptions();
+  options.service = TestServiceOptions();
+  ShardedPprService router(workload.initial, workload.num_vertices,
+                           workload.hubs, options);
+  router.Start();
+
+  std::mt19937 rng(777);
+  size_t next_batch = 0;
+  bool severed = false;
+  for (int step = 0; step < 160; ++step) {
+    if (step == 80) {
+      // Halfway: kill EVERY slot's primary under the running lockstep.
+      // The standbys applied the identical feed, so nothing above the
+      // replica sets may change — statuses, epochs, values.
+      for (int slot : router.ShardIds()) {
+        ASSERT_TRUE(router.SeverReplica(slot, router.PrimaryOf(slot)));
+      }
+      severed = true;
+    }
+    const uint32_t dice = rng() % 100;
+    const VertexId s = workload.hubs[rng() % workload.hubs.size()];
+    if (dice < 15 && next_batch < workload.batches.size()) {
+      const UpdateBatch& batch = workload.batches[next_batch++];
+      ASSERT_EQ(reference.ApplyUpdatesAsync(batch).get().status,
+                RequestStatus::kOk);
+      ASSERT_EQ(router.ApplyUpdates(batch).status, RequestStatus::kOk);
+    } else if (dice < 35) {
+      const QueryResponse expected = reference.TopK(s, 5);
+      const QueryResponse got = router.TopK(s, 5);
+      ASSERT_EQ(got.status, expected.status);
+      if (expected.status != RequestStatus::kOk) continue;
+      EXPECT_EQ(got.epoch, expected.epoch) << "severed=" << severed;
+      ASSERT_EQ(got.topk.entries.size(), expected.topk.entries.size());
+      for (size_t e = 0; e < expected.topk.entries.size(); ++e) {
+        EXPECT_NEAR(got.topk.entries[e].score,
+                    expected.topk.entries[e].score, 2 * kEps + 1e-12);
+      }
+    } else {
+      const VertexId v =
+          static_cast<VertexId>(rng() % workload.num_vertices);
+      const QueryResponse expected = reference.Query(s, v);
+      const QueryResponse got = router.Query(s, v);
+      ASSERT_EQ(got.status, expected.status);
+      if (expected.status != RequestStatus::kOk) continue;
+      EXPECT_EQ(got.epoch, expected.epoch) << "severed=" << severed;
+      EXPECT_NEAR(got.estimate.value, expected.estimate.value,
+                  2 * kEps + 1e-12);
+    }
+  }
+  EXPECT_EQ(router.Report().failovers,
+            static_cast<int64_t>(router.NumShards()));
+  reference.Stop();
+  router.Stop();
+}
+
+TEST(ReplicationRouterTest, AddReplicaSyncsAndServesAfterPrimaryKill) {
+  ReplicationWorkload workload = MakeWorkload(8, 33);
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.index = TestIndexOptions();
+  options.service = TestServiceOptions();
+  ShardedPprService router(workload.initial, workload.num_vertices,
+                           workload.hubs, options);
+  router.Start();
+
+  // Advance the feed a little so the synced epochs are > 1.
+  for (size_t b = 0; b < 3; ++b) {
+    ASSERT_EQ(router.ApplyUpdates(workload.batches[b]).status,
+              RequestStatus::kOk);
+  }
+  std::vector<uint64_t> epochs_before;
+  for (VertexId hub : workload.hubs) {
+    const QueryResponse response = router.Query(hub, hub);
+    ASSERT_EQ(response.status, RequestStatus::kOk);
+    epochs_before.push_back(response.epoch);
+  }
+
+  // Late-joining standbys for every slot: synced from the primaries as
+  // blobs at unchanged epochs.
+  for (int slot : router.ShardIds()) {
+    ASSERT_EQ(router.NumReplicas(slot), 1u);
+    ASSERT_GE(router.AddReplica(slot), 0);
+    ASSERT_EQ(router.NumReplicas(slot), 2u);
+  }
+  const RouterReport synced = router.Report();
+  EXPECT_EQ(synced.standby_syncs,
+            static_cast<int64_t>(workload.hubs.size()));
+  EXPECT_GT(synced.sync_bytes, 0);
+
+  // Feed a few more batches THROUGH the replicated slots, then kill
+  // every primary: all hubs stay readable, epochs never regress.
+  for (size_t b = 3; b < 6; ++b) {
+    ASSERT_EQ(router.ApplyUpdates(workload.batches[b]).status,
+              RequestStatus::kOk);
+  }
+  for (int slot : router.ShardIds()) {
+    ASSERT_TRUE(router.SeverReplica(slot, router.PrimaryOf(slot)));
+  }
+  for (size_t i = 0; i < workload.hubs.size(); ++i) {
+    const QueryResponse response =
+        router.Query(workload.hubs[i], workload.hubs[i]);
+    EXPECT_EQ(response.status, RequestStatus::kOk);
+    EXPECT_GE(response.epoch, epochs_before[i]);
+  }
+  EXPECT_GE(router.Report().failovers, 2);
+  router.Stop();
+}
+
+TEST(ReplicationRouterTest, AntiEntropyRepairsDriftedStandby) {
+  ReplicationWorkload workload = MakeWorkload(6, 35);
+  ShardedServiceOptions options;
+  options.num_shards = 1;
+  options.replicas = 2;
+  options.index = TestIndexOptions();
+  options.service = TestServiceOptions();
+  options.anti_entropy_interval = std::chrono::milliseconds(25);
+  ShardedPprService router(workload.initial, workload.num_vertices,
+                           workload.hubs, options);
+  router.Start();
+  const int slot = router.ShardIds().front();
+
+  // Drift the standby behind the router's back.
+  ShardBackend* standby = router.ReplicaBackendForTesting(slot, 1);
+  ASSERT_NE(standby, nullptr);
+  const VertexId lost = workload.hubs.front();
+  ASSERT_EQ(standby->RemoveSourceAsync(lost).get().status,
+            RequestStatus::kOk);
+
+  // The periodic pass must notice and re-sync within a few intervals.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (router.Report().standby_syncs < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(router.Report().standby_syncs, 1) << "anti-entropy never ran";
+
+  // Proof the repair is real: kill the primary, the resynced standby
+  // serves the source it had lost.
+  ASSERT_TRUE(router.SeverReplica(slot, router.PrimaryOf(slot)));
+  EXPECT_EQ(router.Query(lost, lost).status, RequestStatus::kOk);
+  router.Stop();
+}
+
+TEST(ReplicationRouterTest, ChaosPrimaryKillUnderConcurrentLoad) {
+  // 4 clients hammer a replicas=2 fleet while a feeder streams batches;
+  // halfway through, every slot's primary is severed. The acceptance
+  // bar: zero kUnavailable answers EVER (the failover happens inside the
+  // request), per-source epochs never regress, and every hub is readable
+  // afterwards. TSan runs this.
+  ReplicationWorkload workload = MakeWorkload(8, 41);
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.replicas = 2;
+  options.index = TestIndexOptions();
+  options.service = TestServiceOptions();
+  ShardedPprService router(workload.initial, workload.num_vertices,
+                           workload.hubs, options);
+  router.Start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> unavailable{0};
+  std::atomic<int64_t> served{0};
+  std::atomic<bool> epochs_monotonic{true};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 rng(100 + static_cast<uint32_t>(c));
+      std::vector<uint64_t> last_epoch(workload.hubs.size(), 0);
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t i = rng() % workload.hubs.size();
+        const VertexId hub = workload.hubs[i];
+        const QueryResponse response = rng() % 4 == 0
+                                           ? router.TopK(hub, 3)
+                                           : router.Query(hub, hub);
+        if (response.status == RequestStatus::kUnavailable) {
+          unavailable.fetch_add(1);
+        }
+        if (response.status != RequestStatus::kOk) continue;
+        served.fetch_add(1);
+        if (response.epoch < last_epoch[i]) {
+          epochs_monotonic.store(false);
+        }
+        last_epoch[i] = response.epoch;
+      }
+    });
+  }
+
+  // Feeder: stream every batch; kill the primaries halfway.
+  for (size_t b = 0; b < workload.batches.size(); ++b) {
+    const MaintResponse applied =
+        router.ApplyUpdates(workload.batches[b]);
+    ASSERT_EQ(applied.status, RequestStatus::kOk);
+    if (b == workload.batches.size() / 2) {
+      for (int slot : router.ShardIds()) {
+        ASSERT_TRUE(router.SeverReplica(slot, router.PrimaryOf(slot)));
+      }
+    }
+  }
+  // Let the clients run against the promoted standbys for a while.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_release);
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(unavailable.load(), 0)
+      << "failover must absorb the primary deaths";
+  EXPECT_TRUE(epochs_monotonic.load()) << "an epoch regressed";
+  EXPECT_GT(served.load(), 0);
+  for (VertexId hub : workload.hubs) {
+    EXPECT_EQ(router.Query(hub, hub).status, RequestStatus::kOk) << hub;
+  }
+  const RouterReport report = router.Report();
+  EXPECT_EQ(report.failovers, static_cast<int64_t>(router.NumShards()));
+  router.Stop();
+}
+
+TEST(ReplicationRouterTest, OldTopologyCallsWorkOnReplicatedSlots) {
+  // The PR 3/4 surface (AddShard / RemoveShard) must keep compiling and
+  // behaving against the replica-set topology — including draining a
+  // replicated slot whose standby holds copies of everything.
+  ReplicationWorkload workload = MakeWorkload(8, 43);
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.replicas = 2;
+  options.index = TestIndexOptions();
+  options.service = TestServiceOptions();
+  ShardedPprService router(workload.initial, workload.num_vertices,
+                           workload.hubs, options);
+  router.Start();
+  ASSERT_EQ(router.ApplyUpdates(workload.batches[0]).status,
+            RequestStatus::kOk);
+
+  // Grow a (single-replica) slot: ~1/3 of the hubs migrate onto it, out
+  // of the replicated donors — whose standbys must drop their copies.
+  const int grown = router.AddShard();
+  ASSERT_GE(grown, 0);
+  EXPECT_EQ(router.NumReplicas(grown), 1u);
+  EXPECT_EQ(router.NumSources(), workload.hubs.size());
+
+  // Drain a replicated slot: its sources land on the survivors.
+  const int victim = router.ShardIds().front();
+  ASSERT_TRUE(router.RemoveShard(victim));
+  EXPECT_EQ(router.NumSources(), workload.hubs.size());
+  for (VertexId hub : workload.hubs) {
+    EXPECT_EQ(router.Query(hub, hub).status, RequestStatus::kOk) << hub;
+  }
+  router.Stop();
+}
+
+}  // namespace
+}  // namespace dppr
