@@ -130,15 +130,19 @@ bool WriteJson(const std::string& path, const ArgParser& args,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"bench\": \"index_scaling\",\n");
+  // "variant" is part of the config on purpose: the regression gate
+  // compares configs verbatim, so switching the push kernel re-seeds the
+  // baseline instead of comparing different kernels' throughput.
   std::fprintf(f,
                "  \"config\": {\"dataset\": \"%s\", \"threads\": %d, "
                "\"query_threads\": %lld, \"slides\": %lld, \"eps\": %g, "
-               "\"scale_shift\": %lld},\n",
+               "\"scale_shift\": %lld, \"variant\": \"%s\"},\n",
                args.GetString("dataset", "pokec").c_str(), NumThreads(),
                static_cast<long long>(args.GetInt("query_threads", 2)),
                static_cast<long long>(args.GetInt("slides", 6)),
                args.GetDouble("eps", 1e-6),
-               static_cast<long long>(args.GetInt("scale_shift", 2)));
+               static_cast<long long>(args.GetInt("scale_shift", 2)),
+               args.GetString("variant", "opt").c_str());
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& row = rows[i];
@@ -186,6 +190,13 @@ int main(int argc, char** argv) {
       ParseDoubleList(args.GetString("batch_ratios", "0.0005,0.002"));
   const int scale_shift = static_cast<int>(args.GetInt("scale_shift", 2));
   const std::string json_path = args.GetString("json", "");
+  PushVariant variant = PushVariant::kOpt;
+  if (auto st = ParsePushVariant(args.GetString("variant", "opt"), &variant);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const bool numa = args.GetBool("numa", false);
   std::vector<BenchRow> json_rows;
 
   DatasetSpec spec;
@@ -224,8 +235,12 @@ int main(int argc, char** argv) {
 
       PprOptions options;
       options.eps = eps;
+      options.variant = variant;
       LegacySerialIndex legacy(&legacy_graph, sources, options);
-      PprIndex index(&index_graph, sources, options);
+      IndexOptions index_options;
+      index_options.ppr = options;
+      index_options.numa_aware_engines = numa;
+      PprIndex index(&index_graph, sources, index_options);
       legacy.Initialize();
       index.Initialize();
 

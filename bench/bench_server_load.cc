@@ -117,15 +117,19 @@ bool WriteJson(const std::string& path, const ArgParser& args,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"bench\": \"server_load\",\n");
+  // "variant" is part of the config on purpose: the regression gate
+  // compares configs verbatim, so switching the push kernel re-seeds the
+  // baseline instead of comparing different kernels' throughput.
   std::fprintf(f, "  \"config\": {\"dataset\": \"%s\", \"seed\": %llu, "
                   "\"hubs\": %lld, \"workers\": %lld, \"clients\": %lld, "
-                  "\"seconds\": %g},\n",
+                  "\"seconds\": %g, \"variant\": \"%s\"},\n",
               args.GetString("dataset", "pokec").c_str(),
               static_cast<unsigned long long>(seed),
               static_cast<long long>(args.GetInt("hubs", 16)),
               static_cast<long long>(args.GetInt("workers", 4)),
               static_cast<long long>(args.GetInt("clients", 4)),
-              args.GetDouble("seconds", 1.5));
+              args.GetDouble("seconds", 1.5),
+              args.GetString("variant", "opt").c_str());
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& row = rows[i];
@@ -197,6 +201,12 @@ int main(int argc, char** argv) {
   const auto replica_counts =
       ParseShardCounts(args.GetString("replicas", "1"));
   const std::string json_path = args.GetString("json", "");
+  PushVariant variant = PushVariant::kOpt;
+  if (auto st = ParsePushVariant(args.GetString("variant", "opt"), &variant);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   std::vector<BenchRow> json_rows;
 
   DatasetSpec spec;
@@ -239,6 +249,7 @@ int main(int argc, char** argv) {
       options.num_shards = num_shards;
       options.replicas = num_replicas;
       options.index.ppr.eps = eps;
+      options.index.ppr.variant = variant;
       options.index.max_materialized_sources = lru_cap;
       options.service.num_workers = workers;
       options.service.materialize_wait = std::chrono::milliseconds(500);

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the CI bench artifacts.
+
+Compares a bench JSON document (the {"bench", "config", "rows"} shape
+written by bench_server_load / bench_index_scaling / bench_micro_kernels)
+against the same artifact from the previous run on this branch:
+
+    ci/check_bench_regression.py --baseline=prev/BENCH_server_load.json \
+        --current=BENCH_server_load.json [--max-drop=0.15]
+
+Rows are matched by the bench's identity columns (e.g. shards/replicas/mix
+for server_load); for each matched pair the gate fails when
+
+  * a throughput metric (qps, upd_per_s, ...) drops more than --max-drop
+    (default 15%) below the baseline, or
+  * a shed/failed counter increases over the baseline.
+
+Seeding and config drift are deliberately soft: a missing, unreadable, or
+structurally different baseline — different bench name, different config
+keys or values, e.g. when a bench grows a new "variant" config key — makes
+the gate PASS with a "seeding baseline" note, so the first run after a
+bench change records the new baseline instead of comparing apples to
+oranges. Rows that appear on only one side are reported but never fail
+the gate (sweep grids may grow or shrink).
+
+`--self-test` runs the built-in scenario suite (no files needed); CI
+executes it before the real comparison so a broken gate fails loudly
+instead of waving regressions through.
+"""
+
+import argparse
+import json
+import sys
+
+# Per-bench schema: identity columns forming the row key, throughput
+# metrics gated on relative drop, and counters gated on absolute increase.
+SCHEMAS = {
+    "server_load": {
+        "key": ("shards", "replicas", "mix"),
+        "throughput": ("qps", "upd_per_s"),
+        "counters": ("shed", "failed"),
+    },
+    "index_scaling": {
+        "key": ("sources", "batch", "mode"),
+        "throughput": ("index_upd_per_s", "qry_per_s_at_maint"),
+        "counters": (),
+    },
+    "micro_kernels": {
+        "key": ("kernel", "simd", "regime"),
+        "throughput": ("m_ops_per_s",),
+        "counters": (),
+    },
+}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"note: cannot read {path}: {err}")
+        return None
+
+
+def row_key(row, key_fields):
+    return tuple(row.get(k) for k in key_fields)
+
+
+def compare(baseline, current, max_drop):
+    """Returns (ok, seeded) and prints a human-readable report."""
+    if not isinstance(current, dict) or "bench" not in current:
+        print("FAIL: current artifact is not a bench document")
+        return False, False
+    bench = current.get("bench")
+    schema = SCHEMAS.get(bench)
+    if schema is None:
+        print(f"FAIL: unknown bench kind '{bench}'")
+        return False, False
+    if not isinstance(baseline, dict):
+        print(f"PASS: no usable baseline for '{bench}' — seeding this run")
+        return True, True
+    if baseline.get("bench") != bench:
+        print(f"PASS: baseline is '{baseline.get('bench')}', current is "
+              f"'{bench}' — seeding this run")
+        return True, True
+    if baseline.get("config") != current.get("config"):
+        print(f"PASS: '{bench}' config changed "
+              f"({baseline.get('config')} -> {current.get('config')}) — "
+              "baseline incompatible, seeding this run")
+        return True, True
+
+    base_rows = {row_key(r, schema["key"]): r
+                 for r in baseline.get("rows", [])}
+    failures = []
+    matched = 0
+    for row in current.get("rows", []):
+        key = row_key(row, schema["key"])
+        base = base_rows.pop(key, None)
+        label = "/".join(str(k) for k in key)
+        if base is None:
+            print(f"note: row {label} has no baseline — skipped")
+            continue
+        matched += 1
+        for metric in schema["throughput"]:
+            was, now = base.get(metric), row.get(metric)
+            if not isinstance(was, (int, float)) or was <= 0:
+                continue
+            if not isinstance(now, (int, float)):
+                continue
+            drop = 1.0 - now / was
+            mark = "REGRESSION" if drop > max_drop else "ok"
+            print(f"  {label}: {metric} {was:.1f} -> {now:.1f} "
+                  f"({-drop:+.1%}) {mark}")
+            if drop > max_drop:
+                failures.append(f"{label}: {metric} dropped {drop:.1%} "
+                                f"(limit {max_drop:.0%})")
+        for metric in schema["counters"]:
+            was, now = base.get(metric, 0), row.get(metric, 0)
+            if isinstance(now, (int, float)) and isinstance(was, (int, float)) \
+                    and now > was:
+                failures.append(f"{label}: {metric} increased {was} -> {now}")
+                print(f"  {label}: {metric} {was} -> {now} REGRESSION")
+    for key in base_rows:
+        print(f"note: baseline row {'/'.join(str(k) for k in key)} "
+              "vanished from current sweep")
+
+    if failures:
+        print(f"FAIL: '{bench}' — {len(failures)} regression(s) over "
+              f"{matched} matched row(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return False, False
+    print(f"PASS: '{bench}' — {matched} matched row(s), no regression")
+    return True, False
+
+
+def self_test():
+    cfg = {"dataset": "pokec", "seed": 7}
+    doc = {
+        "bench": "server_load",
+        "config": dict(cfg),
+        "rows": [
+            {"shards": 1, "replicas": 1, "mix": "95:5",
+             "qps": 1000.0, "upd_per_s": 50.0, "shed": 3, "failed": 0},
+            {"shards": 2, "replicas": 2, "mix": "95:5",
+             "qps": 1800.0, "upd_per_s": 90.0, "shed": 0, "failed": 0},
+        ],
+    }
+
+    def variant(**row_deltas):
+        out = json.loads(json.dumps(doc))
+        out["rows"][0].update(row_deltas)
+        return out
+
+    cases = [
+        # (name, baseline, current, expect_ok)
+        ("identical", doc, doc, True),
+        ("small 10% drop passes", doc, variant(qps=900.0), True),
+        ("20% qps drop fails", doc, variant(qps=800.0), False),
+        ("shed increase fails", doc, variant(shed=4), False),
+        ("shed decrease passes", doc, variant(shed=0), True),
+        ("missing baseline seeds", None, doc, True),
+        ("bench-kind mismatch seeds",
+         {"bench": "index_scaling", "config": dict(cfg), "rows": []}, doc,
+         True),
+        ("config drift seeds",
+         {"bench": "server_load",
+          "config": dict(cfg, variant="adaptive"), "rows": doc["rows"]},
+         doc, True),
+        ("new row skipped",
+         {"bench": "server_load", "config": dict(cfg), "rows": []}, doc,
+         True),
+    ]
+    bad = 0
+    for name, base, cur, expect_ok in cases:
+        print(f"--- self-test: {name}")
+        ok, _ = compare(base, cur, max_drop=0.15)
+        if ok != expect_ok:
+            print(f"SELF-TEST FAILURE: '{name}' returned ok={ok}, "
+                  f"expected {expect_ok}")
+            bad += 1
+    if bad:
+        print(f"self-test: {bad}/{len(cases)} case(s) FAILED")
+        return 1
+    print(f"self-test: all {len(cases)} cases OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="previous run's bench JSON")
+    parser.add_argument("--current", help="this run's bench JSON")
+    parser.add_argument("--max-drop", type=float, default=0.15,
+                        help="max tolerated relative throughput drop")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in scenario suite and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.current:
+        parser.error("--current is required (or use --self-test)")
+    current = load(args.current)
+    if current is None:
+        print(f"FAIL: current artifact {args.current} unreadable")
+        return 1
+    baseline = load(args.baseline) if args.baseline else None
+    ok, _ = compare(baseline, current, args.max_drop)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,11 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 #   primary promotion, the ordered feed fan-out threads, the anti-entropy
 #   thread racing the routing lock, and the 4-client primary-kill chaos
 #   test.
+# kernel_test: the adaptive dense/sparse push kernels + SIMD dispatch —
+#   the dense sweep's no-atomics claim (per-grain writes are disjoint by
+#   construction) and the dispatch override plumbing, checked by TSan
+#   even with the OpenMP team pinned (std::thread readers elsewhere in
+#   the suite still exercise the engine under concurrency).
 # Excluded: the oversubscription test pins an OpenMP team of 4, whose
 # libgomp barriers TSan cannot see (same reason OMP is pinned to 1 above);
 # its correctness claims are covered by the regular CI job.
@@ -56,5 +61,5 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 OMP_NUM_THREADS=1 \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/ci/tsan.supp" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -R '^(PprIndex|PprService|BoundedQueue|PprRouter|HashRing|RouterMigration|NetWire|PprServer|RemoteShard|NetFleet|ReplicaSet|ReplicationRouter)' \
+  -R '^(PprIndex|PprService|BoundedQueue|PprRouter|HashRing|RouterMigration|NetWire|PprServer|RemoteShard|NetFleet|ReplicaSet|ReplicationRouter|KernelDispatch|KernelPrimitive|KernelEquivalence|FrontierDense|NumaTopology)' \
   -E 'OversubscribedThreads'

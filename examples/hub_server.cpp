@@ -152,6 +152,8 @@ int main(int argc, char** argv) {
   const std::string join_csv = args.GetString("join", "");
   const int num_shards = static_cast<int>(args.GetInt("shards", 1));
   const int replicas = static_cast<int>(args.GetInt("replicas", 1));
+  const std::string variant_name = args.GetString("variant", "opt");
+  const bool numa = args.GetBool("numa", false);
   if (replicas < 1) {
     std::fprintf(stderr, "--replicas must be >= 1\n");
     return 1;
@@ -187,6 +189,12 @@ int main(int argc, char** argv) {
   dppr::IndexOptions options;
   options.ppr.eps = 1e-7;
   options.max_materialized_sources = lru_cap;
+  if (auto st = dppr::ParsePushVariant(variant_name, &options.ppr.variant);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  options.numa_aware_engines = numa;
   dppr::ServiceOptions service_options;
   service_options.num_workers = workers;
   service_options.materialize_wait = std::chrono::milliseconds(500);

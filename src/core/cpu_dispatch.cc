@@ -1,0 +1,248 @@
+// NOTE: this file must be compiled with -ffp-contract=off (CMakeLists.txt
+// sets the source property): the scalar fallbacks promise bit-identical
+// results to the AVX2 mul/add intrinsic sequences, which a compiler-fused
+// FMA would silently break.
+
+#include "core/cpu_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/push_common.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DPPR_X86 1
+#include <immintrin.h>
+#else
+#define DPPR_X86 0
+#endif
+
+namespace dppr {
+namespace {
+
+/// -1 = no override; otherwise a SimdLevel for ActiveSimdLevel to return.
+std::atomic<int> g_simd_override{-1};
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("DPPR_FORCE_SCALAR_KERNELS");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel HardwareSimdLevel() {
+#if DPPR_X86
+  static const bool has_avx2 = __builtin_cpu_supports("avx2") != 0;
+  return has_avx2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  if (EnvForcesScalar()) return SimdLevel::kScalar;
+  const int forced = g_simd_override.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const auto level = static_cast<SimdLevel>(forced);
+    return level == SimdLevel::kAvx2 ? HardwareSimdLevel() : level;
+  }
+  return HardwareSimdLevel();
+}
+
+void SetSimdOverrideForTest(SimdLevel level) {
+  g_simd_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ClearSimdOverrideForTest() {
+  g_simd_override.store(-1, std::memory_order_relaxed);
+}
+
+namespace simdops {
+namespace {
+
+// ------------------------------------------------------- scalar fallbacks
+
+void BuildMaskedResidualsScalar(const uint8_t* flags, const double* r,
+                                double* w, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    w[i] = flags[i] != 0 ? r[i] : 0.0;
+  }
+}
+
+double GatherSumScalar(const double* w, const VertexId* idx, int64_t m) {
+  // Four named accumulators in the exact lane order of the AVX2 path:
+  // lane j sums elements j, j+4, ...; lanes reduce (l0+l1)+(l2+l3); the
+  // tail adds sequentially onto the reduced sum.
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  const int64_t m4 = m & ~int64_t{3};
+  for (int64_t j = 0; j < m4; j += 4) {
+    if (j + 8 < m4) {
+      PrefetchRead(&w[idx[j + 8]]);
+      PrefetchRead(&w[idx[j + 9]]);
+      PrefetchRead(&w[idx[j + 10]]);
+      PrefetchRead(&w[idx[j + 11]]);
+    }
+    l0 += w[idx[j]];
+    l1 += w[idx[j + 1]];
+    l2 += w[idx[j + 2]];
+    l3 += w[idx[j + 3]];
+  }
+  double sum = (l0 + l1) + (l2 + l3);
+  for (int64_t j = m4; j < m; ++j) sum += w[idx[j]];
+  return sum;
+}
+
+int64_t SelfUpdateAndFlagScalar(double* p, double* r, const double* w,
+                                double alpha, double eps, bool positive_phase,
+                                uint8_t* flags, int64_t lo, int64_t hi) {
+  int64_t count = 0;
+  for (int64_t v = lo; v < hi; ++v) {
+    const double wv = w[v];
+    p[v] += alpha * wv;
+    const double rv = r[v] - wv;
+    r[v] = rv;
+    const bool active = positive_phase ? rv > eps : rv < -eps;
+    flags[v] = active ? 1 : 0;
+    count += active;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------- AVX2 variants
+
+#if DPPR_X86
+
+__attribute__((target("avx2")))
+void BuildMaskedResidualsAvx2(const uint8_t* flags, const double* r,
+                              double* w, int64_t n) {
+  const int64_t n4 = n & ~int64_t{3};
+  const __m256i zero = _mm256_setzero_si256();
+  for (int64_t i = 0; i < n4; i += 4) {
+    int32_t packed;
+    std::memcpy(&packed, flags + i, sizeof(packed));
+    const __m256i wide =
+        _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(packed));
+    const __m256i is_zero = _mm256_cmpeq_epi64(wide, zero);
+    const __m256d rv = _mm256_loadu_pd(r + i);
+    _mm256_storeu_pd(w + i,
+                     _mm256_andnot_pd(_mm256_castsi256_pd(is_zero), rv));
+  }
+  for (int64_t i = n4; i < n; ++i) w[i] = flags[i] != 0 ? r[i] : 0.0;
+}
+
+__attribute__((target("avx2")))
+double GatherSumAvx2(const double* w, const VertexId* idx, int64_t m) {
+  __m256d acc = _mm256_setzero_pd();
+  // Masked gather with an explicit zero source: the plain gather's
+  // _mm256_undefined_pd source trips -Wmaybe-uninitialized under -Werror.
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  const int64_t m4 = m & ~int64_t{3};
+  for (int64_t j = 0; j < m4; j += 4) {
+    if (j + 8 < m4) {
+      PrefetchRead(&w[idx[j + 8]]);
+      PrefetchRead(&w[idx[j + 9]]);
+      PrefetchRead(&w[idx[j + 10]]);
+      PrefetchRead(&w[idx[j + 11]]);
+    }
+    const __m128i vidx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + j));
+    acc = _mm256_add_pd(
+        acc, _mm256_mask_i32gather_pd(_mm256_setzero_pd(), w, vidx, all, 8));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (int64_t j = m4; j < m; ++j) sum += w[idx[j]];
+  return sum;
+}
+
+__attribute__((target("avx2")))
+int64_t SelfUpdateAndFlagAvx2(double* p, double* r, const double* w,
+                              double alpha, double eps, bool positive_phase,
+                              uint8_t* flags, int64_t lo, int64_t hi) {
+  // movemask bit j set -> lane j's flag byte is 1.
+  static constexpr uint32_t kMaskBytes[16] = {
+      0x00000000u, 0x00000001u, 0x00000100u, 0x00000101u,
+      0x00010000u, 0x00010001u, 0x00010100u, 0x00010101u,
+      0x01000000u, 0x01000001u, 0x01000100u, 0x01000101u,
+      0x01010000u, 0x01010001u, 0x01010100u, 0x01010101u};
+  const __m256d valpha = _mm256_set1_pd(alpha);
+  const __m256d veps = _mm256_set1_pd(positive_phase ? eps : -eps);
+  int64_t count = 0;
+  int64_t v = lo;
+  for (; v + 4 <= hi; v += 4) {
+    const __m256d wv = _mm256_loadu_pd(w + v);
+    // mul + add, NOT fmadd: the scalar fallback must match bitwise.
+    const __m256d pv =
+        _mm256_add_pd(_mm256_loadu_pd(p + v), _mm256_mul_pd(valpha, wv));
+    const __m256d rv = _mm256_sub_pd(_mm256_loadu_pd(r + v), wv);
+    _mm256_storeu_pd(p + v, pv);
+    _mm256_storeu_pd(r + v, rv);
+    const __m256d cmp = positive_phase
+                            ? _mm256_cmp_pd(rv, veps, _CMP_GT_OQ)
+                            : _mm256_cmp_pd(rv, veps, _CMP_LT_OQ);
+    const int mask = _mm256_movemask_pd(cmp);
+    const uint32_t bytes = kMaskBytes[mask];
+    std::memcpy(flags + v, &bytes, sizeof(bytes));
+    count += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  if (v < hi) {
+    count += SelfUpdateAndFlagScalar(p, r, w, alpha, eps, positive_phase,
+                                     flags, v, hi);
+  }
+  return count;
+}
+
+#endif  // DPPR_X86
+
+}  // namespace
+
+void BuildMaskedResiduals(SimdLevel level, const uint8_t* flags,
+                          const double* r, double* w, int64_t n) {
+#if DPPR_X86
+  if (level == SimdLevel::kAvx2) {
+    BuildMaskedResidualsAvx2(flags, r, w, n);
+    return;
+  }
+#endif
+  (void)level;
+  BuildMaskedResidualsScalar(flags, r, w, n);
+}
+
+double GatherSum(SimdLevel level, const double* w, const VertexId* idx,
+                 int64_t m) {
+#if DPPR_X86
+  if (level == SimdLevel::kAvx2) return GatherSumAvx2(w, idx, m);
+#endif
+  (void)level;
+  return GatherSumScalar(w, idx, m);
+}
+
+int64_t SelfUpdateAndFlag(SimdLevel level, double* p, double* r,
+                          const double* w, double alpha, double eps,
+                          bool positive_phase, uint8_t* flags, int64_t lo,
+                          int64_t hi) {
+#if DPPR_X86
+  if (level == SimdLevel::kAvx2) {
+    return SelfUpdateAndFlagAvx2(p, r, w, alpha, eps, positive_phase, flags,
+                                 lo, hi);
+  }
+#endif
+  (void)level;
+  return SelfUpdateAndFlagScalar(p, r, w, alpha, eps, positive_phase, flags,
+                                 lo, hi);
+}
+
+}  // namespace simdops
+}  // namespace dppr

@@ -1,0 +1,85 @@
+// Runtime CPU dispatch for the vectorized kernel primitives.
+//
+// The dense push sweeps (push_adaptive.cc) bottom out in three flat-array
+// primitives: a masked residual snapshot, a gather-sum over a CSR neighbor
+// run, and a fused self-update + next-frontier-flag sweep. Each has an
+// AVX2 implementation selected at RUNTIME (function multi-versioning via
+// target attributes — never compile flags, so one binary serves every
+// x86 and the scalar path serves everything else) and a scalar fallback
+// written to produce BIT-IDENTICAL results:
+//
+//  * elementwise ops use mul+add (no FMA contraction; cpu_dispatch.cc is
+//    compiled with -ffp-contract=off so the compiler cannot fuse them
+//    behind our back), matching the AVX2 mul/add intrinsic sequence;
+//  * the gather-sum fixes a 4-lane accumulation order — lane j sums
+//    elements j, j+4, j+8, ... and lanes reduce as (l0+l1)+(l2+l3) — the
+//    scalar fallback mirrors that order with four named accumulators.
+//
+// kernel_test.cc asserts the bitwise agreement; the sanitizer nets run
+// both paths.
+//
+// Dispatch order: PprOptions::force_scalar_kernels (per-engine option) >
+// DPPR_FORCE_SCALAR_KERNELS=1 (environment, checked per query so tests
+// can flip it) > the test override installed by SetSimdOverrideForTest >
+// hardware detection (__builtin_cpu_supports).
+
+#ifndef DPPR_CORE_CPU_DISPATCH_H_
+#define DPPR_CORE_CPU_DISPATCH_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace dppr {
+
+enum class SimdLevel {
+  kScalar,  ///< portable fallback (also the non-x86 and forced path)
+  kAvx2,    ///< 4-wide double lanes + 32-bit index gathers
+};
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest level this CPU supports (cached cpuid probe; env-independent).
+SimdLevel HardwareSimdLevel();
+
+/// The level kernels should use right now: kScalar when the
+/// DPPR_FORCE_SCALAR_KERNELS environment variable is set non-zero or a
+/// test override is installed, otherwise HardwareSimdLevel(). Callers
+/// needing the per-engine PprOptions::force_scalar_kernels override apply
+/// it on top (see push_adaptive.cc).
+SimdLevel ActiveSimdLevel();
+
+/// Test hook: pins ActiveSimdLevel() to `level` (clamped to the
+/// hardware's capability, so forcing kAvx2 on a non-AVX2 box stays
+/// scalar). Pass to restore detection.
+void SetSimdOverrideForTest(SimdLevel level);
+void ClearSimdOverrideForTest();
+
+namespace simdops {
+
+/// w[i] = flags[i] ? r[i] : 0 for i in [0, n) — the bulk-synchronous
+/// residual snapshot of a dense iteration (contributions of non-frontier
+/// vertices become exact zeros, making the pull gather branchless).
+void BuildMaskedResiduals(SimdLevel level, const uint8_t* flags,
+                          const double* r, double* w, int64_t n);
+
+/// Sum of w[idx[j]] for j in [0, m) in the fixed 4-lane order described
+/// above, prefetching gather targets one group ahead. This is the inner
+/// loop of the dense pull: idx is one vertex's contiguous neighbor run.
+double GatherSum(SimdLevel level, const double* w, const VertexId* idx,
+                 int64_t m);
+
+/// Fused dense self-update + next-frontier generation over [lo, hi):
+///   p[v] += alpha * w[v];  r[v] -= w[v];
+///   flags[v] = positive_phase ? r[v] > eps : r[v] < -eps;
+/// Returns the number of flags set. Writes flags for EVERY v in range
+/// (the caller never pre-clears the next dense frontier).
+int64_t SelfUpdateAndFlag(SimdLevel level, double* p, double* r,
+                          const double* w, double alpha, double eps,
+                          bool positive_phase, uint8_t* flags, int64_t lo,
+                          int64_t hi);
+
+}  // namespace simdops
+}  // namespace dppr
+
+#endif  // DPPR_CORE_CPU_DISPATCH_H_

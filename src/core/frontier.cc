@@ -41,9 +41,52 @@ void Frontier::Clear() {
   }
   current_.clear();
   for (auto& buf : buffers_) buf.items.clear();
+  // Dense flag buffers keep their capacity but membership resets; the
+  // next phase starts over in sparse mode.
+  mode_ = FrontierMode::kSparse;
+  dense_size_ = 0;
+  dense_next_size_ = 0;
+}
+
+void Frontier::ConvertToDense(VertexId n) {
+  DPPR_CHECK(mode_ == FrontierMode::kSparse);
+  // kEager's membership tracking is a sparse-only protocol; the adaptive
+  // kernel never enables it.
+  DPPR_CHECK(!track_current_);
+  dense_current_.assign(static_cast<size_t>(n), 0);
+  dense_next_.resize(static_cast<size_t>(n));
+  for (VertexId v : current_) {
+    DPPR_DCHECK(v >= 0 && v < n);
+    dense_current_[static_cast<size_t>(v)] = 1;
+  }
+  dense_size_ = static_cast<int64_t>(current_.size());
+  dense_next_size_ = 0;
+  current_.clear();
+  mode_ = FrontierMode::kDense;
+}
+
+void Frontier::ConvertToSparse() {
+  DPPR_CHECK(mode_ == FrontierMode::kDense);
+  current_.clear();
+  current_.reserve(static_cast<size_t>(dense_size_));
+  const auto n = static_cast<VertexId>(dense_current_.size());
+  for (VertexId v = 0; v < n; ++v) {
+    if (dense_current_[static_cast<size_t>(v)] != 0) current_.push_back(v);
+  }
+  DPPR_DCHECK(static_cast<int64_t>(current_.size()) == dense_size_);
+  dense_size_ = 0;
+  mode_ = FrontierMode::kSparse;
 }
 
 int64_t Frontier::FlushToCurrent() {
+  if (mode_ == FrontierMode::kDense) {
+    // The dense kernel wrote every byte of dense_next_ and reported the
+    // popcount; thread buffers are untouched in dense iterations.
+    std::swap(dense_current_, dense_next_);
+    dense_size_ = dense_next_size_;
+    dense_next_size_ = 0;
+    return dense_size_;
+  }
   if (track_current_) {
     for (VertexId v : current_) in_current_[static_cast<size_t>(v)] = 0;
   }
@@ -69,7 +112,8 @@ int64_t Frontier::FlushToCurrent() {
 
 size_t Frontier::ApproxBytes() const {
   size_t bytes = current_.capacity() * sizeof(VertexId) +
-                 enqueued_.capacity() + in_current_.capacity();
+                 enqueued_.capacity() + in_current_.capacity() +
+                 dense_current_.capacity() + dense_next_.capacity();
   for (const auto& buf : buffers_) {
     bytes += sizeof(ThreadBuffer) + buf.items.capacity() * sizeof(VertexId);
   }

@@ -11,6 +11,14 @@
 // Enqueued ids land in per-thread cache-line-padded buffers and are merged
 // into the dense frontier array once per iteration, so the hot path never
 // contends on a shared tail pointer.
+//
+// DENSE MODE (the adaptive kernel's all-vertex representation): membership
+// becomes one byte flag per vertex, double-buffered — kernels read
+// DenseCurrent() and write EVERY entry of DenseNext() (no pre-clear), in
+// kDenseGrain-sized grains so two threads never write flag bytes on the
+// same cache line. FlushToCurrent swaps the buffers. Conversions are
+// explicit (ConvertToDense / ConvertToSparse) and preserve membership
+// exactly; Clear() always returns the frontier to sparse mode.
 
 #ifndef DPPR_CORE_FRONTIER_H_
 #define DPPR_CORE_FRONTIER_H_
@@ -23,6 +31,12 @@
 #include "util/macros.h"
 
 namespace dppr {
+
+/// Which representation currently holds frontier membership.
+enum class FrontierMode {
+  kSparse,  ///< vertex-id list + per-thread enqueue buffers
+  kDense,   ///< byte flag per vertex, double-buffered
+};
 
 /// \brief Double-buffered vertex frontier with per-thread enqueue buffers.
 class Frontier {
@@ -47,14 +61,48 @@ class Frontier {
     return in_current_[static_cast<size_t>(v)] != 0;
   }
 
-  std::span<const VertexId> Current() const { return current_; }
-  int64_t CurrentSize() const { return static_cast<int64_t>(current_.size()); }
+  std::span<const VertexId> Current() const {
+    DPPR_DCHECK(mode_ == FrontierMode::kSparse);
+    return current_;
+  }
+  int64_t CurrentSize() const {
+    return mode_ == FrontierMode::kDense
+               ? dense_size_
+               : static_cast<int64_t>(current_.size());
+  }
 
   /// Replaces the current frontier (used by initialization).
   void SetCurrent(std::vector<VertexId> vertices);
 
-  /// Clears current frontier and all thread buffers.
+  /// Clears current frontier and all thread buffers; returns to sparse mode.
   void Clear();
+
+  FrontierMode mode() const { return mode_; }
+
+  /// Re-encodes the current sparse frontier as byte flags over [0, n).
+  /// Requires sparse mode, no tracking, and n >= every current vertex id.
+  void ConvertToDense(VertexId n);
+
+  /// Packs the current dense flags back into a vertex-id list (ascending).
+  void ConvertToSparse();
+
+  /// Flag arrays, valid only in dense mode. Kernels read DenseCurrent()
+  /// and overwrite every byte of DenseNext() (no pre-clear contract).
+  const uint8_t* DenseCurrent() const {
+    DPPR_DCHECK(mode_ == FrontierMode::kDense);
+    return dense_current_.data();
+  }
+  uint8_t* DenseNext() {
+    DPPR_DCHECK(mode_ == FrontierMode::kDense);
+    return dense_next_.data();
+  }
+
+  /// Reports how many DenseNext() flags the kernel set; FlushToCurrent
+  /// returns this after swapping the buffers.
+  void SetDenseNextSize(int64_t size) {
+    DPPR_DCHECK(mode_ == FrontierMode::kDense);
+    dense_next_size_ = size;
+  }
 
   /// Unconditional enqueue into thread `tid`'s buffer (Algorithm 4 path).
   void Enqueue(int tid, VertexId v) {
@@ -73,18 +121,23 @@ class Frontier {
     return true;
   }
 
-  /// Merges all thread buffers into the current frontier (replacing it),
-  /// resets the dedup flags touched this iteration, and returns the new
-  /// frontier size.
+  /// Advances to the next iteration's frontier and returns its size.
+  /// Sparse: merges all thread buffers into the current list and resets
+  /// the dedup flags touched this iteration. Dense: swaps the flag
+  /// buffers and returns the size reported via SetDenseNextSize.
   int64_t FlushToCurrent();
 
-  /// Approximate heap footprint (dense frontier, thread buffers, flags).
+  /// Approximate heap footprint (frontier list, dense flag buffers,
+  /// thread buffers, dedup flags).
   size_t ApproxBytes() const;
 
  private:
   struct alignas(kCacheLineSize) ThreadBuffer {
     std::vector<VertexId> items;
   };
+  static_assert(alignof(ThreadBuffer) == kCacheLineSize,
+                "per-thread enqueue buffers must be cache-line aligned or "
+                "neighboring threads false-share the vector headers");
 
   std::vector<VertexId> current_;
   std::vector<ThreadBuffer> buffers_;
@@ -92,6 +145,12 @@ class Frontier {
   std::vector<uint8_t> in_current_;  ///< current-frontier membership
   bool track_current_ = false;
   std::atomic<bool> flags_dirty_{false};
+
+  FrontierMode mode_ = FrontierMode::kSparse;
+  std::vector<uint8_t> dense_current_;  ///< membership flags (dense mode)
+  std::vector<uint8_t> dense_next_;     ///< kernel-written next frontier
+  int64_t dense_size_ = 0;              ///< popcount of dense_current_
+  int64_t dense_next_size_ = 0;         ///< kernel-reported next popcount
 };
 
 }  // namespace dppr

@@ -99,12 +99,22 @@ void ParallelPushEngine::RunPhase(const DynamicGraph& g, PprState* state,
   ctx.frontier = &frontier_;
   ctx.scratch = &scratch_;
   ctx.counters = &thread_counters_;
+  ctx.options = &options_;
 
   while (frontier_size > 0) {
-    ctx.parallel_round =
-        options_.force_parallel_rounds ||
-        ShouldParallelizeRound(g, frontier_.Current(),
-                               options_.parallel_round_min_work);
+    if (frontier_.mode() == FrontierMode::kDense) {
+      // Dense rounds (adaptive kernel) have no sparse list to scan, are
+      // only entered past the direction threshold — far beyond any
+      // sensible min_work — and use no atomics, so a team is always worth
+      // forking when one exists.
+      ctx.parallel_round = options_.force_parallel_rounds ||
+                           (NumThreads() > 1 && !InParallelRegion());
+    } else {
+      ctx.parallel_round =
+          options_.force_parallel_rounds ||
+          ShouldParallelizeRound(g, frontier_.Current(),
+                                 options_.parallel_round_min_work);
+    }
     if (options_.record_iteration_trace) {
       stats->frontier_trace.push_back(frontier_size);
     }
@@ -133,6 +143,9 @@ void ParallelPushEngine::RunPhase(const DynamicGraph& g, PprState* state,
         break;
       case PushVariant::kSortAggregate:
         PushIterationSortAggregate(ctx);
+        break;
+      case PushVariant::kAdaptive:
+        PushIterationAdaptive(ctx);
         break;
       case PushVariant::kSequential:
         DPPR_CHECK_MSG(false, "sequential variant has no parallel kernel");
@@ -168,6 +181,7 @@ void ParallelPushEngine::Run(const DynamicGraph& g, PprState* state,
 size_t ParallelPushEngine::ApproxScratchBytes() const {
   size_t bytes = frontier_.ApproxBytes();
   bytes += scratch_.frontier_w.capacity() * sizeof(double);
+  bytes += scratch_.dense_w.capacity() * sizeof(double);
   bytes += scratch_.merged_pairs.capacity() *
            sizeof(std::pair<VertexId, double>);
   for (const auto& pairs : scratch_.thread_pairs) {

@@ -16,6 +16,8 @@ const char* PushVariantName(PushVariant variant) {
       return "opt";
     case PushVariant::kSortAggregate:
       return "sortaggregate";
+    case PushVariant::kAdaptive:
+      return "adaptive";
   }
   return "unknown";
 }
@@ -33,10 +35,13 @@ Status ParsePushVariant(const std::string& name, PushVariant* variant) {
     *variant = PushVariant::kOpt;
   } else if (name == "sortaggregate") {
     *variant = PushVariant::kSortAggregate;
+  } else if (name == "adaptive") {
+    *variant = PushVariant::kAdaptive;
   } else {
     return Status::InvalidArgument(
         "unknown push variant '" + name +
-        "'; expected seq|vanilla|eager|dupdetect|opt|sortaggregate");
+        "'; expected seq|vanilla|eager|dupdetect|opt|sortaggregate|"
+        "adaptive");
   }
   return Status::OK();
 }
@@ -47,6 +52,10 @@ Status PprOptions::Validate() const {
   }
   if (!(eps > 0.0 && eps < 1.0)) {
     return Status::InvalidArgument("eps must be in (0, 1)");
+  }
+  if (dense_threshold_den < 0) {
+    return Status::InvalidArgument(
+        "dense_threshold_den must be >= 0 (0 disables dense mode)");
   }
   return Status::OK();
 }

@@ -18,12 +18,14 @@ enum class PushVariant {
   kDupDetect,     ///< local duplicate detection only (Alg. 3 order)
   kOpt,           ///< Algorithm 4: eager + local duplicate detection
   kSortAggregate, ///< footnote 2: sort-and-aggregate instead of atomics
+  kAdaptive,      ///< per-iteration dense/sparse switch over kOpt + the
+                  ///< SIMD dense pull sweep (see src/core/README.md)
 };
 
 const char* PushVariantName(PushVariant variant);
 
 /// Parses "opt" / "vanilla" / "eager" / "dupdetect" / "seq" /
-/// "sortaggregate" (case-sensitive).
+/// "sortaggregate" / "adaptive" (case-sensitive).
 Status ParsePushVariant(const std::string& name, PushVariant* variant);
 
 /// \brief Parameters of the maintenance scheme (paper Table 2 defaults).
@@ -54,6 +56,20 @@ struct PprOptions {
   /// depends on core count and atomic-add cost; the default suits 2-8
   /// cores, and `bench_ablation --thresholds=...` sweeps it.
   int64_t parallel_round_min_work = 8192;
+
+  /// kAdaptive's direction switch (the Ligra heuristic): an iteration
+  /// goes DENSE when |frontier| + sum of frontier in-degrees exceeds
+  /// |E| / dense_threshold_den. 20 is Ligra's classic denominator; raise
+  /// it to switch earlier (a huge value forces dense whenever the
+  /// frontier is non-empty — the bench/test forcing knob), set 0 to
+  /// disable dense mode entirely (kAdaptive then degenerates to kOpt).
+  int64_t dense_threshold_den = 20;
+
+  /// Pins the vectorized sweeps to their scalar fallbacks regardless of
+  /// what the CPU supports (runtime dispatch stays, the choice is just
+  /// forced). The DPPR_FORCE_SCALAR_KERNELS environment variable forces
+  /// the same thing process-wide; see core/cpu_dispatch.h.
+  bool force_scalar_kernels = false;
 
   Status Validate() const;
 };

@@ -3,7 +3,30 @@
 #ifndef DPPR_CORE_PUSH_COMMON_H_
 #define DPPR_CORE_PUSH_COMMON_H_
 
+#include <cstdint>
+
 namespace dppr {
+
+/// Grain of every dense (all-vertex) kernel sweep, shared so each kernel
+/// does not invent its own: 512 vertices of byte flags span exactly 8
+/// cache lines, so two threads working adjacent grains never write the
+/// same line (the LSGraph Map.cpp grainsize observation), and 512 doubles
+/// amortize one OpenMP dynamic-scheduling claim over 4 KiB of sweep.
+inline constexpr int64_t kDenseGrain = 512;
+
+/// How many neighbors ahead the CSR-run walks prefetch. Adjacency runs
+/// are contiguous but the residuals they index are random-access; eight
+/// slots ahead covers the L2 miss latency at push-loop issue rates.
+inline constexpr int64_t kPrefetchDistance = 8;
+
+/// Software prefetch of a line about to be read / written. Hints only —
+/// correctness never depends on them.
+inline void PrefetchRead(const void* addr) {
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/1);
+}
+inline void PrefetchWrite(const void* addr) {
+  __builtin_prefetch(addr, /*rw=*/1, /*locality=*/1);
+}
 
 /// The two passes of every local push: positive residuals first, then
 /// negative ones (Algorithm 2 lines 1-4, Algorithm 3 lines 1-6). Within a

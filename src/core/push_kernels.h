@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/frontier.h"
+#include "core/ppr_options.h"
 #include "core/ppr_state.h"
 #include "core/push_common.h"
 #include "graph/dynamic_graph.h"
@@ -39,10 +40,17 @@ struct PushScratch {
   struct alignas(kCacheLineSize) ThreadPairs {
     std::vector<std::pair<VertexId, double>> items;
   };
+  static_assert(alignof(ThreadPairs) == kCacheLineSize,
+                "per-thread pair buffers must be cache-line aligned or "
+                "neighboring threads false-share the vector headers");
   std::vector<ThreadPairs> thread_pairs;
 
   /// Merged pair buffer for the sort-aggregate kernel.
   std::vector<std::pair<VertexId, double>> merged_pairs;
+
+  /// All-vertex masked residual snapshot for the dense pull sweep
+  /// (push_adaptive.cc): w[v] = in-frontier ? r[v] : 0.
+  std::vector<double> dense_w;
 };
 
 /// Everything one push iteration needs.
@@ -59,6 +67,10 @@ struct PushContext {
   /// (§3.1's small-frontier observation): the kernel then runs on one
   /// thread and may use plain arithmetic instead of atomics.
   bool parallel_round = true;
+  /// Engine options, consulted by the adaptive kernel for the dense
+  /// threshold and the scalar-kernel override. May be null (tests driving
+  /// kernels directly); defaults then apply.
+  const PprOptions* options = nullptr;
 };
 
 void PushIterationVanilla(const PushContext& ctx);
@@ -66,6 +78,18 @@ void PushIterationEager(const PushContext& ctx);
 void PushIterationDupDetect(const PushContext& ctx);
 void PushIterationOpt(const PushContext& ctx);
 void PushIterationSortAggregate(const PushContext& ctx);
+
+/// One bulk-synchronous dense (pull-direction) iteration: snapshot masked
+/// residuals, gather per destination over its out-neighbor run, fused
+/// self-update + full-scan next-frontier regeneration. Requires the
+/// frontier in dense mode. No atomics — each destination has one writer.
+void PushIterationDense(const PushContext& ctx);
+
+/// Direction-adaptive iteration (the Ligra heuristic): goes dense when
+/// |frontier| + sum of frontier in-degrees exceeds |E| / dense_threshold_den,
+/// converting the frontier representation as needed, and otherwise
+/// delegates to PushIterationOpt.
+void PushIterationAdaptive(const PushContext& ctx);
 
 namespace internal {
 

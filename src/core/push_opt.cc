@@ -34,7 +34,15 @@ void PushIterationOpt(const PushContext& ctx) {
     w[static_cast<size_t>(i)] = ru;                 // line 11: E ∪= (u, ru)
     PushCounters& c = ctx.counters->Local(tid);
     ++c.push_ops;
-    for (VertexId v : g.InNeighbors(u)) {
+    const auto nbrs = g.InNeighbors(u);
+    const auto deg = static_cast<int64_t>(nbrs.size());
+    for (int64_t j = 0; j < deg; ++j) {
+      // The neighbor run is contiguous but the residuals it indexes are
+      // random-access: hide the miss on the upcoming RMW target.
+      if (j + kPrefetchDistance < deg) {
+        PrefetchWrite(&r[static_cast<size_t>(nbrs[j + kPrefetchDistance])]);
+      }
+      const VertexId v = nbrs[static_cast<size_t>(j)];
       const auto vi = static_cast<size_t>(v);
       const double inc =
           (1.0 - ctx.alpha) * ru / static_cast<double>(g.OutDegree(v));

@@ -1,14 +1,23 @@
 #include "index/engine_pool.h"
 
 #include "util/macros.h"
+#include "util/numa.h"
 #include "util/parallel.h"
 
 namespace dppr {
 
-EnginePool::EnginePool(const PprOptions& options, int size)
-    : options_(options) {
+EnginePool::EnginePool(const PprOptions& options, int size, bool numa_aware)
+    : options_(options), numa_aware_(numa_aware) {
   DPPR_CHECK(size >= 0);
   EnsureSize(size);
+}
+
+int EnginePool::NodeForEngine(int i) const {
+  DPPR_DCHECK(i >= 0 && i < size());
+  if (!numa_aware_) return -1;
+  const numa::Topology& topo = numa::GetTopology();
+  if (!topo.IsMultiNode()) return -1;
+  return i % topo.NumNodes();
 }
 
 void EnginePool::EnsureSize(int size) {

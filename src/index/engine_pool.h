@@ -12,6 +12,14 @@
 // leases the engine matching its thread index; in intra-source mode the
 // sources run one after another on engine 0 with full thread-parallel
 // pushes.
+//
+// NUMA placement (optional): engines are assigned memory nodes round-robin
+// (engine i -> node i mod nodes). The pool never moves pages itself —
+// engine scratch grows lazily during pushes, so when the leasing worker
+// binds to the engine's node (numa::ScopedNodeBinding in PprIndex's
+// across-source loop) first-touch lands frontier buffers, dedup flags, and
+// residual scratch on that node for the engine's lifetime. Single-node
+// machines degrade to the unbound behavior.
 
 #ifndef DPPR_INDEX_ENGINE_POOL_H_
 #define DPPR_INDEX_ENGINE_POOL_H_
@@ -29,10 +37,16 @@ class EnginePool {
  public:
   /// Creates `size` engines configured with `options`. For the sequential
   /// variant the pool is empty (sequential pushes need no engine state) and
-  /// Engine() must not be called.
-  EnginePool(const PprOptions& options, int size);
+  /// Engine() must not be called. With `numa_aware` set, engines get
+  /// round-robin node assignments (a no-op on single-node machines).
+  EnginePool(const PprOptions& options, int size, bool numa_aware = false);
 
   int size() const { return static_cast<int>(engines_.size()); }
+
+  /// The memory node engine `i`'s scratch should live on, or -1 when NUMA
+  /// placement is off or the machine has one node. Workers wrap their
+  /// lease in numa::ScopedNodeBinding(NodeForEngine(i)).
+  int NodeForEngine(int i) const;
 
   /// Grows the pool to `size` engines (never shrinks; no-op for the
   /// engine-less sequential variant). PprIndex calls this when AddSource
@@ -51,6 +65,7 @@ class EnginePool {
 
  private:
   PprOptions options_;
+  bool numa_aware_ = false;
   std::vector<std::unique_ptr<ParallelPushEngine>> engines_;
 };
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/macros.h"
+#include "util/numa.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -114,7 +115,8 @@ PprIndex::PprIndex(DynamicGraph* graph, std::vector<VertexId> sources,
                    const IndexOptions& options)
     : graph_(graph),
       options_(options),
-      pool_(options.ppr, ComputePoolSize(options, sources.size())) {
+      pool_(options.ppr, ComputePoolSize(options, sources.size()),
+            options.numa_aware_engines) {
   DPPR_CHECK(graph != nullptr);
   DPPR_CHECK(options.ppr.Validate().ok());
   SlotList list;
@@ -516,11 +518,31 @@ void PprIndex::PushAll(const std::vector<SourceSlot*>& slots,
     // serves exactly one source at a time. The sequential variant needs no
     // engines, so every thread may work a source.
     const int workers = pool_.size() > 0 ? pool_.size() : NumThreads();
-    ForEachSourceStealing(slots.size(), workers, [&](size_t i, int tid) {
+    if (workers > 1 && slots.size() >= 2 && NumThreads() > 1) {
+      std::atomic<size_t> next{0};
+      ParallelRegion([&](int tid, int /*num_threads*/) {
+        if (tid >= workers) return;
+        ParallelPushEngine* engine =
+            pool_.size() > 0 ? pool_.Engine(tid) : nullptr;
+        // Worker-scoped node binding: engine tid's lazily grown scratch
+        // first-touches onto its assigned node, and every later lease of
+        // that engine runs on the same node's cores. Restored on scope
+        // exit so the OpenMP team returns to the whole machine.
+        numa::ScopedNodeBinding bind(
+            engine != nullptr ? pool_.NodeForEngine(tid) : -1);
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= slots.size()) break;
+          PushSource(slots[i], engine, initialize, epoch_increment);
+        }
+      });
+    } else {
       ParallelPushEngine* engine =
-          pool_.size() > 0 ? pool_.Engine(tid) : nullptr;
-      PushSource(slots[i], engine, initialize, epoch_increment);
-    });
+          pool_.size() > 0 ? pool_.Engine(0) : nullptr;
+      for (SourceSlot* slot : slots) {
+        PushSource(slot, engine, initialize, epoch_increment);
+      }
+    }
   } else {
     // One source at a time, each push parallelized across all threads
     // (for the engine-less sequential variant the pushes just run in turn).

@@ -69,6 +69,12 @@ struct IndexOptions {
   /// Engines in the pool; 0 means min(K, hardware threads). Clamped to K.
   int engine_pool_size = 0;
 
+  /// Pin each pooled engine (and, by first-touch, its scratch pages) to a
+  /// memory node, round-robin, and bind the across-source worker leasing
+  /// engine i to that node for the duration of its pushes (see
+  /// engine_pool.h). No-op on single-node machines.
+  bool numa_aware_engines = false;
+
   IndexPushMode push_mode = IndexPushMode::kAuto;
 
   /// Maximum number of materialized sources; 0 means unlimited. When the

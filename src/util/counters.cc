@@ -13,6 +13,7 @@ void PushCounters::Add(const PushCounters& other) {
   dedup_rejects += other.dedup_rejects;
   enqueued += other.enqueued;
   iterations += other.iterations;
+  dense_rounds += other.dense_rounds;
   frontier_total += other.frontier_total;
   frontier_max = std::max(frontier_max, other.frontier_max);
   restore_ops += other.restore_ops;
@@ -26,8 +27,11 @@ std::string PushCounters::ToString() const {
   os << "pushes=" << push_ops << " edges=" << edge_traversals
      << " atomics=" << atomic_adds << " enq=" << enqueued << "/"
      << enqueue_attempts << " dup_rej=" << dedup_rejects
-     << " iters=" << iterations << " max_front=" << frontier_max
-     << " restores=" << restore_ops;
+     << " iters=" << iterations << " max_front=" << frontier_max;
+  if (dense_rounds != 0) {
+    os << " dense_rounds=" << dense_rounds;
+  }
+  os << " restores=" << restore_ops;
   if (restore_input_updates != restore_ops) {
     os << " (coalesced from " << restore_input_updates << ", "
        << restore_direct_solves << " direct solves)";

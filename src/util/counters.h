@@ -31,6 +31,7 @@ struct PushCounters {
   int64_t dedup_rejects = 0;     ///< rejected by UniqueEnqueue's shared flag
   int64_t enqueued = 0;          ///< vertices actually enqueued
   int64_t iterations = 0;        ///< push rounds executed
+  int64_t dense_rounds = 0;      ///< rounds the adaptive kernel ran dense
   int64_t frontier_total = 0;    ///< sum of frontier sizes over rounds
   int64_t frontier_max = 0;      ///< largest single-round frontier
   int64_t restore_ops = 0;       ///< restore ops performed (replays + solves)

@@ -1,0 +1,136 @@
+#include "util/numa.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#if defined(__linux__)
+#include <sched.h>
+#define DPPR_HAS_SCHED_AFFINITY 1
+#else
+#define DPPR_HAS_SCHED_AFFINITY 0
+#endif
+
+namespace dppr {
+namespace numa {
+namespace {
+
+bool ReadSmallFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char buf[4096];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  out->assign(buf);
+  while (!out->empty() && (out->back() == '\n' || out->back() == '\r')) {
+    out->pop_back();
+  }
+  return true;
+}
+
+Topology ProbeTopology() {
+  Topology topo;
+  // Node ids are dense in practice but the kernel does not promise it;
+  // probe upward until the first gap (matching how libnuma enumerates
+  // online nodes for the common case).
+  for (int node = 0; node < 1024; ++node) {
+    std::string cpulist;
+    if (!ReadSmallFile("/sys/devices/system/node/node" +
+                           std::to_string(node) + "/cpulist",
+                       &cpulist)) {
+      break;
+    }
+    std::vector<int> cpus = ParseCpuList(cpulist);
+    if (cpus.empty()) break;
+    topo.node_cpus.push_back(std::move(cpus));
+  }
+  if (topo.node_cpus.empty()) {
+    topo.node_cpus.emplace_back();  // one node, "all cpus", nothing to bind
+  }
+  return topo;
+}
+
+}  // namespace
+
+bool Topology::IsMultiNode() const {
+  if (NumNodes() < 2) return false;
+  return std::all_of(node_cpus.begin(), node_cpus.end(),
+                     [](const std::vector<int>& cpus) {
+                       return !cpus.empty();
+                     });
+}
+
+const Topology& GetTopology() {
+  static const Topology topo = ProbeTopology();
+  return topo;
+}
+
+std::vector<int> ParseCpuList(const std::string& list) {
+  std::vector<int> cpus;
+  size_t i = 0;
+  while (i < list.size()) {
+    char* end = nullptr;
+    const long lo = std::strtol(list.c_str() + i, &end, 10);
+    if (end == list.c_str() + i || lo < 0) return {};
+    long hi = lo;
+    i = static_cast<size_t>(end - list.c_str());
+    if (i < list.size() && list[i] == '-') {
+      ++i;
+      hi = std::strtol(list.c_str() + i, &end, 10);
+      if (end == list.c_str() + i || hi < lo) return {};
+      i = static_cast<size_t>(end - list.c_str());
+    }
+    for (long cpu = lo; cpu <= hi; ++cpu) cpus.push_back(static_cast<int>(cpu));
+    if (i < list.size()) {
+      if (list[i] != ',') return {};
+      ++i;
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+ScopedNodeBinding::ScopedNodeBinding(int node) {
+#if DPPR_HAS_SCHED_AFFINITY
+  const Topology& topo = GetTopology();
+  if (node < 0 || node >= topo.NumNodes() || !topo.IsMultiNode()) return;
+  cpu_set_t old_set;
+  CPU_ZERO(&old_set);
+  if (sched_getaffinity(0, sizeof(old_set), &old_set) != 0) return;
+  cpu_set_t node_set;
+  CPU_ZERO(&node_set);
+  int usable = 0;
+  for (int cpu : topo.node_cpus[static_cast<size_t>(node)]) {
+    if (cpu < CPU_SETSIZE && CPU_ISSET(cpu, &old_set)) {
+      CPU_SET(cpu, &node_set);
+      ++usable;
+    }
+  }
+  // Only narrow within the cpus we are already allowed on (cgroup limits,
+  // taskset); an empty intersection would strand the thread.
+  if (usable == 0) return;
+  if (sched_setaffinity(0, sizeof(node_set), &node_set) != 0) return;
+  old_mask_.assign(reinterpret_cast<unsigned char*>(&old_set),
+                   reinterpret_cast<unsigned char*>(&old_set) +
+                       sizeof(old_set));
+  bound_ = true;
+#else
+  (void)node;
+#endif
+}
+
+ScopedNodeBinding::~ScopedNodeBinding() {
+#if DPPR_HAS_SCHED_AFFINITY
+  if (!bound_) return;
+  cpu_set_t old_set;
+  std::copy(old_mask_.begin(), old_mask_.end(),
+            reinterpret_cast<unsigned char*>(&old_set));
+  sched_setaffinity(0, sizeof(old_set), &old_set);
+#endif
+}
+
+}  // namespace numa
+}  // namespace dppr

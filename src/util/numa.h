@@ -1,0 +1,71 @@
+// Minimal NUMA topology probe + thread binding, hwloc-free.
+//
+// The engine pool wants engines (and their first-touch scratch pages) to
+// stay on one memory node each, so a push never streams residuals across
+// the interconnect. libnuma/hwloc are not baked into the toolchain, and
+// everything needed here is already in procfs + sched_setaffinity:
+//
+//  * topology: /sys/devices/system/node/node<k>/cpulist, one line of
+//    "0-3,8-11"-style ranges per node;
+//  * binding: sched_setaffinity on the calling thread, restored by RAII
+//    so OpenMP team threads return to the full machine afterwards.
+//
+// Single-node machines (and non-Linux builds) degrade to a no-op: the
+// topology reports one node with no explicit cpu list and bindings do
+// nothing — NUMA awareness is a pure optimization, never a requirement.
+
+#ifndef DPPR_UTIL_NUMA_H_
+#define DPPR_UTIL_NUMA_H_
+
+#include <string>
+#include <vector>
+
+namespace dppr {
+namespace numa {
+
+/// \brief Memory nodes and the cpus belonging to each.
+struct Topology {
+  /// node -> sorted cpu ids. Never empty: a machine without a parseable
+  /// /sys node directory reports one node with an empty cpu list (meaning
+  /// "all cpus, nothing to bind").
+  std::vector<std::vector<int>> node_cpus;
+
+  int NumNodes() const { return static_cast<int>(node_cpus.size()); }
+
+  /// True when binding can do anything: more than one node, each with a
+  /// concrete cpu list.
+  bool IsMultiNode() const;
+};
+
+/// Cached one-time probe of /sys/devices/system/node.
+const Topology& GetTopology();
+
+/// Parses a kernel cpulist string ("0-3,8,10-11") into cpu ids; returns
+/// an empty vector on malformed input. Exposed for unit tests.
+std::vector<int> ParseCpuList(const std::string& list);
+
+/// \brief Pins the calling thread to one node's cpus for the object's
+/// lifetime; restores the previous affinity mask on destruction.
+///
+/// Constructing with node < 0, an out-of-range node, a single-node
+/// topology, or on a platform without sched_setaffinity is a no-op
+/// (bound() stays false).
+class ScopedNodeBinding {
+ public:
+  explicit ScopedNodeBinding(int node);
+  ~ScopedNodeBinding();
+
+  ScopedNodeBinding(const ScopedNodeBinding&) = delete;
+  ScopedNodeBinding& operator=(const ScopedNodeBinding&) = delete;
+
+  bool bound() const { return bound_; }
+
+ private:
+  bool bound_ = false;
+  std::vector<unsigned char> old_mask_;  ///< raw cpu_set_t bytes
+};
+
+}  // namespace numa
+}  // namespace dppr
+
+#endif  // DPPR_UTIL_NUMA_H_

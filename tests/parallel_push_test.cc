@@ -181,7 +181,8 @@ INSTANTIATE_TEST_SUITE_P(
                                      PushVariant::kEager,
                                      PushVariant::kDupDetect,
                                      PushVariant::kOpt,
-                                     PushVariant::kSortAggregate),
+                                     PushVariant::kSortAggregate,
+                                     PushVariant::kAdaptive),
                      testing::Values(1, 2, 4),
                      testing::Values(0, 1, 2)),
     [](const testing::TestParamInfo<VariantParam>& param_info) {
@@ -348,7 +349,7 @@ TEST(PprOptionsTest, VariantNamesRoundTrip) {
   for (PushVariant variant :
        {PushVariant::kSequential, PushVariant::kVanilla, PushVariant::kEager,
         PushVariant::kDupDetect, PushVariant::kOpt,
-        PushVariant::kSortAggregate}) {
+        PushVariant::kSortAggregate, PushVariant::kAdaptive}) {
     PushVariant parsed;
     ASSERT_TRUE(ParsePushVariant(PushVariantName(variant), &parsed).ok());
     EXPECT_EQ(parsed, variant);

@@ -233,6 +233,10 @@ TEST(PprRouterTest, ShardCountsAgreeWithUnshardedServiceAndOracle) {
 
   IndexOptions index_options;
   index_options.ppr.eps = kEps;
+  // The adaptive dense/sparse kernel behind the full serving stack: the
+  // sharded fleet must agree with the unsharded reference and the oracle
+  // no matter which push direction each maintenance round picked.
+  index_options.ppr.variant = PushVariant::kAdaptive;
   ServiceOptions service_options;
   service_options.num_workers = 2;
 
