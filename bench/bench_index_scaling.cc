@@ -142,7 +142,7 @@ bool WriteJson(const std::string& path, const ArgParser& args,
                static_cast<long long>(args.GetInt("slides", 6)),
                args.GetDouble("eps", 1e-6),
                static_cast<long long>(args.GetInt("scale_shift", 2)),
-               args.GetString("variant", "opt").c_str());
+               args.GetString("variant", "adaptive").c_str());
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& row = rows[i];
@@ -190,8 +190,9 @@ int main(int argc, char** argv) {
       ParseDoubleList(args.GetString("batch_ratios", "0.0005,0.002"));
   const int scale_shift = static_cast<int>(args.GetInt("scale_shift", 2));
   const std::string json_path = args.GetString("json", "");
-  PushVariant variant = PushVariant::kOpt;
-  if (auto st = ParsePushVariant(args.GetString("variant", "opt"), &variant);
+  PushVariant variant = PushVariant::kAdaptive;
+  if (auto st =
+          ParsePushVariant(args.GetString("variant", "adaptive"), &variant);
       !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;

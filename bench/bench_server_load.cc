@@ -12,12 +12,17 @@
 //       [--workers=4] [--clients=4] [--seconds=1.5] [--lru_cap=0]
 //       [--batch_ratio=0.001] [--mixes=100:0,95:5,80:20] [--k=5]
 //       [--eps=1e-6] [--shards=1,2] [--replicas=1] [--seed=42]
-//       [--json=PATH]
+//       [--read_policy=primary] [--max_epoch_lag=-1] [--json=PATH]
 //
 // --replicas sweeps the per-slot replica count: every ring slot gets R
 // full serving stacks (1 primary + R-1 standbys), the feed fans to all
-// of them, reads come off the primary. R > 1 prices the HA insurance —
-// update cost scales with R, query throughput should not.
+// of them. R > 1 prices the HA insurance — update cost scales with R —
+// and, under --read_policy=round_robin, pays it back as read
+// throughput: reads rotate across the live replicas under the
+// bounded-staleness contract (--max_epoch_lag, negative = unenforced),
+// so the row set shows read QPS scaling with the replica count.
+// --read_policy takes a comma list ("primary,round_robin") and each
+// policy is its own sweep dimension / JSON row.
 //
 // --json=PATH additionally writes the sweep as machine-readable rows
 // (one object per (shards, replicas, mix) cell: qps, p50/p99 ms,
@@ -95,6 +100,7 @@ std::vector<int> ParseShardCounts(const std::string& csv) {
 struct BenchRow {
   int shards = 0;
   int replicas = 1;
+  std::string read_policy;
   std::string mix;
   double qps = 0.0;
   double p50_ms = 0.0;
@@ -108,6 +114,16 @@ struct BenchRow {
   int64_t sources_materialized = 0;
   int64_t failovers = 0;   ///< standby promotions (0 unless something died)
   int64_t sync_bytes = 0;  ///< standby-sync blob bytes shipped
+  int64_t primary_reads = 0;   ///< OK reads served by slot primaries
+  int64_t standby_reads = 0;   ///< OK reads served by standbys
+  int64_t stale_retries = 0;   ///< staleness-bound violations re-read
+  double stale_p50 = 0.0;      ///< epoch-lag percentiles of OK reads
+  double stale_p99 = 0.0;
+  double stale_max = 0.0;
+  /// OK reads by replica index, summed across slots (index 0 = the
+  /// initial primaries). qps * reads_per_replica[i] / sum is replica i's
+  /// read QPS — the scaling evidence.
+  std::vector<int64_t> reads_per_replica;
 };
 
 /// Writes the sweep as a self-describing JSON document. Hand-rolled: the
@@ -120,22 +136,34 @@ bool WriteJson(const std::string& path, const ArgParser& args,
   // "variant" is part of the config on purpose: the regression gate
   // compares configs verbatim, so switching the push kernel re-seeds the
   // baseline instead of comparing different kernels' throughput.
+  // "read_policy"/"max_epoch_lag" join "variant" in the config: a sweep
+  // that changes WHICH replicas answer reads is a different experiment,
+  // so the gate re-seeds rather than comparing across the change.
   std::fprintf(f, "  \"config\": {\"dataset\": \"%s\", \"seed\": %llu, "
                   "\"hubs\": %lld, \"workers\": %lld, \"clients\": %lld, "
-                  "\"seconds\": %g, \"variant\": \"%s\"},\n",
+                  "\"seconds\": %g, \"variant\": \"%s\", "
+                  "\"read_policy\": \"%s\", \"max_epoch_lag\": %lld},\n",
               args.GetString("dataset", "pokec").c_str(),
               static_cast<unsigned long long>(seed),
               static_cast<long long>(args.GetInt("hubs", 16)),
               static_cast<long long>(args.GetInt("workers", 4)),
               static_cast<long long>(args.GetInt("clients", 4)),
               args.GetDouble("seconds", 1.5),
-              args.GetString("variant", "opt").c_str());
+              args.GetString("variant", "adaptive").c_str(),
+              args.GetString("read_policy", "primary").c_str(),
+              static_cast<long long>(args.GetInt("max_epoch_lag", -1)));
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& row = rows[i];
     // Backward-compatible shape: every pre-replication key keeps its
-    // name and meaning; "replicas"/"failovers"/"sync_bytes" are NEW keys
-    // appended to the row.
+    // name and meaning; the replica and read-distribution keys are NEW
+    // keys appended to the row.
+    std::string per_replica = "[";
+    for (size_t r = 0; r < row.reads_per_replica.size(); ++r) {
+      per_replica += (r == 0 ? "" : ", ") +
+                     std::to_string(row.reads_per_replica[r]);
+    }
+    per_replica += "]";
     std::fprintf(
         f,
         "    {\"shards\": %d, \"mix\": \"%s\", \"qps\": %.1f, "
@@ -143,7 +171,11 @@ bool WriteJson(const std::string& path, const ArgParser& args,
         "\"queries_during_maintenance\": %lld, \"upd_per_s\": %.1f, "
         "\"batches\": %lld, \"shed\": %lld, \"failed\": %lld, "
         "\"sources_materialized\": %lld, \"replicas\": %d, "
-        "\"failovers\": %lld, \"sync_bytes\": %lld}%s\n",
+        "\"failovers\": %lld, \"sync_bytes\": %lld, "
+        "\"read_policy\": \"%s\", \"primary_reads\": %lld, "
+        "\"standby_reads\": %lld, \"stale_retries\": %lld, "
+        "\"stale_p50\": %g, \"stale_p99\": %g, \"stale_max\": %g, "
+        "\"reads_per_replica\": %s}%s\n",
         row.shards, row.mix.c_str(), row.qps, row.p50_ms, row.p99_ms,
         static_cast<long long>(row.queries_completed),
         static_cast<long long>(row.served_during_maintenance),
@@ -152,7 +184,11 @@ bool WriteJson(const std::string& path, const ArgParser& args,
         static_cast<long long>(row.failed),
         static_cast<long long>(row.sources_materialized),
         row.replicas, static_cast<long long>(row.failovers),
-        static_cast<long long>(row.sync_bytes),
+        static_cast<long long>(row.sync_bytes), row.read_policy.c_str(),
+        static_cast<long long>(row.primary_reads),
+        static_cast<long long>(row.standby_reads),
+        static_cast<long long>(row.stale_retries), row.stale_p50,
+        row.stale_p99, row.stale_max, per_replica.c_str(),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -200,9 +236,26 @@ int main(int argc, char** argv) {
       ParseShardCounts(args.GetString("shards", "1,2"));
   const auto replica_counts =
       ParseShardCounts(args.GetString("replicas", "1"));
+  const auto max_epoch_lag =
+      static_cast<int64_t>(args.GetInt("max_epoch_lag", -1));
   const std::string json_path = args.GetString("json", "");
-  PushVariant variant = PushVariant::kOpt;
-  if (auto st = ParsePushVariant(args.GetString("variant", "opt"), &variant);
+  std::vector<ReadPolicy> read_policies;
+  {
+    std::stringstream ss(args.GetString("read_policy", "primary"));
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      ReadPolicy policy;
+      if (!ParseReadPolicy(token, &policy)) {
+        std::fprintf(stderr, "unknown --read_policy value: %s\n",
+                     token.c_str());
+        return 1;
+      }
+      read_policies.push_back(policy);
+    }
+  }
+  PushVariant variant = PushVariant::kAdaptive;
+  if (auto st =
+          ParsePushVariant(args.GetString("variant", "adaptive"), &variant);
       !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -221,12 +274,13 @@ int main(int argc, char** argv) {
       "threads=%d\n\n",
       workers, clients, num_hubs, lru_cap,
       static_cast<unsigned long long>(seed), NumThreads());
-  TablePrinter table({"shards", "repl", "mix q:u", "qps", "p50_ms",
-                      "p99_ms", "qry@maint", "upd/s", "batches", "shed",
-                      "failed"});
+  TablePrinter table({"shards", "repl", "policy", "mix q:u", "qps",
+                      "p50_ms", "p99_ms", "qry@maint", "upd/s", "batches",
+                      "shed", "failed", "sby_reads", "stale_p99"});
 
   for (const int num_shards : shard_counts) {
   for (const int num_replicas : replica_counts) {
+  for (const ReadPolicy read_policy : read_policies) {
     for (const Mix& mix : mixes) {
       // Fresh workload per cell so every row starts from the same state;
       // the generator seeds are fixed, so every cell streams the same
@@ -250,6 +304,8 @@ int main(int argc, char** argv) {
       options.replicas = num_replicas;
       options.index.ppr.eps = eps;
       options.index.ppr.variant = variant;
+      options.read_policy = read_policy;
+      options.max_epoch_lag = max_epoch_lag;
       options.index.max_materialized_sources = lru_cap;
       options.service.num_workers = workers;
       options.service.materialize_wait = std::chrono::milliseconds(500);
@@ -307,8 +363,30 @@ int main(int argc, char** argv) {
       const RouterReport router_report = service.Report();
       const int feed_copies = num_shards * num_replicas;
       const std::string shard_label = std::to_string(num_shards);
+      // Per-replica reads summed across slots by replica index (slot
+      // replica lists are index-aligned: 0 = the initial primary).
+      std::vector<int64_t> reads_by_index;
+      for (const auto& [slot_id, reads] : router_report.reads_per_replica) {
+        (void)slot_id;
+        if (reads.size() > reads_by_index.size()) {
+          reads_by_index.resize(reads.size(), 0);
+        }
+        for (size_t r = 0; r < reads.size(); ++r) {
+          reads_by_index[r] += reads[r];
+        }
+      }
+      const double stale_p50 = router_report.staleness.Count() > 0
+                                   ? router_report.staleness.Percentile(50)
+                                   : 0.0;
+      const double stale_p99 = router_report.staleness.Count() > 0
+                                   ? router_report.staleness.Percentile(99)
+                                   : 0.0;
+      const double stale_max = router_report.staleness.Count() > 0
+                                   ? router_report.staleness.Max()
+                                   : 0.0;
       table.AddRow(
-          {shard_label, std::to_string(num_replicas), mix.label,
+          {shard_label, std::to_string(num_replicas),
+           ReadPolicyName(read_policy), mix.label,
            TablePrinter::FmtInt(
                static_cast<int64_t>(report.QueryThroughput())),
            TablePrinter::Fmt(report.query_p50_ms, 3),
@@ -319,11 +397,14 @@ int main(int argc, char** argv) {
            TablePrinter::FmtInt(report.batches_applied / feed_copies),
            TablePrinter::FmtInt(report.queries_shed_queue_full +
                                 report.queries_shed_deadline),
-           TablePrinter::FmtInt(report.queries_failed)});
+           TablePrinter::FmtInt(report.queries_failed),
+           TablePrinter::FmtInt(router_report.standby_reads),
+           TablePrinter::Fmt(stale_p99, 1)});
 
       BenchRow row;
       row.shards = num_shards;
       row.replicas = num_replicas;
+      row.read_policy = ReadPolicyName(read_policy);
       row.mix = mix.label;
       row.qps = report.QueryThroughput();
       row.p50_ms = report.query_p50_ms;
@@ -338,10 +419,18 @@ int main(int argc, char** argv) {
       row.sources_materialized = report.sources_materialized;
       row.failovers = router_report.failovers;
       row.sync_bytes = router_report.sync_bytes;
+      row.primary_reads = router_report.primary_reads;
+      row.standby_reads = router_report.standby_reads;
+      row.stale_retries = router_report.stale_retries;
+      row.stale_p50 = stale_p50;
+      row.stale_p99 = stale_p99;
+      row.stale_max = stale_max;
+      row.reads_per_replica = reads_by_index;
       json_rows.push_back(std::move(row));
 
       const std::string cell = "shards " + shard_label + " repl " +
-                               std::to_string(num_replicas) + " mix " +
+                               std::to_string(num_replicas) + " " +
+                               ReadPolicyName(read_policy) + " mix " +
                                mix.label;
       ShapeCheck(cell + " served queries", report.queries_completed > 0,
                  std::to_string(report.queries_completed));
@@ -362,7 +451,20 @@ int main(int argc, char** argv) {
       ShapeCheck(cell + " no spurious failovers",
                  router_report.failovers == 0,
                  std::to_string(router_report.failovers));
+      if (read_policy == ReadPolicy::kRoundRobinLive && num_replicas > 1) {
+        // Round-robin over healthy replicas must actually use the
+        // standbys; all-primary reads would mean the policy is dead code.
+        ShapeCheck(cell + " standbys served reads",
+                   router_report.standby_reads > 0,
+                   std::to_string(router_report.standby_reads));
+      }
+      if (read_policy == ReadPolicy::kPrimaryOnly) {
+        ShapeCheck(cell + " primary-only served no standby reads",
+                   router_report.standby_reads == 0,
+                   std::to_string(router_report.standby_reads));
+      }
     }
+  }
   }
   }
   table.Print();

@@ -15,13 +15,22 @@ for server_load); for each matched pair the gate fails when
     (default 15%) below the baseline, or
   * a shed/failed counter increases over the baseline.
 
-Seeding and config drift are deliberately soft: a missing, unreadable, or
-structurally different baseline — different bench name, different config
-keys or values, e.g. when a bench grows a new "variant" config key — makes
-the gate PASS with a "seeding baseline" note, so the first run after a
-bench change records the new baseline instead of comparing apples to
-oranges. Rows that appear on only one side are reported but never fail
-the gate (sweep grids may grow or shrink).
+Seeding and config drift are deliberately soft BY DEFAULT: a missing,
+unreadable, or structurally different baseline — different bench name,
+different config keys or values, e.g. when a bench grows a new "variant"
+config key — makes the gate PASS with a "seeding baseline" note plus a
+GitHub `::warning` annotation, so the first run after a bench change
+records the new baseline instead of comparing apples to oranges. A seed
+is NOT a comparison though, and a silently vanished baseline would wave
+every regression through forever — so CI passes `--require-baseline` on
+any branch that already had a successful run, turning "no usable
+baseline" into a hard failure there. Rows that appear on only one side
+are reported but never fail the gate (sweep grids may grow or shrink).
+
+`--summary-out=PATH` records the verdict machine-readably:
+{"bench", "mode": "seed"|"compare", "ok", "matched", "failures": [...]}
+— so the artifact trail shows which runs actually compared and which
+merely seeded.
 
 `--self-test` runs the built-in scenario suite (no files needed); CI
 executes it before the real comparison so a broken gate fails loudly
@@ -36,7 +45,7 @@ import sys
 # metrics gated on relative drop, and counters gated on absolute increase.
 SCHEMAS = {
     "server_load": {
-        "key": ("shards", "replicas", "mix"),
+        "key": ("shards", "replicas", "read_policy", "mix"),
         "throughput": ("qps", "upd_per_s"),
         "counters": ("shed", "failed"),
     },
@@ -66,28 +75,50 @@ def row_key(row, key_fields):
     return tuple(row.get(k) for k in key_fields)
 
 
+def seed_result(bench, kind, reason):
+    """A gate verdict that recorded a new baseline instead of comparing.
+
+    `kind` is "missing" (no baseline document at all — on a branch with
+    prior runs that means the artifact plumbing broke) or "incompatible"
+    (a baseline exists but describes a different experiment — a
+    legitimate bench change). --require-baseline escalates only the
+    former. The `::warning` is a GitHub workflow annotation: a seed must
+    be LOUD on the run summary page, because a gate that silently seeds
+    on every run never gates anything.
+    """
+    print(f"PASS: {reason} — seeding this run")
+    print(f"::warning title=Bench baseline seeded::'{bench}': {reason}; "
+          "this run records a new baseline and gated NOTHING")
+    return {"bench": bench, "mode": "seed", "seed_kind": kind, "ok": True,
+            "matched": 0, "failures": [], "reason": reason}
+
+
 def compare(baseline, current, max_drop):
-    """Returns (ok, seeded) and prints a human-readable report."""
+    """Returns a summary dict (see --summary-out in the file docstring)
+    and prints a human-readable report."""
     if not isinstance(current, dict) or "bench" not in current:
         print("FAIL: current artifact is not a bench document")
-        return False, False
+        return {"bench": None, "mode": "error", "ok": False, "matched": 0,
+                "failures": ["current artifact is not a bench document"]}
     bench = current.get("bench")
     schema = SCHEMAS.get(bench)
     if schema is None:
         print(f"FAIL: unknown bench kind '{bench}'")
-        return False, False
+        return {"bench": bench, "mode": "error", "ok": False, "matched": 0,
+                "failures": [f"unknown bench kind '{bench}'"]}
     if not isinstance(baseline, dict):
-        print(f"PASS: no usable baseline for '{bench}' — seeding this run")
-        return True, True
+        return seed_result(bench, "missing",
+                           f"no usable baseline for '{bench}'")
     if baseline.get("bench") != bench:
-        print(f"PASS: baseline is '{baseline.get('bench')}', current is "
-              f"'{bench}' — seeding this run")
-        return True, True
+        return seed_result(bench, "incompatible",
+                           f"baseline is '{baseline.get('bench')}', "
+                           f"current is '{bench}'")
     if baseline.get("config") != current.get("config"):
-        print(f"PASS: '{bench}' config changed "
-              f"({baseline.get('config')} -> {current.get('config')}) — "
-              "baseline incompatible, seeding this run")
-        return True, True
+        return seed_result(bench, "incompatible",
+                           f"'{bench}' config changed "
+                           f"({baseline.get('config')} -> "
+                           f"{current.get('config')}), "
+                           "baseline incompatible")
 
     base_rows = {row_key(r, schema["key"]): r
                  for r in baseline.get("rows", [])}
@@ -129,9 +160,32 @@ def compare(baseline, current, max_drop):
               f"{matched} matched row(s):")
         for f in failures:
             print(f"  - {f}")
-        return False, False
+        return {"bench": bench, "mode": "compare", "ok": False,
+                "matched": matched, "failures": failures}
     print(f"PASS: '{bench}' — {matched} matched row(s), no regression")
-    return True, False
+    return {"bench": bench, "mode": "compare", "ok": True,
+            "matched": matched, "failures": []}
+
+
+def gate(baseline, current, max_drop, require_baseline=False):
+    """compare() plus the --require-baseline policy; returns the summary.
+
+    Only a MISSING baseline escalates to failure: an incompatible one
+    (bench/config changed) is a legitimate re-seed even on a branch with
+    prior runs — the alternative would fail every PR that touches a
+    bench's config shape.
+    """
+    result = compare(baseline, current, max_drop)
+    if (result["mode"] == "seed" and result.get("seed_kind") == "missing"
+            and require_baseline):
+        print(f"FAIL: '{result['bench']}' — --require-baseline is set (a "
+              "prior successful run exists on this branch, so a baseline "
+              "artifact MUST exist) but none was readable: "
+              f"{result['reason']}")
+        result["ok"] = False
+        result["failures"] = ["baseline required but missing: "
+                              f"{result['reason']}"]
+    return result
 
 
 def self_test():
@@ -140,9 +194,11 @@ def self_test():
         "bench": "server_load",
         "config": dict(cfg),
         "rows": [
-            {"shards": 1, "replicas": 1, "mix": "95:5",
+            {"shards": 1, "replicas": 1, "read_policy": "primary",
+             "mix": "95:5",
              "qps": 1000.0, "upd_per_s": 50.0, "shed": 3, "failed": 0},
-            {"shards": 2, "replicas": 2, "mix": "95:5",
+            {"shards": 2, "replicas": 2, "read_policy": "round_robin",
+             "mix": "95:5",
              "qps": 1800.0, "upd_per_s": 90.0, "shed": 0, "failed": 0},
         ],
     }
@@ -153,31 +209,45 @@ def self_test():
         return out
 
     cases = [
-        # (name, baseline, current, expect_ok)
-        ("identical", doc, doc, True),
-        ("small 10% drop passes", doc, variant(qps=900.0), True),
-        ("20% qps drop fails", doc, variant(qps=800.0), False),
-        ("shed increase fails", doc, variant(shed=4), False),
-        ("shed decrease passes", doc, variant(shed=0), True),
-        ("missing baseline seeds", None, doc, True),
+        # (name, baseline, current, require_baseline, expect_ok,
+        #  expect_mode)
+        ("identical", doc, doc, False, True, "compare"),
+        ("small 10% drop passes", doc, variant(qps=900.0), False, True,
+         "compare"),
+        ("20% qps drop fails", doc, variant(qps=800.0), False, False,
+         "compare"),
+        ("shed increase fails", doc, variant(shed=4), False, False,
+         "compare"),
+        ("shed decrease passes", doc, variant(shed=0), False, True,
+         "compare"),
+        ("missing baseline seeds", None, doc, False, True, "seed"),
         ("bench-kind mismatch seeds",
          {"bench": "index_scaling", "config": dict(cfg), "rows": []}, doc,
-         True),
+         False, True, "seed"),
         ("config drift seeds",
          {"bench": "server_load",
           "config": dict(cfg, variant="adaptive"), "rows": doc["rows"]},
-         doc, True),
+         doc, False, True, "seed"),
         ("new row skipped",
          {"bench": "server_load", "config": dict(cfg), "rows": []}, doc,
-         True),
+         False, True, "compare"),
+        ("required baseline missing fails", None, doc, True, False,
+         "seed"),
+        ("required baseline present passes", doc, doc, True, True,
+         "compare"),
+        ("required + config drift still seeds",
+         {"bench": "server_load",
+          "config": dict(cfg, variant="adaptive"), "rows": doc["rows"]},
+         doc, True, True, "seed"),
     ]
     bad = 0
-    for name, base, cur, expect_ok in cases:
+    for name, base, cur, require, expect_ok, expect_mode in cases:
         print(f"--- self-test: {name}")
-        ok, _ = compare(base, cur, max_drop=0.15)
-        if ok != expect_ok:
-            print(f"SELF-TEST FAILURE: '{name}' returned ok={ok}, "
-                  f"expected {expect_ok}")
+        result = gate(base, cur, max_drop=0.15, require_baseline=require)
+        if result["ok"] != expect_ok or result["mode"] != expect_mode:
+            print(f"SELF-TEST FAILURE: '{name}' returned "
+                  f"ok={result['ok']} mode={result['mode']}, expected "
+                  f"ok={expect_ok} mode={expect_mode}")
             bad += 1
     if bad:
         print(f"self-test: {bad}/{len(cases)} case(s) FAILED")
@@ -192,6 +262,13 @@ def main():
     parser.add_argument("--current", help="this run's bench JSON")
     parser.add_argument("--max-drop", type=float, default=0.15,
                         help="max tolerated relative throughput drop")
+    parser.add_argument("--require-baseline", action="store_true",
+                        help="fail instead of seeding when no comparable "
+                             "baseline exists (set by CI on branches with "
+                             "a prior successful run)")
+    parser.add_argument("--summary-out",
+                        help="write the machine-readable verdict "
+                             "(seed vs compare, failures) to this JSON file")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in scenario suite and exit")
     args = parser.parse_args()
@@ -205,8 +282,15 @@ def main():
         print(f"FAIL: current artifact {args.current} unreadable")
         return 1
     baseline = load(args.baseline) if args.baseline else None
-    ok, _ = compare(baseline, current, args.max_drop)
-    return 0 if ok else 1
+    result = gate(baseline, current, args.max_drop,
+                  require_baseline=args.require_baseline)
+    if args.summary_out:
+        result["baseline"] = args.baseline
+        result["current"] = args.current
+        with open(args.summary_out, "w", encoding="utf-8") as f:
+            json.dump(result, f, indent=2)
+            f.write("\n")
+    return 0 if result["ok"] else 1
 
 
 if __name__ == "__main__":

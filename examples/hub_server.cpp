@@ -6,8 +6,9 @@
 //
 //   ./hub_server [--hubs=8] [--workers=3] [--clients=2] [--slides=12]
 //                [--k=5] [--seed=33] [--lru_cap=0] [--shards=1]
-//                [--replicas=1] [--listen=PORT]
-//                [--join=host:p1+host:p2,host:p3]
+//                [--replicas=1] [--read_policy=primary|round_robin]
+//                [--max_epoch_lag=-1] [--client_qps=0] [--affinity]
+//                [--listen=PORT] [--join=host:p1+host:p2,host:p3]
 //
 // With --shards=1 (default) this drives a single PprService, exactly as
 // in PR 2. With --shards=N it stands up a ShardedPprService instead: N
@@ -23,6 +24,14 @@
 // KILLS a primary mid-run — severing it under live load — and the slot
 // keeps answering through the promoted standby; the failover counter in
 // the final report proves it happened.
+//
+// The demo fronts either stack with a FrontDoor (below): a hot-source
+// result cache keyed (source, query) that a feed-generation advance
+// invalidates, per-client admission quotas (--client_qps, 0 = open),
+// and optional session affinity (--affinity) for monotonic reads.
+// --read_policy=round_robin distributes reads across the live replicas
+// of each slot under the bounded-staleness contract (--max_epoch_lag
+// epochs, negative = unenforced); see src/router/README.md.
 //
 // Fleet mode turns those N simulated shards into N processes:
 //
@@ -51,12 +60,16 @@
 
 #include <csignal>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/batch_validation.h"
@@ -120,16 +133,143 @@ bool ParseEndpointGroups(const std::string& csv,
 }
 
 /// The demo logic is identical for the unsharded and the sharded stack;
-/// this facade is the few calls it needs from either.
+/// this facade is the few calls it needs from either. Reads take an
+/// affinity token (0 = none; the unsharded stack ignores it).
 struct ServiceFacade {
-  std::function<dppr::QueryResponse(dppr::VertexId, dppr::VertexId)> query;
-  std::function<dppr::QueryResponse(dppr::VertexId, int)> topk;
+  std::function<dppr::QueryResponse(dppr::VertexId, dppr::VertexId,
+                                    uint64_t)>
+      query;
+  std::function<dppr::QueryResponse(dppr::VertexId, int, uint64_t)> topk;
   std::function<dppr::MaintResponse(dppr::UpdateBatch)> apply;
   std::function<dppr::MaintResponse(dppr::VertexId)> add_source;
   std::function<dppr::MaintResponse(dppr::VertexId)> remove_source;
   std::function<std::vector<dppr::VertexId>()> sources;
   std::function<bool(dppr::VertexId)> has_source;
   std::function<dppr::MetricsReport()> metrics;
+};
+
+/// \brief The demo's front door: what a real serving tier puts between
+/// untrusted clients and the router.
+///
+///   * Hot-source result cache, keyed (source, query). An entry is valid
+///     for exactly one FEED GENERATION — every applied batch or hub
+///     churn advances the generation and thereby drops every cached
+///     answer. Epochs only move when the feed does, so within a
+///     generation a cached response is indistinguishable from a fresh
+///     one.
+///   * Per-client admission: a token bucket per client id (--client_qps
+///     tokens/s, burst of one second's worth; 0 disables). Work above
+///     the quota is refused kRejected BEFORE it reaches the service —
+///     the cheapest shed there is.
+///   * Session affinity (--affinity): client c reads with token c+1,
+///     pinning its session to one replica for monotonic epochs.
+///     Affinity reads BYPASS the cache: a cache line shared across
+///     sessions could serve a client an answer older than one it
+///     already saw, which is exactly what affinity promises away.
+class FrontDoor {
+ public:
+  FrontDoor(const ServiceFacade* facade, double client_qps, int clients,
+            bool affinity)
+      : facade_(facade),
+        client_qps_(client_qps),
+        affinity_(affinity),
+        buckets_(static_cast<size_t>(clients)) {
+    for (Bucket& bucket : buckets_) bucket.tokens = client_qps;
+  }
+
+  /// The feed moved (batch applied / hub churned): every cached answer
+  /// is now a generation behind and will be re-fetched on next touch.
+  void AdvanceGeneration() {
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
+  dppr::QueryResponse Query(int client, dppr::VertexId s,
+                            dppr::VertexId v) {
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(s)) << 33) |
+        static_cast<uint32_t>(v);
+    return Serve(client, key, [&](uint64_t token) {
+      return facade_->query(s, v, token);
+    });
+  }
+
+  dppr::QueryResponse TopK(int client, dppr::VertexId s, int k) {
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(s)) << 33) |
+        (uint64_t{1} << 32) | static_cast<uint32_t>(k);
+    return Serve(client, key,
+                 [&](uint64_t token) { return facade_->topk(s, k, token); });
+  }
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    dppr::WallTimer since_refill;
+  };
+
+  struct Entry {
+    uint64_t generation = 0;
+    dppr::QueryResponse response;
+  };
+
+  /// Refill-on-demand token bucket. Each client thread owns its bucket,
+  /// so no lock: admission never contends with other clients.
+  bool Admit(int client) {
+    if (client_qps_ <= 0) return true;
+    Bucket& bucket = buckets_[static_cast<size_t>(client)];
+    bucket.tokens = std::min(
+        client_qps_,
+        bucket.tokens + bucket.since_refill.Seconds() * client_qps_);
+    bucket.since_refill.Restart();
+    if (bucket.tokens < 1.0) return false;
+    bucket.tokens -= 1.0;
+    return true;
+  }
+
+  template <typename Issue>
+  dppr::QueryResponse Serve(int client, uint64_t key, Issue issue) {
+    if (!Admit(client)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      dppr::QueryResponse refused;
+      refused.status = dppr::RequestStatus::kRejected;
+      return refused;
+    }
+    const uint64_t token =
+        affinity_ ? static_cast<uint64_t>(client) + 1 : 0;
+    const uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (token == 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end() && it->second.generation == gen) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.response;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    dppr::QueryResponse response = issue(token);
+    if (token == 0 && response.status == dppr::RequestStatus::kOk) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cache_[key] = Entry{gen, response};
+    }
+    return response;
+  }
+
+  const ServiceFacade* facade_;
+  const double client_qps_;
+  const bool affinity_;
+  std::vector<Bucket> buckets_;
+  std::atomic<uint64_t> generation_{0};
+  std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> cache_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> rejected_{0};
 };
 
 }  // namespace
@@ -152,8 +292,18 @@ int main(int argc, char** argv) {
   const std::string join_csv = args.GetString("join", "");
   const int num_shards = static_cast<int>(args.GetInt("shards", 1));
   const int replicas = static_cast<int>(args.GetInt("replicas", 1));
-  const std::string variant_name = args.GetString("variant", "opt");
+  const std::string variant_name = args.GetString("variant", "adaptive");
   const bool numa = args.GetBool("numa", false);
+  const auto max_epoch_lag =
+      static_cast<int64_t>(args.GetInt("max_epoch_lag", -1));
+  const double client_qps = args.GetDouble("client_qps", 0.0);
+  const bool affinity = args.GetBool("affinity", false);
+  dppr::ReadPolicy read_policy = dppr::ReadPolicy::kPrimaryOnly;
+  if (!dppr::ParseReadPolicy(args.GetString("read_policy", "primary"),
+                             &read_policy)) {
+    std::fprintf(stderr, "unknown --read_policy value\n");
+    return 1;
+  }
   if (replicas < 1) {
     std::fprintf(stderr, "--replicas must be >= 1\n");
     return 1;
@@ -279,10 +429,12 @@ int main(int argc, char** argv) {
                 static_cast<long long>(graph.NumEdges()),
                 index->NumMaterializedSources(), index->NumPooledEngines());
     facade = {
-        [&](dppr::VertexId s, dppr::VertexId v) {
+        [&](dppr::VertexId s, dppr::VertexId v, uint64_t) {
           return service->Query(s, v);
         },
-        [&](dppr::VertexId s, int kk) { return service->TopK(s, kk); },
+        [&](dppr::VertexId s, int kk, uint64_t) {
+          return service->TopK(s, kk);
+        },
         [&](dppr::UpdateBatch b) {
           return service->ApplyUpdatesAsync(std::move(b)).get();
         },
@@ -300,6 +452,8 @@ int main(int argc, char** argv) {
     sharded_options.replicas = replicas;
     sharded_options.index = options;
     sharded_options.service = service_options;
+    sharded_options.read_policy = read_policy;
+    sharded_options.max_epoch_lag = max_epoch_lag;
     // Periodic drift repair for standbys: cheap (a probe per slot) and
     // inert with single-replica slots.
     sharded_options.anti_entropy_interval = std::chrono::milliseconds(250);
@@ -356,10 +510,12 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     facade = {
-        [&](dppr::VertexId s, dppr::VertexId v) {
-          return sharded->Query(s, v);
+        [&](dppr::VertexId s, dppr::VertexId v, uint64_t token) {
+          return sharded->Query(s, v, /*deadline_ms=*/0, token);
         },
-        [&](dppr::VertexId s, int kk) { return sharded->TopK(s, kk); },
+        [&](dppr::VertexId s, int kk, uint64_t token) {
+          return sharded->TopK(s, kk, /*deadline_ms=*/0, token);
+        },
         [&](dppr::UpdateBatch b) {
           return sharded->ApplyUpdates(std::move(b));
         },
@@ -371,24 +527,42 @@ int main(int argc, char** argv) {
     };
   }
 
-  // Clients: closed-loop point + top-k queries over the hub set while the
-  // stream applies. Sanity-checked on the fly: a hub's own estimate can
-  // never drop below alpha - eps.
+  // Clients: closed-loop point + top-k queries over the hub set while
+  // the stream applies, all THROUGH the front door — cache, admission,
+  // affinity. Sanity-checked on the fly: a hub's own estimate can never
+  // drop below alpha - eps, and an affinity client's epochs must never
+  // regress per source.
+  FrontDoor front_door(&facade, client_qps, num_clients, affinity);
   std::atomic<bool> stop{false};
   std::atomic<int64_t> bad_responses{0};
+  std::atomic<int64_t> epoch_regressions{0};
   std::vector<std::thread> clients;
   for (int c = 0; c < num_clients; ++c) {
     clients.emplace_back([&, c] {
+      std::unordered_map<dppr::VertexId, uint64_t> last_epoch;
       int64_t i = c;
       while (!stop.load(std::memory_order_acquire)) {
         const dppr::VertexId hub =
             hubs[static_cast<size_t>(i) % hubs.size()];
         dppr::QueryResponse response =
-            i % 3 == 0 ? facade.topk(hub, k) : facade.query(hub, hub);
-        if (response.status == dppr::RequestStatus::kOk && i % 3 != 0 &&
-            response.estimate.value <
-                options.ppr.alpha - 2 * options.ppr.eps) {
-          bad_responses.fetch_add(1);
+            i % 3 == 0 ? front_door.TopK(c, hub, k)
+                       : front_door.Query(c, hub, hub);
+        if (response.status == dppr::RequestStatus::kRejected) {
+          // Over quota: back off instead of hammering the door.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        if (response.status == dppr::RequestStatus::kOk) {
+          if (i % 3 != 0 &&
+              response.estimate.value <
+                  options.ppr.alpha - 2 * options.ppr.eps) {
+            bad_responses.fetch_add(1);
+          }
+          if (affinity) {
+            uint64_t& seen = last_epoch[hub];
+            if (response.epoch < seen) epoch_regressions.fetch_add(1);
+            seen = std::max(seen, response.epoch);
+          }
         }
         ++i;
       }
@@ -404,9 +578,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "batch %zu not applied: %s\n", b,
                    dppr::RequestStatusName(applied.status));
     }
+    // The feed moved: every cached front-door answer is now stale.
+    front_door.AdvanceGeneration();
     if (b == batches.size() / 2) {
       const dppr::MaintResponse risen = facade.add_source(rising_hub);
       const dppr::MaintResponse retired = facade.remove_source(hubs.back());
+      front_door.AdvanceGeneration();  // the hub set changed too
       std::printf("mid-run hub churn: +%d (rising, %s), -%d (retired, %s)\n",
                   rising_hub, dppr::RequestStatusName(risen.status),
                   hubs.back(), dppr::RequestStatusName(retired.status));
@@ -450,7 +627,7 @@ int main(int argc, char** argv) {
       {"hub", "epoch", "top-1", "score",
        "certified_of_top" + std::to_string(k)});
   for (dppr::VertexId hub : facade.sources()) {
-    dppr::QueryResponse top = facade.topk(hub, k);
+    dppr::QueryResponse top = facade.topk(hub, k, /*affinity=*/0);
     if (top.status != dppr::RequestStatus::kOk) {
       std::fprintf(stderr, "top-k for hub %d: %s\n", hub,
                    dppr::RequestStatusName(top.status));
@@ -488,16 +665,37 @@ int main(int argc, char** argv) {
                 static_cast<long long>(router_report.standby_syncs),
                 static_cast<long long>(router_report.sync_bytes),
                 static_cast<long long>(router_report.update_retries));
+    std::printf("read distribution (%s): %lld primary reads, %lld "
+                "standby reads, %lld stale retries",
+                dppr::ReadPolicyName(read_policy),
+                static_cast<long long>(router_report.primary_reads),
+                static_cast<long long>(router_report.standby_reads),
+                static_cast<long long>(router_report.stale_retries));
+    if (router_report.staleness.Count() > 0) {
+      std::printf("; staleness epochs p50=%.0f p99=%.0f max=%.0f",
+                  router_report.staleness.Percentile(50),
+                  router_report.staleness.Percentile(99),
+                  router_report.staleness.Max());
+    }
+    std::printf("\n");
     sharded->Stop();
   } else {
     service->Stop();
   }
   std::printf("\n%s\n", report.ToString().c_str());
-  std::printf("\nhub churn applied: %s; bad responses: %lld\n",
+  std::printf("\nfront door: %lld cache hits, %lld misses, %lld "
+              "admission rejections%s\n",
+              static_cast<long long>(front_door.hits()),
+              static_cast<long long>(front_door.misses()),
+              static_cast<long long>(front_door.rejected()),
+              affinity ? " (session affinity on)" : "");
+  std::printf("hub churn applied: %s; bad responses: %lld; epoch "
+              "regressions: %lld\n",
               hub_set_ok ? "yes" : "NO",
-              static_cast<long long>(bad_responses.load()));
+              static_cast<long long>(bad_responses.load()),
+              static_cast<long long>(epoch_regressions.load()));
   return (hub_set_ok && bad_responses.load() == 0 &&
-          report.queries_completed > 0)
+          epoch_regressions.load() == 0 && report.queries_completed > 0)
              ? 0
              : 1;
 }

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <thread>
@@ -200,7 +201,8 @@ bool PprServer::ServiceReadable(const std::shared_ptr<Conn>& conn) {
       ok = false;
       break;
     }
-    Work work{conn, header, std::move(payload)};
+    Work work{conn, header, std::move(payload),
+              std::chrono::steady_clock::now()};
     if (!handler_queue_.TryPush(std::move(work))) {
       // Transport-level admission control, same contract as the service
       // queues: too busy is an answer, not a hang. Written under the
@@ -232,12 +234,34 @@ void PprServer::Execute(const Work& work) {
     WriteStatusResponse(work.conn, verb, id, RequestStatus::kRejected,
                         options_.write_timeout_ms);
   };
+  // Charges handler-queue wait against a read's RELATIVE deadline (the
+  // service re-anchors it at submission, so the queue time would
+  // otherwise be free). Returns false — after answering kShedDeadline —
+  // when the budget is already gone: the client has given up, and
+  // LocalShardBackend reads shed exactly this way through the service's
+  // own expiry check.
+  auto residual_deadline = [&](int64_t* deadline_ms) {
+    if (*deadline_ms <= 0) return true;  // no deadline / service default
+    const int64_t waited_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - work.received)
+            .count();
+    if (waited_ms < *deadline_ms) {
+      *deadline_ms -= waited_ms;
+      return true;
+    }
+    deadline_sheds_.fetch_add(1, std::memory_order_relaxed);
+    WriteStatusResponse(work.conn, verb, id, RequestStatus::kShedDeadline,
+                        options_.write_timeout_ms);
+    return false;
+  };
 
   std::string out;
   switch (verb) {
     case Verb::kQueryVertex: {
       QueryVertexRequest req;
       if (!DecodeQueryVertexRequest(work.payload, &req).ok()) return reject();
+      if (!residual_deadline(&req.deadline_ms)) return;
       const QueryResponse response =
           service_->QueryVertexAsync(req.source, req.vertex, req.deadline_ms)
               .get();
@@ -247,6 +271,7 @@ void PprServer::Execute(const Work& work) {
     case Verb::kTopK: {
       TopKRequest req;
       if (!DecodeTopKRequest(work.payload, &req).ok()) return reject();
+      if (!residual_deadline(&req.deadline_ms)) return;
       const QueryResponse response =
           service_->TopKAsync(req.source, req.k, req.deadline_ms).get();
       EncodeQueryResponse(response, &out);
@@ -257,6 +282,7 @@ void PprServer::Execute(const Work& work) {
       if (!DecodeMultiSourceRequest(work.payload, &req).ok()) {
         return reject();
       }
+      if (!residual_deadline(&req.deadline_ms)) return;
       std::vector<std::future<QueryResponse>> futures;
       futures.reserve(req.sources.size());
       for (VertexId s : req.sources) {
@@ -340,6 +366,10 @@ void PprServer::Execute(const Work& work) {
       stats.num_vertices = static_cast<uint32_t>(
           service_->index()->graph()->NumVertices());
       stats.num_sources = service_->index()->NumSources();
+      for (size_t i = 0; i < stats.num_sources; ++i) {
+        stats.max_epoch =
+            std::max(stats.max_epoch, service_->index()->Epoch(i));
+      }
       stats.running = service_->running() ? 1 : 0;
       stats.report = service_->Metrics();
       if (include_samples) {

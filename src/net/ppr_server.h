@@ -30,6 +30,7 @@
 #define DPPR_NET_PPR_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -89,6 +90,12 @@ class PprServer {
     return protocol_errors_.load(std::memory_order_relaxed);
   }
 
+  /// Read requests whose deadline expired in the handler queue and were
+  /// answered kShedDeadline without touching the service.
+  int64_t deadline_sheds() const {
+    return deadline_sheds_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One accepted connection. The epoll thread owns the read side; any
   /// handler may write under `write_mu`. The fd closes when the last
@@ -104,6 +111,13 @@ class PprServer {
     std::shared_ptr<Conn> conn;
     FrameHeader header;
     std::string payload;
+    /// When the I/O thread sliced this frame off the socket. A read
+    /// verb's RELATIVE deadline is re-anchored by the service at
+    /// submission, so without this stamp the time a request spent parked
+    /// in the handler queue would not count against its deadline — the
+    /// handler subtracts the queue wait (and sheds outright once the
+    /// budget is gone) before touching the service.
+    std::chrono::steady_clock::time_point received;
   };
 
   void EpollLoop();
@@ -144,6 +158,7 @@ class PprServer {
   std::atomic<bool> stopping_{false};
   bool started_ = false;
   std::atomic<int64_t> protocol_errors_{0};
+  std::atomic<int64_t> deadline_sheds_{0};
 };
 
 }  // namespace net

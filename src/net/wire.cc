@@ -356,6 +356,7 @@ Status DecodeExtractResponse(const std::string& payload,
 void EncodeShardStats(const ShardStats& stats, std::string* out) {
   blob::PutU32(out, stats.num_vertices);
   blob::PutU64(out, stats.num_sources);
+  blob::PutU64(out, stats.max_epoch);
   blob::PutU8(out, stats.running);
   const MetricsReport& r = stats.report;
   blob::PutI64(out, r.queries_completed);
@@ -389,7 +390,8 @@ Status DecodeShardStats(const std::string& payload, ShardStats* out) {
   blob::Reader reader{payload};
   MetricsReport& r = out->report;
   if (!reader.U32(&out->num_vertices) || !reader.U64(&out->num_sources) ||
-      !reader.U8(&out->running) || out->running > 1 ||
+      !reader.U64(&out->max_epoch) || !reader.U8(&out->running) ||
+      out->running > 1 ||
       !reader.I64(&r.queries_completed) ||
       !reader.I64(&r.queries_shed_queue_full) ||
       !reader.I64(&r.queries_shed_deadline) ||

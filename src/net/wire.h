@@ -4,7 +4,8 @@
 //
 //   header (20 bytes, all little-endian):
 //     u32 magic         'DPNT' (0x544E5044)
-//     u8  version       1
+//     u8  version       2 (v2: kStats responses carry the shard's
+//                          max published epoch — the staleness reference)
 //     u8  verb          Verb below
 //     u16 flags         bit 0 = response
 //     u64 request_id    echoed verbatim in the response (multiplexing key)
@@ -35,7 +36,7 @@ namespace dppr {
 namespace net {
 
 inline constexpr uint32_t kFrameMagic = 0x544E5044;  // "DPNT"
-inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr uint8_t kFrameVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 20;
 inline constexpr uint16_t kFlagResponse = 1;
 
@@ -167,6 +168,10 @@ Status DecodeExtractResponse(const std::string& payload,
 struct ShardStats {
   uint32_t num_vertices = 0;   ///< graph replica size (join-time check)
   uint64_t num_sources = 0;
+  /// Highest snapshot epoch published across the shard's sources — its
+  /// feed frontier, the reference point replica staleness is measured
+  /// against (new in frame version 2).
+  uint64_t max_epoch = 0;
   uint8_t running = 0;
   MetricsReport report;
   /// Exact latency samples, present iff the request asked for them.

@@ -15,6 +15,28 @@ using responses::ReadyQuery;
 
 using responses::RetryShedBlocking;
 
+const char* ReadPolicyName(ReadPolicy policy) {
+  switch (policy) {
+    case ReadPolicy::kPrimaryOnly:
+      return "primary";
+    case ReadPolicy::kRoundRobinLive:
+      return "round_robin";
+  }
+  return "unknown";
+}
+
+bool ParseReadPolicy(const std::string& name, ReadPolicy* out) {
+  if (name == "primary") {
+    *out = ReadPolicy::kPrimaryOnly;
+    return true;
+  }
+  if (name == "round_robin") {
+    *out = ReadPolicy::kRoundRobinLive;
+    return true;
+  }
+  return false;
+}
+
 ReplicaSet::ReplicaSet(const ReplicaSetOptions& options)
     : options_(options) {}
 
@@ -127,6 +149,109 @@ ReplicaSet::ReplicaPtr ReplicaSet::SolePrimary() const {
   return replicas_.size() == 1 ? primary_ : nullptr;
 }
 
+ReplicaSet::ReplicaPtr ReplicaSet::AcquireReadReplica(
+    uint64_t affinity) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.read_policy == ReadPolicy::kPrimaryOnly ||
+      replicas_.size() <= 1) {
+    return primary_;
+  }
+  if (affinity != 0) {
+    // Pin over the INDEX space, not the live subset: the mapping only
+    // moves when the pinned replica itself dies (or topology changes),
+    // which is what makes the per-source monotonic-read promise hold —
+    // a pinned session never hops between two standbys that are only
+    // ordered against the primary, not each other.
+    const ReplicaPtr& pinned = replicas_[affinity % replicas_.size()];
+    if (pinned->live) return pinned;
+    return primary_;
+  }
+  size_t live = 0;
+  for (const ReplicaPtr& replica : replicas_) {
+    if (replica->live) ++live;
+  }
+  if (live == 0) return primary_;  // fail fast, like AcquirePrimary
+  size_t pick =
+      read_cursor_.fetch_add(1, std::memory_order_relaxed) % live;
+  for (const ReplicaPtr& replica : replicas_) {
+    if (!replica->live) continue;
+    if (pick-- == 0) return replica;
+  }
+  return primary_;
+}
+
+QueryResponse ReplicaSet::ObserveRead(
+    ReplicaPtr replica, VertexId s, QueryResponse response,
+    const std::function<QueryResponse(ShardBackend*)>& issue) {
+  const auto unavailable = [](const QueryResponse& r) {
+    return r.status == RequestStatus::kUnavailable;
+  };
+  // A standby may refuse a read the primary would serve: kUnknownSource
+  // when it joined after the source landed (anti-entropy still owes it
+  // the copy), kNotMaterialized when its OWN cold-source LRU evicted
+  // state the primary's read traffic keeps warm. The primary stays the
+  // authority on the source set, so re-ask it before surfacing an error
+  // a primary-only read would not have produced.
+  if (response.status == RequestStatus::kUnknownSource ||
+      response.status == RequestStatus::kNotMaterialized) {
+    ReplicaPtr primary = AcquirePrimary();
+    if (primary != nullptr && primary != replica) {
+      response = RetryThroughFailover(
+          &primary, issue(primary->backend.get()), issue, unavailable);
+      replica = std::move(primary);
+    }
+  }
+  if (response.status != RequestStatus::kOk) return response;
+
+  if (options_.read_policy == ReadPolicy::kRoundRobinLive) {
+    uint64_t floor = 0;
+    {
+      std::lock_guard<std::mutex> lock(staleness_mu_);
+      const auto it = epoch_floor_.find(s);
+      if (it != epoch_floor_.end()) floor = it->second;
+    }
+    if (options_.max_epoch_lag >= 0 &&
+        response.epoch + static_cast<uint64_t>(options_.max_epoch_lag) <
+            floor) {
+      // The answer trails what some client already saw by more than the
+      // bound. One primary re-read restores it: the floor was served by
+      // a live standby, standbys run at-or-ahead of the primary only —
+      // so the primary is at-or-ahead of every epoch ever SERVED.
+      ReplicaPtr primary = AcquirePrimary();
+      if (primary != nullptr && primary != replica) {
+        stale_retries_.fetch_add(1, std::memory_order_relaxed);
+        QueryResponse retried = RetryThroughFailover(
+            &primary, issue(primary->backend.get()), issue, unavailable);
+        if (retried.status == RequestStatus::kOk) {
+          response = std::move(retried);
+          replica = std::move(primary);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(staleness_mu_);
+      uint64_t& floor_entry = epoch_floor_[s];
+      staleness_.Add(floor_entry > response.epoch
+                         ? static_cast<double>(floor_entry - response.epoch)
+                         : 0.0);
+      if (response.epoch > floor_entry) floor_entry = response.epoch;
+    }
+  }
+
+  replica->reads.fetch_add(1, std::memory_order_relaxed);
+  if (replica == AcquirePrimary()) {
+    primary_reads_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    standby_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+void ReplicaSet::ForgetSource(VertexId s) {
+  std::lock_guard<std::mutex> lock(staleness_mu_);
+  epoch_floor_.erase(s);
+}
+
 template <typename Response, typename Issue, typename IsUnavailable>
 Response ReplicaSet::RetryThroughFailover(ReplicaPtr* replica,
                                           Response response,
@@ -151,8 +276,8 @@ void ReplicaSet::SnapshotReplicas(std::vector<ReplicaPtr>* replicas,
 // ----------------------------------------------------------------- reads
 
 std::future<QueryResponse> ReplicaSet::QueryVertexAsync(
-    VertexId s, VertexId v, int64_t deadline_ms) {
-  ReplicaPtr replica = AcquirePrimary();
+    VertexId s, VertexId v, int64_t deadline_ms, uint64_t affinity) {
+  ReplicaPtr replica = AcquireReadReplica(affinity);
   if (replica == nullptr) return ReadyQuery(RequestStatus::kUnavailable);
   std::future<QueryResponse> first =
       replica->backend->QueryVertexAsync(s, v, deadline_ms);
@@ -167,20 +292,23 @@ std::future<QueryResponse> ReplicaSet::QueryVertexAsync(
       std::launch::deferred,
       [self = shared_from_this(), s, v, deadline_ms,
        replica = std::move(replica), first = std::move(first)]() mutable {
-        return self->RetryThroughFailover(
-            &replica, first.get(),
-            [s, v, deadline_ms](ShardBackend* backend) {
-              return backend->QueryVertexAsync(s, v, deadline_ms).get();
-            },
-            [](const QueryResponse& response) {
-              return response.status == RequestStatus::kUnavailable;
+        const auto issue = [s, v, deadline_ms](ShardBackend* backend) {
+          return backend->QueryVertexAsync(s, v, deadline_ms).get();
+        };
+        QueryResponse response = self->RetryThroughFailover(
+            &replica, first.get(), issue,
+            [](const QueryResponse& r) {
+              return r.status == RequestStatus::kUnavailable;
             });
+        return self->ObserveRead(std::move(replica), s,
+                                 std::move(response), issue);
       });
 }
 
 std::future<QueryResponse> ReplicaSet::TopKAsync(VertexId s, int k,
-                                                 int64_t deadline_ms) {
-  ReplicaPtr replica = AcquirePrimary();
+                                                 int64_t deadline_ms,
+                                                 uint64_t affinity) {
+  ReplicaPtr replica = AcquireReadReplica(affinity);
   if (replica == nullptr) return ReadyQuery(RequestStatus::kUnavailable);
   std::future<QueryResponse> first =
       replica->backend->TopKAsync(s, k, deadline_ms);
@@ -192,20 +320,22 @@ std::future<QueryResponse> ReplicaSet::TopKAsync(VertexId s, int k,
       std::launch::deferred,
       [self = shared_from_this(), s, k, deadline_ms,
        replica = std::move(replica), first = std::move(first)]() mutable {
-        return self->RetryThroughFailover(
-            &replica, first.get(),
-            [s, k, deadline_ms](ShardBackend* backend) {
-              return backend->TopKAsync(s, k, deadline_ms).get();
-            },
-            [](const QueryResponse& response) {
-              return response.status == RequestStatus::kUnavailable;
+        const auto issue = [s, k, deadline_ms](ShardBackend* backend) {
+          return backend->TopKAsync(s, k, deadline_ms).get();
+        };
+        QueryResponse response = self->RetryThroughFailover(
+            &replica, first.get(), issue,
+            [](const QueryResponse& r) {
+              return r.status == RequestStatus::kUnavailable;
             });
+        return self->ObserveRead(std::move(replica), s,
+                                 std::move(response), issue);
       });
 }
 
 std::future<std::vector<QueryResponse>> ReplicaSet::MultiSourceAsync(
     std::vector<VertexId> sources, VertexId v, int64_t deadline_ms) {
-  ReplicaPtr replica = AcquirePrimary();
+  ReplicaPtr replica = AcquireReadReplica(/*affinity=*/0);
   if (replica == nullptr) {
     std::promise<std::vector<QueryResponse>> promise;
     std::vector<QueryResponse> responses(sources.size());
@@ -228,19 +358,32 @@ std::future<std::vector<QueryResponse>> ReplicaSet::MultiSourceAsync(
        first = std::move(first)]() mutable {
         // A kUnavailable in a grouped read means the whole connection (or
         // backend) died — re-issue the group on the promoted standby.
-        return self->RetryThroughFailover(
+        std::vector<QueryResponse> responses = self->RetryThroughFailover(
             &replica, first.get(),
             [&sources, v, deadline_ms](ShardBackend* backend) {
               return backend->MultiSourceAsync(sources, v, deadline_ms)
                   .get();
             },
-            [](const std::vector<QueryResponse>& responses) {
-              return std::any_of(responses.begin(), responses.end(),
+            [](const std::vector<QueryResponse>& group) {
+              return std::any_of(group.begin(), group.end(),
                                  [](const QueryResponse& response) {
                                    return response.status ==
                                           RequestStatus::kUnavailable;
                                  });
             });
+        // One grouped RPC counts as one read on whoever answered it.
+        if (std::any_of(responses.begin(), responses.end(),
+                        [](const QueryResponse& response) {
+                          return response.status == RequestStatus::kOk;
+                        })) {
+          replica->reads.fetch_add(1, std::memory_order_relaxed);
+          if (replica == self->AcquirePrimary()) {
+            self->primary_reads_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            self->standby_reads_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        return responses;
       });
 }
 
@@ -384,6 +527,12 @@ std::future<MaintResponse> ReplicaSet::AddSourceAsync(VertexId s) {
 }
 
 std::future<MaintResponse> ReplicaSet::RemoveSourceAsync(VertexId s) {
+  // Forget the served-epoch floor up front: if the removal lands, a later
+  // tenant of this id restarts its epoch sequence at 1 and must not be
+  // judged against the old tenant's floor. If it fails (kUnknownSource),
+  // the floor rebuilds from the very next read — a one-read gap in
+  // enforcement, never a wrong answer.
+  ForgetSource(s);
   if (ReplicaPtr sole = SolePrimary(); sole != nullptr) {
     return sole->backend->RemoveSourceAsync(s);
   }
@@ -475,6 +624,7 @@ MaintResponse ReplicaSet::ExtractBlob(VertexId s, std::string* blob) {
         return response.status == RequestStatus::kUnavailable;
       });
   if (extracted.status != RequestStatus::kOk) return extracted;
+  ForgetSource(s);  // the source leaves the slot; see RemoveSourceAsync
 
   // Drop the standbys' copies so the slot's replicas stay in lockstep.
   for (const ReplicaPtr& replica : replicas) {
@@ -813,6 +963,26 @@ ShardBackend* ReplicaSet::ReplicaBackend(int index) {
     return nullptr;
   }
   return replicas_[static_cast<size_t>(index)]->backend.get();
+}
+
+std::vector<int64_t> ReplicaSet::ReadsPerReplica() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> reads;
+  reads.reserve(replicas_.size());
+  for (const ReplicaPtr& replica : replicas_) {
+    reads.push_back(replica->reads.load(std::memory_order_relaxed));
+  }
+  return reads;
+}
+
+void ReplicaSet::MergeStaleness(Histogram* out) const {
+  std::lock_guard<std::mutex> lock(staleness_mu_);
+  out->Merge(staleness_);
+}
+
+uint64_t ReplicaSet::PrimaryMaxEpoch() const {
+  ReplicaPtr primary = AcquirePrimary();
+  return primary == nullptr ? 0 : primary->backend->MaxEpoch();
 }
 
 }  // namespace dppr

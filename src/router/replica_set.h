@@ -13,10 +13,13 @@
 // A ReplicaSet owns an ORDERED list of ShardBackends (the promotion
 // order) and is what the router's hash ring now places at each slot:
 //
-//   * reads — forwarded to the primary; a kUnavailable answer marks the
-//     primary dead, promotes the next live replica in order (bumping the
-//     failover counter), and re-issues the in-flight request on the
-//     promoted standby. The caller sees one answer, not the failover.
+//   * reads — routed by ReadPolicy: to the primary (default), or round-
+//     robin across the live replicas under a bounded-staleness contract
+//     (see ReadPolicy / ReplicaSetOptions::max_epoch_lag). Whoever was
+//     asked, a kUnavailable answer marks that replica dead — promoting
+//     the next live replica in order if it was the primary (bumping the
+//     failover counter) — and re-issues the in-flight request on the
+//     current primary. The caller sees one answer, not the failover.
 //   * feed (updates / source add / remove) — fanned to every live
 //     replica, STANDBYS FIRST, then the primary, one fan-out at a time
 //     (feed_mu_). Two invariants fall out: every replica receives the
@@ -51,11 +54,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "router/shard_backend.h"
@@ -64,12 +69,39 @@
 
 namespace dppr {
 
+/// \brief How a ReplicaSet distributes reads over its replicas.
+///
+/// The feed applies STANDBYS FIRST, so every live standby is always at or
+/// ahead of any epoch the primary has served — a standby read can lag the
+/// slot's served frontier (by replicas caught mid-fan-out), never diverge
+/// from it. That is the whole staleness contract: "stale" means epoch-lag
+/// in the shared feed order, measured and boundable, not a fork.
+enum class ReadPolicy {
+  kPrimaryOnly,     ///< every read lands on the primary (the default)
+  kRoundRobinLive,  ///< reads rotate across the live replicas
+};
+
+const char* ReadPolicyName(ReadPolicy policy);
+/// "primary" / "round_robin" (flag spelling). False on anything else.
+bool ParseReadPolicy(const std::string& name, ReadPolicy* out);
+
 /// \brief Tuning knobs of a ReplicaSet.
 struct ReplicaSetOptions {
   /// Backoff between resubmissions to a replica that shed a feed op.
   /// Unbounded retry for the same reason the router's fan-out retries:
   /// giving up after some replicas applied would fork the replicas.
   std::chrono::milliseconds update_retry_backoff{1};
+
+  ReadPolicy read_policy = ReadPolicy::kPrimaryOnly;
+
+  /// Bounded staleness, enforced (kRoundRobinLive only): an OK answer
+  /// whose epoch trails the highest epoch this slot has SERVED for the
+  /// same source by more than this many epochs is re-read once on the
+  /// primary before it is returned. Epochs advance per update request,
+  /// so the bound is "at most N update requests behind what some client
+  /// already saw". Negative disables enforcement — the staleness
+  /// histogram still records what was served.
+  int64_t max_epoch_lag = -1;
 };
 
 /// \brief Primary + standbys behind one ring slot. See file comment.
@@ -104,12 +136,21 @@ class ReplicaSet : public std::enable_shared_from_this<ReplicaSet> {
   void Start();
   void Stop();
 
-  // --- Reads: primary, failover on kUnavailable -------------------------
+  // --- Reads: policy-routed, failover on kUnavailable -------------------
 
+  /// `affinity` pins a session to one replica (affinity % NumReplicas)
+  /// for per-source monotonic reads while that replica lives; 0 means no
+  /// pin (round-robin under kRoundRobinLive, the primary otherwise). A
+  /// pinned session whose replica died follows the slot to the primary.
   std::future<QueryResponse> QueryVertexAsync(VertexId s, VertexId v,
-                                              int64_t deadline_ms);
+                                              int64_t deadline_ms,
+                                              uint64_t affinity = 0);
   std::future<QueryResponse> TopKAsync(VertexId s, int k,
-                                       int64_t deadline_ms);
+                                       int64_t deadline_ms,
+                                       uint64_t affinity = 0);
+  /// Grouped reads distribute by policy too, but bypass the per-source
+  /// staleness floor (the bound is a per-source promise; a group spans
+  /// sources whose epochs are not mutually comparable).
   std::future<std::vector<QueryResponse>> MultiSourceAsync(
       std::vector<VertexId> sources, VertexId v, int64_t deadline_ms);
 
@@ -175,11 +216,27 @@ class ReplicaSet : public std::enable_shared_from_this<ReplicaSet> {
   int64_t update_retries() const { return update_retries_.load(); }
   int64_t standby_syncs() const { return standby_syncs_.load(); }
   int64_t sync_bytes() const { return sync_bytes_.load(); }
+  /// OK reads answered by the replica that was primary at answer time /
+  /// by a standby. Counted on replicated slots only — a single-replica
+  /// slot keeps the PR 5 zero-overhead read path and counts nothing.
+  int64_t primary_reads() const { return primary_reads_.load(); }
+  int64_t standby_reads() const { return standby_reads_.load(); }
+  /// Answers that violated max_epoch_lag and were re-read on the primary.
+  int64_t stale_retries() const { return stale_retries_.load(); }
+  /// OK reads served per replica, index-aligned with the replica list.
+  std::vector<int64_t> ReadsPerReplica() const;
+  /// Merges this slot's staleness samples — how many epochs each OK read
+  /// trailed the highest epoch served for its source — into *out.
+  void MergeStaleness(Histogram* out) const;
+  /// Highest snapshot epoch the current primary publishes (0 if down).
+  uint64_t PrimaryMaxEpoch() const;
 
  private:
   struct Replica {
     std::unique_ptr<ShardBackend> backend;
     bool live = true;
+    /// OK reads this replica answered (see primary_reads()).
+    std::atomic<int64_t> reads{0};
   };
   using ReplicaPtr = std::shared_ptr<Replica>;
 
@@ -199,6 +256,24 @@ class ReplicaSet : public std::enable_shared_from_this<ReplicaSet> {
   ReplicaPtr FailoverFrom(const ReplicaPtr& failed);
   /// The current primary, or nullptr when the set is empty / all-dead.
   ReplicaPtr AcquirePrimary() const;
+  /// The replica a read should land on under the configured policy (see
+  /// QueryVertexAsync on `affinity`). Falls back to the primary whenever
+  /// distribution has nothing to offer (kPrimaryOnly, single replica, no
+  /// live replica, dead pin).
+  ReplicaPtr AcquireReadReplica(uint64_t affinity) const;
+  /// Post-read bookkeeping + contract enforcement for replicated slots:
+  /// re-asks the primary when a standby refused a read it would serve
+  /// (kUnknownSource drift / its own LRU eviction) or when the answer
+  /// violates max_epoch_lag, records the staleness sample, advances the
+  /// per-source served-epoch floor, and counts the read on the replica
+  /// that finally answered.
+  QueryResponse ObserveRead(
+      ReplicaPtr replica, VertexId s, QueryResponse response,
+      const std::function<QueryResponse(ShardBackend*)>& issue);
+  /// Drops source `s` from the served-epoch floor — a source leaving the
+  /// slot (migration/removal) must not haunt a later tenant whose epoch
+  /// sequence restarts.
+  void ForgetSource(VertexId s);
   /// The primary IFF it is the only replica (the unreplicated fast
   /// path), else nullptr. Lets feed ops submit outside mu_ — a remote
   /// submission is a socket write that may block.
@@ -241,6 +316,19 @@ class ReplicaSet : public std::enable_shared_from_this<ReplicaSet> {
   std::atomic<int64_t> update_retries_{0};
   std::atomic<int64_t> standby_syncs_{0};
   std::atomic<int64_t> sync_bytes_{0};
+
+  /// Round-robin read distribution state.
+  mutable std::atomic<uint64_t> read_cursor_{0};
+  std::atomic<int64_t> primary_reads_{0};
+  std::atomic<int64_t> standby_reads_{0};
+  std::atomic<int64_t> stale_retries_{0};
+  /// Guards the served-epoch floors and the staleness samples. Epochs are
+  /// PER-SOURCE publish counts (and migration preserves the donor's
+  /// sequence), so the floor must be per-source — epochs of different
+  /// sources are not comparable.
+  mutable std::mutex staleness_mu_;
+  std::unordered_map<VertexId, uint64_t> epoch_floor_;
+  Histogram staleness_;
 };
 
 }  // namespace dppr

@@ -1,5 +1,6 @@
 #include "router/shard_backend.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -175,6 +176,16 @@ bool LocalShardBackend::HasSource(VertexId s) const {
   return index_->HasSource(s);
 }
 
+uint64_t LocalShardBackend::MaxEpoch() const {
+  if (severed()) return 0;
+  uint64_t max_epoch = 0;
+  const size_t sources = index_->NumSources();
+  for (size_t i = 0; i < sources; ++i) {
+    max_epoch = std::max(max_epoch, index_->Epoch(i));
+  }
+  return max_epoch;
+}
+
 MetricsReport LocalShardBackend::Metrics() const {
   if (severed()) return MetricsReport{};
   return service_->Metrics();
@@ -273,6 +284,12 @@ bool RemoteShardBackend::HasSource(VertexId s) const {
     if (candidate == s) return true;
   }
   return false;
+}
+
+uint64_t RemoteShardBackend::MaxEpoch() const {
+  net::ShardStats stats;
+  if (!client_->Stats(/*include_samples=*/false, &stats).ok()) return 0;
+  return stats.max_epoch;
 }
 
 MetricsReport RemoteShardBackend::Metrics() const {

@@ -117,6 +117,11 @@ class ShardBackend {
   virtual std::vector<VertexId> Sources() const = 0;
   virtual size_t NumSources() const = 0;
   virtual bool HasSource(VertexId s) const = 0;
+  /// Highest snapshot epoch published across this shard's sources — the
+  /// shard's feed frontier, the reference point staleness is measured
+  /// against. 0 when empty or unreachable. Remote: answered by the
+  /// fixed-size stats verb.
+  virtual uint64_t MaxEpoch() const = 0;
 
   virtual MetricsReport Metrics() const = 0;
   /// Pools this shard's exact latency samples into the caller's
@@ -180,6 +185,7 @@ class LocalShardBackend : public ShardBackend {
   std::vector<VertexId> Sources() const override;
   size_t NumSources() const override;
   bool HasSource(VertexId s) const override;
+  uint64_t MaxEpoch() const override;
   MetricsReport Metrics() const override;
   void MergeLatenciesInto(Histogram* query_ms,
                           Histogram* batch_ms) const override;
@@ -246,6 +252,7 @@ class RemoteShardBackend : public ShardBackend {
   std::vector<VertexId> Sources() const override;
   size_t NumSources() const override;
   bool HasSource(VertexId s) const override;
+  uint64_t MaxEpoch() const override;
   MetricsReport Metrics() const override;
   void MergeLatenciesInto(Histogram* query_ms,
                           Histogram* batch_ms) const override;

@@ -59,6 +59,8 @@ std::unique_ptr<ShardedPprService::Shard> ShardedPprService::NewSlot(
   shard->id = id;
   ReplicaSetOptions set_options;
   set_options.update_retry_backoff = options_.update_retry_backoff;
+  set_options.read_policy = options_.read_policy;
+  set_options.max_epoch_lag = options_.max_epoch_lag;
   shard->set = std::make_shared<ReplicaSet>(set_options);
   return shard;
 }
@@ -121,28 +123,30 @@ ShardedPprService::Shard* ShardedPprService::OwnerShard(VertexId s) const {
 }
 
 std::future<QueryResponse> ShardedPprService::QueryVertexAsync(
-    VertexId s, VertexId v, int64_t deadline_ms) {
+    VertexId s, VertexId v, int64_t deadline_ms, uint64_t affinity) {
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (!started_ || stopped_) return ReadyQuery(RequestStatus::kClosed);
   Shard* shard = OwnerShard(s);
   if (shard == nullptr) return ReadyQuery(RequestStatus::kClosed);
-  return shard->set->QueryVertexAsync(s, v, deadline_ms);
+  return shard->set->QueryVertexAsync(s, v, deadline_ms, affinity);
 }
 
 std::future<QueryResponse> ShardedPprService::TopKAsync(VertexId s, int k,
-                                                        int64_t deadline_ms) {
+                                                        int64_t deadline_ms,
+                                                        uint64_t affinity) {
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (!started_ || stopped_) return ReadyQuery(RequestStatus::kClosed);
   Shard* shard = OwnerShard(s);
   if (shard == nullptr) return ReadyQuery(RequestStatus::kClosed);
-  return shard->set->TopKAsync(s, k, deadline_ms);
+  return shard->set->TopKAsync(s, k, deadline_ms, affinity);
 }
 
 QueryResponse ShardedPprService::Query(VertexId s, VertexId v,
-                                       int64_t deadline_ms) {
+                                       int64_t deadline_ms,
+                                       uint64_t affinity) {
   QueryResponse response;
   for (int attempt = 0;; ++attempt) {
-    response = QueryVertexAsync(s, v, deadline_ms).get();
+    response = QueryVertexAsync(s, v, deadline_ms, affinity).get();
     if (response.status != RequestStatus::kUnknownSource ||
         attempt >= options_.reroute_retry_limit) {
       return response;
@@ -155,11 +159,11 @@ QueryResponse ShardedPprService::Query(VertexId s, VertexId v,
   }
 }
 
-QueryResponse ShardedPprService::TopK(VertexId s, int k,
-                                      int64_t deadline_ms) {
+QueryResponse ShardedPprService::TopK(VertexId s, int k, int64_t deadline_ms,
+                                      uint64_t affinity) {
   QueryResponse response;
   for (int attempt = 0;; ++attempt) {
-    response = TopKAsync(s, k, deadline_ms).get();
+    response = TopKAsync(s, k, deadline_ms, affinity).get();
     if (response.status != RequestStatus::kUnknownSource ||
         attempt >= options_.reroute_retry_limit) {
       return response;
@@ -653,6 +657,10 @@ void ShardedPprService::RetireMetricsLocked(const Shard& shard) {
   retired_update_retries_ += shard.set->update_retries();
   retired_standby_syncs_ += shard.set->standby_syncs();
   retired_sync_bytes_ += shard.set->sync_bytes();
+  retired_primary_reads_ += shard.set->primary_reads();
+  retired_standby_reads_ += shard.set->standby_reads();
+  retired_stale_retries_ += shard.set->stale_retries();
+  shard.set->MergeStaleness(&retired_staleness_);
 }
 
 // ------------------------------------------------------- introspection
@@ -774,11 +782,21 @@ RouterReport ShardedPprService::Report() const {
   report.failovers = retired_failovers_;
   report.standby_syncs = retired_standby_syncs_;
   report.sync_bytes = retired_sync_bytes_;
+  report.primary_reads = retired_primary_reads_;
+  report.standby_reads = retired_standby_reads_;
+  report.stale_retries = retired_stale_retries_;
+  report.staleness = retired_staleness_;
   for (const auto& shard : shards_) {
     report.update_retries += shard->set->update_retries();
     report.failovers += shard->set->failovers();
     report.standby_syncs += shard->set->standby_syncs();
     report.sync_bytes += shard->set->sync_bytes();
+    report.primary_reads += shard->set->primary_reads();
+    report.standby_reads += shard->set->standby_reads();
+    report.stale_retries += shard->set->stale_retries();
+    report.reads_per_replica.emplace_back(shard->id,
+                                          shard->set->ReadsPerReplica());
+    shard->set->MergeStaleness(&report.staleness);
   }
   return report;
 }

@@ -63,6 +63,7 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "graph/dynamic_graph.h"
@@ -109,6 +110,15 @@ struct ShardedServiceOptions {
   /// same pass on demand. The pass is a cheap drift probe unless
   /// something actually drifted.
   std::chrono::milliseconds anti_entropy_interval{0};
+  /// How each slot distributes reads over its replicas (see ReadPolicy in
+  /// router/replica_set.h). kPrimaryOnly reproduces the pre-read-
+  /// distribution router exactly; kRoundRobinLive turns the standbys'
+  /// warm state into read throughput under the bounded-staleness
+  /// contract.
+  ReadPolicy read_policy = ReadPolicy::kPrimaryOnly;
+  /// Per-slot staleness bound in epochs (kRoundRobinLive only); negative
+  /// disables enforcement. See ReplicaSetOptions::max_epoch_lag.
+  int64_t max_epoch_lag = -1;
 };
 
 /// \brief One entry of a scatter-gathered global top-k.
@@ -137,6 +147,18 @@ struct RouterReport {
   int64_t failovers = 0;      ///< standby promotions after a primary died
   int64_t standby_syncs = 0;  ///< source copies shipped onto standbys
   int64_t sync_bytes = 0;     ///< encoded bytes of those standby copies
+  /// Read distribution (counted on replicated slots only; see
+  /// ReplicaSet::primary_reads()).
+  int64_t primary_reads = 0;  ///< OK reads answered by a slot's primary
+  int64_t standby_reads = 0;  ///< OK reads answered by a standby
+  int64_t stale_retries = 0;  ///< bound violations re-read on the primary
+  /// Per-slot OK reads per replica, index-aligned with each slot's
+  /// replica list. Live slots only.
+  std::vector<std::pair<int, std::vector<int64_t>>> reads_per_replica;
+  /// Staleness samples across slots: how many epochs each OK read
+  /// trailed the highest epoch served for its source. Exact samples, so
+  /// percentiles merge honestly (live + retired slots).
+  Histogram staleness;
 };
 
 /// \brief N-shard PPR serving front-end. See file comment.
@@ -162,14 +184,21 @@ class ShardedPprService {
 
   // --- By-source requests (routed to the owning shard) ------------------
 
+  /// `affinity` (nonzero) pins the caller's session to one replica of
+  /// the owning slot for per-source monotonic reads — see
+  /// ReplicaSet::QueryVertexAsync. 0 distributes by the slot's policy.
   std::future<QueryResponse> QueryVertexAsync(VertexId s, VertexId v,
-                                              int64_t deadline_ms = 0);
+                                              int64_t deadline_ms = 0,
+                                              uint64_t affinity = 0);
   std::future<QueryResponse> TopKAsync(VertexId s, int k,
-                                       int64_t deadline_ms = 0);
+                                       int64_t deadline_ms = 0,
+                                       uint64_t affinity = 0);
   /// Blocking reads; these re-route around an in-flight migration (see
   /// ShardedServiceOptions::reroute_retry_limit).
-  QueryResponse Query(VertexId s, VertexId v, int64_t deadline_ms = 0);
-  QueryResponse TopK(VertexId s, int k, int64_t deadline_ms = 0);
+  QueryResponse Query(VertexId s, VertexId v, int64_t deadline_ms = 0,
+                      uint64_t affinity = 0);
+  QueryResponse TopK(VertexId s, int k, int64_t deadline_ms = 0,
+                     uint64_t affinity = 0);
 
   MaintResponse AddSource(VertexId s);
   MaintResponse RemoveSource(VertexId s);
@@ -372,6 +401,10 @@ class ShardedPprService {
   int64_t retired_update_retries_ = 0;
   int64_t retired_standby_syncs_ = 0;
   int64_t retired_sync_bytes_ = 0;
+  int64_t retired_primary_reads_ = 0;
+  int64_t retired_standby_reads_ = 0;
+  int64_t retired_stale_retries_ = 0;
+  Histogram retired_staleness_;
 };
 
 }  // namespace dppr

@@ -673,7 +673,11 @@ TEST(PprIndexDynamicTest, ConcurrentReadsDuringEvictionStaySane) {
   };
   std::thread r1(reader), r2(reader);
 
-  for (int round = 0; round < 30; ++round) {
+  // At least 30 churn rounds, extended until the readers have seen an OK
+  // answer — kAdaptive materialization is fast enough that a fixed round
+  // count can complete before the reader threads are even scheduled.
+  for (int round = 0; round < 30 || ok_reads.load() == 0; ++round) {
+    ASSERT_LT(round, 1000000) << "readers never got scheduled";
     index.MaterializeSource(stable[static_cast<size_t>(round) % 3]);
     if (round % 3 == 0) {
       UpdateBatch batch = {EdgeUpdate::Insert(round % 64, (round + 17) % 64)};

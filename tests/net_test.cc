@@ -237,6 +237,7 @@ TEST(NetWireTest, DecodersRefuseTruncationEverywhere) {
   net::ShardStats stats;
   stats.num_vertices = 100;
   stats.num_sources = 4;
+  stats.max_epoch = 42;
   stats.running = 1;
   stats.report.queries_completed = 12;
   stats.query_latency_samples = {0.5, 1.5};
@@ -249,6 +250,9 @@ TEST(NetWireTest, DecodersRefuseTruncationEverywhere) {
         net::DecodeShardStats(stats_payload.substr(0, cut), &out).ok())
         << "prefix " << cut;
   }
+  net::ShardStats full;
+  ASSERT_TRUE(net::DecodeShardStats(stats_payload, &full).ok());
+  EXPECT_EQ(full.max_epoch, 42u);
 }
 
 TEST(NetWireTest, CountPrefixBombsAreRefusedWithoutAllocating) {
@@ -466,6 +470,8 @@ TEST(PprServerTest, LoopbackMatchesDirectServiceCalls) {
   ASSERT_TRUE(client.Stats(true, &stats).ok());
   EXPECT_EQ(stats.num_vertices, 128u);
   EXPECT_EQ(stats.num_sources, 3u);
+  EXPECT_GE(stats.max_epoch, 1u)
+      << "the v2 feed-frontier field must survive the wire";
   EXPECT_EQ(stats.running, 1);
   EXPECT_GT(stats.report.queries_completed, 0);
   EXPECT_EQ(stats.query_latency_samples.size(),

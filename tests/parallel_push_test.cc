@@ -394,6 +394,10 @@ TEST(PprOptionsTest, ForceParallelAlwaysUsesAtomics) {
       GenerateErdosRenyi(256, 2048, 31), 256);
   PprOptions options;
   options.eps = 1e-6;
+  // Pin the sparse push kernel: the property under test (one atomic add
+  // per edge traversal in a forced-parallel round) is the sparse path's
+  // contract; kAdaptive's dense sweep writes without per-edge atomics.
+  options.variant = PushVariant::kOpt;
   options.force_parallel_rounds = true;
   DynamicPpr ppr(&g, 0, options);
   ppr.Initialize();

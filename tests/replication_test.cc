@@ -6,15 +6,20 @@
 //    order, failover on a severed primary, double failure =>
 //    kUnavailable, the standbys-first feed invariant (a promoted standby
 //    is never behind an epoch the primary served), standby re-sync after
-//    injected drift, and migration blobs spanning the whole group.
+//    injected drift, migration blobs spanning the whole group, and the
+//    read-distribution policies (kRoundRobinLive spreads, affinity
+//    pins, kPrimaryOnly counts zero standby reads).
 //  * ReplicationRouterTest — the ReplicaSet behind the ring: a
 //    replicas=2 router answers EXACTLY like the unsharded PR 3 oracle in
 //    lockstep (statuses, epochs, values up to ±eps) before AND after
 //    every primary is severed; AddReplica syncs a late-joining standby
 //    at unchanged epochs; the periodic anti-entropy pass repairs
 //    injected drift; primaries die under 4-client concurrent load with
-//    zero kUnavailable answers and no epoch regression; and the old
-//    AddShard/RemoveShard calls keep working against the new topology.
+//    zero kUnavailable answers and no epoch regression; round-robin
+//    reads honor the bounded-staleness contract (max_epoch_lag, pinned-
+//    session monotonicity, read counters that add up exactly) through
+//    the same primary-kill chaos; and the old AddShard/RemoveShard calls
+//    keep working against the new topology.
 
 #include <gtest/gtest.h>
 
@@ -226,6 +231,67 @@ TEST(ReplicaSetTest, MigrationBlobsSpanTheWholeGroup) {
       << "standby holds the injected source at the same epoch";
   donor->Stop();
   taker->Stop();
+}
+
+TEST(ReplicaSetTest, RoundRobinSpreadsReadsAndAffinityPins) {
+  auto edges = GenerateErdosRenyi(64, 400, 17);
+  ReplicaSetOptions set_options;
+  set_options.read_policy = ReadPolicy::kRoundRobinLive;
+  set_options.max_epoch_lag = 4;
+  auto set = std::make_shared<ReplicaSet>(set_options);
+  for (int r = 0; r < 3; ++r) {
+    set->AddReplica(MakeBackend(edges, 64, {1, 2}));
+  }
+  set->Start();
+
+  // Unpinned reads rotate over the live replicas; every OK answer is
+  // counted on exactly one replica, and only the primary's count as
+  // primary reads.
+  constexpr int64_t kReads = 30;
+  for (int64_t i = 0; i < kReads; ++i) {
+    ASSERT_EQ(set->QueryVertexAsync(1, 1, 0).get().status,
+              RequestStatus::kOk);
+  }
+  std::vector<int64_t> reads = set->ReadsPerReplica();
+  ASSERT_EQ(reads.size(), 3u);
+  int64_t total = 0;
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_GT(reads[r], 0) << "replica " << r << " never served a read";
+    total += reads[r];
+  }
+  EXPECT_EQ(total, kReads);
+  EXPECT_EQ(set->primary_reads() + set->standby_reads(), kReads);
+  EXPECT_GT(set->standby_reads(), 0);
+
+  // A pinned session sticks to ONE replica: affinity 5 over 3 replicas
+  // pins index 2.
+  const int64_t pinned_before = set->ReadsPerReplica()[2];
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_EQ(set->QueryVertexAsync(2, 2, 0, /*affinity=*/5).get().status,
+              RequestStatus::kOk);
+  }
+  EXPECT_EQ(set->ReadsPerReplica()[2], pinned_before + 12);
+
+  // A pinned session whose replica died follows the slot to the primary
+  // — and a dead pinned STANDBY is not a failover.
+  ASSERT_TRUE(set->ReplicaBackend(2)->Sever());
+  EXPECT_EQ(set->QueryVertexAsync(2, 2, 0, /*affinity=*/5).get().status,
+            RequestStatus::kOk);
+  EXPECT_EQ(set->failovers(), 0);
+  set->Stop();
+
+  // The default policy is unchanged by all of this: kPrimaryOnly on a
+  // replicated slot counts every read on the primary, none on a standby.
+  auto primary_only = MakeSet(edges, 64, {1}, 2);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(primary_only->QueryVertexAsync(1, 1, 0).get().status,
+              RequestStatus::kOk);
+  }
+  EXPECT_EQ(primary_only->primary_reads(), 5);
+  EXPECT_EQ(primary_only->standby_reads(), 0);
+  EXPECT_EQ(primary_only->ReadsPerReplica(),
+            (std::vector<int64_t>{5, 0}));
+  primary_only->Stop();
 }
 
 TEST(ReplicaSetTest, ManualPromoteAndRemoveReplica) {
@@ -511,6 +577,118 @@ TEST(ReplicationRouterTest, ChaosPrimaryKillUnderConcurrentLoad) {
   }
   const RouterReport report = router.Report();
   EXPECT_EQ(report.failovers, static_cast<int64_t>(router.NumShards()));
+  router.Stop();
+}
+
+TEST(ReplicationRouterTest, ChaosRoundRobinReadsHonorStalenessBound) {
+  // The bounded-staleness contract under fire: 4 clients read through
+  // kRoundRobinLive (two of them pinned sessions, two unpinned) while a
+  // feeder streams batches and every slot's primary is severed halfway.
+  // The clients share a per-hub max-seen-epoch floor — a lower bound of
+  // the router's internal served-epoch floor, because the router raises
+  // its floor BEFORE returning an answer — so every OK answer must be
+  // within max_epoch_lag of the floor read before issuing. Pinned
+  // sessions must stay per-source monotonic across the primary kills,
+  // and afterwards the per-replica read counters must add up EXACTLY to
+  // the OK answers the clients counted. TSan runs this.
+  constexpr int64_t kLag = 2;
+  ReplicationWorkload workload = MakeWorkload(8, 47);
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.replicas = 3;
+  options.read_policy = ReadPolicy::kRoundRobinLive;
+  options.max_epoch_lag = kLag;
+  options.index = TestIndexOptions();
+  options.service = TestServiceOptions();
+  ShardedPprService router(workload.initial, workload.num_vertices,
+                           workload.hubs, options);
+  router.Start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> unavailable{0};
+  std::atomic<int64_t> ok_reads{0};
+  std::atomic<int64_t> bound_violations{0};
+  std::atomic<bool> epochs_monotonic{true};
+  std::vector<std::atomic<uint64_t>> floor(workload.hubs.size());
+  for (auto& f : floor) f.store(0);
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      const uint64_t affinity = c < 2 ? static_cast<uint64_t>(c + 1) : 0;
+      std::mt19937 rng(500 + static_cast<uint32_t>(c));
+      std::vector<uint64_t> last_epoch(workload.hubs.size(), 0);
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t i = rng() % workload.hubs.size();
+        const VertexId hub = workload.hubs[i];
+        const uint64_t floor_before =
+            floor[i].load(std::memory_order_acquire);
+        const QueryResponse response =
+            rng() % 4 == 0 ? router.TopK(hub, 3, 0, affinity)
+                           : router.Query(hub, hub, 0, affinity);
+        if (response.status == RequestStatus::kUnavailable) {
+          unavailable.fetch_add(1);
+        }
+        if (response.status != RequestStatus::kOk) continue;
+        ok_reads.fetch_add(1);
+        if (response.epoch + static_cast<uint64_t>(kLag) < floor_before) {
+          bound_violations.fetch_add(1);
+        }
+        if (affinity != 0) {
+          if (response.epoch < last_epoch[i]) {
+            epochs_monotonic.store(false);
+          }
+          last_epoch[i] = response.epoch;
+        }
+        uint64_t seen = floor[i].load(std::memory_order_relaxed);
+        while (seen < response.epoch &&
+               !floor[i].compare_exchange_weak(seen, response.epoch)) {
+        }
+      }
+    });
+  }
+
+  // Feeder: stream every batch; kill the primaries halfway.
+  for (size_t b = 0; b < workload.batches.size(); ++b) {
+    ASSERT_EQ(router.ApplyUpdates(workload.batches[b]).status,
+              RequestStatus::kOk);
+    if (b == workload.batches.size() / 2) {
+      for (int slot : router.ShardIds()) {
+        ASSERT_TRUE(router.SeverReplica(slot, router.PrimaryOf(slot)));
+      }
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_release);
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(unavailable.load(), 0)
+      << "failover must absorb the primary deaths";
+  EXPECT_EQ(bound_violations.load(), 0)
+      << "an answer trailed the served floor by more than max_epoch_lag";
+  EXPECT_TRUE(epochs_monotonic.load())
+      << "a pinned session saw an epoch regress";
+  EXPECT_GT(ok_reads.load(), 0);
+
+  const RouterReport report = router.Report();
+  EXPECT_EQ(report.failovers, static_cast<int64_t>(router.NumShards()));
+  EXPECT_GT(report.standby_reads, 0)
+      << "round-robin never left the primary";
+  // Every OK answer was counted on exactly one replica — no more, no
+  // less — and left exactly one staleness sample.
+  EXPECT_EQ(report.primary_reads + report.standby_reads, ok_reads.load());
+  int64_t per_replica_total = 0;
+  for (const auto& slot : report.reads_per_replica) {
+    for (int64_t reads : slot.second) per_replica_total += reads;
+  }
+  EXPECT_EQ(per_replica_total, ok_reads.load());
+  EXPECT_EQ(static_cast<int64_t>(report.staleness.Count()),
+            ok_reads.load());
+  // Every hub still readable (these reads land after the report
+  // snapshot, so the equalities above stay exact).
+  for (VertexId hub : workload.hubs) {
+    EXPECT_EQ(router.Query(hub, hub).status, RequestStatus::kOk) << hub;
+  }
   router.Stop();
 }
 
