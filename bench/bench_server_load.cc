@@ -13,6 +13,16 @@
 //       [--batch_ratio=0.001] [--mixes=100:0,95:5,80:20] [--k=5]
 //       [--eps=1e-6] [--shards=1,2] [--replicas=1] [--seed=42]
 //       [--read_policy=primary] [--max_epoch_lag=-1] [--json=PATH]
+//       [--spill_dir=PATH]
+//
+// --spill_dir attaches the durable storage tier (src/storage/) to every
+// local backend: WAL per applied batch, spill-to-disk on LRU eviction,
+// restore-then-catch-up on rematerialization. Combined with --lru_cap
+// it prices the spill path: the mat_p50/p99 columns time the
+// materialize verb, and rematerialization (restore + incremental
+// catch-up) should beat the from-scratch recompute the same --lru_cap
+// run pays without --spill_dir. Each cell gets a fresh subdirectory, so
+// no cell recovers another cell's state.
 //
 // --replicas sweeps the per-slot replica count: every ring slot gets R
 // full serving stacks (1 primary + R-1 standbys), the feed fans to all
@@ -43,7 +53,10 @@
 // queries/s, latency p50/p99 (exact, merged across shards), queries
 // served during maintenance, update throughput, and shed counts.
 
+#include <sys/stat.h>
+
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -112,6 +125,9 @@ struct BenchRow {
   int64_t shed = 0;
   int64_t failed = 0;
   int64_t sources_materialized = 0;
+  int64_t sources_rematerialized = 0;  ///< of those, restored from spill
+  double mat_p50_ms = 0.0;  ///< materialize-verb latency (0 if none ran)
+  double mat_p99_ms = 0.0;
   int64_t failovers = 0;   ///< standby promotions (0 unless something died)
   int64_t sync_bytes = 0;  ///< standby-sync blob bytes shipped
   int64_t primary_reads = 0;   ///< OK reads served by slot primaries
@@ -139,10 +155,13 @@ bool WriteJson(const std::string& path, const ArgParser& args,
   // "read_policy"/"max_epoch_lag" join "variant" in the config: a sweep
   // that changes WHICH replicas answer reads is a different experiment,
   // so the gate re-seeds rather than comparing across the change.
+  // "durable"/"lru_cap" likewise: fsyncing a WAL per batch and evicting
+  // state are different cost models, never comparable to rows without.
   std::fprintf(f, "  \"config\": {\"dataset\": \"%s\", \"seed\": %llu, "
                   "\"hubs\": %lld, \"workers\": %lld, \"clients\": %lld, "
                   "\"seconds\": %g, \"variant\": \"%s\", "
-                  "\"read_policy\": \"%s\", \"max_epoch_lag\": %lld},\n",
+                  "\"read_policy\": \"%s\", \"max_epoch_lag\": %lld, "
+                  "\"durable\": %s, \"fsync\": %s, \"lru_cap\": %lld},\n",
               args.GetString("dataset", "pokec").c_str(),
               static_cast<unsigned long long>(seed),
               static_cast<long long>(args.GetInt("hubs", 16)),
@@ -151,7 +170,10 @@ bool WriteJson(const std::string& path, const ArgParser& args,
               args.GetDouble("seconds", 1.5),
               args.GetString("variant", "adaptive").c_str(),
               args.GetString("read_policy", "primary").c_str(),
-              static_cast<long long>(args.GetInt("max_epoch_lag", -1)));
+              static_cast<long long>(args.GetInt("max_epoch_lag", -1)),
+              args.GetString("spill_dir", "").empty() ? "false" : "true",
+              args.GetBool("fsync", true) ? "true" : "false",
+              static_cast<long long>(args.GetInt("lru_cap", 0)));
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& row = rows[i];
@@ -175,7 +197,9 @@ bool WriteJson(const std::string& path, const ArgParser& args,
         "\"read_policy\": \"%s\", \"primary_reads\": %lld, "
         "\"standby_reads\": %lld, \"stale_retries\": %lld, "
         "\"stale_p50\": %g, \"stale_p99\": %g, \"stale_max\": %g, "
-        "\"reads_per_replica\": %s}%s\n",
+        "\"reads_per_replica\": %s, "
+        "\"sources_rematerialized\": %lld, "
+        "\"mat_p50_ms\": %.6f, \"mat_p99_ms\": %.6f}%s\n",
         row.shards, row.mix.c_str(), row.qps, row.p50_ms, row.p99_ms,
         static_cast<long long>(row.queries_completed),
         static_cast<long long>(row.served_during_maintenance),
@@ -189,6 +213,8 @@ bool WriteJson(const std::string& path, const ArgParser& args,
         static_cast<long long>(row.standby_reads),
         static_cast<long long>(row.stale_retries), row.stale_p50,
         row.stale_p99, row.stale_max, per_replica.c_str(),
+        static_cast<long long>(row.sources_rematerialized),
+        row.mat_p50_ms, row.mat_p99_ms,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -239,6 +265,17 @@ int main(int argc, char** argv) {
   const auto max_epoch_lag =
       static_cast<int64_t>(args.GetInt("max_epoch_lag", -1));
   const std::string json_path = args.GetString("json", "");
+  const std::string spill_dir = args.GetString("spill_dir", "");
+  // The WAL fsyncs per commit by default (the durability contract);
+  // --fsync=0 trades it away to isolate the spill path's own cost from
+  // commit-latency contention on the same disk.
+  const bool fsync_on_commit = args.GetBool("fsync", true);
+  if (!spill_dir.empty() &&
+      ::mkdir(spill_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create --spill_dir %s\n",
+                 spill_dir.c_str());
+    return 1;
+  }
   std::vector<ReadPolicy> read_policies;
   {
     std::stringstream ss(args.GetString("read_policy", "primary"));
@@ -276,8 +313,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(seed), NumThreads());
   TablePrinter table({"shards", "repl", "policy", "mix q:u", "qps",
                       "p50_ms", "p99_ms", "qry@maint", "upd/s", "batches",
-                      "shed", "failed", "sby_reads", "stale_p99"});
+                      "shed", "failed", "sby_reads", "stale_p99",
+                      "remat"});
 
+  int cell_index = 0;
   for (const int num_shards : shard_counts) {
   for (const int num_replicas : replica_counts) {
   for (const ReadPolicy read_policy : read_policies) {
@@ -309,6 +348,14 @@ int main(int argc, char** argv) {
       options.index.max_materialized_sources = lru_cap;
       options.service.num_workers = workers;
       options.service.materialize_wait = std::chrono::milliseconds(500);
+      if (!spill_dir.empty()) {
+        // One subdirectory per cell: a cell must never RECOVER the
+        // previous cell's checkpoint + log.
+        options.data_dir =
+            spill_dir + "/cell-" + std::to_string(cell_index);
+        options.durability.fsync_on_commit = fsync_on_commit;
+      }
+      ++cell_index;
       ShardedPprService service(initial, workload.num_vertices, hubs,
                                 options);
       service.Start();
@@ -399,7 +446,8 @@ int main(int argc, char** argv) {
                                 report.queries_shed_deadline),
            TablePrinter::FmtInt(report.queries_failed),
            TablePrinter::FmtInt(router_report.standby_reads),
-           TablePrinter::Fmt(stale_p99, 1)});
+           TablePrinter::Fmt(stale_p99, 1),
+           TablePrinter::FmtInt(report.sources_rematerialized)});
 
       BenchRow row;
       row.shards = num_shards;
@@ -417,6 +465,9 @@ int main(int argc, char** argv) {
                  report.queries_shed_deadline;
       row.failed = report.queries_failed;
       row.sources_materialized = report.sources_materialized;
+      row.sources_rematerialized = report.sources_rematerialized;
+      row.mat_p50_ms = report.materialize_p50_ms;
+      row.mat_p99_ms = report.materialize_p99_ms;
       row.failovers = router_report.failovers;
       row.sync_bytes = router_report.sync_bytes;
       row.primary_reads = router_report.primary_reads;
@@ -462,6 +513,15 @@ int main(int argc, char** argv) {
         ShapeCheck(cell + " primary-only served no standby reads",
                    router_report.standby_reads == 0,
                    std::to_string(router_report.standby_reads));
+      }
+      if (!spill_dir.empty() && lru_cap > 0 &&
+          static_cast<VertexId>(lru_cap) * num_shards < num_hubs) {
+        // The cap forces evict/materialize churn and the spill tier is
+        // attached, so at least some materializations must come back
+        // through restore-then-catch-up instead of a recompute.
+        ShapeCheck(cell + " spilled state rematerialized",
+                   report.sources_rematerialized > 0,
+                   std::to_string(report.sources_rematerialized));
       }
     }
   }

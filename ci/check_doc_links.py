@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown documentation.
+
+The docs are a graph: ARCHITECTURE.md points at per-layer READMEs, the
+READMEs point at sources and at each other. A renamed file silently
+orphans every inbound link — this gate makes that a CI failure instead
+of a reader's dead end.
+
+Scope (deliberately narrow):
+  * Only RELATIVE links are checked. http(s)/mailto links rot on their
+    own schedule; checking them needs the network and flakes CI.
+  * A link's target must exist as a file or directory, resolved against
+    the markdown file's own directory (or the repo root for /-prefixed
+    paths). Fragments (#section) are stripped, not verified.
+  * Inline code spans and fenced code blocks are ignored — `[i](j)` in
+    a C++ snippet is indexing, not a link.
+
+Usage: check_doc_links.py [--root=DIR] [--self-test]
+Exit status: 0 when every relative link resolves, 1 otherwise.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+# [text](target) with a non-empty target; images ![alt](target) match
+# too via the optional leading "!". Nested parens in targets are not
+# supported (none of our docs need them).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+
+def markdown_files(root):
+    """Tracked *.md files — git is authoritative so build/ and _deps/
+    trees never leak into the check."""
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True)
+    return sorted(set(line for line in out.stdout.splitlines() if line))
+
+
+def extract_links(text):
+    """Yields (line_number, target) for every markdown link outside
+    fenced blocks and inline code spans."""
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(INLINE_CODE_RE.sub("``", line)):
+            yield number, match.group(1)
+
+
+def is_external(target):
+    return re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target) is not None
+
+
+def check_file(root, md_path):
+    """Returns a list of (line, target) broken links in one file."""
+    with open(os.path.join(root, md_path), encoding="utf-8") as f:
+        text = f.read()
+    broken = []
+    for line, target in extract_links(text):
+        if is_external(target):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:  # pure fragment: same-file anchor
+            continue
+        if path.startswith("/"):
+            resolved = os.path.join(root, path.lstrip("/"))
+        else:
+            resolved = os.path.join(root, os.path.dirname(md_path), path)
+        if not os.path.exists(resolved):
+            broken.append((line, target))
+    return broken
+
+
+def self_test():
+    assert is_external("https://example.com")
+    assert is_external("mailto:a@b.c")
+    assert not is_external("../src/storage/README.md")
+    assert not is_external("src/core")
+
+    links = list(extract_links(
+        "see [the docs](doc.md#anchor) and ![img](a.png)\n"
+        "```\n[not](a-link.md)\n```\n"
+        "inline `[i](j)` is code, [real](other.md) is not\n"))
+    assert links == [(1, "doc.md#anchor"), (1, "a.png"), (5, "other.md")], links
+    print("self-test passed")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", default=".")
+    parser.add_argument("--self-test", action="store_true")
+    opts = parser.parse_args()
+    if opts.self_test:
+        self_test()
+        return 0
+
+    root = os.path.abspath(opts.root)
+    failures = 0
+    files = markdown_files(root)
+    for md_path in files:
+        for line, target in check_file(root, md_path):
+            print(f"{md_path}:{line}: broken relative link -> {target}")
+            failures += 1
+    print(f"checked {len(files)} markdown files: "
+          f"{failures} broken relative link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@
 //                [--replicas=1] [--read_policy=primary|round_robin]
 //                [--max_epoch_lag=-1] [--client_qps=0] [--affinity]
 //                [--listen=PORT] [--join=host:p1+host:p2,host:p3]
+//                [--data_dir=PATH] [--checkpoint_every=N]
+//                [--adopt=host:p1,host:p2] [--verify_recovery]
 //
 // With --shards=1 (default) this drives a single PprService, exactly as
 // in PR 2. With --shards=N it stands up a ShardedPprService instead: N
@@ -55,6 +57,20 @@
 // know nothing about each other, exactly as in the paper-adjacent
 // distributed PPR serving systems the README cites.
 //
+// Durability (src/storage/README.md): --data_dir attaches a durable
+// store. A shard process (--listen) roots its WAL + checkpoints there
+// directly; a router process gives each LOCAL backend its own
+// subdirectory. On restart with the same --data_dir the process
+// RECOVERS — checkpoint + log replay reproduce the exact pre-crash
+// epochs — and prints a machine-readable
+// "RECOVERED seq=<n> sources=<k> max_epoch=<e>" line (the cold-restart
+// CI step parses it). --verify_recovery (--listen mode only) additionally
+// rebuilds every recovered source from scratch on the recovered graph and
+// fails the process if any estimate disagrees beyond the eps contract.
+// --adopt=host:port re-admits such a RECOVERED (non-empty) shard into a
+// router's ring: unlike --join, the joiner's sources survive — the ring
+// is grown around them (ShardedPprService::AdoptRemoteShard).
+//
 // The stream permutation seed defaults to a fixed value so the printed
 // tables are reproducible run-to-run; pass --seed to vary it.
 
@@ -62,6 +78,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -77,6 +94,7 @@
 #include "graph/graph_stats.h"
 #include "index/ppr_index.h"
 #include "net/ppr_server.h"
+#include "router/shard_backend.h"
 #include "router/sharded_service.h"
 #include "server/ppr_service.h"
 #include "stream/edge_stream.h"
@@ -290,6 +308,12 @@ int main(int argc, char** argv) {
   const bool listen_mode = args.Has("listen");
   const int listen_port = static_cast<int>(args.GetInt("listen", 0));
   const std::string join_csv = args.GetString("join", "");
+  const std::string adopt_csv = args.GetString("adopt", "");
+  const std::string data_dir = args.GetString("data_dir", "");
+  const bool verify_recovery = args.GetBool("verify_recovery", false);
+  dppr::storage::DurableStoreOptions durability;
+  durability.checkpoint_every =
+      static_cast<uint64_t>(args.GetInt("checkpoint_every", 0));
   const int num_shards = static_cast<int>(args.GetInt("shards", 1));
   const int replicas = static_cast<int>(args.GetInt("replicas", 1));
   const std::string variant_name = args.GetString("variant", "adaptive");
@@ -315,8 +339,23 @@ int main(int argc, char** argv) {
                  "slots, '+' before standbys)\n");
     return 1;
   }
-  if (listen_mode && !join_groups.empty()) {
-    std::fprintf(stderr, "--listen and --join are different processes\n");
+  std::vector<EndpointGroup> adopt_groups;
+  if (!adopt_csv.empty() && !ParseEndpointGroups(adopt_csv, &adopt_groups)) {
+    std::fprintf(stderr, "malformed --adopt (want host:port, ',' between "
+                         "shards)\n");
+    return 1;
+  }
+  for (const EndpointGroup& group : adopt_groups) {
+    if (group.size() != 1) {
+      std::fprintf(stderr, "--adopt takes single endpoints (a recovered "
+                           "shard re-joins alone; attach standbys after "
+                           "with --join semantics)\n");
+      return 1;
+    }
+  }
+  if (listen_mode && (!join_groups.empty() || !adopt_groups.empty())) {
+    std::fprintf(stderr, "--listen and --join/--adopt are different "
+                         "processes\n");
     return 1;
   }
 
@@ -352,14 +391,57 @@ int main(int argc, char** argv) {
   if (listen_mode) {
     // SHARD PROCESS: the same graph replica (same seed => same bytes),
     // an empty source set (the router migrates or adds hubs through the
-    // ring), one PprService, and the network skin in front of it.
-    dppr::PprIndex index(&graph, {}, options);
-    index.Initialize();
-    dppr::PprService service(&index, service_options);
-    service.Start();
+    // ring), one serving stack, and the network skin in front of it.
+    // With --data_dir the stack is durable — and if the directory holds
+    // a prior incarnation's state, that state WINS over the seed:
+    // checkpoint restore + log replay reproduce the exact pre-crash
+    // graph, source set, and epochs (LocalShardBackend recovery).
+    dppr::LocalShardBackend backend(initial, num_vertices, {}, options,
+                                    service_options, data_dir, durability);
+    backend.Start();
+    if (backend.recovered()) {
+      // Machine-readable recovery line (the cold-restart CI step parses
+      // it and asserts the epoch never regresses across a SIGKILL).
+      std::printf("RECOVERED seq=%llu sources=%zu max_epoch=%llu\n",
+                  static_cast<unsigned long long>(
+                      backend.store()->feed_seq()),
+                  backend.NumSources(),
+                  static_cast<unsigned long long>(backend.MaxEpoch()));
+      std::fflush(stdout);
+    }
+    if (verify_recovery && backend.recovered()) {
+      // Oracle equivalence from disk: rebuild every recovered source
+      // FROM SCRATCH on the recovered graph and require the replayed
+      // estimates to agree within the eps contract (two eps-accurate
+      // approximations of the same vector differ by at most 2*eps).
+      const dppr::PprIndex* live = backend.service()->index();
+      dppr::DynamicGraph oracle_graph = dppr::DynamicGraph::FromEdges(
+          live->graph()->ToEdgeList(), live->graph()->NumVertices());
+      dppr::PprIndex oracle(&oracle_graph, live->Sources(), options);
+      oracle.Initialize();
+      int64_t mismatches = 0;
+      for (size_t i = 0; i < oracle.NumSources(); ++i) {
+        const dppr::VertexId s = oracle.SourceVertex(i);
+        const dppr::GuaranteedTopK fresh = oracle.TopKWithGuarantee(i, k);
+        for (const dppr::ScoredVertex& entry : fresh.entries) {
+          const dppr::SourceReadResult got =
+              live->QueryVertexForSource(s, entry.id);
+          if (got.status != dppr::SourceReadResult::Status::kOk ||
+              std::fabs(got.estimate.value - entry.score) >
+                  2 * options.ppr.eps) {
+            ++mismatches;
+          }
+        }
+      }
+      std::printf("RECOVERY_VERIFIED sources=%zu mismatches=%lld\n",
+                  oracle.NumSources(),
+                  static_cast<long long>(mismatches));
+      std::fflush(stdout);
+      if (mismatches != 0) return 1;
+    }
     dppr::net::PprServerOptions server_options;
     server_options.port = listen_port;
-    dppr::net::PprServer server(&service, server_options);
+    dppr::net::PprServer server(backend.service(), server_options);
     if (auto st = server.Start(); !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
@@ -373,8 +455,8 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
     server.Stop();  // before the service, so in-flight handlers resolve
-    service.Stop();
-    const dppr::MetricsReport report = service.Metrics();
+    const dppr::MetricsReport report = backend.Metrics();
+    backend.Stop();
     std::printf("%s\n", report.ToString().c_str());
     std::printf("shard served %lld queries, %lld protocol errors\n",
                 static_cast<long long>(report.queries_completed),
@@ -411,17 +493,30 @@ int main(int argc, char** argv) {
 
   // Stand up either serving stack behind the facade (options were built
   // once, above the --listen branch, so every process of a fleet agrees).
-  std::unique_ptr<dppr::PprIndex> index;
-  std::unique_ptr<dppr::PprService> service;
+  // The unsharded stack is a LocalShardBackend — the same graph + index +
+  // service triple as before, but with the durable tier (and its recovery
+  // path) attached when --data_dir is set.
+  std::unique_ptr<dppr::LocalShardBackend> local;
+  dppr::PprService* service = nullptr;
+  dppr::PprIndex* index = nullptr;
   std::unique_ptr<dppr::ShardedPprService> sharded;
   ServiceFacade facade;
   dppr::WallTimer init_timer;
-  if (num_shards <= 1 && replicas <= 1 && join_groups.empty()) {
-    index = std::make_unique<dppr::PprIndex>(&graph, hubs, options);
-    index->Initialize();
-    service = std::make_unique<dppr::PprService>(index.get(),
-                                                 service_options);
-    service->Start();
+  if (num_shards <= 1 && replicas <= 1 && join_groups.empty() &&
+      adopt_groups.empty()) {
+    local = std::make_unique<dppr::LocalShardBackend>(
+        initial, num_vertices, hubs, options, service_options, data_dir,
+        durability);
+    local->Start();
+    service = local->service();
+    index = service->index();
+    if (local->recovered()) {
+      std::printf("RECOVERED seq=%llu sources=%zu max_epoch=%llu\n",
+                  static_cast<unsigned long long>(
+                      local->store()->feed_seq()),
+                  local->NumSources(),
+                  static_cast<unsigned long long>(local->MaxEpoch()));
+    }
     std::printf("hub index over %zu sources built in %.1f ms (|V|=%d, "
                 "|E|=%lld, %zu materialized, %d pooled engines)\n\n",
                 index->NumSources(), init_timer.Millis(),
@@ -454,6 +549,8 @@ int main(int argc, char** argv) {
     sharded_options.service = service_options;
     sharded_options.read_policy = read_policy;
     sharded_options.max_epoch_lag = max_epoch_lag;
+    sharded_options.data_dir = data_dir;  // per-backend subdirs inside
+    sharded_options.durability = durability;
     // Periodic drift repair for standbys: cheap (a probe per slot) and
     // inert with single-replica slots.
     sharded_options.anti_entropy_interval = std::chrono::milliseconds(250);
@@ -491,8 +588,28 @@ int main(int argc, char** argv) {
                     sb_host.c_str(), sb_port, joined, replica);
       }
     }
+    // Re-admit recovered shards. Their sources SURVIVE the join (the
+    // ring grows around them), so the hub-add loop below skips anything
+    // an adoptee already serves.
+    for (const EndpointGroup& group : adopt_groups) {
+      const auto& [host, port] = group.front();
+      const int adopted = sharded->AdoptRemoteShard(host, port);
+      if (adopted < 0) {
+        std::fprintf(stderr,
+                     "could not adopt recovered shard %s:%d (unreachable, "
+                     "different graph, or a live slot still serves one of "
+                     "its sources)\n",
+                     host.c_str(), port);
+        return 1;
+      }
+      std::printf("ADOPTED %s:%d as shard %d sources=%zu\n", host.c_str(),
+                  port, adopted,
+                  sharded->SourcesOnShard(adopted).size());
+      std::fflush(stdout);
+    }
     if (!hubs_at_construction) {
       for (dppr::VertexId hub : hubs) {
+        if (sharded->HasSource(hub)) continue;  // adopted shard owns it
         if (sharded->AddSource(hub).status != dppr::RequestStatus::kOk) {
           std::fprintf(stderr, "could not add hub %d\n", hub);
           return 1;
@@ -571,16 +688,13 @@ int main(int argc, char** argv) {
 
   // Feeder: the maintenance stream, plus a hub-set change mid-run —
   // promote the rising hub, retire the coldest original one — and, in
-  // sharded mode, a topology change: grow the fleet by one shard.
-  for (size_t b = 0; b < batches.size(); ++b) {
-    dppr::MaintResponse applied = facade.apply(batches[b]);
-    if (applied.status != dppr::RequestStatus::kOk) {
-      std::fprintf(stderr, "batch %zu not applied: %s\n", b,
-                   dppr::RequestStatusName(applied.status));
-    }
-    // The feed moved: every cached front-door answer is now stale.
-    front_door.AdvanceGeneration();
-    if (b == batches.size() / 2) {
+  // sharded mode, a topology change: grow the fleet by one shard. The
+  // churn is a lambda so a read-only run (--slides=0 — the shape the
+  // adopt demo needs, because re-feeding seeded batches to a RECOVERED
+  // shard would replay deletions its graph already applied) still
+  // exercises it once, after the empty feed.
+  const auto run_hub_churn = [&] {
+    {
       const dppr::MaintResponse risen = facade.add_source(rising_hub);
       const dppr::MaintResponse retired = facade.remove_source(hubs.back());
       front_door.AdvanceGeneration();  // the hub set changed too
@@ -617,7 +731,18 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
+  };
+  for (size_t b = 0; b < batches.size(); ++b) {
+    dppr::MaintResponse applied = facade.apply(batches[b]);
+    if (applied.status != dppr::RequestStatus::kOk) {
+      std::fprintf(stderr, "batch %zu not applied: %s\n", b,
+                   dppr::RequestStatusName(applied.status));
+    }
+    // The feed moved: every cached front-door answer is now stale.
+    front_door.AdvanceGeneration();
+    if (b == batches.size() / 2) run_hub_churn();
   }
+  if (batches.empty()) run_hub_churn();
   stop.store(true, std::memory_order_release);
   for (auto& t : clients) t.join();
 
@@ -626,6 +751,7 @@ int main(int argc, char** argv) {
   dppr::TablePrinter table(
       {"hub", "epoch", "top-1", "score",
        "certified_of_top" + std::to_string(k)});
+  uint64_t fleet_max_epoch = 0;
   for (dppr::VertexId hub : facade.sources()) {
     dppr::QueryResponse top = facade.topk(hub, k, /*affinity=*/0);
     if (top.status != dppr::RequestStatus::kOk) {
@@ -633,6 +759,7 @@ int main(int argc, char** argv) {
                    dppr::RequestStatusName(top.status));
       continue;
     }
+    fleet_max_epoch = std::max(fleet_max_epoch, top.epoch);
     table.AddRow({dppr::TablePrinter::FmtInt(hub),
                   dppr::TablePrinter::FmtInt(
                       static_cast<int64_t>(top.epoch)),
@@ -641,6 +768,11 @@ int main(int argc, char** argv) {
                   dppr::TablePrinter::FmtInt(top.topk.certain_members)});
   }
   table.Print();
+  // Machine-readable feed frontier (the cold-restart CI step compares a
+  // shard's post-restart RECOVERED epoch against this — WAL-before-apply
+  // means recovery may land AT or AHEAD of it, never behind).
+  std::printf("FLEET max_epoch=%llu\n",
+              static_cast<unsigned long long>(fleet_max_epoch));
 
   if (sharded != nullptr) {
     // The scatter-gather view: the globally best (hub, vertex) scores.
@@ -680,7 +812,7 @@ int main(int argc, char** argv) {
     std::printf("\n");
     sharded->Stop();
   } else {
-    service->Stop();
+    local->Stop();
   }
   std::printf("\n%s\n", report.ToString().c_str());
   std::printf("\nfront door: %lld cache hits, %lld misses, %lld "

@@ -4,6 +4,23 @@
 
 namespace dppr {
 
+namespace {
+
+// SplitMix64 finalizer over the packed (u, v) pair — a well-mixed per-edge
+// value whose 2^64-modular SUM is a commutative multiset hash: adding an
+// edge adds its mix, removing subtracts it, so the accumulator is
+// order-independent and O(1) per mutation.
+uint64_t EdgeMix(VertexId u, VertexId v) {
+  uint64_t z = (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+               static_cast<uint64_t>(static_cast<uint32_t>(v));
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 DynamicGraph DynamicGraph::FromEdges(const std::vector<Edge>& edges,
                                      VertexId min_vertices) {
   DynamicGraph g;
@@ -26,6 +43,7 @@ void DynamicGraph::AddEdge(VertexId u, VertexId v) {
   out_[static_cast<size_t>(u)].push_back(v);
   in_[static_cast<size_t>(v)].push_back(u);
   ++num_edges_;
+  edge_acc_ += EdgeMix(u, v);
 }
 
 namespace {
@@ -47,6 +65,7 @@ bool DynamicGraph::RemoveEdge(VertexId u, VertexId v) {
   const bool in_ok = SwapErase(in_[static_cast<size_t>(v)], u);
   DPPR_CHECK_MSG(in_ok, "in/out adjacency desynchronized");
   --num_edges_;
+  edge_acc_ -= EdgeMix(u, v);
   return true;
 }
 
@@ -68,6 +87,15 @@ bool DynamicGraph::HasEdge(VertexId u, VertexId v) const {
 void DynamicGraph::ReserveVertices(VertexId n) {
   out_.reserve(static_cast<size_t>(n));
   in_.reserve(static_cast<size_t>(n));
+}
+
+uint64_t DynamicGraph::Checksum() const {
+  // Fold |V| and |E| in so an empty graph with extra isolated vertices (or
+  // a multiset collision that also changed the counts) doesn't alias.
+  uint64_t h = edge_acc_;
+  h ^= EdgeMix(NumVertices(), -1);
+  h ^= EdgeMix(-2, static_cast<VertexId>(num_edges_));
+  return h;
 }
 
 std::vector<Edge> DynamicGraph::ToEdgeList() const {

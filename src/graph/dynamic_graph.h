@@ -13,6 +13,7 @@
 #ifndef DPPR_GRAPH_DYNAMIC_GRAPH_H_
 #define DPPR_GRAPH_DYNAMIC_GRAPH_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -91,6 +92,15 @@ class DynamicGraph {
   /// Dumps all edges (u, v) in unspecified order.
   std::vector<Edge> ToEdgeList() const;
 
+  /// Content fingerprint of the graph: a commutative accumulator over the
+  /// edge MULTISET (mixed per-edge, summed mod 2^64 so insertion order and
+  /// adjacency layout don't matter) combined with |V| and |E|. Maintained
+  /// incrementally by AddEdge/RemoveEdge — O(1) to read at any time. Two
+  /// graphs with equal vertex counts and equal edge multisets agree; the
+  /// replication handshake and checkpoint loader use this to refuse state
+  /// that was computed against a different graph.
+  uint64_t Checksum() const;
+
   bool IsValid(VertexId v) const {
     return v >= 0 && static_cast<size_t>(v) < out_.size();
   }
@@ -99,6 +109,7 @@ class DynamicGraph {
   std::vector<std::vector<VertexId>> out_;
   std::vector<std::vector<VertexId>> in_;
   EdgeCount num_edges_ = 0;
+  uint64_t edge_acc_ = 0;  ///< commutative multiset hash of the edges
 };
 
 }  // namespace dppr

@@ -318,7 +318,24 @@ bool PprIndex::MaterializeSource(VertexId s) {
   if (slot->ppr != nullptr) return true;
   EnsurePpr(slot.get());
   ParallelPushEngine* engine = pool_.size() > 0 ? pool_.Engine(0) : nullptr;
-  PushSource(slot.get(), engine, /*initialize=*/true);
+  // Restore-then-catch-up beats recompute when a spill exists: the hook
+  // adopts the spilled (p, r) and re-solves the invariant at the endpoints
+  // the source missed while cold, so the push below is incremental (the
+  // residual mass of the missed updates) instead of from the unit residual.
+  bool restored = false;
+  if (spill_hooks_.rematerialize != nullptr) {
+    restored = spill_hooks_.rematerialize(s, slot->snapshot.Epoch(),
+                                          slot->ppr.get());
+    if (restored) {
+      spill_rematerializations_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // The hook contract says a false return leaves `ppr` untouched, but
+      // a fresh state is cheap insurance against a buggy store.
+      slot->ppr.reset();
+      EnsurePpr(slot.get());
+    }
+  }
+  PushSource(slot.get(), engine, /*initialize=*/!restored);
   Touch(*slot);
   EnforceLruCap();
   return true;
@@ -345,6 +362,17 @@ size_t PprIndex::EvictColdSources(size_t keep_materialized) {
       [](const auto& a, const auto& b) { return a.first < b.first; });
   const size_t evict = live.size() - keep_materialized;
   for (size_t i = 0; i < evict; ++i) {
+    if (spill_hooks_.spill != nullptr) {
+      // Hand the store the full export before the state is dropped. The
+      // published epoch and the live (p, r) agree here: every maintenance
+      // path ends in a publish, and eviction runs between batches.
+      ExportedSource out;
+      out.source = live[i].second->source;
+      out.epoch = live[i].second->snapshot.Epoch();
+      out.materialized = true;
+      out.state = live[i].second->ppr->state();
+      spill_hooks_.spill(out);
+    }
     live[i].second->ppr.reset();
     live[i].second->snapshot.Evict();
   }

@@ -42,6 +42,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -132,6 +133,32 @@ struct ExportedSource {
   uint64_t epoch = 0;
   bool materialized = false;
   PprState state;  ///< empty unless materialized
+};
+
+/// \brief Callbacks the durable-storage tier installs so LRU eviction and
+/// re-materialization round-trip through disk instead of recomputing.
+///
+/// The index deliberately has no storage dependency — src/storage sits
+/// above it in the layering — so the coupling is two std::functions:
+///  * `spill` fires during EvictColdSources, just before the victim's live
+///    state is dropped, with a full export (state + published epoch). The
+///    store writes it to disk stamped with the current log sequence.
+///  * `rematerialize` fires in MaterializeSource before the from-scratch
+///    fallback. The store loads the newest spill of `source`, and — only
+///    if the spilled epoch equals `slot_epoch` (the epoch the slot froze
+///    at, which eviction preserves) and the batch log still covers every
+///    record since the spill — adopts the state into `ppr` and restores
+///    the invariant at every endpoint the source missed while cold
+///    (RestoreVertexDirect per distinct endpoint; path-independent, so
+///    replaying the exact updates is unnecessary). Returns true with the
+///    caught-up residuals accumulated in `ppr`'s touched set, leaving the
+///    index to run the (now incremental) push and publish; false with
+///    `ppr` untouched, and the caller recomputes from scratch.
+/// Both run on the maintainer thread; no extra synchronization needed.
+struct SpillHooks {
+  std::function<void(const ExportedSource&)> spill;
+  std::function<bool(VertexId source, uint64_t slot_epoch, DynamicPpr* ppr)>
+      rematerialize;
 };
 
 /// \brief Outcome of a by-source snapshot read (the serving-layer API).
@@ -260,6 +287,16 @@ class PprIndex {
   /// Evicts least-recently-read materialized sources until at most
   /// `keep_materialized` remain. Returns the number evicted.
   size_t EvictColdSources(size_t keep_materialized);
+
+  /// Installs (or clears, with default-constructed hooks) the durable
+  /// spill callbacks. Maintainer-serialized like the calls that fire them.
+  void SetSpillHooks(SpillHooks hooks) { spill_hooks_ = std::move(hooks); }
+
+  /// How many MaterializeSource calls were served by the spill hook
+  /// (restore + catch-up) instead of a from-scratch recompute.
+  int64_t SpillRematerializations() const {
+    return spill_rematerializations_.load(std::memory_order_relaxed);
+  }
 
   // --- Source migration (maintainer-serialized) -------------------------
 
@@ -413,6 +450,8 @@ class PprIndex {
   int64_t coalesced_entries_ = 0;
   mutable std::atomic<uint64_t> lru_clock_{1};
   IndexBatchStats last_batch_stats_;
+  SpillHooks spill_hooks_;
+  std::atomic<int64_t> spill_rematerializations_{0};
 };
 
 }  // namespace dppr

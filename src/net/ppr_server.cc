@@ -370,6 +370,7 @@ void PprServer::Execute(const Work& work) {
         stats.max_epoch =
             std::max(stats.max_epoch, service_->index()->Epoch(i));
       }
+      stats.graph_checksum = service_->index()->graph()->Checksum();
       stats.running = service_->running() ? 1 : 0;
       stats.report = service_->Metrics();
       if (include_samples) {

@@ -357,6 +357,7 @@ void EncodeShardStats(const ShardStats& stats, std::string* out) {
   blob::PutU32(out, stats.num_vertices);
   blob::PutU64(out, stats.num_sources);
   blob::PutU64(out, stats.max_epoch);
+  blob::PutU64(out, stats.graph_checksum);
   blob::PutU8(out, stats.running);
   const MetricsReport& r = stats.report;
   blob::PutI64(out, r.queries_completed);
@@ -377,6 +378,9 @@ void EncodeShardStats(const ShardStats& stats, std::string* out) {
   blob::PutI64(out, r.sources_removed);
   blob::PutI64(out, r.sources_materialized);
   blob::PutI64(out, r.sources_evicted);
+  blob::PutI64(out, r.sources_rematerialized);
+  blob::PutF64(out, r.materialize_p50_ms);
+  blob::PutF64(out, r.materialize_p99_ms);
   blob::PutF64(out, r.elapsed_seconds);
   blob::PutU32(out,
                static_cast<uint32_t>(stats.query_latency_samples.size()));
@@ -390,7 +394,8 @@ Status DecodeShardStats(const std::string& payload, ShardStats* out) {
   blob::Reader reader{payload};
   MetricsReport& r = out->report;
   if (!reader.U32(&out->num_vertices) || !reader.U64(&out->num_sources) ||
-      !reader.U64(&out->max_epoch) || !reader.U8(&out->running) ||
+      !reader.U64(&out->max_epoch) || !reader.U64(&out->graph_checksum) ||
+      !reader.U8(&out->running) ||
       out->running > 1 ||
       !reader.I64(&r.queries_completed) ||
       !reader.I64(&r.queries_shed_queue_full) ||
@@ -404,7 +409,11 @@ Status DecodeShardStats(const std::string& payload, ShardStats* out) {
       !reader.F64(&r.batch_mean_ms) || !reader.F64(&r.batch_p99_ms) ||
       !reader.I64(&r.sources_added) || !reader.I64(&r.sources_removed) ||
       !reader.I64(&r.sources_materialized) ||
-      !reader.I64(&r.sources_evicted) || !reader.F64(&r.elapsed_seconds)) {
+      !reader.I64(&r.sources_evicted) ||
+      !reader.I64(&r.sources_rematerialized) ||
+      !reader.F64(&r.materialize_p50_ms) ||
+      !reader.F64(&r.materialize_p99_ms) ||
+      !reader.F64(&r.elapsed_seconds)) {
     return Malformed("stats response");
   }
   for (std::vector<double>* samples :

@@ -36,7 +36,7 @@ namespace dppr {
 namespace net {
 
 inline constexpr uint32_t kFrameMagic = 0x544E5044;  // "DPNT"
-inline constexpr uint8_t kFrameVersion = 2;
+inline constexpr uint8_t kFrameVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 20;
 inline constexpr uint16_t kFlagResponse = 1;
 
@@ -172,6 +172,10 @@ struct ShardStats {
   /// feed frontier, the reference point replica staleness is measured
   /// against (new in frame version 2).
   uint64_t max_epoch = 0;
+  /// Fingerprint of the shard's graph replica (DynamicGraph::Checksum).
+  /// The join handshake compares it against the cohort before admitting a
+  /// new backend (new in frame version 3).
+  uint64_t graph_checksum = 0;
   uint8_t running = 0;
   MetricsReport report;
   /// Exact latency samples, present iff the request asked for them.

@@ -985,4 +985,9 @@ uint64_t ReplicaSet::PrimaryMaxEpoch() const {
   return primary == nullptr ? 0 : primary->backend->MaxEpoch();
 }
 
+uint64_t ReplicaSet::GraphChecksum() const {
+  ReplicaPtr primary = AcquirePrimary();
+  return primary == nullptr ? 0 : primary->backend->GraphChecksum();
+}
+
 }  // namespace dppr

@@ -230,6 +230,9 @@ class ReplicaSet : public std::enable_shared_from_this<ReplicaSet> {
   void MergeStaleness(Histogram* out) const;
   /// Highest snapshot epoch the current primary publishes (0 if down).
   uint64_t PrimaryMaxEpoch() const;
+  /// The current primary's graph fingerprint (0 if down) — what the
+  /// router's join handshake compares a candidate against.
+  uint64_t GraphChecksum() const;
 
  private:
   struct Replica {

@@ -37,20 +37,56 @@ MaintResponse ShardBackend::CopyBlob(VertexId s, std::string* blob) {
 
 // ------------------------------------------------------ LocalShardBackend
 
-LocalShardBackend::LocalShardBackend(const std::vector<Edge>& edges,
-                                     VertexId num_vertices,
-                                     std::vector<VertexId> sources,
-                                     const IndexOptions& index_options,
-                                     const ServiceOptions& service_options)
-    : graph_(std::make_unique<DynamicGraph>(
-          DynamicGraph::FromEdges(edges, num_vertices))),
-      index_(std::make_unique<PprIndex>(graph_.get(), std::move(sources),
-                                        index_options)),
-      service_(
-          std::make_unique<PprService>(index_.get(), service_options)) {}
+LocalShardBackend::LocalShardBackend(
+    const std::vector<Edge>& edges, VertexId num_vertices,
+    std::vector<VertexId> sources, const IndexOptions& index_options,
+    const ServiceOptions& service_options, std::string data_dir,
+    const storage::DurableStoreOptions& durability) {
+  if (!data_dir.empty()) {
+    store_ = std::make_unique<storage::DurableStore>(std::move(data_dir),
+                                                     durability);
+    const Status opened = store_->Open();
+    DPPR_CHECK_MSG(opened.ok(), opened.message().c_str());
+    // Any prior state on disk wins over the seed arguments: this is a
+    // restart, and the store's checkpoint + log ARE the shard.
+    recovered_ = store_->has_checkpoint() ||
+                 store_->recovered_log_records() > 0;
+  }
+  graph_ = std::make_unique<DynamicGraph>(
+      DynamicGraph::FromEdges(edges, num_vertices));
+  if (recovered_) {
+    const Status restored = store_->RestoreGraph(graph_.get());
+    DPPR_CHECK_MSG(restored.ok(), restored.message().c_str());
+    // Sources come back through Replay (at their exact persisted epochs),
+    // not the seed list — an imported source must not already exist.
+    sources.clear();
+  }
+  index_ = std::make_unique<PprIndex>(graph_.get(), std::move(sources),
+                                      index_options);
+  service_ = std::make_unique<PprService>(index_.get(), service_options);
+}
 
 void LocalShardBackend::Start() {
-  index_->Initialize();
+  if (store_ != nullptr) {
+    index_->SetSpillHooks(store_->MakeSpillHooks());
+    service_->AttachDurableStore(store_.get());
+  }
+  if (recovered_) {
+    // Replay instead of Initialize: imports the checkpointed sources at
+    // their persisted epochs and re-applies the logged tail. Initialize
+    // would re-push them from scratch AND advance their epochs — exactly
+    // the regression recovery exists to prevent.
+    const Status replayed = store_->Replay(index_.get());
+    DPPR_CHECK_MSG(replayed.ok(), replayed.message().c_str());
+  } else {
+    index_->Initialize();
+    if (store_ != nullptr) {
+      // Baseline checkpoint: the seed sources predate the log, so replay
+      // alone could never rebuild them after a crash.
+      const Status baseline = store_->WriteCheckpoint(*index_);
+      DPPR_CHECK_MSG(baseline.ok(), baseline.message().c_str());
+    }
+  }
   service_->Start();
 }
 
@@ -186,6 +222,11 @@ uint64_t LocalShardBackend::MaxEpoch() const {
   return max_epoch;
 }
 
+uint64_t LocalShardBackend::GraphChecksum() const {
+  if (severed()) return 0;
+  return graph_->Checksum();
+}
+
 MetricsReport LocalShardBackend::Metrics() const {
   if (severed()) return MetricsReport{};
   return service_->Metrics();
@@ -290,6 +331,12 @@ uint64_t RemoteShardBackend::MaxEpoch() const {
   net::ShardStats stats;
   if (!client_->Stats(/*include_samples=*/false, &stats).ok()) return 0;
   return stats.max_epoch;
+}
+
+uint64_t RemoteShardBackend::GraphChecksum() const {
+  net::ShardStats stats;
+  if (!client_->Stats(/*include_samples=*/false, &stats).ok()) return 0;
+  return stats.graph_checksum;
 }
 
 MetricsReport RemoteShardBackend::Metrics() const {

@@ -28,6 +28,7 @@
 #include "index/ppr_index.h"
 #include "net/remote_client.h"
 #include "server/ppr_service.h"
+#include "storage/durable_store.h"
 #include "util/histogram.h"
 
 namespace dppr {
@@ -123,6 +124,13 @@ class ShardBackend {
   /// fixed-size stats verb.
   virtual uint64_t MaxEpoch() const = 0;
 
+  /// Fingerprint of this shard's graph replica
+  /// (DynamicGraph::Checksum; wire frame v3 ships it in kStats). The
+  /// router's join handshake compares a candidate's fingerprint against
+  /// the quiesced fleet before admitting it. 0 = unknown/unreachable —
+  /// never a valid fingerprint to compare against.
+  virtual uint64_t GraphChecksum() const { return 0; }
+
   virtual MetricsReport Metrics() const = 0;
   /// Pools this shard's exact latency samples into the caller's
   /// histograms (remote: shipped over the wire, still exact).
@@ -157,10 +165,20 @@ class ShardBackend {
 /// PprIndex, and PprService.
 class LocalShardBackend : public ShardBackend {
  public:
+  /// `data_dir` non-empty attaches a durable storage tier rooted there:
+  /// the maintenance thread write-ahead-logs every mutation, checkpoints
+  /// on the store's cadence, and spills evicted source state
+  /// (src/storage/README.md). If the directory already holds a prior
+  /// incarnation's state, the backend RECOVERS from it — the checkpointed
+  /// graph and replayed log replace the seed `edges`/`sources` entirely
+  /// (without a checkpoint the seed graph is the replay base, so it must
+  /// match what the original process started from).
   LocalShardBackend(const std::vector<Edge>& edges, VertexId num_vertices,
                     std::vector<VertexId> sources,
                     const IndexOptions& index_options,
-                    const ServiceOptions& service_options);
+                    const ServiceOptions& service_options,
+                    std::string data_dir = {},
+                    const storage::DurableStoreOptions& durability = {});
 
   void Start() override;
   void Stop() override;
@@ -186,6 +204,7 @@ class LocalShardBackend : public ShardBackend {
   size_t NumSources() const override;
   bool HasSource(VertexId s) const override;
   uint64_t MaxEpoch() const override;
+  uint64_t GraphChecksum() const override;
   MetricsReport Metrics() const override;
   void MergeLatenciesInto(Histogram* query_ms,
                           Histogram* batch_ms) const override;
@@ -204,10 +223,17 @@ class LocalShardBackend : public ShardBackend {
   }
 
   PprService* service() { return service_.get(); }
+  /// The attached durable store (null without data_dir).
+  storage::DurableStore* store() { return store_.get(); }
+  /// True when construction found prior on-disk state and Start() will
+  /// replay it instead of initializing from the seed.
+  bool recovered() const { return recovered_; }
 
  private:
   bool severed() const { return severed_.load(std::memory_order_acquire); }
 
+  std::unique_ptr<storage::DurableStore> store_;
+  bool recovered_ = false;
   std::unique_ptr<DynamicGraph> graph_;
   std::unique_ptr<PprIndex> index_;
   std::unique_ptr<PprService> service_;
@@ -253,6 +279,7 @@ class RemoteShardBackend : public ShardBackend {
   size_t NumSources() const override;
   bool HasSource(VertexId s) const override;
   uint64_t MaxEpoch() const override;
+  uint64_t GraphChecksum() const override;
   MetricsReport Metrics() const override;
   void MergeLatenciesInto(Histogram* query_ms,
                           Histogram* batch_ms) const override;

@@ -1,6 +1,9 @@
 #include "router/sharded_service.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <thread>
 #include <utility>
 
@@ -47,10 +50,20 @@ ShardedPprService::~ShardedPprService() { Stop(); }
 std::unique_ptr<ShardBackend> ShardedPprService::BuildLocalBackend(
     const std::vector<Edge>& edges, VertexId num_vertices,
     std::vector<VertexId> sources) const {
-  return std::make_unique<LocalShardBackend>(edges, num_vertices,
-                                             std::move(sources),
-                                             options_.index,
-                                             options_.service);
+  std::string data_dir;
+  if (!options_.data_dir.empty()) {
+    // One subdirectory per backend ever built: replicas of a slot must
+    // not share a log, and a replaced backend must not inherit a
+    // stranger's spills.
+    const int ok = ::mkdir(options_.data_dir.c_str(), 0777);
+    DPPR_CHECK_MSG(ok == 0 || errno == EEXIST,
+                   "cannot create the router data_dir");
+    data_dir = options_.data_dir + "/backend-" +
+               std::to_string(next_backend_dir_.fetch_add(1));
+  }
+  return std::make_unique<LocalShardBackend>(
+      edges, num_vertices, std::move(sources), options_.index,
+      options_.service, std::move(data_dir), options_.durability);
 }
 
 std::unique_ptr<ShardedPprService::Shard> ShardedPprService::NewSlot(
@@ -450,17 +463,40 @@ int ShardedPprService::AddShard() {
   return id;
 }
 
+uint64_t ShardedPprService::ReferenceChecksumLocked() const {
+  for (const auto& shard : shards_) {
+    const uint64_t checksum = shard->set->GraphChecksum();
+    if (checksum != 0) return checksum;
+  }
+  return 0;
+}
+
 std::unique_ptr<RemoteShardBackend> ShardedPprService::DialRemoteBackend(
-    const std::string& host, int port) const {
+    const std::string& host, int port, bool expect_empty) const {
   auto backend = std::make_unique<RemoteShardBackend>();
   if (!backend->Connect(host, port).ok()) return nullptr;
   net::ShardStats stats;
   if (!backend->FetchStats(&stats).ok()) return nullptr;
-  // The ring only stays a pure function of the shard set if every shard
-  // serves the same graph; and a joiner that already owns sources would
-  // shadow-own keys the ring assigns elsewhere.
-  if (stats.running == 0 || stats.num_sources != 0 ||
+  if (stats.running == 0 ||
       static_cast<VertexId>(stats.num_vertices) != num_vertices_) {
+    return nullptr;
+  }
+  // A fresh joiner must be a blank slate: a shard that already owns
+  // sources would shadow-own keys the ring assigns elsewhere, and a
+  // nonzero feed frontier means it consumed updates the cohort may not
+  // have — either way its answers could diverge. (AdoptRemoteShard
+  // relaxes this deliberately, for shards recovered from disk.)
+  if (expect_empty && (stats.num_sources != 0 || stats.max_epoch != 0)) {
+    return nullptr;
+  }
+  // Graph handshake (wire v3): the caller quiesced the fleet first, so
+  // the cohort's fingerprint is stable — a joiner whose graph replica
+  // diverged (stale twin, missed updates, wrong dataset) is refused here
+  // instead of silently serving wrong answers. A pre-v3 peer answers 0
+  // and degrades to the size-only check.
+  const uint64_t reference = ReferenceChecksumLocked();
+  if (reference != 0 && stats.graph_checksum != 0 &&
+      stats.graph_checksum != reference) {
     return nullptr;
   }
   // A materialized source's migration blob is ~16 bytes/vertex (p and r
@@ -477,14 +513,43 @@ std::unique_ptr<RemoteShardBackend> ShardedPprService::DialRemoteBackend(
 int ShardedPprService::AddRemoteShard(const std::string& host, int port) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (!started_ || stopped_) return -1;
-  auto backend = DialRemoteBackend(host, port);
-  if (backend == nullptr) return -1;
+  // Quiesce BEFORE dialing: the graph handshake compares fingerprints,
+  // and the cohort's is only stable once the feed is drained.
   QuiesceAllLocked();
+  auto backend = DialRemoteBackend(host, port, /*expect_empty=*/true);
+  if (backend == nullptr) return -1;
 
   auto fresh = NewSlot(next_shard_id_++);
   fresh->set->AddReplica(std::move(backend));
   const int id = fresh->id;
   AdmitShardLocked(std::move(fresh));
+  return id;
+}
+
+int ShardedPprService::AdoptRemoteShard(const std::string& host, int port) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return -1;
+  QuiesceAllLocked();
+  auto backend = DialRemoteBackend(host, port, /*expect_empty=*/false);
+  if (backend == nullptr) return -1;
+  // A recovered shard re-enters with the sources it persisted; one that
+  // is still being served by a live slot (the operator adopted a stale
+  // twin instead of removing the dead slot first) would be served twice,
+  // with forked epochs. Refuse the whole join rather than half of it.
+  for (VertexId s : backend->Sources()) {
+    for (const auto& shard : shards_) {
+      if (shard->set->HasSource(s)) return -1;
+    }
+  }
+  auto fresh = NewSlot(next_shard_id_++);
+  fresh->set->AddReplica(std::move(backend));
+  const int id = fresh->id;
+  AdmitShardLocked(std::move(fresh));
+  // AdmitShardLocked rebalanced the OLD shards under the grown ring; the
+  // newcomer's recovered sources must obey the same placement, so any of
+  // them the ring assigns elsewhere migrate out now — as ordinary
+  // checksummed blobs at their recovered epochs, never regressed.
+  MigrateSourcesLocked(FindShard(id), ring_);
   return id;
 }
 
@@ -530,9 +595,11 @@ int ShardedPprService::AddRemoteReplica(int slot_id,
   if (!started_ || stopped_) return -1;
   Shard* slot = FindShard(slot_id);
   if (slot == nullptr) return -1;
-  auto backend = DialRemoteBackend(host, port);
-  if (backend == nullptr) return -1;
+  // Quiesce before dialing, like AddRemoteShard: the fingerprint
+  // handshake needs a stable cohort graph to compare against.
   QuiesceAllLocked();
+  auto backend = DialRemoteBackend(host, port, /*expect_empty=*/true);
+  if (backend == nullptr) return -1;
   const int index = slot->set->AddReplica(std::move(backend));
   // Over-the-wire sync CAN fail (the joiner may die mid-copy): undo the
   // attach instead of leaving a half-synced standby in promotion order —

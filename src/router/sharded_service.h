@@ -119,6 +119,15 @@ struct ShardedServiceOptions {
   /// Per-slot staleness bound in epochs (kRoundRobinLive only); negative
   /// disables enforcement. See ReplicaSetOptions::max_epoch_lag.
   int64_t max_epoch_lag = -1;
+  /// Root of the durable storage tier ("" = no durability). Every LOCAL
+  /// backend gets its own subdirectory `<data_dir>/backend-<n>` holding a
+  /// batch log, checkpoints, and spilled source state (see
+  /// src/storage/README.md). A backend whose subdirectory already holds a
+  /// prior incarnation's state recovers from it at Start.
+  std::string data_dir;
+  /// Knobs of each backend's DurableStore (fsync cadence, checkpoint
+  /// interval, spill catch-up depth). Ignored without data_dir.
+  storage::DurableStoreOptions durability;
 };
 
 /// \brief One entry of a scatter-gathered global top-k.
@@ -273,10 +282,22 @@ class ShardedPprService {
   /// checked), and empty of sources; ~1/(N+1) of the sources then migrate
   /// onto it over the wire at unchanged epochs. Returns the new slot id,
   /// or -1 on refusal.
-  /// NOTE the feed contract: the remote's graph replica must match this
-  /// router's — join before streaming updates, or from a checkpointed
-  /// twin. A stale replica is the operator's error and undetectable here.
+  /// The feed contract — the remote's graph replica must match this
+  /// router's — is ENFORCED at admission: the fleet is quiesced first and
+  /// the joiner's graph fingerprint (wire v3 kStats) must equal the
+  /// cohort's, so a stale replica is refused instead of silently serving
+  /// wrong answers.
   int AddRemoteShard(const std::string& host, int port);
+
+  /// Joins a RUNNING remote shard that already OWNS sources — the
+  /// recovery path: a shard process restarted from its data dir
+  /// (`hub_server --listen --data_dir`) re-enters the fleet with its
+  /// persisted sources at their persisted epochs. Admission requires the
+  /// same graph fingerprint as the (quiesced) cohort and that none of the
+  /// joiner's sources is still served elsewhere; its sources then
+  /// redistribute under the grown ring as ordinary migrations — epochs
+  /// carried, never regressed. Returns the new slot id, or -1 on refusal.
+  int AdoptRemoteShard(const std::string& host, int port);
 
   /// Drains slot `shard_id`: quiesces the feed, migrates its sources to
   /// their new owners under the shrunken ring, stops (local) or
@@ -335,10 +356,19 @@ class ShardedPprService {
   std::unique_ptr<ShardBackend> BuildLocalBackend(
       const std::vector<Edge>& edges, VertexId num_vertices,
       std::vector<VertexId> sources) const;
-  /// Connects and admission-checks a remote backend (reachable, running,
-  /// empty, same |V|, blobs fit a frame). Null on refusal.
+  /// Connects and admission-checks a remote backend: reachable, running,
+  /// same |V|, blobs fit a frame, and — with the fleet quiesced by the
+  /// caller — a graph fingerprint equal to the cohort's (wire v3
+  /// handshake). `expect_empty` additionally requires zero sources and a
+  /// zero feed frontier (fresh joiner); AdoptRemoteShard passes false to
+  /// admit a recovered shard with state. Null on refusal.
   std::unique_ptr<RemoteShardBackend> DialRemoteBackend(
-      const std::string& host, int port) const;
+      const std::string& host, int port, bool expect_empty) const;
+  /// mu_ held (any mode): the first live replica's graph fingerprint, the
+  /// cohort reference the join handshake compares against (0 = no live
+  /// replica to compare against; the handshake then degrades to the
+  /// pre-v3 size check).
+  uint64_t ReferenceChecksumLocked() const;
   /// mu_ held (any mode). Null if absent.
   Shard* FindShard(int shard_id) const;
   /// mu_ held (any mode). Null when the ring is empty.
@@ -375,6 +405,9 @@ class ShardedPprService {
   ConsistentHashRing ring_;
   std::vector<std::unique_ptr<Shard>> shards_;
   int next_shard_id_ = 0;
+  /// Distinct data-dir suffix per local backend (replicas of one slot
+  /// must not share a log). Mutable: BuildLocalBackend is const.
+  mutable std::atomic<int> next_backend_dir_{0};
   bool started_ = false;
   bool stopped_ = false;
 

@@ -28,6 +28,12 @@ void ServiceMetrics::RecordBatch(int64_t num_updates, double latency_ms) {
   ++batches_applied_;
 }
 
+void ServiceMetrics::RecordMaterialize(double latency_ms, bool from_spill) {
+  if (from_spill) sources_rematerialized_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(mu_);
+  materialize_latency_ms_.Add(latency_ms);
+}
+
 void ServiceMetrics::MarkStart() {
   std::lock_guard<std::mutex> lock(mu_);
   start_seconds_ = NowSeconds();
@@ -63,6 +69,7 @@ void ServiceMetrics::SnapshotWithLatencies(MetricsReport* report,
   report->sources_removed = sources_removed_.load();
   report->sources_materialized = sources_materialized_.load();
   report->sources_evicted = sources_evicted_.load();
+  report->sources_rematerialized = sources_rematerialized_.load();
 
   // ONE critical section for the counters derived from the histograms AND
   // the sample merge: the caller's report and its pooled samples describe
@@ -79,6 +86,10 @@ void ServiceMetrics::SnapshotWithLatencies(MetricsReport* report,
   if (batches_applied_ > 0) {
     report->batch_mean_ms = batch_latency_ms_.Mean();
     report->batch_p99_ms = batch_latency_ms_.Percentile(99);
+  }
+  if (materialize_latency_ms_.Count() > 0) {
+    report->materialize_p50_ms = materialize_latency_ms_.Percentile(50);
+    report->materialize_p99_ms = materialize_latency_ms_.Percentile(99);
   }
   report->elapsed_seconds =
       start_seconds_ > 0 ? NowSeconds() - start_seconds_ : 0.0;
@@ -103,6 +114,11 @@ void MetricsReport::Accumulate(const MetricsReport& other) {
   sources_removed += other.sources_removed;
   sources_materialized += other.sources_materialized;
   sources_evicted += other.sources_evicted;
+  sources_rematerialized += other.sources_rematerialized;
+  // Materialize latency has no pooled-histogram path (it is a maintenance
+  // metric, not a serving one); max-over-members is the honest aggregate.
+  materialize_p50_ms = std::max(materialize_p50_ms, other.materialize_p50_ms);
+  materialize_p99_ms = std::max(materialize_p99_ms, other.materialize_p99_ms);
   elapsed_seconds = std::max(elapsed_seconds, other.elapsed_seconds);
 }
 
@@ -121,8 +137,10 @@ std::string MetricsReport::ToString() const {
      << "; batch ms: mean=" << batch_mean_ms << " p99=" << batch_p99_ms
      << "\n"
      << "sources: +" << sources_added << " -" << sources_removed
-     << ", rematerialized " << sources_materialized << ", evicted "
-     << sources_evicted;
+     << ", rematerialized " << sources_materialized << " ("
+     << sources_rematerialized << " from spill), evicted " << sources_evicted
+     << "; materialize ms: p50=" << materialize_p50_ms
+     << " p99=" << materialize_p99_ms;
   return os.str();
 }
 

@@ -46,6 +46,11 @@ struct MetricsReport {
   int64_t sources_removed = 0;
   int64_t sources_materialized = 0;  ///< on-demand re-materializations
   int64_t sources_evicted = 0;
+  /// Materializations that restored a spilled state and caught up instead
+  /// of recomputing from scratch (storage tier attached).
+  int64_t sources_rematerialized = 0;
+  double materialize_p50_ms = 0.0;  ///< on-demand rebuild latency
+  double materialize_p99_ms = 0.0;
 
   double elapsed_seconds = 0.0;  ///< since service start (or last Reset)
 
@@ -87,6 +92,10 @@ class ServiceMetrics {
   void RecordSourceRemoved() { sources_removed_.fetch_add(1); }
   void RecordSourceMaterialized() { sources_materialized_.fetch_add(1); }
   void RecordSourcesEvicted(int64_t n) { sources_evicted_.fetch_add(n); }
+  /// One on-demand materialization finished in `latency_ms`; `from_spill`
+  /// when it adopted a spilled state (restore + catch-up) instead of
+  /// recomputing from scratch.
+  void RecordMaterialize(double latency_ms, bool from_spill);
 
   /// Restarts the elapsed-time clock (called by PprService::Start).
   void MarkStart();
@@ -120,10 +129,12 @@ class ServiceMetrics {
   std::atomic<int64_t> sources_removed_{0};
   std::atomic<int64_t> sources_materialized_{0};
   std::atomic<int64_t> sources_evicted_{0};
+  std::atomic<int64_t> sources_rematerialized_{0};
 
   mutable std::mutex mu_;  ///< guards the histograms and start time
   Histogram query_latency_ms_;
   Histogram batch_latency_ms_;
+  Histogram materialize_latency_ms_;
   int64_t batches_applied_ = 0;
   double start_seconds_ = 0.0;  ///< steady-clock origin, set by MarkStart
 };

@@ -1,8 +1,10 @@
 #include "server/ppr_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "storage/durable_store.h"
 #include "util/macros.h"
 #include "util/timer.h"
 
@@ -46,6 +48,11 @@ PprService::PprService(PprIndex* index, const ServiceOptions& options)
 }
 
 PprService::~PprService() { Stop(); }
+
+void PprService::AttachDurableStore(storage::DurableStore* store) {
+  DPPR_CHECK_MSG(!started_, "attach the durable store before Start");
+  store_ = store;
+}
 
 void PprService::Start() {
   // One-shot lifecycle: the bounded queues close permanently on Stop, so
@@ -347,6 +354,15 @@ void PprService::ProcessMaintRun(std::vector<MaintRequest>* run) {
     // queue, and a replica that merged the same requests differently must
     // still land on the same per-source epoch (failover correctness).
     if (end == i + 1) {
+      // WAL: the record (stamped with the coalesced increment) hits disk
+      // before the state moves, so a crash can only lose acknowledged-
+      // but-unapplied work, never applied-but-unlogged work. Log failure
+      // is fail-stop: continuing would silently break the durability
+      // contract restart relies on.
+      if (store_ != nullptr) {
+        const Status logged = store_->LogBatch(head.batch, 1);
+        DPPR_CHECK_MSG(logged.ok(), "batch log append failed");
+      }
       index_->ApplyBatch(head.batch, /*epoch_increment=*/1);
     } else {
       merged.clear();
@@ -355,10 +371,25 @@ void PprService::ProcessMaintRun(std::vector<MaintRequest>* run) {
         const UpdateBatch& batch = (*run)[j].batch;
         merged.insert(merged.end(), batch.begin(), batch.end());
       }
+      if (store_ != nullptr) {
+        const Status logged =
+            store_->LogBatch(merged, static_cast<uint32_t>(end - i));
+        DPPR_CHECK_MSG(logged.ok(), "batch log append failed");
+      }
       index_->ApplyBatch(merged, /*epoch_increment=*/end - i);
     }
     in_maintenance_.store(false, std::memory_order_release);
     metrics_.RecordBatch(static_cast<int64_t>(total), timer.Millis());
+    if (store_ != nullptr && store_->ShouldCheckpoint()) {
+      // Cadence checkpoint on the maintenance thread: the index is at
+      // rest between requests, so the capture is a consistent cut. A
+      // failed checkpoint is not fatal — the log still covers everything.
+      const Status st = store_->WriteCheckpoint(*index_);
+      if (!st.ok()) {
+        std::fprintf(stderr, "dppr: checkpoint failed: %s\n",
+                     st.message().c_str());
+      }
+    }
     for (size_t j = i; j < end; ++j) {
       MaintRequest& request = (*run)[j];
       if (!request.wants_response) continue;
@@ -371,6 +402,14 @@ void PprService::ProcessMaintRun(std::vector<MaintRequest>* run) {
   }
 }
 
+void PprService::LogAdmin(storage::LogRecordType type, VertexId s) {
+  if (store_ == nullptr) return;
+  const Status logged = type == storage::LogRecordType::kAddSource
+                            ? store_->LogAddSource(s)
+                            : store_->LogRemoveSource(s);
+  DPPR_CHECK_MSG(logged.ok(), "admin log append failed");
+}
+
 void PprService::HandleAdmin(MaintRequest* request) {
   MaintResponse response;
   const int64_t live_before =
@@ -381,6 +420,9 @@ void PprService::HandleAdmin(MaintRequest* request) {
       const bool ok = index_->AddSource(request->source);
       response.status = ok ? RequestStatus::kOk : RequestStatus::kRejected;
       if (ok) {
+        // Admin ops are logged AFTER they succeed (unlike batches): a
+        // rejected op must not be replayed on recovery.
+        LogAdmin(storage::LogRecordType::kAddSource, request->source);
         metrics_.RecordSourceAdded();
         live_delta = 1;
       }
@@ -392,6 +434,7 @@ void PprService::HandleAdmin(MaintRequest* request) {
       response.status =
           ok ? RequestStatus::kOk : RequestStatus::kUnknownSource;
       if (ok) {
+        LogAdmin(storage::LogRecordType::kRemoveSource, request->source);
         metrics_.RecordSourceRemoved();
         if (was_live) live_delta = -1;  // a removal, not an eviction
       }
@@ -399,11 +442,16 @@ void PprService::HandleAdmin(MaintRequest* request) {
     }
     case MaintRequest::Kind::kMaterialize: {
       const bool was_live = index_->IsMaterializedSource(request->source);
+      const int64_t remat_before = index_->SpillRematerializations();
+      WallTimer timer;
       const bool ok = index_->MaterializeSource(request->source);
       response.status =
           ok ? RequestStatus::kOk : RequestStatus::kUnknownSource;
       if (ok && !was_live) {
         metrics_.RecordSourceMaterialized();
+        metrics_.RecordMaterialize(
+            timer.Millis(),
+            index_->SpillRematerializations() > remat_before);
         live_delta = 1;
       }
       break;
@@ -419,7 +467,12 @@ void PprService::HandleAdmin(MaintRequest* request) {
                                            request->export_out);
       response.status =
           ok ? RequestStatus::kOk : RequestStatus::kUnknownSource;
-      if (ok && was_live) live_delta = -1;  // a handoff, not an eviction
+      if (ok) {
+        // An extraction leaves this shard without the source: on replay
+        // it must not come back, so durably it is a removal.
+        LogAdmin(storage::LogRecordType::kRemoveSource, request->source);
+        if (was_live) live_delta = -1;  // a handoff, not an eviction
+      }
       break;
     }
     case MaintRequest::Kind::kCopySource: {
@@ -431,9 +484,22 @@ void PprService::HandleAdmin(MaintRequest* request) {
     }
     case MaintRequest::Kind::kInjectSource: {
       const bool materialized = request->import.materialized;
+      const VertexId injected = request->import.source;
       const bool ok = index_->ImportSource(std::move(request->import));
       response.status = ok ? RequestStatus::kOk : RequestStatus::kRejected;
-      if (ok && materialized) live_delta = 1;
+      if (ok) {
+        // Log-after-success without copying the (moved-from) payload:
+        // re-read the just-installed state from the index — nothing ran
+        // in between on this single maintenance thread, so it is
+        // byte-equivalent to what was injected.
+        if (store_ != nullptr) {
+          ExportedSource snapshot;
+          DPPR_CHECK(index_->PeekSource(injected, &snapshot));
+          const Status logged = store_->LogInjectSource(snapshot);
+          DPPR_CHECK_MSG(logged.ok(), "inject-source log append failed");
+        }
+        if (materialized) live_delta = 1;
+      }
       break;
     }
     case MaintRequest::Kind::kUpdates:

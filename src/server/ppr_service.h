@@ -49,6 +49,11 @@
 
 namespace dppr {
 
+namespace storage {
+class DurableStore;
+enum class LogRecordType : uint8_t;
+}  // namespace storage
+
 /// \brief Terminal status of one service request.
 enum class RequestStatus {
   kOk,
@@ -109,6 +114,15 @@ class PprService {
 
   PprService(const PprService&) = delete;
   PprService& operator=(const PprService&) = delete;
+
+  /// Attaches the durable storage tier (may be null to detach). Must be
+  /// called before Start. Once attached, the maintenance thread write-
+  /// ahead-logs every update batch before applying it (fsync per commit,
+  /// per DurableStoreOptions), logs admin ops after they succeed, and
+  /// takes a checkpoint whenever the store's cadence says so. The store
+  /// must already be Open()ed and must outlive this service. Recovery
+  /// (RestoreGraph + Replay) is the CALLER's job, before Start.
+  void AttachDurableStore(storage::DurableStore* store);
 
   /// Spawns the threads. A PprService is single-use: Start may run once,
   /// and after Stop the instance cannot be restarted (the bounded queues
@@ -235,6 +249,10 @@ class PprService {
   /// merging consecutive update requests into single ApplyBatch calls.
   void ProcessMaintRun(std::vector<MaintRequest>* run);
   void HandleAdmin(MaintRequest* request);
+  /// Appends an add/remove-source record for `s` when a durable store is
+  /// attached. Call only after the op succeeded (failed admin ops must
+  /// not replay).
+  void LogAdmin(storage::LogRecordType type, VertexId s);
   QueryResponse ExecuteQuery(const QueryRequest& request);
   SourceReadResult ReadIndex(const QueryRequest& request) const;
   /// Files a fire-and-forget materialization request and waits (bounded)
@@ -243,6 +261,9 @@ class PprService {
 
   PprIndex* index_;
   ServiceOptions options_;
+  /// Optional durability: when set, maintenance write-ahead-logs through
+  /// it. Only the maintenance thread touches it after Start.
+  storage::DurableStore* store_ = nullptr;
   ServiceMetrics metrics_;
   BoundedQueue<QueryRequest> query_queue_;
   BoundedQueue<MaintRequest> maint_queue_;

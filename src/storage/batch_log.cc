@@ -1,0 +1,158 @@
+#include "storage/batch_log.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/serialization.h"
+#include "util/macros.h"
+
+namespace dppr {
+namespace storage {
+
+namespace {
+
+constexpr uint32_t kLogMagic = 0x44504C47;  // 'DPLG' little-endian
+constexpr size_t kHeaderBytes = 4 + 1 + 8 + 4 + 4;  // magic..payload_len
+constexpr size_t kChecksumBytes = 8;
+
+bool IsKnownRecordType(uint8_t type) {
+  return type >= static_cast<uint8_t>(LogRecordType::kBatch) &&
+         type <= static_cast<uint8_t>(LogRecordType::kInjectSource);
+}
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t bytes) {
+  // Same seed/prime as core/serialization.cc so every dppr format shares
+  // one integrity-check definition.
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+BatchLog::~BatchLog() { Close(); }
+
+void BatchLog::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status BatchLog::Open(const std::string& path,
+                      const BatchLogOptions& options) {
+  DPPR_CHECK(file_ == nullptr);
+  path_ = path;
+  options_ = options;
+  records_.clear();
+  end_offset_ = 0;
+  truncated_bytes_ = 0;
+
+  // "a+b" creates the file if absent; we read the whole log first, then
+  // keep the handle for appends.
+  file_ = std::fopen(path.c_str(), "a+b");
+  if (file_ == nullptr) return IoError("cannot open log", path);
+  std::rewind(file_);
+
+  // Recovery scan: accept records while every field parses and the
+  // checksum matches; stop (and truncate) at the first anomaly. A record
+  // is only trusted as a whole, so a crash anywhere inside an append
+  // discards exactly that append.
+  std::string header(kHeaderBytes, '\0');
+  uint64_t offset = 0;
+  for (;;) {
+    const size_t got =
+        std::fread(header.data(), 1, kHeaderBytes, file_);
+    if (got < kHeaderBytes) break;  // clean EOF or torn header
+    blob::Reader reader{header};
+    uint32_t magic = 0;
+    uint8_t type = 0;
+    LogRecord rec;
+    (void)reader.U32(&magic);
+    (void)reader.U8(&type);
+    (void)reader.U64(&rec.seq);
+    (void)reader.U32(&rec.increment);
+    uint32_t payload_len = 0;
+    (void)reader.U32(&payload_len);
+    if (magic != kLogMagic || !IsKnownRecordType(type)) break;
+    rec.type = static_cast<LogRecordType>(type);
+    rec.payload.resize(payload_len);
+    if (std::fread(rec.payload.data(), 1, payload_len, file_) !=
+        payload_len) {
+      break;  // torn payload
+    }
+    char checksum_bytes[kChecksumBytes];
+    if (std::fread(checksum_bytes, 1, kChecksumBytes, file_) !=
+        kChecksumBytes) {
+      break;  // torn checksum
+    }
+    uint64_t stored = 0;
+    {
+      const std::string view(checksum_bytes, kChecksumBytes);
+      blob::Reader csum{view};
+      (void)csum.U64(&stored);
+    }
+    std::string covered = header;
+    covered += rec.payload;
+    if (Fnv1a(covered.data(), covered.size()) != stored) break;
+    rec.file_offset = offset;
+    offset += kHeaderBytes + payload_len + kChecksumBytes;
+    records_.push_back(std::move(rec));
+  }
+  end_offset_ = offset;
+
+  // Truncate whatever the scan refused — a torn tail, or garbage after
+  // it. ftruncate needs the descriptor, so flush stdio's view first.
+  std::fflush(file_);
+  const long file_size = [&] {
+    std::fseek(file_, 0, SEEK_END);
+    return std::ftell(file_);
+  }();
+  if (file_size >= 0 && static_cast<uint64_t>(file_size) > end_offset_) {
+    truncated_bytes_ = static_cast<uint64_t>(file_size) - end_offset_;
+    if (ftruncate(fileno(file_), static_cast<off_t>(end_offset_)) != 0) {
+      Close();
+      return IoError("cannot truncate torn tail of", path);
+    }
+  }
+  std::fseek(file_, 0, SEEK_END);
+  return Status::OK();
+}
+
+Status BatchLog::Append(const LogRecord& rec, uint64_t* offset) {
+  DPPR_CHECK(file_ != nullptr);
+  std::string encoded;
+  encoded.reserve(kHeaderBytes + rec.payload.size() + kChecksumBytes);
+  blob::PutU32(&encoded, kLogMagic);
+  blob::PutU8(&encoded, static_cast<uint8_t>(rec.type));
+  blob::PutU64(&encoded, rec.seq);
+  blob::PutU32(&encoded, rec.increment);
+  blob::PutU32(&encoded, static_cast<uint32_t>(rec.payload.size()));
+  encoded += rec.payload;
+  blob::PutU64(&encoded, Fnv1a(encoded.data(), encoded.size()));
+
+  if (std::fwrite(encoded.data(), 1, encoded.size(), file_) !=
+      encoded.size()) {
+    return IoError("short write to log", path_);
+  }
+  if (std::fflush(file_) != 0) return IoError("cannot flush log", path_);
+  if (options_.fsync_on_commit && fsync(fileno(file_)) != 0) {
+    return IoError("cannot fsync log", path_);
+  }
+  if (offset != nullptr) *offset = end_offset_;
+  end_offset_ += encoded.size();
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace dppr

@@ -1,0 +1,222 @@
+#include "storage/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "core/serialization.h"
+#include "graph/dynamic_graph.h"
+#include "router/migration.h"
+#include "storage/batch_log.h"
+#include "util/macros.h"
+
+namespace dppr {
+namespace storage {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x4450434B;  // 'DPCK'
+constexpr uint32_t kManifestMagic = 0x44504D46;    // 'DPMF'
+constexpr uint32_t kFormatVersion = 1;
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Writes `bytes` to `path` atomically: tmp file in the same directory,
+/// fsync the file, rename over the target, fsync the directory so the
+/// rename itself is durable. Crash at any point leaves either the old
+/// file or the new one — never a partial.
+Status AtomicWrite(const std::string& dir, const std::string& name,
+                   const std::string& bytes) {
+  const std::string tmp = dir + "/." + name + ".tmp";
+  const std::string target = dir + "/" + name;
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot create", tmp);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size() ||
+      std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return IoError("cannot write", tmp);
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), target.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return IoError("cannot rename into place", target);
+  }
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return errno == ENOENT ? Status::NotFound("no such file: " + path)
+                           : IoError("cannot open", path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  out->resize(size > 0 ? static_cast<size_t>(size) : 0);
+  const size_t got = std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size()) return IoError("short read of", path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCheckpointFile(const std::string& dir,
+                           const CheckpointData& data,
+                           std::string* filename) {
+  std::string out;
+  blob::PutU32(&out, kCheckpointMagic);
+  blob::PutU32(&out, kFormatVersion);
+  blob::PutU64(&out, data.feed_seq);
+  blob::PutU64(&out, data.log_offset);
+  blob::PutU64(&out, data.graph_checksum);
+  blob::PutI32(&out, data.num_vertices);
+  blob::PutU64(&out, data.edges.size());
+  for (const Edge& e : data.edges) {
+    blob::PutI32(&out, e.u);
+    blob::PutI32(&out, e.v);
+  }
+  blob::PutU32(&out, static_cast<uint32_t>(data.sources.size()));
+  for (const ExportedSource& src : data.sources) {
+    std::string migration;
+    DPPR_RETURN_NOT_OK(EncodeMigrationBlob(src, &migration));
+    blob::PutU32(&out, static_cast<uint32_t>(migration.size()));
+    out += migration;
+  }
+  blob::PutU64(&out, Fnv1a(out.data(), out.size()));
+
+  const std::string name = "checkpoint-" + std::to_string(data.feed_seq);
+  DPPR_RETURN_NOT_OK(AtomicWrite(dir, name, out));
+  if (filename != nullptr) *filename = name;
+  return Status::OK();
+}
+
+Status LoadCheckpointFile(const std::string& path, CheckpointData* out) {
+  DPPR_CHECK(out != nullptr);
+  std::string bytes;
+  DPPR_RETURN_NOT_OK(ReadFile(path, &bytes));
+  if (bytes.size() < 8) return Status::Corruption("checkpoint too short");
+  {
+    const std::string body = bytes.substr(0, bytes.size() - 8);
+    blob::Reader tail{bytes};
+    tail.pos = bytes.size() - 8;
+    uint64_t stored = 0;
+    (void)tail.U64(&stored);
+    if (Fnv1a(body.data(), body.size()) != stored) {
+      return Status::Corruption("checkpoint checksum mismatch: " + path);
+    }
+  }
+  blob::Reader reader{bytes};
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  CheckpointData data;
+  uint64_t num_edges = 0;
+  uint32_t num_sources = 0;
+  if (!reader.U32(&magic) || magic != kCheckpointMagic ||
+      !reader.U32(&version) || version != kFormatVersion ||
+      !reader.U64(&data.feed_seq) || !reader.U64(&data.log_offset) ||
+      !reader.U64(&data.graph_checksum) ||
+      !reader.I32(&data.num_vertices) || !reader.U64(&num_edges) ||
+      num_edges > reader.Remaining() / 8) {
+    return Status::Corruption("malformed checkpoint header: " + path);
+  }
+  data.edges.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    Edge e;
+    if (!reader.I32(&e.u) || !reader.I32(&e.v)) {
+      return Status::Corruption("malformed checkpoint edge list: " + path);
+    }
+    data.edges.push_back(e);
+  }
+  if (!reader.U32(&num_sources)) {
+    return Status::Corruption("malformed checkpoint source count: " + path);
+  }
+  data.sources.reserve(num_sources);
+  for (uint32_t i = 0; i < num_sources; ++i) {
+    uint32_t len = 0;
+    if (!reader.U32(&len) || len > reader.Remaining()) {
+      return Status::Corruption("malformed checkpoint source: " + path);
+    }
+    const std::string migration = bytes.substr(reader.pos, len);
+    reader.pos += len;
+    ExportedSource src;
+    DPPR_RETURN_NOT_OK(DecodeMigrationBlob(migration, &src));
+    data.sources.push_back(std::move(src));
+  }
+  if (reader.Remaining() != 8) {
+    return Status::Corruption("checkpoint trailing bytes: " + path);
+  }
+  // Re-derive the fingerprint from the decoded edges: a checkpoint whose
+  // payload decodes but describes a different graph than it claims is
+  // corruption too.
+  const DynamicGraph check =
+      DynamicGraph::FromEdges(data.edges, data.num_vertices);
+  if (check.Checksum() != data.graph_checksum) {
+    return Status::Corruption("checkpoint graph fingerprint mismatch: " +
+                              path);
+  }
+  *out = std::move(data);
+  return Status::OK();
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& manifest) {
+  std::string out;
+  blob::PutU32(&out, kManifestMagic);
+  blob::PutU32(&out, kFormatVersion);
+  blob::PutU64(&out, manifest.feed_seq);
+  blob::PutU64(&out, manifest.log_offset);
+  blob::PutU32(&out, static_cast<uint32_t>(manifest.checkpoint_file.size()));
+  out += manifest.checkpoint_file;
+  blob::PutU64(&out, Fnv1a(out.data(), out.size()));
+  return AtomicWrite(dir, "MANIFEST", out);
+}
+
+Status LoadManifest(const std::string& dir, Manifest* out) {
+  DPPR_CHECK(out != nullptr);
+  std::string bytes;
+  DPPR_RETURN_NOT_OK(ReadFile(dir + "/MANIFEST", &bytes));
+  if (bytes.size() < 8) return Status::Corruption("manifest too short");
+  {
+    const std::string body = bytes.substr(0, bytes.size() - 8);
+    blob::Reader tail{bytes};
+    tail.pos = bytes.size() - 8;
+    uint64_t stored = 0;
+    (void)tail.U64(&stored);
+    if (Fnv1a(body.data(), body.size()) != stored) {
+      return Status::Corruption("manifest checksum mismatch");
+    }
+  }
+  blob::Reader reader{bytes};
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t name_len = 0;
+  Manifest manifest;
+  if (!reader.U32(&magic) || magic != kManifestMagic ||
+      !reader.U32(&version) || version != kFormatVersion ||
+      !reader.U64(&manifest.feed_seq) || !reader.U64(&manifest.log_offset) ||
+      !reader.U32(&name_len) || name_len > reader.Remaining()) {
+    return Status::Corruption("malformed manifest");
+  }
+  manifest.checkpoint_file = bytes.substr(reader.pos, name_len);
+  reader.pos += name_len;
+  if (reader.Remaining() != 8) {
+    return Status::Corruption("manifest trailing bytes");
+  }
+  *out = std::move(manifest);
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace dppr

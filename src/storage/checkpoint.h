@@ -1,0 +1,65 @@
+// Checkpoints — periodic full images of graph + source set, plus the
+// MANIFEST that makes recovery one pointer-chase.
+//
+// A checkpoint file is a self-contained, checksummed snapshot: the edge
+// list (with the graph's incremental fingerprint, re-verified on load),
+// the feed sequence it was taken at, the log byte offset to replay from,
+// and every source as a migration blob (the same checksummed unit replica
+// sync ships — an evicted source travels as id + epoch, a materialized
+// one carries its full (p, r) state). The MANIFEST names the newest
+// checkpoint; both are written tmp + fsync + rename, so a crash mid-write
+// leaves the previous generation intact and recovery never sees a partial
+// file. Formats are documented field-by-field in src/storage/README.md.
+
+#ifndef DPPR_STORAGE_CHECKPOINT_H_
+#define DPPR_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "index/ppr_index.h"
+#include "util/status.h"
+
+namespace dppr {
+namespace storage {
+
+/// Everything a checkpoint round-trips.
+struct CheckpointData {
+  uint64_t feed_seq = 0;    ///< feed sequence at checkpoint time
+  uint64_t log_offset = 0;  ///< replay the batch log from this byte on
+  uint64_t graph_checksum = 0;  ///< DynamicGraph::Checksum() at capture
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges;
+  std::vector<ExportedSource> sources;
+};
+
+/// Points recovery at the newest checkpoint.
+struct Manifest {
+  uint64_t feed_seq = 0;
+  uint64_t log_offset = 0;
+  std::string checkpoint_file;  ///< relative to the data directory
+};
+
+/// Writes `data` to `dir/checkpoint-<feed_seq>` atomically (tmp + fsync +
+/// rename) and reports the chosen file name through *filename.
+Status WriteCheckpointFile(const std::string& dir,
+                           const CheckpointData& data,
+                           std::string* filename);
+
+/// Loads and fully verifies a checkpoint (magic, version, per-source
+/// migration blob checksums, whole-file checksum, and the graph
+/// fingerprint recomputed from the decoded edge list).
+Status LoadCheckpointFile(const std::string& path, CheckpointData* out);
+
+/// Atomically replaces `dir/MANIFEST`.
+Status WriteManifest(const std::string& dir, const Manifest& manifest);
+
+/// Loads `dir/MANIFEST`; NotFound when no checkpoint was ever taken.
+Status LoadManifest(const std::string& dir, Manifest* out);
+
+}  // namespace storage
+}  // namespace dppr
+
+#endif  // DPPR_STORAGE_CHECKPOINT_H_

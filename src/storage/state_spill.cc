@@ -1,0 +1,113 @@
+#include "storage/state_spill.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "core/serialization.h"
+#include "router/migration.h"
+#include "storage/batch_log.h"
+#include "util/macros.h"
+
+namespace dppr {
+namespace storage {
+
+namespace {
+
+constexpr uint32_t kSpillMagic = 0x44505350;  // 'DPSP'
+constexpr uint32_t kSpillVersion = 1;
+
+std::string SpillPath(const std::string& dir, VertexId source) {
+  return dir + "/spill-" + std::to_string(source);
+}
+
+}  // namespace
+
+Status StateSpill::Write(uint64_t feed_seq, const ExportedSource& src) {
+  DPPR_CHECK(!dir_.empty());
+  std::string migration;
+  DPPR_RETURN_NOT_OK(EncodeMigrationBlob(src, &migration));
+  std::string out;
+  blob::PutU32(&out, kSpillMagic);
+  blob::PutU32(&out, kSpillVersion);
+  blob::PutU64(&out, feed_seq);
+  blob::PutU32(&out, static_cast<uint32_t>(migration.size()));
+  out += migration;
+  blob::PutU64(&out, Fnv1a(out.data(), out.size()));
+
+  const std::string target = SpillPath(dir_, src.source);
+  const std::string tmp = target + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  // A spill is an optimization, not a durability promise (the log +
+  // checkpoint carry correctness), so flush but don't fsync: a spill torn
+  // by a crash fails its checksum on load and rematerialization falls
+  // back to recompute.
+  const bool ok =
+      std::fwrite(out.data(), 1, out.size(), f) == out.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), target.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot write spill " + target + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status StateSpill::Load(VertexId source, uint64_t* feed_seq,
+                        ExportedSource* out) {
+  DPPR_CHECK(!dir_.empty() && feed_seq != nullptr && out != nullptr);
+  const std::string path = SpillPath(dir_, source);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no spill for " + path);
+  std::string bytes;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  bytes.resize(size > 0 ? static_cast<size_t>(size) : 0);
+  const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size() || bytes.size() < 8) {
+    return Status::Corruption("short spill file: " + path);
+  }
+  {
+    blob::Reader tail{bytes};
+    tail.pos = bytes.size() - 8;
+    uint64_t stored = 0;
+    (void)tail.U64(&stored);
+    if (Fnv1a(bytes.data(), bytes.size() - 8) != stored) {
+      return Status::Corruption("spill checksum mismatch: " + path);
+    }
+  }
+  blob::Reader reader{bytes};
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t len = 0;
+  if (!reader.U32(&magic) || magic != kSpillMagic ||
+      !reader.U32(&version) || version != kSpillVersion ||
+      !reader.U64(feed_seq) || !reader.U32(&len) ||
+      len != reader.Remaining() - 8) {
+    return Status::Corruption("malformed spill file: " + path);
+  }
+  const std::string migration = bytes.substr(reader.pos, len);
+  ExportedSource decoded;
+  DPPR_RETURN_NOT_OK(DecodeMigrationBlob(migration, &decoded));
+  if (decoded.source != source) {
+    return Status::Corruption("spill file names the wrong source: " + path);
+  }
+  *out = std::move(decoded);
+  return Status::OK();
+}
+
+void StateSpill::Drop(VertexId source) {
+  std::remove(SpillPath(dir_, source).c_str());
+}
+
+}  // namespace storage
+}  // namespace dppr

@@ -1,0 +1,53 @@
+// StateSpill — evicted PprState blobs parked on disk.
+//
+// When the LRU cap evicts a cold source, its live (p, r) state is about
+// to be recomputed from scratch on the next read — a full push. The spill
+// path writes the evicted state to `dir/spill-<source>` instead (one file
+// per source, newest wins, tmp + rename so a crash never leaves a torn
+// spill), stamped with the feed sequence at eviction time. Rematerialize
+// then becomes restore + catch-up: adopt the spilled state and repair the
+// invariant only for the updates that arrived while the source was cold.
+//
+// File layout: u32 'DPSP' | u32 version | u64 feed_seq | u32 blob_len |
+// migration blob | u64 fnv1a-checksum (over everything preceding).
+
+#ifndef DPPR_STORAGE_STATE_SPILL_H_
+#define DPPR_STORAGE_STATE_SPILL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "index/ppr_index.h"
+#include "util/status.h"
+
+namespace dppr {
+namespace storage {
+
+/// Single-writer (maintenance thread) spill-file manager for one data
+/// directory.
+class StateSpill {
+ public:
+  StateSpill() = default;
+  explicit StateSpill(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Writes (replacing any older spill of the same source) `src`'s state
+  /// stamped with `feed_seq`.
+  Status Write(uint64_t feed_seq, const ExportedSource& src);
+
+  /// Loads the newest spill of `source`; NotFound when none exists.
+  /// Corruption (bad magic/version/checksum) is reported, not repaired —
+  /// the caller falls back to recomputing.
+  Status Load(VertexId source, uint64_t* feed_seq, ExportedSource* out);
+
+  /// Deletes the spill of `source`, if any (after a successful
+  /// rematerialization the file is stale: the live state has moved on).
+  void Drop(VertexId source);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace storage
+}  // namespace dppr
+
+#endif  // DPPR_STORAGE_STATE_SPILL_H_
