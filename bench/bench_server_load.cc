@@ -10,10 +10,10 @@
 //
 //   ./bench_server_load [--dataset=pokec] [--scale_shift=2] [--hubs=16]
 //       [--workers=4] [--clients=4] [--seconds=1.5] [--lru_cap=0]
-//       [--batch_ratio=0.001] [--mixes=100:0,95:5,80:20] [--k=5]
+//       [--batch_ratio=0.001] [--mixes=100:0,95:5,80:20,90:5:5] [--k=5]
 //       [--eps=1e-6] [--shards=1,2] [--replicas=1] [--seed=42]
 //       [--read_policy=primary] [--max_epoch_lag=-1] [--json=PATH]
-//       [--spill_dir=PATH]
+//       [--spill_dir=PATH] [--estimator] [--walk_count=4]
 //
 // --spill_dir attaches the durable storage tier (src/storage/) to every
 // local backend: WAL per applied batch, spill-to-disk on LRU eviction,
@@ -52,6 +52,17 @@
 // comparable (and runs reproducible). Reported per cell: completed
 // queries/s, latency p50/p99 (exact, merged across shards), queries
 // served during maintenance, update throughput, and shed counts.
+//
+// A THIRD mix component ("q:u:r", e.g. 90:5:5) sends that share of the
+// non-update requests to the estimator subsystem (src/estimator/),
+// rotating reverse-top-k / single-pair / hybrid-pair queries over the hub
+// targets — routed by TARGET through the same router the forward queries
+// use. Any mix with a reverse share (or --estimator) attaches the
+// estimator to every serving stack and registers every hub as a
+// reverse-push target before the clock starts; --walk_count sets the
+// hybrid walk index's walks per vertex. Both knobs land in the JSON
+// config block, so the regression gate re-seeds its baseline rather than
+// comparing estimator rows against forward-only ones.
 
 #include <sys/stat.h>
 
@@ -80,6 +91,9 @@ namespace {
 struct Mix {
   int query_pct = 100;
   int update_pct = 0;
+  /// Share of NON-update requests served by the estimator (the optional
+  /// third "q:u:r" component; 0 = the pre-estimator two-part mix).
+  int reverse_pct = 0;
   std::string label;
 };
 
@@ -91,9 +105,14 @@ std::vector<Mix> ParseMixes(const std::string& csv) {
     const size_t colon = token.find(':');
     Mix mix;
     mix.query_pct = std::stoi(token.substr(0, colon));
-    mix.update_pct = colon == std::string::npos
-                         ? 0
-                         : std::stoi(token.substr(colon + 1));
+    if (colon != std::string::npos) {
+      const size_t second = token.find(':', colon + 1);
+      mix.update_pct =
+          std::stoi(token.substr(colon + 1, second - colon - 1));
+      if (second != std::string::npos) {
+        mix.reverse_pct = std::stoi(token.substr(second + 1));
+      }
+    }
     mix.label = token;
     mixes.push_back(mix);
   }
@@ -145,7 +164,8 @@ struct BenchRow {
 /// Writes the sweep as a self-describing JSON document. Hand-rolled: the
 /// values are numbers and fixed labels, nothing needs escaping.
 bool WriteJson(const std::string& path, const ArgParser& args,
-               uint64_t seed, const std::vector<BenchRow>& rows) {
+               uint64_t seed, bool estimator_on, int walk_count,
+               const std::vector<BenchRow>& rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"bench\": \"server_load\",\n");
@@ -157,11 +177,15 @@ bool WriteJson(const std::string& path, const ArgParser& args,
   // so the gate re-seeds rather than comparing across the change.
   // "durable"/"lru_cap" likewise: fsyncing a WAL per batch and evicting
   // state are different cost models, never comparable to rows without.
+  // "estimator"/"walk_count" likewise: rows that spend part of their mix
+  // on estimator queries (and carry a walk index per replica) are a
+  // different experiment from forward-only rows.
   std::fprintf(f, "  \"config\": {\"dataset\": \"%s\", \"seed\": %llu, "
                   "\"hubs\": %lld, \"workers\": %lld, \"clients\": %lld, "
                   "\"seconds\": %g, \"variant\": \"%s\", "
                   "\"read_policy\": \"%s\", \"max_epoch_lag\": %lld, "
-                  "\"durable\": %s, \"fsync\": %s, \"lru_cap\": %lld},\n",
+                  "\"durable\": %s, \"fsync\": %s, \"lru_cap\": %lld, "
+                  "\"estimator\": %s, \"walk_count\": %lld},\n",
               args.GetString("dataset", "pokec").c_str(),
               static_cast<unsigned long long>(seed),
               static_cast<long long>(args.GetInt("hubs", 16)),
@@ -173,7 +197,9 @@ bool WriteJson(const std::string& path, const ArgParser& args,
               static_cast<long long>(args.GetInt("max_epoch_lag", -1)),
               args.GetString("spill_dir", "").empty() ? "false" : "true",
               args.GetBool("fsync", true) ? "true" : "false",
-              static_cast<long long>(args.GetInt("lru_cap", 0)));
+              static_cast<long long>(args.GetInt("lru_cap", 0)),
+              estimator_on ? "true" : "false",
+              static_cast<long long>(walk_count));
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& row = rows[i];
@@ -258,6 +284,14 @@ int main(int argc, char** argv) {
   const int scale_shift = static_cast<int>(args.GetInt("scale_shift", 2));
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   const auto mixes = ParseMixes(args.GetString("mixes", "100:0,95:5,80:20"));
+  const int walk_count = static_cast<int>(args.GetInt("walk_count", 4));
+  // Any reverse share in the sweep needs the subsystem on every cell:
+  // cells of one sweep must run the same serving stack to be comparable
+  // rows (and the config block records one "estimator" value for all).
+  bool estimator_on = args.GetBool("estimator", false);
+  for (const Mix& mix : mixes) {
+    if (mix.reverse_pct > 0) estimator_on = true;
+  }
   const auto shard_counts =
       ParseShardCounts(args.GetString("shards", "1,2"));
   const auto replica_counts =
@@ -348,6 +382,9 @@ int main(int argc, char** argv) {
       options.index.max_materialized_sources = lru_cap;
       options.service.num_workers = workers;
       options.service.materialize_wait = std::chrono::milliseconds(500);
+      options.service.estimator.enabled = estimator_on;
+      options.service.estimator.walks_per_vertex = walk_count;
+      options.service.estimator.seed = seed;
       if (!spill_dir.empty()) {
         // One subdirectory per cell: a cell must never RECOVER the
         // previous cell's checkpoint + log.
@@ -359,6 +396,11 @@ int main(int argc, char** argv) {
       ShardedPprService service(initial, workload.num_vertices, hubs,
                                 options);
       service.Start();
+      if (estimator_on) {
+        // Targets registered before the clock starts, so the measured
+        // loop prices serving, not target bootstrap.
+        for (VertexId hub : hubs) (void)service.AddTarget(hub);
+      }
 
       std::atomic<bool> stop{false};
       std::atomic<size_t> next_batch{0};
@@ -381,7 +423,27 @@ int main(int argc, char** argv) {
             // Stream exhausted: fall through to a query.
           }
           const VertexId s = hubs[rng.Next() % hubs.size()];
-          if (rng.Next() % 4 == 0) {
+          if (mix.reverse_pct > 0 &&
+              static_cast<int>(rng.Next() % 100) < mix.reverse_pct) {
+            // Estimator share: rotate the three wire verbs over the hub
+            // targets. The pair source is a random vertex — the walk
+            // index covers every vertex, only the TARGET needs to be
+            // registered (and routed by).
+            const VertexId t = hubs[rng.Next() % hubs.size()];
+            const auto src = static_cast<VertexId>(
+                rng.Next() % static_cast<uint64_t>(graph.NumVertices()));
+            switch (rng.Next() % 3) {
+              case 0:
+                (void)service.ReverseTopK(t, k);
+                break;
+              case 1:
+                (void)service.QueryPair(src, t);
+                break;
+              default:
+                (void)service.HybridPair(src, t);
+                break;
+            }
+          } else if (rng.Next() % 4 == 0) {
             (void)service.TopK(s, k);
           } else {
             (void)service.Query(
@@ -533,7 +595,8 @@ int main(int argc, char** argv) {
               "upd/s and batches are per replica (the feed is replicated "
               "to every replica of every shard).\n");
   if (!json_path.empty()) {
-    if (!WriteJson(json_path, args, seed, json_rows)) {
+    if (!WriteJson(json_path, args, seed, estimator_on, walk_count,
+                   json_rows)) {
       std::fprintf(stderr, "could not write %s\n", json_path.c_str());
       return 1;
     }

@@ -57,9 +57,12 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 # Excluded: the oversubscription test pins an OpenMP team of 4, whose
 # libgomp barriers TSan cannot see (same reason OMP is pinned to 1 above);
 # its correctness claims are covered by the regular CI job.
+# estimator suites: the EstimatorIndex shared_mutex (maintenance thread
+#   vs worker-pool estimator reads) and the fleet lockstep test's
+#   estimator traffic over the live socket stack.
 # Suppressions: see ci/tsan.supp (libstdc++ atomic<shared_ptr> internals).
 OMP_NUM_THREADS=1 \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/ci/tsan.supp" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -R '^(PprIndex|PprService|BoundedQueue|PprRouter|HashRing|RouterMigration|NetWire|PprServer|RemoteShard|NetFleet|ReplicaSet|ReplicationRouter|KernelDispatch|KernelPrimitive|KernelEquivalence|FrontierDense|NumaTopology)' \
+  -R '^(PprIndex|PprService|BoundedQueue|PprRouter|HashRing|RouterMigration|NetWire|PprServer|RemoteShard|NetFleet|ReplicaSet|ReplicationRouter|KernelDispatch|KernelPrimitive|KernelEquivalence|FrontierDense|NumaTopology|ReversePush|WalkIndex|Hybrid|EstimatorFleet)' \
   -E 'OversubscribedThreads'

@@ -11,6 +11,7 @@
 //                [--listen=PORT] [--join=host:p1+host:p2,host:p3]
 //                [--data_dir=PATH] [--checkpoint_every=N]
 //                [--adopt=host:p1,host:p2] [--verify_recovery]
+//                [--estimator] [--walk_count=4]
 //
 // With --shards=1 (default) this drives a single PprService, exactly as
 // in PR 2. With --shards=N it stands up a ShardedPprService instead: N
@@ -70,6 +71,14 @@
 // --adopt=host:port re-admits such a RECOVERED (non-empty) shard into a
 // router's ring: unlike --join, the joiner's sources survive — the ring
 // is grown around them (ShardedPprService::AdoptRemoteShard).
+//
+// --estimator attaches the estimator subsystem (src/estimator/) to every
+// serving stack: each hub is also registered as a reverse-push TARGET,
+// and after the feed the demo serves reverse top-k ("who cares about this
+// hub?") and single-pair queries — routed by TARGET in sharded mode, the
+// mirror image of the by-source routing above. --walk_count sets the
+// walks per vertex of the hybrid estimator's walk index (seeded from
+// --seed, so every replica's index is bit-identical).
 //
 // The stream permutation seed defaults to a fixed value so the printed
 // tables are reproducible run-to-run; pass --seed to vary it.
@@ -164,6 +173,14 @@ struct ServiceFacade {
   std::function<std::vector<dppr::VertexId>()> sources;
   std::function<bool(dppr::VertexId)> has_source;
   std::function<dppr::MetricsReport()> metrics;
+  // Estimator surface (wired only with --estimator; routed by TARGET in
+  // sharded mode).
+  std::function<dppr::MaintResponse(dppr::VertexId)> add_target;
+  std::function<dppr::QueryResponse(dppr::VertexId, dppr::VertexId)>
+      query_pair;
+  std::function<dppr::QueryResponse(dppr::VertexId, dppr::VertexId)>
+      hybrid_pair;
+  std::function<dppr::QueryResponse(dppr::VertexId, int)> reverse_topk;
 };
 
 /// \brief The demo's front door: what a real serving tier puts between
@@ -322,6 +339,8 @@ int main(int argc, char** argv) {
       static_cast<int64_t>(args.GetInt("max_epoch_lag", -1));
   const double client_qps = args.GetDouble("client_qps", 0.0);
   const bool affinity = args.GetBool("affinity", false);
+  const bool estimator = args.GetBool("estimator", false);
+  const int walk_count = static_cast<int>(args.GetInt("walk_count", 4));
   dppr::ReadPolicy read_policy = dppr::ReadPolicy::kPrimaryOnly;
   if (!dppr::ParseReadPolicy(args.GetString("read_policy", "primary"),
                              &read_policy)) {
@@ -387,6 +406,12 @@ int main(int argc, char** argv) {
   dppr::ServiceOptions service_options;
   service_options.num_workers = workers;
   service_options.materialize_wait = std::chrono::milliseconds(500);
+  // Part of the ONE shared options block above: a fleet where the router
+  // and the shard processes disagreed on walk seeding would break the
+  // cross-replica determinism the estimator's placement relies on.
+  service_options.estimator.enabled = estimator;
+  service_options.estimator.walks_per_vertex = walk_count;
+  service_options.estimator.seed = seed;
 
   if (listen_mode) {
     // SHARD PROCESS: the same graph replica (same seed => same bytes),
@@ -540,6 +565,16 @@ int main(int argc, char** argv) {
         [&] { return index->Sources(); },
         [&](dppr::VertexId s) { return index->HasSource(s); },
         [&] { return service->Metrics(); },
+        [&](dppr::VertexId t) { return service->AddTargetAsync(t).get(); },
+        [&](dppr::VertexId s, dppr::VertexId t) {
+          return service->QueryPairAsync(s, t).get();
+        },
+        [&](dppr::VertexId s, dppr::VertexId t) {
+          return service->HybridPairAsync(s, t).get();
+        },
+        [&](dppr::VertexId t, int kk) {
+          return service->ReverseTopKAsync(t, kk).get();
+        },
     };
   } else {
     dppr::ShardedServiceOptions sharded_options;
@@ -641,7 +676,33 @@ int main(int argc, char** argv) {
         [&] { return sharded->Sources(); },
         [&](dppr::VertexId s) { return sharded->HasSource(s); },
         [&] { return sharded->Metrics(); },
+        [&](dppr::VertexId t) { return sharded->AddTarget(t); },
+        [&](dppr::VertexId s, dppr::VertexId t) {
+          return sharded->QueryPair(s, t);
+        },
+        [&](dppr::VertexId s, dppr::VertexId t) {
+          return sharded->HybridPair(s, t);
+        },
+        [&](dppr::VertexId t, int kk) {
+          return sharded->ReverseTopK(t, kk);
+        },
     };
+  }
+
+  // Every hub doubles as a reverse-push target: the estimator then
+  // answers "who cares about this hub?" (reverse top-k) next to the
+  // forward "what does this hub care about?" the index already serves.
+  if (estimator) {
+    for (dppr::VertexId hub : hubs) {
+      const dppr::MaintResponse added = facade.add_target(hub);
+      if (added.status != dppr::RequestStatus::kOk) {
+        std::fprintf(stderr, "could not register target %d: %s\n", hub,
+                     dppr::RequestStatusName(added.status));
+        return 1;
+      }
+    }
+    std::printf("estimator on: %zu targets registered, %d walks/vertex\n\n",
+                hubs.size(), walk_count);
   }
 
   // Clients: closed-loop point + top-k queries over the hub set while
@@ -709,10 +770,11 @@ int main(int argc, char** argv) {
         if (grown >= 0) {
           const dppr::RouterReport report = sharded->Report();
           std::printf("mid-run shard growth: +shard %d (%lld sources "
-                      "migrated, %lld blob bytes)\n",
+                      "migrated, %lld blob bytes, %lld targets re-homed)\n",
                       grown,
                       static_cast<long long>(report.sources_migrated),
-                      static_cast<long long>(report.migration_bytes));
+                      static_cast<long long>(report.migration_bytes),
+                      static_cast<long long>(report.targets_migrated));
         }
         // Kill-the-primary demo: sever the first replicated slot's
         // primary UNDER LIVE LOAD (clients keep querying). The standby
@@ -774,6 +836,57 @@ int main(int argc, char** argv) {
   std::printf("FLEET max_epoch=%llu\n",
               static_cast<unsigned long long>(fleet_max_epoch));
 
+  // The estimator's read side: reverse top-k per hub ("who cares about
+  // this hub?"), then one deterministic + one hybrid single-pair estimate
+  // between the two hottest hubs. The hybrid answer must land inside the
+  // deterministic answer's +/- eps interval by construction — counted as
+  // an error otherwise.
+  int64_t estimator_errors = 0;
+  if (estimator) {
+    dppr::TablePrinter reverse_table(
+        {"target", "epoch", "top-1 source", "score"});
+    for (dppr::VertexId hub : hubs) {
+      const dppr::QueryResponse reverse = facade.reverse_topk(hub, k);
+      if (reverse.status != dppr::RequestStatus::kOk) {
+        std::fprintf(stderr, "reverse top-k for target %d: %s\n", hub,
+                     dppr::RequestStatusName(reverse.status));
+        ++estimator_errors;
+        continue;
+      }
+      const bool any = !reverse.topk.entries.empty();
+      reverse_table.AddRow(
+          {dppr::TablePrinter::FmtInt(hub),
+           dppr::TablePrinter::FmtInt(static_cast<int64_t>(reverse.epoch)),
+           any ? dppr::TablePrinter::FmtInt(reverse.topk.entries[0].id)
+               : "-",
+           any ? dppr::TablePrinter::FmtSci(reverse.topk.entries[0].score, 3)
+               : "-"});
+    }
+    std::printf("\nreverse top-%d (who cares about each hub):\n", k);
+    reverse_table.Print();
+    if (hubs.size() >= 2) {
+      const dppr::VertexId s = hubs[0];
+      const dppr::VertexId t = hubs[1];
+      const dppr::QueryResponse pair = facade.query_pair(s, t);
+      const dppr::QueryResponse hybrid = facade.hybrid_pair(s, t);
+      if (pair.status != dppr::RequestStatus::kOk ||
+          hybrid.status != dppr::RequestStatus::kOk) {
+        std::fprintf(stderr, "pair query %d->%d failed\n", s, t);
+        ++estimator_errors;
+      } else {
+        if (std::fabs(hybrid.estimate.value - pair.estimate.value) >
+            pair.estimate.upper - pair.estimate.value) {
+          ++estimator_errors;  // hybrid escaped the deterministic interval
+        }
+        std::printf("pair pi_%d(%d): reverse-push %.3e (+/- %.1e), "
+                    "hybrid %.3e\n",
+                    s, t, pair.estimate.value,
+                    pair.estimate.upper - pair.estimate.value,
+                    hybrid.estimate.value);
+      }
+    }
+  }
+
   if (sharded != nullptr) {
     // The scatter-gather view: the globally best (hub, vertex) scores.
     const dppr::GlobalTopKResult global = sharded->GlobalTopK(k);
@@ -827,7 +940,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(bad_responses.load()),
               static_cast<long long>(epoch_regressions.load()));
   return (hub_set_ok && bad_responses.load() == 0 &&
-          epoch_regressions.load() == 0 && report.queries_completed > 0)
+          epoch_regressions.load() == 0 && estimator_errors == 0 &&
+          report.queries_completed > 0)
              ? 0
              : 1;
 }

@@ -1,0 +1,110 @@
+// EstimatorIndex: the estimator subsystem's maintained state — reverse
+// push targets + the replicated walk index — behind one object the
+// service's maintenance thread drives.
+//
+// Query classes served (see src/estimator/README.md for contracts):
+//  * QueryPair(s, t):  pi_s(t) +/- eps, deterministic (reverse push only);
+//  * ReverseTopK(t,k): the sources closest to t, with certified prefix;
+//  * HybridPair(s, t): push estimate + unbiased walk correction (BiPPR
+//    identity) — same deterministic interval, better tail accuracy.
+//
+// Ownership and concurrency: the index owns a PRIVATE DynamicGraph
+// replica. Walk repair is not path-independent — repairing walks for
+// update k requires the graph state after exactly updates 1..k — while
+// the service's PprIndex applies whole batches to its own graph; a
+// private replica applied one update at a time keeps walk determinism
+// exact. An internal shared_mutex serializes maintenance (unique) against
+// queries (shared); forward reads through PprIndex never touch this lock.
+//
+// Durability: estimator state is VOLATILE. Targets are registered by
+// clients and not written to the batch log; after crash recovery the
+// subsystem restarts empty and clients (or the router's SyncReplica
+// reconciliation) re-register targets. Rebuild cost is one
+// InitializeFromScratch per target plus one walk-index resample.
+
+#ifndef DPPR_ESTIMATOR_ESTIMATOR_INDEX_H_
+#define DPPR_ESTIMATOR_ESTIMATOR_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/query.h"
+#include "estimator/reverse_push.h"
+#include "estimator/walk_index.h"
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace dppr {
+
+struct EstimatorOptions {
+  /// Master switch: when false, PprService skips construction entirely and
+  /// estimator queries are rejected.
+  bool enabled = false;
+  /// Forced equal to the serving index's alpha at service start.
+  double alpha = 0.15;
+  /// Deterministic per-source error bound for pair / reverse-top-k reads.
+  double eps = 1e-4;
+  int walks_per_vertex = 4;
+  uint64_t seed = 42;
+};
+
+/// \brief Result of a single-pair (or hybrid) estimator read.
+struct PairResult {
+  bool known = false;  ///< false: target not registered
+  uint64_t epoch = 0;
+  PointEstimate estimate;
+};
+
+/// \brief Result of a reverse top-k read.
+struct ReverseTopKResult {
+  bool known = false;
+  uint64_t epoch = 0;
+  GuaranteedTopK topk;
+};
+
+/// \brief All maintained estimator state for one shard.
+class EstimatorIndex {
+ public:
+  /// Clones `snapshot` as the private replica and samples the walk index.
+  EstimatorIndex(const DynamicGraph& snapshot, const EstimatorOptions& options);
+
+  /// Applies `batch` to the replica (one update at a time, repairing
+  /// walks per update), then restores + pushes every registered target.
+  /// Must mirror the exact update feed the serving index applies.
+  void ApplyBatch(const UpdateBatch& batch, uint64_t epoch_increment);
+
+  /// Registers a target (idempotent). Returns false if `t` is not a valid
+  /// vertex of the replica.
+  bool AddTarget(VertexId t);
+  /// Returns false if `t` was not registered.
+  bool RemoveTarget(VertexId t);
+  bool HasTarget(VertexId t) const;
+  std::vector<VertexId> Targets() const;
+
+  PairResult QueryPair(VertexId s, VertexId t) const;
+  PairResult HybridPair(VertexId s, VertexId t) const;
+  ReverseTopKResult ReverseTopK(VertexId t, int k) const;
+
+  uint64_t epoch() const;
+  const EstimatorOptions& options() const { return options_; }
+  /// Replica fingerprint — must track the serving graph's checksum.
+  uint64_t GraphChecksum() const;
+
+ private:
+  PointEstimate MakeEstimate(double value) const;
+
+  mutable std::shared_mutex mu_;
+  EstimatorOptions options_;
+  DynamicGraph graph_;
+  WalkIndex walks_;
+  std::map<VertexId, std::unique_ptr<ReverseTargetState>> targets_;
+  uint64_t epoch_ = 0;       ///< mirrors the serving index epoch
+  uint64_t update_seq_ = 0;  ///< per-update counter keying walk RNG streams
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_ESTIMATOR_ESTIMATOR_INDEX_H_

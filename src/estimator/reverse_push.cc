@@ -1,0 +1,97 @@
+#include "estimator/reverse_push.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace dppr {
+
+ReverseTargetState::ReverseTargetState(const DynamicGraph* graph,
+                                       VertexId target,
+                                       const ReverseOptions& options)
+    : graph_(graph),
+      target_(target),
+      options_(options),
+      threshold_(options.alpha * options.eps) {
+  DPPR_CHECK(graph != nullptr);
+  DPPR_CHECK(graph->IsValid(target));
+  DPPR_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
+  DPPR_CHECK(options.eps > 0.0);
+  InitializeFromScratch();
+}
+
+double ReverseTargetState::BaseMass(VertexId u) const {
+  if (u != target_) return 0.0;
+  return graph_->OutDegree(target_) > 0 ? options_.alpha : 1.0;
+}
+
+void ReverseTargetState::InitializeFromScratch() {
+  const auto n = static_cast<size_t>(graph_->NumVertices());
+  x_.assign(n, 0.0);
+  r_.assign(n, 0.0);
+  queue_.clear();
+  in_queue_.assign(n, 0);
+  r_[static_cast<size_t>(target_)] = BaseMass(target_);
+  EnqueueIfOverThreshold(target_);
+  Push();
+}
+
+void ReverseTargetState::EnsureCapacity(VertexId num_vertices) {
+  const auto n = static_cast<size_t>(num_vertices);
+  if (n <= x_.size()) return;
+  x_.resize(n, 0.0);
+  r_.resize(n, 0.0);
+  in_queue_.resize(n, 0);
+}
+
+void ReverseTargetState::EnqueueIfOverThreshold(VertexId u) {
+  const auto i = static_cast<size_t>(u);
+  if (in_queue_[i] || std::abs(r_[i]) <= threshold_) return;
+  in_queue_[i] = 1;
+  queue_.push_back(u);
+}
+
+void ReverseTargetState::RestoreVertex(VertexId u) {
+  DPPR_DCHECK(graph_->IsValid(u));
+  const auto i = static_cast<size_t>(u);
+  double row = BaseMass(u) - x_[i];
+  const VertexId dout = graph_->OutDegree(u);
+  if (dout > 0) {
+    double sum = 0.0;
+    for (const VertexId w : graph_->OutNeighbors(u)) {
+      sum += x_[static_cast<size_t>(w)];
+    }
+    row += (1.0 - options_.alpha) * sum / static_cast<double>(dout);
+  }
+  r_[i] = row;
+  EnqueueIfOverThreshold(u);
+}
+
+void ReverseTargetState::Push() {
+  // FIFO drain; residuals can be either sign after deletions, so the
+  // test is on |r|. A vertex re-enters the queue whenever a neighbor's
+  // push lifts it back over threshold.
+  size_t head = 0;
+  while (head < queue_.size()) {
+    const VertexId v = queue_[head++];
+    const auto vi = static_cast<size_t>(v);
+    in_queue_[vi] = 0;
+    const double rv = r_[vi];
+    if (std::abs(rv) <= threshold_) continue;
+    x_[vi] += rv;
+    r_[vi] = 0.0;
+    ++push_count_;
+    // f(u) picks up (1-alpha)/dout(u) of f(v) for every edge u -> v.
+    for (const VertexId u : graph_->InNeighbors(v)) {
+      const auto ui = static_cast<size_t>(u);
+      r_[ui] += (1.0 - options_.alpha) * rv /
+                static_cast<double>(graph_->OutDegree(u));
+      EnqueueIfOverThreshold(u);
+    }
+    // Pushing x(v) perturbs v's own restore identity through any
+    // self-loop; a self-loop contributes to in(v), handled above.
+  }
+  queue_.clear();
+}
+
+}  // namespace dppr

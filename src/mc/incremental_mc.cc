@@ -3,6 +3,7 @@
 #include <cmath>
 #include <optional>
 
+#include "mc/walk_repair.h"
 #include "util/macros.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -19,27 +20,13 @@ int64_t RecommendedWalkCount(double delta, double failure_prob,
   return static_cast<int64_t>(std::ceil(w));
 }
 
-namespace {
-
-// Deterministic per-walk generator: results do not depend on the OpenMP
-// schedule or thread count (epoch = how many updates were processed).
-Rng MakeWalkRng(uint64_t base_seed, uint64_t epoch, int64_t walk_id) {
-  SplitMix64 sm(base_seed ^ (epoch * 0x9e3779b97f4a7c15ULL));
-  const uint64_t a = sm.Next();
-  SplitMix64 sm2(a ^ (static_cast<uint64_t>(walk_id) * 0xff51afd7ed558ccdULL));
-  return Rng(sm2.Next());
-}
-
-}  // namespace
-
 IncrementalMonteCarlo::IncrementalMonteCarlo(DynamicGraph* graph,
                                              VertexId source,
                                              const McOptions& options)
     : graph_(graph),
       source_(source),
       options_(options),
-      store_(graph->NumVertices()),
-      rng_(options.seed) {
+      store_(graph->NumVertices()) {
   DPPR_CHECK(graph != nullptr);
   DPPR_CHECK(graph->IsValid(source));
   DPPR_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
@@ -49,58 +36,9 @@ IncrementalMonteCarlo::IncrementalMonteCarlo(DynamicGraph* graph,
   DPPR_CHECK(options_.num_walks > 0);
 }
 
-// Continues a walk whose last vertex has NOT yet flipped its arrival stop
-// coin. Appends visited vertices; sets *end.
-namespace {
-
-void ContinueWalk(const DynamicGraph& g, double alpha,
-                  std::vector<VertexId>* trace, WalkEnd* end, Rng* rng,
-                  int64_t* steps) {
-  VertexId cur = trace->back();
-  while (true) {
-    if (rng->NextDouble() < alpha) {
-      *end = WalkEnd::kTeleport;
-      return;
-    }
-    const VertexId dout = g.OutDegree(cur);
-    if (dout == 0) {
-      *end = WalkEnd::kDangling;
-      return;
-    }
-    cur = g.OutNeighbors(cur)[static_cast<size_t>(
-        rng->NextBounded(static_cast<uint64_t>(dout)))];
-    trace->push_back(cur);
-    ++*steps;
-  }
-}
-
-// The last vertex already decided to continue (its stop coin historically
-// came up "move"); performs the move on the CURRENT graph, then continues
-// normally. Used when a deleted edge invalidated the original move and
-// when an insertion un-dangles a forced stop.
-void MoveThenContinue(const DynamicGraph& g, double alpha,
-                      std::vector<VertexId>* trace, WalkEnd* end, Rng* rng,
-                      int64_t* steps) {
-  const VertexId cur = trace->back();
-  const VertexId dout = g.OutDegree(cur);
-  if (dout == 0) {
-    *end = WalkEnd::kDangling;
-    return;
-  }
-  trace->push_back(g.OutNeighbors(cur)[static_cast<size_t>(
-      rng->NextBounded(static_cast<uint64_t>(dout)))]);
-  ++*steps;
-  ContinueWalk(g, alpha, trace, end, rng, steps);
-}
-
-}  // namespace
-
 Walk IncrementalMonteCarlo::SimulateFrom(VertexId start, Rng* rng) const {
-  Walk walk;
-  walk.trace.push_back(start);
   int64_t steps = 0;
-  ContinueWalk(*graph_, options_.alpha, &walk.trace, &walk.end, rng, &steps);
-  return walk;
+  return walk_repair::Simulate(*graph_, options_.alpha, start, rng, &steps);
 }
 
 void IncrementalMonteCarlo::Initialize() {
@@ -111,7 +49,7 @@ void IncrementalMonteCarlo::Initialize() {
   std::vector<Walk> walks(static_cast<size_t>(w));
 #pragma omp parallel for schedule(dynamic, 256)
   for (int64_t i = 0; i < w; ++i) {
-    Rng rng = MakeWalkRng(options_.seed, /*epoch=*/0, i);
+    Rng rng = walk_repair::MakeWalkRng(options_.seed, /*epoch=*/0, i);
     walks[static_cast<size_t>(i)] = SimulateFrom(source_, &rng);
   }
   for (int64_t i = 0; i < w; ++i) {
@@ -129,6 +67,12 @@ void IncrementalMonteCarlo::ApplyBatch(const UpdateBatch& batch) {
   for (const EdgeUpdate& update : batch) {
     graph_->Apply(update);
     store_.EnsureVertexCapacity(graph_->NumVertices());
+    // The epoch advances for EVERY processed update, affected walks or
+    // not: the RNG stream of update i must be a function of the update
+    // sequence alone, so two instances fed the same updates — however
+    // their batches were chopped — derive identical walks (the seed-
+    // determinism contract the equivalence suites verify).
+    ++epoch_;
     if (update.op == UpdateOp::kInsert) {
       HandleInsert(update);
     } else {
@@ -141,66 +85,20 @@ void IncrementalMonteCarlo::ApplyBatch(const UpdateBatch& batch) {
 void IncrementalMonteCarlo::HandleInsert(const EdgeUpdate& update) {
   const VertexId u = update.u;
   const VertexId v = update.v;
-  const auto dout_new = static_cast<double>(graph_->OutDegree(u));
   const std::vector<int64_t> affected = store_.WalksThrough(u);
   if (affected.empty()) return;
-  const uint64_t this_epoch = ++epoch_;
 
   std::vector<std::optional<Walk>> replacements(affected.size());
   std::vector<int64_t> steps_per_walk(affected.size(), 0);
 #pragma omp parallel for schedule(dynamic, 16)
   for (int64_t i = 0; i < static_cast<int64_t>(affected.size()); ++i) {
     const int64_t id = affected[static_cast<size_t>(i)];
-    const Walk& old_walk = store_.GetWalk(id);
-    Rng rng = MakeWalkRng(options_.seed, this_epoch, id);
-    int64_t steps = 0;
-    const auto len = old_walk.trace.size();
-    for (size_t pos = 0; pos < len; ++pos) {
-      if (old_walk.trace[pos] != u) continue;
-      const bool is_last = pos + 1 == len;
-      if (is_last) {
-        if (old_walk.end == WalkEnd::kDangling) {
-          // The forced stop never happens on the new graph: the walk had
-          // already decided to move, so resume it from u.
-          Walk fresh;
-          fresh.trace.assign(old_walk.trace.begin(),
-                             old_walk.trace.begin() +
-                                 static_cast<int64_t>(pos) + 1);
-          MoveThenContinue(*graph_, options_.alpha, &fresh.trace, &fresh.end,
-                           &rng, &steps);
-          replacements[static_cast<size_t>(i)] = std::move(fresh);
-        }
-        break;  // teleport-terminated visit: no move to reroute
-      }
-      // Non-terminal visit: the historical move picked uniformly among the
-      // old out-edges; with probability 1/dout_new the walk would now take
-      // the new edge instead (this preserves uniformity over dout_new).
-      if (rng.NextDouble() < 1.0 / dout_new) {
-        Walk fresh;
-        fresh.trace.assign(
-            old_walk.trace.begin(),
-            old_walk.trace.begin() + static_cast<int64_t>(pos) + 1);
-        fresh.trace.push_back(v);
-        ++steps;
-        ContinueWalk(*graph_, options_.alpha, &fresh.trace, &fresh.end, &rng,
-                     &steps);
-        replacements[static_cast<size_t>(i)] = std::move(fresh);
-        break;  // the regenerated suffix already reflects the new graph
-      }
-    }
-    steps_per_walk[static_cast<size_t>(i)] = steps;
+    Rng rng = walk_repair::MakeWalkRng(options_.seed, epoch_, id);
+    replacements[static_cast<size_t>(i)] = walk_repair::RepairForInsert(
+        *graph_, options_.alpha, store_.GetWalk(id), u, v, &rng,
+        &steps_per_walk[static_cast<size_t>(i)]);
   }
-
-  for (size_t i = 0; i < affected.size(); ++i) {
-    if (!replacements[i].has_value()) continue;
-    const int64_t id = affected[i];
-    stats_.index_updates +=
-        static_cast<int64_t>(store_.GetWalk(id).trace.size() +
-                             replacements[i]->trace.size());
-    store_.ReplaceWalk(id, std::move(*replacements[i]));
-    ++stats_.walks_regenerated;
-    stats_.walk_steps += steps_per_walk[i];
-  }
+  CommitReplacements(affected, &replacements, steps_per_walk);
 }
 
 void IncrementalMonteCarlo::HandleDelete(const EdgeUpdate& update) {
@@ -208,41 +106,31 @@ void IncrementalMonteCarlo::HandleDelete(const EdgeUpdate& update) {
   const VertexId v = update.v;
   const std::vector<int64_t> affected = store_.WalksThrough(u);
   if (affected.empty()) return;
-  const uint64_t this_epoch = ++epoch_;
 
   std::vector<std::optional<Walk>> replacements(affected.size());
   std::vector<int64_t> steps_per_walk(affected.size(), 0);
 #pragma omp parallel for schedule(dynamic, 16)
   for (int64_t i = 0; i < static_cast<int64_t>(affected.size()); ++i) {
     const int64_t id = affected[static_cast<size_t>(i)];
-    const Walk& old_walk = store_.GetWalk(id);
-    const auto len = old_walk.trace.size();
-    // First use of the deleted edge, if any.
-    for (size_t pos = 0; pos + 1 < len; ++pos) {
-      if (old_walk.trace[pos] != u || old_walk.trace[pos + 1] != v) continue;
-      Rng rng = MakeWalkRng(options_.seed, this_epoch, id);
-      int64_t steps = 0;
-      Walk fresh;
-      fresh.trace.assign(
-          old_walk.trace.begin(),
-          old_walk.trace.begin() + static_cast<int64_t>(pos) + 1);
-      // The stop coin at u already came up "continue"; redo the move on
-      // the graph without the deleted edge.
-      MoveThenContinue(*graph_, options_.alpha, &fresh.trace, &fresh.end,
-                       &rng, &steps);
-      replacements[static_cast<size_t>(i)] = std::move(fresh);
-      steps_per_walk[static_cast<size_t>(i)] = steps;
-      break;
-    }
+    Rng rng = walk_repair::MakeWalkRng(options_.seed, epoch_, id);
+    replacements[static_cast<size_t>(i)] = walk_repair::RepairForDelete(
+        *graph_, options_.alpha, store_.GetWalk(id), u, v, &rng,
+        &steps_per_walk[static_cast<size_t>(i)]);
   }
+  CommitReplacements(affected, &replacements, steps_per_walk);
+}
 
+void IncrementalMonteCarlo::CommitReplacements(
+    const std::vector<int64_t>& affected,
+    std::vector<std::optional<Walk>>* replacements,
+    const std::vector<int64_t>& steps_per_walk) {
   for (size_t i = 0; i < affected.size(); ++i) {
-    if (!replacements[i].has_value()) continue;
+    if (!(*replacements)[i].has_value()) continue;
     const int64_t id = affected[i];
     stats_.index_updates +=
         static_cast<int64_t>(store_.GetWalk(id).trace.size() +
-                             replacements[i]->trace.size());
-    store_.ReplaceWalk(id, std::move(*replacements[i]));
+                             (*replacements)[i]->trace.size());
+    store_.ReplaceWalk(id, std::move(*(*replacements)[i]));
     ++stats_.walks_regenerated;
     stats_.walk_steps += steps_per_walk[i];
   }

@@ -25,6 +25,7 @@
 #define DPPR_MC_INCREMENTAL_MC_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "graph/dynamic_graph.h"
@@ -85,18 +86,22 @@ class IncrementalMonteCarlo {
   int64_t ApproxMemoryBytes() const { return store_.ApproxMemoryBytes(); }
 
  private:
-  /// Simulates a fresh walk from `start`; the trace EXCLUDES `start`
-  /// itself (callers prepend their prefix).
+  /// Simulates a fresh walk from `start`; the trace INCLUDES `start`.
   Walk SimulateFrom(VertexId start, Rng* rng) const;
 
   void HandleInsert(const EdgeUpdate& update);
   void HandleDelete(const EdgeUpdate& update);
 
+  /// Serially installs the repaired walks produced by a parallel repair
+  /// pass and folds their costs into stats_.
+  void CommitReplacements(const std::vector<int64_t>& affected,
+                          std::vector<std::optional<Walk>>* replacements,
+                          const std::vector<int64_t>& steps_per_walk);
+
   DynamicGraph* graph_;
   VertexId source_;
   McOptions options_;
   WalkStore store_;
-  Rng rng_;
   McStats stats_;
   uint64_t epoch_ = 0;  ///< distinct RNG stream per processed update
 };

@@ -1,0 +1,115 @@
+#include "mc/walk_repair.h"
+
+namespace dppr {
+namespace walk_repair {
+
+Rng MakeWalkRng(uint64_t base_seed, uint64_t epoch, int64_t walk_id) {
+  SplitMix64 sm(base_seed ^ (epoch * 0x9e3779b97f4a7c15ULL));
+  const uint64_t a = sm.Next();
+  SplitMix64 sm2(a ^ (static_cast<uint64_t>(walk_id) * 0xff51afd7ed558ccdULL));
+  return Rng(sm2.Next());
+}
+
+void ContinueWalk(const DynamicGraph& g, double alpha,
+                  std::vector<VertexId>* trace, WalkEnd* end, Rng* rng,
+                  int64_t* steps) {
+  VertexId cur = trace->back();
+  while (true) {
+    if (rng->NextDouble() < alpha) {
+      *end = WalkEnd::kTeleport;
+      return;
+    }
+    const VertexId dout = g.OutDegree(cur);
+    if (dout == 0) {
+      *end = WalkEnd::kDangling;
+      return;
+    }
+    cur = g.OutNeighbors(cur)[static_cast<size_t>(
+        rng->NextBounded(static_cast<uint64_t>(dout)))];
+    trace->push_back(cur);
+    ++*steps;
+  }
+}
+
+void MoveThenContinue(const DynamicGraph& g, double alpha,
+                      std::vector<VertexId>* trace, WalkEnd* end, Rng* rng,
+                      int64_t* steps) {
+  const VertexId cur = trace->back();
+  const VertexId dout = g.OutDegree(cur);
+  if (dout == 0) {
+    *end = WalkEnd::kDangling;
+    return;
+  }
+  trace->push_back(g.OutNeighbors(cur)[static_cast<size_t>(
+      rng->NextBounded(static_cast<uint64_t>(dout)))]);
+  ++*steps;
+  ContinueWalk(g, alpha, trace, end, rng, steps);
+}
+
+Walk Simulate(const DynamicGraph& g, double alpha, VertexId start,
+              Rng* rng, int64_t* steps) {
+  Walk walk;
+  walk.trace.push_back(start);
+  ContinueWalk(g, alpha, &walk.trace, &walk.end, rng, steps);
+  return walk;
+}
+
+std::optional<Walk> RepairForInsert(const DynamicGraph& g, double alpha,
+                                    const Walk& old_walk, VertexId u,
+                                    VertexId v, Rng* rng, int64_t* steps) {
+  const auto dout_new = static_cast<double>(g.OutDegree(u));
+  const auto len = old_walk.trace.size();
+  for (size_t pos = 0; pos < len; ++pos) {
+    if (old_walk.trace[pos] != u) continue;
+    const bool is_last = pos + 1 == len;
+    if (is_last) {
+      if (old_walk.end == WalkEnd::kDangling) {
+        // The forced stop never happens on the new graph: the walk had
+        // already decided to move, so resume it from u.
+        Walk fresh;
+        fresh.trace.assign(
+            old_walk.trace.begin(),
+            old_walk.trace.begin() + static_cast<int64_t>(pos) + 1);
+        MoveThenContinue(g, alpha, &fresh.trace, &fresh.end, rng, steps);
+        return fresh;
+      }
+      return std::nullopt;  // teleport-terminated visit: no move to reroute
+    }
+    // Non-terminal visit: the historical move picked uniformly among the
+    // old out-edges; with probability 1/dout_new the walk would now take
+    // the new edge instead (this preserves uniformity over dout_new).
+    if (rng->NextDouble() < 1.0 / dout_new) {
+      Walk fresh;
+      fresh.trace.assign(
+          old_walk.trace.begin(),
+          old_walk.trace.begin() + static_cast<int64_t>(pos) + 1);
+      fresh.trace.push_back(v);
+      ++*steps;
+      ContinueWalk(g, alpha, &fresh.trace, &fresh.end, rng, steps);
+      return fresh;  // the regenerated suffix already reflects the new graph
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Walk> RepairForDelete(const DynamicGraph& g, double alpha,
+                                    const Walk& old_walk, VertexId u,
+                                    VertexId v, Rng* rng, int64_t* steps) {
+  const auto len = old_walk.trace.size();
+  // First use of the deleted edge, if any.
+  for (size_t pos = 0; pos + 1 < len; ++pos) {
+    if (old_walk.trace[pos] != u || old_walk.trace[pos + 1] != v) continue;
+    Walk fresh;
+    fresh.trace.assign(
+        old_walk.trace.begin(),
+        old_walk.trace.begin() + static_cast<int64_t>(pos) + 1);
+    // The stop coin at u already came up "continue"; redo the move on
+    // the graph without the deleted edge.
+    MoveThenContinue(g, alpha, &fresh.trace, &fresh.end, rng, steps);
+    return fresh;
+  }
+  return std::nullopt;
+}
+
+}  // namespace walk_repair
+}  // namespace dppr

@@ -1,0 +1,84 @@
+// Shared random-walk simulation + repair primitives.
+//
+// Two walk-backed structures maintain alpha-terminating walks under edge
+// updates: IncrementalMonteCarlo (the paper's Monte-Carlo baseline — all
+// walks from ONE source) and the estimator subsystem's WalkIndex (a few
+// walks from EVERY vertex, powering the hybrid push+walk estimators).
+// Both need exactly the same per-walk operations, and both need them
+// DETERMINISTIC: every coin a walk ever flips comes from a generator
+// derived from (base seed, update epoch, walk id), so the resulting walk
+// set is a pure function of the seed and the update sequence —
+// independent of thread count, OpenMP schedule, and batch coalescing.
+// The sharded-vs-unsharded equivalence suites rely on this to compare
+// replicated walk indexes exactly.
+//
+// Repair rules (Bahmani et al. 2010; see mc/incremental_mc.h for the
+// full derivation):
+//  * insert (u, v): each non-terminal visit of u re-flips the move coin —
+//    with probability 1/dout_new(u) the walk now takes the new edge
+//    (preserving uniformity over the grown out-set) and its suffix is
+//    resimulated. A walk that FORCE-stopped at a dangling u resumes.
+//  * delete (u, v): a walk is resimulated from its first traversal of
+//    the deleted edge (the stop coin at u already came up "continue").
+
+#ifndef DPPR_MC_WALK_REPAIR_H_
+#define DPPR_MC_WALK_REPAIR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "mc/walk_store.h"
+#include "util/random.h"
+
+namespace dppr {
+namespace walk_repair {
+
+/// Deterministic per-walk generator: mixes (base_seed, epoch, walk_id)
+/// through two SplitMix64 stages so results do not depend on the OpenMP
+/// schedule or thread count. `epoch` is the caller's count of processed
+/// updates (0 for initial simulation) — per-UPDATE, not per-batch, so
+/// replicas that coalesce the same feed differently still derive
+/// identical streams.
+Rng MakeWalkRng(uint64_t base_seed, uint64_t epoch, int64_t walk_id);
+
+/// Simulates a fresh alpha-terminating walk from `start` on `g`.
+/// `*steps` accumulates the number of vertices appended beyond `start`.
+Walk Simulate(const DynamicGraph& g, double alpha, VertexId start,
+              Rng* rng, int64_t* steps);
+
+/// Continues a walk whose last trace vertex has NOT yet flipped its
+/// arrival stop coin. Appends visited vertices; sets *end.
+void ContinueWalk(const DynamicGraph& g, double alpha,
+                  std::vector<VertexId>* trace, WalkEnd* end, Rng* rng,
+                  int64_t* steps);
+
+/// The last trace vertex already decided to continue (its stop coin
+/// historically came up "move"); performs the move on the CURRENT graph,
+/// then continues normally. Used when a deleted edge invalidated the
+/// original move and when an insertion un-dangles a forced stop.
+void MoveThenContinue(const DynamicGraph& g, double alpha,
+                      std::vector<VertexId>* trace, WalkEnd* end, Rng* rng,
+                      int64_t* steps);
+
+/// Repairs `old_walk` for the already-applied insertion (u, v) on `g`.
+/// Returns the replacement walk, or nullopt when the walk is unaffected
+/// (no re-flipped coin rerouted it). `rng` must be the walk's epoch
+/// stream (MakeWalkRng); `*steps` accumulates regenerated vertices.
+std::optional<Walk> RepairForInsert(const DynamicGraph& g, double alpha,
+                                    const Walk& old_walk, VertexId u,
+                                    VertexId v, Rng* rng, int64_t* steps);
+
+/// Repairs `old_walk` for the already-applied deletion (u, v) on `g`.
+/// Returns the replacement walk (resimulated from the first use of the
+/// deleted edge), or nullopt when the walk never traversed it.
+std::optional<Walk> RepairForDelete(const DynamicGraph& g, double alpha,
+                                    const Walk& old_walk, VertexId u,
+                                    VertexId v, Rng* rng, int64_t* steps);
+
+}  // namespace walk_repair
+}  // namespace dppr
+
+#endif  // DPPR_MC_WALK_REPAIR_H_

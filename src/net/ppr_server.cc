@@ -27,6 +27,9 @@ ResponseShape ShapeOf(Verb verb) {
   switch (verb) {
     case Verb::kQueryVertex:
     case Verb::kTopK:
+    case Verb::kQueryPair:
+    case Verb::kReverseTopK:
+    case Verb::kHybridQuery:
       return ResponseShape::kQuery;
     case Verb::kMultiSource:
       return ResponseShape::kMulti;
@@ -36,10 +39,13 @@ ResponseShape ShapeOf(Verb verb) {
     case Verb::kQuiesce:
     case Verb::kExtractSource:
     case Verb::kInjectSource:
+    case Verb::kAddTarget:
+    case Verb::kRemoveTarget:
       return ResponseShape::kMaint;
     case Verb::kStats:
       return ResponseShape::kStats;
     case Verb::kListSources:
+    case Verb::kListTargets:
       return ResponseShape::kSourceList;
   }
   return ResponseShape::kMaint;
@@ -394,6 +400,50 @@ void PprServer::Execute(const Work& work) {
     case Verb::kListSources: {
       if (!work.payload.empty()) return reject();
       EncodeSourceList(service_->index()->Sources(), &out);
+      break;
+    }
+    case Verb::kQueryPair:
+    case Verb::kHybridQuery: {
+      PairRequest req;
+      if (!DecodePairRequest(work.payload, &req).ok()) return reject();
+      if (!residual_deadline(&req.deadline_ms)) return;
+      const QueryResponse response =
+          verb == Verb::kQueryPair
+              ? service_
+                    ->QueryPairAsync(req.source, req.target, req.deadline_ms)
+                    .get()
+              : service_
+                    ->HybridPairAsync(req.source, req.target, req.deadline_ms)
+                    .get();
+      EncodeQueryResponse(response, &out);
+      break;
+    }
+    case Verb::kReverseTopK: {
+      // Reuses the top-k codec; `source` carries the TARGET id.
+      TopKRequest req;
+      if (!DecodeTopKRequest(work.payload, &req).ok()) return reject();
+      if (!residual_deadline(&req.deadline_ms)) return;
+      const QueryResponse response =
+          service_->ReverseTopKAsync(req.source, req.k, req.deadline_ms)
+              .get();
+      EncodeQueryResponse(response, &out);
+      break;
+    }
+    case Verb::kAddTarget: {
+      VertexId t = kInvalidVertex;
+      if (!DecodeSourceRequest(work.payload, &t).ok()) return reject();
+      EncodeMaintResponse(service_->AddTargetAsync(t).get(), &out);
+      break;
+    }
+    case Verb::kRemoveTarget: {
+      VertexId t = kInvalidVertex;
+      if (!DecodeSourceRequest(work.payload, &t).ok()) return reject();
+      EncodeMaintResponse(service_->RemoveTargetAsync(t).get(), &out);
+      break;
+    }
+    case Verb::kListTargets: {
+      if (!work.payload.empty()) return reject();
+      EncodeSourceList(service_->Targets(), &out);
       break;
     }
   }

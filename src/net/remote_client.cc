@@ -237,6 +237,59 @@ RemoteShardClient::MultiSourceAsync(std::vector<VertexId> sources,
   return future;
 }
 
+std::future<QueryResponse> RemoteShardClient::QueryCall(
+    Verb verb, std::string payload) {
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+  Call(verb, std::move(payload),
+       [promise](RequestStatus transport, std::string body) {
+         QueryResponse response;
+         if (transport != RequestStatus::kOk ||
+             !DecodeQueryResponsePayload(body, &response).ok()) {
+           response = QueryStatus(RequestStatus::kUnavailable);
+         }
+         promise->set_value(std::move(response));
+       });
+  return future;
+}
+
+std::future<QueryResponse> RemoteShardClient::QueryPairAsync(
+    VertexId s, VertexId t, int64_t deadline_ms) {
+  PairRequest req{s, t, deadline_ms};
+  std::string payload;
+  EncodePairRequest(req, &payload);
+  return QueryCall(Verb::kQueryPair, std::move(payload));
+}
+
+std::future<QueryResponse> RemoteShardClient::HybridPairAsync(
+    VertexId s, VertexId t, int64_t deadline_ms) {
+  PairRequest req{s, t, deadline_ms};
+  std::string payload;
+  EncodePairRequest(req, &payload);
+  return QueryCall(Verb::kHybridQuery, std::move(payload));
+}
+
+std::future<QueryResponse> RemoteShardClient::ReverseTopKAsync(
+    VertexId t, int k, int64_t deadline_ms) {
+  // The top-k codec with `source` carrying the TARGET id.
+  TopKRequest req{t, k, deadline_ms};
+  std::string payload;
+  EncodeTopKRequest(req, &payload);
+  return QueryCall(Verb::kReverseTopK, std::move(payload));
+}
+
+std::future<MaintResponse> RemoteShardClient::AddTargetAsync(VertexId t) {
+  std::string payload;
+  EncodeSourceRequest(t, &payload);
+  return MaintCall(Verb::kAddTarget, std::move(payload));
+}
+
+std::future<MaintResponse> RemoteShardClient::RemoveTargetAsync(VertexId t) {
+  std::string payload;
+  EncodeSourceRequest(t, &payload);
+  return MaintCall(Verb::kRemoveTarget, std::move(payload));
+}
+
 std::future<MaintResponse> RemoteShardClient::MaintCall(
     Verb verb, std::string payload) {
   auto promise = std::make_shared<std::promise<MaintResponse>>();
@@ -334,6 +387,20 @@ Status RemoteShardClient::ListSources(std::vector<VertexId>* out) {
   auto promise = std::make_shared<std::promise<Status>>();
   auto future = promise->get_future();
   Call(Verb::kListSources, std::string(),
+       [promise, out](RequestStatus transport, std::string body) {
+         if (transport != RequestStatus::kOk) {
+           promise->set_value(Status::IOError("shard unavailable"));
+           return;
+         }
+         promise->set_value(DecodeSourceList(body, out));
+       });
+  return future.get();
+}
+
+Status RemoteShardClient::ListTargets(std::vector<VertexId>* out) {
+  auto promise = std::make_shared<std::promise<Status>>();
+  auto future = promise->get_future();
+  Call(Verb::kListTargets, std::string(),
        [promise, out](RequestStatus transport, std::string body) {
          if (transport != RequestStatus::kOk) {
            promise->set_value(Status::IOError("shard unavailable"));

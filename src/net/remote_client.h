@@ -83,6 +83,17 @@ class RemoteShardClient {
   std::future<MaintResponse> RemoveSourceAsync(VertexId s);
   std::future<MaintResponse> QuiesceAsync();
 
+  // --- Estimator verbs (frame v4) ---------------------------------------
+
+  std::future<QueryResponse> QueryPairAsync(VertexId s, VertexId t,
+                                            int64_t deadline_ms);
+  std::future<QueryResponse> HybridPairAsync(VertexId s, VertexId t,
+                                             int64_t deadline_ms);
+  std::future<QueryResponse> ReverseTopKAsync(VertexId t, int k,
+                                              int64_t deadline_ms);
+  std::future<MaintResponse> AddTargetAsync(VertexId t);
+  std::future<MaintResponse> RemoveTargetAsync(VertexId t);
+
   // --- Migration (blocking; the router already serializes these) --------
 
   /// Lifts source `s` out of the remote shard; *blob receives the
@@ -96,6 +107,8 @@ class RemoteShardClient {
   Status Stats(bool include_samples, ShardStats* out);
   /// The remote source set; empty (and !ok) on a dead connection.
   Status ListSources(std::vector<VertexId>* out);
+  /// The remote estimator target set; empty (and !ok) on a dead connection.
+  Status ListTargets(std::vector<VertexId>* out);
 
  private:
   /// Invoked by the receiver thread (or inline on a dead connection).
@@ -109,6 +122,8 @@ class RemoteShardClient {
   void Call(Verb verb, std::string payload, Completion done);
   /// Call() for every MaintResponse-shaped verb.
   std::future<MaintResponse> MaintCall(Verb verb, std::string payload);
+  /// Call() for every QueryResponse-shaped verb.
+  std::future<QueryResponse> QueryCall(Verb verb, std::string payload);
   void ReceiverLoop();
   /// Fails every pending completion with kUnavailable. Runs once per
   /// connection breakdown.

@@ -23,7 +23,7 @@ bool PlausibleCount(const blob::Reader& reader, uint64_t count,
 
 bool IsKnownVerb(uint8_t verb) {
   return verb >= static_cast<uint8_t>(Verb::kQueryVertex) &&
-         verb <= static_cast<uint8_t>(Verb::kListSources);
+         verb <= static_cast<uint8_t>(Verb::kListTargets);
 }
 
 const char* VerbName(Verb verb) {
@@ -39,6 +39,12 @@ const char* VerbName(Verb verb) {
     case Verb::kInjectSource: return "inject-source";
     case Verb::kStats: return "stats";
     case Verb::kListSources: return "list-sources";
+    case Verb::kQueryPair: return "query-pair";
+    case Verb::kReverseTopK: return "reverse-top-k";
+    case Verb::kHybridQuery: return "hybrid-query";
+    case Verb::kAddTarget: return "add-target";
+    case Verb::kRemoveTarget: return "remove-target";
+    case Verb::kListTargets: return "list-targets";
   }
   return "?";
 }
@@ -133,6 +139,21 @@ Status DecodeTopKRequest(const std::string& payload, TopKRequest* out) {
   if (!reader.I32(&out->source) || !reader.I32(&out->k) ||
       !reader.I64(&out->deadline_ms) || reader.Remaining() != 0) {
     return Malformed("top-k request");
+  }
+  return Status::OK();
+}
+
+void EncodePairRequest(const PairRequest& req, std::string* out) {
+  blob::PutI32(out, req.source);
+  blob::PutI32(out, req.target);
+  blob::PutI64(out, req.deadline_ms);
+}
+
+Status DecodePairRequest(const std::string& payload, PairRequest* out) {
+  blob::Reader reader{payload};
+  if (!reader.I32(&out->source) || !reader.I32(&out->target) ||
+      !reader.I64(&out->deadline_ms) || reader.Remaining() != 0) {
+    return Malformed("pair request");
   }
   return Status::OK();
 }

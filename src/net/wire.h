@@ -4,8 +4,9 @@
 //
 //   header (20 bytes, all little-endian):
 //     u32 magic         'DPNT' (0x544E5044)
-//     u8  version       2 (v2: kStats responses carry the shard's
-//                          max published epoch — the staleness reference)
+//     u8  version       4 (v2: kStats responses carry the shard's
+//                          max published epoch; v3: kStats adds the graph
+//                          checksum; v4: estimator verbs 12-17)
 //     u8  verb          Verb below
 //     u16 flags         bit 0 = response
 //     u64 request_id    echoed verbatim in the response (multiplexing key)
@@ -36,7 +37,7 @@ namespace dppr {
 namespace net {
 
 inline constexpr uint32_t kFrameMagic = 0x544E5044;  // "DPNT"
-inline constexpr uint8_t kFrameVersion = 3;
+inline constexpr uint8_t kFrameVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 20;
 inline constexpr uint16_t kFlagResponse = 1;
 
@@ -59,6 +60,14 @@ enum class Verb : uint8_t {
   kInjectSource = 9,   ///< install a migration blob
   kStats = 10,         ///< health + metrics (+ optional latency samples)
   kListSources = 11,   ///< the shard's current source set
+  // Estimator verbs (new in frame version 4). Reverse-family reads route
+  // by TARGET, not source.
+  kQueryPair = 12,     ///< pi_s(t) +- eps by reverse push
+  kReverseTopK = 13,   ///< sources with the highest PPR into one target
+  kHybridQuery = 14,   ///< pair query + unbiased walk correction
+  kAddTarget = 15,     ///< register a reverse-push target
+  kRemoveTarget = 16,
+  kListTargets = 17,   ///< the shard's current target set
 };
 
 /// True iff `verb` is a value this protocol version defines.
@@ -102,6 +111,16 @@ struct TopKRequest {
   int64_t deadline_ms = 0;
 };
 
+/// kQueryPair / kHybridQuery requests. kReverseTopK reuses TopKRequest
+/// with `source` carrying the TARGET id; kAddTarget / kRemoveTarget reuse
+/// the one-vertex source-request codec; kListTargets reuses the empty
+/// request + source-list response.
+struct PairRequest {
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+  int64_t deadline_ms = 0;
+};
+
 struct MultiSourceRequest {
   std::vector<VertexId> sources;
   VertexId vertex = kInvalidVertex;
@@ -115,6 +134,9 @@ Status DecodeQueryVertexRequest(const std::string& payload,
 
 void EncodeTopKRequest(const TopKRequest& req, std::string* out);
 Status DecodeTopKRequest(const std::string& payload, TopKRequest* out);
+
+void EncodePairRequest(const PairRequest& req, std::string* out);
+Status DecodePairRequest(const std::string& payload, PairRequest* out);
 
 void EncodeMultiSourceRequest(const MultiSourceRequest& req,
                               std::string* out);

@@ -387,6 +387,85 @@ std::future<std::vector<QueryResponse>> ReplicaSet::MultiSourceAsync(
       });
 }
 
+// ------------------------------------------------------- estimator reads
+
+std::future<QueryResponse> ReplicaSet::QueryPairAsync(
+    VertexId s, VertexId t, int64_t deadline_ms) {
+  ReplicaPtr replica = AcquirePrimary();
+  if (replica == nullptr) return ReadyQuery(RequestStatus::kUnavailable);
+  std::future<QueryResponse> first =
+      replica->backend->QueryPairAsync(s, t, deadline_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (replicas_.size() == 1) return first;
+  }
+  // Failover only — no ObserveRead (see the header: estimator epochs are
+  // not comparable with the per-source staleness floor).
+  return std::async(
+      std::launch::deferred,
+      [self = shared_from_this(), s, t, deadline_ms,
+       replica = std::move(replica), first = std::move(first)]() mutable {
+        return self->RetryThroughFailover(
+            &replica, first.get(),
+            [s, t, deadline_ms](ShardBackend* backend) {
+              return backend->QueryPairAsync(s, t, deadline_ms).get();
+            },
+            [](const QueryResponse& r) {
+              return r.status == RequestStatus::kUnavailable;
+            });
+      });
+}
+
+std::future<QueryResponse> ReplicaSet::HybridPairAsync(
+    VertexId s, VertexId t, int64_t deadline_ms) {
+  ReplicaPtr replica = AcquirePrimary();
+  if (replica == nullptr) return ReadyQuery(RequestStatus::kUnavailable);
+  std::future<QueryResponse> first =
+      replica->backend->HybridPairAsync(s, t, deadline_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (replicas_.size() == 1) return first;
+  }
+  return std::async(
+      std::launch::deferred,
+      [self = shared_from_this(), s, t, deadline_ms,
+       replica = std::move(replica), first = std::move(first)]() mutable {
+        return self->RetryThroughFailover(
+            &replica, first.get(),
+            [s, t, deadline_ms](ShardBackend* backend) {
+              return backend->HybridPairAsync(s, t, deadline_ms).get();
+            },
+            [](const QueryResponse& r) {
+              return r.status == RequestStatus::kUnavailable;
+            });
+      });
+}
+
+std::future<QueryResponse> ReplicaSet::ReverseTopKAsync(
+    VertexId t, int k, int64_t deadline_ms) {
+  ReplicaPtr replica = AcquirePrimary();
+  if (replica == nullptr) return ReadyQuery(RequestStatus::kUnavailable);
+  std::future<QueryResponse> first =
+      replica->backend->ReverseTopKAsync(t, k, deadline_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (replicas_.size() == 1) return first;
+  }
+  return std::async(
+      std::launch::deferred,
+      [self = shared_from_this(), t, k, deadline_ms,
+       replica = std::move(replica), first = std::move(first)]() mutable {
+        return self->RetryThroughFailover(
+            &replica, first.get(),
+            [t, k, deadline_ms](ShardBackend* backend) {
+              return backend->ReverseTopKAsync(t, k, deadline_ms).get();
+            },
+            [](const QueryResponse& r) {
+              return r.status == RequestStatus::kUnavailable;
+            });
+      });
+}
+
 // ------------------------------------------------------------------ feed
 
 MaintResponse ReplicaSet::RetryWhileShed(
@@ -544,6 +623,39 @@ std::future<MaintResponse> ReplicaSet::RemoveSourceAsync(VertexId s) {
                     [self = shared_from_this(), s] {
                       return self->FanOutFeed([s](ShardBackend* backend) {
                         return backend->RemoveSourceAsync(s);
+                      });
+                    });
+}
+
+std::future<MaintResponse> ReplicaSet::AddTargetAsync(VertexId t) {
+  if (ReplicaPtr sole = SolePrimary(); sole != nullptr) {
+    return sole->backend->AddTargetAsync(t);
+  }
+  if (AcquirePrimary() == nullptr) {
+    return ReadyMaint(RequestStatus::kUnavailable);
+  }
+  // Deferred fan-out for the same reason as AddSourceAsync: every replica
+  // registers the target at the same point of the feed, so their
+  // from-scratch reverse pushes run against identical graphs.
+  return std::async(std::launch::deferred,
+                    [self = shared_from_this(), t] {
+                      return self->FanOutFeed([t](ShardBackend* backend) {
+                        return backend->AddTargetAsync(t);
+                      });
+                    });
+}
+
+std::future<MaintResponse> ReplicaSet::RemoveTargetAsync(VertexId t) {
+  if (ReplicaPtr sole = SolePrimary(); sole != nullptr) {
+    return sole->backend->RemoveTargetAsync(t);
+  }
+  if (AcquirePrimary() == nullptr) {
+    return ReadyMaint(RequestStatus::kUnavailable);
+  }
+  return std::async(std::launch::deferred,
+                    [self = shared_from_this(), t] {
+                      return self->FanOutFeed([t](ShardBackend* backend) {
+                        return backend->RemoveTargetAsync(t);
                       });
                     });
 }
@@ -806,6 +918,41 @@ bool ReplicaSet::SyncReplica(int index) {
     sync_bytes_.fetch_add(static_cast<int64_t>(blob.size()),
                           std::memory_order_relaxed);
   }
+
+  // Estimator targets reconcile by RECOMPUTE, not blob copy: registering
+  // the target replays the deterministic reverse push against the
+  // standby's graph, which the synced feed keeps identical to the
+  // primary's. Best-effort: a standby whose estimator is disabled
+  // answers kRejected and is left alone (targets are a volatile overlay,
+  // not replicated state the slot's correctness depends on) — only a
+  // dead standby fails the sync.
+  std::vector<VertexId> want_targets = primary->backend->Targets();
+  std::vector<VertexId> have_targets = standby->backend->Targets();
+  std::sort(want_targets.begin(), want_targets.end());
+  std::sort(have_targets.begin(), have_targets.end());
+  for (VertexId t : have_targets) {
+    if (std::binary_search(want_targets.begin(), want_targets.end(), t)) {
+      continue;
+    }
+    const MaintResponse removed = RetryShedBlocking([&standby, t] {
+      return standby->backend->RemoveTargetAsync(t).get();
+    });
+    if (removed.status == RequestStatus::kUnavailable) {
+      return standby_died();
+    }
+  }
+  for (VertexId t : want_targets) {
+    if (std::binary_search(have_targets.begin(), have_targets.end(), t)) {
+      continue;
+    }
+    const MaintResponse added = RetryShedBlocking([&standby, t] {
+      return standby->backend->AddTargetAsync(t).get();
+    });
+    if (added.status == RequestStatus::kUnavailable) {
+      return standby_died();
+    }
+    if (added.status == RequestStatus::kRejected) break;  // disabled
+  }
   return true;
 }
 
@@ -873,6 +1020,12 @@ std::vector<VertexId> ReplicaSet::Sources() const {
 }
 
 size_t ReplicaSet::NumSources() const { return Sources().size(); }
+
+std::vector<VertexId> ReplicaSet::Targets() const {
+  ReplicaPtr primary = AcquirePrimary();
+  if (primary == nullptr) return {};
+  return primary->backend->Targets();
+}
 
 bool ReplicaSet::HasSource(VertexId s) const {
   std::vector<ReplicaPtr> replicas;

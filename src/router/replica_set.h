@@ -154,11 +154,35 @@ class ReplicaSet : public std::enable_shared_from_this<ReplicaSet> {
   std::future<std::vector<QueryResponse>> MultiSourceAsync(
       std::vector<VertexId> sources, VertexId v, int64_t deadline_ms);
 
+  // --- Estimator reads: primary-with-failover ---------------------------
+  //
+  // Estimator queries do NOT distribute across standbys and skip
+  // ObserveRead entirely: the staleness floor is keyed by SOURCE vertex
+  // id, and an estimator epoch is keyed by the estimator's own feed
+  // counter — mixing target-keyed epochs into the same per-VertexId floor
+  // would compare incomparable sequences. The estimator index is
+  // replicated deterministically by the same ordered feed (targets fan
+  // out like sources; walks are a pure function of (seed, update
+  // sequence)), so the primary is always fit to answer and failover is
+  // the only replica hop these reads ever take.
+
+  std::future<QueryResponse> QueryPairAsync(VertexId s, VertexId t,
+                                            int64_t deadline_ms);
+  std::future<QueryResponse> HybridPairAsync(VertexId s, VertexId t,
+                                             int64_t deadline_ms);
+  std::future<QueryResponse> ReverseTopKAsync(VertexId t, int k,
+                                              int64_t deadline_ms);
+
   // --- Feed: all replicas, standbys first -------------------------------
 
   std::future<MaintResponse> ApplyUpdatesAsync(const UpdateBatch& batch);
   std::future<MaintResponse> AddSourceAsync(VertexId s);
   std::future<MaintResponse> RemoveSourceAsync(VertexId s);
+  /// Target admin rides the same ordered fan-out as sources: every
+  /// replica registers the target at the same point of the feed, so
+  /// their reverse pushes run against identical graphs.
+  std::future<MaintResponse> AddTargetAsync(VertexId t);
+  std::future<MaintResponse> RemoveTargetAsync(VertexId t);
   /// Barrier through every live replica's maintenance queue.
   std::future<MaintResponse> QuiesceAsync();
 
@@ -175,7 +199,11 @@ class ReplicaSet : public std::enable_shared_from_this<ReplicaSet> {
 
   /// Re-syncs standby `index` to the primary's source set: missing
   /// sources are copied over as blobs at their current epoch, extras are
-  /// removed. True if the standby agrees with the primary on return.
+  /// removed. Estimator targets are reconciled too — by RECOMPUTE, not
+  /// blob copy: registering the target on the standby replays the same
+  /// deterministic reverse push against the standby's identical graph
+  /// (best-effort; a standby with the estimator disabled is left alone).
+  /// True if the standby agrees with the primary on return.
   bool SyncReplica(int index);
   /// SyncReplica for every live standby. Returns sources copied.
   int64_t SyncAllStandbys();
@@ -190,6 +218,9 @@ class ReplicaSet : public std::enable_shared_from_this<ReplicaSet> {
   std::vector<VertexId> Sources() const;
   size_t NumSources() const;
   bool HasSource(VertexId s) const;
+  /// The primary's registered estimator targets (empty if down or the
+  /// estimator is disabled).
+  std::vector<VertexId> Targets() const;
 
   /// Counters summed and exact samples merged across every replica (each
   /// observed once, via ShardBackend::SnapshotMetrics). The update-side

@@ -154,6 +154,39 @@ std::future<MaintResponse> LocalShardBackend::QuiesceAsync() {
   return service_->QuiesceAsync();
 }
 
+std::future<QueryResponse> LocalShardBackend::QueryPairAsync(
+    VertexId s, VertexId t, int64_t deadline_ms) {
+  if (severed()) return ReadyQuery(RequestStatus::kUnavailable);
+  return service_->QueryPairAsync(s, t, deadline_ms);
+}
+
+std::future<QueryResponse> LocalShardBackend::HybridPairAsync(
+    VertexId s, VertexId t, int64_t deadline_ms) {
+  if (severed()) return ReadyQuery(RequestStatus::kUnavailable);
+  return service_->HybridPairAsync(s, t, deadline_ms);
+}
+
+std::future<QueryResponse> LocalShardBackend::ReverseTopKAsync(
+    VertexId t, int k, int64_t deadline_ms) {
+  if (severed()) return ReadyQuery(RequestStatus::kUnavailable);
+  return service_->ReverseTopKAsync(t, k, deadline_ms);
+}
+
+std::future<MaintResponse> LocalShardBackend::AddTargetAsync(VertexId t) {
+  if (severed()) return ReadyMaint(RequestStatus::kUnavailable);
+  return service_->AddTargetAsync(t);
+}
+
+std::future<MaintResponse> LocalShardBackend::RemoveTargetAsync(VertexId t) {
+  if (severed()) return ReadyMaint(RequestStatus::kUnavailable);
+  return service_->RemoveTargetAsync(t);
+}
+
+std::vector<VertexId> LocalShardBackend::Targets() const {
+  if (severed()) return {};
+  return service_->Targets();
+}
+
 MaintResponse LocalShardBackend::ExtractBlob(VertexId s,
                                              std::string* blob) {
   if (severed()) return Maint(RequestStatus::kUnavailable);
@@ -293,6 +326,35 @@ std::future<MaintResponse> RemoteShardBackend::RemoveSourceAsync(
 
 std::future<MaintResponse> RemoteShardBackend::QuiesceAsync() {
   return client_->QuiesceAsync();
+}
+
+std::future<QueryResponse> RemoteShardBackend::QueryPairAsync(
+    VertexId s, VertexId t, int64_t deadline_ms) {
+  return client_->QueryPairAsync(s, t, deadline_ms);
+}
+
+std::future<QueryResponse> RemoteShardBackend::HybridPairAsync(
+    VertexId s, VertexId t, int64_t deadline_ms) {
+  return client_->HybridPairAsync(s, t, deadline_ms);
+}
+
+std::future<QueryResponse> RemoteShardBackend::ReverseTopKAsync(
+    VertexId t, int k, int64_t deadline_ms) {
+  return client_->ReverseTopKAsync(t, k, deadline_ms);
+}
+
+std::future<MaintResponse> RemoteShardBackend::AddTargetAsync(VertexId t) {
+  return client_->AddTargetAsync(t);
+}
+
+std::future<MaintResponse> RemoteShardBackend::RemoveTargetAsync(VertexId t) {
+  return client_->RemoveTargetAsync(t);
+}
+
+std::vector<VertexId> RemoteShardBackend::Targets() const {
+  std::vector<VertexId> targets;
+  (void)client_->ListTargets(&targets);
+  return targets;
 }
 
 MaintResponse RemoteShardBackend::ExtractBlob(VertexId s,

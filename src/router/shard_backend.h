@@ -100,6 +100,35 @@ class ShardBackend {
   virtual std::future<MaintResponse> RemoveSourceAsync(VertexId s) = 0;
   virtual std::future<MaintResponse> QuiesceAsync() = 0;
 
+  // --- Estimator surface (defaults keep pre-existing fakes compiling:
+  // a backend without an estimator rejects reads and owns no targets). --
+
+  virtual std::future<QueryResponse> QueryPairAsync(VertexId s, VertexId t,
+                                                    int64_t deadline_ms) {
+    (void)s, (void)t, (void)deadline_ms;
+    return responses::ReadyQuery(RequestStatus::kRejected);
+  }
+  virtual std::future<QueryResponse> HybridPairAsync(VertexId s, VertexId t,
+                                                     int64_t deadline_ms) {
+    (void)s, (void)t, (void)deadline_ms;
+    return responses::ReadyQuery(RequestStatus::kRejected);
+  }
+  virtual std::future<QueryResponse> ReverseTopKAsync(VertexId t, int k,
+                                                      int64_t deadline_ms) {
+    (void)t, (void)k, (void)deadline_ms;
+    return responses::ReadyQuery(RequestStatus::kRejected);
+  }
+  virtual std::future<MaintResponse> AddTargetAsync(VertexId t) {
+    (void)t;
+    return responses::ReadyMaint(RequestStatus::kRejected);
+  }
+  virtual std::future<MaintResponse> RemoveTargetAsync(VertexId t) {
+    (void)t;
+    return responses::ReadyMaint(RequestStatus::kRejected);
+  }
+  /// Registered reverse-push targets on this shard.
+  virtual std::vector<VertexId> Targets() const { return {}; }
+
   /// Lifts source `s` out of this shard as a checksummed migration blob.
   /// Blocking; kShedQueueFull is retryable (the router's migration loop
   /// does), anything else is final.
@@ -196,6 +225,16 @@ class LocalShardBackend : public ShardBackend {
   std::future<MaintResponse> RemoveSourceAsync(VertexId s) override;
   std::future<MaintResponse> QuiesceAsync() override;
 
+  std::future<QueryResponse> QueryPairAsync(VertexId s, VertexId t,
+                                            int64_t deadline_ms) override;
+  std::future<QueryResponse> HybridPairAsync(VertexId s, VertexId t,
+                                             int64_t deadline_ms) override;
+  std::future<QueryResponse> ReverseTopKAsync(VertexId t, int k,
+                                              int64_t deadline_ms) override;
+  std::future<MaintResponse> AddTargetAsync(VertexId t) override;
+  std::future<MaintResponse> RemoveTargetAsync(VertexId t) override;
+  std::vector<VertexId> Targets() const override;
+
   MaintResponse ExtractBlob(VertexId s, std::string* blob) override;
   MaintResponse InjectBlob(const std::string& blob) override;
   MaintResponse CopyBlob(VertexId s, std::string* blob) override;
@@ -271,6 +310,16 @@ class RemoteShardBackend : public ShardBackend {
   std::future<MaintResponse> AddSourceAsync(VertexId s) override;
   std::future<MaintResponse> RemoveSourceAsync(VertexId s) override;
   std::future<MaintResponse> QuiesceAsync() override;
+
+  std::future<QueryResponse> QueryPairAsync(VertexId s, VertexId t,
+                                            int64_t deadline_ms) override;
+  std::future<QueryResponse> HybridPairAsync(VertexId s, VertexId t,
+                                             int64_t deadline_ms) override;
+  std::future<QueryResponse> ReverseTopKAsync(VertexId t, int k,
+                                              int64_t deadline_ms) override;
+  std::future<MaintResponse> AddTargetAsync(VertexId t) override;
+  std::future<MaintResponse> RemoveTargetAsync(VertexId t) override;
+  std::vector<VertexId> Targets() const override;
 
   MaintResponse ExtractBlob(VertexId s, std::string* blob) override;
   MaintResponse InjectBlob(const std::string& blob) override;

@@ -207,6 +207,93 @@ MaintResponse ShardedPprService::RemoveSource(VertexId s) {
   return shard->set->RemoveSourceAsync(s).get();
 }
 
+// ------------------------------------------- estimator (routed by target)
+
+std::future<QueryResponse> ShardedPprService::QueryPairAsync(
+    VertexId s, VertexId t, int64_t deadline_ms) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return ReadyQuery(RequestStatus::kClosed);
+  Shard* shard = OwnerShard(t);
+  if (shard == nullptr) return ReadyQuery(RequestStatus::kClosed);
+  return shard->set->QueryPairAsync(s, t, deadline_ms);
+}
+
+std::future<QueryResponse> ShardedPprService::HybridPairAsync(
+    VertexId s, VertexId t, int64_t deadline_ms) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return ReadyQuery(RequestStatus::kClosed);
+  Shard* shard = OwnerShard(t);
+  if (shard == nullptr) return ReadyQuery(RequestStatus::kClosed);
+  return shard->set->HybridPairAsync(s, t, deadline_ms);
+}
+
+std::future<QueryResponse> ShardedPprService::ReverseTopKAsync(
+    VertexId t, int k, int64_t deadline_ms) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return ReadyQuery(RequestStatus::kClosed);
+  Shard* shard = OwnerShard(t);
+  if (shard == nullptr) return ReadyQuery(RequestStatus::kClosed);
+  return shard->set->ReverseTopKAsync(t, k, deadline_ms);
+}
+
+QueryResponse ShardedPprService::QueryPair(VertexId s, VertexId t,
+                                           int64_t deadline_ms) {
+  QueryResponse response;
+  for (int attempt = 0;; ++attempt) {
+    response = QueryPairAsync(s, t, deadline_ms).get();
+    // kUnknownSource from the estimator means "this shard holds no state
+    // for the TARGET" — same mid-migration window as Query, same remedy.
+    if (response.status != RequestStatus::kUnknownSource ||
+        attempt >= options_.reroute_retry_limit) {
+      return response;
+    }
+    reroutes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+QueryResponse ShardedPprService::HybridPair(VertexId s, VertexId t,
+                                            int64_t deadline_ms) {
+  QueryResponse response;
+  for (int attempt = 0;; ++attempt) {
+    response = HybridPairAsync(s, t, deadline_ms).get();
+    if (response.status != RequestStatus::kUnknownSource ||
+        attempt >= options_.reroute_retry_limit) {
+      return response;
+    }
+    reroutes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+QueryResponse ShardedPprService::ReverseTopK(VertexId t, int k,
+                                             int64_t deadline_ms) {
+  QueryResponse response;
+  for (int attempt = 0;; ++attempt) {
+    response = ReverseTopKAsync(t, k, deadline_ms).get();
+    if (response.status != RequestStatus::kUnknownSource ||
+        attempt >= options_.reroute_retry_limit) {
+      return response;
+    }
+    reroutes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+MaintResponse ShardedPprService::AddTarget(VertexId t) {
+  // Shared lock across the fan-out, same as AddSource.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return Maint(RequestStatus::kClosed);
+  Shard* shard = OwnerShard(t);
+  if (shard == nullptr) return Maint(RequestStatus::kClosed);
+  return shard->set->AddTargetAsync(t).get();
+}
+
+MaintResponse ShardedPprService::RemoveTarget(VertexId t) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!started_ || stopped_) return Maint(RequestStatus::kClosed);
+  Shard* shard = OwnerShard(t);
+  if (shard == nullptr) return Maint(RequestStatus::kClosed);
+  return shard->set->RemoveTargetAsync(t).get();
+}
+
 // -------------------------------------------------- replicated updates
 
 MaintResponse ShardedPprService::ApplyUpdates(UpdateBatch batch) {
@@ -428,13 +515,41 @@ size_t ShardedPprService::MigrateSourcesLocked(
   return moved;
 }
 
+size_t ShardedPprService::MigrateTargetsLocked(
+    Shard* from, const ConsistentHashRing& ring) {
+  size_t moved = 0;
+  for (VertexId t : from->set->Targets()) {
+    const int target_id = ring.OwnerOf(t);
+    if (target_id == from->id) continue;
+    Shard* to = FindShard(target_id);
+    DPPR_CHECK_MSG(to != nullptr, "ring names a shard the router lacks");
+    // Recompute, not blob transfer: the caller quiesced the fleet, so the
+    // new owner's graph replica equals the old owner's, and registering
+    // the target replays the identical deterministic reverse push. The
+    // new owner may refuse (kRejected: estimator disabled there) — the
+    // target is then simply dropped, matching its volatile contract
+    // (targets are re-registered after recovery, never persisted).
+    const MaintResponse added = responses::RetryShedBlocking(
+        [&] { return to->set->AddTargetAsync(t).get(); });
+    (void)responses::RetryShedBlocking(
+        [&] { return from->set->RemoveTargetAsync(t).get(); });
+    if (added.status == RequestStatus::kOk) ++moved;
+  }
+  targets_migrated_.fetch_add(static_cast<int64_t>(moved),
+                              std::memory_order_relaxed);
+  return moved;
+}
+
 void ShardedPprService::AdmitShardLocked(std::unique_ptr<Shard> fresh) {
   const int id = fresh->id;
   ConsistentHashRing next_ring = ring_;
   next_ring.AddShard(id);
   shards_.push_back(std::move(fresh));
   for (const auto& shard : shards_) {
-    if (shard->id != id) MigrateSourcesLocked(shard.get(), next_ring);
+    if (shard->id != id) {
+      MigrateSourcesLocked(shard.get(), next_ring);
+      MigrateTargetsLocked(shard.get(), next_ring);
+    }
   }
   ring_ = next_ring;
 }
@@ -703,6 +818,7 @@ bool ShardedPprService::RemoveShard(int shard_id) {
   ConsistentHashRing next_ring = ring_;
   next_ring.RemoveShard(shard_id);
   MigrateSourcesLocked(victim, next_ring);
+  MigrateTargetsLocked(victim, next_ring);
   DPPR_CHECK_MSG(victim->set->NumSources() == 0,
                  "a drained shard must own nothing");
   ring_ = next_ring;
@@ -791,6 +907,26 @@ size_t ShardedPprService::NumSources() const {
   return n;
 }
 
+std::vector<VertexId> ShardedPprService::Targets() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<VertexId> all;
+  for (const auto& shard : shards_) {
+    std::vector<VertexId> own = shard->set->Targets();
+    all.insert(all.end(), own.begin(), own.end());
+  }
+  return all;
+}
+
+bool ShardedPprService::HasTarget(VertexId t) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Same placement invariant as HasSource: a target lives only on its
+  // ring owner.
+  const Shard* shard = OwnerShard(t);
+  if (shard == nullptr) return false;
+  const std::vector<VertexId> targets = shard->set->Targets();
+  return std::find(targets.begin(), targets.end(), t) != targets.end();
+}
+
 bool ShardedPprService::HasSource(VertexId s) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   // Placement invariant: a source lives only on its ring owner, so the
@@ -843,6 +979,7 @@ RouterReport ShardedPprService::Report() const {
   report.combined = CollectMetricsLocked(&report.per_shard);
   report.sources_migrated = sources_migrated_.load(std::memory_order_relaxed);
   report.migration_bytes = migration_bytes_.load(std::memory_order_relaxed);
+  report.targets_migrated = targets_migrated_.load(std::memory_order_relaxed);
   report.update_retries = update_retries_.load(std::memory_order_relaxed) +
                           retired_update_retries_;
   report.reroutes = reroutes_.load(std::memory_order_relaxed);

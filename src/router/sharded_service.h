@@ -151,6 +151,7 @@ struct RouterReport {
   std::vector<std::pair<int, MetricsReport>> per_shard;  ///< live shards
   int64_t sources_migrated = 0;  ///< moved by AddShard/RemoveShard
   int64_t migration_bytes = 0;   ///< encoded blob bytes shipped
+  int64_t targets_migrated = 0;  ///< estimator targets re-homed (recompute)
   int64_t update_retries = 0;    ///< fan-out resubmits after a shard shed
   int64_t reroutes = 0;          ///< reads re-routed around a migration
   int64_t failovers = 0;      ///< standby promotions after a primary died
@@ -211,6 +212,35 @@ class ShardedPprService {
 
   MaintResponse AddSource(VertexId s);
   MaintResponse RemoveSource(VertexId s);
+
+  // --- Estimator requests (routed by TARGET) ----------------------------
+  //
+  // The estimator subsystem (src/estimator/) partitions by TARGET the way
+  // forward serving partitions by source: reverse-push state for target t
+  // lives only on t's ring owner, so pair, hybrid, and reverse-top-k
+  // queries route through OwnerShard(t) — the SOURCE of a pair query
+  // plays no part in placement (every shard's walk index covers every
+  // vertex; see src/estimator/README.md). The blocking forms re-route on
+  // kUnknownSource exactly like Query/TopK: a target mid-migration is
+  // briefly absent from its old owner.
+
+  std::future<QueryResponse> QueryPairAsync(VertexId s, VertexId t,
+                                            int64_t deadline_ms = 0);
+  std::future<QueryResponse> HybridPairAsync(VertexId s, VertexId t,
+                                             int64_t deadline_ms = 0);
+  std::future<QueryResponse> ReverseTopKAsync(VertexId t, int k,
+                                              int64_t deadline_ms = 0);
+  QueryResponse QueryPair(VertexId s, VertexId t, int64_t deadline_ms = 0);
+  QueryResponse HybridPair(VertexId s, VertexId t, int64_t deadline_ms = 0);
+  QueryResponse ReverseTopK(VertexId t, int k, int64_t deadline_ms = 0);
+
+  /// Registers target `t` on its owning slot (kRejected when the fleet
+  /// runs without the estimator).
+  MaintResponse AddTarget(VertexId t);
+  MaintResponse RemoveTarget(VertexId t);
+  /// Union of every slot's registered targets.
+  std::vector<VertexId> Targets() const;
+  bool HasTarget(VertexId t) const;
 
   // --- Replicated update feed -------------------------------------------
 
@@ -381,6 +411,12 @@ class ShardedPprService {
   /// ExtractBlob/InjectBlob (in-process or over the wire — same bytes).
   /// Returns the number migrated.
   size_t MigrateSourcesLocked(Shard* from, const ConsistentHashRing& ring);
+  /// mu_ held exclusively: moves every estimator target of `from` that
+  /// `ring` assigns elsewhere — by RECOMPUTE, not blob: the fleet is
+  /// quiesced, every replica serves the identical graph, so registering
+  /// the target on its new owner replays the same deterministic reverse
+  /// push the old owner held. Returns the number migrated.
+  size_t MigrateTargetsLocked(Shard* from, const ConsistentHashRing& ring);
   /// mu_ held exclusively: folds a departing slot's metrics and replica
   /// counters into the retired accumulators so Metrics()/Report()
   /// survive topology changes.
@@ -421,6 +457,7 @@ class ShardedPprService {
   // Router accounting (atomics: bumped under the shared lock).
   std::atomic<int64_t> sources_migrated_{0};
   std::atomic<int64_t> migration_bytes_{0};
+  std::atomic<int64_t> targets_migrated_{0};
   std::atomic<int64_t> update_retries_{0};
   std::atomic<int64_t> reroutes_{0};
 

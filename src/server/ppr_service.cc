@@ -60,6 +60,16 @@ void PprService::Start() {
   DPPR_CHECK_MSG(!started_ && !stopped_,
                  "PprService is single-use: Start may run once");
   started_ = true;
+  if (options_.estimator.enabled) {
+    // Built here, AFTER the caller's recovery replay, so the replica
+    // clones the recovered graph. Alpha is forced to the serving index's:
+    // mixing alphas would silently compare incomparable quantities in the
+    // equivalence suites.
+    EstimatorOptions estimator_options = options_.estimator;
+    estimator_options.alpha = index_->options().ppr.alpha;
+    estimator_ = std::make_unique<EstimatorIndex>(*index_->graph(),
+                                                  estimator_options);
+  }
   running_.store(true, std::memory_order_release);
   metrics_.MarkStart();
   maintenance_ = std::thread([this] { MaintenanceLoop(); });
@@ -151,6 +161,45 @@ std::future<QueryResponse> PprService::TopKAsync(VertexId s, int k,
   return SubmitQuery(std::move(request));
 }
 
+std::future<QueryResponse> PprService::QueryPairAsync(VertexId s, VertexId t,
+                                                      int64_t deadline_ms) {
+  QueryRequest request;
+  request.kind = QueryRequest::Kind::kPair;
+  request.source = s;
+  request.target = t;
+  if (deadline_ms > 0) {
+    request.deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    request.has_deadline = true;
+  }
+  return SubmitQuery(std::move(request));
+}
+
+std::future<QueryResponse> PprService::HybridPairAsync(VertexId s, VertexId t,
+                                                       int64_t deadline_ms) {
+  QueryRequest request;
+  request.kind = QueryRequest::Kind::kHybridPair;
+  request.source = s;
+  request.target = t;
+  if (deadline_ms > 0) {
+    request.deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    request.has_deadline = true;
+  }
+  return SubmitQuery(std::move(request));
+}
+
+std::future<QueryResponse> PprService::ReverseTopKAsync(VertexId t, int k,
+                                                        int64_t deadline_ms) {
+  QueryRequest request;
+  request.kind = QueryRequest::Kind::kReverseTopK;
+  request.target = t;
+  request.k = k;
+  if (deadline_ms > 0) {
+    request.deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    request.has_deadline = true;
+  }
+  return SubmitQuery(std::move(request));
+}
+
 std::future<MaintResponse> PprService::SubmitMaint(MaintRequest request) {
   request.wants_response = true;
   std::future<MaintResponse> future = request.promise.get_future();
@@ -185,6 +234,20 @@ std::future<MaintResponse> PprService::RemoveSourceAsync(VertexId s) {
   MaintRequest request;
   request.kind = MaintRequest::Kind::kRemoveSource;
   request.source = s;
+  return SubmitMaint(std::move(request));
+}
+
+std::future<MaintResponse> PprService::AddTargetAsync(VertexId t) {
+  MaintRequest request;
+  request.kind = MaintRequest::Kind::kAddTarget;
+  request.source = t;
+  return SubmitMaint(std::move(request));
+}
+
+std::future<MaintResponse> PprService::RemoveTargetAsync(VertexId t) {
+  MaintRequest request;
+  request.kind = MaintRequest::Kind::kRemoveTarget;
+  request.source = t;
   return SubmitMaint(std::move(request));
 }
 
@@ -260,7 +323,41 @@ SourceReadResult PprService::ReadIndex(const QueryRequest& request) const {
              : index_->TopKForSource(request.source, request.k);
 }
 
+QueryResponse PprService::ExecuteEstimatorQuery(const QueryRequest& request) {
+  QueryResponse response;
+  response.during_maintenance =
+      in_maintenance_.load(std::memory_order_acquire);
+  if (!estimator_) {
+    response.status = RequestStatus::kRejected;
+    return response;
+  }
+  if (request.kind == QueryRequest::Kind::kReverseTopK) {
+    ReverseTopKResult read = estimator_->ReverseTopK(request.target,
+                                                     request.k);
+    // kUnknownSource doubles as "unknown target": the router's reroute
+    // logic treats both as "this shard does not own the id".
+    response.status =
+        read.known ? RequestStatus::kOk : RequestStatus::kUnknownSource;
+    response.epoch = read.epoch;
+    response.topk = std::move(read.topk);
+    return response;
+  }
+  PairResult read =
+      request.kind == QueryRequest::Kind::kHybridPair
+          ? estimator_->HybridPair(request.source, request.target)
+          : estimator_->QueryPair(request.source, request.target);
+  response.status =
+      read.known ? RequestStatus::kOk : RequestStatus::kUnknownSource;
+  response.epoch = read.epoch;
+  response.estimate = read.estimate;
+  return response;
+}
+
 QueryResponse PprService::ExecuteQuery(const QueryRequest& request) {
+  if (request.kind != QueryRequest::Kind::kVertex &&
+      request.kind != QueryRequest::Kind::kTopK) {
+    return ExecuteEstimatorQuery(request);
+  }
   SourceReadResult read = ReadIndex(request);
   if (read.status == SourceReadResult::Status::kNotMaterialized &&
       options_.materialize_wait.count() > 0) {
@@ -364,6 +461,7 @@ void PprService::ProcessMaintRun(std::vector<MaintRequest>* run) {
         DPPR_CHECK_MSG(logged.ok(), "batch log append failed");
       }
       index_->ApplyBatch(head.batch, /*epoch_increment=*/1);
+      if (estimator_) estimator_->ApplyBatch(head.batch, 1);
     } else {
       merged.clear();
       merged.reserve(total);
@@ -377,6 +475,10 @@ void PprService::ProcessMaintRun(std::vector<MaintRequest>* run) {
         DPPR_CHECK_MSG(logged.ok(), "batch log append failed");
       }
       index_->ApplyBatch(merged, /*epoch_increment=*/end - i);
+      // The estimator replica sees the SAME merged feed: its walk RNG
+      // epochs count individual updates, so coalescing differences
+      // between replicas cannot desynchronize the walk index.
+      if (estimator_) estimator_->ApplyBatch(merged, end - i);
     }
     in_maintenance_.store(false, std::memory_order_release);
     metrics_.RecordBatch(static_cast<int64_t>(total), timer.Millis());
@@ -500,6 +602,20 @@ void PprService::HandleAdmin(MaintRequest* request) {
         }
         if (materialized) live_delta = 1;
       }
+      break;
+    }
+    case MaintRequest::Kind::kAddTarget: {
+      // Estimator targets are volatile (not WAL-logged): after recovery
+      // the router or client re-registers them.
+      const bool ok = estimator_ && estimator_->AddTarget(request->source);
+      response.status = ok ? RequestStatus::kOk : RequestStatus::kRejected;
+      break;
+    }
+    case MaintRequest::Kind::kRemoveTarget: {
+      const bool ok =
+          estimator_ && estimator_->RemoveTarget(request->source);
+      response.status =
+          ok ? RequestStatus::kOk : RequestStatus::kUnknownSource;
       break;
     }
     case MaintRequest::Kind::kUpdates:

@@ -37,11 +37,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/query.h"
+#include "estimator/estimator_index.h"
 #include "graph/types.h"
 #include "index/ppr_index.h"
 #include "server/metrics.h"
@@ -99,6 +101,12 @@ struct ServiceOptions {
   /// How long a worker may wait for the maintenance thread to rebuild an
   /// evicted source before answering kNotMaterialized. Zero = fail fast.
   std::chrono::milliseconds materialize_wait{100};
+  /// Estimator subsystem (reverse push / walk index / hybrid). When
+  /// enabled, Start() builds an EstimatorIndex over the index's graph
+  /// (alpha forced to the index's ppr alpha) and the maintenance thread
+  /// mirrors every applied batch into it. Estimator queries are answered
+  /// kRejected when disabled.
+  EstimatorOptions estimator{};
 };
 
 /// \brief Concurrent PPR serving front-end. See file comment.
@@ -146,6 +154,23 @@ class PprService {
   std::future<MaintResponse> ApplyUpdatesAsync(UpdateBatch batch);
   std::future<MaintResponse> AddSourceAsync(VertexId s);
   std::future<MaintResponse> RemoveSourceAsync(VertexId s);
+
+  // --- Estimator reads and target admin (see EstimatorIndex) ------------
+
+  /// pi_s(t) ± eps by reverse push. kRejected when the estimator is
+  /// disabled; kUnknownSource when `t` is not a registered target.
+  std::future<QueryResponse> QueryPairAsync(VertexId s, VertexId t,
+                                            int64_t deadline_ms = 0);
+  /// QueryPairAsync + the unbiased walk correction (hybrid estimator).
+  std::future<QueryResponse> HybridPairAsync(VertexId s, VertexId t,
+                                             int64_t deadline_ms = 0);
+  /// The k sources with the highest PPR *into* target `t`.
+  std::future<QueryResponse> ReverseTopKAsync(VertexId t, int k,
+                                              int64_t deadline_ms = 0);
+  /// Registers / drops a reverse-push target (maintenance-thread op,
+  /// mirroring AddSourceAsync). kRejected when the estimator is disabled.
+  std::future<MaintResponse> AddTargetAsync(VertexId t);
+  std::future<MaintResponse> RemoveTargetAsync(VertexId t);
 
   // --- Shard-facing hooks (the sharded router drives these) -------------
 
@@ -204,15 +229,26 @@ class PprService {
   }
   const ServiceOptions& options() const { return options_; }
   PprIndex* index() { return index_; }
+  /// Null before Start or when ServiceOptions::estimator.enabled is false.
+  EstimatorIndex* estimator() { return estimator_.get(); }
+  /// Registered reverse-push targets (empty when the estimator is off).
+  std::vector<VertexId> Targets() const {
+    return estimator_ ? estimator_->Targets() : std::vector<VertexId>{};
+  }
+  bool HasTarget(VertexId t) const {
+    return estimator_ && estimator_->HasTarget(t);
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
 
   struct QueryRequest {
-    enum class Kind { kVertex, kTopK };
+    enum class Kind { kVertex, kTopK, kPair, kReverseTopK, kHybridPair };
     Kind kind = Kind::kVertex;
     VertexId source = kInvalidVertex;
     VertexId vertex = kInvalidVertex;
+    /// Estimator kinds: the reverse-push target.
+    VertexId target = kInvalidVertex;
     int k = 0;
     Clock::time_point enqueue_time;
     Clock::time_point deadline;
@@ -230,6 +266,8 @@ class PprService {
       kExtractSource,
       kCopySource,
       kInjectSource,
+      kAddTarget,
+      kRemoveTarget,
     };
     Kind kind = Kind::kUpdates;
     UpdateBatch batch;
@@ -254,6 +292,9 @@ class PprService {
   /// not replay).
   void LogAdmin(storage::LogRecordType type, VertexId s);
   QueryResponse ExecuteQuery(const QueryRequest& request);
+  /// Answers the estimator query kinds (worker threads; reads under the
+  /// EstimatorIndex shared lock).
+  QueryResponse ExecuteEstimatorQuery(const QueryRequest& request);
   SourceReadResult ReadIndex(const QueryRequest& request) const;
   /// Files a fire-and-forget materialization request and waits (bounded)
   /// for the maintenance thread to rebuild `s`.
@@ -261,6 +302,9 @@ class PprService {
 
   PprIndex* index_;
   ServiceOptions options_;
+  /// Built by Start() when options_.estimator.enabled; maintenance
+  /// mirrors every applied batch into it, workers read it.
+  std::unique_ptr<EstimatorIndex> estimator_;
   /// Optional durability: when set, maintenance write-ahead-logs through
   /// it. Only the maintenance thread touches it after Start.
   storage::DurableStore* store_ = nullptr;

@@ -1,9 +1,12 @@
 #include "storage/durable_store.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -223,7 +226,49 @@ Status DurableStore::WriteCheckpoint(const PprIndex& index) {
   manifest_ = std::move(manifest);
   batches_since_checkpoint_ = 0;
   ++checkpoints_written_;
+  // The manifest swap committed the new generation; nothing reachable
+  // from it references the older checkpoint files or the spill blobs of
+  // sources that have since been removed. Reclaim them now, while the
+  // live source set is still in hand.
+  CollectGarbage(index.Sources());
   return Status::OK();
+}
+
+void DurableStore::CollectGarbage(std::vector<VertexId> live_sources) {
+  DIR* scan = ::opendir(dir_.c_str());
+  if (scan == nullptr) return;  // best-effort: GC never fails a checkpoint
+  std::sort(live_sources.begin(), live_sources.end());
+  std::vector<std::string> doomed_checkpoints;
+  std::vector<std::string> doomed_spills;
+  for (struct dirent* entry = ::readdir(scan); entry != nullptr;
+       entry = ::readdir(scan)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("checkpoint-", 0) == 0) {
+      // Everything but the file the manifest points at — superseded
+      // generations and torn tmp files from crashed writes alike.
+      if (name != manifest_.checkpoint_file) doomed_checkpoints.push_back(name);
+    } else if (name.rfind("spill-", 0) == 0) {
+      char* end = nullptr;
+      const char* digits = name.c_str() + 6;
+      const long long source = std::strtoll(digits, &end, 10);
+      const bool parsed = end != digits && *end == '\0';
+      // A spill is live only while its source is still in the index: an
+      // evicted-but-registered source rematerializes from it, a removed
+      // source never will. Unparseable names are torn tmp files.
+      if (!parsed ||
+          !std::binary_search(live_sources.begin(), live_sources.end(),
+                              static_cast<VertexId>(source))) {
+        doomed_spills.push_back(name);
+      }
+    }
+  }
+  ::closedir(scan);
+  for (const std::string& name : doomed_checkpoints) {
+    if (::unlink((dir_ + "/" + name).c_str()) == 0) ++checkpoints_deleted_;
+  }
+  for (const std::string& name : doomed_spills) {
+    if (::unlink((dir_ + "/" + name).c_str()) == 0) ++spills_deleted_;
+  }
 }
 
 bool DurableStore::Rematerialize(VertexId source, uint64_t slot_epoch,

@@ -102,7 +102,11 @@ class DurableStore {
   // --- Checkpoint cadence ----------------------------------------------
   bool ShouldCheckpoint() const;
   /// Captures graph + every source of `index` at the current feed
-  /// sequence and publishes it through the manifest.
+  /// sequence and publishes it through the manifest. The manifest swap is
+  /// the commit point; once it lands, the previous checkpoint generation
+  /// and any spill blob whose source has left the index are unreachable,
+  /// so both are garbage-collected (best-effort — a failed unlink costs
+  /// disk, never correctness).
   Status WriteCheckpoint(const PprIndex& index);
 
   // --- Spill ------------------------------------------------------------
@@ -113,6 +117,8 @@ class DurableStore {
   int64_t spills_written() const { return spills_written_; }
   int64_t spill_restores() const { return spill_restores_; }
   uint64_t checkpoints_written() const { return checkpoints_written_; }
+  uint64_t checkpoints_deleted() const { return checkpoints_deleted_; }
+  uint64_t spills_deleted() const { return spills_deleted_; }
 
  private:
   /// One batch record's contribution to catch-up: the feed sequence it
@@ -128,6 +134,7 @@ class DurableStore {
   void RememberEndpoints(uint64_t seq, uint32_t increment,
                          const UpdateBatch& batch);
   bool Rematerialize(VertexId source, uint64_t slot_epoch, DynamicPpr* ppr);
+  void CollectGarbage(std::vector<VertexId> live_sources);
 
   const std::string dir_;
   const DurableStoreOptions options_;
@@ -140,6 +147,8 @@ class DurableStore {
   uint64_t feed_seq_ = 0;
   uint64_t batches_since_checkpoint_ = 0;
   uint64_t checkpoints_written_ = 0;
+  uint64_t checkpoints_deleted_ = 0;
+  uint64_t spills_deleted_ = 0;
   int64_t spills_written_ = 0;
   int64_t spill_restores_ = 0;
 

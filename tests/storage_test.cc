@@ -433,5 +433,58 @@ TEST(DurableStoreTest, TornSpillFileIsRefusedNotTrusted) {
   EXPECT_EQ(store.spill_restores(), 0);
 }
 
+// -------------------------------------------------------- checkpoint GC
+
+TEST(DurableStoreTest, CheckpointGcReclaimsSupersededFiles) {
+  TempDir dir;
+  StorageWorkload workload = MakeWorkload(3, 53);
+  DynamicGraph graph =
+      DynamicGraph::FromEdges(workload.initial, workload.num_vertices);
+  storage::DurableStore store(dir.path(), {});
+  ASSERT_TRUE(store.Open().ok());
+  PprIndex index(&graph, workload.hubs, TestIndexOptions());
+  index.SetSpillHooks(store.MakeSpillHooks());
+  index.Initialize();
+
+  ASSERT_TRUE(store.WriteCheckpoint(index).ok());
+  const std::string first_gen = dir.path() + "/checkpoint-0";
+  ASSERT_EQ(::access(first_gen.c_str(), F_OK), 0);
+
+  // Two spills: the victim's source then leaves the index (its spill is
+  // an orphan), the sleeper stays registered (its spill is live).
+  const VertexId victim = workload.hubs[0];
+  const VertexId sleeper = workload.hubs[1];
+  (void)index.QueryVertexForSource(workload.hubs[2], 0);
+  ASSERT_EQ(index.EvictColdSources(1), 2u);
+  EXPECT_EQ(store.spills_written(), 2);
+  ASSERT_TRUE(index.RemoveSource(victim));
+
+  // Advance the feed so the next generation gets a distinct file name.
+  ASSERT_TRUE(store.LogBatch(workload.batches[0], 1).ok());
+  index.ApplyBatch(workload.batches[0], 1);
+
+  ASSERT_TRUE(store.WriteCheckpoint(index).ok());
+  EXPECT_EQ(store.checkpoints_deleted(), 1u)
+      << "the superseded generation must be unlinked";
+  EXPECT_NE(::access(first_gen.c_str(), F_OK), 0);
+  EXPECT_EQ(::access((dir.path() + "/checkpoint-1").c_str(), F_OK), 0)
+      << "the generation the manifest points at must survive";
+  EXPECT_EQ(store.spills_deleted(), 1u);
+  EXPECT_NE(
+      ::access((dir.path() + "/spill-" + std::to_string(victim)).c_str(),
+               F_OK),
+      0)
+      << "a removed source's spill is an orphan";
+  EXPECT_EQ(
+      ::access((dir.path() + "/spill-" + std::to_string(sleeper)).c_str(),
+               F_OK),
+      0)
+      << "a registered-but-evicted source still needs its spill";
+
+  // The surviving spill is not just present — it still rematerializes.
+  ASSERT_TRUE(index.MaterializeSource(sleeper));
+  EXPECT_EQ(store.spill_restores(), 1);
+}
+
 }  // namespace
 }  // namespace dppr
